@@ -1,0 +1,142 @@
+// Microbenchmarks of the core mechanisms (google-benchmark driver).
+//
+// These are not paper figures; they isolate the primitive costs the paper's
+// argument rests on: trampoline transitions (none / syscall / fsgsbase),
+// allocation log overhead, kernel-launch paths, and proxy RPC round trips.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "crac/context.hpp"
+#include "proxy/client_api.hpp"
+#include "simcuda/lower_half.hpp"
+#include "simcuda/module.hpp"
+#include "simcuda/trampolined_api.hpp"
+
+namespace {
+
+using namespace crac;
+
+void nop_kernel(void* const*, const cuda::KernelBlock&) {}
+
+sim::DeviceConfig bench_device_config() {
+  sim::DeviceConfig cfg;
+  cfg.device_va_base = 0;
+  cfg.pinned_va_base = 0;
+  cfg.managed_va_base = 0;
+  return cfg;
+}
+
+void BM_TrampolineTransition(benchmark::State& state) {
+  split::Trampoline tramp(static_cast<split::FsSwitchMode>(state.range(0)));
+  for (auto _ : state) {
+    split::LowerHalfCall call(tramp);
+    benchmark::DoNotOptimize(&call);
+  }
+}
+BENCHMARK(BM_TrampolineTransition)
+    ->Arg(0)   // kNone
+    ->Arg(1)   // kSyscall (unpatched Linux)
+    ->Arg(2);  // kFsgsbase
+
+void BM_CudaMallocFree_Native(benchmark::State& state) {
+  cuda::LowerHalfRuntime runtime(bench_device_config());
+  split::Trampoline tramp;
+  cuda::DispatchTable table;
+  runtime.fill_dispatch_table(&table);
+  cuda::TrampolinedApi api(&table, &tramp);
+  for (auto _ : state) {
+    void* p = nullptr;
+    api.cudaMalloc(&p, 4096);
+    api.cudaFree(p);
+  }
+}
+BENCHMARK(BM_CudaMallocFree_Native);
+
+void BM_CudaMallocFree_CracLogged(benchmark::State& state) {
+  CracContext ctx;
+  for (auto _ : state) {
+    void* p = nullptr;
+    ctx.api().cudaMalloc(&p, 4096);
+    ctx.api().cudaFree(p);
+  }
+  state.counters["log_records"] =
+      static_cast<double>(ctx.plugin().log().size());
+}
+BENCHMARK(BM_CudaMallocFree_CracLogged);
+
+void BM_KernelLaunch_Native(benchmark::State& state) {
+  cuda::LowerHalfRuntime runtime(bench_device_config());
+  split::Trampoline tramp;
+  cuda::DispatchTable table;
+  runtime.fill_dispatch_table(&table);
+  cuda::TrampolinedApi api(&table, &tramp);
+  cuda::KernelModule mod("micro.cu");
+  mod.add_kernel<int>(&nop_kernel, "nop");
+  mod.register_with(api);
+  for (auto _ : state) {
+    cuda::launch(api, &nop_kernel, cuda::dim3{1, 1, 1}, cuda::dim3{1, 1, 1},
+                 0, 0);
+  }
+  api.cudaDeviceSynchronize();
+}
+BENCHMARK(BM_KernelLaunch_Native);
+
+void BM_KernelLaunch_Crac(benchmark::State& state) {
+  CracContext ctx;
+  cuda::KernelModule mod("micro_crac.cu");
+  mod.add_kernel<int>(&nop_kernel, "nop");
+  mod.register_with(ctx.api());
+  for (auto _ : state) {
+    cuda::launch(ctx.api(), &nop_kernel, cuda::dim3{1, 1, 1},
+                 cuda::dim3{1, 1, 1}, 0, 0);
+  }
+  ctx.api().cudaDeviceSynchronize();
+}
+BENCHMARK(BM_KernelLaunch_Crac);
+
+void BM_ProxyRpcRoundTrip(benchmark::State& state) {
+  proxy::ProxyClientApi api;
+  for (auto _ : state) {
+    api.cudaDeviceSynchronize();  // minimal-payload RPC
+  }
+  state.counters["cma"] = api.cma_available() ? 1 : 0;
+}
+BENCHMARK(BM_ProxyRpcRoundTrip);
+
+void BM_ProxyMemcpyH2D(benchmark::State& state) {
+  proxy::ProxyClientApi api;
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  void* dev = nullptr;
+  api.cudaMalloc(&dev, bytes);
+  std::vector<char> host(bytes, 1);
+  for (auto _ : state) {
+    api.cudaMemcpy(dev, host.data(), bytes, cuda::cudaMemcpyHostToDevice);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ProxyMemcpyH2D)->Arg(4096)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_UvmFaultRoundTrip(benchmark::State& state) {
+  sim::Device dev(bench_device_config());
+  auto m = dev.malloc_managed(64 << 10);
+  if (!m.ok()) {
+    state.SkipWithError("managed alloc failed");
+    return;
+  }
+  auto* p = static_cast<volatile char*>(*m);
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)dev.uvm().prefetch(*m, 64 << 10, true);
+    state.ResumeTiming();
+    p[0] = 1;  // host fault -> SIGSEGV -> migrate -> retry
+  }
+  state.counters["host_faults"] =
+      static_cast<double>(dev.uvm().stats().host_faults);
+}
+BENCHMARK(BM_UvmFaultRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md §4). Problem sizes are scaled for a laptop-class
+// run and can be grown with CRAC_BENCH_SCALE (multiplies iteration counts)
+// and CRAC_BENCH_REPS (repetitions averaged per measurement, default 3 vs
+// the paper's 10).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/env.hpp"
+#include "crac/context.hpp"
+#include "simcuda/lower_half.hpp"
+#include "simcuda/trampolined_api.hpp"
+#include "workloads/workload.hpp"
+
+namespace crac::bench {
+
+inline int reps() {
+  return static_cast<int>(env_int("CRAC_BENCH_REPS", 3));
+}
+
+inline double scale() { return env_double("CRAC_BENCH_SCALE", 1.0); }
+
+inline workloads::WorkloadParams scaled_params(workloads::Workload* w) {
+  workloads::WorkloadParams p = w->default_params();
+  const double s = scale();
+  if (s != 1.0 && p.iterations > 0) {
+    p.iterations = std::max(1, static_cast<int>(p.iterations * s));
+  }
+  return p;
+}
+
+// "Native" backend: trampolined API with no fs-switch modelling and no
+// interposer — the paper's baseline runs.
+class NativeBackend {
+ public:
+  explicit NativeBackend(sim::DeviceConfig config = {}) {
+    // Kernel-chosen bases so a concurrently-alive CRAC context (fixed
+    // bases) never conflicts.
+    config.device_va_base = 0;
+    config.pinned_va_base = 0;
+    config.managed_va_base = 0;
+    runtime_ = std::make_unique<cuda::LowerHalfRuntime>(config);
+    runtime_->fill_dispatch_table(&table_);
+    api_ = std::make_unique<cuda::TrampolinedApi>(&table_, &trampoline_);
+  }
+
+  cuda::CudaApi& api() { return *api_; }
+  std::uint64_t cuda_calls() const { return trampoline_.transitions(); }
+
+ private:
+  std::unique_ptr<cuda::LowerHalfRuntime> runtime_;
+  split::Trampoline trampoline_{split::FsSwitchMode::kNone};
+  cuda::DispatchTable table_;
+  std::unique_ptr<cuda::TrampolinedApi> api_;
+};
+
+// CRAC backend options used across benches: fs switches via kernel calls
+// (unpatched Linux), the paper's default configuration.
+inline CracOptions crac_options(
+    split::FsSwitchMode fs = split::FsSwitchMode::kSyscall) {
+  CracOptions opts;
+  opts.split.fs_mode = fs;
+  return opts;
+}
+
+struct TimedRun {
+  double seconds = 0;
+  double checksum = 0;
+  std::uint64_t cuda_calls = 0;
+};
+
+inline double median_of(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+// Median native run time over reps().
+inline TimedRun run_native(workloads::Workload* w,
+                           const workloads::WorkloadParams& params) {
+  TimedRun out;
+  std::vector<double> times;
+  for (int r = 0; r < reps(); ++r) {
+    NativeBackend backend;
+    const std::uint64_t calls0 = backend.cuda_calls();
+    WallTimer t;
+    auto result = w->run(backend.api(), params);
+    times.push_back(t.elapsed_s());
+    if (result.ok()) out.checksum = result->checksum;
+    out.cuda_calls = backend.cuda_calls() - calls0;
+  }
+  out.seconds = median_of(times);
+  return out;
+}
+
+// Median run time under a fresh CracContext per repetition.
+inline TimedRun run_crac(workloads::Workload* w,
+                         const workloads::WorkloadParams& params,
+                         split::FsSwitchMode fs = split::FsSwitchMode::kSyscall) {
+  TimedRun out;
+  std::vector<double> times;
+  for (int r = 0; r < reps(); ++r) {
+    CracContext ctx(crac_options(fs));
+    const std::uint64_t calls0 = ctx.cuda_calls();
+    WallTimer t;
+    auto result = w->run(ctx.api(), params);
+    times.push_back(t.elapsed_s());
+    if (result.ok()) out.checksum = result->checksum;
+    out.cuda_calls = ctx.cuda_calls() - calls0;
+  }
+  out.seconds = median_of(times);
+  return out;
+}
+
+// Interleaved A/B comparison: native and CRAC repetitions alternate so
+// machine-load drift hits both arms equally; medians are reported. This is
+// the overhead-measurement discipline all runtime-comparison benches use
+// (on a shared single-core box, back-to-back arms can diverge by tens of
+// percent from scheduler noise alone).
+struct PairedRun {
+  TimedRun native;
+  TimedRun crac;
+};
+
+inline PairedRun run_paired(
+    workloads::Workload* w, const workloads::WorkloadParams& params,
+    split::FsSwitchMode fs = split::FsSwitchMode::kSyscall) {
+  PairedRun out;
+  std::vector<double> native_times, crac_times;
+  for (int r = 0; r < reps(); ++r) {
+    {
+      NativeBackend backend;
+      const std::uint64_t calls0 = backend.cuda_calls();
+      WallTimer t;
+      auto result = w->run(backend.api(), params);
+      native_times.push_back(t.elapsed_s());
+      if (result.ok()) out.native.checksum = result->checksum;
+      out.native.cuda_calls = backend.cuda_calls() - calls0;
+    }
+    {
+      CracContext ctx(crac_options(fs));
+      const std::uint64_t calls0 = ctx.cuda_calls();
+      WallTimer t;
+      auto result = w->run(ctx.api(), params);
+      crac_times.push_back(t.elapsed_s());
+      if (result.ok()) out.crac.checksum = result->checksum;
+      out.crac.cuda_calls = ctx.cuda_calls() - calls0;
+    }
+  }
+  out.native.seconds = median_of(native_times);
+  out.crac.seconds = median_of(crac_times);
+  return out;
+}
+
+inline double overhead_pct(double native_s, double crac_s) {
+  if (native_s <= 0) return 0;
+  return (crac_s - native_s) / native_s * 100.0;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("reps=%d scale=%.2f (CRAC_BENCH_REPS / CRAC_BENCH_SCALE)\n",
+              reps(), scale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace crac::bench

@@ -1,0 +1,196 @@
+// crac_inspect — checkpoint-image inspector.
+//
+// Dumps the structure of a .crac image: sections with sizes and integrity
+// status, the CUDA call log (the replay script), active allocations with
+// kinds, the stream/event inventory, UVM residency summary, and upper-half
+// memory regions. Useful for debugging images and for understanding what a
+// checkpoint actually contains.
+//
+//   $ ./crac_inspect app.crac [--log] [--regions]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ckpt/image.hpp"
+#include "ckpt/memory_section.hpp"
+#include "common/bytes.hpp"
+#include "crac/api_log.hpp"
+
+namespace {
+
+using namespace crac;
+
+const char* section_type_name(ckpt::SectionType t) {
+  switch (t) {
+    case ckpt::SectionType::kMetadata: return "metadata";
+    case ckpt::SectionType::kMemoryRegions: return "memory-regions";
+    case ckpt::SectionType::kCudaApiLog: return "cuda-api-log";
+    case ckpt::SectionType::kDeviceBuffers: return "device-buffers";
+    case ckpt::SectionType::kManagedBuffers: return "managed-buffers";
+    case ckpt::SectionType::kUvmResidency: return "uvm-residency";
+    case ckpt::SectionType::kStreams: return "streams";
+  }
+  return "?";
+}
+
+const char* alloc_kind_name(std::uint8_t kind) {
+  switch (kind) {
+    case 0: return "device ";
+    case 1: return "pinned ";
+    case 2: return "managed";
+  }
+  return "?";
+}
+
+void dump_allocations(const ckpt::Section& sec) {
+  ByteReader r(sec.payload);
+  std::uint64_t count = 0;
+  if (!r.get_u64(count).ok()) return;
+  std::printf("  %" PRIu64 " active allocations:\n", count);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t addr = 0, size = 0;
+    std::uint8_t kind = 0;
+    std::uint32_t flags = 0;
+    if (!r.get_u64(addr).ok() || !r.get_u64(size).ok() ||
+        !r.get_u8(kind).ok() || !r.get_u32(flags).ok() ||
+        !r.skip(size).ok()) {
+      std::printf("  (truncated)\n");
+      return;
+    }
+    total += size;
+    if (i < 20) {
+      std::printf("    [%s] 0x%012" PRIx64 "  %10s  flags=0x%x\n",
+                  alloc_kind_name(kind), addr, format_size(size).c_str(),
+                  flags);
+    } else if (i == 20) {
+      std::printf("    ... (%" PRIu64 " more)\n", count - 20);
+    }
+  }
+  std::printf("  total payload: %s\n", format_size(total).c_str());
+}
+
+void dump_log(const ckpt::Section& sec, bool full) {
+  auto log = CudaApiLog::deserialize(sec.payload);
+  if (!log.ok()) {
+    std::printf("  (unparseable: %s)\n", log.status().to_string().c_str());
+    return;
+  }
+  std::printf("  %zu records (the restart replay script)\n", log->size());
+  const LogOp kOps[] = {
+      LogOp::kMallocDevice, LogOp::kMallocHost, LogOp::kHostAlloc,
+      LogOp::kMallocManaged, LogOp::kFree, LogOp::kFreeHost,
+      LogOp::kStreamCreate, LogOp::kStreamDestroy, LogOp::kEventCreate,
+      LogOp::kEventDestroy, LogOp::kRegisterFatBinary,
+      LogOp::kRegisterFunction, LogOp::kUnregisterFatBinary};
+  for (LogOp op : kOps) {
+    const std::size_t n = log->count(op);
+    if (n > 0) std::printf("    %-26s x%zu\n", to_string(op), n);
+  }
+  if (full) {
+    std::printf("  full log:\n");
+    for (std::size_t i = 0; i < log->size(); ++i) {
+      const LogRecord& rec = log->records()[i];
+      std::printf("    %5zu  %-26s addr=0x%012" PRIx64 " size=%" PRIu64
+                  " %s\n",
+                  i, to_string(rec.op), rec.addr, rec.size,
+                  rec.name.c_str());
+    }
+  }
+}
+
+void dump_regions(const ckpt::Section& sec, bool full) {
+  auto records = ckpt::decode_memory_records(sec.payload);
+  if (!records.ok()) {
+    std::printf("  (unparseable)\n");
+    return;
+  }
+  std::uint64_t total = 0;
+  for (const auto& r : *records) total += r.size;
+  std::printf("  %zu upper-half regions, %s\n", records->size(),
+              format_size(total).c_str());
+  if (full) {
+    for (const auto& r : *records) {
+      std::printf("    0x%012" PRIx64 "  %10s  prot=%u  %s\n", r.addr,
+                  format_size(r.size).c_str(), r.prot, r.name.c_str());
+    }
+  }
+}
+
+void dump_streams(const ckpt::Section& sec) {
+  ByteReader r(sec.payload);
+  std::uint64_t n_streams = 0;
+  if (!r.get_u64(n_streams).ok()) return;
+  std::printf("  live streams: %" PRIu64 " (", n_streams);
+  for (std::uint64_t i = 0; i < n_streams; ++i) {
+    std::uint64_t id = 0;
+    if (!r.get_u64(id).ok()) break;
+    std::printf("%s%" PRIu64, i == 0 ? "" : ",", id);
+  }
+  std::uint64_t n_events = 0;
+  if (!r.get_u64(n_events).ok()) return;
+  std::printf(") live events: %" PRIu64 "\n", n_events);
+}
+
+void dump_uvm(const ckpt::Section& sec) {
+  ByteReader r(sec.payload);
+  std::uint64_t page = 0, ranges = 0;
+  if (!r.get_u64(page).ok() || !r.get_u64(ranges).ok()) return;
+  std::uint64_t device_pages = 0, total_pages = 0;
+  for (std::uint64_t i = 0; i < ranges; ++i) {
+    std::uint64_t addr = 0, n_pages = 0;
+    if (!r.get_u64(addr).ok() || !r.get_u64(n_pages).ok()) return;
+    std::vector<std::uint8_t> bitmap((n_pages + 7) / 8);
+    if (!r.get_bytes(bitmap.data(), bitmap.size()).ok()) return;
+    total_pages += n_pages;
+    for (std::uint64_t p = 0; p < n_pages; ++p) {
+      if ((bitmap[p / 8] >> (p % 8)) & 1) ++device_pages;
+    }
+  }
+  std::printf("  UVM page size %s; %" PRIu64 " managed ranges, %" PRIu64
+              "/%" PRIu64 " pages device-resident at checkpoint\n",
+              format_size(page).c_str(), ranges, device_pages, total_pages);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <image.crac> [--log] [--regions]\n"
+                 "  --log      dump every CUDA log record\n"
+                 "  --regions  dump every upper-half memory region\n",
+                 argv[0]);
+    return 2;
+  }
+  bool full_log = false, full_regions = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log") == 0) full_log = true;
+    if (std::strcmp(argv[i], "--regions") == 0) full_regions = true;
+  }
+
+  auto reader = ckpt::ImageReader::from_file(argv[1]);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                 reader.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu sections (all CRCs valid)\n", argv[1],
+              reader->sections().size());
+  for (const auto& sec : reader->sections()) {
+    std::printf("\n[%s] \"%s\" — %s\n", section_type_name(sec.type),
+                sec.name.c_str(), format_size(sec.payload.size()).c_str());
+    switch (sec.type) {
+      case ckpt::SectionType::kCudaApiLog: dump_log(sec, full_log); break;
+      case ckpt::SectionType::kDeviceBuffers: dump_allocations(sec); break;
+      case ckpt::SectionType::kMemoryRegions:
+        dump_regions(sec, full_regions);
+        break;
+      case ckpt::SectionType::kStreams: dump_streams(sec); break;
+      case ckpt::SectionType::kUvmResidency: dump_uvm(sec); break;
+      default: break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Spot-instance migration scenario (paper §1, motivation (d)).
+//
+// A long-running iterative GPU solver (Jacobi on a 2D grid) receives a
+// "spot instance reclaimed" notice mid-run: it checkpoints on demand — at
+// an arbitrary iteration, not a designated phase boundary — and "dies".
+// A new context (the replacement instance on an identical node) restarts
+// from the image and carries the solve to completion. The final residual
+// must match an uninterrupted run exactly.
+//
+// All host-side solver state (iteration counter, configuration) lives in
+// the CRAC upper-half heap, so the restarted process recovers it through
+// the context's root pointer — no application-specific checkpoint code.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "crac/context.hpp"
+#include "simcuda/module.hpp"
+
+namespace {
+
+using namespace crac;
+
+void jacobi_kernel(void* const* args, const cuda::KernelBlock& blk) {
+  const auto* in = cuda::kernel_arg<const float*>(args, 0);
+  auto* out = cuda::kernel_arg<float*>(args, 1);
+  const auto n = cuda::kernel_arg<std::uint64_t>(args, 2);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const std::size_t r = idx / n;
+    const std::size_t c = idx % n;
+    const float center = in[idx];
+    const float north = r > 0 ? in[idx - n] : 1.0f;  // hot boundary
+    const float south = r + 1 < n ? in[idx + n] : 0.0f;
+    const float west = c > 0 ? in[idx - 1] : 0.0f;
+    const float east = c + 1 < n ? in[idx + 1] : 0.0f;
+    out[idx] = 0.2f * (center + north + south + west + east);
+  });
+}
+
+cuda::KernelModule g_module("spot_migration.cu");
+
+// Everything the solver needs to resume lives in this upper-heap struct;
+// the CRAC image restores it at the same address.
+struct SolverState {
+  std::uint64_t n = 0;
+  int iteration = 0;
+  int total_iterations = 0;
+  float* grid_a = nullptr;  // device pointers survive restart verbatim
+  float* grid_b = nullptr;
+};
+
+double run_iterations(CracContext& ctx, SolverState* st, int upto,
+                      const char* phase) {
+  auto& api = ctx.api();
+  const std::uint64_t cells = st->n * st->n;
+  for (; st->iteration < upto; ++st->iteration) {
+    float* src = (st->iteration % 2 == 0) ? st->grid_a : st->grid_b;
+    float* dst = (st->iteration % 2 == 0) ? st->grid_b : st->grid_a;
+    cuda::launch(api, &jacobi_kernel,
+                 cuda::dim3{static_cast<unsigned>((cells + 127) / 128), 1, 1},
+                 cuda::dim3{128, 1, 1}, 0,
+                 static_cast<const float*>(src), dst, st->n);
+    api.cudaDeviceSynchronize();
+  }
+  float* final_grid = (st->iteration % 2 == 0) ? st->grid_a : st->grid_b;
+  std::vector<float> host(cells);
+  api.cudaMemcpy(host.data(), final_grid, cells * sizeof(float),
+                 cuda::cudaMemcpyDeviceToHost);
+  double sum = 0;
+  for (float v : host) sum += v;
+  std::printf("  [%s] iteration %d/%d, grid sum %.6f\n", phase,
+              st->iteration, st->total_iterations, sum);
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string image = argc > 1 ? argv[1] : "/tmp/crac_spot.img";
+  constexpr std::uint64_t kEdge = 256;
+  constexpr int kTotalIters = 200;
+  constexpr int kReclaimAt = 73;  // the spot notice arrives mid-run
+
+  double interrupted_sum = 0;
+  {
+    std::printf("spot instance #1: starting solve...\n");
+    CracContext ctx;
+    g_module.add_kernel<const float*, float*, std::uint64_t>(&jacobi_kernel,
+                                                             "jacobi");
+    g_module.register_with(ctx.api());
+
+    auto st_mem = ctx.heap().alloc(sizeof(SolverState));
+    auto* st = new (*st_mem) SolverState();
+    st->n = kEdge;
+    st->total_iterations = kTotalIters;
+    void* a = nullptr;
+    void* b = nullptr;
+    ctx.api().cudaMalloc(&a, kEdge * kEdge * sizeof(float));
+    ctx.api().cudaMalloc(&b, kEdge * kEdge * sizeof(float));
+    ctx.api().cudaMemset(a, 0, kEdge * kEdge * sizeof(float));
+    ctx.api().cudaMemset(b, 0, kEdge * kEdge * sizeof(float));
+    st->grid_a = static_cast<float*>(a);
+    st->grid_b = static_cast<float*>(b);
+    ctx.set_root(st);
+
+    run_iterations(ctx, st, kReclaimAt, "instance-1");
+    std::printf("spot instance #1: RECLAIM NOTICE — checkpointing on demand\n");
+    auto report = ctx.checkpoint(image);
+    if (!report.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n",
+                   report.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("spot instance #1: image %llu bytes; terminating.\n",
+                static_cast<unsigned long long>(report->image_bytes));
+    // Context destroyed: the instance is gone.
+  }
+
+  {
+    std::printf("spot instance #2: restarting from image...\n");
+    auto restored = CracContext::restart_from_image(image);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restart failed: %s\n",
+                   restored.status().to_string().c_str());
+      return 1;
+    }
+    CracContext& ctx = **restored;
+    auto* st = static_cast<SolverState*>(ctx.root());
+    std::printf("spot instance #2: resuming at iteration %d\n",
+                st->iteration);
+    interrupted_sum =
+        run_iterations(ctx, st, st->total_iterations, "instance-2");
+  }
+
+  // Oracle: the same solve without interruption.
+  double uninterrupted_sum = 0;
+  {
+    CracContext ctx;
+    g_module.register_with(ctx.api());
+    auto st_mem = ctx.heap().alloc(sizeof(SolverState));
+    auto* st = new (*st_mem) SolverState();
+    st->n = kEdge;
+    st->total_iterations = kTotalIters;
+    void* a = nullptr;
+    void* b = nullptr;
+    ctx.api().cudaMalloc(&a, kEdge * kEdge * sizeof(float));
+    ctx.api().cudaMalloc(&b, kEdge * kEdge * sizeof(float));
+    ctx.api().cudaMemset(a, 0, kEdge * kEdge * sizeof(float));
+    ctx.api().cudaMemset(b, 0, kEdge * kEdge * sizeof(float));
+    st->grid_a = static_cast<float*>(a);
+    st->grid_b = static_cast<float*>(b);
+    uninterrupted_sum = run_iterations(ctx, st, kTotalIters, "oracle");
+  }
+
+  std::remove(image.c_str());
+  if (interrupted_sum != uninterrupted_sum) {
+    std::fprintf(stderr, "FAILED: migrated result %.9f != oracle %.9f\n",
+                 interrupted_sum, uninterrupted_sum);
+    return 1;
+  }
+  std::printf("OK: migrated solve matches the uninterrupted solve exactly "
+              "(%.6f).\n", interrupted_sum);
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "ckpt/compressor.hpp"
+
+#include <cstring>
+
+namespace crac::ckpt {
+
+namespace {
+
+// Token stream:
+//   control byte c
+//     c < 0x80  : literal run of (c + 1) bytes follows        (1..128)
+//     c >= 0x80 : match of length ((c & 0x7F) + kMinMatch),   (4..131)
+//                 followed by a little-endian u16 distance (1..65535)
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 0x7F + kMinMatch;
+constexpr std::size_t kMaxLiteralRun = 128;
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kHashBits = 16;
+
+inline std::uint32_t hash4(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void flush_literals(const std::vector<std::byte>& in, std::size_t lit_start,
+                    std::size_t lit_end, std::vector<std::byte>& out) {
+  while (lit_start < lit_end) {
+    const std::size_t run = std::min(kMaxLiteralRun, lit_end - lit_start);
+    out.push_back(static_cast<std::byte>(run - 1));
+    out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               in.begin() + static_cast<std::ptrdiff_t>(lit_start + run));
+    lit_start += run;
+  }
+}
+
+std::vector<std::byte> lz_compress(const std::vector<std::byte>& in) {
+  std::vector<std::byte> out;
+  out.reserve(in.size() / 2 + 16);
+  const std::size_t n = in.size();
+  if (n < kMinMatch) {
+    flush_literals(in, 0, n, out);
+    return out;
+  }
+
+  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, 0xFFFFFFFFu);
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t h = hash4(in.data() + pos);
+    const std::uint32_t cand = head[h];
+    head[h] = static_cast<std::uint32_t>(pos);
+
+    std::size_t match_len = 0;
+    if (cand != 0xFFFFFFFFu && pos - cand <= kWindow && cand < pos &&
+        std::memcmp(in.data() + cand, in.data() + pos, kMinMatch) == 0) {
+      const std::size_t limit = std::min(kMaxMatch, n - pos);
+      match_len = kMinMatch;
+      while (match_len < limit && in[cand + match_len] == in[pos + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(in, lit_start, pos, out);
+      out.push_back(
+          static_cast<std::byte>(0x80 | (match_len - kMinMatch)));
+      const auto dist = static_cast<std::uint16_t>(pos - cand);
+      out.push_back(static_cast<std::byte>(dist & 0xFF));
+      out.push_back(static_cast<std::byte>(dist >> 8));
+      // Index a few positions inside the match to keep chains useful.
+      for (std::size_t k = 1; k < match_len && pos + k + kMinMatch <= n;
+           k += 2) {
+        head[hash4(in.data() + pos + k)] = static_cast<std::uint32_t>(pos + k);
+      }
+      pos += match_len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(in, lit_start, n, out);
+  return out;
+}
+
+Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
+                                             std::size_t in_size,
+                                             std::size_t raw_size) {
+  std::vector<std::byte> out;
+  out.reserve(raw_size);
+  std::size_t pos = 0;
+  while (pos < in_size) {
+    const auto c = static_cast<std::uint8_t>(in[pos++]);
+    if (c < 0x80) {
+      const std::size_t run = static_cast<std::size_t>(c) + 1;
+      if (pos + run > in_size) return Corrupt("ckptz: literal overruns input");
+      out.insert(out.end(), in + pos, in + pos + run);
+      pos += run;
+    } else {
+      const std::size_t len = static_cast<std::size_t>(c & 0x7F) + kMinMatch;
+      if (pos + 2 > in_size) return Corrupt("ckptz: truncated match token");
+      const std::size_t dist = static_cast<std::size_t>(
+          static_cast<std::uint8_t>(in[pos]) |
+          (static_cast<std::uint8_t>(in[pos + 1]) << 8));
+      pos += 2;
+      if (dist == 0 || dist > out.size()) {
+        return Corrupt("ckptz: match distance out of range");
+      }
+      // Overlapping copies are the LZ idiom (e.g. RLE via dist=1).
+      std::size_t src = out.size() - dist;
+      for (std::size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return Corrupt("ckptz: decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> compress(const std::vector<std::byte>& input,
+                                Codec codec) {
+  switch (codec) {
+    case Codec::kStore: return input;
+    case Codec::kLz: return lz_compress(input);
+  }
+  return input;
+}
+
+Result<std::vector<std::byte>> decompress(const std::byte* input,
+                                          std::size_t input_size, Codec codec,
+                                          std::size_t raw_size) {
+  switch (codec) {
+    case Codec::kStore: {
+      if (input_size != raw_size) return Corrupt("stored size mismatch");
+      return std::vector<std::byte>(input, input + input_size);
+    }
+    case Codec::kLz: return lz_decompress(input, input_size, raw_size);
+  }
+  return Corrupt("unknown codec");
+}
+
+}  // namespace crac::ckpt

@@ -1,0 +1,126 @@
+#include "ckpt/image.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+
+namespace crac::ckpt {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<std::byte> ImageWriter::serialize() const {
+  ByteWriter w;
+  w.put_bytes(kMagic, sizeof(kMagic));
+  w.put_u32(kVersion);
+  w.put_u32(static_cast<std::uint32_t>(codec_));
+  w.put_u32(static_cast<std::uint32_t>(sections_.size()));
+
+  for (const Section& s : sections_) {
+    const std::vector<std::byte> stored = compress(s.payload, codec_);
+    // If compression did not help, store raw for this section.
+    const bool use_raw = stored.size() >= s.payload.size();
+    w.put_u32(static_cast<std::uint32_t>(s.type));
+    w.put_string(s.name);
+    w.put_u64(s.payload.size());
+    w.put_u64(use_raw ? s.payload.size() : stored.size());
+    w.put_u8(static_cast<std::uint8_t>(use_raw ? Codec::kStore : codec_));
+    w.put_u32(crc32(s.payload.data(), s.payload.size()));
+    const auto& body = use_raw ? s.payload : stored;
+    w.put_bytes(body.data(), body.size());
+  }
+  return std::move(w).take();
+}
+
+Status ImageWriter::write_file(const std::string& path) const {
+  const std::vector<std::byte> bytes = serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int closed = std::fclose(f);
+  if (written != bytes.size() || closed != 0) {
+    return IoError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+std::size_t ImageWriter::raw_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Section& s : sections_) total += s.payload.size();
+  return total;
+}
+
+Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes) {
+  ByteReader r(bytes);
+  char magic[8];
+  CRAC_RETURN_IF_ERROR(r.get_bytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad checkpoint image magic");
+  }
+  std::uint32_t version = 0, codec_raw = 0, count = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u32(version));
+  if (version != kVersion) return Corrupt("unsupported image version");
+  CRAC_RETURN_IF_ERROR(r.get_u32(codec_raw));
+  CRAC_RETURN_IF_ERROR(r.get_u32(count));
+
+  ImageReader reader;
+  reader.codec_ = static_cast<Codec>(codec_raw);
+  reader.sections_.reserve(count);
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t type_raw = 0, expected_crc = 0;
+    std::uint64_t raw_size = 0, stored_size = 0;
+    std::uint8_t section_codec = 0;
+    std::string name;
+    CRAC_RETURN_IF_ERROR(r.get_u32(type_raw));
+    CRAC_RETURN_IF_ERROR(r.get_string(name));
+    CRAC_RETURN_IF_ERROR(r.get_u64(raw_size));
+    CRAC_RETURN_IF_ERROR(r.get_u64(stored_size));
+    CRAC_RETURN_IF_ERROR(r.get_u8(section_codec));
+    CRAC_RETURN_IF_ERROR(r.get_u32(expected_crc));
+    const std::byte* body = nullptr;
+    CRAC_RETURN_IF_ERROR(r.get_view(body, stored_size));
+
+    auto raw = decompress(body, stored_size,
+                          static_cast<Codec>(section_codec), raw_size);
+    if (!raw.ok()) return raw.status();
+    const std::uint32_t actual_crc = crc32(raw->data(), raw->size());
+    if (actual_crc != expected_crc) {
+      return Corrupt("checkpoint section '" + name + "' CRC mismatch");
+    }
+    reader.sections_.push_back(Section{static_cast<SectionType>(type_raw),
+                                       std::move(name), std::move(*raw)});
+  }
+  return reader;
+}
+
+Result<ImageReader> ImageReader::from_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return IoError("cannot stat " + path);
+  }
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) return IoError("short read from " + path);
+  return from_bytes(std::move(bytes));
+}
+
+const Section* ImageReader::find(SectionType type,
+                                 const std::string& name) const {
+  for (const Section& s : sections_) {
+    if (s.type == type && (name.empty() || s.name == name)) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace crac::ckpt

@@ -1,0 +1,83 @@
+// Checkpoint image format.
+//
+// A sectioned binary container, CRC-checked per section:
+//
+//   [magic "CRACIMG1"][u32 version][u32 codec][u32 section_count]
+//   section*: [u32 type][string name][u64 raw_size][u64 stored_size]
+//             [u32 crc32(raw)][payload bytes]
+//
+// Section payload schemas are owned by their producers (the CRAC plugin for
+// CUDA state, the engine for memory regions); this layer only guarantees
+// integrity and round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ckpt/compressor.hpp"
+
+namespace crac::ckpt {
+
+enum class SectionType : std::uint32_t {
+  kMetadata = 1,       // image-level key/values (hostname, timestamps, root)
+  kMemoryRegions = 2,  // upper-half memory contents
+  kCudaApiLog = 3,     // the allocation/registration log to replay
+  kDeviceBuffers = 4,  // drained device-arena allocation contents
+  kManagedBuffers = 5, // drained managed (UVM) allocation contents
+  kUvmResidency = 6,   // per-page residency bitmap
+  kStreams = 7,        // live stream/event inventory
+};
+
+struct Section {
+  SectionType type;
+  std::string name;
+  std::vector<std::byte> payload;  // raw (decompressed) bytes
+};
+
+class ImageWriter {
+ public:
+  explicit ImageWriter(Codec codec = Codec::kStore) : codec_(codec) {}
+
+  void add_section(SectionType type, std::string name,
+                   std::vector<std::byte> payload) {
+    sections_.push_back(Section{type, std::move(name), std::move(payload)});
+  }
+
+  // Serializes all sections (compressing payloads per the codec).
+  std::vector<std::byte> serialize() const;
+
+  Status write_file(const std::string& path) const;
+
+  std::size_t section_count() const noexcept { return sections_.size(); }
+
+  // Sum of raw payload bytes currently queued (pre-compression image size —
+  // the quantity Figure 3/5(c) report when gzip is off).
+  std::size_t raw_bytes() const noexcept;
+
+ private:
+  Codec codec_;
+  std::vector<Section> sections_;
+};
+
+class ImageReader {
+ public:
+  static Result<ImageReader> from_bytes(std::vector<std::byte> bytes);
+  static Result<ImageReader> from_file(const std::string& path);
+
+  const std::vector<Section>& sections() const noexcept { return sections_; }
+
+  // First section matching `type` (and `name`, when non-empty).
+  const Section* find(SectionType type, const std::string& name = "") const;
+
+  Codec codec() const noexcept { return codec_; }
+
+ private:
+  Codec codec_ = Codec::kStore;
+  std::vector<Section> sections_;
+};
+
+}  // namespace crac::ckpt

@@ -1,0 +1,41 @@
+#include "ckpt/memory_section.hpp"
+
+#include "common/bytes.hpp"
+
+namespace crac::ckpt {
+
+std::vector<std::byte> encode_memory_records(
+    const std::vector<MemoryRecord>& records) {
+  ByteWriter w;
+  w.put_u64(records.size());
+  for (const MemoryRecord& r : records) {
+    w.put_u64(r.addr);
+    w.put_u64(r.size);
+    w.put_u32(r.prot);
+    w.put_string(r.name);
+    w.put_bytes(r.bytes.data(), r.bytes.size());
+  }
+  return std::move(w).take();
+}
+
+Result<std::vector<MemoryRecord>> decode_memory_records(
+    const std::vector<std::byte>& payload) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u64(count));
+  std::vector<MemoryRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MemoryRecord rec;
+    CRAC_RETURN_IF_ERROR(r.get_u64(rec.addr));
+    CRAC_RETURN_IF_ERROR(r.get_u64(rec.size));
+    CRAC_RETURN_IF_ERROR(r.get_u32(rec.prot));
+    CRAC_RETURN_IF_ERROR(r.get_string(rec.name));
+    rec.bytes.resize(rec.size);
+    CRAC_RETURN_IF_ERROR(r.get_bytes(rec.bytes.data(), rec.size));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace crac::ckpt

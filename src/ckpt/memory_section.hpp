@@ -1,0 +1,27 @@
+// Serialization of upper-half memory regions into / out of image sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac::ckpt {
+
+struct MemoryRecord {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  std::uint32_t prot = 0;
+  std::string name;
+  std::vector<std::byte> bytes;  // exactly `size` bytes
+};
+
+// Encodes records (headers + contents) into one section payload.
+std::vector<std::byte> encode_memory_records(
+    const std::vector<MemoryRecord>& records);
+
+Result<std::vector<MemoryRecord>> decode_memory_records(
+    const std::vector<std::byte>& payload);
+
+}  // namespace crac::ckpt

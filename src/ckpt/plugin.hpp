@@ -1,0 +1,68 @@
+// DMTCP-style plugin hook lifecycle.
+//
+// DMTCP drives registered plugins through precheckpoint / resume / restart
+// events; CRAC is implemented as exactly such a plugin (paper §4.2). The
+// engine here reproduces that contract: plugins contribute sections at
+// checkpoint time and consume them at restart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ckpt/image.hpp"
+
+namespace crac::ckpt {
+
+class CkptPlugin {
+ public:
+  virtual ~CkptPlugin() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called with the application quiesced, before the memory snapshot is
+  // taken. Plugins drain external state (for CRAC: GPU buffers) into image
+  // sections here.
+  virtual Status precheckpoint(ImageWriter& image) = 0;
+
+  // Called after a checkpoint when execution continues in the original
+  // process.
+  virtual Status resume() = 0;
+
+  // Called in the restarted process after upper-half memory has been
+  // restored; plugins rebuild external state from their sections.
+  virtual Status restart(const ImageReader& image) = 0;
+};
+
+class PluginRegistry {
+ public:
+  void register_plugin(CkptPlugin* plugin) { plugins_.push_back(plugin); }
+
+  // precheckpoint runs in registration order; restart/resume in reverse,
+  // mirroring DMTCP's nesting discipline.
+  Status run_precheckpoint(ImageWriter& image) {
+    for (CkptPlugin* p : plugins_) {
+      CRAC_RETURN_IF_ERROR(p->precheckpoint(image));
+    }
+    return OkStatus();
+  }
+  Status run_resume() {
+    for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) {
+      CRAC_RETURN_IF_ERROR((*it)->resume());
+    }
+    return OkStatus();
+  }
+  Status run_restart(const ImageReader& image) {
+    for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) {
+      CRAC_RETURN_IF_ERROR((*it)->restart(image));
+    }
+    return OkStatus();
+  }
+
+  std::size_t size() const noexcept { return plugins_.size(); }
+
+ private:
+  std::vector<CkptPlugin*> plugins_;
+};
+
+}  // namespace crac::ckpt

@@ -1,0 +1,158 @@
+// Binary serialization primitives shared by the checkpoint image format and
+// the proxy wire protocol. Little-endian, explicitly sized writes; readers
+// are bounds-checked and return Status on truncation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void put_u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
+
+  void put_u16(std::uint16_t v) { put_raw_le(v); }
+  void put_u32(std::uint32_t v) { put_raw_le(v); }
+  void put_u64(std::uint64_t v) { put_raw_le(v); }
+  void put_i64(std::int64_t v) { put_raw_le(static_cast<std::uint64_t>(v)); }
+
+  void put_f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u32(bits);
+  }
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_bytes(s.data(), s.size());
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::byte* data() const noexcept { return buf_.data(); }
+  std::vector<std::byte> take() && { return std::move(buf_); }
+  const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+
+  // Reserve a u32 slot to be patched later (e.g. section sizes).
+  std::size_t reserve_u32() {
+    const std::size_t at = buf_.size();
+    put_u32(0);
+    return at;
+  }
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    std::memcpy(buf_.data() + at, &v, sizeof(v));
+  }
+
+ private:
+  template <typename T>
+  void put_raw_le(T v) {
+    // All supported targets are little-endian; a static assertion documents
+    // the assumption rather than paying for byte swizzling on hot paths.
+    static_assert(sizeof(T) <= 8);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(buf_.data() + at, &v, sizeof(T));
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size) noexcept
+      : p_(static_cast<const std::byte*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<std::byte>& v) noexcept
+      : ByteReader(v.data(), v.size()) {}
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+
+  Status get_u8(std::uint8_t& out) { return get_raw(out); }
+  Status get_u16(std::uint16_t& out) { return get_raw(out); }
+  Status get_u32(std::uint32_t& out) { return get_raw(out); }
+  Status get_u64(std::uint64_t& out) { return get_raw(out); }
+  Status get_i64(std::int64_t& out) { return get_raw(out); }
+  Status get_f64(double& out) { return get_raw(out); }
+  Status get_f32(float& out) { return get_raw(out); }
+
+  Status get_bytes(void* out, std::size_t size) {
+    if (remaining() < size) return Corrupt("truncated byte stream");
+    std::memcpy(out, p_ + pos_, size);
+    pos_ += size;
+    return OkStatus();
+  }
+
+  Status get_string(std::string& out) {
+    std::uint32_t len = 0;
+    CRAC_RETURN_IF_ERROR(get_u32(len));
+    if (remaining() < len) return Corrupt("truncated string");
+    out.assign(reinterpret_cast<const char*>(p_ + pos_), len);
+    pos_ += len;
+    return OkStatus();
+  }
+
+  // Zero-copy view over the next `size` bytes.
+  Status get_view(const std::byte*& out, std::size_t size) {
+    if (remaining() < size) return Corrupt("truncated view");
+    out = p_ + pos_;
+    pos_ += size;
+    return OkStatus();
+  }
+
+  Status skip(std::size_t size) {
+    if (remaining() < size) return Corrupt("skip past end");
+    pos_ += size;
+    return OkStatus();
+  }
+
+ private:
+  template <typename T>
+  Status get_raw(T& out) {
+    if (remaining() < sizeof(T)) return Corrupt("truncated field");
+    std::memcpy(&out, p_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return OkStatus();
+  }
+
+  const std::byte* p_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Human-readable size, e.g. "39MB" / "2.3GB", matching the paper's figures.
+inline std::string format_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB",
+                  static_cast<double>(bytes) / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.0fMB",
+                  static_cast<double>(bytes) / (1ULL << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.0fKB",
+                  static_cast<double>(bytes) / (1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace crac

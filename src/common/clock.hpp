@@ -1,0 +1,51 @@
+// Timing utilities.
+//
+// WallTimer measures real elapsed time (benchmarks, runtime-overhead
+// experiments). Durations are reported in double seconds/milliseconds to
+// match the paper's tables.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace crac {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+  double elapsed_us() const noexcept { return elapsed_s() * 1e6; }
+
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Scoped accumulator: adds elapsed seconds into *sink on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) noexcept : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.elapsed_s(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace crac

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used for checkpoint-image and
+// wire-protocol integrity checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crac {
+
+// Incremental CRC: pass the previous value to continue a running checksum.
+// The initial value for a fresh stream is 0.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace crac

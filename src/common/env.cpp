@@ -1,0 +1,33 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace crac {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name, bool fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
+}
+
+}  // namespace crac

@@ -1,0 +1,19 @@
+// Small helpers for reading configuration from the environment, used by
+// benches to scale problem sizes (CRAC_BENCH_SCALE) without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crac {
+
+// Returns the integer value of `name`, or `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+// Returns the floating value of `name`, or `fallback` when unset/invalid.
+double env_double(const char* name, double fallback) noexcept;
+
+// Returns true when `name` is set to a truthy value (1/true/yes/on).
+bool env_flag(const char* name, bool fallback = false) noexcept;
+
+}  // namespace crac

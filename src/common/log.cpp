@@ -1,0 +1,86 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace crac {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+
+void init_from_env() {
+  const char* env = std::getenv("CRAC_LOG_LEVEL");
+  if (env == nullptr) return;
+  struct Entry {
+    const char* name;
+    LogLevel level;
+  };
+  static constexpr Entry kEntries[] = {
+      {"trace", LogLevel::kTrace}, {"debug", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},   {"warn", LogLevel::kWarn},
+      {"error", LogLevel::kError}, {"off", LogLevel::kOff},
+  };
+  for (const auto& e : kEntries) {
+    if (std::strcmp(env, e.name) == 0) {
+      g_level.store(static_cast<int>(e.level), std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "T";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), basename_of(file),
+               line, msg.c_str());
+}
+
+}  // namespace detail
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::fprintf(stderr, "[CHECK FAILED %s:%d] %s %s\n", basename_of(file), line,
+               expr, msg.c_str());
+  std::abort();
+}
+
+}  // namespace crac

@@ -1,0 +1,85 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Default level is WARN so benchmarks stay quiet; tests and examples raise it
+// explicitly or via CRAC_LOG_LEVEL={trace,debug,info,warn,error,off}.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace crac {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { log_line(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the streamed expression when the level is disabled.
+  void operator&(const LogMessage&) const noexcept {}
+};
+
+}  // namespace detail
+
+#define CRAC_LOG_ENABLED(level) ((level) >= ::crac::log_level())
+
+#define CRAC_LOG(level)                        \
+  !CRAC_LOG_ENABLED(level)                     \
+      ? (void)0                                \
+      : ::crac::detail::LogSink() &            \
+            ::crac::detail::LogMessage(level, __FILE__, __LINE__)
+
+#define CRAC_TRACE() CRAC_LOG(::crac::LogLevel::kTrace)
+#define CRAC_DEBUG() CRAC_LOG(::crac::LogLevel::kDebug)
+#define CRAC_INFO() CRAC_LOG(::crac::LogLevel::kInfo)
+#define CRAC_WARN() CRAC_LOG(::crac::LogLevel::kWarn)
+#define CRAC_ERROR() CRAC_LOG(::crac::LogLevel::kError)
+
+// Fatal invariant check: always evaluated, aborts with message on failure.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+#define CRAC_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::crac::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define CRAC_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream _crac_oss;                                       \
+      _crac_oss << msg;                                                   \
+      ::crac::check_failed(#expr, __FILE__, __LINE__, _crac_oss.str());   \
+    }                                                                     \
+  } while (0)
+
+}  // namespace crac

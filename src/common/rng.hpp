@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All workloads and benchmark parameter sweeps draw from this generator with
+// fixed seeds so that native / CRAC / proxy runs of the same experiment
+// compute bit-identical inputs. std::mt19937 is avoided because its state is
+// large and its distributions are not guaranteed reproducible across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace crac {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the four xoshiro words.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free-enough mapping; bias is
+    // negligible for the bounds used in workloads (<2^32).
+    const auto hi = static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(hi >> 64);
+  }
+
+  // Uniform float in [0, 1).
+  float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform float in [lo, hi).
+  float next_float(float lo, float hi) noexcept {
+    return lo + (hi - lo) * next_float();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace crac

@@ -1,0 +1,145 @@
+// Lightweight status/error propagation used across all CRAC modules.
+//
+// The simcuda layer exposes CUDA-style numeric error codes at its boundary
+// (see simcuda/error.hpp); everything underneath uses Status/Result so that
+// failure paths carry human-readable context without exceptions on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace crac {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kCorrupt,       // checkpoint image / wire format damage
+  kIoError,       // file or socket I/O failure
+  kDeterminismViolation,  // replay produced a different address than logged
+};
+
+std::string_view to_string(StatusCode code) noexcept;
+
+// A status is either OK (empty message) or an error code plus message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(crac::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() noexcept { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfMemory(std::string msg) {
+  return Status(StatusCode::kOutOfMemory, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Corrupt(std::string msg) {
+  return Status(StatusCode::kCorrupt, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status DeterminismViolation(std::string msg) {
+  return Status(StatusCode::kDeterminismViolation, std::move(msg));
+}
+
+// Result<T>: value or Status. Small, allocation-free beyond the payload.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const Status& status() const& { return std::get<Status>(rep_); }
+
+  // Convenience accessors mirroring std::optional.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+#define CRAC_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::crac::Status _crac_status = (expr);            \
+    if (!_crac_status.ok()) return _crac_status;     \
+  } while (0)
+
+#define CRAC_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto CRAC_CONCAT_(_crac_result_, __LINE__) = (expr);             \
+  if (!CRAC_CONCAT_(_crac_result_, __LINE__).ok())                 \
+    return CRAC_CONCAT_(_crac_result_, __LINE__).status();         \
+  lhs = std::move(CRAC_CONCAT_(_crac_result_, __LINE__)).value()
+
+#define CRAC_CONCAT_INNER_(a, b) a##b
+#define CRAC_CONCAT_(a, b) CRAC_CONCAT_INNER_(a, b)
+
+inline std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kCorrupt: return "CORRUPT";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kDeterminismViolation: return "DETERMINISM_VIOLATION";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace crac

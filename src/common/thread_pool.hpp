@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by simgpu to model streaming multiprocessors.
+//
+// Two entry points:
+//   * submit(fn)            — fire-and-forget task (stream engine ops)
+//   * parallel_for(n, body) — block-partitioned loop across workers, used by
+//                             kernel execution to spread thread blocks over
+//                             the simulated SMs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crac {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  void submit(std::function<void()> task);
+
+  // Runs body(i) for i in [0, n), partitioned into size() contiguous chunks.
+  // Blocks until all iterations complete. Reentrant from worker threads is
+  // NOT supported (callers are the stream engine and tests).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  // Block until the queue is empty and all workers are idle.
+  void drain();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace crac

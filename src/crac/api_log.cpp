@@ -1,0 +1,68 @@
+#include "crac/api_log.hpp"
+
+#include "common/bytes.hpp"
+
+namespace crac {
+
+const char* to_string(LogOp op) noexcept {
+  switch (op) {
+    case LogOp::kMallocDevice: return "cudaMalloc";
+    case LogOp::kMallocHost: return "cudaMallocHost";
+    case LogOp::kHostAlloc: return "cudaHostAlloc";
+    case LogOp::kMallocManaged: return "cudaMallocManaged";
+    case LogOp::kFree: return "cudaFree";
+    case LogOp::kFreeHost: return "cudaFreeHost";
+    case LogOp::kStreamCreate: return "cudaStreamCreate";
+    case LogOp::kStreamDestroy: return "cudaStreamDestroy";
+    case LogOp::kEventCreate: return "cudaEventCreate";
+    case LogOp::kEventDestroy: return "cudaEventDestroy";
+    case LogOp::kRegisterFatBinary: return "__cudaRegisterFatBinary";
+    case LogOp::kRegisterFunction: return "__cudaRegisterFunction";
+    case LogOp::kUnregisterFatBinary: return "__cudaUnregisterFatBinary";
+  }
+  return "<unknown>";
+}
+
+std::size_t CudaApiLog::count(LogOp op) const {
+  std::size_t n = 0;
+  for (const LogRecord& r : records_) {
+    if (r.op == op) ++n;
+  }
+  return n;
+}
+
+std::vector<std::byte> CudaApiLog::serialize() const {
+  ByteWriter w;
+  w.put_u64(records_.size());
+  for (const LogRecord& r : records_) {
+    w.put_u8(static_cast<std::uint8_t>(r.op));
+    w.put_u64(r.size);
+    w.put_u32(r.flags);
+    w.put_u64(r.addr);
+    w.put_u64(r.aux);
+    w.put_string(r.name);
+  }
+  return std::move(w).take();
+}
+
+Result<CudaApiLog> CudaApiLog::deserialize(const std::vector<std::byte>& bytes) {
+  ByteReader reader(bytes);
+  std::uint64_t count = 0;
+  CRAC_RETURN_IF_ERROR(reader.get_u64(count));
+  CudaApiLog log;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LogRecord r;
+    std::uint8_t op = 0;
+    CRAC_RETURN_IF_ERROR(reader.get_u8(op));
+    r.op = static_cast<LogOp>(op);
+    CRAC_RETURN_IF_ERROR(reader.get_u64(r.size));
+    CRAC_RETURN_IF_ERROR(reader.get_u32(r.flags));
+    CRAC_RETURN_IF_ERROR(reader.get_u64(r.addr));
+    CRAC_RETURN_IF_ERROR(reader.get_u64(r.aux));
+    CRAC_RETURN_IF_ERROR(reader.get_string(r.name));
+    log.append(std::move(r));
+  }
+  return log;
+}
+
+}  // namespace crac

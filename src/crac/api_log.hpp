@@ -1,0 +1,67 @@
+// The CUDA call log that powers log-and-replay (paper §3.1, §3.2.3-§3.2.4).
+//
+// CRAC records every call in the cudaMalloc family (and every resource
+// creation: streams, events, fat binaries). At checkpoint time only the
+// *contents* of active allocations are saved, but the *entire* call sequence
+// — including frees — is replayed at restart, because the lower-half
+// allocator is deterministic only with respect to the full history: skipping
+// a freed allocation would shift every later address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac {
+
+enum class LogOp : std::uint8_t {
+  kMallocDevice = 1,
+  kMallocHost = 2,
+  kHostAlloc = 3,
+  kMallocManaged = 4,
+  kFree = 5,      // cudaFree (device or managed pointer)
+  kFreeHost = 6,  // cudaFreeHost
+  kStreamCreate = 7,
+  kStreamDestroy = 8,
+  kEventCreate = 9,
+  kEventDestroy = 10,
+  kRegisterFatBinary = 11,
+  kRegisterFunction = 12,
+  kUnregisterFatBinary = 13,
+};
+
+const char* to_string(LogOp op) noexcept;
+
+struct LogRecord {
+  LogOp op;
+  std::uint64_t size = 0;   // allocation size
+  std::uint32_t flags = 0;  // cudaHostAlloc / cudaMallocManaged flags
+  std::uint64_t addr = 0;   // returned/freed pointer, stream/event id,
+                            // or fat-binary sequence id
+  std::uint64_t aux = 0;    // RegisterFunction: host-fn key;
+                            // RegisterFunction: fatbin seq id lives in addr
+  std::string name;         // kernel/module name (diagnostics + replay check)
+};
+
+class CudaApiLog {
+ public:
+  void append(LogRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<LogRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  // Count of records with the given op.
+  std::size_t count(LogOp op) const;
+
+  std::vector<std::byte> serialize() const;
+  static Result<CudaApiLog> deserialize(const std::vector<std::byte>& bytes);
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace crac

@@ -1,0 +1,203 @@
+#include "crac/context.hpp"
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "ckpt/memory_section.hpp"
+
+namespace crac {
+
+namespace {
+constexpr const char* kSectionUpperMemory = "upper-memory";
+constexpr const char* kSectionHeapState = "heap-allocator";
+constexpr const char* kSectionRoot = "root";
+
+std::vector<std::byte> encode_heap_snapshot(
+    const sim::ArenaAllocator::Snapshot& snap) {
+  ByteWriter w;
+  w.put_u64(snap.committed_bytes);
+  w.put_u64(snap.free_list.size());
+  for (const auto& [off, size] : snap.free_list) {
+    w.put_u64(off);
+    w.put_u64(size);
+  }
+  w.put_u64(snap.active.size());
+  for (const auto& [off, size] : snap.active) {
+    w.put_u64(off);
+    w.put_u64(size);
+  }
+  return std::move(w).take();
+}
+
+Result<sim::ArenaAllocator::Snapshot> decode_heap_snapshot(
+    const std::vector<std::byte>& payload) {
+  ByteReader r(payload);
+  sim::ArenaAllocator::Snapshot snap;
+  std::uint64_t free_count = 0, active_count = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u64(snap.committed_bytes));
+  CRAC_RETURN_IF_ERROR(r.get_u64(free_count));
+  for (std::uint64_t i = 0; i < free_count; ++i) {
+    std::uint64_t off = 0, size = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(off));
+    CRAC_RETURN_IF_ERROR(r.get_u64(size));
+    snap.free_list.emplace_back(off, size);
+  }
+  CRAC_RETURN_IF_ERROR(r.get_u64(active_count));
+  for (std::uint64_t i = 0; i < active_count; ++i) {
+    std::uint64_t off = 0, size = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(off));
+    CRAC_RETURN_IF_ERROR(r.get_u64(size));
+    snap.active.emplace_back(off, size);
+  }
+  return snap;
+}
+
+}  // namespace
+
+CracContext::CracContext(const CracOptions& options) : options_(options) {
+  process_ = std::make_unique<SplitProcess>(options_.split);
+  plugin_ = std::make_unique<CracPlugin>(process_.get());
+  plugin_->set_verify_determinism(options_.verify_determinism);
+  registry_.register_plugin(plugin_.get());
+}
+
+CracContext::~CracContext() = default;
+
+Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
+  CheckpointReport report;
+  WallTimer total;
+  ckpt::ImageWriter writer(options_.codec);
+
+  // 1. Plugin drain: synchronize the device, save active allocations,
+  //    residency, the log, fat binaries, stream inventory.
+  {
+    WallTimer t;
+    CRAC_RETURN_IF_ERROR(registry_.run_precheckpoint(writer));
+    report.drain_s = t.elapsed_s();
+  }
+
+  // 2. Upper-half memory snapshot (what DMTCP does for the host process).
+  {
+    WallTimer t;
+    auto records = process_->snapshot_upper_memory();
+    report.upper_regions = records.size();
+    writer.add_section(ckpt::SectionType::kMemoryRegions, kSectionUpperMemory,
+                       ckpt::encode_memory_records(records));
+    writer.add_section(ckpt::SectionType::kMetadata, kSectionHeapState,
+                       encode_heap_snapshot(process_->heap().snapshot()));
+    ByteWriter root_writer;
+    root_writer.put_u64(reinterpret_cast<std::uint64_t>(root_));
+    writer.add_section(ckpt::SectionType::kMetadata, kSectionRoot,
+                       std::move(root_writer).take());
+    report.memory_s = t.elapsed_s();
+  }
+
+  // 3. Serialize and write.
+  {
+    WallTimer t;
+    report.raw_bytes = writer.raw_bytes();
+    CRAC_RETURN_IF_ERROR(writer.write_file(path));
+    report.write_s = t.elapsed_s();
+  }
+
+  // 4. Resume hooks (no-ops today, kept for lifecycle fidelity).
+  CRAC_RETURN_IF_ERROR(registry_.run_resume());
+
+  report.total_s = total.elapsed_s();
+  report.active_allocations = plugin_->active_allocation_count();
+  {
+    // Report the on-disk size.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      std::fseek(f, 0, SEEK_END);
+      report.image_bytes = static_cast<std::uint64_t>(std::ftell(f));
+      std::fclose(f);
+    }
+  }
+  CRAC_INFO() << "checkpoint written to " << path << " ("
+              << format_size(report.image_bytes) << ", "
+              << report.upper_regions << " upper regions, "
+              << report.active_allocations << " active CUDA allocations) in "
+              << report.total_s << "s";
+  return report;
+}
+
+Status CracContext::restore_from_reader(const ckpt::ImageReader& reader,
+                                        RestartReport* report) {
+  // 1. Upper-half memory: heap allocator state first (commits the heap
+  //    span), then region contents byte-for-byte.
+  WallTimer t;
+  const ckpt::Section* heap_sec =
+      reader.find(ckpt::SectionType::kMetadata, kSectionHeapState);
+  if (heap_sec == nullptr) return Corrupt("image missing heap state");
+  CRAC_ASSIGN_OR_RETURN(auto heap_snap, decode_heap_snapshot(heap_sec->payload));
+  CRAC_RETURN_IF_ERROR(process_->heap().restore(heap_snap));
+
+  const ckpt::Section* mem_sec =
+      reader.find(ckpt::SectionType::kMemoryRegions, kSectionUpperMemory);
+  if (mem_sec == nullptr) return Corrupt("image missing upper memory");
+  CRAC_ASSIGN_OR_RETURN(auto records,
+                        ckpt::decode_memory_records(mem_sec->payload));
+  CRAC_RETURN_IF_ERROR(process_->restore_upper_memory(records));
+
+  const ckpt::Section* root_sec =
+      reader.find(ckpt::SectionType::kMetadata, kSectionRoot);
+  if (root_sec != nullptr) {
+    ByteReader r(root_sec->payload);
+    std::uint64_t root = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(root));
+    root_ = reinterpret_cast<void*>(root);
+  }
+  if (report != nullptr) report->memory_s = t.elapsed_s();
+
+  // 2. Plugin restart: full-log replay, refill, residency, re-registration.
+  t.reset();
+  CRAC_RETURN_IF_ERROR(registry_.run_restart(reader));
+  if (report != nullptr) {
+    report->replay_s = t.elapsed_s();
+    report->replay = plugin_->last_replay_stats();
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<CracContext>> CracContext::restart_from_image(
+    const std::string& path, const CracOptions& options,
+    RestartReport* report) {
+  WallTimer total;
+  WallTimer t;
+  auto reader = ckpt::ImageReader::from_file(path);
+  if (!reader.ok()) return reader.status();
+  RestartReport local;
+  local.read_s = t.elapsed_s();
+
+  auto ctx = std::make_unique<CracContext>(options);
+  CRAC_RETURN_IF_ERROR(ctx->restore_from_reader(*reader, &local));
+  local.total_s = total.elapsed_s();
+  if (report != nullptr) *report = local;
+  CRAC_INFO() << "restarted from " << path << " in " << local.total_s
+              << "s (replayed " << local.replay.calls_replayed
+              << " CUDA calls)";
+  return ctx;
+}
+
+Result<RestartReport> CracContext::restart_in_place(const std::string& path) {
+  RestartReport report;
+  WallTimer total;
+
+  WallTimer t;
+  auto reader = ckpt::ImageReader::from_file(path);
+  if (!reader.ok()) return reader.status();
+  report.read_s = t.elapsed_s();
+
+  // The paper's restart sequence: the old lower half (and with it the whole
+  // stateful CUDA library) is discarded; a new one is loaded at the same
+  // fixed addresses; the dispatch table is re-initialized in place.
+  process_->discard_lower_half();
+  CRAC_RETURN_IF_ERROR(process_->load_fresh_lower_half());
+
+  CRAC_RETURN_IF_ERROR(restore_from_reader(*reader, &report));
+  report.total_s = total.elapsed_s();
+  return report;
+}
+
+}  // namespace crac

@@ -1,0 +1,106 @@
+// CracContext — the library's public entry point.
+//
+// A CracContext is the checkpointable CUDA "process": it assembles the split
+// process (upper/lower halves), installs the CRAC plugin as the interposer
+// the application calls through, and exposes the checkpoint/restart verbs.
+//
+//   CracContext ctx;
+//   auto& api = ctx.api();              // program against simcuda API
+//   ...
+//   ctx.checkpoint("app.crac");         // at any point, any CUDA state
+//   ...
+//   // later / elsewhere:
+//   auto ctx2 = CracContext::restart_from_image("app.crac");
+//   // device state, streams, UVM residency, kernels — all rebuilt; upper
+//   // heap bytes restored at their original addresses.
+//
+// restart_in_place() additionally demonstrates the paper's restart sequence
+// inside one OS process (discard lower half -> fresh lower half -> replay),
+// which is what a spot-instance migration on an identical node amounts to.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ckpt/image.hpp"
+#include "ckpt/plugin.hpp"
+#include "crac/crac_plugin.hpp"
+#include "crac/split_process.hpp"
+
+namespace crac {
+
+struct CracOptions {
+  SplitProcessOptions split;
+  ckpt::Codec codec = ckpt::Codec::kStore;  // paper runs with gzip disabled
+  bool verify_determinism = true;
+};
+
+struct CheckpointReport {
+  double drain_s = 0;      // plugin precheckpoint (device drain + sections)
+  double memory_s = 0;     // upper-half memory snapshot
+  double write_s = 0;      // serialization + file write
+  double total_s = 0;
+  std::uint64_t image_bytes = 0;      // bytes written to disk
+  std::uint64_t raw_bytes = 0;        // pre-compression payload bytes
+  std::size_t upper_regions = 0;
+  std::size_t active_allocations = 0;
+};
+
+struct RestartReport {
+  double read_s = 0;    // file read + integrity checks
+  double memory_s = 0;  // upper-half memory restore
+  double replay_s = 0;  // full-log replay against the fresh lower half
+  double refill_s = 0;  // (included in replay_s; kept for future splits)
+  double total_s = 0;
+  ReplayStats replay;
+};
+
+class CracContext {
+ public:
+  explicit CracContext(const CracOptions& options = {});
+  ~CracContext();
+
+  CracContext(const CracContext&) = delete;
+  CracContext& operator=(const CracContext&) = delete;
+
+  // The interposed API the application must use.
+  cuda::CudaApi& api() noexcept { return *plugin_; }
+
+  UpperHeap& heap() noexcept { return process_->heap(); }
+  SplitProcess& process() noexcept { return *process_; }
+  CracPlugin& plugin() noexcept { return *plugin_; }
+
+  // Application root object (an upper-heap pointer): the one address the
+  // application needs back after restart to find all its state.
+  void set_root(void* p) noexcept { root_ = p; }
+  void* root() const noexcept { return root_; }
+
+  // CUDA calls-per-second denominator: upper->lower transitions.
+  std::uint64_t cuda_calls() const noexcept {
+    return process_->trampoline().transitions();
+  }
+
+  Result<CheckpointReport> checkpoint(const std::string& path);
+
+  // Restart path A (paper's normal mode, here within a fresh context that
+  // models the restarted process): construct everything anew from an image.
+  static Result<std::unique_ptr<CracContext>> restart_from_image(
+      const std::string& path, const CracOptions& options = {},
+      RestartReport* report = nullptr);
+
+  // Restart path B: same process, discard + reload the lower half, restore
+  // upper memory from the image, replay.
+  Result<RestartReport> restart_in_place(const std::string& path);
+
+ private:
+  Status restore_from_reader(const ckpt::ImageReader& reader,
+                             RestartReport* report);
+
+  CracOptions options_;
+  std::unique_ptr<SplitProcess> process_;
+  std::unique_ptr<CracPlugin> plugin_;
+  ckpt::PluginRegistry registry_;
+  void* root_ = nullptr;
+};
+
+}  // namespace crac

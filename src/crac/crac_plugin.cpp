@@ -1,0 +1,733 @@
+#include "crac/crac_plugin.hpp"
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/log.hpp"
+
+namespace crac {
+
+namespace {
+
+constexpr const char* kSectionLog = "cuda-log";
+constexpr const char* kSectionAllocs = "allocations";
+constexpr const char* kSectionUvm = "uvm-residency";
+constexpr const char* kSectionStreams = "streams";
+constexpr const char* kSectionFatbins = "fatbins";
+
+cuda::cudaMemcpyKind refill_kind(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kDevice: return cuda::cudaMemcpyHostToDevice;
+    case AllocKind::kManaged: return cuda::cudaMemcpyDefault;
+    case AllocKind::kPinnedHost: return cuda::cudaMemcpyHostToHost;
+  }
+  return cuda::cudaMemcpyDefault;
+}
+
+cuda::cudaMemcpyKind drain_kind(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kDevice: return cuda::cudaMemcpyDeviceToHost;
+    case AllocKind::kManaged: return cuda::cudaMemcpyDefault;
+    case AllocKind::kPinnedHost: return cuda::cudaMemcpyHostToHost;
+  }
+  return cuda::cudaMemcpyDefault;
+}
+
+}  // namespace
+
+CracPlugin::CracPlugin(SplitProcess* process)
+    : cuda::ForwardingApi(&process->api()), process_(process) {}
+
+void CracPlugin::log_alloc(LogOp op, void* p, std::size_t n, unsigned flags,
+                           AllocKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord rec;
+  rec.op = op;
+  rec.size = n;
+  rec.flags = flags;
+  rec.addr = reinterpret_cast<std::uint64_t>(p);
+  log_.append(std::move(rec));
+  active_.emplace(reinterpret_cast<std::uint64_t>(p),
+                  ActiveAlloc{n, kind, flags});
+}
+
+cuda::cudaError_t CracPlugin::cudaMalloc(void** p, std::size_t n) {
+  const cuda::cudaError_t err = inner()->cudaMalloc(p, n);
+  if (err == cuda::cudaSuccess) {
+    log_alloc(LogOp::kMallocDevice, *p, n, 0, AllocKind::kDevice);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaFree(void* p) {
+  const cuda::cudaError_t err = inner()->cudaFree(p);
+  if (err == cuda::cudaSuccess && p != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogRecord rec;
+    rec.op = LogOp::kFree;
+    rec.addr = reinterpret_cast<std::uint64_t>(p);
+    log_.append(std::move(rec));
+    active_.erase(reinterpret_cast<std::uint64_t>(p));
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaMallocHost(void** p, std::size_t n) {
+  const cuda::cudaError_t err = inner()->cudaMallocHost(p, n);
+  if (err == cuda::cudaSuccess) {
+    log_alloc(LogOp::kMallocHost, *p, n, 0, AllocKind::kPinnedHost);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaHostAlloc(void** p, std::size_t n,
+                                            unsigned flags) {
+  const cuda::cudaError_t err = inner()->cudaHostAlloc(p, n, flags);
+  if (err == cuda::cudaSuccess) {
+    log_alloc(LogOp::kHostAlloc, *p, n, flags, AllocKind::kPinnedHost);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaFreeHost(void* p) {
+  const cuda::cudaError_t err = inner()->cudaFreeHost(p);
+  if (err == cuda::cudaSuccess && p != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogRecord rec;
+    rec.op = LogOp::kFreeHost;
+    rec.addr = reinterpret_cast<std::uint64_t>(p);
+    log_.append(std::move(rec));
+    active_.erase(reinterpret_cast<std::uint64_t>(p));
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaMallocManaged(void** p, std::size_t n,
+                                                unsigned flags) {
+  const cuda::cudaError_t err = inner()->cudaMallocManaged(p, n, flags);
+  if (err == cuda::cudaSuccess) {
+    log_alloc(LogOp::kMallocManaged, *p, n, flags, AllocKind::kManaged);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaStreamCreate(cuda::cudaStream_t* stream) {
+  const cuda::cudaError_t err = inner()->cudaStreamCreate(stream);
+  if (err == cuda::cudaSuccess) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogRecord rec;
+    rec.op = LogOp::kStreamCreate;
+    rec.addr = *stream;
+    log_.append(std::move(rec));
+    live_streams_.push_back(*stream);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaStreamDestroy(cuda::cudaStream_t stream) {
+  const cuda::cudaError_t err = inner()->cudaStreamDestroy(stream);
+  if (err == cuda::cudaSuccess) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogRecord rec;
+    rec.op = LogOp::kStreamDestroy;
+    rec.addr = stream;
+    log_.append(std::move(rec));
+    std::erase(live_streams_, stream);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaEventCreate(cuda::cudaEvent_t* event) {
+  const cuda::cudaError_t err = inner()->cudaEventCreate(event);
+  if (err == cuda::cudaSuccess) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogRecord rec;
+    rec.op = LogOp::kEventCreate;
+    rec.addr = *event;
+    log_.append(std::move(rec));
+    live_events_.push_back(*event);
+  }
+  return err;
+}
+
+cuda::cudaError_t CracPlugin::cudaEventDestroy(cuda::cudaEvent_t event) {
+  const cuda::cudaError_t err = inner()->cudaEventDestroy(event);
+  if (err == cuda::cudaSuccess) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogRecord rec;
+    rec.op = LogOp::kEventDestroy;
+    rec.addr = event;
+    log_.append(std::move(rec));
+    std::erase(live_events_, event);
+  }
+  return err;
+}
+
+cuda::FatBinaryHandle CracPlugin::cudaRegisterFatBinary(
+    const cuda::FatBinaryDesc* desc) {
+  cuda::FatBinaryHandle handle = inner()->cudaRegisterFatBinary(desc);
+  std::lock_guard<std::mutex> lock(mu_);
+  FatbinEntry entry;
+  entry.desc = desc != nullptr ? *desc : cuda::FatBinaryDesc{};
+  entry.handle = handle;
+  const std::string module =
+      entry.desc.module_name != nullptr ? entry.desc.module_name : "";
+  const std::size_t seq = fatbins_.size();
+  fatbins_.push_back(std::move(entry));
+  handle_to_seq_[handle] = seq;
+  LogRecord rec;
+  rec.op = LogOp::kRegisterFatBinary;
+  rec.addr = seq;
+  rec.name = module;
+  log_.append(std::move(rec));
+  return handle;
+}
+
+void CracPlugin::cudaRegisterFunction(cuda::FatBinaryHandle handle,
+                                      const cuda::KernelRegistration& reg) {
+  inner()->cudaRegisterFunction(handle, reg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handle_to_seq_.find(handle);
+  if (it == handle_to_seq_.end()) {
+    CRAC_WARN() << "register_function with handle unknown to plugin";
+    return;
+  }
+  fatbins_[it->second].functions.push_back(reg);
+  LogRecord rec;
+  rec.op = LogOp::kRegisterFunction;
+  rec.addr = it->second;
+  rec.aux = reinterpret_cast<std::uint64_t>(reg.host_fn);
+  rec.name = reg.name != nullptr ? reg.name : "";
+  log_.append(std::move(rec));
+}
+
+void CracPlugin::cudaUnregisterFatBinary(cuda::FatBinaryHandle handle) {
+  inner()->cudaUnregisterFatBinary(handle);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handle_to_seq_.find(handle);
+  if (it == handle_to_seq_.end()) return;
+  fatbins_[it->second].unregistered = true;
+  LogRecord rec;
+  rec.op = LogOp::kUnregisterFatBinary;
+  rec.addr = it->second;
+  log_.append(std::move(rec));
+  handle_to_seq_.erase(it);
+}
+
+std::size_t CracPlugin::active_allocation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+std::uint64_t CracPlugin::active_allocation_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [addr, a] : active_) total += a.size;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// precheckpoint: drain
+// ---------------------------------------------------------------------------
+
+Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
+  // (a) drain the queue of pending work, as CheCUDA did and CRAC still does.
+  if (inner()->cudaDeviceSynchronize() != cuda::cudaSuccess) {
+    return Internal("device synchronize failed during drain");
+  }
+
+  // (b) snapshot UVM residency *before* reading managed contents (reading
+  // migrates device-resident pages to the host).
+  CRAC_RETURN_IF_ERROR(drain_streams(image));
+  {
+    // Residency bitmap per managed allocation — simulator introspection that
+    // stands in for the driver's internal page state; see DESIGN.md.
+    ByteWriter w;
+    const auto& uvm = process_->lower().device().uvm();
+    std::vector<std::pair<std::uint64_t, ActiveAlloc>> managed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [addr, a] : active_) {
+        if (a.kind == AllocKind::kManaged) managed.emplace_back(addr, a);
+      }
+    }
+    const std::size_t page = uvm.page_size();
+    w.put_u64(page);
+    w.put_u64(managed.size());
+    for (const auto& [addr, a] : managed) {
+      const std::size_t n_pages = (a.size + page - 1) / page;
+      w.put_u64(addr);
+      w.put_u64(n_pages);
+      std::vector<std::uint8_t> bitmap((n_pages + 7) / 8, 0);
+      for (std::size_t i = 0; i < n_pages; ++i) {
+        auto res = uvm.residency(reinterpret_cast<void*>(addr + i * page));
+        if (res.ok() && *res == sim::PageResidency::kDevice) {
+          bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+      }
+      w.put_bytes(bitmap.data(), bitmap.size());
+    }
+    image.add_section(ckpt::SectionType::kUvmResidency, kSectionUvm,
+                      std::move(w).take());
+  }
+
+  // (c) copy the contents of every *active* allocation to the image — not
+  // the arenas (§3.2.3).
+  CRAC_RETURN_IF_ERROR(drain_allocations(image));
+
+  // (d) the full call log, to be replayed verbatim at restart (§3.2.4).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    image.add_section(ckpt::SectionType::kCudaApiLog, kSectionLog,
+                      log_.serialize());
+  }
+
+  // (e) fat-binary registration records for §3.2.5 re-registration.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ByteWriter w;
+    w.put_u64(fatbins_.size());
+    for (const FatbinEntry& fb : fatbins_) {
+      w.put_u64(reinterpret_cast<std::uint64_t>(fb.desc.module_name));
+      w.put_u64(fb.desc.binary_hash);
+      w.put_u8(fb.unregistered ? 1 : 0);
+      w.put_u64(fb.functions.size());
+      for (const cuda::KernelRegistration& fn : fb.functions) {
+        w.put_u64(reinterpret_cast<std::uint64_t>(fn.host_fn));
+        w.put_u64(reinterpret_cast<std::uint64_t>(fn.device_fn));
+        // The argument-size table is serialized by value: a restarted
+        // process has no live KernelModule to point back into.
+        w.put_u64(fn.arg_count);
+        for (std::size_t i = 0; i < fn.arg_count; ++i) {
+          w.put_u64(fn.arg_sizes[i]);
+        }
+        w.put_string(fn.name != nullptr ? fn.name : "");
+      }
+    }
+    image.add_section(ckpt::SectionType::kMetadata, kSectionFatbins,
+                      std::move(w).take());
+  }
+  return OkStatus();
+}
+
+Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
+  std::vector<std::pair<std::uint64_t, ActiveAlloc>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(active_.begin(), active_.end());
+  }
+  ByteWriter w;
+  w.put_u64(snapshot.size());
+  std::vector<std::byte> staging;
+  for (const auto& [addr, a] : snapshot) {
+    w.put_u64(addr);
+    w.put_u64(a.size);
+    w.put_u8(static_cast<std::uint8_t>(a.kind));
+    w.put_u32(a.flags);
+    staging.resize(a.size);
+    // Drain through the CUDA API itself (D2H copy), as the real plugin must.
+    const cuda::cudaError_t err =
+        inner()->cudaMemcpy(staging.data(), reinterpret_cast<void*>(addr),
+                            a.size, drain_kind(a.kind));
+    if (err != cuda::cudaSuccess) {
+      return Internal("drain memcpy failed: " +
+                      std::string(cuda::cudaGetErrorString(err)));
+    }
+    w.put_bytes(staging.data(), staging.size());
+  }
+  image.add_section(ckpt::SectionType::kDeviceBuffers, kSectionAllocs,
+                    std::move(w).take());
+  return OkStatus();
+}
+
+Status CracPlugin::drain_streams(ckpt::ImageWriter& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.put_u64(live_streams_.size());
+  for (cuda::cudaStream_t s : live_streams_) w.put_u64(s);
+  w.put_u64(live_events_.size());
+  for (cuda::cudaEvent_t e : live_events_) w.put_u64(e);
+  image.add_section(ckpt::SectionType::kStreams, kSectionStreams,
+                    std::move(w).take());
+  return OkStatus();
+}
+
+Status CracPlugin::resume() {
+  // Execution continues in the original process: the lower half was never
+  // destroyed, so nothing to rebuild.
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// restart: replay
+// ---------------------------------------------------------------------------
+
+Status CracPlugin::restart(const ckpt::ImageReader& image) {
+  auto stats = replay_into_fresh_lower_half(image);
+  if (!stats.ok()) return stats.status();
+  last_replay_ = *stats;
+  return OkStatus();
+}
+
+Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
+    const ckpt::ImageReader& image) {
+  ReplayStats stats;
+
+  // Reset plugin state; everything is rebuilt from the image.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.clear();
+    active_.clear();
+    fatbins_.clear();
+    reg_storage_.clear();
+    handle_to_seq_.clear();
+    replay_translation_.clear();
+    live_streams_.clear();
+    live_events_.clear();
+  }
+
+  // 1. Reconstruct fat-binary registration records (§3.2.5). The embedded
+  //    pointers refer to upper-half objects that were restored at their
+  //    original addresses before this hook runs.
+  const ckpt::Section* fat = image.find(ckpt::SectionType::kMetadata,
+                                        kSectionFatbins);
+  if (fat == nullptr) return Corrupt("image missing fatbin section");
+  {
+    ByteReader r(fat->payload);
+    std::uint64_t count = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(count));
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FatbinEntry fb;
+      std::uint64_t module_name = 0, hash = 0, fn_count = 0;
+      std::uint8_t unregistered = 0;
+      CRAC_RETURN_IF_ERROR(r.get_u64(module_name));
+      CRAC_RETURN_IF_ERROR(r.get_u64(hash));
+      CRAC_RETURN_IF_ERROR(r.get_u8(unregistered));
+      CRAC_RETURN_IF_ERROR(r.get_u64(fn_count));
+      fb.desc.module_name = reinterpret_cast<const char*>(module_name);
+      fb.desc.binary_hash = hash;
+      fb.unregistered = unregistered != 0;
+      for (std::uint64_t k = 0; k < fn_count; ++k) {
+        std::uint64_t host_fn = 0, device_fn = 0, arg_count = 0;
+        CRAC_RETURN_IF_ERROR(r.get_u64(host_fn));
+        CRAC_RETURN_IF_ERROR(r.get_u64(device_fn));
+        CRAC_RETURN_IF_ERROR(r.get_u64(arg_count));
+        auto storage = std::make_unique<RegStorage>();
+        for (std::uint64_t a = 0; a < arg_count; ++a) {
+          std::uint64_t size = 0;
+          CRAC_RETURN_IF_ERROR(r.get_u64(size));
+          storage->arg_sizes.push_back(size);
+        }
+        CRAC_RETURN_IF_ERROR(r.get_string(storage->name));
+        cuda::KernelRegistration reg;
+        reg.host_fn = reinterpret_cast<const void*>(host_fn);
+        reg.device_fn = reinterpret_cast<cuda::KernelFn>(device_fn);
+        reg.name = storage->name.c_str();
+        reg.arg_sizes = storage->arg_sizes.data();
+        reg.arg_count = storage->arg_sizes.size();
+        reg_storage_.push_back(std::move(storage));
+        fb.functions.push_back(reg);
+      }
+      fatbins_.push_back(std::move(fb));
+    }
+  }
+
+  // 2. Load the call log.
+  const ckpt::Section* log_sec =
+      image.find(ckpt::SectionType::kCudaApiLog, kSectionLog);
+  if (log_sec == nullptr) return Corrupt("image missing cuda-log section");
+  auto log = CudaApiLog::deserialize(log_sec->payload);
+  if (!log.ok()) return log.status();
+
+  // 3. Replay the *entire* sequence in original order. Allocation addresses
+  //    must reproduce exactly (the lower-half allocator is deterministic and
+  //    its VA bases are fixed); any mismatch is fatal because upper-half
+  //    pointers into these buffers were restored verbatim.
+  cuda::CudaApi* api = inner();
+  auto verify_addr = [&](std::uint64_t got, std::uint64_t want,
+                         const LogRecord& rec) -> Status {
+    if (verify_determinism_ && got != want) {
+      return DeterminismViolation(
+          std::string(to_string(rec.op)) + " replayed to 0x" +
+          std::to_string(got) + " but original was 0x" +
+          std::to_string(want));
+    }
+    return OkStatus();
+  };
+
+  for (const LogRecord& rec : log->records()) {
+    ++stats.calls_replayed;
+    switch (rec.op) {
+      case LogOp::kMallocDevice: {
+        void* p = nullptr;
+        if (api->cudaMalloc(&p, rec.size) != cuda::cudaSuccess) {
+          return Internal("replay cudaMalloc failed");
+        }
+        CRAC_RETURN_IF_ERROR(
+            verify_addr(reinterpret_cast<std::uint64_t>(p), rec.addr, rec));
+        std::lock_guard<std::mutex> lock(mu_);
+        replay_translation_[rec.addr] = reinterpret_cast<std::uint64_t>(p);
+        active_.emplace(reinterpret_cast<std::uint64_t>(p),
+                        ActiveAlloc{rec.size, AllocKind::kDevice, rec.flags});
+        ++stats.allocations_restored;
+        break;
+      }
+      case LogOp::kMallocHost:
+      case LogOp::kHostAlloc: {
+        void* p = nullptr;
+        const cuda::cudaError_t err =
+            rec.op == LogOp::kMallocHost
+                ? api->cudaMallocHost(&p, rec.size)
+                : api->cudaHostAlloc(&p, rec.size, rec.flags);
+        if (err != cuda::cudaSuccess) {
+          return Internal("replay host alloc failed");
+        }
+        CRAC_RETURN_IF_ERROR(
+            verify_addr(reinterpret_cast<std::uint64_t>(p), rec.addr, rec));
+        std::lock_guard<std::mutex> lock(mu_);
+        replay_translation_[rec.addr] = reinterpret_cast<std::uint64_t>(p);
+        active_.emplace(reinterpret_cast<std::uint64_t>(p),
+                        ActiveAlloc{rec.size, AllocKind::kPinnedHost,
+                                    rec.flags});
+        ++stats.allocations_restored;
+        break;
+      }
+      case LogOp::kMallocManaged: {
+        void* p = nullptr;
+        if (api->cudaMallocManaged(&p, rec.size, rec.flags) !=
+            cuda::cudaSuccess) {
+          return Internal("replay cudaMallocManaged failed");
+        }
+        CRAC_RETURN_IF_ERROR(
+            verify_addr(reinterpret_cast<std::uint64_t>(p), rec.addr, rec));
+        std::lock_guard<std::mutex> lock(mu_);
+        replay_translation_[rec.addr] = reinterpret_cast<std::uint64_t>(p);
+        active_.emplace(reinterpret_cast<std::uint64_t>(p),
+                        ActiveAlloc{rec.size, AllocKind::kManaged, rec.flags});
+        ++stats.allocations_restored;
+        break;
+      }
+      case LogOp::kFree: {
+        std::uint64_t target = rec.addr;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = replay_translation_.find(rec.addr);
+          if (it != replay_translation_.end()) target = it->second;
+        }
+        if (api->cudaFree(reinterpret_cast<void*>(target)) !=
+            cuda::cudaSuccess) {
+          return Internal("replay cudaFree failed");
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        active_.erase(target);
+        ++stats.frees_replayed;
+        break;
+      }
+      case LogOp::kFreeHost: {
+        std::uint64_t target = rec.addr;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = replay_translation_.find(rec.addr);
+          if (it != replay_translation_.end()) target = it->second;
+        }
+        if (api->cudaFreeHost(reinterpret_cast<void*>(target)) !=
+            cuda::cudaSuccess) {
+          return Internal("replay cudaFreeHost failed");
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        active_.erase(target);
+        ++stats.frees_replayed;
+        break;
+      }
+      case LogOp::kStreamCreate: {
+        cuda::cudaStream_t s = 0;
+        if (api->cudaStreamCreate(&s) != cuda::cudaSuccess) {
+          return Internal("replay cudaStreamCreate failed");
+        }
+        CRAC_RETURN_IF_ERROR(verify_addr(s, rec.addr, rec));
+        std::lock_guard<std::mutex> lock(mu_);
+        live_streams_.push_back(s);
+        ++stats.streams_recreated;
+        break;
+      }
+      case LogOp::kStreamDestroy: {
+        if (api->cudaStreamDestroy(rec.addr) != cuda::cudaSuccess) {
+          return Internal("replay cudaStreamDestroy failed");
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        std::erase(live_streams_, rec.addr);
+        break;
+      }
+      case LogOp::kEventCreate: {
+        cuda::cudaEvent_t e = 0;
+        if (api->cudaEventCreate(&e) != cuda::cudaSuccess) {
+          return Internal("replay cudaEventCreate failed");
+        }
+        CRAC_RETURN_IF_ERROR(verify_addr(e, rec.addr, rec));
+        std::lock_guard<std::mutex> lock(mu_);
+        live_events_.push_back(e);
+        ++stats.events_recreated;
+        break;
+      }
+      case LogOp::kEventDestroy: {
+        if (api->cudaEventDestroy(rec.addr) != cuda::cudaSuccess) {
+          return Internal("replay cudaEventDestroy failed");
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        std::erase(live_events_, rec.addr);
+        break;
+      }
+      case LogOp::kRegisterFatBinary: {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (rec.addr >= fatbins_.size()) {
+          return Corrupt("fatbin sequence id out of range in log");
+        }
+        FatbinEntry& fb = fatbins_[rec.addr];
+        // Handle patching (§3.2.5): the fresh lower half hands out a new
+        // handle; all subsequent log records reference the sequence id.
+        fb.handle = api->cudaRegisterFatBinary(&fb.desc);
+        handle_to_seq_[fb.handle] = rec.addr;
+        ++stats.fatbins_reregistered;
+        break;
+      }
+      case LogOp::kRegisterFunction: {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (rec.addr >= fatbins_.size()) {
+          return Corrupt("fatbin sequence id out of range in log");
+        }
+        FatbinEntry& fb = fatbins_[rec.addr];
+        const auto* host_fn = reinterpret_cast<const void*>(rec.aux);
+        const cuda::KernelRegistration* found = nullptr;
+        for (const auto& fn : fb.functions) {
+          if (fn.host_fn == host_fn) {
+            found = &fn;
+            break;
+          }
+        }
+        if (found == nullptr) {
+          return Corrupt("log references unknown kernel registration: " +
+                         rec.name);
+        }
+        api->cudaRegisterFunction(fb.handle, *found);
+        ++stats.kernels_reregistered;
+        break;
+      }
+      case LogOp::kUnregisterFatBinary: {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (rec.addr >= fatbins_.size()) {
+          return Corrupt("fatbin sequence id out of range in log");
+        }
+        api->cudaUnregisterFatBinary(fatbins_[rec.addr].handle);
+        handle_to_seq_.erase(fatbins_[rec.addr].handle);
+        break;
+      }
+    }
+  }
+
+  // Keep the replayed log as our own: a future checkpoint must replay the
+  // same full history again.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_ = std::move(*log);
+  }
+
+  // 4. Refill active allocations with their drained contents.
+  CRAC_RETURN_IF_ERROR(refill_allocations(image, &stats));
+
+  // 5. Restore UVM residency (extension beyond the paper; see DESIGN.md).
+  CRAC_RETURN_IF_ERROR(restore_uvm_residency(image, &stats));
+
+  last_replay_ = stats;
+  return stats;
+}
+
+Status CracPlugin::refill_allocations(const ckpt::ImageReader& image,
+                                      ReplayStats* stats) {
+  const ckpt::Section* sec =
+      image.find(ckpt::SectionType::kDeviceBuffers, kSectionAllocs);
+  if (sec == nullptr) return Corrupt("image missing allocations section");
+  ByteReader r(sec->payload);
+  std::uint64_t count = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u64(count));
+  std::vector<std::byte> staging;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t addr = 0, size = 0;
+    std::uint8_t kind_raw = 0;
+    std::uint32_t flags = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(addr));
+    CRAC_RETURN_IF_ERROR(r.get_u64(size));
+    CRAC_RETURN_IF_ERROR(r.get_u8(kind_raw));
+    CRAC_RETURN_IF_ERROR(r.get_u32(flags));
+    staging.resize(size);
+    CRAC_RETURN_IF_ERROR(r.get_bytes(staging.data(), size));
+    const auto kind = static_cast<AllocKind>(kind_raw);
+    std::uint64_t target = addr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = replay_translation_.find(addr);
+      if (it != replay_translation_.end()) target = it->second;
+    }
+    const cuda::cudaError_t err =
+        inner()->cudaMemcpy(reinterpret_cast<void*>(target), staging.data(),
+                            size, refill_kind(kind));
+    if (err != cuda::cudaSuccess) {
+      return Internal("refill memcpy failed: " +
+                      std::string(cuda::cudaGetErrorString(err)));
+    }
+    stats->bytes_refilled += size;
+  }
+  return OkStatus();
+}
+
+Status CracPlugin::restore_uvm_residency(const ckpt::ImageReader& image,
+                                         ReplayStats* stats) {
+  const ckpt::Section* sec =
+      image.find(ckpt::SectionType::kUvmResidency, kSectionUvm);
+  if (sec == nullptr) return OkStatus();  // optional section
+  ByteReader r(sec->payload);
+  std::uint64_t page = 0, ranges = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u64(page));
+  CRAC_RETURN_IF_ERROR(r.get_u64(ranges));
+  auto& uvm = process_->lower().device().uvm();
+  if (page != uvm.page_size()) {
+    return FailedPrecondition("UVM page size changed across restart");
+  }
+  for (std::uint64_t i = 0; i < ranges; ++i) {
+    std::uint64_t addr = 0, n_pages = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(addr));
+    CRAC_RETURN_IF_ERROR(r.get_u64(n_pages));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = replay_translation_.find(addr);
+      if (it != replay_translation_.end()) addr = it->second;
+    }
+    std::vector<std::uint8_t> bitmap((n_pages + 7) / 8);
+    CRAC_RETURN_IF_ERROR(r.get_bytes(bitmap.data(), bitmap.size()));
+    // Prefetch contiguous device-resident runs back to the device.
+    std::uint64_t run_start = 0;
+    std::uint64_t run_len = 0;
+    auto flush_run = [&]() -> Status {
+      if (run_len == 0) return OkStatus();
+      CRAC_RETURN_IF_ERROR(
+          uvm.prefetch(reinterpret_cast<void*>(addr + run_start * page),
+                       run_len * page, /*to_device=*/true));
+      stats->uvm_pages_restored += run_len;
+      run_len = 0;
+      return OkStatus();
+    };
+    for (std::uint64_t p = 0; p < n_pages; ++p) {
+      const bool device = (bitmap[p / 8] >> (p % 8)) & 1;
+      if (device) {
+        if (run_len == 0) run_start = p;
+        ++run_len;
+      } else {
+        CRAC_RETURN_IF_ERROR(flush_run());
+      }
+    }
+    CRAC_RETURN_IF_ERROR(flush_run());
+  }
+  return OkStatus();
+}
+
+}  // namespace crac

@@ -1,0 +1,148 @@
+// The CRAC plugin: the paper's primary contribution.
+//
+// Two roles in one object, exactly as in the DMTCP-plugin architecture:
+//
+//  1. A CUDA-API interposer (ForwardingApi): wraps the application's view of
+//     the runtime and *logs* every call in the cudaMalloc family plus every
+//     resource creation (streams, events, fat binaries). Data-path calls
+//     (launches, memcpys) are forwarded untouched — this is where the "log
+//     only pointers, not mmap traffic" design keeps runtime overhead at ~1%.
+//
+//  2. A checkpoint plugin (CkptPlugin): at precheckpoint it drains the
+//     device (synchronize, then copy the contents of every *active*
+//     allocation — not whole arenas — into image sections, §3.2.3); at
+//     restart it replays the *entire* log against the fresh lower half,
+//     verifies address determinism, refills contents, restores UVM
+//     residency, and re-registers the application's fat binaries (§3.2.4-5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/plugin.hpp"
+#include "crac/api_log.hpp"
+#include "crac/split_process.hpp"
+#include "simcuda/forwarding_api.hpp"
+
+namespace crac {
+
+enum class AllocKind : std::uint8_t {
+  kDevice = 0,
+  kPinnedHost = 1,
+  kManaged = 2,
+};
+
+struct ActiveAlloc {
+  std::uint64_t size = 0;
+  AllocKind kind = AllocKind::kDevice;
+  std::uint32_t flags = 0;
+};
+
+struct ReplayStats {
+  std::size_t calls_replayed = 0;
+  std::size_t allocations_restored = 0;
+  std::size_t frees_replayed = 0;
+  std::size_t streams_recreated = 0;
+  std::size_t events_recreated = 0;
+  std::size_t fatbins_reregistered = 0;
+  std::size_t kernels_reregistered = 0;
+  std::uint64_t bytes_refilled = 0;
+  std::size_t uvm_pages_restored = 0;
+};
+
+class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
+ public:
+  // `process` provides the trampolined API this interposer forwards to, and
+  // the restart hooks (discard/load lower half).
+  explicit CracPlugin(SplitProcess* process);
+
+  // --- interposed calls (logged) ---
+  cuda::cudaError_t cudaMalloc(void** p, std::size_t n) override;
+  cuda::cudaError_t cudaFree(void* p) override;
+  cuda::cudaError_t cudaMallocHost(void** p, std::size_t n) override;
+  cuda::cudaError_t cudaHostAlloc(void** p, std::size_t n,
+                                  unsigned flags) override;
+  cuda::cudaError_t cudaFreeHost(void* p) override;
+  cuda::cudaError_t cudaMallocManaged(void** p, std::size_t n,
+                                      unsigned flags) override;
+  cuda::cudaError_t cudaStreamCreate(cuda::cudaStream_t* stream) override;
+  cuda::cudaError_t cudaStreamDestroy(cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaEventCreate(cuda::cudaEvent_t* event) override;
+  cuda::cudaError_t cudaEventDestroy(cuda::cudaEvent_t event) override;
+  cuda::FatBinaryHandle cudaRegisterFatBinary(
+      const cuda::FatBinaryDesc* desc) override;
+  void cudaRegisterFunction(cuda::FatBinaryHandle handle,
+                            const cuda::KernelRegistration& reg) override;
+  void cudaUnregisterFatBinary(cuda::FatBinaryHandle handle) override;
+
+  // --- CkptPlugin ---
+  std::string name() const override { return "crac"; }
+  Status precheckpoint(ckpt::ImageWriter& image) override;
+  Status resume() override;
+  Status restart(const ckpt::ImageReader& image) override;
+
+  // Replays this plugin's own (in-memory) log against the process's current
+  // lower half. Exposed for the in-place restart path and tests.
+  Result<ReplayStats> replay_into_fresh_lower_half(
+      const ckpt::ImageReader& image);
+
+  // --- introspection ---
+  const CudaApiLog& log() const noexcept { return log_; }
+  std::size_t active_allocation_count() const;
+  std::uint64_t active_allocation_bytes() const;
+  const ReplayStats& last_replay_stats() const noexcept { return last_replay_; }
+
+  // Enable/disable address-determinism verification during replay (ablation
+  // hook; always on by default).
+  void set_verify_determinism(bool on) noexcept { verify_determinism_ = on; }
+
+ private:
+  struct FatbinEntry {
+    cuda::FatBinaryDesc desc;
+    cuda::FatBinaryHandle handle = nullptr;  // current incarnation's handle
+    std::vector<cuda::KernelRegistration> functions;
+    bool unregistered = false;
+  };
+
+  // After a cross-process restart the application's registration objects
+  // (KernelModule internals) do not exist, so replayed registrations point
+  // into plugin-owned copies of the name and argument-size table. Function
+  // pointers themselves refer to program text, which coincides across
+  // processes because ASLR is disabled (§3.2.4).
+  struct RegStorage {
+    std::string name;
+    std::vector<std::size_t> arg_sizes;
+  };
+
+  void log_alloc(LogOp op, void* p, std::size_t n, unsigned flags,
+                 AllocKind kind);
+  Status drain_allocations(ckpt::ImageWriter& image);
+  Status drain_streams(ckpt::ImageWriter& image);
+  Status refill_allocations(const ckpt::ImageReader& image,
+                            ReplayStats* stats);
+  Status restore_uvm_residency(const ckpt::ImageReader& image,
+                               ReplayStats* stats);
+
+  SplitProcess* process_;
+  mutable std::mutex mu_;
+  CudaApiLog log_;
+  std::map<std::uint64_t, ActiveAlloc> active_;
+  std::vector<FatbinEntry> fatbins_;        // indexed by sequence id
+  std::vector<std::unique_ptr<RegStorage>> reg_storage_;
+  std::map<cuda::FatBinaryHandle, std::size_t> handle_to_seq_;
+  std::vector<cuda::cudaStream_t> live_streams_;
+  std::vector<cuda::cudaEvent_t> live_events_;
+  // Logged address -> replayed address. Identity when determinism holds;
+  // with verification disabled this implements the paper's future-work
+  // option (a), "virtualization of library-allocated addresses", so refill
+  // still lands on the right buffers (upper-half pointers into them remain
+  // stale — the reason CRAC prefers determinism).
+  std::map<std::uint64_t, std::uint64_t> replay_translation_;
+  ReplayStats last_replay_;
+  bool verify_determinism_ = true;
+};
+
+}  // namespace crac

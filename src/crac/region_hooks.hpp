@@ -1,0 +1,39 @@
+// Adapter wiring the simulated mmap events of allocation arenas into the
+// split process's address-space tags — this is the "interpose on all calls
+// to mmap so each region can be associated with a half" mechanism of §3.1.
+#pragma once
+
+#include <sys/mman.h>
+
+#include <string>
+
+#include "common/log.hpp"
+#include "simgpu/types.hpp"
+#include "splitproc/address_space.hpp"
+
+namespace crac {
+
+class RegionTagHooks final : public sim::MmapHooks {
+ public:
+  RegionTagHooks(split::AddressSpace* space, split::HalfTag tag)
+      : space_(space), tag_(tag) {}
+
+  void on_commit(void* addr, std::size_t len, const char* purpose) override {
+    Status st = space_->add_region(addr, len, PROT_READ | PROT_WRITE, tag_,
+                                   std::string("arena:") + purpose);
+    if (!st.ok()) {
+      CRAC_WARN() << "untracked arena commit (" << purpose
+                  << "): " << st.to_string();
+    }
+  }
+
+  void on_release(void* addr, std::size_t len) override {
+    (void)space_->remove_region(addr, len);
+  }
+
+ private:
+  split::AddressSpace* space_;
+  split::HalfTag tag_;
+};
+
+}  // namespace crac

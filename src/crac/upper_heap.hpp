@@ -1,0 +1,64 @@
+// The checkpointed application heap.
+//
+// Transparent checkpointing saves the application's entire writable memory.
+// In this reproduction the application's persistent state lives in this
+// heap, which sits at a fixed virtual address (ASLR-disabled semantics) and
+// is tagged upper-half in the address space, so a checkpoint captures it
+// wholesale and a restart restores every object at its original address.
+// Its allocator state itself is snapshot/restored so allocation continues
+// seamlessly after restart.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.hpp"
+#include "simgpu/arena_allocator.hpp"
+
+namespace crac {
+
+class UpperHeap {
+ public:
+  struct Config {
+    std::uintptr_t va_base = 0x600000000000ULL;
+    std::size_t capacity = std::size_t{4} << 30;
+    std::size_t chunk = std::size_t{16} << 20;
+    sim::MmapHooks* hooks = nullptr;
+  };
+
+  explicit UpperHeap(const Config& config)
+      : arena_(sim::ArenaAllocator::Config{
+            .va_base = config.va_base,
+            .capacity = config.capacity,
+            .chunk_size = config.chunk,
+            .alignment = 64,
+            .purpose = "upper-heap",
+            .hooks = config.hooks,
+        }) {}
+
+  Result<void*> alloc(std::size_t bytes) { return arena_.allocate(bytes); }
+  Status free(void* p) { return arena_.free(p); }
+
+  template <typename T>
+  Result<T*> alloc_array(std::size_t count) {
+    auto r = arena_.allocate(count * sizeof(T));
+    if (!r.ok()) return r.status();
+    return static_cast<T*>(*r);
+  }
+
+  bool contains(const void* p) const noexcept { return arena_.contains(p); }
+  bool is_fixed_base() const noexcept { return arena_.is_fixed_base(); }
+  void* base() const noexcept { return arena_.arena_base(); }
+  std::size_t active_bytes() const { return arena_.active_bytes(); }
+  std::size_t committed_bytes() const { return arena_.committed_bytes(); }
+
+  sim::ArenaAllocator::Snapshot snapshot() const { return arena_.snapshot(); }
+  Status restore(const sim::ArenaAllocator::Snapshot& snap) {
+    return arena_.restore(snap);
+  }
+
+ private:
+  sim::ArenaAllocator arena_;
+};
+
+}  // namespace crac

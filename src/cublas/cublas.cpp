@@ -1,0 +1,277 @@
+#include "cublas/cublas.hpp"
+
+#include <memory>
+
+#include "common/log.hpp"
+#include "simcuda/module.hpp"
+
+namespace crac::blas {
+
+namespace {
+
+using cuda::dim3;
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr unsigned kDotBlocks = 256;
+constexpr unsigned kThreads = 128;
+
+// partials[b] = sum over the block's contiguous chunk of x[i*incx]*y[i*incy]
+// (contiguous, not strided, so the simulated SMs stream through memory).
+void sdot_partial_kernel(void* const* args, const KernelBlock& blk) {
+  const float* x = kernel_arg<const float*>(args, 0);
+  const float* y = kernel_arg<const float*>(args, 1);
+  float* partials = kernel_arg<float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+  const auto incx = kernel_arg<std::int64_t>(args, 4);
+  const auto incy = kernel_arg<std::int64_t>(args, 5);
+
+  const std::size_t b = blk.linear_block();
+  const std::size_t blocks = blk.grid.count();
+  const std::size_t begin = n * b / blocks;
+  const std::size_t end = n * (b + 1) / blocks;
+  double acc = 0.0;  // accumulate in double, as cuBLAS effectively does
+  if (incx == 1 && incy == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      acc += static_cast<double>(x[static_cast<std::size_t>(
+                 static_cast<std::int64_t>(i) * incx)]) *
+             static_cast<double>(y[static_cast<std::size_t>(
+                 static_cast<std::int64_t>(i) * incy)]);
+    }
+  }
+  partials[b] = static_cast<float>(acc);
+}
+
+// result[0] = sum(partials[0..count))
+void reduce_kernel(void* const* args, const KernelBlock&) {
+  const float* partials = kernel_arg<const float*>(args, 0);
+  float* result = kernel_arg<float*>(args, 1);
+  const auto count = kernel_arg<std::uint64_t>(args, 2);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) acc += partials[i];
+  result[0] = static_cast<float>(acc);
+}
+
+// y <- alpha*A*x + beta*y, column-major; one block per row chunk.
+void sgemv_kernel(void* const* args, const KernelBlock& blk) {
+  const float* a = kernel_arg<const float*>(args, 0);
+  const float* x = kernel_arg<const float*>(args, 1);
+  float* y = kernel_arg<float*>(args, 2);
+  const auto m = kernel_arg<std::uint64_t>(args, 3);
+  const auto n = kernel_arg<std::uint64_t>(args, 4);
+  const auto lda = kernel_arg<std::uint64_t>(args, 5);
+  const float alpha = kernel_arg<float>(args, 6);
+  const float beta = kernel_arg<float>(args, 7);
+
+  const std::size_t rows_per_block =
+      (m + blk.grid.count() - 1) / blk.grid.count();
+  const std::size_t row0 = blk.linear_block() * rows_per_block;
+  const std::size_t row1 = std::min<std::size_t>(m, row0 + rows_per_block);
+  for (std::size_t i = row0; i < row1; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(a[i + j * lda]) * x[j];
+    }
+    y[i] = alpha * static_cast<float>(acc) + beta * y[i];
+  }
+}
+
+// C <- alpha*A*B + beta*C, column-major, 64x64 tiles per block.
+constexpr std::size_t kTile = 64;
+
+void sgemm_kernel(void* const* args, const KernelBlock& blk) {
+  const float* a = kernel_arg<const float*>(args, 0);
+  const float* b = kernel_arg<const float*>(args, 1);
+  float* c = kernel_arg<float*>(args, 2);
+  const auto m = kernel_arg<std::uint64_t>(args, 3);
+  const auto n = kernel_arg<std::uint64_t>(args, 4);
+  const auto k = kernel_arg<std::uint64_t>(args, 5);
+  const auto lda = kernel_arg<std::uint64_t>(args, 6);
+  const auto ldb = kernel_arg<std::uint64_t>(args, 7);
+  const auto ldc = kernel_arg<std::uint64_t>(args, 8);
+  const float alpha = kernel_arg<float>(args, 9);
+  const float beta = kernel_arg<float>(args, 10);
+
+  const std::size_t ti = blk.block_idx.x * kTile;  // row tile origin
+  const std::size_t tj = blk.block_idx.y * kTile;  // col tile origin
+  const std::size_t i1 = std::min<std::size_t>(m, ti + kTile);
+  const std::size_t j1 = std::min<std::size_t>(n, tj + kTile);
+
+  for (std::size_t j = tj; j < j1; ++j) {
+    for (std::size_t i = ti; i < i1; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i + p * lda]) *
+               static_cast<double>(b[p + j * ldb]);
+      }
+      c[i + j * ldc] = alpha * static_cast<float>(acc) + beta * c[i + j * ldc];
+    }
+  }
+}
+
+}  // namespace
+
+class CublasHandle {
+ public:
+  explicit CublasHandle(cuda::CudaApi& api)
+      : api_(&api), module_("cublas_sim.cu") {
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t,
+                       std::int64_t, std::int64_t>(&sdot_partial_kernel,
+                                                   "sdot_partial");
+    module_.add_kernel<const float*, float*, std::uint64_t>(&reduce_kernel,
+                                                            "sdot_reduce");
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t,
+                       std::uint64_t, std::uint64_t, float, float>(
+        &sgemv_kernel, "sgemv");
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t,
+                       std::uint64_t, std::uint64_t, std::uint64_t,
+                       std::uint64_t, std::uint64_t, float, float>(
+        &sgemm_kernel, "sgemm");
+    module_.register_with(*api_);
+    void* ws = nullptr;
+    const auto err =
+        api_->cudaMalloc(&ws, (kDotBlocks + 1) * sizeof(float));
+    ok_ = err == cuda::cudaSuccess;
+    workspace_ = static_cast<float*>(ws);
+  }
+
+  ~CublasHandle() {
+    if (workspace_ != nullptr) (void)api_->cudaFree(workspace_);
+    module_.unregister_from(*api_);
+  }
+
+  bool ok() const noexcept { return ok_; }
+  cuda::CudaApi& api() noexcept { return *api_; }
+  cuda::cudaStream_t stream() const noexcept { return stream_; }
+  void set_stream(cuda::cudaStream_t s) noexcept { stream_ = s; }
+  float* workspace() noexcept { return workspace_; }
+
+ private:
+  cuda::CudaApi* api_;
+  cuda::KernelModule module_;
+  cuda::cudaStream_t stream_ = 0;
+  float* workspace_ = nullptr;
+  bool ok_ = false;
+};
+
+cublasStatus_t cublasCreate(cublasHandle_t* handle, cuda::CudaApi& api) {
+  if (handle == nullptr) return CUBLAS_STATUS_INVALID_VALUE;
+  auto h = std::make_unique<CublasHandle>(api);
+  if (!h->ok()) return CUBLAS_STATUS_NOT_INITIALIZED;
+  *handle = h.release();
+  return CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasDestroy(cublasHandle_t handle) {
+  if (handle == nullptr) return CUBLAS_STATUS_NOT_INITIALIZED;
+  delete handle;
+  return CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasSetStream(cublasHandle_t handle,
+                               cuda::cudaStream_t stream) {
+  if (handle == nullptr) return CUBLAS_STATUS_NOT_INITIALIZED;
+  handle->set_stream(stream);
+  return CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasSdot(cublasHandle_t handle, int n, const float* x,
+                          int incx, const float* y, int incy, float* result) {
+  if (handle == nullptr) return CUBLAS_STATUS_NOT_INITIALIZED;
+  if (n < 0 || x == nullptr || y == nullptr || result == nullptr) {
+    return CUBLAS_STATUS_INVALID_VALUE;
+  }
+  auto& api = handle->api();
+  float* partials = handle->workspace();
+  float* result_slot = handle->workspace() + kDotBlocks;
+  const unsigned blocks =
+      static_cast<unsigned>(std::min<std::uint64_t>(kDotBlocks,
+                                                    std::max(1, n)));
+  if (cuda::launch(api, &sdot_partial_kernel, dim3{blocks, 1, 1},
+                   dim3{kThreads, 1, 1}, handle->stream(), x, y, partials,
+                   static_cast<std::uint64_t>(n),
+                   static_cast<std::int64_t>(incx),
+                   static_cast<std::int64_t>(incy)) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  if (cuda::launch(api, &reduce_kernel, dim3{1, 1, 1}, dim3{1, 1, 1},
+                   handle->stream(), static_cast<const float*>(partials),
+                   result_slot,
+                   static_cast<std::uint64_t>(blocks)) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  if (api.cudaStreamSynchronize(handle->stream()) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  if (api.cudaMemcpy(result, result_slot, sizeof(float),
+                     cuda::cudaMemcpyDeviceToHost) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  return CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasSgemv(cublasHandle_t handle, char trans, int m, int n,
+                           float alpha, const float* a, int lda,
+                           const float* x, int incx, float beta, float* y,
+                           int incy) {
+  if (handle == nullptr) return CUBLAS_STATUS_NOT_INITIALIZED;
+  if (trans != 'N' && trans != 'n') return CUBLAS_STATUS_INVALID_VALUE;
+  if (m < 0 || n < 0 || lda < m || incx != 1 || incy != 1 || a == nullptr ||
+      x == nullptr || y == nullptr) {
+    return CUBLAS_STATUS_INVALID_VALUE;
+  }
+  auto& api = handle->api();
+  const unsigned blocks = static_cast<unsigned>(
+      std::min<std::uint64_t>(256, (static_cast<std::uint64_t>(m) + 63) / 64 + 1));
+  if (cuda::launch(api, &sgemv_kernel, dim3{blocks, 1, 1},
+                   dim3{kThreads, 1, 1}, handle->stream(), a, x, y,
+                   static_cast<std::uint64_t>(m),
+                   static_cast<std::uint64_t>(n),
+                   static_cast<std::uint64_t>(lda), alpha,
+                   beta) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  if (api.cudaStreamSynchronize(handle->stream()) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  return CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasSgemm(cublasHandle_t handle, char transa, char transb,
+                           int m, int n, int k, float alpha, const float* a,
+                           int lda, const float* b, int ldb, float beta,
+                           float* c, int ldc) {
+  if (handle == nullptr) return CUBLAS_STATUS_NOT_INITIALIZED;
+  if ((transa != 'N' && transa != 'n') || (transb != 'N' && transb != 'n')) {
+    return CUBLAS_STATUS_INVALID_VALUE;
+  }
+  if (m < 0 || n < 0 || k < 0 || lda < m || ldb < k || ldc < m ||
+      a == nullptr || b == nullptr || c == nullptr) {
+    return CUBLAS_STATUS_INVALID_VALUE;
+  }
+  auto& api = handle->api();
+  const unsigned gx =
+      static_cast<unsigned>((static_cast<std::size_t>(m) + kTile - 1) / kTile);
+  const unsigned gy =
+      static_cast<unsigned>((static_cast<std::size_t>(n) + kTile - 1) / kTile);
+  if (cuda::launch(api, &sgemm_kernel, dim3{gx, gy, 1}, dim3{kThreads, 1, 1},
+                   handle->stream(), a, b, c, static_cast<std::uint64_t>(m),
+                   static_cast<std::uint64_t>(n),
+                   static_cast<std::uint64_t>(k),
+                   static_cast<std::uint64_t>(lda),
+                   static_cast<std::uint64_t>(ldb),
+                   static_cast<std::uint64_t>(ldc), alpha,
+                   beta) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  if (api.cudaStreamSynchronize(handle->stream()) != cuda::cudaSuccess) {
+    return CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  return CUBLAS_STATUS_SUCCESS;
+}
+
+}  // namespace crac::blas

@@ -1,0 +1,50 @@
+// A cuBLAS-shaped BLAS subset executed as kernels on the simulated device.
+//
+// The paper's Table 3 drives cublasSdot / cublasSgemv / cublasSgemm through
+// three backends (native, CRAC, proxy/CMA); because these routines are
+// implemented against the abstract CudaApi they run unmodified over all
+// three. Conventions follow BLAS: column-major storage, leading dimensions;
+// only the 'N' (no-transpose) paths are implemented, which is all the
+// benchmark uses.
+#pragma once
+
+#include <cstdint>
+
+#include "simcuda/api.hpp"
+
+namespace crac::blas {
+
+enum cublasStatus_t : int {
+  CUBLAS_STATUS_SUCCESS = 0,
+  CUBLAS_STATUS_NOT_INITIALIZED = 1,
+  CUBLAS_STATUS_INVALID_VALUE = 7,
+  CUBLAS_STATUS_EXECUTION_FAILED = 13,
+};
+
+class CublasHandle;
+using cublasHandle_t = CublasHandle*;
+
+// Creates a handle bound to `api` (registers the BLAS kernel module and
+// allocates a small device workspace through it).
+cublasStatus_t cublasCreate(cublasHandle_t* handle, cuda::CudaApi& api);
+cublasStatus_t cublasDestroy(cublasHandle_t handle);
+cublasStatus_t cublasSetStream(cublasHandle_t handle,
+                               cuda::cudaStream_t stream);
+
+// result <- x . y   (x, y device pointers of n floats; result a host float)
+cublasStatus_t cublasSdot(cublasHandle_t handle, int n, const float* x,
+                          int incx, const float* y, int incy, float* result);
+
+// y <- alpha * A * x + beta * y   (A m-by-n column-major, device pointers)
+cublasStatus_t cublasSgemv(cublasHandle_t handle, char trans, int m, int n,
+                           float alpha, const float* a, int lda,
+                           const float* x, int incx, float beta, float* y,
+                           int incy);
+
+// C <- alpha * A * B + beta * C   (A m-by-k, B k-by-n, C m-by-n, col-major)
+cublasStatus_t cublasSgemm(cublasHandle_t handle, char transa, char transb,
+                           int m, int n, int k, float alpha, const float* a,
+                           int lda, const float* b, int ldb, float beta,
+                           float* c, int ldc);
+
+}  // namespace crac::blas

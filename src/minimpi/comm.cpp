@@ -1,0 +1,120 @@
+#include "minimpi/comm.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "proxy/channel.hpp"  // write_all / read_all
+
+namespace crac::minimpi {
+
+Comm::Comm(int rank, int size, std::vector<int> peer_fds, int control_fd)
+    : rank_(rank), size_(size), fds_(std::move(peer_fds)),
+      control_fd_(control_fd) {}
+
+Comm::~Comm() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (control_fd_ >= 0) ::close(control_fd_);
+}
+
+Status Comm::send(int dst, const void* data, std::size_t bytes) {
+  if (dst < 0 || dst >= size_ || dst == rank_) {
+    return InvalidArgument("bad destination rank");
+  }
+  const std::uint64_t frame = bytes;
+  CRAC_RETURN_IF_ERROR(proxy::write_all(fds_[static_cast<std::size_t>(dst)],
+                                        &frame, sizeof(frame)));
+  return proxy::write_all(fds_[static_cast<std::size_t>(dst)], data, bytes);
+}
+
+Status Comm::recv(int src, void* data, std::size_t bytes) {
+  if (src < 0 || src >= size_ || src == rank_) {
+    return InvalidArgument("bad source rank");
+  }
+  std::uint64_t frame = 0;
+  CRAC_RETURN_IF_ERROR(proxy::read_all(fds_[static_cast<std::size_t>(src)],
+                                       &frame, sizeof(frame)));
+  if (frame != bytes) {
+    return Internal("minimpi message size mismatch: expected " +
+                    std::to_string(bytes) + ", got " + std::to_string(frame));
+  }
+  return proxy::read_all(fds_[static_cast<std::size_t>(src)], data, bytes);
+}
+
+Status Comm::sendrecv(int peer, const void* send_buf, void* recv_buf,
+                      std::size_t bytes) {
+  // Socket buffers absorb the halo sizes used here; order by rank to keep
+  // the pattern canonical (and deadlock-free even for large messages,
+  // since the lower rank drains before pushing).
+  if (rank_ < peer) {
+    CRAC_RETURN_IF_ERROR(send(peer, send_buf, bytes));
+    return recv(peer, recv_buf, bytes);
+  }
+  CRAC_RETURN_IF_ERROR(recv(peer, recv_buf, bytes));
+  return send(peer, send_buf, bytes);
+}
+
+Status Comm::barrier() {
+  // Flat gather-release through rank 0.
+  char token = 'B';
+  if (rank_ == 0) {
+    for (int r = 1; r < size_; ++r) {
+      CRAC_RETURN_IF_ERROR(recv(r, &token, 1));
+    }
+    for (int r = 1; r < size_; ++r) {
+      CRAC_RETURN_IF_ERROR(send(r, &token, 1));
+    }
+    return OkStatus();
+  }
+  CRAC_RETURN_IF_ERROR(send(0, &token, 1));
+  return recv(0, &token, 1);
+}
+
+namespace {
+Status reduce_through_root(Comm& comm, double* value, bool is_max) {
+  if (comm.rank() == 0) {
+    double acc = *value;
+    for (int r = 1; r < comm.size(); ++r) {
+      double incoming = 0;
+      CRAC_RETURN_IF_ERROR(comm.recv(r, &incoming, sizeof(incoming)));
+      acc = is_max ? std::max(acc, incoming) : acc + incoming;
+    }
+    for (int r = 1; r < comm.size(); ++r) {
+      CRAC_RETURN_IF_ERROR(comm.send(r, &acc, sizeof(acc)));
+    }
+    *value = acc;
+    return OkStatus();
+  }
+  CRAC_RETURN_IF_ERROR(comm.send(0, value, sizeof(*value)));
+  return comm.recv(0, value, sizeof(*value));
+}
+}  // namespace
+
+Status Comm::allreduce_sum(double* value) {
+  return reduce_through_root(*this, value, /*is_max=*/false);
+}
+
+Status Comm::allreduce_max(double* value) {
+  return reduce_through_root(*this, value, /*is_max=*/true);
+}
+
+Result<Comm::Command> Comm::poll_command() {
+  struct pollfd pfd = {control_fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, 0);
+  if (ready < 0) return IoError(std::string("poll: ") + strerror(errno));
+  if (ready == 0) return Command::kNone;
+  std::uint32_t cmd = 0;
+  CRAC_RETURN_IF_ERROR(proxy::read_all(control_fd_, &cmd, sizeof(cmd)));
+  return static_cast<Command>(cmd);
+}
+
+Status Comm::ack(std::uint64_t payload) {
+  return proxy::write_all(control_fd_, &payload, sizeof(payload));
+}
+
+}  // namespace crac::minimpi

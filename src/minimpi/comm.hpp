@@ -1,0 +1,67 @@
+// minimpi — a minimal single-node MPI subset for the paper's §6 proof of
+// principle: "checkpointing of hybrid MPI+CUDA on a single node".
+//
+// Ranks are forked processes connected by a full mesh of Unix stream
+// sockets created before the fork (the single-node analogue of an MPI
+// fabric). The subset implemented is what the hybrid examples need:
+// point-to-point send/recv, sendrecv (halo exchange), barrier, and
+// allreduce(sum/max) — plus a control channel to the launcher used for
+// coordinated checkpointing, mirroring how DMTCP's coordinator drives all
+// ranks of an MPI job to a consistent cut.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac::minimpi {
+
+class Comm {
+ public:
+  // fds[r] is the socket to peer rank r (fds[rank] unused, -1);
+  // control_fd talks to the launcher.
+  Comm(int rank, int size, std::vector<int> peer_fds, int control_fd);
+  ~Comm();
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return size_; }
+
+  // --- point to point (blocking, message-framed) ---
+  Status send(int dst, const void* data, std::size_t bytes);
+  Status recv(int src, void* data, std::size_t bytes);
+
+  // Simultaneous exchange with one partner (deadlock-free halo swap:
+  // lower rank sends first).
+  Status sendrecv(int peer, const void* send_buf, void* recv_buf,
+                  std::size_t bytes);
+
+  // --- collectives (flat tree through rank 0) ---
+  Status barrier();
+  Status allreduce_sum(double* value);
+  Status allreduce_max(double* value);
+
+  // --- launcher control channel ---
+  // Commands the launcher can push between iterations.
+  enum class Command : std::uint32_t {
+    kNone = 0,
+    kCheckpoint = 1,  // all ranks checkpoint at the next boundary
+    kStop = 2,
+  };
+  // Non-blocking poll for a pending command.
+  Result<Command> poll_command();
+  // Tells the launcher this rank completed a command / finished.
+  Status ack(std::uint64_t payload);
+
+ private:
+  int rank_;
+  int size_;
+  std::vector<int> fds_;
+  int control_fd_;
+};
+
+}  // namespace crac::minimpi

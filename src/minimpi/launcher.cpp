@@ -1,0 +1,120 @@
+#include "minimpi/launcher.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/log.hpp"
+#include "proxy/channel.hpp"
+
+namespace crac::minimpi {
+
+Result<JobReport> Launcher::launch(const RankFn& fn, bool restarted) {
+  const int n = options_.nranks;
+  if (n < 1 || n > 64) return InvalidArgument("nranks out of range");
+
+  // Full mesh: mesh[a][b] is a's fd to b (for a != b).
+  std::vector<std::vector<int>> mesh(static_cast<std::size_t>(n),
+                                     std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      int fds[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        return IoError(std::string("socketpair: ") + strerror(errno));
+      }
+      mesh[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = fds[0];
+      mesh[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = fds[1];
+    }
+  }
+  // Control channels launcher <-> rank.
+  std::vector<int> control_parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> control_child(static_cast<std::size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      return IoError(std::string("socketpair(control): ") + strerror(errno));
+    }
+    control_parent[static_cast<std::size_t>(r)] = fds[0];
+    control_child[static_cast<std::size_t>(r)] = fds[1];
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) return IoError(std::string("fork: ") + strerror(errno));
+    if (pid == 0) {
+      // Child: keep only this rank's mesh row and control endpoint.
+      for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+          const int fd = mesh[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+          if (fd >= 0 && a != r) ::close(fd);
+        }
+      }
+      for (int x = 0; x < n; ++x) {
+        ::close(control_parent[static_cast<std::size_t>(x)]);
+        if (x != r) ::close(control_child[static_cast<std::size_t>(x)]);
+      }
+      // A peer exiting early must surface as an I/O error on the socket,
+      // not kill this rank with SIGPIPE.
+      ::signal(SIGPIPE, SIG_IGN);
+      Comm comm(r, n, mesh[static_cast<std::size_t>(r)],
+                control_child[static_cast<std::size_t>(r)]);
+      const int code = fn(comm, image_path(r), restarted);
+      std::fflush(stdout);  // _exit skips stdio flush
+      std::fflush(stderr);
+      _exit(code);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  // Parent: close child-side fds.
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const int fd = mesh[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+      if (fd >= 0) ::close(fd);
+    }
+    ::close(control_child[static_cast<std::size_t>(a)]);
+  }
+
+  // Coordinated checkpoint: after the configured delay, broadcast the
+  // command to every rank (they quiesce at the next iteration boundary).
+  if (!restarted && options_.checkpoint_after_ms >= 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.checkpoint_after_ms));
+    const auto cmd = static_cast<std::uint32_t>(Comm::Command::kCheckpoint);
+    for (int r = 0; r < n; ++r) {
+      // MSG_NOSIGNAL: a rank that already ran to completion has closed its
+      // control socket; the command is then simply moot.
+      (void)::send(control_parent[static_cast<std::size_t>(r)], &cmd,
+                   sizeof(cmd), MSG_NOSIGNAL);
+    }
+  }
+
+  JobReport report;
+  report.exit_codes.resize(static_cast<std::size_t>(n), -1);
+  report.acks.resize(static_cast<std::size_t>(n), 0);
+  // Collect final acks (each rank sends exactly one before exiting).
+  for (int r = 0; r < n; ++r) {
+    std::uint64_t payload = 0;
+    Status got = proxy::read_all(control_parent[static_cast<std::size_t>(r)],
+                                 &payload, sizeof(payload));
+    if (got.ok()) report.acks[static_cast<std::size_t>(r)] = payload;
+    ::close(control_parent[static_cast<std::size_t>(r)]);
+  }
+  report.all_ok = true;
+  for (int r = 0; r < n; ++r) {
+    int status = 0;
+    ::waitpid(pids[static_cast<std::size_t>(r)], &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    report.exit_codes[static_cast<std::size_t>(r)] = code;
+    if (code != 0) report.all_ok = false;
+  }
+  return report;
+}
+
+}  // namespace crac::minimpi

@@ -1,0 +1,85 @@
+#include "proxy/channel.hpp"
+
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace crac::proxy {
+
+Status write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(std::string("proxy socket write: ") + strerror(errno));
+    }
+    if (n == 0) return IoError("proxy socket closed during write");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(std::string("proxy socket read: ") + strerror(errno));
+    }
+    if (n == 0) return IoError("proxy socket closed during read");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+void CmaChannel::initialize(pid_t server_pid, void* staging_remote,
+                            std::size_t staging_bytes) {
+  server_pid_ = server_pid;
+  staging_remote_ = staging_remote;
+  staging_bytes_ = staging_bytes;
+
+  // Probe: write one byte into the staging buffer.
+  char probe = 0x5A;
+  struct iovec local = {&probe, 1};
+  struct iovec remote = {staging_remote_, 1};
+  const ssize_t n = ::process_vm_writev(server_pid_, &local, 1, &remote, 1, 0);
+  available_ = (n == 1);
+  if (!available_) {
+    CRAC_INFO() << "CMA unavailable (" << strerror(errno)
+                << "); proxy falls back to socket payloads";
+  }
+}
+
+Status CmaChannel::write_to_staging(const void* local, std::size_t size) {
+  if (!available_) return FailedPrecondition("CMA not available");
+  if (size > staging_bytes_) return InvalidArgument("payload exceeds staging");
+  struct iovec lv = {const_cast<void*>(local), size};
+  struct iovec rv = {staging_remote_, size};
+  const ssize_t n = ::process_vm_writev(server_pid_, &lv, 1, &rv, 1, 0);
+  if (n != static_cast<ssize_t>(size)) {
+    return IoError(std::string("process_vm_writev: ") + strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status CmaChannel::read_from_staging(void* local, std::size_t size) {
+  if (!available_) return FailedPrecondition("CMA not available");
+  if (size > staging_bytes_) return InvalidArgument("payload exceeds staging");
+  struct iovec lv = {local, size};
+  struct iovec rv = {staging_remote_, size};
+  const ssize_t n = ::process_vm_readv(server_pid_, &lv, 1, &rv, 1, 0);
+  if (n != static_cast<ssize_t>(size)) {
+    return IoError(std::string("process_vm_readv: ") + strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace crac::proxy

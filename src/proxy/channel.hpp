@@ -1,0 +1,50 @@
+// Transport for the proxy protocol: a Unix stream socket for control
+// messages, plus optional Cross-Memory-Attach (process_vm_readv/writev) for
+// bulk payloads — the same CMA mechanism the paper's Table 3 benchmarks.
+//
+// CMA direction note: under Yama ptrace_scope=1 a parent may access its
+// child's memory but not vice versa, so the *client* (parent) performs both
+// CMA reads and writes against a staging buffer exported by the *server*
+// (forked child). Detection is by probe at connect time; when CMA is
+// unavailable the channel silently degrades to inline socket payloads.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "proxy/protocol.hpp"
+
+namespace crac::proxy {
+
+// Blocking exact-length socket I/O helpers.
+Status write_all(int fd, const void* data, std::size_t size);
+Status read_all(int fd, void* data, std::size_t size);
+
+// Client-side CMA accessor for the server's staging buffer.
+class CmaChannel {
+ public:
+  CmaChannel() = default;
+
+  // Probes process_vm_writev against the server staging region.
+  void initialize(pid_t server_pid, void* staging_remote,
+                  std::size_t staging_bytes);
+
+  bool available() const noexcept { return available_; }
+  std::size_t staging_bytes() const noexcept { return staging_bytes_; }
+
+  // Copies local -> server staging (process_vm_writev).
+  Status write_to_staging(const void* local, std::size_t size);
+  // Copies server staging -> local (process_vm_readv).
+  Status read_from_staging(void* local, std::size_t size);
+
+ private:
+  pid_t server_pid_ = -1;
+  void* staging_remote_ = nullptr;
+  std::size_t staging_bytes_ = 0;
+  bool available_ = false;
+};
+
+}  // namespace crac::proxy

@@ -1,0 +1,702 @@
+#include "proxy/client_api.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace crac::proxy {
+
+using cuda::cudaError_t;
+using cuda::cudaSuccess;
+
+ProxyClientApi::ProxyClientApi() : ProxyClientApi(Options{}) {}
+
+ProxyClientApi::ProxyClientApi(const Options& options)
+    : host_([&] {
+        auto h = ProxyHost::spawn(options.host);
+        CRAC_CHECK_MSG(h.ok(), "proxy spawn failed: " << h.status().to_string());
+        return std::move(*h);
+      }()),
+      shadow_sync_enabled_(options.shadow_sync_enabled) {
+  RequestHeader req{};
+  req.op = Op::kHello;
+  HelloInfo info{};
+  auto resp = call(req, nullptr, 0, &info, sizeof(info));
+  CRAC_CHECK_MSG(resp.ok(), "proxy hello failed");
+  if (options.use_cma) {
+    cma_.initialize(info.server_pid,
+                    reinterpret_cast<void*>(info.staging_addr),
+                    info.staging_bytes);
+  }
+}
+
+ProxyClientApi::~ProxyClientApi() {
+  // Free client-side pinned buffers; the server dies with the host.
+  for (void* p : local_pinned_) ::free(p);
+  host_.shutdown();
+}
+
+ProxyStats ProxyClientApi::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Result<ResponseHeader> ProxyClientApi::call(RequestHeader req,
+                                            const void* payload,
+                                            std::size_t payload_bytes,
+                                            void* recv_into,
+                                            std::size_t recv_bytes) {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.rpcs;
+  }
+
+  // Bulk request payload: prefer CMA staging.
+  const bool stage = payload_bytes > 0 && cma_.available() &&
+                     payload_bytes <= cma_.staging_bytes() &&
+                     (req.op == Op::kMemcpyToDevice ||
+                      req.op == Op::kMemcpyToDeviceAsync);
+  req.staged = stage ? 1 : 0;
+  req.payload_bytes = stage ? 0 : static_cast<std::uint32_t>(payload_bytes);
+
+  if (stage) {
+    CRAC_RETURN_IF_ERROR(cma_.write_to_staging(payload, payload_bytes));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.bulk_bytes_cma += payload_bytes;
+  }
+  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  if (!stage && payload_bytes > 0) {
+    CRAC_RETURN_IF_ERROR(write_all(host_.fd(), payload, payload_bytes));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.bulk_bytes_socket += payload_bytes;
+  }
+
+  ResponseHeader resp{};
+  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  if (resp.staged != 0) {
+    if (recv_into == nullptr || recv_bytes == 0) {
+      return Internal("unexpected staged response");
+    }
+    CRAC_RETURN_IF_ERROR(cma_.read_from_staging(recv_into, recv_bytes));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.bulk_bytes_cma += recv_bytes;
+  } else if (resp.payload_bytes > 0) {
+    if (recv_into == nullptr || recv_bytes < resp.payload_bytes) {
+      return Internal("response payload larger than receive buffer");
+    }
+    CRAC_RETURN_IF_ERROR(read_all(host_.fd(), recv_into, resp.payload_bytes));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.bulk_bytes_socket += resp.payload_bytes;
+  }
+  return resp;
+}
+
+bool ProxyClientApi::is_remote_ptr(const void* p) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const auto a = reinterpret_cast<std::uint64_t>(p);
+  auto it = remote_allocs_.upper_bound(a);
+  if (it == remote_allocs_.begin()) return false;
+  --it;
+  return a >= it->first && a < it->first + it->second;
+}
+
+cudaError_t ProxyClientApi::sync_shadows_to_device() {
+  if (!shadow_sync_enabled_) return cudaSuccess;
+  for (const auto& [p, e] : shadow_.entries()) {
+    RequestHeader req{};
+    req.op = Op::kMemcpyToDevice;
+    req.a = e.remote;
+    req.b = e.size;
+    auto resp = call(req, e.shadow, e.size);
+    if (!resp.ok() || resp->err != cudaSuccess) return cuda::cudaErrorUnknown;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shadow_syncs_to_device;
+    stats_.shadow_sync_bytes += e.size;
+  }
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::sync_shadows_from_device() {
+  if (!shadow_sync_enabled_) return cudaSuccess;
+  for (const auto& [p, e] : shadow_.entries()) {
+    RequestHeader req{};
+    req.op = Op::kMemcpyFromDevice;
+    req.a = e.remote;
+    req.b = e.size;
+    req.staged = cma_.available() && e.size <= cma_.staging_bytes() ? 1 : 0;
+    auto resp = call(req, nullptr, 0, e.shadow, e.size);
+    if (!resp.ok() || resp->err != cudaSuccess) return cuda::cudaErrorUnknown;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shadow_syncs_from_device;
+    stats_.shadow_sync_bytes += e.size;
+  }
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaMalloc(void** p, std::size_t n) {
+  if (p == nullptr || n == 0) return record(cuda::cudaErrorInvalidValue);
+  RequestHeader req{};
+  req.op = Op::kMalloc;
+  req.a = n;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess) {
+    *p = reinterpret_cast<void*>(resp->r0);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    remote_allocs_[resp->r0] = n;
+  }
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaFree(void* p) {
+  if (p == nullptr) return cudaSuccess;
+  if (shadow_.is_shadow(p)) {
+    auto entry = shadow_.remove(p);
+    if (!entry.ok()) return record(cuda::cudaErrorInvalidDevicePointer);
+    RequestHeader req{};
+    req.op = Op::kFree;
+    req.a = entry->remote;
+    auto resp = call(req, nullptr, 0);
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      remote_allocs_.erase(entry->remote);
+    }
+    ::free(entry->shadow);
+    return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                            : cuda::cudaErrorUnknown);
+  }
+  RequestHeader req{};
+  req.op = Op::kFree;
+  req.a = reinterpret_cast<std::uint64_t>(p);
+  auto resp = call(req, nullptr, 0);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    remote_allocs_.erase(reinterpret_cast<std::uint64_t>(p));
+  }
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaMallocHost(void** p, std::size_t n) {
+  if (p == nullptr || n == 0) return record(cuda::cudaErrorInvalidValue);
+  // Pinned host memory lives application-side under the proxy design; the
+  // proxy only ever sees its *contents* through explicit copies.
+  void* buf = nullptr;
+  if (::posix_memalign(&buf, 4096, n) != 0) {
+    return record(cuda::cudaErrorMemoryAllocation);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    local_pinned_.insert(buf);
+  }
+  *p = buf;
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaHostAlloc(void** p, std::size_t n,
+                                          unsigned /*flags*/) {
+  return cudaMallocHost(p, n);
+}
+
+cudaError_t ProxyClientApi::cudaFreeHost(void* p) {
+  if (p == nullptr) return cudaSuccess;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = local_pinned_.find(p);
+  if (it == local_pinned_.end()) {
+    return record(cuda::cudaErrorInvalidValue);
+  }
+  local_pinned_.erase(it);
+  ::free(p);
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaMallocManaged(void** p, std::size_t n,
+                                              unsigned flags) {
+  if (p == nullptr || n == 0) return record(cuda::cudaErrorInvalidValue);
+  RequestHeader req{};
+  req.op = Op::kMallocManaged;
+  req.a = n;
+  req.b = flags;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err != cudaSuccess) {
+    return record(static_cast<cudaError_t>(resp->err));
+  }
+  void* mirror = nullptr;
+  if (::posix_memalign(&mirror, 4096, n) != 0) {
+    return record(cuda::cudaErrorMemoryAllocation);
+  }
+  std::memset(mirror, 0, n);
+  shadow_.add(mirror, resp->r0, n);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    remote_allocs_[resp->r0] = n;
+  }
+  *p = mirror;
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaMemcpy(void* dst, const void* src,
+                                       std::size_t n,
+                                       cuda::cudaMemcpyKind kind) {
+  if (dst == nullptr || src == nullptr) {
+    return record(cuda::cudaErrorInvalidValue);
+  }
+  if (kind == cuda::cudaMemcpyDefault) {
+    const bool dst_remote = is_remote_ptr(dst) && !shadow_.is_shadow(dst);
+    const bool src_remote = is_remote_ptr(src) && !shadow_.is_shadow(src);
+    if (dst_remote && src_remote) {
+      kind = cuda::cudaMemcpyDeviceToDevice;
+    } else if (dst_remote) {
+      kind = cuda::cudaMemcpyHostToDevice;
+    } else if (src_remote) {
+      kind = cuda::cudaMemcpyDeviceToHost;
+    } else {
+      kind = cuda::cudaMemcpyHostToHost;
+    }
+  }
+  switch (kind) {
+    case cuda::cudaMemcpyHostToHost: {
+      std::memcpy(dst, src, n);
+      return cudaSuccess;
+    }
+    case cuda::cudaMemcpyHostToDevice: {
+      RequestHeader req{};
+      req.op = Op::kMemcpyToDevice;
+      req.a = reinterpret_cast<std::uint64_t>(dst);
+      req.b = n;
+      auto resp = call(req, src, n);
+      return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                              : cuda::cudaErrorUnknown);
+    }
+    case cuda::cudaMemcpyDeviceToHost: {
+      RequestHeader req{};
+      req.op = Op::kMemcpyFromDevice;
+      req.a = reinterpret_cast<std::uint64_t>(src);
+      req.b = n;
+      req.staged = cma_.available() && n <= cma_.staging_bytes() ? 1 : 0;
+      auto resp = call(req, nullptr, 0, dst, n);
+      return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                              : cuda::cudaErrorUnknown);
+    }
+    case cuda::cudaMemcpyDeviceToDevice: {
+      RequestHeader req{};
+      req.op = Op::kMemcpyOnDevice;
+      req.a = reinterpret_cast<std::uint64_t>(dst);
+      req.b = reinterpret_cast<std::uint64_t>(src);
+      req.c = n;
+      auto resp = call(req, nullptr, 0);
+      return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                              : cuda::cudaErrorUnknown);
+    }
+    default:
+      return record(cuda::cudaErrorInvalidValue);
+  }
+}
+
+cudaError_t ProxyClientApi::cudaMemcpyAsync(void* dst, const void* src,
+                                            std::size_t n,
+                                            cuda::cudaMemcpyKind kind,
+                                            cuda::cudaStream_t /*stream*/) {
+  // The proxy architecture cannot overlap the client-side copy with client
+  // execution anyway (the RPC serializes), so async degenerates to sync —
+  // one of the structural costs the paper attributes to this design.
+  return cudaMemcpy(dst, src, n, kind);
+}
+
+cudaError_t ProxyClientApi::cudaMemset(void* dst, int value, std::size_t n) {
+  if (shadow_.is_shadow(dst)) {
+    std::memset(dst, value, n);
+    auto remote = shadow_.translate(dst);
+    if (!remote.ok()) return record(cuda::cudaErrorInvalidDevicePointer);
+    RequestHeader req{};
+    req.op = Op::kMemset;
+    req.a = *remote;
+    req.b = static_cast<std::uint64_t>(value);
+    req.c = n;
+    auto resp = call(req, nullptr, 0);
+    return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                            : cuda::cudaErrorUnknown);
+  }
+  RequestHeader req{};
+  req.op = Op::kMemset;
+  req.a = reinterpret_cast<std::uint64_t>(dst);
+  req.b = static_cast<std::uint64_t>(value);
+  req.c = n;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaMemsetAsync(void* dst, int value,
+                                            std::size_t n,
+                                            cuda::cudaStream_t stream) {
+  RequestHeader req{};
+  req.op = Op::kMemsetAsync;
+  req.a = reinterpret_cast<std::uint64_t>(dst);
+  req.b = static_cast<std::uint64_t>(value);
+  req.c = n;
+  req.d = stream;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaMemPrefetchAsync(const void* ptr,
+                                                 std::size_t n, int dst_device,
+                                                 cuda::cudaStream_t stream) {
+  std::uint64_t remote = reinterpret_cast<std::uint64_t>(ptr);
+  if (shadow_.is_shadow(ptr)) {
+    auto r = shadow_.translate(ptr);
+    if (!r.ok()) return record(cuda::cudaErrorInvalidDevicePointer);
+    remote = *r;
+  }
+  RequestHeader req{};
+  req.op = Op::kMemPrefetchAsync;
+  req.a = remote;
+  req.b = n;
+  req.c = static_cast<std::uint64_t>(static_cast<std::int64_t>(dst_device));
+  req.d = stream;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaMemGetInfo(std::size_t* free_bytes,
+                                           std::size_t* total_bytes) {
+  RequestHeader req{};
+  req.op = Op::kMemGetInfo;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (free_bytes != nullptr) *free_bytes = resp->r0;
+  if (total_bytes != nullptr) *total_bytes = resp->r1;
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaPointerGetAttributes(
+    cuda::cudaPointerAttributes* a, const void* ptr) {
+  if (a == nullptr) return record(cuda::cudaErrorInvalidValue);
+  a->devicePointer = nullptr;
+  a->hostPointer = nullptr;
+  if (shadow_.is_shadow(ptr)) {
+    a->type = cuda::cudaMemoryType::cudaMemoryTypeManaged;
+    a->hostPointer = const_cast<void*>(ptr);
+    return cudaSuccess;
+  }
+  if (is_remote_ptr(ptr)) {
+    a->type = cuda::cudaMemoryType::cudaMemoryTypeDevice;
+    a->devicePointer = const_cast<void*>(ptr);
+    return cudaSuccess;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (local_pinned_.count(const_cast<void*>(ptr)) > 0) {
+      a->type = cuda::cudaMemoryType::cudaMemoryTypeHost;
+      a->hostPointer = const_cast<void*>(ptr);
+      return cudaSuccess;
+    }
+  }
+  a->type = cuda::cudaMemoryType::cudaMemoryTypeUnregistered;
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaStreamCreate(cuda::cudaStream_t* stream) {
+  RequestHeader req{};
+  req.op = Op::kStreamCreate;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess && stream != nullptr) *stream = resp->r0;
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaStreamDestroy(cuda::cudaStream_t stream) {
+  RequestHeader req{};
+  req.op = Op::kStreamDestroy;
+  req.a = stream;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaStreamSynchronize(cuda::cudaStream_t stream) {
+  RequestHeader req{};
+  req.op = Op::kStreamSynchronize;
+  req.a = stream;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess) {
+    const cudaError_t sync_err = sync_shadows_from_device();
+    if (sync_err != cudaSuccess) return record(sync_err);
+  }
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaStreamQuery(cuda::cudaStream_t stream) {
+  RequestHeader req{};
+  req.op = Op::kStreamQuery;
+  req.a = stream;
+  auto resp = call(req, nullptr, 0);
+  return resp.ok() ? static_cast<cudaError_t>(resp->err)
+                   : cuda::cudaErrorUnknown;
+}
+
+cudaError_t ProxyClientApi::cudaStreamWaitEvent(cuda::cudaStream_t stream,
+                                                cuda::cudaEvent_t event,
+                                                unsigned flags) {
+  RequestHeader req{};
+  req.op = Op::kStreamWaitEvent;
+  req.a = stream;
+  req.b = event;
+  req.c = flags;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaLaunchHostFunc(cuda::cudaStream_t /*stream*/,
+                                               cuda::cudaHostFn_t /*fn*/,
+                                               void* /*user_data*/) {
+  // Host callbacks would have to run in the *client*, requiring an upcall
+  // channel the proxy architecture does not have.
+  return record(cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaEventCreate(cuda::cudaEvent_t* event) {
+  RequestHeader req{};
+  req.op = Op::kEventCreate;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess && event != nullptr) *event = resp->r0;
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaEventDestroy(cuda::cudaEvent_t event) {
+  RequestHeader req{};
+  req.op = Op::kEventDestroy;
+  req.a = event;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaEventRecord(cuda::cudaEvent_t event,
+                                            cuda::cudaStream_t stream) {
+  RequestHeader req{};
+  req.op = Op::kEventRecord;
+  req.a = event;
+  req.b = stream;
+  auto resp = call(req, nullptr, 0);
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaEventSynchronize(cuda::cudaEvent_t event) {
+  RequestHeader req{};
+  req.op = Op::kEventSynchronize;
+  req.a = event;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess) {
+    const cudaError_t sync_err = sync_shadows_from_device();
+    if (sync_err != cudaSuccess) return record(sync_err);
+  }
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaEventQuery(cuda::cudaEvent_t event) {
+  RequestHeader req{};
+  req.op = Op::kEventQuery;
+  req.a = event;
+  auto resp = call(req, nullptr, 0);
+  return resp.ok() ? static_cast<cudaError_t>(resp->err)
+                   : cuda::cudaErrorUnknown;
+}
+
+cudaError_t ProxyClientApi::cudaEventElapsedTime(float* ms,
+                                                 cuda::cudaEvent_t start,
+                                                 cuda::cudaEvent_t stop) {
+  RequestHeader req{};
+  req.op = Op::kEventElapsedTime;
+  req.a = start;
+  req.b = stop;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess && ms != nullptr) {
+    std::memcpy(ms, &resp->r0, sizeof(float));
+  }
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaLaunchKernel(const void* func, cuda::dim3 grid,
+                                             cuda::dim3 block, void** args,
+                                             std::size_t shared_mem,
+                                             cuda::cudaStream_t stream) {
+  // CRUM's pattern: managed state must be pushed to the device before every
+  // kernel launch.
+  const cudaError_t sync_err = sync_shadows_to_device();
+  if (sync_err != cudaSuccess) return record(sync_err);
+
+  std::vector<std::size_t> sizes;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = kernel_arg_sizes_.find(func);
+    if (it == kernel_arg_sizes_.end()) {
+      return record(cuda::cudaErrorInvalidDevicePointer);
+    }
+    sizes = it->second;
+  }
+
+  // Marshal: dims + stream + argument *values*. Shadow base pointers are
+  // translated to their proxy-side counterparts.
+  std::vector<std::byte> payload;
+  auto push_u32 = [&payload](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    payload.insert(payload.end(), p, p + 4);
+  };
+  auto push_u64 = [&payload](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    payload.insert(payload.end(), p, p + 8);
+  };
+  push_u32(grid.x);
+  push_u32(grid.y);
+  push_u32(grid.z);
+  push_u32(block.x);
+  push_u32(block.y);
+  push_u32(block.z);
+  push_u64(shared_mem);
+  push_u64(stream);
+  push_u32(static_cast<std::uint32_t>(sizes.size()));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto* src = static_cast<const std::byte*>(args[i]);
+    if (sizes[i] == sizeof(void*)) {
+      void* value = nullptr;
+      std::memcpy(&value, src, sizeof(void*));
+      auto remote = shadow_.translate(value);
+      if (remote.ok()) {
+        const std::uint64_t translated = *remote;
+        const auto* tp = reinterpret_cast<const std::byte*>(&translated);
+        payload.insert(payload.end(), tp, tp + 8);
+        continue;
+      }
+    }
+    payload.insert(payload.end(), src, src + sizes[i]);
+  }
+
+  RequestHeader req{};
+  req.op = Op::kLaunchKernel;
+  req.a = reinterpret_cast<std::uint64_t>(func);
+  auto resp = call(req, payload.data(), payload.size());
+  return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
+                          : cuda::cudaErrorUnknown);
+}
+
+cudaError_t ProxyClientApi::cudaPushCallConfiguration(
+    cuda::dim3 grid, cuda::dim3 block, std::size_t shared_mem,
+    cuda::cudaStream_t stream) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  call_config_stack_.push_back(CallConfig{grid, block, shared_mem, stream});
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaPopCallConfiguration(
+    cuda::dim3* grid, cuda::dim3* block, std::size_t* shared_mem,
+    cuda::cudaStream_t* stream) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (call_config_stack_.empty()) return record(cuda::cudaErrorInvalidValue);
+  const CallConfig cfg = call_config_stack_.back();
+  call_config_stack_.pop_back();
+  if (grid != nullptr) *grid = cfg.grid;
+  if (block != nullptr) *block = cfg.block;
+  if (shared_mem != nullptr) *shared_mem = cfg.shared_mem;
+  if (stream != nullptr) *stream = cfg.stream;
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::cudaDeviceSynchronize() {
+  RequestHeader req{};
+  req.op = Op::kDeviceSynchronize;
+  auto resp = call(req, nullptr, 0);
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  if (resp->err == cudaSuccess) {
+    const cudaError_t sync_err = sync_shadows_from_device();
+    if (sync_err != cudaSuccess) return record(sync_err);
+  }
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cudaError_t ProxyClientApi::cudaGetDeviceProperties(
+    cuda::cudaDeviceProp* prop, int device) {
+  if (prop == nullptr || device != 0) {
+    return record(cuda::cudaErrorInvalidValue);
+  }
+  struct WireProps {
+    std::int32_t cc_major, cc_minor, num_sms, max_conc;
+    std::uint64_t total_mem, uvm_page;
+    char name[64];
+  } wire{};
+  RequestHeader req{};
+  req.op = Op::kGetDeviceProperties;
+  auto resp = call(req, nullptr, 0, &wire, sizeof(wire));
+  if (!resp.ok()) return record(cuda::cudaErrorUnknown);
+  prop->cc_major = wire.cc_major;
+  prop->cc_minor = wire.cc_minor;
+  prop->num_sms = wire.num_sms;
+  prop->max_concurrent_kernels = wire.max_conc;
+  prop->total_mem_bytes = wire.total_mem;
+  prop->uvm_page_size = wire.uvm_page;
+  prop->name = wire.name;
+  return record(static_cast<cudaError_t>(resp->err));
+}
+
+cuda::FatBinaryHandle ProxyClientApi::cudaRegisterFatBinary(
+    const cuda::FatBinaryDesc* desc) {
+  RequestHeader req{};
+  req.op = Op::kRegisterFatBinary;
+  req.a = desc != nullptr ? desc->binary_hash : 0;
+  const char* name =
+      desc != nullptr && desc->module_name != nullptr ? desc->module_name : "";
+  auto resp = call(req, name, std::strlen(name));
+  if (!resp.ok() || resp->err != cudaSuccess) return nullptr;
+  return reinterpret_cast<cuda::FatBinaryHandle>(resp->r0);
+}
+
+void ProxyClientApi::cudaRegisterFunction(
+    cuda::FatBinaryHandle handle, const cuda::KernelRegistration& reg) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    kernel_arg_sizes_[reg.host_fn] = std::vector<std::size_t>(
+        reg.arg_sizes, reg.arg_sizes + reg.arg_count);
+  }
+  std::vector<std::byte> payload;
+  auto push_u64 = [&payload](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    payload.insert(payload.end(), p, p + 8);
+  };
+  auto push_u32 = [&payload](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    payload.insert(payload.end(), p, p + 4);
+  };
+  push_u64(reinterpret_cast<std::uint64_t>(reg.host_fn));
+  push_u64(reinterpret_cast<std::uint64_t>(reg.device_fn));
+  push_u32(static_cast<std::uint32_t>(reg.arg_count));
+  for (std::size_t i = 0; i < reg.arg_count; ++i) push_u64(reg.arg_sizes[i]);
+  const char* name = reg.name != nullptr ? reg.name : "";
+  const auto* np = reinterpret_cast<const std::byte*>(name);
+  payload.insert(payload.end(), np, np + std::strlen(name));
+
+  RequestHeader req{};
+  req.op = Op::kRegisterFunction;
+  req.a = reinterpret_cast<std::uint64_t>(handle);
+  (void)call(req, payload.data(), payload.size());
+}
+
+void ProxyClientApi::cudaUnregisterFatBinary(cuda::FatBinaryHandle handle) {
+  RequestHeader req{};
+  req.op = Op::kUnregisterFatBinary;
+  req.a = reinterpret_cast<std::uint64_t>(handle);
+  (void)call(req, nullptr, 0);
+}
+
+}  // namespace crac::proxy

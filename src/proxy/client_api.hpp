@@ -1,0 +1,152 @@
+// ProxyClientApi — the application-side stub of the proxy architecture.
+//
+// Implements the full CudaApi surface by RPC to the forked proxy process.
+// Each call is a synchronous round trip on a Unix socket; bulk payloads use
+// Cross-Memory-Attach when the kernel permits, falling back to socket
+// streaming. Managed memory is mirrored via CRUM-style shadow buffers.
+//
+// This backend exists as the paper's baseline: workloads run unmodified
+// over it, and Table 3 measures exactly the per-call cost difference
+// between this and CRAC's in-process trampoline.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "proxy/channel.hpp"
+#include "proxy/server.hpp"
+#include "proxy/shadow_uvm.hpp"
+#include "simcuda/api.hpp"
+
+namespace crac::proxy {
+
+struct ProxyStats {
+  std::uint64_t rpcs = 0;
+  std::uint64_t bulk_bytes_cma = 0;
+  std::uint64_t bulk_bytes_socket = 0;
+  std::uint64_t shadow_syncs_to_device = 0;
+  std::uint64_t shadow_syncs_from_device = 0;
+  std::uint64_t shadow_sync_bytes = 0;
+};
+
+class ProxyClientApi final : public cuda::CudaApi {
+ public:
+  struct Options {
+    ProxyHostOptions host;
+    bool use_cma = true;            // prefer CMA for bulk payloads
+    bool shadow_sync_enabled = true;  // CRUM read-modify-write support
+  };
+
+  ProxyClientApi();  // default options
+  explicit ProxyClientApi(const Options& options);
+  ~ProxyClientApi() override;
+
+  ProxyClientApi(const ProxyClientApi&) = delete;
+  ProxyClientApi& operator=(const ProxyClientApi&) = delete;
+
+  bool cma_available() const noexcept { return cma_.available(); }
+  ProxyStats stats() const;
+  const ShadowUvm& shadow() const noexcept { return shadow_; }
+
+  // --- CudaApi ---
+  cuda::cudaError_t cudaMalloc(void** p, std::size_t n) override;
+  cuda::cudaError_t cudaFree(void* p) override;
+  cuda::cudaError_t cudaMallocHost(void** p, std::size_t n) override;
+  cuda::cudaError_t cudaHostAlloc(void** p, std::size_t n,
+                                  unsigned flags) override;
+  cuda::cudaError_t cudaFreeHost(void* p) override;
+  cuda::cudaError_t cudaMallocManaged(void** p, std::size_t n,
+                                      unsigned flags) override;
+  cuda::cudaError_t cudaMemcpy(void* dst, const void* src, std::size_t n,
+                               cuda::cudaMemcpyKind kind) override;
+  cuda::cudaError_t cudaMemcpyAsync(void* dst, const void* src, std::size_t n,
+                                    cuda::cudaMemcpyKind kind,
+                                    cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaMemset(void* dst, int value, std::size_t n) override;
+  cuda::cudaError_t cudaMemsetAsync(void* dst, int value, std::size_t n,
+                                    cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaMemPrefetchAsync(const void* ptr, std::size_t n,
+                                         int dst_device,
+                                         cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaMemGetInfo(std::size_t* free_bytes,
+                                   std::size_t* total_bytes) override;
+  cuda::cudaError_t cudaPointerGetAttributes(cuda::cudaPointerAttributes* a,
+                                             const void* ptr) override;
+  cuda::cudaError_t cudaStreamCreate(cuda::cudaStream_t* stream) override;
+  cuda::cudaError_t cudaStreamDestroy(cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaStreamSynchronize(cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaStreamQuery(cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaStreamWaitEvent(cuda::cudaStream_t stream,
+                                        cuda::cudaEvent_t event,
+                                        unsigned flags) override;
+  cuda::cudaError_t cudaLaunchHostFunc(cuda::cudaStream_t stream,
+                                       cuda::cudaHostFn_t fn,
+                                       void* user_data) override;
+  cuda::cudaError_t cudaEventCreate(cuda::cudaEvent_t* event) override;
+  cuda::cudaError_t cudaEventDestroy(cuda::cudaEvent_t event) override;
+  cuda::cudaError_t cudaEventRecord(cuda::cudaEvent_t event,
+                                    cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaEventSynchronize(cuda::cudaEvent_t event) override;
+  cuda::cudaError_t cudaEventQuery(cuda::cudaEvent_t event) override;
+  cuda::cudaError_t cudaEventElapsedTime(float* ms, cuda::cudaEvent_t start,
+                                         cuda::cudaEvent_t stop) override;
+  cuda::cudaError_t cudaLaunchKernel(const void* func, cuda::dim3 grid,
+                                     cuda::dim3 block, void** args,
+                                     std::size_t shared_mem,
+                                     cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaPushCallConfiguration(cuda::dim3 grid,
+                                              cuda::dim3 block,
+                                              std::size_t shared_mem,
+                                              cuda::cudaStream_t stream) override;
+  cuda::cudaError_t cudaPopCallConfiguration(cuda::dim3* grid,
+                                             cuda::dim3* block,
+                                             std::size_t* shared_mem,
+                                             cuda::cudaStream_t* stream) override;
+  cuda::cudaError_t cudaDeviceSynchronize() override;
+  cuda::cudaError_t cudaGetDeviceProperties(cuda::cudaDeviceProp* prop,
+                                            int device) override;
+  cuda::FatBinaryHandle cudaRegisterFatBinary(
+      const cuda::FatBinaryDesc* desc) override;
+  void cudaRegisterFunction(cuda::FatBinaryHandle handle,
+                            const cuda::KernelRegistration& reg) override;
+  void cudaUnregisterFatBinary(cuda::FatBinaryHandle handle) override;
+
+ private:
+  struct CallConfig {
+    cuda::dim3 grid, block;
+    std::size_t shared_mem;
+    cuda::cudaStream_t stream;
+  };
+
+  // One RPC round trip. Thread-safe (serialized); `recv_into`/`recv_bytes`
+  // receive an expected inline or staged response payload.
+  Result<ResponseHeader> call(RequestHeader req, const void* payload,
+                              std::size_t payload_bytes,
+                              void* recv_into = nullptr,
+                              std::size_t recv_bytes = 0);
+
+  // CRUM shadow synchronization around calls.
+  cuda::cudaError_t sync_shadows_to_device();
+  cuda::cudaError_t sync_shadows_from_device();
+
+  bool is_remote_ptr(const void* p) const;
+
+  ProxyHost host_;
+  CmaChannel cma_;
+  mutable std::mutex rpc_mu_;
+
+  ShadowUvm shadow_;
+  mutable std::mutex state_mu_;
+  std::map<std::uint64_t, std::size_t> remote_allocs_;  // device+managed
+  std::set<void*> local_pinned_;  // cudaMallocHost handed out locally
+  std::map<const void*, std::vector<std::size_t>> kernel_arg_sizes_;
+  std::vector<CallConfig> call_config_stack_;
+  bool shadow_sync_enabled_;
+
+  mutable std::mutex stats_mu_;
+  ProxyStats stats_;
+};
+
+}  // namespace crac::proxy

@@ -1,0 +1,412 @@
+#include "proxy/server.hpp"
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "proxy/channel.hpp"
+#include "simcuda/lower_half.hpp"
+
+namespace crac::proxy {
+
+namespace {
+
+// Persistent storage for registrations received over the wire; lives for
+// the server process's lifetime.
+struct ServerRegistration {
+  std::string name;
+  std::vector<std::size_t> arg_sizes;
+  cuda::KernelRegistration reg;
+};
+
+struct ServerState {
+  std::unique_ptr<cuda::LowerHalfRuntime> runtime;
+  void* staging = nullptr;
+  std::size_t staging_bytes = 0;
+  std::vector<std::unique_ptr<ServerRegistration>> registrations;
+  std::vector<std::unique_ptr<cuda::FatBinaryDesc>> descs;
+  std::vector<std::unique_ptr<std::string>> strings;
+};
+
+void respond(int fd, std::int32_t err, std::uint64_t r0 = 0,
+             std::uint64_t r1 = 0, const void* payload = nullptr,
+             std::uint32_t payload_bytes = 0, bool staged = false) {
+  ResponseHeader resp{};
+  resp.err = err;
+  resp.r0 = r0;
+  resp.r1 = r1;
+  resp.payload_bytes = staged ? 0 : payload_bytes;
+  resp.staged = staged ? 1 : 0;
+  if (!write_all(fd, &resp, sizeof(resp)).ok()) _exit(3);
+  if (!staged && payload_bytes > 0) {
+    if (!write_all(fd, payload, payload_bytes).ok()) _exit(3);
+  }
+}
+
+void handle_launch(ServerState& state, int fd, const RequestHeader& req,
+                   const std::vector<std::byte>& payload) {
+  // Payload layout: grid(3xu32) block(3xu32) shmem(u64) stream(u64)
+  //                 argcount(u32) argbytes...
+  const std::byte* p = payload.data();
+  auto read_u32 = [&p]() {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  };
+  auto read_u64 = [&p]() {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  };
+  cuda::dim3 grid, block;
+  grid.x = read_u32();
+  grid.y = read_u32();
+  grid.z = read_u32();
+  block.x = read_u32();
+  block.y = read_u32();
+  block.z = read_u32();
+  const std::uint64_t shmem = read_u64();
+  const std::uint64_t stream = read_u64();
+  const std::uint32_t argcount = read_u32();
+
+  // Rebuild the void*[] the launch ABI expects: pointers into the payload at
+  // per-argument offsets, using the server-side registered size table.
+  const auto* fn = reinterpret_cast<const void*>(req.a);
+  const ServerRegistration* registration = nullptr;
+  for (const auto& r : state.registrations) {
+    if (r->reg.host_fn == fn) {
+      registration = r.get();
+      break;
+    }
+  }
+  if (registration == nullptr ||
+      registration->arg_sizes.size() != argcount) {
+    respond(fd, cuda::cudaErrorInvalidDevicePointer);
+    return;
+  }
+  std::vector<void*> args(argcount);
+  const std::byte* cursor = p;
+  for (std::uint32_t i = 0; i < argcount; ++i) {
+    args[i] = const_cast<std::byte*>(cursor);
+    cursor += registration->arg_sizes[i];
+  }
+  const cuda::cudaError_t err = state.runtime->launch_kernel(
+      fn, grid, block, args.data(), shmem, stream);
+  respond(fd, err);
+}
+
+}  // namespace
+
+Result<ProxyHost> ProxyHost::spawn(const ProxyHostOptions& options) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return IoError(std::string("socketpair: ") + strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return IoError(std::string("fork: ") + strerror(errno));
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    serve(fds[1], options);  // never returns
+  }
+  ::close(fds[1]);
+  return ProxyHost(fds[0], pid);
+}
+
+ProxyHost::ProxyHost(ProxyHost&& other) noexcept
+    : fd_(other.fd_), pid_(other.pid_) {
+  other.fd_ = -1;
+  other.pid_ = -1;
+}
+
+ProxyHost::~ProxyHost() { shutdown(); }
+
+void ProxyHost::shutdown() {
+  if (fd_ >= 0) {
+    RequestHeader req{};
+    req.op = Op::kShutdown;
+    (void)write_all(fd_, &req, sizeof(req));
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (pid_ > 0) {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+}
+
+void ProxyHost::serve(int fd, const ProxyHostOptions& options) {
+  ServerState state;
+  state.runtime = std::make_unique<cuda::LowerHalfRuntime>(options.device);
+  state.staging_bytes = options.staging_bytes;
+  state.staging = ::mmap(nullptr, state.staging_bytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (state.staging == MAP_FAILED) _exit(2);
+
+  auto& rt = *state.runtime;
+  std::vector<std::byte> payload;
+
+  for (;;) {
+    RequestHeader req{};
+    if (!read_all(fd, &req, sizeof(req)).ok()) _exit(0);  // client gone
+    payload.resize(req.payload_bytes);
+    if (req.payload_bytes > 0) {
+      if (!read_all(fd, payload.data(), req.payload_bytes).ok()) _exit(0);
+    }
+
+    switch (req.op) {
+      case Op::kHello: {
+        HelloInfo info{};
+        info.server_pid = ::getpid();
+        info.staging_addr = reinterpret_cast<std::uint64_t>(state.staging);
+        info.staging_bytes = state.staging_bytes;
+        respond(fd, cuda::cudaSuccess, 0, 0, &info, sizeof(info));
+        break;
+      }
+      case Op::kShutdown: {
+        respond(fd, cuda::cudaSuccess);
+        _exit(0);
+      }
+      case Op::kMalloc: {
+        void* p = nullptr;
+        const auto err = rt.malloc_device(&p, req.a);
+        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
+        break;
+      }
+      case Op::kFree: {
+        respond(fd, rt.free_device(reinterpret_cast<void*>(req.a)));
+        break;
+      }
+      case Op::kMallocHost: {
+        void* p = nullptr;
+        const auto err = rt.malloc_host(&p, req.a);
+        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
+        break;
+      }
+      case Op::kHostAlloc: {
+        void* p = nullptr;
+        const auto err =
+            rt.host_alloc(&p, req.a, static_cast<unsigned>(req.b));
+        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
+        break;
+      }
+      case Op::kFreeHost: {
+        respond(fd, rt.free_host(reinterpret_cast<void*>(req.a)));
+        break;
+      }
+      case Op::kMallocManaged: {
+        void* p = nullptr;
+        const auto err =
+            rt.malloc_managed(&p, req.a, static_cast<unsigned>(req.b));
+        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
+        break;
+      }
+      case Op::kMemcpyToDevice:
+      case Op::kMemcpyToDeviceAsync: {
+        const void* src =
+            req.staged != 0 ? state.staging
+                            : static_cast<const void*>(payload.data());
+        // Async degenerates to sync server-side: the RPC already serialized
+        // the client, which is precisely the proxy architecture's handicap.
+        const auto err =
+            rt.memcpy_sync(reinterpret_cast<void*>(req.a), src, req.b,
+                           cuda::cudaMemcpyDefault);
+        respond(fd, err);
+        break;
+      }
+      case Op::kMemcpyFromDevice:
+      case Op::kMemcpyFromDeviceAsync: {
+        if (req.staged != 0) {
+          const auto err = rt.memcpy_sync(
+              state.staging, reinterpret_cast<const void*>(req.a), req.b,
+              cuda::cudaMemcpyDefault);
+          respond(fd, err, 0, 0, nullptr, 0, /*staged=*/true);
+        } else {
+          std::vector<std::byte> out(req.b);
+          const auto err =
+              rt.memcpy_sync(out.data(), reinterpret_cast<const void*>(req.a),
+                             req.b, cuda::cudaMemcpyDefault);
+          respond(fd, err, 0, 0, out.data(),
+                  static_cast<std::uint32_t>(out.size()));
+        }
+        break;
+      }
+      case Op::kMemcpyOnDevice: {
+        const auto err = rt.memcpy_sync(reinterpret_cast<void*>(req.a),
+                                        reinterpret_cast<const void*>(req.b),
+                                        req.c, cuda::cudaMemcpyDeviceToDevice);
+        respond(fd, err);
+        break;
+      }
+      case Op::kMemset: {
+        respond(fd, rt.memset_sync(reinterpret_cast<void*>(req.a),
+                                   static_cast<int>(req.b), req.c));
+        break;
+      }
+      case Op::kMemsetAsync: {
+        respond(fd, rt.memset_async(reinterpret_cast<void*>(req.a),
+                                    static_cast<int>(req.b), req.c, req.d));
+        break;
+      }
+      case Op::kMemPrefetchAsync: {
+        respond(fd, rt.mem_prefetch_async(reinterpret_cast<void*>(req.a),
+                                          req.b, static_cast<int>(req.c),
+                                          req.d));
+        break;
+      }
+      case Op::kStreamCreate: {
+        cuda::cudaStream_t s = 0;
+        const auto err = rt.stream_create(&s);
+        respond(fd, err, s);
+        break;
+      }
+      case Op::kStreamDestroy: {
+        respond(fd, rt.stream_destroy(req.a));
+        break;
+      }
+      case Op::kStreamSynchronize: {
+        respond(fd, rt.stream_synchronize(req.a));
+        break;
+      }
+      case Op::kStreamQuery: {
+        respond(fd, rt.stream_query(req.a));
+        break;
+      }
+      case Op::kStreamWaitEvent: {
+        respond(fd, rt.stream_wait_event(req.a, req.b,
+                                         static_cast<unsigned>(req.c)));
+        break;
+      }
+      case Op::kEventCreate: {
+        cuda::cudaEvent_t e = 0;
+        const auto err = rt.event_create(&e);
+        respond(fd, err, e);
+        break;
+      }
+      case Op::kEventDestroy: {
+        respond(fd, rt.event_destroy(req.a));
+        break;
+      }
+      case Op::kEventRecord: {
+        respond(fd, rt.event_record(req.a, req.b));
+        break;
+      }
+      case Op::kEventSynchronize: {
+        respond(fd, rt.event_synchronize(req.a));
+        break;
+      }
+      case Op::kEventQuery: {
+        respond(fd, rt.event_query(req.a));
+        break;
+      }
+      case Op::kEventElapsedTime: {
+        float ms = 0;
+        const auto err = rt.event_elapsed_time(&ms, req.a, req.b);
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &ms, sizeof(ms));
+        respond(fd, err, bits);
+        break;
+      }
+      case Op::kLaunchKernel: {
+        handle_launch(state, fd, req, payload);
+        break;
+      }
+      case Op::kDeviceSynchronize: {
+        respond(fd, rt.device_synchronize());
+        break;
+      }
+      case Op::kGetDeviceProperties: {
+        cuda::cudaDeviceProp prop;
+        const auto err = rt.get_device_properties(&prop, 0);
+        // Fixed-size wire form: ints + sizes + truncated name.
+        struct WireProps {
+          std::int32_t cc_major, cc_minor, num_sms, max_conc;
+          std::uint64_t total_mem, uvm_page;
+          char name[64];
+        } wire{};
+        wire.cc_major = prop.cc_major;
+        wire.cc_minor = prop.cc_minor;
+        wire.num_sms = prop.num_sms;
+        wire.max_conc = prop.max_concurrent_kernels;
+        wire.total_mem = prop.total_mem_bytes;
+        wire.uvm_page = prop.uvm_page_size;
+        std::strncpy(wire.name, prop.name.c_str(), sizeof(wire.name) - 1);
+        respond(fd, err, 0, 0, &wire, sizeof(wire));
+        break;
+      }
+      case Op::kMemGetInfo: {
+        std::size_t free_b = 0, total_b = 0;
+        const auto err = rt.mem_get_info(&free_b, &total_b);
+        respond(fd, err, free_b, total_b);
+        break;
+      }
+      case Op::kRegisterFatBinary: {
+        auto desc = std::make_unique<cuda::FatBinaryDesc>();
+        auto name = std::make_unique<std::string>(
+            reinterpret_cast<const char*>(payload.data()), payload.size());
+        desc->module_name = name->c_str();
+        desc->binary_hash = req.a;
+        const auto handle = rt.register_fat_binary(desc.get());
+        state.descs.push_back(std::move(desc));
+        state.strings.push_back(std::move(name));
+        respond(fd, cuda::cudaSuccess, reinterpret_cast<std::uint64_t>(handle));
+        break;
+      }
+      case Op::kRegisterFunction: {
+        // Payload: host_fn u64, device_fn u64, argcount u32, sizes u64...,
+        //          name chars...
+        const std::byte* p = payload.data();
+        std::uint64_t host_fn = 0, device_fn = 0;
+        std::uint32_t argcount = 0;
+        std::memcpy(&host_fn, p, 8);
+        p += 8;
+        std::memcpy(&device_fn, p, 8);
+        p += 8;
+        std::memcpy(&argcount, p, 4);
+        p += 4;
+        auto sr = std::make_unique<ServerRegistration>();
+        for (std::uint32_t i = 0; i < argcount; ++i) {
+          std::uint64_t s = 0;
+          std::memcpy(&s, p, 8);
+          p += 8;
+          sr->arg_sizes.push_back(s);
+        }
+        sr->name.assign(reinterpret_cast<const char*>(p),
+                        payload.size() -
+                            static_cast<std::size_t>(p - payload.data()));
+        sr->reg.host_fn = reinterpret_cast<const void*>(host_fn);
+        sr->reg.name = sr->name.c_str();
+        sr->reg.device_fn = reinterpret_cast<cuda::KernelFn>(device_fn);
+        sr->reg.arg_sizes = sr->arg_sizes.data();
+        sr->reg.arg_count = sr->arg_sizes.size();
+        rt.register_function(reinterpret_cast<cuda::FatBinaryHandle>(req.a),
+                             sr->reg);
+        state.registrations.push_back(std::move(sr));
+        respond(fd, cuda::cudaSuccess);
+        break;
+      }
+      case Op::kUnregisterFatBinary: {
+        rt.unregister_fat_binary(reinterpret_cast<cuda::FatBinaryHandle>(req.a));
+        respond(fd, cuda::cudaSuccess);
+        break;
+      }
+      default:
+        respond(fd, cuda::cudaErrorUnknown);
+        break;
+    }
+  }
+}
+
+}  // namespace crac::proxy

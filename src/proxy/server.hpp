@@ -1,0 +1,51 @@
+// The proxy process: a forked child hosting its own CUDA runtime.
+//
+// ProxyHost forks the server and returns the connected client endpoint. The
+// child constructs a LowerHalfRuntime (its own simulated GPU), maps the CMA
+// staging buffer, and serves requests until shutdown/EOF. This is exactly
+// the architecture of CRCUDA/CRUM that the paper's introduction critiques:
+// checkpointing the application process then simply works (the CUDA library
+// lives elsewhere), but *every* CUDA call pays an IPC round trip.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "simgpu/types.hpp"
+
+namespace crac::proxy {
+
+struct ProxyHostOptions {
+  sim::DeviceConfig device;              // config for the server's GPU
+  std::size_t staging_bytes = std::size_t{160} << 20;
+};
+
+class ProxyHost {
+ public:
+  // Forks the server. On return (in the parent) fd() is the connected
+  // control socket and pid() the server process.
+  static Result<ProxyHost> spawn(const ProxyHostOptions& options);
+
+  ProxyHost(ProxyHost&& other) noexcept;
+  ProxyHost& operator=(ProxyHost&&) = delete;
+  ~ProxyHost();
+
+  int fd() const noexcept { return fd_; }
+  pid_t pid() const noexcept { return pid_; }
+
+  // Sends shutdown and reaps the child.
+  void shutdown();
+
+ private:
+  ProxyHost(int fd, pid_t pid) : fd_(fd), pid_(pid) {}
+
+  // Child-side entry point; never returns.
+  [[noreturn]] static void serve(int fd, const ProxyHostOptions& options);
+
+  int fd_ = -1;
+  pid_t pid_ = -1;
+};
+
+}  // namespace crac::proxy

@@ -1,0 +1,12 @@
+#include "simcuda/api.hpp"
+
+namespace crac::cuda {
+
+namespace {
+thread_local cudaError_t t_last_error = cudaSuccess;
+}
+
+cudaError_t CudaApi::last_error() noexcept { return t_last_error; }
+void CudaApi::set_last_error(cudaError_t err) noexcept { t_last_error = err; }
+
+}  // namespace crac::cuda

@@ -1,0 +1,81 @@
+// The lower-half entry-point table (Figure 1 of the paper).
+//
+// At launch, the lower-half helper copies the entry points of its CUDA
+// library into this array-of-function-pointers. The upper half's dummy
+// libcuda (TrampolinedApi) jumps through it. On restart a *new* lower half
+// re-fills the table — the upper half's code never changes, only the table
+// contents do. Plain C function pointers (not std::function) keep this
+// faithful to the mechanism: the table is position-independent data that can
+// be rewritten wholesale.
+#pragma once
+
+#include <cstddef>
+
+#include "simcuda/error.hpp"
+#include "simcuda/types.hpp"
+
+namespace crac::cuda {
+
+struct DispatchTable {
+  // Instance the entries operate on (the lower-half runtime). Opaque to the
+  // upper half.
+  void* self = nullptr;
+
+  cudaError_t (*malloc_device)(void*, void**, std::size_t) = nullptr;
+  cudaError_t (*free_device)(void*, void*) = nullptr;
+  cudaError_t (*malloc_host)(void*, void**, std::size_t) = nullptr;
+  cudaError_t (*host_alloc)(void*, void**, std::size_t, unsigned) = nullptr;
+  cudaError_t (*free_host)(void*, void*) = nullptr;
+  cudaError_t (*malloc_managed)(void*, void**, std::size_t, unsigned) = nullptr;
+  cudaError_t (*memcpy_sync)(void*, void*, const void*, std::size_t,
+                             cudaMemcpyKind) = nullptr;
+  cudaError_t (*memcpy_async)(void*, void*, const void*, std::size_t,
+                              cudaMemcpyKind, cudaStream_t) = nullptr;
+  cudaError_t (*memset_sync)(void*, void*, int, std::size_t) = nullptr;
+  cudaError_t (*memset_async)(void*, void*, int, std::size_t,
+                              cudaStream_t) = nullptr;
+  cudaError_t (*mem_prefetch_async)(void*, const void*, std::size_t, int,
+                                    cudaStream_t) = nullptr;
+  cudaError_t (*mem_get_info)(void*, std::size_t*, std::size_t*) = nullptr;
+  cudaError_t (*pointer_get_attributes)(void*, cudaPointerAttributes*,
+                                        const void*) = nullptr;
+
+  cudaError_t (*stream_create)(void*, cudaStream_t*) = nullptr;
+  cudaError_t (*stream_destroy)(void*, cudaStream_t) = nullptr;
+  cudaError_t (*stream_synchronize)(void*, cudaStream_t) = nullptr;
+  cudaError_t (*stream_query)(void*, cudaStream_t) = nullptr;
+  cudaError_t (*stream_wait_event)(void*, cudaStream_t, cudaEvent_t,
+                                   unsigned) = nullptr;
+  cudaError_t (*launch_host_func)(void*, cudaStream_t, cudaHostFn_t,
+                                  void*) = nullptr;
+
+  cudaError_t (*event_create)(void*, cudaEvent_t*) = nullptr;
+  cudaError_t (*event_destroy)(void*, cudaEvent_t) = nullptr;
+  cudaError_t (*event_record)(void*, cudaEvent_t, cudaStream_t) = nullptr;
+  cudaError_t (*event_synchronize)(void*, cudaEvent_t) = nullptr;
+  cudaError_t (*event_query)(void*, cudaEvent_t) = nullptr;
+  cudaError_t (*event_elapsed_time)(void*, float*, cudaEvent_t,
+                                    cudaEvent_t) = nullptr;
+
+  cudaError_t (*launch_kernel)(void*, const void*, dim3, dim3, void**,
+                               std::size_t, cudaStream_t) = nullptr;
+  cudaError_t (*push_call_configuration)(void*, dim3, dim3, std::size_t,
+                                         cudaStream_t) = nullptr;
+  cudaError_t (*pop_call_configuration)(void*, dim3*, dim3*, std::size_t*,
+                                        cudaStream_t*) = nullptr;
+  cudaError_t (*device_synchronize)(void*) = nullptr;
+  cudaError_t (*get_device_properties)(void*, cudaDeviceProp*, int) = nullptr;
+
+  FatBinaryHandle (*register_fat_binary)(void*, const FatBinaryDesc*) = nullptr;
+  void (*register_function)(void*, FatBinaryHandle,
+                            const KernelRegistration&) = nullptr;
+  void (*unregister_fat_binary)(void*, FatBinaryHandle) = nullptr;
+
+  bool complete() const noexcept {
+    return self != nullptr && malloc_device != nullptr &&
+           launch_kernel != nullptr && register_fat_binary != nullptr &&
+           device_synchronize != nullptr;
+  }
+};
+
+}  // namespace crac::cuda

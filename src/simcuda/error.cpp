@@ -1,0 +1,31 @@
+#include "simcuda/error.hpp"
+
+namespace crac::cuda {
+
+const char* cudaGetErrorString(cudaError_t err) noexcept {
+  switch (err) {
+    case cudaSuccess: return "no error";
+    case cudaErrorInvalidValue: return "invalid argument";
+    case cudaErrorMemoryAllocation: return "out of memory";
+    case cudaErrorInitializationError: return "initialization error";
+    case cudaErrorInvalidDevicePointer: return "invalid device pointer";
+    case cudaErrorInvalidResourceHandle: return "invalid resource handle";
+    case cudaErrorNotReady: return "device not ready";
+    case cudaErrorLaunchFailure: return "unspecified launch failure";
+    case cudaErrorUnknown: return "unknown error";
+  }
+  return "unrecognized error code";
+}
+
+cudaError_t to_cuda_error(const Status& status) noexcept {
+  if (status.ok()) return cudaSuccess;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument: return cudaErrorInvalidValue;
+    case StatusCode::kOutOfMemory: return cudaErrorMemoryAllocation;
+    case StatusCode::kNotFound: return cudaErrorInvalidResourceHandle;
+    case StatusCode::kFailedPrecondition: return cudaErrorNotReady;
+    default: return cudaErrorUnknown;
+  }
+}
+
+}  // namespace crac::cuda

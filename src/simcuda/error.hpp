@@ -1,0 +1,27 @@
+// CUDA-runtime-style error codes. Numeric values follow the real CUDA
+// runtime where a counterpart exists so that application code reads
+// naturally (cudaSuccess == 0, cudaErrorNotReady for incomplete queries...).
+#pragma once
+
+#include "common/status.hpp"
+
+namespace crac::cuda {
+
+enum cudaError_t : int {
+  cudaSuccess = 0,
+  cudaErrorInvalidValue = 1,
+  cudaErrorMemoryAllocation = 2,
+  cudaErrorInitializationError = 3,
+  cudaErrorInvalidDevicePointer = 17,
+  cudaErrorInvalidResourceHandle = 400,
+  cudaErrorNotReady = 600,
+  cudaErrorLaunchFailure = 719,
+  cudaErrorUnknown = 999,
+};
+
+const char* cudaGetErrorString(cudaError_t err) noexcept;
+
+// Maps internal Status codes onto the CUDA error surface.
+cudaError_t to_cuda_error(const Status& status) noexcept;
+
+}  // namespace crac::cuda

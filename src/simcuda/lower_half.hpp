@@ -1,0 +1,121 @@
+// The lower-half CUDA runtime: the "active CUDA library that talks to the
+// GPU" in the paper's architecture. It owns the simulated device, the
+// fat-binary/kernel registry, and the per-thread launch-configuration stack.
+//
+// Crucially for CRAC, this object is *disposable state*: a checkpoint never
+// saves it, and restart constructs a brand-new instance whose allocator
+// reproduces the original addresses when the plugin replays the logged
+// allocation sequence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simcuda/dispatch.hpp"
+#include "simcuda/error.hpp"
+#include "simcuda/types.hpp"
+#include "simgpu/device.hpp"
+
+namespace crac::cuda {
+
+class LowerHalfRuntime {
+ public:
+  explicit LowerHalfRuntime(const sim::DeviceConfig& config = {});
+  ~LowerHalfRuntime();
+
+  LowerHalfRuntime(const LowerHalfRuntime&) = delete;
+  LowerHalfRuntime& operator=(const LowerHalfRuntime&) = delete;
+
+  sim::Device& device() noexcept { return *device_; }
+  const sim::Device& device() const noexcept { return *device_; }
+
+  // Copies this runtime's entry points into the upper half's table
+  // (performed by the helper program at launch and again at restart).
+  void fill_dispatch_table(DispatchTable* table);
+
+  // --- API implementation (called through the dispatch table) ---
+  cudaError_t malloc_device(void** p, std::size_t n);
+  cudaError_t free_device(void* p);
+  cudaError_t malloc_host(void** p, std::size_t n);
+  cudaError_t host_alloc(void** p, std::size_t n, unsigned flags);
+  cudaError_t free_host(void* p);
+  cudaError_t malloc_managed(void** p, std::size_t n, unsigned flags);
+  cudaError_t memcpy_sync(void* dst, const void* src, std::size_t n,
+                          cudaMemcpyKind kind);
+  cudaError_t memcpy_async(void* dst, const void* src, std::size_t n,
+                           cudaMemcpyKind kind, cudaStream_t stream);
+  cudaError_t memset_sync(void* dst, int value, std::size_t n);
+  cudaError_t memset_async(void* dst, int value, std::size_t n,
+                           cudaStream_t stream);
+  cudaError_t mem_prefetch_async(const void* p, std::size_t n, int dst_device,
+                                 cudaStream_t stream);
+  cudaError_t mem_get_info(std::size_t* free_bytes, std::size_t* total_bytes);
+  cudaError_t pointer_get_attributes(cudaPointerAttributes* attrs,
+                                     const void* p);
+
+  cudaError_t stream_create(cudaStream_t* stream);
+  cudaError_t stream_destroy(cudaStream_t stream);
+  cudaError_t stream_synchronize(cudaStream_t stream);
+  cudaError_t stream_query(cudaStream_t stream);
+  cudaError_t stream_wait_event(cudaStream_t stream, cudaEvent_t event,
+                                unsigned flags);
+  cudaError_t launch_host_func(cudaStream_t stream, cudaHostFn_t fn,
+                               void* user_data);
+
+  cudaError_t event_create(cudaEvent_t* event);
+  cudaError_t event_destroy(cudaEvent_t event);
+  cudaError_t event_record(cudaEvent_t event, cudaStream_t stream);
+  cudaError_t event_synchronize(cudaEvent_t event);
+  cudaError_t event_query(cudaEvent_t event);
+  cudaError_t event_elapsed_time(float* ms, cudaEvent_t start,
+                                 cudaEvent_t stop);
+
+  cudaError_t launch_kernel(const void* func, dim3 grid, dim3 block,
+                            void** args, std::size_t shared_mem,
+                            cudaStream_t stream);
+  cudaError_t push_call_configuration(dim3 grid, dim3 block,
+                                      std::size_t shared_mem,
+                                      cudaStream_t stream);
+  cudaError_t pop_call_configuration(dim3* grid, dim3* block,
+                                     std::size_t* shared_mem,
+                                     cudaStream_t* stream);
+  cudaError_t device_synchronize();
+  cudaError_t get_device_properties(cudaDeviceProp* prop, int device);
+
+  FatBinaryHandle register_fat_binary(const FatBinaryDesc* desc);
+  void register_function(FatBinaryHandle handle, const KernelRegistration& reg);
+  void unregister_fat_binary(FatBinaryHandle handle);
+
+  // Diagnostics.
+  std::size_t registered_kernel_count() const;
+  std::size_t registered_fatbin_count() const;
+  bool kernel_is_registered(const void* host_fn) const;
+
+ private:
+  struct FatBinary {
+    FatBinaryDesc desc;
+    std::vector<const void*> kernels;
+  };
+
+  std::unique_ptr<sim::Device> device_;
+
+  mutable std::mutex registry_mu_;
+  std::map<const void*, KernelRegistration> kernels_;
+  std::map<FatBinaryHandle, std::unique_ptr<FatBinary>> fatbins_;
+  std::uint64_t next_fatbin_id_ = 1;
+
+  struct CallConfig {
+    dim3 grid;
+    dim3 block;
+    std::size_t shared_mem = 0;
+    cudaStream_t stream = 0;
+  };
+  // nvcc emits push/pop as a matched pair around each launch on the calling
+  // thread, so a thread-local stack is exactly the real runtime's shape.
+  static thread_local std::vector<CallConfig> call_config_stack_;
+};
+
+}  // namespace crac::cuda

@@ -1,0 +1,89 @@
+// KernelModule — the nvcc-generated registration glue, as a helper.
+//
+// For every translation unit containing __global__ functions, nvcc emits a
+// static initializer that calls __cudaRegisterFatBinary and then
+// __cudaRegisterFunction for each kernel (with a parameter-size table used
+// to copy launch arguments). Application code here declares the same thing
+// explicitly:
+//
+//   KernelModule mod("saxpy.cu");
+//   mod.add_kernel<float*, const float*, float, std::uint64_t>(
+//       &saxpy_kernel, "saxpy");
+//   mod.register_with(api);   // once, at startup
+//
+// The module object must have static (or otherwise checkpoint-stable)
+// storage duration: CRAC's restart re-registers kernels from the logged
+// records, whose pointers refer back into this object (paper §3.2.5).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcuda/api.hpp"
+#include "simcuda/types.hpp"
+
+namespace crac::cuda {
+
+class KernelModule {
+ public:
+  explicit KernelModule(const char* module_name) {
+    desc_.module_name = module_name;
+    // A stand-in for the cubin hash: name-derived, stable across runs.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char* p = module_name; *p != '\0'; ++p) {
+      h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ULL;
+    }
+    desc_.binary_hash = h;
+  }
+
+  KernelModule(const KernelModule&) = delete;
+  KernelModule& operator=(const KernelModule&) = delete;
+
+  template <typename... ArgTypes>
+  void add_kernel(KernelFn fn, const char* name) {
+    auto entry = std::make_unique<Entry>();
+    entry->sizes = {sizeof(ArgTypes)...};
+    entry->reg.host_fn = reinterpret_cast<const void*>(fn);
+    entry->reg.name = name;
+    entry->reg.device_fn = fn;
+    entry->reg.arg_sizes = entry->sizes.data();
+    entry->reg.arg_count = entry->sizes.size();
+    entries_.push_back(std::move(entry));
+  }
+
+  // Performs the nvcc-style registration sequence against `api`.
+  void register_with(CudaApi& api) {
+    handle_ = api.cudaRegisterFatBinary(&desc_);
+    for (const auto& e : entries_) {
+      api.cudaRegisterFunction(handle_, e->reg);
+    }
+    registered_ = true;
+  }
+
+  // The matching cleanup nvcc emits for process exit.
+  void unregister_from(CudaApi& api) {
+    if (!registered_) return;
+    api.cudaUnregisterFatBinary(handle_);
+    registered_ = false;
+  }
+
+  FatBinaryHandle handle() const noexcept { return handle_; }
+  std::size_t kernel_count() const noexcept { return entries_.size(); }
+  const FatBinaryDesc& desc() const noexcept { return desc_; }
+
+ private:
+  struct Entry {
+    KernelRegistration reg;
+    std::vector<std::size_t> sizes;
+  };
+
+  FatBinaryDesc desc_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  FatBinaryHandle handle_ = nullptr;
+  bool registered_ = false;
+};
+
+}  // namespace crac::cuda

@@ -1,0 +1,74 @@
+// Value types of the simulated CUDA runtime API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simgpu/types.hpp"
+
+namespace crac::cuda {
+
+using dim3 = sim::Dim3;
+using KernelFn = sim::KernelFn;
+using KernelBlock = sim::KernelBlock;
+
+// Opaque-by-convention handles (the real runtime hands out pointers; ids are
+// equivalent for the checkpointing mechanism and easier to log/replay).
+using cudaStream_t = std::uint64_t;  // 0 == default stream
+using cudaEvent_t = std::uint64_t;
+
+using cudaMemcpyKind = sim::MemcpyKind;
+inline constexpr cudaMemcpyKind cudaMemcpyHostToHost = sim::MemcpyKind::kHostToHost;
+inline constexpr cudaMemcpyKind cudaMemcpyHostToDevice = sim::MemcpyKind::kHostToDevice;
+inline constexpr cudaMemcpyKind cudaMemcpyDeviceToHost = sim::MemcpyKind::kDeviceToHost;
+inline constexpr cudaMemcpyKind cudaMemcpyDeviceToDevice = sim::MemcpyKind::kDeviceToDevice;
+inline constexpr cudaMemcpyKind cudaMemcpyDefault = sim::MemcpyKind::kDefault;
+
+inline constexpr unsigned cudaHostAllocDefault = 0x0;
+inline constexpr unsigned cudaHostAllocPortable = 0x1;
+inline constexpr unsigned cudaHostAllocMapped = 0x2;
+inline constexpr unsigned cudaMemAttachGlobal = 0x1;
+inline constexpr unsigned cudaMemAttachHost = 0x2;
+
+inline constexpr int cudaCpuDeviceId = -1;  // cudaMemPrefetchAsync target
+
+enum class cudaMemoryType : int {
+  cudaMemoryTypeUnregistered = 0,
+  cudaMemoryTypeHost = 1,
+  cudaMemoryTypeDevice = 2,
+  cudaMemoryTypeManaged = 3,
+};
+
+struct cudaPointerAttributes {
+  cudaMemoryType type = cudaMemoryType::cudaMemoryTypeUnregistered;
+  void* devicePointer = nullptr;
+  void* hostPointer = nullptr;
+};
+
+using cudaDeviceProp = sim::DeviceProperties;
+
+// ---- fat binary registration (normally emitted by nvcc) ----
+
+// One registered __global__ function: the host-side stub address is the key
+// used by cudaLaunchKernel, exactly as in the real runtime ABI. The argument
+// size table is what lets the runtime (and the proxy baseline) copy the
+// parameter buffer at launch.
+struct KernelRegistration {
+  const void* host_fn = nullptr;  // host stub address (lookup key)
+  const char* name = nullptr;
+  KernelFn device_fn = nullptr;
+  const std::size_t* arg_sizes = nullptr;
+  std::size_t arg_count = 0;
+};
+
+// One fat binary (one object file's embedded device code).
+struct FatBinaryDesc {
+  const char* module_name = nullptr;
+  std::uint64_t binary_hash = 0;  // stands in for the cubin contents
+};
+
+using FatBinaryHandle = void**;
+
+using cudaHostFn_t = void (*)(void* userData);
+
+}  // namespace crac::cuda

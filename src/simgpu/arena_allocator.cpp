@@ -1,0 +1,188 @@
+#include "simgpu/arena_allocator.hpp"
+
+#include "common/log.hpp"
+
+namespace crac::sim {
+
+namespace {
+std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+ArenaAllocator::ArenaAllocator(const Config& config)
+    : config_(config),
+      reservation_(config.va_base, config.capacity),
+      committed_end_(reinterpret_cast<std::uintptr_t>(reservation_.base())) {
+  CRAC_CHECK_MSG(reservation_.valid(),
+                 "arena reservation failed for " << config_.purpose);
+  CRAC_CHECK(config_.chunk_size > 0 && config_.alignment > 0);
+}
+
+ArenaAllocator::~ArenaAllocator() {
+  const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
+  if (config_.hooks != nullptr && committed_end_ > base) {
+    config_.hooks->on_release(reservation_.base(), committed_end_ - base);
+  }
+}
+
+Result<void*> ArenaAllocator::allocate(std::size_t bytes) {
+  if (bytes == 0) return InvalidArgument("zero-size allocation");
+  const std::size_t need = round_up(bytes, config_.alignment);
+
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Deterministic first fit: lowest-address free block that fits.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (auto it = free_by_addr_.begin(); it != free_by_addr_.end(); ++it) {
+      if (it->second < need) continue;
+      const std::uintptr_t addr = it->first;
+      const std::size_t block = it->second;
+      free_by_addr_.erase(it);
+      if (block > need) {
+        free_by_addr_.emplace(addr + need, block - need);
+      }
+      auto* p = reinterpret_cast<void*>(addr);
+      active_.emplace(p, need);
+      active_bytes_ += need;
+      return p;
+    }
+    if (attempt == 0) {
+      Status grown = grow_locked(need);
+      if (!grown.ok()) return grown;
+    }
+  }
+  return OutOfMemory(config_.purpose + " arena exhausted");
+}
+
+Status ArenaAllocator::free(void* p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(p);
+  if (it == active_.end()) {
+    return InvalidArgument("free of pointer not allocated by this arena");
+  }
+  const std::size_t size = it->second;
+  active_.erase(it);
+  active_bytes_ -= size;
+  insert_free_locked(reinterpret_cast<std::uintptr_t>(p), size);
+  return OkStatus();
+}
+
+std::size_t ArenaAllocator::allocation_size(const void* p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(const_cast<void*>(p));
+  return it == active_.end() ? 0 : it->second;
+}
+
+std::map<void*, std::size_t> ArenaAllocator::active_allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::size_t ArenaAllocator::active_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_bytes_;
+}
+
+std::size_t ArenaAllocator::committed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_end_ - reinterpret_cast<std::uintptr_t>(reservation_.base());
+}
+
+std::size_t ArenaAllocator::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+Status ArenaAllocator::grow_locked(std::size_t need) {
+  // A request larger than one chunk commits several contiguous chunks in a
+  // single step, mirroring the multi-mmap cudaMalloc behaviour from §3.2.1.
+  const std::size_t grow = round_up(need, config_.chunk_size);
+  const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
+  if (committed_end_ + grow > base + reservation_.capacity()) {
+    return OutOfMemory(config_.purpose + " arena reservation exhausted");
+  }
+  auto* addr = reinterpret_cast<void*>(committed_end_);
+  CRAC_RETURN_IF_ERROR(reservation_.commit(addr, grow));
+  if (config_.hooks != nullptr) {
+    config_.hooks->on_commit(addr, grow, config_.purpose.c_str());
+  }
+  insert_free_locked(committed_end_, grow);
+  committed_end_ += grow;
+  return OkStatus();
+}
+
+ArenaAllocator::Snapshot ArenaAllocator::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
+  snap.committed_bytes = committed_end_ - base;
+  for (const auto& [addr, size] : free_by_addr_) {
+    snap.free_list.emplace_back(addr - base, size);
+  }
+  for (const auto& [p, size] : active_) {
+    snap.active.emplace_back(reinterpret_cast<std::uintptr_t>(p) - base, size);
+  }
+  return snap;
+}
+
+Status ArenaAllocator::restore(const Snapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
+  if (snap.committed_bytes > reservation_.capacity()) {
+    return InvalidArgument("snapshot larger than arena reservation");
+  }
+  // Commit any span the snapshot covers that is not yet committed. (On a
+  // fresh arena this is the whole snapshot span; on an in-place restart the
+  // arena is usually already at least as large.)
+  const std::uintptr_t want_end = base + snap.committed_bytes;
+  if (want_end > committed_end_) {
+    auto* addr = reinterpret_cast<void*>(committed_end_);
+    const std::size_t delta = want_end - committed_end_;
+    CRAC_RETURN_IF_ERROR(reservation_.commit(addr, delta));
+    if (config_.hooks != nullptr) {
+      config_.hooks->on_commit(addr, delta, config_.purpose.c_str());
+    }
+    committed_end_ = want_end;
+  }
+  // Reinstate the allocator maps exactly as checkpointed; allocations made
+  // after the checkpoint are rolled back (restart semantics).
+  free_by_addr_.clear();
+  active_.clear();
+  active_bytes_ = 0;
+  for (const auto& [off, size] : snap.free_list) {
+    free_by_addr_.emplace(base + off, size);
+  }
+  for (const auto& [off, size] : snap.active) {
+    active_.emplace(reinterpret_cast<void*>(base + off), size);
+    active_bytes_ += size;
+  }
+  // Space committed beyond the snapshot (post-checkpoint growth on the
+  // in-place path) is returned to the free list.
+  if (committed_end_ > want_end) {
+    insert_free_locked(want_end, committed_end_ - want_end);
+  }
+  return OkStatus();
+}
+
+void ArenaAllocator::insert_free_locked(std::uintptr_t addr, std::size_t size) {
+  // Coalesce with the preceding block.
+  auto next = free_by_addr_.lower_bound(addr);
+  if (next != free_by_addr_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      addr = prev->first;
+      size += prev->second;
+      free_by_addr_.erase(prev);
+    }
+  }
+  // Coalesce with the following block.
+  next = free_by_addr_.lower_bound(addr + size);
+  if (next != free_by_addr_.end() && next->first == addr + size) {
+    size += next->second;
+    free_by_addr_.erase(next);
+  }
+  free_by_addr_.emplace(addr, size);
+}
+
+}  // namespace crac::sim

@@ -1,0 +1,27 @@
+#include "simgpu/types.hpp"
+
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace crac::sim {
+
+void simulate_delay_us(double us) noexcept {
+  if (us <= 0) return;
+  if (us >= 200.0) {
+    // Long delays: sleep (coarse scheduler granularity is acceptable).
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(us)));
+    return;
+  }
+  // Short delays: spin on the monotonic clock for precision.
+  WallTimer t;
+  while (t.elapsed_us() < us) {
+    // relax the core
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace crac::sim

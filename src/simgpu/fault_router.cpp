@@ -1,0 +1,93 @@
+#include "simgpu/fault_router.hpp"
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "simgpu/uvm_manager.hpp"
+
+namespace crac::sim {
+
+namespace {
+// Plain TLS (initial-exec) so the signal handler can read it without
+// triggering lazy TLS allocation.
+thread_local bool t_device_context = false;
+std::mutex g_register_mu;
+}  // namespace
+
+FaultRouter& FaultRouter::instance() {
+  static FaultRouter router;
+  return router;
+}
+
+void FaultRouter::set_device_context(bool on) noexcept { t_device_context = on; }
+bool FaultRouter::in_device_context() noexcept { return t_device_context; }
+
+bool FaultRouter::handler_installed() const noexcept {
+  return installed_.load(std::memory_order_acquire);
+}
+
+bool FaultRouter::register_range(void* base, std::size_t len, UvmManager* mgr) {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  if (!installed_.load(std::memory_order_acquire)) {
+    struct sigaction sa = {};
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sa.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(
+        &FaultRouter::handle_sigsegv);
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGSEGV, &sa, nullptr) != 0) return false;
+    installed_.store(true, std::memory_order_release);
+  }
+  for (auto& e : entries_) {
+    std::uintptr_t expected = 0;
+    if (e.base.load(std::memory_order_acquire) == 0) {
+      e.len.store(len, std::memory_order_relaxed);
+      e.mgr.store(mgr, std::memory_order_relaxed);
+      if (e.base.compare_exchange_strong(
+              expected, reinterpret_cast<std::uintptr_t>(base),
+              std::memory_order_release)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void FaultRouter::unregister_range(void* base) {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  for (auto& e : entries_) {
+    if (e.base.load(std::memory_order_acquire) ==
+        reinterpret_cast<std::uintptr_t>(base)) {
+      e.base.store(0, std::memory_order_release);
+      e.mgr.store(nullptr, std::memory_order_relaxed);
+      e.len.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FaultRouter::handle_sigsegv(int /*sig*/, void* info_v, void* /*uctx*/) {
+  auto* info = static_cast<siginfo_t*>(info_v);
+  const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+
+  FaultRouter& self = instance();
+  for (auto& e : self.entries_) {
+    const std::uintptr_t base = e.base.load(std::memory_order_acquire);
+    if (base == 0) continue;
+    const std::size_t len = e.len.load(std::memory_order_relaxed);
+    if (addr >= base && addr < base + len) {
+      UvmManager* mgr = e.mgr.load(std::memory_order_relaxed);
+      if (mgr != nullptr &&
+          mgr->handle_fault(info->si_addr, t_device_context)) {
+        return;  // page unprotected; faulting instruction retries
+      }
+    }
+  }
+
+  // Not ours: restore the default disposition and return; the instruction
+  // re-faults and the process dies with the usual SIGSEGV semantics.
+  signal(SIGSEGV, SIG_DFL);
+}
+
+}  // namespace crac::sim

@@ -1,0 +1,70 @@
+// Process-wide SIGSEGV router for UVM fault simulation.
+//
+// Each UvmManager registers its managed-arena address range here. The first
+// registration installs a SIGSEGV handler; a fault inside a registered range
+// is forwarded to the owning manager (which migrates the page and unprotects
+// it, after which the faulting instruction is retried). Faults outside every
+// registered range re-raise with the default disposition so genuine crashes
+// still produce a core dump.
+//
+// The lookup table is a fixed-size array of atomically published entries so
+// the signal handler performs no locking or allocation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace crac::sim {
+
+class UvmManager;
+
+class FaultRouter {
+ public:
+  static FaultRouter& instance();
+
+  // Registers [base, base+len) as owned by mgr. Installs the signal handler
+  // on first use. Returns false if the table is full.
+  bool register_range(void* base, std::size_t len, UvmManager* mgr);
+  void unregister_range(void* base);
+
+  // Marks the calling thread as executing simulated device code; UVM faults
+  // raised while set are attributed to the device side.
+  static void set_device_context(bool on) noexcept;
+  static bool in_device_context() noexcept;
+
+  // Test hook: true once the SIGSEGV handler has been installed.
+  bool handler_installed() const noexcept;
+
+ private:
+  FaultRouter() = default;
+
+  static void handle_sigsegv(int sig, void* info, void* ucontext);
+
+  struct Entry {
+    std::atomic<std::uintptr_t> base{0};
+    std::atomic<std::size_t> len{0};
+    std::atomic<UvmManager*> mgr{nullptr};
+  };
+
+  static constexpr std::size_t kMaxRanges = 16;
+  Entry entries_[kMaxRanges];
+  std::atomic<bool> installed_{false};
+};
+
+// RAII device-context marker used by the stream engine around kernel bodies.
+class ScopedDeviceContext {
+ public:
+  ScopedDeviceContext() noexcept : prev_(FaultRouter::in_device_context()) {
+    FaultRouter::set_device_context(true);
+  }
+  ~ScopedDeviceContext() { FaultRouter::set_device_context(prev_); }
+
+  ScopedDeviceContext(const ScopedDeviceContext&) = delete;
+  ScopedDeviceContext& operator=(const ScopedDeviceContext&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace crac::sim

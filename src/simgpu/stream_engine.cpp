@@ -1,0 +1,344 @@
+#include "simgpu/stream_engine.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "simgpu/fault_router.hpp"
+
+namespace crac::sim {
+
+StreamEngine::StreamEngine(StreamEngineConfig config, ThreadPool* sm_pool)
+    : config_(std::move(config)), sm_pool_(sm_pool) {
+  CRAC_CHECK(sm_pool_ != nullptr);
+  // The default stream (id 0) always exists.
+  auto def = std::make_unique<Stream>();
+  def->id = 0;
+  Stream* raw = def.get();
+  def->worker = std::thread([this, raw] { worker_loop(raw); });
+  streams_.emplace(0, std::move(def));
+}
+
+StreamEngine::~StreamEngine() {
+  std::vector<Stream*> all;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& [id, s] : streams_) all.push_back(s.get());
+  }
+  for (Stream* s : all) {
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->stop = true;
+    }
+    s->cv.notify_all();
+  }
+  for (Stream* s : all) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+}
+
+Result<StreamId> StreamEngine::create_stream() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  // The default stream does not count against the limit; the paper observes
+  // applications fail when exceeding the device's maximum (128 on V100).
+  if (streams_.size() - 1 >= static_cast<std::size_t>(config_.max_streams)) {
+    return OutOfMemory("stream limit reached (" +
+                       std::to_string(config_.max_streams) + ")");
+  }
+  const StreamId id = next_stream_id_++;
+  auto s = std::make_unique<Stream>();
+  s->id = id;
+  Stream* raw = s.get();
+  s->worker = std::thread([this, raw] { worker_loop(raw); });
+  streams_.emplace(id, std::move(s));
+  return id;
+}
+
+Status StreamEngine::destroy_stream(StreamId id) {
+  if (id == 0) return InvalidArgument("cannot destroy the default stream");
+  CRAC_RETURN_IF_ERROR(synchronize(id));
+  std::unique_ptr<Stream> victim;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end()) return NotFound("unknown stream");
+    victim = std::move(it->second);
+    streams_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(victim->mu);
+    victim->stop = true;
+  }
+  victim->cv.notify_all();
+  victim->worker.join();
+  return OkStatus();
+}
+
+Status StreamEngine::enqueue(StreamId id, StreamOp op) {
+  Stream* s = find_stream(id);
+  if (s == nullptr) return NotFound("unknown stream");
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->queue.push_back(std::move(op));
+  }
+  s->cv.notify_one();
+  return OkStatus();
+}
+
+Status StreamEngine::synchronize(StreamId id) {
+  Stream* s = find_stream(id);
+  if (s == nullptr) return NotFound("unknown stream");
+  std::unique_lock<std::mutex> lock(s->mu);
+  s->idle_cv.wait(lock, [s] { return s->queue.empty() && !s->busy; });
+  return OkStatus();
+}
+
+Status StreamEngine::synchronize_all() {
+  std::vector<StreamId> ids;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& [id, s] : streams_) ids.push_back(id);
+  }
+  for (StreamId id : ids) {
+    // A stream destroyed concurrently is already synchronized.
+    Status st = synchronize(id);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  }
+  return OkStatus();
+}
+
+Result<bool> StreamEngine::query(StreamId id) {
+  Stream* s = find_stream(id);
+  if (s == nullptr) return NotFound("unknown stream");
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->queue.empty() && !s->busy;
+}
+
+std::vector<StreamId> StreamEngine::live_streams() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<StreamId> ids;
+  for (auto& [id, s] : streams_) {
+    if (id != 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t StreamEngine::stream_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return streams_.size() - 1;
+}
+
+Result<EventId> StreamEngine::create_event() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const EventId id = next_event_id_++;
+  events_.emplace(id, std::make_shared<Event>());
+  return id;
+}
+
+Status StreamEngine::destroy_event(EventId id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (events_.erase(id) == 0) return NotFound("unknown event");
+  return OkStatus();
+}
+
+Status StreamEngine::record_event(StreamId stream, EventId event) {
+  auto ev = find_event(event);
+  if (ev == nullptr) return NotFound("unknown event");
+  {
+    std::lock_guard<std::mutex> lock(ev->mu);
+    ev->complete = false;
+  }
+  return enqueue(stream, EventRecordOp{event});
+}
+
+Status StreamEngine::wait_event(StreamId stream, EventId event) {
+  if (find_event(event) == nullptr) return NotFound("unknown event");
+  return enqueue(stream, WaitEventOp{event});
+}
+
+Status StreamEngine::synchronize_event(EventId event) {
+  auto ev = find_event(event);
+  if (ev == nullptr) return NotFound("unknown event");
+  std::unique_lock<std::mutex> lock(ev->mu);
+  ev->cv.wait(lock, [&] { return ev->complete; });
+  return OkStatus();
+}
+
+Result<bool> StreamEngine::query_event(EventId event) {
+  auto ev = find_event(event);
+  if (ev == nullptr) return NotFound("unknown event");
+  std::lock_guard<std::mutex> lock(ev->mu);
+  return ev->complete;
+}
+
+Result<float> StreamEngine::elapsed_ms(EventId start, EventId stop) {
+  auto a = find_event(start);
+  auto b = find_event(stop);
+  if (a == nullptr || b == nullptr) return NotFound("unknown event");
+  std::chrono::steady_clock::time_point ta, tb;
+  {
+    std::lock_guard<std::mutex> lock(a->mu);
+    if (!a->complete) return FailedPrecondition("start event not complete");
+    ta = a->when;
+  }
+  {
+    std::lock_guard<std::mutex> lock(b->mu);
+    if (!b->complete) return FailedPrecondition("stop event not complete");
+    tb = b->when;
+  }
+  return std::chrono::duration<float, std::milli>(tb - ta).count();
+}
+
+std::vector<EventId> StreamEngine::live_events() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<EventId> ids;
+  ids.reserve(events_.size());
+  for (auto& [id, ev] : events_) ids.push_back(id);
+  return ids;
+}
+
+int StreamEngine::kernels_in_flight() const noexcept {
+  return kernels_running_.load(std::memory_order_relaxed);
+}
+
+int StreamEngine::max_kernels_observed() const noexcept {
+  return max_kernels_observed_.load(std::memory_order_relaxed);
+}
+
+void StreamEngine::worker_loop(Stream* stream) {
+  for (;;) {
+    StreamOp op;
+    {
+      std::unique_lock<std::mutex> lock(stream->mu);
+      stream->cv.wait(lock,
+                      [stream] { return stream->stop || !stream->queue.empty(); });
+      if (stream->stop && stream->queue.empty()) return;
+      op = std::move(stream->queue.front());
+      stream->queue.pop_front();
+      stream->busy = true;
+    }
+    execute(op);
+    {
+      std::lock_guard<std::mutex> lock(stream->mu);
+      stream->busy = false;
+      if (stream->queue.empty()) stream->idle_cv.notify_all();
+    }
+  }
+}
+
+void StreamEngine::execute(StreamOp& op) {
+  std::visit(
+      [this](auto& concrete) {
+        using T = std::decay_t<decltype(concrete)>;
+        if constexpr (std::is_same_v<T, KernelOp>) {
+          run_kernel(concrete);
+        } else if constexpr (std::is_same_v<T, MemcpyOp>) {
+          run_memcpy(concrete);
+        } else if constexpr (std::is_same_v<T, MemsetOp>) {
+          ScopedDeviceContext ctx;
+          std::memset(concrete.dst, concrete.value, concrete.n);
+        } else if constexpr (std::is_same_v<T, EventRecordOp>) {
+          auto ev = find_event(concrete.event);
+          if (ev != nullptr) {
+            std::lock_guard<std::mutex> lock(ev->mu);
+            ev->complete = true;
+            ev->when = std::chrono::steady_clock::now();
+            ev->cv.notify_all();
+          }
+        } else if constexpr (std::is_same_v<T, WaitEventOp>) {
+          auto ev = find_event(concrete.event);
+          if (ev != nullptr) {
+            std::unique_lock<std::mutex> lock(ev->mu);
+            ev->cv.wait(lock, [&] { return ev->complete; });
+          }
+        } else if constexpr (std::is_same_v<T, HostFuncOp>) {
+          // Host callbacks run on the stream thread but are host context.
+          concrete.fn();
+        }
+      },
+      op);
+}
+
+void StreamEngine::run_kernel(KernelOp& op) {
+  // Throttle to the device's concurrent-kernel limit.
+  {
+    std::unique_lock<std::mutex> lock(kernel_mu_);
+    kernel_cv_.wait(lock, [this] {
+      return kernels_running_.load(std::memory_order_relaxed) <
+             config_.max_concurrent_kernels;
+    });
+    const int now = kernels_running_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (now > max_kernels_observed_.load(std::memory_order_relaxed)) {
+      max_kernels_observed_.store(now, std::memory_order_relaxed);
+    }
+  }
+
+  if (config_.cost.kernel_launch_overhead_us > 0) {
+    simulate_delay_us(config_.cost.kernel_launch_overhead_us);
+  }
+
+  auto arg_ptrs = op.args.arg_pointers();
+  void* const* args = arg_ptrs.data();
+  const Dim3 grid = op.dims.grid;
+  const Dim3 block = op.dims.block;
+  const std::size_t blocks = grid.count();
+
+  auto run_block = [&](std::size_t linear) {
+    ScopedDeviceContext ctx;
+    KernelBlock kb;
+    kb.grid = grid;
+    kb.block = block;
+    kb.block_idx.x = static_cast<unsigned>(linear % grid.x);
+    kb.block_idx.y = static_cast<unsigned>((linear / grid.x) % grid.y);
+    kb.block_idx.z = static_cast<unsigned>(linear / (static_cast<std::size_t>(grid.x) * grid.y));
+    op.fn(args, kb);
+  };
+
+  if (blocks <= 2) {
+    for (std::size_t i = 0; i < blocks; ++i) run_block(i);
+  } else {
+    sm_pool_->parallel_for(blocks, run_block);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    kernels_running_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  kernel_cv_.notify_one();
+}
+
+void StreamEngine::run_memcpy(const MemcpyOp& op) {
+  MemcpyKind kind = op.kind;
+  if (kind == MemcpyKind::kDefault && config_.infer_kind) {
+    kind = config_.infer_kind(op.dst, op.src);
+  }
+  // Device-side engines perform the copy: attribute UVM faults to the GPU
+  // for transfers that involve the device.
+  const bool device_side = kind != MemcpyKind::kHostToHost;
+  if (device_side) {
+    ScopedDeviceContext ctx;
+    std::memcpy(op.dst, op.src, op.n);
+  } else {
+    std::memcpy(op.dst, op.src, op.n);
+  }
+  if (config_.cost.pcie_gbps > 0 && (kind == MemcpyKind::kHostToDevice ||
+                                     kind == MemcpyKind::kDeviceToHost)) {
+    const double us =
+        static_cast<double>(op.n) / (config_.cost.pcie_gbps * 1e3);
+    simulate_delay_us(us);
+  }
+}
+
+StreamEngine::Stream* StreamEngine::find_stream(StreamId id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<StreamEngine::Event> StreamEngine::find_event(
+    EventId id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = events_.find(id);
+  return it == events_.end() ? nullptr : it->second;
+}
+
+}  // namespace crac::sim

@@ -1,0 +1,175 @@
+// CUDA-stream semantics for the simulated device.
+//
+// Each stream is a FIFO of operations executed by a dedicated worker thread;
+// operations in different streams run concurrently, bounded by the device's
+// concurrent-kernel limit (128 on compute capability 7.0 — the figure the
+// paper's stream experiments push against). Kernels spread their thread
+// blocks across the shared SM pool.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "simgpu/types.hpp"
+
+namespace crac::sim {
+
+using StreamId = std::uint64_t;  // 0 is the default stream
+using EventId = std::uint64_t;
+
+// Kernel arguments are captured by value at launch time (the CUDA launch ABI
+// copies the parameter buffer), so asynchronous execution never dangles.
+struct ArgBuffer {
+  std::vector<std::byte> data;
+  std::vector<std::size_t> offsets;
+
+  // Builds args[i] pointers into `data` for the kernel-ABI call.
+  std::vector<void*> arg_pointers() {
+    std::vector<void*> ptrs;
+    ptrs.reserve(offsets.size());
+    for (std::size_t off : offsets) ptrs.push_back(data.data() + off);
+    return ptrs;
+  }
+
+  template <typename T>
+  void push(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "kernel arguments must be trivially copyable");
+    offsets.push_back(data.size());
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    data.insert(data.end(), p, p + sizeof(T));
+  }
+};
+
+struct KernelOp {
+  KernelFn fn = nullptr;
+  LaunchDims dims;
+  ArgBuffer args;
+  std::string name;
+};
+struct MemcpyOp {
+  void* dst = nullptr;
+  const void* src = nullptr;
+  std::size_t n = 0;
+  MemcpyKind kind = MemcpyKind::kDefault;
+};
+struct MemsetOp {
+  void* dst = nullptr;
+  int value = 0;
+  std::size_t n = 0;
+};
+struct EventRecordOp {
+  EventId event = 0;
+};
+struct WaitEventOp {
+  EventId event = 0;
+};
+struct HostFuncOp {
+  std::function<void()> fn;
+};
+
+using StreamOp = std::variant<KernelOp, MemcpyOp, MemsetOp, EventRecordOp,
+                              WaitEventOp, HostFuncOp>;
+
+struct StreamEngineConfig {
+  int max_streams = 128;
+  int max_concurrent_kernels = 128;
+  CostModel cost;
+  // Resolves cudaMemcpyDefault using UVA pointer inspection.
+  std::function<MemcpyKind(const void* dst, const void* src)> infer_kind;
+};
+
+class StreamEngine {
+ public:
+  StreamEngine(StreamEngineConfig config, ThreadPool* sm_pool);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  // --- streams ---
+  Result<StreamId> create_stream();
+  Status destroy_stream(StreamId id);  // synchronizes first (CUDA semantics)
+  Status enqueue(StreamId id, StreamOp op);
+  Status synchronize(StreamId id);
+  Status synchronize_all();
+  Result<bool> query(StreamId id);  // true when the stream is idle
+
+  // Non-default streams currently alive, in creation order (used by the
+  // CRAC plugin to recreate streams on restart).
+  std::vector<StreamId> live_streams() const;
+  std::size_t stream_count() const;
+
+  // --- events ---
+  Result<EventId> create_event();
+  Status destroy_event(EventId id);
+  Status record_event(StreamId stream, EventId event);
+  Status wait_event(StreamId stream, EventId event);
+  Status synchronize_event(EventId event);
+  Result<bool> query_event(EventId event);  // true when complete
+  Result<float> elapsed_ms(EventId start, EventId stop);
+  std::vector<EventId> live_events() const;
+
+  // Total kernels currently executing (test hook for the concurrency cap).
+  int kernels_in_flight() const noexcept;
+  // High-water mark of concurrently executing kernels.
+  int max_kernels_observed() const noexcept;
+
+ private:
+  struct Event {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool complete = true;  // a never-recorded event polls complete, like CUDA
+    std::chrono::steady_clock::time_point when{};
+  };
+
+  struct Stream {
+    StreamId id = 0;
+    std::thread worker;
+    mutable std::mutex mu;
+    std::condition_variable cv;        // wakes the worker
+    std::condition_variable idle_cv;   // wakes synchronize()
+    std::deque<StreamOp> queue;
+    bool busy = false;
+    bool stop = false;
+  };
+
+  void worker_loop(Stream* stream);
+  void execute(StreamOp& op);
+  void run_kernel(KernelOp& op);
+  void run_memcpy(const MemcpyOp& op);
+
+  Stream* find_stream(StreamId id) const;
+  std::shared_ptr<Event> find_event(EventId id) const;
+
+  StreamEngineConfig config_;
+  ThreadPool* sm_pool_;
+
+  mutable std::mutex registry_mu_;
+  std::map<StreamId, std::unique_ptr<Stream>> streams_;
+  std::map<EventId, std::shared_ptr<Event>> events_;
+  StreamId next_stream_id_ = 1;
+  EventId next_event_id_ = 1;
+
+  // Concurrent-kernel throttle (simple semaphore). The counters are atomic
+  // so the test hooks can read them without taking kernel_mu_.
+  std::mutex kernel_mu_;
+  std::condition_variable kernel_cv_;
+  std::atomic<int> kernels_running_{0};
+  std::atomic<int> max_kernels_observed_{0};
+};
+
+}  // namespace crac::sim

@@ -1,0 +1,151 @@
+// Core value types of the simulated GPU (simgpu).
+//
+// simgpu stands in for the NVIDIA device + driver stack in this reproduction
+// (see DESIGN.md §2). It deliberately exposes only the behaviours CRAC's
+// checkpointing mechanism depends on: a deterministic allocator over a
+// unified (host-visible) virtual address space, FIFO streams with a
+// concurrent-kernel cap, events, and fault-driven UVM page migration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace crac::sim {
+
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+
+  constexpr std::size_t count() const noexcept {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+struct LaunchDims {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t shared_bytes = 0;
+};
+
+// Execution context handed to a kernel once per thread block. Kernels loop
+// over their threads via for_each_thread (the common CUDA idiom of one
+// logical thread per data element maps to one loop iteration here).
+struct KernelBlock {
+  Dim3 grid;
+  Dim3 block;
+  Dim3 block_idx;
+
+  // Linear block id in row-major (z,y,x) order.
+  std::size_t linear_block() const noexcept {
+    return (static_cast<std::size_t>(block_idx.z) * grid.y + block_idx.y) *
+               grid.x +
+           block_idx.x;
+  }
+
+  template <typename F>
+  void for_each_thread(F&& f) const {
+    Dim3 t;
+    for (t.z = 0; t.z < block.z; ++t.z) {
+      for (t.y = 0; t.y < block.y; ++t.y) {
+        for (t.x = 0; t.x < block.x; ++t.x) {
+          f(t);
+        }
+      }
+    }
+  }
+
+  // Global index helpers (blockIdx * blockDim + threadIdx).
+  unsigned global_x(unsigned tx) const noexcept { return block_idx.x * block.x + tx; }
+  unsigned global_y(unsigned ty) const noexcept { return block_idx.y * block.y + ty; }
+  unsigned global_z(unsigned tz) const noexcept { return block_idx.z * block.z + tz; }
+};
+
+// Device-code entry point. `args` follows the CUDA launch ABI: args[i]
+// points at the value of the i-th kernel parameter.
+using KernelFn = void (*)(void* const* args, const KernelBlock& blk);
+
+enum class MemcpyKind : std::uint8_t {
+  kHostToHost = 0,
+  kHostToDevice = 1,
+  kDeviceToHost = 2,
+  kDeviceToDevice = 3,
+  kDefault = 4,  // UVA: direction inferred from pointers
+};
+
+// Simulated hardware cost model. All zero by default so unit tests run at
+// memory speed; benchmarks enable realistic values to give the overhead
+// percentages a meaningful denominator.
+struct CostModel {
+  double pcie_gbps = 0.0;               // H2D/D2H transfer bandwidth
+  double kernel_launch_overhead_us = 0.0;  // per-launch fixed cost
+  double uvm_fault_us = 0.0;            // per-page migration cost
+};
+
+// Callbacks invoked when the simulated CUDA library maps memory. The
+// split-process layer uses these to tag lower-half regions so they are
+// excluded from checkpoints (paper §3.1-§3.2).
+class MmapHooks {
+ public:
+  virtual ~MmapHooks() = default;
+  virtual void on_commit(void* addr, std::size_t len, const char* purpose) = 0;
+  virtual void on_release(void* addr, std::size_t len) = 0;
+};
+
+struct DeviceConfig {
+  std::string name = "SimGPU Tesla V100-SXM2-32GB";
+  int cc_major = 7;
+  int cc_minor = 0;
+  int num_sms = 0;  // 0 => std::thread::hardware_concurrency()
+  int max_concurrent_kernels = 128;
+  int max_streams = 128;
+
+  std::size_t device_capacity = std::size_t{8} << 30;
+  std::size_t pinned_capacity = std::size_t{2} << 30;
+  std::size_t managed_capacity = std::size_t{8} << 30;
+  std::size_t device_chunk = std::size_t{64} << 20;  // first cudaMalloc arena
+  std::size_t pinned_chunk = std::size_t{16} << 20;
+  std::size_t managed_chunk = std::size_t{64} << 20;
+  std::size_t alignment = 512;  // CUDA guarantees >=256B; we use 512
+  std::size_t uvm_page_size = std::size_t{64} << 10;
+
+  // Fixed virtual-address bases give the deterministic placement that
+  // log-and-replay depends on (the paper disables ASLR for the same
+  // reason). 0 means "let the kernel pick" (addresses then differ between
+  // lower-half incarnations, which the determinism tests exploit).
+  std::uintptr_t device_va_base = 0x700000000000ULL;
+  std::uintptr_t pinned_va_base = 0x710000000000ULL;
+  std::uintptr_t managed_va_base = 0x720000000000ULL;
+
+  CostModel cost;
+  MmapHooks* hooks = nullptr;
+};
+
+struct DeviceProperties {
+  std::string name;
+  int cc_major;
+  int cc_minor;
+  int num_sms;
+  int max_concurrent_kernels;
+  std::size_t total_mem_bytes;
+  std::size_t uvm_page_size;
+};
+
+// Per-device activity counters (monotonic, for tests and Table 1).
+struct DeviceCounters {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t memcpys = 0;
+  std::uint64_t memcpy_bytes = 0;
+  std::uint64_t memsets = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+};
+
+// Busy-wait / sleep hybrid used to model hardware latencies.
+void simulate_delay_us(double us) noexcept;
+
+}  // namespace crac::sim

@@ -1,0 +1,198 @@
+#include "simgpu/uvm_manager.hpp"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "simgpu/fault_router.hpp"
+
+namespace crac::sim {
+
+UvmManager::UvmManager(const Config& config)
+    : config_(config),
+      arena_(ArenaAllocator::Config{
+          .va_base = config.va_base,
+          .capacity = config.capacity,
+          .chunk_size = config.chunk_size,
+          .alignment = config.alignment,
+          .purpose = "managed",
+          .hooks = config.hooks,
+      }) {
+  CRAC_CHECK(config_.page_size % 4096 == 0);
+  // Fixed page table sized for the whole reservation; PageInfo is tiny, so
+  // even an 8 GiB arena at 64 KiB pages costs only ~a few hundred KiB.
+  const std::size_t n_pages = config_.capacity / config_.page_size;
+  pages_.reserve(n_pages);
+  for (std::size_t i = 0; i < n_pages; ++i) {
+    pages_.push_back(std::make_unique<PageInfo>());
+  }
+  CRAC_CHECK_MSG(
+      FaultRouter::instance().register_range(arena_.arena_base(),
+                                             config_.capacity, this),
+      "UVM fault-router table full");
+}
+
+UvmManager::~UvmManager() {
+  FaultRouter::instance().unregister_range(arena_.arena_base());
+}
+
+Result<void*> UvmManager::allocate(std::size_t bytes) {
+  // Managed allocations are page-granular so protection never spans two
+  // logical allocations (matches the driver's UVM granularity).
+  const std::size_t rounded =
+      (bytes + config_.page_size - 1) / config_.page_size * config_.page_size;
+  return arena_.allocate(rounded);
+}
+
+Status UvmManager::free(void* p) {
+  const std::size_t size = arena_.allocation_size(p);
+  if (size == 0) return InvalidArgument("managed free of unknown pointer");
+  // Leave the pages unprotected and host-resident so arena reuse of this
+  // space starts from a clean slate.
+  const std::size_t first = page_index(p);
+  const std::size_t count = size / config_.page_size;
+  for (std::size_t i = first; i < first + count && i < pages_.size(); ++i) {
+    pages_[i]->armed.store(false, std::memory_order_relaxed);
+    pages_[i]->residency.store(static_cast<std::uint8_t>(PageResidency::kHost),
+                               std::memory_order_relaxed);
+  }
+  ::mprotect(p, size, PROT_READ | PROT_WRITE);
+  return arena_.free(p);
+}
+
+Status UvmManager::arm_range(void* p, std::size_t bytes) {
+  if (!contains(p)) return InvalidArgument("arm_range outside managed arena");
+  const std::size_t first = page_index(p);
+  const std::size_t count =
+      (bytes + config_.page_size - 1) / config_.page_size;
+  for (std::size_t i = first; i < first + count && i < pages_.size(); ++i) {
+    pages_[i]->armed.store(true, std::memory_order_release);
+  }
+  if (::mprotect(page_base(first), count * config_.page_size, PROT_NONE) !=
+      0) {
+    return IoError(std::string("mprotect arm failed: ") +
+                   std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status UvmManager::arm_all() {
+  for (const auto& [p, size] : arena_.active_allocations()) {
+    CRAC_RETURN_IF_ERROR(arm_range(p, size));
+  }
+  return OkStatus();
+}
+
+Status UvmManager::prefetch(void* p, std::size_t bytes, bool to_device) {
+  if (!contains(p)) return InvalidArgument("prefetch outside managed arena");
+  const std::size_t first = page_index(p);
+  const std::size_t count =
+      (bytes + config_.page_size - 1) / config_.page_size;
+  const auto target = static_cast<std::uint8_t>(to_device ? PageResidency::kDevice
+                                                          : PageResidency::kHost);
+  for (std::size_t i = first; i < first + count && i < pages_.size(); ++i) {
+    pages_[i]->residency.store(target, std::memory_order_relaxed);
+    pages_[i]->armed.store(true, std::memory_order_release);
+  }
+  prefetches_.fetch_add(1, std::memory_order_relaxed);
+  if (::mprotect(page_base(first), count * config_.page_size, PROT_NONE) !=
+      0) {
+    return IoError(std::string("mprotect prefetch failed: ") +
+                   std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status UvmManager::disarm_all() {
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    if (!pages_[i]->armed.exchange(false, std::memory_order_acq_rel)) continue;
+    if (::mprotect(page_base(i), config_.page_size, PROT_READ | PROT_WRITE) !=
+        0) {
+      return IoError(std::string("mprotect disarm failed: ") +
+                     std::strerror(errno));
+    }
+  }
+  return OkStatus();
+}
+
+bool UvmManager::handle_fault(void* addr, bool device_context) noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const auto base = reinterpret_cast<std::uintptr_t>(arena_.arena_base());
+  if (a < base || a >= base + config_.capacity) return false;
+  const std::size_t index = (a - base) / config_.page_size;
+  if (index >= pages_.size()) return false;
+  PageInfo& page = *pages_[index];
+
+  // A fault on a page we never armed means a wild access into uncommitted
+  // arena space — let it crash.
+  if (!page.armed.exchange(false, std::memory_order_acq_rel)) {
+    // Another thread may have just handled the same fault; if the page is
+    // now readable the retry succeeds, so report handled. Distinguish by
+    // probing the protection state cheaply: mprotect to RW is idempotent.
+    if (::mprotect(page_base(index), config_.page_size,
+                   PROT_READ | PROT_WRITE) == 0) {
+      return true;
+    }
+    return false;
+  }
+
+  const auto want = static_cast<std::uint8_t>(
+      device_context ? PageResidency::kDevice : PageResidency::kHost);
+  const std::uint8_t prev =
+      page.residency.exchange(want, std::memory_order_acq_rel);
+  if (prev != want) {
+    if (device_context) {
+      device_faults_.fetch_add(1, std::memory_order_relaxed);
+      migrations_to_device_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      host_faults_.fetch_add(1, std::memory_order_relaxed);
+      migrations_to_host_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (config_.fault_cost_us > 0) simulate_delay_us(config_.fault_cost_us);
+  }
+
+  return ::mprotect(page_base(index), config_.page_size,
+                    PROT_READ | PROT_WRITE) == 0;
+}
+
+UvmStats UvmManager::stats() const {
+  UvmStats s;
+  s.host_faults = host_faults_.load(std::memory_order_relaxed);
+  s.device_faults = device_faults_.load(std::memory_order_relaxed);
+  s.migrations_to_host = migrations_to_host_.load(std::memory_order_relaxed);
+  s.migrations_to_device =
+      migrations_to_device_.load(std::memory_order_relaxed);
+  s.prefetches = prefetches_.load(std::memory_order_relaxed);
+  s.pages_tracked = pages_.size();
+  return s;
+}
+
+void UvmManager::reset_stats() {
+  host_faults_.store(0, std::memory_order_relaxed);
+  device_faults_.store(0, std::memory_order_relaxed);
+  migrations_to_host_.store(0, std::memory_order_relaxed);
+  migrations_to_device_.store(0, std::memory_order_relaxed);
+  prefetches_.store(0, std::memory_order_relaxed);
+}
+
+Result<PageResidency> UvmManager::residency(const void* p) const {
+  if (!contains(p)) return InvalidArgument("pointer outside managed arena");
+  const std::size_t index = page_index(p);
+  if (index >= pages_.size()) return InvalidArgument("page out of range");
+  return static_cast<PageResidency>(
+      pages_[index]->residency.load(std::memory_order_acquire));
+}
+
+std::size_t UvmManager::page_index(const void* p) const noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const auto base = reinterpret_cast<std::uintptr_t>(arena_.arena_base());
+  return (a - base) / config_.page_size;
+}
+
+void* UvmManager::page_base(std::size_t index) const noexcept {
+  return static_cast<char*>(arena_.arena_base()) + index * config_.page_size;
+}
+
+}  // namespace crac::sim

@@ -1,0 +1,134 @@
+// Unified Virtual Memory simulation (CUDA 6.0+ cudaMallocManaged semantics).
+//
+// Managed memory lives in its own deterministic arena. Every UVM page
+// (default 64 KiB) carries a residency state; "migration" is modelled with
+// real page protection: a page resident on the opposite side is PROT_NONE,
+// the first touching access raises SIGSEGV, the FaultRouter forwards the
+// fault here, and the page is migrated (bookkeeping + counter) and
+// unprotected so the access retries. Because host and device share one set
+// of physical pages in the simulator (exactly the UVA property that broke
+// pre-CUDA-4.0 checkpointing), data movement is implicit; what the paper's
+// mechanism cares about — residency bookkeeping that cannot be recreated
+// after destroying the CUDA library — is fully represented.
+//
+// One deliberate simplification (documented in DESIGN.md): there is a single
+// page table for both sides, so after a fault unprotects a page, subsequent
+// accesses from either side proceed without faulting until protection is
+// re-armed (arm_all / arm_range / prefetch / checkpoint drain). Fault
+// counters therefore measure first-touch migrations per arming epoch, which
+// is the granularity the experiments consume.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "simgpu/arena_allocator.hpp"
+#include "simgpu/types.hpp"
+
+namespace crac::sim {
+
+enum class PageResidency : std::uint8_t {
+  kHost = 0,
+  kDevice = 1,
+};
+
+struct UvmStats {
+  std::uint64_t host_faults = 0;       // host touched a device-resident page
+  std::uint64_t device_faults = 0;     // device touched a host-resident page
+  std::uint64_t migrations_to_host = 0;
+  std::uint64_t migrations_to_device = 0;
+  std::uint64_t prefetches = 0;
+  std::uint64_t pages_tracked = 0;
+};
+
+class UvmManager {
+ public:
+  struct Config {
+    std::uintptr_t va_base = 0;
+    std::size_t capacity = 0;
+    std::size_t chunk_size = 0;
+    std::size_t alignment = 512;
+    std::size_t page_size = std::size_t{64} << 10;
+    double fault_cost_us = 0.0;
+    MmapHooks* hooks = nullptr;
+  };
+
+  explicit UvmManager(const Config& config);
+  ~UvmManager();
+
+  UvmManager(const UvmManager&) = delete;
+  UvmManager& operator=(const UvmManager&) = delete;
+
+  // cudaMallocManaged / cudaFree for managed pointers.
+  Result<void*> allocate(std::size_t bytes);
+  Status free(void* p);
+
+  bool contains(const void* p) const noexcept { return arena_.contains(p); }
+  std::size_t allocation_size(const void* p) const {
+    return arena_.allocation_size(p);
+  }
+  std::map<void*, std::size_t> active_allocations() const {
+    return arena_.active_allocations();
+  }
+  std::size_t active_bytes() const { return arena_.active_bytes(); }
+  bool is_fixed_base() const noexcept { return arena_.is_fixed_base(); }
+
+  // Re-arm protection on every tracked page so the next access from either
+  // side faults (starts a new fault-counting epoch).
+  Status arm_all();
+  Status arm_range(void* p, std::size_t bytes);
+
+  // cudaMemPrefetchAsync semantics (synchronous part): mark the pages of
+  // [p, p+bytes) resident on `to_device ? device : host` side and arm the
+  // opposite side.
+  Status prefetch(void* p, std::size_t bytes, bool to_device);
+
+  // Drop all protection so the checkpoint drain can read every page without
+  // faulting (and without perturbing counters).
+  Status disarm_all();
+
+  // Called from the SIGSEGV path. Returns true when the fault was handled.
+  bool handle_fault(void* addr, bool device_context) noexcept;
+
+  UvmStats stats() const;
+  void reset_stats();
+
+  std::size_t page_size() const noexcept { return config_.page_size; }
+
+  // Residency of the page containing p (test/diagnostic hook).
+  Result<PageResidency> residency(const void* p) const;
+
+ private:
+  struct PageInfo {
+    std::atomic<std::uint8_t> residency{
+        static_cast<std::uint8_t>(PageResidency::kHost)};
+    std::atomic<bool> armed{false};
+  };
+
+  // Page bookkeeping covers committed arena space lazily: pages are indexed
+  // relative to the arena base.
+  std::size_t page_index(const void* p) const noexcept;
+  void* page_base(std::size_t index) const noexcept;
+  void ensure_tracked(std::size_t first_page, std::size_t n_pages);
+
+  Config config_;
+  ArenaAllocator arena_;
+
+  mutable std::mutex pages_mu_;
+  // Stable storage: deque-of-unique_ptr semantics via vector<unique_ptr>.
+  std::vector<std::unique_ptr<PageInfo>> pages_;
+
+  std::atomic<std::uint64_t> host_faults_{0};
+  std::atomic<std::uint64_t> device_faults_{0};
+  std::atomic<std::uint64_t> migrations_to_host_{0};
+  std::atomic<std::uint64_t> migrations_to_device_{0};
+  std::atomic<std::uint64_t> prefetches_{0};
+};
+
+}  // namespace crac::sim

@@ -1,0 +1,69 @@
+#include "simgpu/va_reservation.hpp"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+#ifndef MAP_FIXED_NOREPLACE
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
+namespace crac::sim {
+
+VaReservation::VaReservation(std::uintptr_t base_hint, std::size_t capacity)
+    : capacity_(capacity) {
+  const int flags = MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE;
+  if (base_hint != 0) {
+    void* p = ::mmap(reinterpret_cast<void*>(base_hint), capacity, PROT_NONE,
+                     flags | MAP_FIXED_NOREPLACE, -1, 0);
+    if (p != MAP_FAILED) {
+      base_ = p;
+      fixed_ = true;
+      return;
+    }
+    CRAC_WARN() << "VA reservation at fixed base 0x" << std::hex << base_hint
+                << std::dec << " failed (" << std::strerror(errno)
+                << "); falling back to kernel-chosen placement";
+  }
+  void* p = ::mmap(nullptr, capacity, PROT_NONE, flags, -1, 0);
+  if (p == MAP_FAILED) {
+    CRAC_ERROR() << "VA reservation of " << capacity
+                 << " bytes failed: " << std::strerror(errno);
+    base_ = nullptr;
+    capacity_ = 0;
+    return;
+  }
+  base_ = p;
+  fixed_ = false;
+}
+
+VaReservation::~VaReservation() {
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+}
+
+Status VaReservation::commit(void* addr, std::size_t len) {
+  if (!contains(addr)) return InvalidArgument("commit outside reservation");
+  if (::mprotect(addr, len, PROT_READ | PROT_WRITE) != 0) {
+    return IoError(std::string("mprotect commit failed: ") +
+                   std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status VaReservation::decommit(void* addr, std::size_t len) {
+  if (!contains(addr)) return InvalidArgument("decommit outside reservation");
+  // MADV_DONTNEED drops the pages; mprotect(PROT_NONE) re-arms the guard.
+  if (::madvise(addr, len, MADV_DONTNEED) != 0) {
+    return IoError(std::string("madvise failed: ") + std::strerror(errno));
+  }
+  if (::mprotect(addr, len, PROT_NONE) != 0) {
+    return IoError(std::string("mprotect decommit failed: ") +
+                   std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace crac::sim

@@ -1,0 +1,50 @@
+// A large PROT_NONE virtual-address reservation from which allocation arenas
+// commit chunks. When a fixed base is requested the reservation lands at the
+// same address in every incarnation of the lower half, which is the
+// foundation of CRAC's replay-time address determinism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace crac::sim {
+
+class VaReservation {
+ public:
+  // base_hint == 0 lets the kernel choose the placement. A non-zero hint is
+  // requested with MAP_FIXED_NOREPLACE; if the range is occupied the
+  // reservation falls back to a kernel-chosen address and is_fixed() is
+  // false (determinism across incarnations is then not guaranteed).
+  VaReservation(std::uintptr_t base_hint, std::size_t capacity);
+  ~VaReservation();
+
+  VaReservation(const VaReservation&) = delete;
+  VaReservation& operator=(const VaReservation&) = delete;
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  bool is_fixed() const noexcept { return fixed_; }
+  void* base() const noexcept { return base_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool contains(const void* p) const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const auto b = reinterpret_cast<std::uintptr_t>(base_);
+    return a >= b && a < b + capacity_;
+  }
+
+  // Make [addr, addr+len) readable/writable. addr must be page-aligned and
+  // inside the reservation.
+  Status commit(void* addr, std::size_t len);
+
+  // Return [addr, addr+len) to PROT_NONE and drop the backing pages.
+  Status decommit(void* addr, std::size_t len);
+
+ private:
+  void* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  bool fixed_ = false;
+};
+
+}  // namespace crac::sim

@@ -1,0 +1,175 @@
+#include "splitproc/address_space.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace crac::split {
+
+const char* to_string(HalfTag tag) noexcept {
+  return tag == HalfTag::kUpper ? "upper" : "lower";
+}
+
+Status AddressSpace::add_region(void* addr, std::size_t len, int prot,
+                                HalfTag tag, std::string name) {
+  if (addr == nullptr || len == 0) return InvalidArgument("empty region");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto start = reinterpret_cast<std::uintptr_t>(addr);
+  if (!overlaps_locked(start, len).empty()) {
+    return AlreadyExists("region overlaps an existing mapping: " + name);
+  }
+  regions_.emplace(start, Region{start, len, prot, tag, std::move(name)});
+  return OkStatus();
+}
+
+std::vector<Region> AddressSpace::force_add_region(void* addr, std::size_t len,
+                                                   int prot, HalfTag tag,
+                                                   std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto start = reinterpret_cast<std::uintptr_t>(addr);
+  std::vector<Region> victims = overlaps_locked(start, len);
+  // Evict (munmap semantics): remove the overlapped span from each victim.
+  (void)remove_region_locked(start, len);
+  regions_.emplace(start, Region{start, len, prot, tag, std::move(name)});
+  return victims;
+}
+
+Status AddressSpace::remove_region(void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) return InvalidArgument("empty range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return remove_region_locked(reinterpret_cast<std::uintptr_t>(addr), len);
+}
+
+Status AddressSpace::remove_region_locked(std::uintptr_t lo, std::size_t len) {
+  const auto hi = lo + len;
+
+  // Find the first region that could intersect.
+  auto it = regions_.lower_bound(lo);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end() > lo) it = prev;
+  }
+
+  while (it != regions_.end() && it->second.start < hi) {
+    Region r = it->second;
+    it = regions_.erase(it);
+    // Keep the part of r below the removed range.
+    if (r.start < lo) {
+      Region head = r;
+      head.size = lo - r.start;
+      regions_.emplace(head.start, head);
+    }
+    // Keep the part of r above the removed range.
+    if (r.end() > hi) {
+      Region tail = r;
+      tail.start = hi;
+      tail.size = r.end() - hi;
+      regions_.emplace(tail.start, tail);
+      it = regions_.upper_bound(tail.start);
+    }
+  }
+  return OkStatus();
+}
+
+std::optional<Region> AddressSpace::find(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = regions_.upper_bound(a);
+  if (it == regions_.begin()) return std::nullopt;
+  --it;
+  if (it->second.contains(a)) return it->second;
+  return std::nullopt;
+}
+
+std::vector<Region> AddressSpace::regions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Region> out;
+  out.reserve(regions_.size());
+  for (const auto& [start, r] : regions_) out.push_back(r);
+  return out;
+}
+
+std::vector<Region> AddressSpace::regions(HalfTag tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Region> out;
+  for (const auto& [start, r] : regions_) {
+    if (r.tag == tag) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t AddressSpace::total_bytes(HalfTag tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [start, r] : regions_) {
+    if (r.tag == tag) total += r.size;
+  }
+  return total;
+}
+
+std::size_t AddressSpace::region_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_.size();
+}
+
+std::vector<Region> AddressSpace::merged_view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Region> out;
+  for (const auto& [start, r] : regions_) {
+    if (!out.empty()) {
+      Region& last = out.back();
+      if (last.end() == r.start && last.prot == r.prot) {
+        // The kernel's view: one merged entry; per-half identity is lost.
+        last.size += r.size;
+        last.name.clear();
+        continue;
+      }
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t AddressSpace::consolidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t merges = 0;
+  auto it = regions_.begin();
+  while (it != regions_.end()) {
+    auto next = std::next(it);
+    if (next == regions_.end()) break;
+    Region& a = it->second;
+    const Region& b = next->second;
+    if (a.end() == b.start && a.prot == b.prot && a.tag == b.tag) {
+      a.size += b.size;
+      regions_.erase(next);
+      ++merges;
+      continue;  // try to absorb the following region too
+    }
+    it = next;
+  }
+  return merges;
+}
+
+std::vector<Region> AddressSpace::overlaps(const void* addr,
+                                           std::size_t len) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlaps_locked(reinterpret_cast<std::uintptr_t>(addr), len);
+}
+
+std::vector<Region> AddressSpace::overlaps_locked(std::uintptr_t lo,
+                                                  std::size_t len) const {
+  std::vector<Region> out;
+  const auto hi = lo + len;
+  auto it = regions_.lower_bound(lo);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end() > lo) out.push_back(prev->second);
+  }
+  while (it != regions_.end() && it->second.start < hi) {
+    out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace crac::split

@@ -1,0 +1,99 @@
+// Address-space model for the split-process architecture.
+//
+// CRAC must know, for every mapped region, whether it belongs to the upper
+// half (the application — checkpointed) or the lower half (the helper
+// program and CUDA libraries — discarded and recreated on restart). The
+// paper's §3.2.2 describes two hazards this module reproduces:
+//
+//  1. /proc/PID/maps merges adjacent regions with identical permissions, so
+//     a maps-based checkpointer cannot tell where the upper half ends and
+//     the lower half begins. merged_view() shows the hazardous listing;
+//     regions() keeps the ground-truth tags CRAC actually uses.
+//
+//  2. A lower-half library mmap can land on (and silently unmap) existing
+//     upper-half pages. force_add_region() models the stomp and returns the
+//     victims so the countermeasure (tracking + consolidation of upper-half
+//     allocations) is testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac::split {
+
+enum class HalfTag : std::uint8_t {
+  kUpper = 0,  // checkpointed
+  kLower = 1,  // recreated on restart
+};
+
+const char* to_string(HalfTag tag) noexcept;
+
+struct Region {
+  std::uintptr_t start = 0;
+  std::size_t size = 0;
+  int prot = 0;  // PROT_* flags
+  HalfTag tag = HalfTag::kUpper;
+  std::string name;
+
+  std::uintptr_t end() const noexcept { return start + size; }
+  bool contains(std::uintptr_t addr) const noexcept {
+    return addr >= start && addr < end();
+  }
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  // Registers a new region. Fails with kAlreadyExists if it overlaps any
+  // tracked region (the safe default the kernel-loader path uses).
+  Status add_region(void* addr, std::size_t len, int prot, HalfTag tag,
+                    std::string name);
+
+  // Registers a region *evicting* whatever it overlaps — the §3.2.2 stomp.
+  // Returns the evicted (fully or partially) regions.
+  std::vector<Region> force_add_region(void* addr, std::size_t len, int prot,
+                                       HalfTag tag, std::string name);
+
+  // Removes [addr, addr+len); regions partially covered are split, exactly
+  // like munmap. Removing an untracked range is a no-op (munmap semantics).
+  Status remove_region(void* addr, std::size_t len);
+
+  // Ground truth lookup.
+  std::optional<Region> find(const void* addr) const;
+  std::vector<Region> regions() const;
+  std::vector<Region> regions(HalfTag tag) const;
+  std::size_t total_bytes(HalfTag tag) const;
+  std::size_t region_count() const;
+
+  // The /proc/PID/maps view: adjacent regions with equal permissions are
+  // merged regardless of their half — the information loss the paper calls
+  // out. (Names and tags of merged entries are dropped, as the kernel would.)
+  std::vector<Region> merged_view() const;
+
+  // CRAC's countermeasure: coalesce adjacent regions of the same tag and
+  // permissions so the upper half is described by few, contiguous records.
+  // Returns the number of merges performed.
+  std::size_t consolidate();
+
+  // All tracked regions intersecting [addr, addr+len).
+  std::vector<Region> overlaps(const void* addr, std::size_t len) const;
+
+ private:
+  std::vector<Region> overlaps_locked(std::uintptr_t lo, std::size_t len) const;
+  Status remove_region_locked(std::uintptr_t lo, std::size_t len);
+
+  // Region registration happens from multiple threads (stream workers can
+  // trigger arena growth), so the map is mutex-guarded.
+  mutable std::mutex mu_;
+  // Keyed by start address. Invariant: entries never overlap.
+  std::map<std::uintptr_t, Region> regions_;
+};
+
+}  // namespace crac::split

@@ -1,0 +1,83 @@
+#include "splitproc/kernel_loader.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+#ifndef MAP_FIXED_NOREPLACE
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
+namespace crac::split {
+
+namespace {
+std::size_t page_round(std::size_t n) {
+  static const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return (n + page - 1) / page * page;
+}
+}  // namespace
+
+LoadedProgram::LoadedProgram(AddressSpace* space, std::string name)
+    : space_(space), name_(std::move(name)) {}
+
+LoadedProgram::~LoadedProgram() {
+  for (const Region& seg : segments_) {
+    ::munmap(reinterpret_cast<void*>(seg.start), seg.size);
+    (void)space_->remove_region(reinterpret_cast<void*>(seg.start), seg.size);
+  }
+}
+
+Result<std::unique_ptr<LoadedProgram>> KernelLoader::load(
+    const ProgramImage& image, HalfTag tag, std::uintptr_t base_hint) {
+  auto prog = std::make_unique<LoadedProgram>(space_, image.name);
+  std::uintptr_t cursor = base_hint;
+
+  for (const SegmentSpec& spec : image.segments) {
+    const std::size_t size = page_round(spec.size);
+    void* addr = nullptr;
+    if (cursor != 0) {
+      // MAP_FIXED_NOREPLACE, not MAP_FIXED: the loader must *never* silently
+      // stomp existing pages — that is the §3.2.2 corruption this design
+      // avoids. We mmap writable first (so segments can be "populated") and
+      // rely on the recorded prot for the logical view.
+      addr = ::mmap(reinterpret_cast<void*>(cursor), size,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1, 0);
+      if (addr == MAP_FAILED) {
+        return IoError("segment " + spec.name + " of " + image.name +
+                       " cannot be placed at fixed address: " +
+                       std::strerror(errno));
+      }
+    } else {
+      addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (addr == MAP_FAILED) {
+        return IoError("segment mmap failed: " + std::string(strerror(errno)));
+      }
+    }
+
+    Status tracked = space_->add_region(addr, size, spec.prot, tag,
+                                        image.name + ":" + spec.name);
+    if (!tracked.ok()) {
+      ::munmap(addr, size);
+      return tracked;
+    }
+    prog->segments_.push_back(
+        Region{reinterpret_cast<std::uintptr_t>(addr), size, spec.prot, tag,
+               image.name + ":" + spec.name});
+
+    if (cursor != 0) {
+      cursor = reinterpret_cast<std::uintptr_t>(addr) + size;
+    }
+  }
+  CRAC_DEBUG() << "loaded " << image.name << " (" << image.segments.size()
+               << " segments) as " << to_string(tag) << " half at 0x"
+               << std::hex << prog->base();
+  return prog;
+}
+
+}  // namespace crac::split

@@ -1,0 +1,72 @@
+// User-space program loading, imitating the way the kernel loads an ELF
+// executable (paper §3.1, "Single address-space design: split processes").
+//
+// The real CRAC implements a loader that places the lower-half helper (and
+// the NVIDIA libraries it pulls in) into a restricted portion of the address
+// space using MAP_FIXED, interposing on every mmap so each region can be
+// attributed to a half. Here a "program" is a set of anonymous segments
+// (text/data/bss-shaped) that the loader mmaps at deterministic addresses
+// and registers, correctly tagged, in the AddressSpace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "splitproc/address_space.hpp"
+
+namespace crac::split {
+
+struct SegmentSpec {
+  std::string name;      // e.g. ".text", ".data", "libcuda.so:.text"
+  std::size_t size = 0;  // rounded up to page size by the loader
+  int prot = 0;          // PROT_* flags
+};
+
+struct ProgramImage {
+  std::string name;  // e.g. "lower-half-helper"
+  std::vector<SegmentSpec> segments;
+};
+
+// RAII handle: unmaps the segments and deregisters them on destruction
+// (that is precisely what discarding the lower half at restart means).
+class LoadedProgram {
+ public:
+  LoadedProgram(AddressSpace* space, std::string name);
+  ~LoadedProgram();
+
+  LoadedProgram(const LoadedProgram&) = delete;
+  LoadedProgram& operator=(const LoadedProgram&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Region>& segments() const noexcept { return segments_; }
+
+  // Base address of the first segment (0 when nothing is loaded).
+  std::uintptr_t base() const noexcept {
+    return segments_.empty() ? 0 : segments_.front().start;
+  }
+
+ private:
+  friend class KernelLoader;
+  AddressSpace* space_;
+  std::string name_;
+  std::vector<Region> segments_;
+};
+
+class KernelLoader {
+ public:
+  explicit KernelLoader(AddressSpace* space) : space_(space) {}
+
+  // Loads `image` with consecutive segments starting at base_hint (0 lets
+  // the kernel choose; determinism is then lost, as with ASLR enabled).
+  Result<std::unique_ptr<LoadedProgram>> load(const ProgramImage& image,
+                                              HalfTag tag,
+                                              std::uintptr_t base_hint);
+
+ private:
+  AddressSpace* space_;
+};
+
+}  // namespace crac::split

@@ -1,0 +1,84 @@
+#include "splitproc/proc_maps.hpp"
+
+#include <sys/mman.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace crac::split {
+
+std::string format_maps(const std::vector<Region>& regions) {
+  std::string out;
+  char line[256];
+  for (const Region& r : regions) {
+    const char rr = (r.prot & PROT_READ) ? 'r' : '-';
+    const char ww = (r.prot & PROT_WRITE) ? 'w' : '-';
+    const char xx = (r.prot & PROT_EXEC) ? 'x' : '-';
+    std::snprintf(line, sizeof(line),
+                  "%" PRIxPTR "-%" PRIxPTR " %c%c%cp 00000000 00:00 0 %s\n",
+                  r.start, r.end(), rr, ww, xx, r.name.c_str());
+    out += line;
+  }
+  return out;
+}
+
+Result<std::vector<MapsEntry>> parse_maps(const std::string& text) {
+  std::vector<MapsEntry> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    MapsEntry e;
+    char perms[8] = {0};
+    unsigned long long start = 0, end = 0, offset = 0;
+    unsigned dev_major = 0, dev_minor = 0;
+    unsigned long long inode = 0;
+    int consumed = 0;
+    const int n =
+        std::sscanf(line.c_str(), "%llx-%llx %7s %llx %x:%x %llu %n", &start,
+                    &end, perms, &offset, &dev_major, &dev_minor, &inode,
+                    &consumed);
+    if (n < 7) return Corrupt("unparseable maps line: " + line);
+    e.start = static_cast<std::uintptr_t>(start);
+    e.end = static_cast<std::uintptr_t>(end);
+    e.perms = perms;
+    if (consumed > 0 && static_cast<std::size_t>(consumed) < line.size()) {
+      e.path = line.substr(static_cast<std::size_t>(consumed));
+      // trim leading spaces
+      const auto pos = e.path.find_first_not_of(' ');
+      e.path = pos == std::string::npos ? std::string() : e.path.substr(pos);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<std::vector<MapsEntry>> read_self_maps() {
+  std::ifstream f("/proc/self/maps");
+  if (!f.is_open()) return IoError("cannot open /proc/self/maps");
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return parse_maps(buf.str());
+}
+
+bool covered_by(const std::vector<MapsEntry>& maps, std::uintptr_t addr,
+                std::size_t len) {
+  std::uintptr_t cursor = addr;
+  const std::uintptr_t stop = addr + len;
+  while (cursor < stop) {
+    bool advanced = false;
+    for (const MapsEntry& e : maps) {
+      if (e.start <= cursor && cursor < e.end) {
+        cursor = e.end;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return false;
+  }
+  return true;
+}
+
+}  // namespace crac::split

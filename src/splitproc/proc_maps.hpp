@@ -1,0 +1,43 @@
+// /proc/PID/maps formatting and parsing.
+//
+// DMTCP discovers checkpointable memory by reading /proc/self/maps; CRAC
+// must reconcile that merged, tag-less listing with its own region tags
+// (paper §3.2.2). This module renders AddressSpace regions in the kernel's
+// format, parses such listings back, and can read the real /proc/self/maps
+// (used by integration tests to confirm the simulated arenas really do sit
+// at their fixed addresses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "splitproc/address_space.hpp"
+
+namespace crac::split {
+
+struct MapsEntry {
+  std::uintptr_t start = 0;
+  std::uintptr_t end = 0;
+  std::string perms;  // e.g. "rw-p"
+  std::string path;   // trailing pathname / [heap] / empty
+
+  std::size_t size() const noexcept { return end - start; }
+};
+
+// Renders regions in /proc/PID/maps format (offset/dev/inode zeroed, as for
+// anonymous mappings).
+std::string format_maps(const std::vector<Region>& regions);
+
+// Parses a maps-format listing.
+Result<std::vector<MapsEntry>> parse_maps(const std::string& text);
+
+// Reads and parses the live /proc/self/maps.
+Result<std::vector<MapsEntry>> read_self_maps();
+
+// True when [addr, addr+len) is fully covered by entries of `maps`.
+bool covered_by(const std::vector<MapsEntry>& maps, std::uintptr_t addr,
+                std::size_t len);
+
+}  // namespace crac::split

@@ -1,0 +1,72 @@
+#include "splitproc/trampoline.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace crac::split {
+
+namespace {
+
+#ifndef ARCH_GET_FS
+#define ARCH_GET_FS 0x1003
+#endif
+
+bool detect_fsgsbase() noexcept {
+#if defined(__x86_64__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & 1u) != 0;  // CPUID.(EAX=07H,ECX=0H):EBX.FSGSBASE[bit 0]
+#else
+  return false;
+#endif
+}
+
+#if defined(__x86_64__)
+__attribute__((target("fsgsbase"))) std::uint64_t read_fs_base_direct() {
+  return __builtin_ia32_rdfsbase64();
+}
+#endif
+
+}  // namespace
+
+bool Trampoline::cpu_supports_fsgsbase() noexcept {
+  static const bool supported = detect_fsgsbase();
+  return supported;
+}
+
+void Trampoline::pay_switch_cost() const noexcept {
+  switch (mode()) {
+    case FsSwitchMode::kNone:
+      break;
+    case FsSwitchMode::kSyscall: {
+      // One genuine kernel round-trip, the same cost class as
+      // arch_prctl(ARCH_SET_FS, ...) on an unpatched kernel.
+      std::uint64_t fs = 0;
+      (void)::syscall(SYS_arch_prctl, ARCH_GET_FS, &fs);
+      break;
+    }
+    case FsSwitchMode::kFsgsbase: {
+#if defined(__x86_64__)
+      if (cpu_supports_fsgsbase()) {
+        // Unprivileged register read: the cost the FSGSBASE patch enables.
+        volatile std::uint64_t fs = read_fs_base_direct();
+        (void)fs;
+      }
+#endif
+      break;
+    }
+  }
+}
+
+void Trampoline::enter_lower_half() noexcept {
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  pay_switch_cost();
+}
+
+void Trampoline::leave_lower_half() noexcept { pay_switch_cost(); }
+
+}  // namespace crac::split

@@ -1,0 +1,80 @@
+// The upper-half -> lower-half call trampoline.
+//
+// In CRAC, every CUDA call from the application jumps through a trampoline
+// into the lower half. Because the two halves own distinct TLS (two libcs),
+// each transition must switch the x86-64 %fs segment base: on an unpatched
+// kernel that is a kernel call (arch_prctl), on a kernel with the FSGSBASE
+// patch it is a single unprivileged WRFSBASE instruction. Section 4.4.5 of
+// the paper measures exactly this difference.
+//
+// This reproduction has one libc, so no *functional* switch is needed; the
+// trampoline instead pays the *cost* of the configured mechanism on every
+// transition — a real arch_prctl syscall, or a real RDFSBASE instruction —
+// and counts transitions (the numerator of the paper's calls-per-second
+// metric).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace crac::split {
+
+enum class FsSwitchMode : int {
+  kNone = 0,      // no cost modelling (library default, unit tests)
+  kSyscall = 1,   // unpatched Linux: kernel call per transition
+  kFsgsbase = 2,  // FSGSBASE-patched Linux: direct register access
+};
+
+class Trampoline {
+ public:
+  explicit Trampoline(FsSwitchMode mode = FsSwitchMode::kNone) noexcept
+      : mode_(static_cast<int>(mode)) {}
+
+  void set_mode(FsSwitchMode mode) noexcept {
+    mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+  }
+  FsSwitchMode mode() const noexcept {
+    return static_cast<FsSwitchMode>(mode_.load(std::memory_order_relaxed));
+  }
+
+  // Called on entry to / exit from the lower half around every dispatched
+  // CUDA call.
+  void enter_lower_half() noexcept;
+  void leave_lower_half() noexcept;
+
+  // Number of upper->lower transitions since construction/reset. One
+  // transition == one CUDA call as counted by the paper's CPS metric.
+  std::uint64_t transitions() const noexcept {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  void reset_transitions() noexcept {
+    transitions_.store(0, std::memory_order_relaxed);
+  }
+
+  // True when the CPU exposes the FSGSBASE instructions (the kFsgsbase mode
+  // silently degrades to no cost when it does not).
+  static bool cpu_supports_fsgsbase() noexcept;
+
+ private:
+  void pay_switch_cost() const noexcept;
+
+  std::atomic<int> mode_;
+  std::atomic<std::uint64_t> transitions_{0};
+};
+
+// RAII guard bracketing one lower-half call.
+class LowerHalfCall {
+ public:
+  explicit LowerHalfCall(Trampoline& t) noexcept : t_(t) {
+    t_.enter_lower_half();
+  }
+  ~LowerHalfCall() { t_.leave_lower_half(); }
+
+  LowerHalfCall(const LowerHalfCall&) = delete;
+  LowerHalfCall& operator=(const LowerHalfCall&) = delete;
+
+ private:
+  Trampoline& t_;
+};
+
+}  // namespace crac::split

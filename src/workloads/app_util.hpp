@@ -1,0 +1,30 @@
+// Shared helpers for the workload mini-apps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "simcuda/api.hpp"
+
+namespace crac::workloads {
+
+inline cuda::dim3 grid1d(std::uint64_t n, unsigned threads = 128) {
+  return cuda::dim3{
+      static_cast<unsigned>((n + threads - 1) / threads), 1, 1};
+}
+
+inline cuda::dim3 block1d(unsigned threads = 128) {
+  return cuda::dim3{threads, 1, 1};
+}
+
+// Checked launch: propagates the first failing CUDA call as a Status.
+#define CRAC_CUDA_OK(expr)                                              \
+  do {                                                                  \
+    const ::crac::cuda::cudaError_t _err = (expr);                      \
+    if (_err != ::crac::cuda::cudaSuccess) {                            \
+      return ::crac::Internal(std::string(#expr) + " failed: " +        \
+                              ::crac::cuda::cudaGetErrorString(_err));  \
+    }                                                                   \
+  } while (0)
+
+}  // namespace crac::workloads

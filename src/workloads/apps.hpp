@@ -1,0 +1,45 @@
+// Accessors for every workload mini-app (singletons; see workload.cpp for
+// the registry). One function per application in the paper's Table 1.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace crac::workloads {
+
+// Rodinia 3.1 subset (Figures 2, 3, 6).
+Workload* bfs_workload();
+Workload* cfd_workload();
+Workload* dwt2d_workload();
+Workload* gaussian_workload();
+Workload* heartwall_workload();
+Workload* hotspot_workload();
+Workload* hotspot3d_workload();
+Workload* kmeans_workload();
+Workload* lud_workload();
+Workload* leukocyte_workload();
+Workload* nw_workload();
+Workload* particlefilter_workload();
+Workload* srad_workload();
+Workload* streamcluster_workload();
+
+// Stream-oriented NVIDIA samples (Figure 4, Figure 5a).
+Workload* simple_streams_workload();
+Workload* unified_memory_streams_workload();
+
+// Real-world miniatures (Figure 5).
+Workload* mini_lulesh_workload();
+Workload* mini_hpgmg_workload();
+Workload* mini_hypre_workload();
+
+// Per-mode timing breakdown of simpleStreams, consumed by the Figure 4
+// bench (kernel+copy pair cost with and without streams).
+struct SimpleStreamsReport {
+  double nonstreamed_pair_ms = 0;
+  double streamed_pair_ms = 0;
+  double total_s = 0;
+  double checksum = 0;
+};
+Result<SimpleStreamsReport> run_simple_streams_detailed(
+    cuda::CudaApi& api, const WorkloadParams& params);
+
+}  // namespace crac::workloads

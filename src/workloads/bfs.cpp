@@ -1,0 +1,175 @@
+// Rodinia BFS mini-app (paper args: graph1MW_6.txt — 1M nodes, ~6 edges
+// per node). Level-synchronous breadth-first search over a synthetic CSR
+// graph: one kernel launch plus one flag download per level, giving the
+// high calls-per-second profile Table 1 reports for the Rodinia suite.
+//
+// Params: size_a = node count, size_b = average out-degree.
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// One BFS level: expand every node whose level == current.
+void bfs_level_kernel(void* const* args, const KernelBlock& blk) {
+  const std::uint32_t* row_offsets = kernel_arg<const std::uint32_t*>(args, 0);
+  const std::uint32_t* cols = kernel_arg<const std::uint32_t*>(args, 1);
+  std::int32_t* levels = kernel_arg<std::int32_t*>(args, 2);
+  std::int32_t* changed = kernel_arg<std::int32_t*>(args, 3);
+  const auto n = kernel_arg<std::uint64_t>(args, 4);
+  const auto current = kernel_arg<std::int32_t>(args, 5);
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t u = blk.global_x(t.x);
+    if (u >= n || levels[u] != current) return;
+    for (std::uint32_t e = row_offsets[u]; e < row_offsets[u + 1]; ++e) {
+      const std::uint32_t v = cols[e];
+      if (levels[v] < 0) {
+        // Benign race: every writer stores the same value (current+1).
+        levels[v] = current + 1;
+        *changed = 1;
+      }
+    }
+  });
+}
+
+struct Graph {
+  std::vector<std::uint32_t> row_offsets;
+  std::vector<std::uint32_t> cols;
+};
+
+// Synthetic graph: a Hamiltonian chain (guarantees depth) plus random
+// edges up to the requested average degree.
+Graph make_graph(std::uint64_t n, std::uint64_t degree, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  g.row_offsets.resize(n + 1);
+  g.cols.reserve(n * degree);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    g.row_offsets[u] = static_cast<std::uint32_t>(g.cols.size());
+    if (u + 1 < n) g.cols.push_back(static_cast<std::uint32_t>(u + 1));
+    for (std::uint64_t k = 1; k < degree; ++k) {
+      g.cols.push_back(static_cast<std::uint32_t>(rng.next_below(n)));
+    }
+  }
+  g.row_offsets[n] = static_cast<std::uint32_t>(g.cols.size());
+  return g;
+}
+
+double levels_checksum(const std::vector<std::int32_t>& levels) {
+  double sum = 0;
+  for (std::int32_t l : levels) sum += l;
+  return sum;
+}
+
+class BfsWorkload final : public Workload {
+ public:
+  const char* name() const override { return "bfs"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "graph1MW_6.txt"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 1500000;  // nodes (the paper's graph has 1M)
+    p.size_b = 6;       // average degree, as in graph1MW_6
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const Graph g = make_graph(n, params.size_b, params.seed);
+
+    DeviceBuffer<std::uint32_t> d_rows(api, g.row_offsets.size());
+    DeviceBuffer<std::uint32_t> d_cols(api, g.cols.size());
+    DeviceBuffer<std::int32_t> d_levels(api, n);
+    DeviceBuffer<std::int32_t> d_changed(api, 1);
+    d_rows.upload(g.row_offsets);
+    d_cols.upload(g.cols);
+    std::vector<std::int32_t> levels(n, -1);
+    levels[0] = 0;
+    d_levels.upload(levels);
+
+    std::int32_t current = 0;
+    for (;;) {
+      CRAC_CUDA_OK(api.cudaMemset(d_changed.get(), 0, sizeof(std::int32_t)));
+      CRAC_CUDA_OK(cuda::launch(
+          api, &bfs_level_kernel, grid1d(n), block1d(), 0,
+          static_cast<const std::uint32_t*>(d_rows.get()),
+          static_cast<const std::uint32_t*>(d_cols.get()), d_levels.get(),
+          d_changed.get(), n, current));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      std::int32_t changed = 0;
+      CRAC_CUDA_OK(api.cudaMemcpy(&changed, d_changed.get(),
+                                  sizeof(std::int32_t),
+                                  cuda::cudaMemcpyDeviceToHost));
+      if (hook) hook(current);
+      if (changed == 0) break;
+      ++current;
+    }
+
+    WorkloadResult result;
+    result.checksum = levels_checksum(d_levels.download());
+    result.bytes_processed = g.cols.size() * sizeof(std::uint32_t);
+    result.detail = "depth=" + std::to_string(current);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const Graph g = make_graph(n, params.size_b, params.seed);
+    std::vector<std::int32_t> levels(n, -1);
+    levels[0] = 0;
+    std::vector<std::uint32_t> frontier = {0};
+    std::int32_t current = 0;
+    while (!frontier.empty()) {
+      std::vector<std::uint32_t> next;
+      for (std::uint32_t u : frontier) {
+        for (std::uint32_t e = g.row_offsets[u]; e < g.row_offsets[u + 1];
+             ++e) {
+          const std::uint32_t v = g.cols[e];
+          if (levels[v] < 0) {
+            levels[v] = current + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++current;
+    }
+    return levels_checksum(levels);
+  }
+
+ private:
+  struct ModuleInit {
+    cuda::KernelModule mod{"bfs.cu"};
+    ModuleInit() {
+      mod.add_kernel<const std::uint32_t*, const std::uint32_t*,
+                     std::int32_t*, std::int32_t*, std::uint64_t,
+                     std::int32_t>(&bfs_level_kernel, "bfs_level");
+    }
+  };
+  ModuleInit init_;
+  cuda::KernelModule& module_ = init_.mod;
+};
+
+}  // namespace
+
+Workload* bfs_workload() {
+  static BfsWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,143 @@
+// RAII device/managed buffer helpers used by the workload mini-apps.
+// All allocation flows through the CudaApi so interposers (CRAC's logger,
+// the proxy client) observe the same call pattern the original apps emit.
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "simcuda/api.hpp"
+
+namespace crac::workloads {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer(cuda::CudaApi& api, std::size_t count)
+      : api_(&api), count_(count) {
+    void* p = nullptr;
+    const auto err = api_->cudaMalloc(&p, count * sizeof(T));
+    CRAC_CHECK_MSG(err == cuda::cudaSuccess,
+                   "cudaMalloc failed: " << cuda::cudaGetErrorString(err));
+    ptr_ = static_cast<T*>(p);
+  }
+
+  ~DeviceBuffer() {
+    if (ptr_ != nullptr) (void)api_->cudaFree(ptr_);
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : api_(other.api_), ptr_(other.ptr_), count_(other.count_) {
+    other.ptr_ = nullptr;
+  }
+
+  T* get() noexcept { return ptr_; }
+  const T* get() const noexcept { return ptr_; }
+  std::size_t count() const noexcept { return count_; }
+  std::size_t bytes() const noexcept { return count_ * sizeof(T); }
+
+  void upload(const std::vector<T>& host) {
+    CRAC_CHECK(host.size() <= count_);
+    const auto err = api_->cudaMemcpy(ptr_, host.data(),
+                                      host.size() * sizeof(T),
+                                      cuda::cudaMemcpyHostToDevice);
+    CRAC_CHECK(err == cuda::cudaSuccess);
+  }
+
+  std::vector<T> download() const {
+    std::vector<T> host(count_);
+    const auto err = api_->cudaMemcpy(host.data(), ptr_, bytes(),
+                                      cuda::cudaMemcpyDeviceToHost);
+    CRAC_CHECK(err == cuda::cudaSuccess);
+    return host;
+  }
+
+  void zero() {
+    const auto err = api_->cudaMemset(ptr_, 0, bytes());
+    CRAC_CHECK(err == cuda::cudaSuccess);
+  }
+
+ private:
+  cuda::CudaApi* api_;
+  T* ptr_ = nullptr;
+  std::size_t count_;
+};
+
+template <typename T>
+class ManagedBuffer {
+ public:
+  ManagedBuffer(cuda::CudaApi& api, std::size_t count)
+      : api_(&api), count_(count) {
+    void* p = nullptr;
+    const auto err =
+        api_->cudaMallocManaged(&p, count * sizeof(T), cuda::cudaMemAttachGlobal);
+    CRAC_CHECK_MSG(err == cuda::cudaSuccess, "cudaMallocManaged failed");
+    ptr_ = static_cast<T*>(p);
+  }
+
+  ~ManagedBuffer() {
+    if (ptr_ != nullptr) (void)api_->cudaFree(ptr_);
+  }
+
+  ManagedBuffer(const ManagedBuffer&) = delete;
+  ManagedBuffer& operator=(const ManagedBuffer&) = delete;
+  ManagedBuffer(ManagedBuffer&& other) noexcept
+      : api_(other.api_), ptr_(other.ptr_), count_(other.count_) {
+    other.ptr_ = nullptr;
+  }
+
+  // Managed memory is directly addressable from both sides (UVM).
+  T* get() noexcept { return ptr_; }
+  const T* get() const noexcept { return ptr_; }
+  T& operator[](std::size_t i) noexcept { return ptr_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return ptr_[i]; }
+  std::size_t count() const noexcept { return count_; }
+  std::size_t bytes() const noexcept { return count_ * sizeof(T); }
+
+ private:
+  cuda::CudaApi* api_;
+  T* ptr_ = nullptr;
+  std::size_t count_;
+};
+
+// Scoped stream set (created through the api, destroyed in reverse order).
+class StreamSet {
+ public:
+  StreamSet(cuda::CudaApi& api, int count) : api_(&api) {
+    streams_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      cuda::cudaStream_t s = 0;
+      const auto err = api_->cudaStreamCreate(&s);
+      CRAC_CHECK_MSG(err == cuda::cudaSuccess, "cudaStreamCreate failed");
+      streams_.push_back(s);
+    }
+  }
+
+  ~StreamSet() {
+    for (auto it = streams_.rbegin(); it != streams_.rend(); ++it) {
+      (void)api_->cudaStreamDestroy(*it);
+    }
+  }
+
+  StreamSet(const StreamSet&) = delete;
+  StreamSet& operator=(const StreamSet&) = delete;
+
+  cuda::cudaStream_t operator[](std::size_t i) const {
+    return streams_[i % streams_.size()];
+  }
+  std::size_t size() const noexcept { return streams_.size(); }
+
+  void synchronize_all() {
+    for (cuda::cudaStream_t s : streams_) {
+      (void)api_->cudaStreamSynchronize(s);
+    }
+  }
+
+ private:
+  cuda::CudaApi* api_;
+  std::vector<cuda::cudaStream_t> streams_;
+};
+
+}  // namespace crac::workloads

@@ -1,0 +1,213 @@
+// Rodinia CFD mini-app (paper args: fvcorr.domn.193K). An explicit Euler
+// solver skeleton over an unstructured mesh: per iteration, a step-factor
+// kernel, a neighbour-flux kernel and an update kernel — the original's
+// three-kernel cadence — over 5 conserved variables per cell.
+//
+// Params: size_a = cell count, iterations = time steps.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr std::uint64_t kVars = 5;       // rho, mx, my, mz, E
+constexpr std::uint64_t kNeighbors = 4;  // tetrahedral mesh
+constexpr float kCfl = 0.4f;
+
+void step_factor_kernel(void* const* args, const KernelBlock& blk) {
+  const float* v = kernel_arg<const float*>(args, 0);
+  float* step = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= n) return;
+    const float rho = v[i * kVars];
+    const float e = v[i * kVars + 4];
+    step[i] = kCfl / (std::sqrt(std::fabs(e / (rho + 1e-6f))) + 1.0f);
+  });
+}
+
+void flux_kernel(void* const* args, const KernelBlock& blk) {
+  const float* v = kernel_arg<const float*>(args, 0);
+  const std::uint32_t* neighbors = kernel_arg<const std::uint32_t*>(args, 1);
+  const float* normals = kernel_arg<const float*>(args, 2);
+  float* fluxes = kernel_arg<float*>(args, 3);
+  const auto n = kernel_arg<std::uint64_t>(args, 4);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= n) return;
+    for (std::uint64_t q = 0; q < kVars; ++q) {
+      float acc = 0;
+      for (std::uint64_t e = 0; e < kNeighbors; ++e) {
+        const std::uint32_t j = neighbors[i * kNeighbors + e];
+        const float w = normals[i * kNeighbors + e];
+        acc += w * (v[j * kVars + q] - v[i * kVars + q]);
+      }
+      fluxes[i * kVars + q] = acc;
+    }
+  });
+}
+
+void update_kernel(void* const* args, const KernelBlock& blk) {
+  float* v = kernel_arg<float*>(args, 0);
+  const float* fluxes = kernel_arg<const float*>(args, 1);
+  const float* step = kernel_arg<const float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= n) return;
+    for (std::uint64_t q = 0; q < kVars; ++q) {
+      v[i * kVars + q] += step[i] * fluxes[i * kVars + q];
+    }
+  });
+}
+
+struct Mesh {
+  std::vector<std::uint32_t> neighbors;
+  std::vector<float> normals;
+  std::vector<float> initial;
+};
+
+Mesh make_mesh(std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Mesh mesh;
+  mesh.neighbors.resize(n * kNeighbors);
+  mesh.normals.resize(n * kNeighbors);
+  mesh.initial.resize(n * kVars);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t e = 0; e < kNeighbors; ++e) {
+      mesh.neighbors[i * kNeighbors + e] =
+          static_cast<std::uint32_t>(rng.next_below(n));
+      mesh.normals[i * kNeighbors + e] = rng.next_float(0.0f, 0.05f);
+    }
+    mesh.initial[i * kVars] = rng.next_float(0.9f, 1.1f);       // rho
+    mesh.initial[i * kVars + 1] = rng.next_float(-0.1f, 0.1f);  // mx
+    mesh.initial[i * kVars + 2] = rng.next_float(-0.1f, 0.1f);  // my
+    mesh.initial[i * kVars + 3] = rng.next_float(-0.1f, 0.1f);  // mz
+    mesh.initial[i * kVars + 4] = rng.next_float(2.0f, 3.0f);   // E
+  }
+  return mesh;
+}
+
+double vars_checksum(const std::vector<float>& v) {
+  double sum = 0;
+  for (float f : v) sum += f;
+  return sum;
+}
+
+class CfdWorkload final : public Workload {
+ public:
+  CfdWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t>(
+        &step_factor_kernel, "cfd_step_factor");
+    module_.add_kernel<const float*, const std::uint32_t*, const float*,
+                       float*, std::uint64_t>(&flux_kernel, "cfd_flux");
+    module_.add_kernel<float*, const float*, const float*, std::uint64_t>(
+        &update_kernel, "cfd_update");
+  }
+
+  const char* name() const override { return "cfd"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "fvcorr.domn.193K"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 100000;  // cells (scaled from 193K)
+    p.iterations = 100;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const Mesh mesh = make_mesh(n, params.seed);
+
+    DeviceBuffer<float> d_vars(api, n * kVars);
+    DeviceBuffer<float> d_fluxes(api, n * kVars);
+    DeviceBuffer<float> d_step(api, n);
+    DeviceBuffer<std::uint32_t> d_neighbors(api, mesh.neighbors.size());
+    DeviceBuffer<float> d_normals(api, mesh.normals.size());
+    d_vars.upload(mesh.initial);
+    d_neighbors.upload(mesh.neighbors);
+    d_normals.upload(mesh.normals);
+
+    for (int it = 0; it < params.iterations; ++it) {
+      CRAC_CUDA_OK(cuda::launch(api, &step_factor_kernel, grid1d(n), block1d(),
+                                0, static_cast<const float*>(d_vars.get()),
+                                d_step.get(), n));
+      CRAC_CUDA_OK(cuda::launch(
+          api, &flux_kernel, grid1d(n), block1d(), 0,
+          static_cast<const float*>(d_vars.get()),
+          static_cast<const std::uint32_t*>(d_neighbors.get()),
+          static_cast<const float*>(d_normals.get()), d_fluxes.get(), n));
+      CRAC_CUDA_OK(cuda::launch(api, &update_kernel, grid1d(n), block1d(), 0,
+                                d_vars.get(),
+                                static_cast<const float*>(d_fluxes.get()),
+                                static_cast<const float*>(d_step.get()), n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      if (hook) hook(it);
+    }
+
+    WorkloadResult result;
+    result.checksum = vars_checksum(d_vars.download());
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             n * kVars * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const Mesh mesh = make_mesh(n, params.seed);
+    std::vector<float> v = mesh.initial;
+    std::vector<float> fluxes(n * kVars);
+    std::vector<float> step(n);
+    for (int it = 0; it < params.iterations; ++it) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const float rho = v[i * kVars];
+        const float e = v[i * kVars + 4];
+        step[i] = kCfl / (std::sqrt(std::fabs(e / (rho + 1e-6f))) + 1.0f);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint64_t q = 0; q < kVars; ++q) {
+          float acc = 0;
+          for (std::uint64_t e = 0; e < kNeighbors; ++e) {
+            const std::uint32_t j = mesh.neighbors[i * kNeighbors + e];
+            const float w = mesh.normals[i * kNeighbors + e];
+            acc += w * (v[j * kVars + q] - v[i * kVars + q]);
+          }
+          fluxes[i * kVars + q] = acc;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint64_t q = 0; q < kVars; ++q) {
+          v[i * kVars + q] += step[i] * fluxes[i * kVars + q];
+        }
+      }
+    }
+    return vars_checksum(v);
+  }
+
+ private:
+  cuda::KernelModule module_{"euler3d.cu"};
+};
+
+}  // namespace
+
+Workload* cfd_workload() {
+  static CfdWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,171 @@
+// Rodinia DWT2D mini-app (paper args: rgb.bmp -d 1024x1024 -f -5 -l 100000).
+// Multi-level 2D Haar wavelet decomposition: per level, a horizontal pass
+// and a vertical pass over the shrinking low-low quadrant.
+//
+// Params: size_a = image edge N (power of two), iterations = repeated
+// forward transforms (the original's -l loop count).
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// Horizontal Haar: for each row r of the active m x m quadrant, produce
+// m/2 averages followed by m/2 details into dst.
+void dwt_rows_kernel(void* const* args, const KernelBlock& blk) {
+  const float* src = kernel_arg<const float*>(args, 0);
+  float* dst = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);  // full stride
+  const auto m = kernel_arg<std::uint64_t>(args, 3);  // active quadrant
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t r = blk.global_x(t.x);
+    if (r >= m) return;
+    const std::uint64_t half = m / 2;
+    for (std::uint64_t c = 0; c < half; ++c) {
+      const float a = src[r * n + 2 * c];
+      const float b = src[r * n + 2 * c + 1];
+      dst[r * n + c] = 0.5f * (a + b);
+      dst[r * n + half + c] = 0.5f * (a - b);
+    }
+  });
+}
+
+// Vertical Haar over columns of the active quadrant.
+void dwt_cols_kernel(void* const* args, const KernelBlock& blk) {
+  const float* src = kernel_arg<const float*>(args, 0);
+  float* dst = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const auto m = kernel_arg<std::uint64_t>(args, 3);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t c = blk.global_x(t.x);
+    if (c >= m) return;
+    const std::uint64_t half = m / 2;
+    for (std::uint64_t r = 0; r < half; ++r) {
+      const float a = src[(2 * r) * n + c];
+      const float b = src[(2 * r + 1) * n + c];
+      dst[r * n + c] = 0.5f * (a + b);
+      dst[(half + r) * n + c] = 0.5f * (a - b);
+    }
+  });
+}
+
+std::vector<float> make_image(std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> img(n * n);
+  for (auto& v : img) v = rng.next_float(0.0f, 255.0f);
+  return img;
+}
+
+double image_sum(const std::vector<float>& img) {
+  double s = 0;
+  for (float v : img) s += v;
+  return s;
+}
+
+void haar_level_cpu(std::vector<float>& img, std::vector<float>& tmp,
+                    std::uint64_t n, std::uint64_t m) {
+  const std::uint64_t half = m / 2;
+  for (std::uint64_t r = 0; r < m; ++r) {
+    for (std::uint64_t c = 0; c < half; ++c) {
+      const float a = img[r * n + 2 * c];
+      const float b = img[r * n + 2 * c + 1];
+      tmp[r * n + c] = 0.5f * (a + b);
+      tmp[r * n + half + c] = 0.5f * (a - b);
+    }
+  }
+  for (std::uint64_t c = 0; c < m; ++c) {
+    for (std::uint64_t r = 0; r < half; ++r) {
+      const float a = tmp[(2 * r) * n + c];
+      const float b = tmp[(2 * r + 1) * n + c];
+      img[r * n + c] = 0.5f * (a + b);
+      img[(half + r) * n + c] = 0.5f * (a - b);
+    }
+  }
+}
+
+class Dwt2dWorkload final : public Workload {
+ public:
+  Dwt2dWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t, std::uint64_t>(
+        &dwt_rows_kernel, "dwt_rows");
+    module_.add_kernel<const float*, float*, std::uint64_t, std::uint64_t>(
+        &dwt_cols_kernel, "dwt_cols");
+  }
+
+  const char* name() const override { return "dwt2d"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override {
+    return "rgb.bmp -d 1024x1024 -f -5 -l 100000";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 512;      // image edge, scaled from 1024
+    p.iterations = 150;  // transform repetitions (scaled from -l 100000)
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const auto image = make_image(n, params.seed);
+
+    DeviceBuffer<float> d_img(api, n * n);
+    DeviceBuffer<float> d_tmp(api, n * n);
+
+    double final_checksum = 0;
+    for (int it = 0; it < params.iterations; ++it) {
+      d_img.upload(image);
+      for (std::uint64_t m = n; m >= 8; m /= 2) {
+        CRAC_CUDA_OK(cuda::launch(api, &dwt_rows_kernel, grid1d(m), block1d(),
+                                  0, static_cast<const float*>(d_img.get()),
+                                  d_tmp.get(), n, m));
+        CRAC_CUDA_OK(cuda::launch(api, &dwt_cols_kernel, grid1d(m), block1d(),
+                                  0, static_cast<const float*>(d_tmp.get()),
+                                  d_img.get(), n, m));
+        CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      }
+      if (hook) hook(it);
+    }
+    final_checksum = image_sum(d_img.download());
+
+    WorkloadResult result;
+    result.checksum = final_checksum;
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             n * n * sizeof(float) * 2;
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    std::vector<float> img = make_image(n, params.seed);
+    std::vector<float> tmp(n * n, 0.0f);
+    for (std::uint64_t m = n; m >= 8; m /= 2) {
+      haar_level_cpu(img, tmp, n, m);
+    }
+    return image_sum(img);
+  }
+
+ private:
+  cuda::KernelModule module_{"dwt2d.cu"};
+};
+
+}  // namespace
+
+Workload* dwt2d_workload() {
+  static Dwt2dWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,167 @@
+// Rodinia Gaussian mini-app (paper args: -s 8192 -q). Gaussian elimination
+// without pivoting: for each column k, Fan1 computes the multiplier column
+// and Fan2 updates the trailing submatrix — 2(N-1) kernel launches.
+//
+// Params: size_a = matrix dimension N.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// m[i][k] = a[i][k] / a[k][k]  for i in (k, n)
+void fan1_kernel(void* const* args, const KernelBlock& blk) {
+  const float* a = kernel_arg<const float*>(args, 0);
+  float* m = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const auto k = kernel_arg<std::uint64_t>(args, 3);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::uint64_t i = k + 1 + blk.global_x(t.x);
+    if (i >= n) return;
+    m[i * n + k] = a[i * n + k] / a[k * n + k];
+  });
+}
+
+// a[i][j] -= m[i][k] * a[k][j]; b[i] -= m[i][k]*b[k]  for i,j in (k, n)
+void fan2_kernel(void* const* args, const KernelBlock& blk) {
+  float* a = kernel_arg<float*>(args, 0);
+  float* b = kernel_arg<float*>(args, 1);
+  const float* m = kernel_arg<const float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+  const auto k = kernel_arg<std::uint64_t>(args, 4);
+  const std::uint64_t rows = n - k - 1;
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::uint64_t r = blk.global_x(t.x);
+    if (r >= rows) return;
+    const std::uint64_t i = k + 1 + r;
+    const float mult = m[i * n + k];
+    for (std::uint64_t j = k; j < n; ++j) {
+      a[i * n + j] -= mult * a[k * n + j];
+    }
+    b[i] -= mult * b[k];
+  });
+}
+
+// Diagonally-dominant random system so elimination is stable.
+void make_system(std::uint64_t n, std::uint64_t seed, std::vector<float>* a,
+                 std::vector<float>* b) {
+  Rng rng(seed);
+  a->assign(n * n, 0.0f);
+  b->assign(n, 0.0f);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    float row_sum = 0;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const float v = rng.next_float(-1.0f, 1.0f);
+      (*a)[i * n + j] = v;
+      row_sum += std::fabs(v);
+    }
+    (*a)[i * n + i] = row_sum + 1.0f;
+    (*b)[i] = rng.next_float(-1.0f, 1.0f);
+  }
+}
+
+double solve_back_substitution(const std::vector<float>& a,
+                               const std::vector<float>& b, std::uint64_t n) {
+  std::vector<double> x(n);
+  for (std::uint64_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::uint64_t j = ii + 1; j < n; ++j) {
+      acc -= static_cast<double>(a[ii * n + j]) * x[j];
+    }
+    x[ii] = acc / a[ii * n + ii];
+  }
+  double sum = 0;
+  for (double v : x) sum += v;
+  return sum;
+}
+
+class GaussianWorkload final : public Workload {
+ public:
+  GaussianWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t, std::uint64_t>(
+        &fan1_kernel, "fan1");
+    module_.add_kernel<float*, float*, const float*, std::uint64_t,
+                       std::uint64_t>(&fan2_kernel, "fan2");
+  }
+
+  const char* name() const override { return "gaussian"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "-s 8192 -q"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 1024;  // scaled from 8192
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    std::vector<float> host_a, host_b;
+    make_system(n, params.seed, &host_a, &host_b);
+
+    DeviceBuffer<float> a(api, n * n);
+    DeviceBuffer<float> b(api, n);
+    DeviceBuffer<float> m(api, n * n);
+    a.upload(host_a);
+    b.upload(host_b);
+    m.zero();
+
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+      CRAC_CUDA_OK(cuda::launch(api, &fan1_kernel, grid1d(n - k - 1),
+                                block1d(), 0,
+                                static_cast<const float*>(a.get()), m.get(),
+                                n, k));
+      CRAC_CUDA_OK(cuda::launch(api, &fan2_kernel, grid1d(n - k - 1),
+                                block1d(), 0, a.get(), b.get(),
+                                static_cast<const float*>(m.get()), n, k));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      if (hook && k % 32 == 0) hook(static_cast<int>(k));
+    }
+
+    WorkloadResult result;
+    result.checksum = solve_back_substitution(a.download(), b.download(), n);
+    result.bytes_processed = n * n * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    std::vector<float> a, b;
+    make_system(n, params.seed, &a, &b);
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+      for (std::uint64_t i = k + 1; i < n; ++i) {
+        const float mult = a[i * n + k] / a[k * n + k];
+        for (std::uint64_t j = k; j < n; ++j) {
+          a[i * n + j] -= mult * a[k * n + j];
+        }
+        b[i] -= mult * b[k];
+      }
+    }
+    return solve_back_substitution(a, b, n);
+  }
+
+ private:
+  cuda::KernelModule module_{"gaussian.cu"};
+};
+
+}  // namespace
+
+Workload* gaussian_workload() {
+  static GaussianWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,267 @@
+// Rodinia Heartwall mini-app (paper args: test.avi 104). Tracks a set of
+// template patches through a synthetic ultrasound frame sequence: per
+// frame, one kernel launch performs SSD template matching in a local search
+// window around each tracked point. Like the original, the frame buffer is
+// cudaMalloc'd and cudaFree'd per frame — the allocation churn that makes
+// Heartwall's restart time larger than its checkpoint time (Figure 3).
+//
+// Params: size_a = frame edge, size_b = number of tracked points,
+//         iterations = frame count (the paper's 104 frames).
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr std::uint64_t kTemplate = 8;  // template edge
+constexpr std::int64_t kSearch = 4;     // search radius
+
+// One block per tracked point: exhaustive SSD search in the window.
+void track_kernel(void* const* args, const KernelBlock& blk) {
+  const float* frame = kernel_arg<const float*>(args, 0);
+  const float* templates = kernel_arg<const float*>(args, 1);
+  std::int32_t* pos = kernel_arg<std::int32_t*>(args, 2);  // x,y per point
+  const auto edge = kernel_arg<std::uint64_t>(args, 3);
+  const auto points = kernel_arg<std::uint64_t>(args, 4);
+
+  const std::size_t p = blk.linear_block();
+  if (p >= points) return;
+  const float* tmpl = templates + p * kTemplate * kTemplate;
+  const std::int64_t cx = pos[2 * p];
+  const std::int64_t cy = pos[2 * p + 1];
+
+  float best = 1e30f;
+  std::int64_t best_dx = 0, best_dy = 0;
+  for (std::int64_t dy = -kSearch; dy <= kSearch; ++dy) {
+    for (std::int64_t dx = -kSearch; dx <= kSearch; ++dx) {
+      const std::int64_t ox = cx + dx;
+      const std::int64_t oy = cy + dy;
+      if (ox < 0 || oy < 0 ||
+          ox + static_cast<std::int64_t>(kTemplate) >=
+              static_cast<std::int64_t>(edge) ||
+          oy + static_cast<std::int64_t>(kTemplate) >=
+              static_cast<std::int64_t>(edge)) {
+        continue;
+      }
+      float ssd = 0;
+      for (std::uint64_t ty = 0; ty < kTemplate; ++ty) {
+        for (std::uint64_t tx = 0; tx < kTemplate; ++tx) {
+          const float d = frame[(static_cast<std::uint64_t>(oy) + ty) * edge +
+                                static_cast<std::uint64_t>(ox) + tx] -
+                          tmpl[ty * kTemplate + tx];
+          ssd += d * d;
+        }
+      }
+      if (ssd < best) {
+        best = ssd;
+        best_dx = dx;
+        best_dy = dy;
+      }
+    }
+  }
+  pos[2 * p] = static_cast<std::int32_t>(cx + best_dx);
+  pos[2 * p + 1] = static_cast<std::int32_t>(cy + best_dy);
+}
+
+// A synthetic "heart wall": a ring of bright pixels whose radius pulses
+// with the frame index, over speckle noise.
+std::vector<float> make_frame(std::uint64_t edge, int frame,
+                              std::uint64_t seed) {
+  Rng rng(seed + static_cast<std::uint64_t>(frame) * 7919);
+  std::vector<float> img(edge * edge);
+  for (auto& v : img) v = rng.next_float(0.0f, 20.0f);
+  const double cx = static_cast<double>(edge) / 2;
+  const double cy = static_cast<double>(edge) / 2;
+  const double radius =
+      static_cast<double>(edge) / 4 +
+      3.0 * std::sin(static_cast<double>(frame) * 0.3);
+  for (std::uint64_t y = 0; y < edge; ++y) {
+    for (std::uint64_t x = 0; x < edge; ++x) {
+      const double d = std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy));
+      if (std::fabs(d - radius) < 2.0) img[y * edge + x] += 200.0f;
+    }
+  }
+  return img;
+}
+
+struct TrackState {
+  std::vector<float> templates;
+  std::vector<std::int32_t> pos;
+};
+
+TrackState initial_state(std::uint64_t edge, std::uint64_t points,
+                         std::uint64_t seed) {
+  TrackState st;
+  st.templates.resize(points * kTemplate * kTemplate);
+  st.pos.resize(points * 2);
+  const auto frame0 = make_frame(edge, 0, seed);
+  for (std::uint64_t p = 0; p < points; ++p) {
+    // Place points around the ring.
+    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(p) /
+                         static_cast<double>(points);
+    const double radius = static_cast<double>(edge) / 4;
+    const auto x = static_cast<std::int64_t>(
+        static_cast<double>(edge) / 2 + radius * std::cos(angle) -
+        static_cast<double>(kTemplate) / 2);
+    const auto y = static_cast<std::int64_t>(
+        static_cast<double>(edge) / 2 + radius * std::sin(angle) -
+        static_cast<double>(kTemplate) / 2);
+    st.pos[2 * p] = static_cast<std::int32_t>(
+        std::max<std::int64_t>(kSearch, std::min<std::int64_t>(
+            x, static_cast<std::int64_t>(edge - kTemplate) - kSearch - 1)));
+    st.pos[2 * p + 1] = static_cast<std::int32_t>(
+        std::max<std::int64_t>(kSearch, std::min<std::int64_t>(
+            y, static_cast<std::int64_t>(edge - kTemplate) - kSearch - 1)));
+    for (std::uint64_t ty = 0; ty < kTemplate; ++ty) {
+      for (std::uint64_t tx = 0; tx < kTemplate; ++tx) {
+        st.templates[p * kTemplate * kTemplate + ty * kTemplate + tx] =
+            frame0[(static_cast<std::uint64_t>(st.pos[2 * p + 1]) + ty) *
+                       edge +
+                   static_cast<std::uint64_t>(st.pos[2 * p]) + tx];
+      }
+    }
+  }
+  return st;
+}
+
+void track_cpu(const std::vector<float>& frame, const TrackState& st,
+               std::vector<std::int32_t>& pos, std::uint64_t edge,
+               std::uint64_t points) {
+  for (std::uint64_t p = 0; p < points; ++p) {
+    const float* tmpl = st.templates.data() + p * kTemplate * kTemplate;
+    const std::int64_t cx = pos[2 * p];
+    const std::int64_t cy = pos[2 * p + 1];
+    float best = 1e30f;
+    std::int64_t best_dx = 0, best_dy = 0;
+    for (std::int64_t dy = -kSearch; dy <= kSearch; ++dy) {
+      for (std::int64_t dx = -kSearch; dx <= kSearch; ++dx) {
+        const std::int64_t ox = cx + dx;
+        const std::int64_t oy = cy + dy;
+        if (ox < 0 || oy < 0 ||
+            ox + static_cast<std::int64_t>(kTemplate) >=
+                static_cast<std::int64_t>(edge) ||
+            oy + static_cast<std::int64_t>(kTemplate) >=
+                static_cast<std::int64_t>(edge)) {
+          continue;
+        }
+        float ssd = 0;
+        for (std::uint64_t ty = 0; ty < kTemplate; ++ty) {
+          for (std::uint64_t tx = 0; tx < kTemplate; ++tx) {
+            const float d =
+                frame[(static_cast<std::uint64_t>(oy) + ty) * edge +
+                      static_cast<std::uint64_t>(ox) + tx] -
+                tmpl[ty * kTemplate + tx];
+            ssd += d * d;
+          }
+        }
+        if (ssd < best) {
+          best = ssd;
+          best_dx = dx;
+          best_dy = dy;
+        }
+      }
+    }
+    pos[2 * p] = static_cast<std::int32_t>(cx + best_dx);
+    pos[2 * p + 1] = static_cast<std::int32_t>(cy + best_dy);
+  }
+}
+
+double pos_checksum(const std::vector<std::int32_t>& pos) {
+  double s = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    s += static_cast<double>(pos[i]) * static_cast<double>(i % 13 + 1);
+  }
+  return s;
+}
+
+class HeartwallWorkload final : public Workload {
+ public:
+  HeartwallWorkload() {
+    module_.add_kernel<const float*, const float*, std::int32_t*,
+                       std::uint64_t, std::uint64_t>(&track_kernel,
+                                                     "heartwall_track");
+  }
+
+  const char* name() const override { return "heartwall"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "test.avi 104"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 480;     // frame edge
+    p.size_b = 51;      // tracked points, as in the original
+    p.iterations = 104; // the paper's frame count
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t edge = params.size_a;
+    const std::uint64_t points = params.size_b;
+    const TrackState st = initial_state(edge, points, params.seed);
+
+    DeviceBuffer<float> d_templates(api, st.templates.size());
+    DeviceBuffer<std::int32_t> d_pos(api, st.pos.size());
+    d_templates.upload(st.templates);
+    d_pos.upload(st.pos);
+
+    for (int frame = 1; frame <= params.iterations; ++frame) {
+      const auto img = make_frame(edge, frame, params.seed);
+      // Per-frame device allocation, as in the original (alloc churn).
+      DeviceBuffer<float> d_frame(api, img.size());
+      d_frame.upload(img);
+      CRAC_CUDA_OK(cuda::launch(
+          api, &track_kernel,
+          cuda::dim3{static_cast<unsigned>(points), 1, 1}, block1d(1), 0,
+          static_cast<const float*>(d_frame.get()),
+          static_cast<const float*>(d_templates.get()), d_pos.get(), edge,
+          points));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      if (hook) hook(frame);
+    }
+
+    WorkloadResult result;
+    result.checksum = pos_checksum(d_pos.download());
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             edge * edge * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t edge = params.size_a;
+    const std::uint64_t points = params.size_b;
+    const TrackState st = initial_state(edge, points, params.seed);
+    std::vector<std::int32_t> pos = st.pos;
+    for (int frame = 1; frame <= params.iterations; ++frame) {
+      const auto img = make_frame(edge, frame, params.seed);
+      track_cpu(img, st, pos, edge, points);
+    }
+    return pos_checksum(pos);
+  }
+
+  double checksum_tolerance() const override { return 0.0; }  // integer
+
+ private:
+  cuda::KernelModule module_{"heartwall.cu"};
+};
+
+}  // namespace
+
+Workload* heartwall_workload() {
+  static HeartwallWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,146 @@
+// Rodinia Hotspot mini-app (paper args: temp_512 power_512 output.out).
+// Iterative 2D thermal stencil: T' = T + k*(sum(neighbours) - 4T) + P,
+// ping-ponging between two device grids.
+//
+// Params: size_a = grid edge N, iterations = time steps.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr float kDiffusion = 0.175f;
+
+void hotspot_step_kernel(void* const* args, const KernelBlock& blk) {
+  const float* temp_in = kernel_arg<const float*>(args, 0);
+  const float* power = kernel_arg<const float*>(args, 1);
+  float* temp_out = kernel_arg<float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const std::size_t r = idx / n;
+    const std::size_t c = idx % n;
+    const float center = temp_in[idx];
+    const float north = r > 0 ? temp_in[idx - n] : center;
+    const float south = r + 1 < n ? temp_in[idx + n] : center;
+    const float west = c > 0 ? temp_in[idx - 1] : center;
+    const float east = c + 1 < n ? temp_in[idx + 1] : center;
+    temp_out[idx] = center +
+                    kDiffusion * (north + south + east + west - 4.0f * center) +
+                    power[idx];
+  });
+}
+
+std::vector<float> initial_grid(std::uint64_t n, std::uint64_t seed,
+                                float lo, float hi) {
+  Rng rng(seed);
+  std::vector<float> grid(n * n);
+  for (auto& v : grid) v = rng.next_float(lo, hi);
+  return grid;
+}
+
+double grid_checksum(const std::vector<float>& grid) {
+  double sum = 0;
+  for (float v : grid) sum += v;
+  return sum;
+}
+
+class HotspotWorkload final : public Workload {
+ public:
+  HotspotWorkload() {
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t>(
+        &hotspot_step_kernel, "hotspot_step");
+  }
+
+  const char* name() const override { return "hotspot"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override {
+    return "temp_512 power_512 output.out";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 512;  // the paper's 512x512 grid
+    p.iterations = 400;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    DeviceBuffer<float> a(api, n * n);
+    DeviceBuffer<float> b(api, n * n);
+    DeviceBuffer<float> power(api, n * n);
+    a.upload(initial_grid(n, params.seed, 320.0f, 340.0f));
+    power.upload(initial_grid(n, params.seed + 1, 0.0f, 0.01f));
+
+    float* src = a.get();
+    float* dst = b.get();
+    for (int it = 0; it < params.iterations; ++it) {
+      CRAC_CUDA_OK(cuda::launch(api, &hotspot_step_kernel, grid1d(n * n),
+                                block1d(), 0,
+                                static_cast<const float*>(src),
+                                static_cast<const float*>(power.get()), dst,
+                                n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      std::swap(src, dst);
+      if (hook) hook(it);
+    }
+
+    WorkloadResult result;
+    result.checksum =
+        grid_checksum(src == a.get() ? a.download() : b.download());
+    result.bytes_processed =
+        static_cast<std::uint64_t>(params.iterations) * n * n * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    std::vector<float> temp = initial_grid(n, params.seed, 320.0f, 340.0f);
+    const std::vector<float> power =
+        initial_grid(n, params.seed + 1, 0.0f, 0.01f);
+    std::vector<float> next(n * n);
+    for (int it = 0; it < params.iterations; ++it) {
+      for (std::size_t idx = 0; idx < n * n; ++idx) {
+        const std::size_t r = idx / n;
+        const std::size_t c = idx % n;
+        const float center = temp[idx];
+        const float north = r > 0 ? temp[idx - n] : center;
+        const float south = r + 1 < n ? temp[idx + n] : center;
+        const float west = c > 0 ? temp[idx - 1] : center;
+        const float east = c + 1 < n ? temp[idx + 1] : center;
+        next[idx] = center +
+                    kDiffusion * (north + south + east + west - 4.0f * center) +
+                    power[idx];
+      }
+      temp.swap(next);
+    }
+    return grid_checksum(temp);
+  }
+
+ private:
+  cuda::KernelModule module_{"hotspot.cu"};
+};
+
+}  // namespace
+
+Workload* hotspot_workload() {
+  static HotspotWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,164 @@
+// Rodinia Hotspot3D mini-app (paper args: 512 8 1000 power_512x8
+// temp_512x8 output.out). 3D seven-point thermal stencil over an N x N x Z
+// slab, ping-ponged.
+//
+// Params: size_a = N (x/y edge), size_b = Z (layers), iterations = steps.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr float kC = 0.12f;
+
+void hotspot3d_step_kernel(void* const* args, const KernelBlock& blk) {
+  const float* in = kernel_arg<const float*>(args, 0);
+  const float* power = kernel_arg<const float*>(args, 1);
+  float* out = kernel_arg<float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+  const auto z = kernel_arg<std::uint64_t>(args, 4);
+
+  const std::uint64_t total = n * n * z;
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= total) return;
+    const std::size_t layer = idx / (n * n);
+    const std::size_t rem = idx % (n * n);
+    const std::size_t r = rem / n;
+    const std::size_t c = rem % n;
+    const float center = in[idx];
+    const float north = r > 0 ? in[idx - n] : center;
+    const float south = r + 1 < n ? in[idx + n] : center;
+    const float west = c > 0 ? in[idx - 1] : center;
+    const float east = c + 1 < n ? in[idx + 1] : center;
+    const float below = layer > 0 ? in[idx - n * n] : center;
+    const float above = layer + 1 < z ? in[idx + n * n] : center;
+    out[idx] = center +
+               kC * (north + south + east + west + above + below -
+                     6.0f * center) +
+               power[idx];
+  });
+}
+
+std::vector<float> initial_volume(std::uint64_t count, std::uint64_t seed,
+                                  float lo, float hi) {
+  Rng rng(seed);
+  std::vector<float> v(count);
+  for (auto& f : v) f = rng.next_float(lo, hi);
+  return v;
+}
+
+double volume_checksum(const std::vector<float>& v) {
+  double sum = 0;
+  for (float f : v) sum += f;
+  return sum;
+}
+
+class Hotspot3dWorkload final : public Workload {
+ public:
+  Hotspot3dWorkload() {
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t,
+                       std::uint64_t>(&hotspot3d_step_kernel,
+                                      "hotspot3d_step");
+  }
+
+  const char* name() const override { return "hotspot3d"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override {
+    return "512 8 1000 power_512x8 temp_512x8 output.out";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 256;  // scaled from 512
+    p.size_b = 8;    // the paper's 8 layers
+    p.iterations = 120;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t z = params.size_b;
+    const std::uint64_t total = n * n * z;
+    DeviceBuffer<float> a(api, total);
+    DeviceBuffer<float> b(api, total);
+    DeviceBuffer<float> power(api, total);
+    a.upload(initial_volume(total, params.seed, 320.0f, 340.0f));
+    power.upload(initial_volume(total, params.seed + 1, 0.0f, 0.01f));
+
+    float* src = a.get();
+    float* dst = b.get();
+    for (int it = 0; it < params.iterations; ++it) {
+      CRAC_CUDA_OK(cuda::launch(api, &hotspot3d_step_kernel, grid1d(total),
+                                block1d(), 0,
+                                static_cast<const float*>(src),
+                                static_cast<const float*>(power.get()), dst,
+                                n, z));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      std::swap(src, dst);
+      if (hook) hook(it);
+    }
+
+    WorkloadResult result;
+    result.checksum =
+        volume_checksum(src == a.get() ? a.download() : b.download());
+    result.bytes_processed =
+        static_cast<std::uint64_t>(params.iterations) * total * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t z = params.size_b;
+    const std::uint64_t total = n * n * z;
+    std::vector<float> temp = initial_volume(total, params.seed, 320.0f, 340.0f);
+    const std::vector<float> power =
+        initial_volume(total, params.seed + 1, 0.0f, 0.01f);
+    std::vector<float> next(total);
+    for (int it = 0; it < params.iterations; ++it) {
+      for (std::size_t idx = 0; idx < total; ++idx) {
+        const std::size_t layer = idx / (n * n);
+        const std::size_t rem = idx % (n * n);
+        const std::size_t r = rem / n;
+        const std::size_t c = rem % n;
+        const float center = temp[idx];
+        const float north = r > 0 ? temp[idx - n] : center;
+        const float south = r + 1 < n ? temp[idx + n] : center;
+        const float west = c > 0 ? temp[idx - 1] : center;
+        const float east = c + 1 < n ? temp[idx + 1] : center;
+        const float below = layer > 0 ? temp[idx - n * n] : center;
+        const float above = layer + 1 < z ? temp[idx + n * n] : center;
+        next[idx] = center +
+                    kC * (north + south + east + west + above + below -
+                          6.0f * center) +
+                    power[idx];
+      }
+      temp.swap(next);
+    }
+    return volume_checksum(temp);
+  }
+
+ private:
+  cuda::KernelModule module_{"hotspot3d.cu"};
+};
+
+}  // namespace
+
+Workload* hotspot3d_workload() {
+  static Hotspot3dWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,233 @@
+// Rodinia Kmeans mini-app (paper args: kdd_cup -l 1000). Lloyd iterations:
+// a device kernel assigns each point to its nearest centroid; the host
+// recomputes centroids from per-cluster sums the kernel accumulates into a
+// per-block workspace (no atomics needed, deterministic).
+//
+// Params: size_a = points, size_b = features, size_c = clusters,
+//         iterations = Lloyd steps.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr unsigned kBlocks = 64;
+
+// For each point in the block's strided slice: find the nearest centroid,
+// record membership, and accumulate into this block's (sums, counts) slabs.
+void kmeans_assign_kernel(void* const* args, const KernelBlock& blk) {
+  const float* points = kernel_arg<const float*>(args, 0);
+  const float* centroids = kernel_arg<const float*>(args, 1);
+  std::int32_t* membership = kernel_arg<std::int32_t*>(args, 2);
+  float* block_sums = kernel_arg<float*>(args, 3);      // [blocks][k][f]
+  std::int32_t* block_counts = kernel_arg<std::int32_t*>(args, 4);  // [blocks][k]
+  const auto n = kernel_arg<std::uint64_t>(args, 5);
+  const auto f = kernel_arg<std::uint64_t>(args, 6);
+  const auto k = kernel_arg<std::uint64_t>(args, 7);
+
+  const std::size_t b = blk.linear_block();
+  const std::size_t stride = blk.grid.count();
+  float* sums = block_sums + b * k * f;
+  std::int32_t* counts = block_counts + b * k;
+  for (std::uint64_t i = 0; i < k * f; ++i) sums[i] = 0;
+  for (std::uint64_t i = 0; i < k; ++i) counts[i] = 0;
+
+  for (std::size_t p = b; p < n; p += stride) {
+    const float* pt = points + p * f;
+    std::uint64_t best = 0;
+    float best_d = 1e30f;
+    for (std::uint64_t c = 0; c < k; ++c) {
+      const float* ce = centroids + c * f;
+      float d = 0;
+      for (std::uint64_t j = 0; j < f; ++j) {
+        const float diff = pt[j] - ce[j];
+        d += diff * diff;
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    membership[p] = static_cast<std::int32_t>(best);
+    for (std::uint64_t j = 0; j < f; ++j) sums[best * f + j] += pt[j];
+    ++counts[best];
+  }
+}
+
+std::vector<float> make_points(std::uint64_t n, std::uint64_t f,
+                               std::uint64_t k, std::uint64_t seed) {
+  // Gaussian-ish blobs around k anchors so clustering converges.
+  Rng rng(seed);
+  std::vector<float> anchors(k * f);
+  for (auto& v : anchors) v = rng.next_float(-10.0f, 10.0f);
+  std::vector<float> pts(n * f);
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const std::uint64_t c = rng.next_below(k);
+    for (std::uint64_t j = 0; j < f; ++j) {
+      pts[p * f + j] = anchors[c * f + j] + rng.next_float(-1.0f, 1.0f);
+    }
+  }
+  return pts;
+}
+
+class KmeansWorkload final : public Workload {
+ public:
+  KmeansWorkload() {
+    module_.add_kernel<const float*, const float*, std::int32_t*, float*,
+                       std::int32_t*, std::uint64_t, std::uint64_t,
+                       std::uint64_t>(&kmeans_assign_kernel, "kmeans_assign");
+  }
+
+  const char* name() const override { return "kmeans"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "kdd_cup -l 1000"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 100000;  // points (kdd_cup has ~800k; scaled)
+    p.size_b = 16;      // features
+    p.size_c = 5;       // clusters
+    p.iterations = 40;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t f = params.size_b;
+    const std::uint64_t k = params.size_c;
+
+    DeviceBuffer<float> d_points(api, n * f);
+    DeviceBuffer<float> d_centroids(api, k * f);
+    DeviceBuffer<std::int32_t> d_membership(api, n);
+    DeviceBuffer<float> d_sums(api, kBlocks * k * f);
+    DeviceBuffer<std::int32_t> d_counts(api, kBlocks * k);
+
+    const auto points = make_points(n, f, k, params.seed);
+    d_points.upload(points);
+    std::vector<float> centroids(points.begin(),
+                                 points.begin() + static_cast<long>(k * f));
+    d_centroids.upload(centroids);
+
+    for (int it = 0; it < params.iterations; ++it) {
+      CRAC_CUDA_OK(cuda::launch(
+          api, &kmeans_assign_kernel, cuda::dim3{kBlocks, 1, 1}, block1d(), 0,
+          static_cast<const float*>(d_points.get()),
+          static_cast<const float*>(d_centroids.get()), d_membership.get(),
+          d_sums.get(), d_counts.get(), n, f, k));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      // Host-side centroid update from the per-block partials (Rodinia's
+      // kmeans also recomputes centers on the CPU).
+      const auto sums = d_sums.download();
+      const auto counts = d_counts.download();
+      for (std::uint64_t c = 0; c < k; ++c) {
+        double total = 0;
+        std::vector<double> acc(f, 0.0);
+        for (unsigned b = 0; b < kBlocks; ++b) {
+          total += counts[b * k + c];
+          for (std::uint64_t j = 0; j < f; ++j) {
+            acc[j] += sums[(b * k + c) * f + j];
+          }
+        }
+        if (total > 0) {
+          for (std::uint64_t j = 0; j < f; ++j) {
+            centroids[c * f + j] = static_cast<float>(acc[j] / total);
+          }
+        }
+      }
+      d_centroids.upload(centroids);
+      if (hook) hook(it);
+    }
+
+    WorkloadResult result;
+    double sum = 0;
+    for (float v : centroids) sum += v;
+    const auto membership = d_membership.download();
+    for (std::uint64_t p = 0; p < n; p += 97) sum += membership[p];
+    result.checksum = sum;
+    result.bytes_processed =
+        static_cast<std::uint64_t>(params.iterations) * n * f * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t f = params.size_b;
+    const std::uint64_t k = params.size_c;
+    const auto points = make_points(n, f, k, params.seed);
+    std::vector<float> centroids(points.begin(),
+                                 points.begin() + static_cast<long>(k * f));
+    std::vector<std::int32_t> membership(n, 0);
+    for (int it = 0; it < params.iterations; ++it) {
+      // Reproduce the GPU's blocked accumulation order bit-for-bit.
+      std::vector<float> sums(kBlocks * k * f, 0.0f);
+      std::vector<std::int32_t> counts(kBlocks * k, 0);
+      for (unsigned b = 0; b < kBlocks; ++b) {
+        for (std::size_t p = b; p < n; p += kBlocks) {
+          const float* pt = points.data() + p * f;
+          std::uint64_t best = 0;
+          float best_d = 1e30f;
+          for (std::uint64_t c = 0; c < k; ++c) {
+            float d = 0;
+            for (std::uint64_t j = 0; j < f; ++j) {
+              const float diff = pt[j] - centroids[c * f + j];
+              d += diff * diff;
+            }
+            if (d < best_d) {
+              best_d = d;
+              best = c;
+            }
+          }
+          membership[p] = static_cast<std::int32_t>(best);
+          for (std::uint64_t j = 0; j < f; ++j) {
+            sums[(b * k + best) * f + j] += pt[j];
+          }
+          ++counts[b * k + best];
+        }
+      }
+      for (std::uint64_t c = 0; c < k; ++c) {
+        double total = 0;
+        std::vector<double> acc(f, 0.0);
+        for (unsigned b = 0; b < kBlocks; ++b) {
+          total += counts[b * k + c];
+          for (std::uint64_t j = 0; j < f; ++j) {
+            acc[j] += sums[(b * k + c) * f + j];
+          }
+        }
+        if (total > 0) {
+          for (std::uint64_t j = 0; j < f; ++j) {
+            centroids[c * f + j] = static_cast<float>(acc[j] / total);
+          }
+        }
+      }
+    }
+    double sum = 0;
+    for (float v : centroids) sum += v;
+    for (std::uint64_t p = 0; p < n; p += 97) sum += membership[p];
+    return sum;
+  }
+
+ private:
+  cuda::KernelModule module_{"kmeans.cu"};
+};
+
+}  // namespace
+
+Workload* kmeans_workload() {
+  static KmeansWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

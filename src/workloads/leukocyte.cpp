@@ -1,0 +1,263 @@
+// Rodinia Leukocyte mini-app (paper args: testfile.avi 500). Cell detection
+// and tracking skeleton: per frame, a gradient-magnitude stencil (the GICOV
+// precursor), a directional-maximum response kernel, and a dilation kernel
+// — three launches per frame over a synthetic microscopy sequence.
+//
+// Params: size_a = frame edge, iterations = frame count.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+void gradient_kernel(void* const* args, const KernelBlock& blk) {
+  const float* img = kernel_arg<const float*>(args, 0);
+  float* grad = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const std::size_t r = idx / n;
+    const std::size_t c = idx % n;
+    const float gx = (c + 1 < n ? img[idx + 1] : img[idx]) -
+                     (c > 0 ? img[idx - 1] : img[idx]);
+    const float gy = (r + 1 < n ? img[idx + n] : img[idx]) -
+                     (r > 0 ? img[idx - n] : img[idx]);
+    grad[idx] = std::sqrt(gx * gx + gy * gy);
+  });
+}
+
+// GICOV-like response: max over 8 directions of the mean gradient along a
+// short ray.
+void gicov_kernel(void* const* args, const KernelBlock& blk) {
+  const float* grad = kernel_arg<const float*>(args, 0);
+  float* response = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  static const std::int64_t dirs[8][2] = {{1, 0},  {1, 1},  {0, 1}, {-1, 1},
+                                          {-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
+  constexpr std::int64_t kRay = 4;
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const auto r = static_cast<std::int64_t>(idx / n);
+    const auto c = static_cast<std::int64_t>(idx % n);
+    float best = 0;
+    for (const auto& d : dirs) {
+      float acc = 0;
+      int count = 0;
+      for (std::int64_t s = 1; s <= kRay; ++s) {
+        const std::int64_t rr = r + d[1] * s;
+        const std::int64_t cc = c + d[0] * s;
+        if (rr < 0 || cc < 0 || rr >= static_cast<std::int64_t>(n) ||
+            cc >= static_cast<std::int64_t>(n)) {
+          break;
+        }
+        acc += grad[static_cast<std::size_t>(rr) * n +
+                    static_cast<std::size_t>(cc)];
+        ++count;
+      }
+      if (count > 0) best = std::max(best, acc / static_cast<float>(count));
+    }
+    response[idx] = best;
+  });
+}
+
+// 3x3 max dilation of the response map.
+void dilate_kernel(void* const* args, const KernelBlock& blk) {
+  const float* in = kernel_arg<const float*>(args, 0);
+  float* out = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const auto r = static_cast<std::int64_t>(idx / n);
+    const auto c = static_cast<std::int64_t>(idx % n);
+    float best = 0;
+    for (std::int64_t dr = -1; dr <= 1; ++dr) {
+      for (std::int64_t dc = -1; dc <= 1; ++dc) {
+        const std::int64_t rr = r + dr;
+        const std::int64_t cc = c + dc;
+        if (rr < 0 || cc < 0 || rr >= static_cast<std::int64_t>(n) ||
+            cc >= static_cast<std::int64_t>(n)) {
+          continue;
+        }
+        best = std::max(best, in[static_cast<std::size_t>(rr) * n +
+                                 static_cast<std::size_t>(cc)]);
+      }
+    }
+    out[idx] = best;
+  });
+}
+
+std::vector<float> make_microscopy_frame(std::uint64_t n, int frame,
+                                         std::uint64_t seed) {
+  Rng rng(seed + static_cast<std::uint64_t>(frame) * 104729);
+  std::vector<float> img(n * n);
+  for (auto& v : img) v = rng.next_float(0.0f, 30.0f);
+  // Drifting bright "cells".
+  for (int cell = 0; cell < 12; ++cell) {
+    const double cx =
+        std::fmod(37.0 * cell + 2.0 * frame, static_cast<double>(n));
+    const double cy =
+        std::fmod(53.0 * cell + 1.0 * frame, static_cast<double>(n));
+    for (std::int64_t dy = -3; dy <= 3; ++dy) {
+      for (std::int64_t dx = -3; dx <= 3; ++dx) {
+        const auto x = static_cast<std::int64_t>(cx) + dx;
+        const auto y = static_cast<std::int64_t>(cy) + dy;
+        if (x < 0 || y < 0 || x >= static_cast<std::int64_t>(n) ||
+            y >= static_cast<std::int64_t>(n)) {
+          continue;
+        }
+        if (dx * dx + dy * dy <= 9) {
+          img[static_cast<std::size_t>(y) * n + static_cast<std::size_t>(x)] +=
+              150.0f;
+        }
+      }
+    }
+  }
+  return img;
+}
+
+class LeukocyteWorkload final : public Workload {
+ public:
+  LeukocyteWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t>(&gradient_kernel,
+                                                            "leuko_gradient");
+    module_.add_kernel<const float*, float*, std::uint64_t>(&gicov_kernel,
+                                                            "leuko_gicov");
+    module_.add_kernel<const float*, float*, std::uint64_t>(&dilate_kernel,
+                                                            "leuko_dilate");
+  }
+
+  const char* name() const override { return "leukocyte"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "testfile.avi 500"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 224;      // frame edge (original frames are 640x480-ish)
+    p.iterations = 150;  // frames (scaled from 500)
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    DeviceBuffer<float> d_img(api, n * n);
+    DeviceBuffer<float> d_grad(api, n * n);
+    DeviceBuffer<float> d_resp(api, n * n);
+    DeviceBuffer<float> d_dilated(api, n * n);
+
+    double checksum = 0;
+    for (int frame = 0; frame < params.iterations; ++frame) {
+      d_img.upload(make_microscopy_frame(n, frame, params.seed));
+      CRAC_CUDA_OK(cuda::launch(api, &gradient_kernel, grid1d(n * n),
+                                block1d(), 0,
+                                static_cast<const float*>(d_img.get()),
+                                d_grad.get(), n));
+      CRAC_CUDA_OK(cuda::launch(api, &gicov_kernel, grid1d(n * n), block1d(),
+                                0, static_cast<const float*>(d_grad.get()),
+                                d_resp.get(), n));
+      CRAC_CUDA_OK(cuda::launch(api, &dilate_kernel, grid1d(n * n), block1d(),
+                                0, static_cast<const float*>(d_resp.get()),
+                                d_dilated.get(), n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      if (hook) hook(frame);
+    }
+    // Digest only the final frame's dilated response.
+    for (float v : d_dilated.download()) checksum += v;
+
+    WorkloadResult result;
+    result.checksum = checksum;
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             n * n * sizeof(float) * 4;
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    // Only the final frame feeds the digest; compute it directly.
+    const auto img =
+        make_microscopy_frame(n, params.iterations - 1, params.seed);
+    std::vector<float> grad(n * n), resp(n * n), dilated(n * n);
+    for (std::size_t idx = 0; idx < n * n; ++idx) {
+      const std::size_t r = idx / n;
+      const std::size_t c = idx % n;
+      const float gx = (c + 1 < n ? img[idx + 1] : img[idx]) -
+                       (c > 0 ? img[idx - 1] : img[idx]);
+      const float gy = (r + 1 < n ? img[idx + n] : img[idx]) -
+                       (r > 0 ? img[idx - n] : img[idx]);
+      grad[idx] = std::sqrt(gx * gx + gy * gy);
+    }
+    static const std::int64_t dirs[8][2] = {{1, 0},  {1, 1},  {0, 1}, {-1, 1},
+                                            {-1, 0}, {-1, -1}, {0, -1},
+                                            {1, -1}};
+    for (std::size_t idx = 0; idx < n * n; ++idx) {
+      const auto r = static_cast<std::int64_t>(idx / n);
+      const auto c = static_cast<std::int64_t>(idx % n);
+      float best = 0;
+      for (const auto& d : dirs) {
+        float acc = 0;
+        int count = 0;
+        for (std::int64_t s = 1; s <= 4; ++s) {
+          const std::int64_t rr = r + d[1] * s;
+          const std::int64_t cc = c + d[0] * s;
+          if (rr < 0 || cc < 0 || rr >= static_cast<std::int64_t>(n) ||
+              cc >= static_cast<std::int64_t>(n)) {
+            break;
+          }
+          acc += grad[static_cast<std::size_t>(rr) * n +
+                      static_cast<std::size_t>(cc)];
+          ++count;
+        }
+        if (count > 0) best = std::max(best, acc / static_cast<float>(count));
+      }
+      resp[idx] = best;
+    }
+    for (std::size_t idx = 0; idx < n * n; ++idx) {
+      const auto r = static_cast<std::int64_t>(idx / n);
+      const auto c = static_cast<std::int64_t>(idx % n);
+      float best = 0;
+      for (std::int64_t dr = -1; dr <= 1; ++dr) {
+        for (std::int64_t dc = -1; dc <= 1; ++dc) {
+          const std::int64_t rr = r + dr;
+          const std::int64_t cc = c + dc;
+          if (rr < 0 || cc < 0 || rr >= static_cast<std::int64_t>(n) ||
+              cc >= static_cast<std::int64_t>(n)) {
+            continue;
+          }
+          best = std::max(best, resp[static_cast<std::size_t>(rr) * n +
+                                     static_cast<std::size_t>(cc)]);
+        }
+      }
+      dilated[idx] = best;
+    }
+    double checksum = 0;
+    for (float v : dilated) checksum += v;
+    return checksum;
+  }
+
+ private:
+  cuda::KernelModule module_{"leukocyte.cu"};
+};
+
+}  // namespace
+
+Workload* leukocyte_workload() {
+  static LeukocyteWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,288 @@
+// HYPRE mini (paper args: ij -solver 1 ... -n 250 250 250; Figure 5b).
+// Conjugate-gradient solve of a 7-point 3D Laplacian, with every vector in
+// a large Unified Memory region (the paper: "HYPRE creates large UVM
+// regions and employs long-running kernels ... host and device both work
+// simultaneously on UVM regions via CUDA streams"). CPS is low (~600):
+// a handful of long kernels per iteration. The axpy updates are split
+// across streams; dot products use blocked partials finished on the host —
+// host reads of device-written UVM, each iteration.
+//
+// Params: size_a = grid edge n (problem is n^3), iterations = CG steps,
+//         streams = axpy split.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr unsigned kDotBlocks = 64;
+
+// y = A x, 7-point Laplacian on an n^3 grid (matrix-free).
+void spmv_kernel(void* const* args, const KernelBlock& blk) {
+  const float* x = kernel_arg<const float*>(args, 0);
+  float* y = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const std::uint64_t plane = n * n;
+  const std::uint64_t total = plane * n;
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= total) return;
+    const std::size_t z = idx / plane;
+    const std::size_t rem = idx % plane;
+    const std::size_t yy = rem / n;
+    const std::size_t xx = rem % n;
+    const float c = x[idx];
+    float acc = 6.0f * c;
+    if (xx > 0) acc -= x[idx - 1];
+    if (xx + 1 < n) acc -= x[idx + 1];
+    if (yy > 0) acc -= x[idx - n];
+    if (yy + 1 < n) acc -= x[idx + n];
+    if (z > 0) acc -= x[idx - plane];
+    if (z + 1 < n) acc -= x[idx + plane];
+    y[idx] = acc;
+  });
+}
+
+// partials[b] = sum over strided slice of a[i]*b[i].
+void dot_kernel(void* const* args, const KernelBlock& blk) {
+  const float* a = kernel_arg<const float*>(args, 0);
+  const float* b = kernel_arg<const float*>(args, 1);
+  float* partials = kernel_arg<float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+  const std::size_t blkid = blk.linear_block();
+  const std::size_t stride = blk.grid.count();
+  double acc = 0;
+  for (std::size_t i = blkid; i < n; i += stride) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  partials[blkid] = static_cast<float>(acc);
+}
+
+// y[offset..offset+count) += alpha * x[...]
+void axpy_kernel(void* const* args, const KernelBlock& blk) {
+  float* y = kernel_arg<float*>(args, 0);
+  const float* x = kernel_arg<const float*>(args, 1);
+  const float alpha = kernel_arg<float>(args, 2);
+  const auto count = kernel_arg<std::uint64_t>(args, 3);
+  const auto offset = kernel_arg<std::uint64_t>(args, 4);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= count) return;
+    y[offset + i] += alpha * x[offset + i];
+  });
+}
+
+// p = r + beta * p
+void update_p_kernel(void* const* args, const KernelBlock& blk) {
+  float* p = kernel_arg<float*>(args, 0);
+  const float* r = kernel_arg<const float*>(args, 1);
+  const float beta = kernel_arg<float>(args, 2);
+  const auto count = kernel_arg<std::uint64_t>(args, 3);
+  const auto offset = kernel_arg<std::uint64_t>(args, 4);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= count) return;
+    p[offset + i] = r[offset + i] + beta * p[offset + i];
+  });
+}
+
+class MiniHypreWorkload final : public Workload {
+ public:
+  MiniHypreWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t>(&spmv_kernel,
+                                                            "hypre_spmv");
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t>(
+        &dot_kernel, "hypre_dot");
+    module_.add_kernel<float*, const float*, float, std::uint64_t,
+                       std::uint64_t>(&axpy_kernel, "hypre_axpy");
+    module_.add_kernel<float*, const float*, float, std::uint64_t,
+                       std::uint64_t>(&update_p_kernel, "hypre_update_p");
+  }
+
+  const char* name() const override { return "mini_hypre"; }
+  bool uses_uvm() const override { return true; }
+  bool uses_streams() const override { return true; }
+  std::pair<int, int> stream_range() const override { return {1, 10}; }
+  const char* paper_args() const override {
+    return "ij -solver 1 -rlx 18 -ns 2 -CF 0 -hmis -interptype 6 -Pmx 4 "
+           "-keepT 1 -tol 1.e-8 -agg_nl 1 -n 250 250 250 250";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 96;      // grid edge (scaled from 250)
+    p.iterations = 40;  // CG iterations
+    p.streams = 4;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t total = n * n * n;
+    const int nstreams = params.streams > 0 ? params.streams : 1;
+
+    // One large managed region holding all five CG vectors — HYPRE's "UVM
+    // regions of up to 1 GB" pattern (scaled).
+    ManagedBuffer<float> region(api, total * 5 + kDotBlocks);
+    float* x = region.get();
+    float* r = x + total;
+    float* p = r + total;
+    float* ap = p + total;
+    float* b = ap + total;
+    float* partials = b + total;
+
+    // Host initializes the managed region (first-touch on the host side).
+    Rng rng(params.seed);
+    for (std::size_t i = 0; i < total; ++i) {
+      x[i] = 0.0f;
+      b[i] = rng.next_float(-1.0f, 1.0f);
+      r[i] = b[i];  // r = b - A*0
+      p[i] = r[i];
+      ap[i] = 0.0f;
+    }
+
+    StreamSet streams(api, nstreams);
+    const std::uint64_t chunk =
+        (total + static_cast<std::uint64_t>(nstreams) - 1) /
+        static_cast<std::uint64_t>(nstreams);
+
+    auto device_dot = [&](const float* va, const float* vb,
+                          double* out) -> Status {
+      CRAC_CUDA_OK(cuda::launch(api, &dot_kernel,
+                                cuda::dim3{kDotBlocks, 1, 1}, block1d(), 0,
+                                va, vb, partials, total));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      double acc = 0;
+      // Host reads device-produced UVM data directly: the UVM interplay
+      // the paper highlights.
+      for (unsigned i = 0; i < kDotBlocks; ++i) acc += partials[i];
+      *out = acc;
+      return OkStatus();
+    };
+
+    auto split_axpy = [&](cuda::KernelFn fn, float* vy, const float* vx,
+                          float alpha) -> Status {
+      for (int s = 0; s < nstreams; ++s) {
+        const std::uint64_t off = chunk * static_cast<std::uint64_t>(s);
+        if (off >= total) break;
+        const std::uint64_t count = std::min<std::uint64_t>(chunk, total - off);
+        CRAC_CUDA_OK(cuda::launch(api, fn, grid1d(count), block1d(),
+                                  streams[static_cast<std::size_t>(s)], vy,
+                                  vx, alpha, count, off));
+      }
+      streams.synchronize_all();
+      return OkStatus();
+    };
+
+    double rr = 0;
+    CRAC_RETURN_IF_ERROR(device_dot(r, r, &rr));
+    int iterations_run = 0;
+    for (int it = 0; it < params.iterations; ++it) {
+      CRAC_CUDA_OK(cuda::launch(api, &spmv_kernel, grid1d(total), block1d(),
+                                0, static_cast<const float*>(p), ap, n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      double pap = 0;
+      CRAC_RETURN_IF_ERROR(device_dot(p, ap, &pap));
+      const float alpha = static_cast<float>(rr / (pap + 1e-30));
+      CRAC_RETURN_IF_ERROR(split_axpy(&axpy_kernel, x, p, alpha));
+      CRAC_RETURN_IF_ERROR(split_axpy(&axpy_kernel, r, ap, -alpha));
+      double rr_new = 0;
+      CRAC_RETURN_IF_ERROR(device_dot(r, r, &rr_new));
+      const float beta = static_cast<float>(rr_new / (rr + 1e-30));
+      CRAC_RETURN_IF_ERROR(split_axpy(&update_p_kernel, p, r, beta));
+      rr = rr_new;
+      ++iterations_run;
+      if (hook) hook(it);
+      if (rr < 1e-10) break;
+    }
+
+    WorkloadResult result;
+    double sum = 0;
+    for (std::size_t i = 0; i < total; ++i) sum += x[i];
+    result.checksum = sum + std::sqrt(rr);
+    result.bytes_processed = static_cast<std::uint64_t>(iterations_run) *
+                             total * sizeof(float) * 10;
+    result.detail = "final_rr=" + std::to_string(rr);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t total = n * n * n;
+    const std::uint64_t plane = n * n;
+    std::vector<float> x(total, 0.0f), r(total), p(total), ap(total);
+    Rng rng(params.seed);
+    for (std::size_t i = 0; i < total; ++i) {
+      r[i] = rng.next_float(-1.0f, 1.0f);
+      p[i] = r[i];
+    }
+    auto blocked_dot = [&](const std::vector<float>& a,
+                           const std::vector<float>& bb) {
+      double acc = 0;
+      for (unsigned blkid = 0; blkid < kDotBlocks; ++blkid) {
+        double part = 0;
+        for (std::size_t i = blkid; i < total; i += kDotBlocks) {
+          part += static_cast<double>(a[i]) * bb[i];
+        }
+        acc += static_cast<float>(part);
+      }
+      return acc;
+    };
+    double rr = blocked_dot(r, r);
+    for (int it = 0; it < params.iterations; ++it) {
+      for (std::size_t idx = 0; idx < total; ++idx) {
+        const std::size_t z = idx / plane;
+        const std::size_t rem = idx % plane;
+        const std::size_t yy = rem / n;
+        const std::size_t xx = rem % n;
+        const float c = p[idx];
+        float acc = 6.0f * c;
+        if (xx > 0) acc -= p[idx - 1];
+        if (xx + 1 < n) acc -= p[idx + 1];
+        if (yy > 0) acc -= p[idx - n];
+        if (yy + 1 < n) acc -= p[idx + n];
+        if (z > 0) acc -= p[idx - plane];
+        if (z + 1 < n) acc -= p[idx + plane];
+        ap[idx] = acc;
+      }
+      const double pap = blocked_dot(p, ap);
+      const float alpha = static_cast<float>(rr / (pap + 1e-30));
+      for (std::size_t i = 0; i < total; ++i) x[i] += alpha * p[i];
+      for (std::size_t i = 0; i < total; ++i) r[i] -= alpha * ap[i];
+      const double rr_new = blocked_dot(r, r);
+      const float beta = static_cast<float>(rr_new / (rr + 1e-30));
+      for (std::size_t i = 0; i < total; ++i) p[i] = r[i] + beta * p[i];
+      rr = rr_new;
+      if (rr < 1e-10) break;
+    }
+    double sum = 0;
+    for (std::size_t i = 0; i < total; ++i) sum += x[i];
+    return sum + std::sqrt(rr);
+  }
+
+  double checksum_tolerance() const override { return 5e-2; }  // CG drift
+
+ private:
+  cuda::KernelModule module_{"hypre_ij.cu"};
+};
+
+}  // namespace
+
+Workload* mini_hypre_workload() {
+  static MiniHypreWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

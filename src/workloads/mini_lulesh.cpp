@@ -1,0 +1,295 @@
+// LULESH 2.0 mini (paper args: -s 150, structured grid, ~2 GB; Figure 5a).
+// Shock-hydrodynamics skeleton on a structured s^3 element grid: per time
+// step, force computation (neighbour stencil), acceleration/velocity
+// integration, position update, an EOS-style energy update, and a blocked
+// dt-constraint reduction — five kernel phases, with the domain split into
+// slabs issued across CUDA streams as the GPU port does.
+//
+// Params: size_a = edge length s, iterations = time steps, streams = slabs.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// force = -grad(e) (7-point), over the slab [z0, z1).
+void calc_force_kernel(void* const* args, const KernelBlock& blk) {
+  const float* e = kernel_arg<const float*>(args, 0);
+  float* force = kernel_arg<float*>(args, 1);
+  const auto s = kernel_arg<std::uint64_t>(args, 2);
+  const auto z0 = kernel_arg<std::uint64_t>(args, 3);
+  const auto z1 = kernel_arg<std::uint64_t>(args, 4);
+  const std::uint64_t plane = s * s;
+  const std::uint64_t count = (z1 - z0) * plane;
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t local = blk.global_x(t.x);
+    if (local >= count) return;
+    const std::size_t idx = z0 * plane + local;
+    const std::size_t z = idx / plane;
+    const std::size_t rem = idx % plane;
+    const std::size_t y = rem / s;
+    const std::size_t x = rem % s;
+    const float c = e[idx];
+    const float xm = x > 0 ? e[idx - 1] : c;
+    const float xp = x + 1 < s ? e[idx + 1] : c;
+    const float ym = y > 0 ? e[idx - s] : c;
+    const float yp = y + 1 < s ? e[idx + s] : c;
+    const float zm = z > 0 ? e[idx - plane] : c;
+    const float zp = z + 1 < s ? e[idx + plane] : c;
+    force[idx] = -(xp - xm + yp - ym + zp - zm) * 0.5f;
+  });
+}
+
+// v += dt * force / m ; damped.
+void calc_velocity_kernel(void* const* args, const KernelBlock& blk) {
+  float* v = kernel_arg<float*>(args, 0);
+  const float* force = kernel_arg<const float*>(args, 1);
+  const auto count = kernel_arg<std::uint64_t>(args, 2);
+  const auto offset = kernel_arg<std::uint64_t>(args, 3);
+  const float dt = kernel_arg<float>(args, 4);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= count) return;
+    v[offset + i] = 0.99f * v[offset + i] + dt * force[offset + i];
+  });
+}
+
+// x += dt * v.
+void calc_position_kernel(void* const* args, const KernelBlock& blk) {
+  float* x = kernel_arg<float*>(args, 0);
+  const float* v = kernel_arg<const float*>(args, 1);
+  const auto count = kernel_arg<std::uint64_t>(args, 2);
+  const auto offset = kernel_arg<std::uint64_t>(args, 3);
+  const float dt = kernel_arg<float>(args, 4);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= count) return;
+    x[offset + i] += dt * v[offset + i];
+  });
+}
+
+// EOS-ish energy update: e relaxes toward kinetic density.
+void calc_energy_kernel(void* const* args, const KernelBlock& blk) {
+  float* e = kernel_arg<float*>(args, 0);
+  const float* v = kernel_arg<const float*>(args, 1);
+  const auto count = kernel_arg<std::uint64_t>(args, 2);
+  const auto offset = kernel_arg<std::uint64_t>(args, 3);
+  const float dt = kernel_arg<float>(args, 4);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= count) return;
+    const float kin = 0.5f * v[offset + i] * v[offset + i];
+    e[offset + i] += dt * (kin - 0.1f * e[offset + i]);
+  });
+}
+
+// Blocked max(|v|) for the Courant dt constraint.
+void dt_constraint_kernel(void* const* args, const KernelBlock& blk) {
+  const float* v = kernel_arg<const float*>(args, 0);
+  float* partials = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const std::size_t b = blk.linear_block();
+  const std::size_t stride = blk.grid.count();
+  float best = 0;
+  for (std::size_t i = b; i < n; i += stride) {
+    best = std::max(best, std::fabs(v[i]));
+  }
+  partials[b] = best;
+}
+
+constexpr unsigned kDtBlocks = 32;
+
+std::vector<float> initial_energy(std::uint64_t s, std::uint64_t seed) {
+  // The Sedov-like initial state: a hot corner cell plus noise floor.
+  Rng rng(seed);
+  std::vector<float> e(s * s * s);
+  for (auto& v : e) v = rng.next_float(0.0f, 0.01f);
+  e[0] = 1000.0f;
+  return e;
+}
+
+class MiniLuleshWorkload final : public Workload {
+ public:
+  MiniLuleshWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t, std::uint64_t,
+                       std::uint64_t>(&calc_force_kernel, "CalcForce");
+    module_.add_kernel<float*, const float*, std::uint64_t, std::uint64_t,
+                       float>(&calc_velocity_kernel, "CalcVelocity");
+    module_.add_kernel<float*, const float*, std::uint64_t, std::uint64_t,
+                       float>(&calc_position_kernel, "CalcPosition");
+    module_.add_kernel<float*, const float*, std::uint64_t, std::uint64_t,
+                       float>(&calc_energy_kernel, "CalcEnergy");
+    module_.add_kernel<const float*, float*, std::uint64_t>(
+        &dt_constraint_kernel, "CalcTimeConstraint");
+  }
+
+  const char* name() const override { return "mini_lulesh"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return true; }
+  std::pair<int, int> stream_range() const override { return {2, 32}; }
+  const char* paper_args() const override { return "-s 150"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 64;       // edge (scaled from 150)
+    p.iterations = 100;  // time steps
+    p.streams = 8;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t s = params.size_a;
+    const std::uint64_t n = s * s * s;
+    const int nstreams = params.streams > 0 ? params.streams : 1;
+
+    DeviceBuffer<float> e(api, n);
+    DeviceBuffer<float> v(api, n);
+    DeviceBuffer<float> x(api, n);
+    DeviceBuffer<float> force(api, n);
+    DeviceBuffer<float> partials(api, kDtBlocks);
+    e.upload(initial_energy(s, params.seed));
+    v.zero();
+    x.zero();
+
+    StreamSet streams(api, nstreams);
+    const std::uint64_t zs_per =
+        (s + static_cast<std::uint64_t>(nstreams) - 1) /
+        static_cast<std::uint64_t>(nstreams);
+    float dt = 1e-3f;
+    std::vector<float> host_partials(kDtBlocks);
+
+    for (int it = 0; it < params.iterations; ++it) {
+      // Phase 1: forces, slab per stream (stencil reads cross slabs, so a
+      // device-wide barrier separates phases).
+      for (int st = 0; st < nstreams; ++st) {
+        const std::uint64_t z0 = zs_per * static_cast<std::uint64_t>(st);
+        if (z0 >= s) break;
+        const std::uint64_t z1 = std::min<std::uint64_t>(s, z0 + zs_per);
+        CRAC_CUDA_OK(cuda::launch(api, &calc_force_kernel,
+                                  grid1d((z1 - z0) * s * s), block1d(),
+                                  streams[static_cast<std::size_t>(st)],
+                                  static_cast<const float*>(e.get()),
+                                  force.get(), s, z0, z1));
+      }
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+
+      // Phases 2-4: element-local updates, slab per stream, no barrier
+      // needed between them within a stream (stream order suffices).
+      const std::uint64_t plane = s * s;
+      for (int st = 0; st < nstreams; ++st) {
+        const std::uint64_t z0 = zs_per * static_cast<std::uint64_t>(st);
+        if (z0 >= s) break;
+        const std::uint64_t z1 = std::min<std::uint64_t>(s, z0 + zs_per);
+        const std::uint64_t offset = z0 * plane;
+        const std::uint64_t count = (z1 - z0) * plane;
+        const auto stream = streams[static_cast<std::size_t>(st)];
+        CRAC_CUDA_OK(cuda::launch(api, &calc_velocity_kernel, grid1d(count),
+                                  block1d(), stream, v.get(),
+                                  static_cast<const float*>(force.get()),
+                                  count, offset, dt));
+        CRAC_CUDA_OK(cuda::launch(api, &calc_position_kernel, grid1d(count),
+                                  block1d(), stream, x.get(),
+                                  static_cast<const float*>(v.get()), count,
+                                  offset, dt));
+        CRAC_CUDA_OK(cuda::launch(api, &calc_energy_kernel, grid1d(count),
+                                  block1d(), stream, e.get(),
+                                  static_cast<const float*>(v.get()), count,
+                                  offset, dt));
+      }
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+
+      // Phase 5: dt constraint (Courant-like).
+      CRAC_CUDA_OK(cuda::launch(api, &dt_constraint_kernel,
+                                cuda::dim3{kDtBlocks, 1, 1}, block1d(), 0,
+                                static_cast<const float*>(v.get()),
+                                partials.get(), n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      CRAC_CUDA_OK(api.cudaMemcpy(host_partials.data(), partials.get(),
+                                  partials.bytes(),
+                                  cuda::cudaMemcpyDeviceToHost));
+      float vmax = 0;
+      for (float p : host_partials) vmax = std::max(vmax, p);
+      dt = std::min(1e-3f, 0.1f / (vmax + 1.0f));
+      if (hook) hook(it);
+    }
+
+    WorkloadResult result;
+    double sum = 0;
+    for (float ev : e.download()) sum += ev;
+    for (float xv : x.download()) sum += xv;
+    result.checksum = sum;
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             n * sizeof(float) * 4;
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t s = params.size_a;
+    const std::uint64_t n = s * s * s;
+    const std::uint64_t plane = s * s;
+    std::vector<float> e = initial_energy(s, params.seed);
+    std::vector<float> v(n, 0.0f), x(n, 0.0f), force(n, 0.0f);
+    float dt = 1e-3f;
+    for (int it = 0; it < params.iterations; ++it) {
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        const std::size_t z = idx / plane;
+        const std::size_t rem = idx % plane;
+        const std::size_t y = rem / s;
+        const std::size_t xx = rem % s;
+        const float c = e[idx];
+        const float xm = xx > 0 ? e[idx - 1] : c;
+        const float xp = xx + 1 < s ? e[idx + 1] : c;
+        const float ym = y > 0 ? e[idx - s] : c;
+        const float yp = y + 1 < s ? e[idx + s] : c;
+        const float zm = z > 0 ? e[idx - plane] : c;
+        const float zp = z + 1 < s ? e[idx + plane] : c;
+        force[idx] = -(xp - xm + yp - ym + zp - zm) * 0.5f;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = 0.99f * v[i] + dt * force[i];
+      }
+      for (std::size_t i = 0; i < n; ++i) x[i] += dt * v[i];
+      for (std::size_t i = 0; i < n; ++i) {
+        const float kin = 0.5f * v[i] * v[i];
+        e[i] += dt * (kin - 0.1f * e[i]);
+      }
+      float vmax = 0;
+      for (unsigned b = 0; b < kDtBlocks; ++b) {
+        float best = 0;
+        for (std::size_t i = b; i < n; i += kDtBlocks) {
+          best = std::max(best, std::fabs(v[i]));
+        }
+        vmax = std::max(vmax, best);
+      }
+      dt = std::min(1e-3f, 0.1f / (vmax + 1.0f));
+    }
+    double sum = 0;
+    for (float ev : e) sum += ev;
+    for (float xv : x) sum += xv;
+    return sum;
+  }
+
+ private:
+  cuda::KernelModule module_{"lulesh.cu"};
+};
+
+}  // namespace
+
+Workload* mini_lulesh_workload() {
+  static MiniLuleshWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

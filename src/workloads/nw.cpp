@@ -1,0 +1,157 @@
+// Rodinia Needleman-Wunsch mini-app (paper args: 40960 10).
+// Global sequence alignment by dynamic programming: the score matrix is
+// filled along anti-diagonals, one kernel launch per diagonal (2N-1
+// launches), which is what makes NW comparatively call-heavy per byte.
+//
+// Params: size_a = sequence length N, size_b = gap penalty.
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// Processes all cells of one anti-diagonal d (1-based matrix coordinates).
+void nw_diagonal_kernel(void* const* args, const KernelBlock& blk) {
+  std::int32_t* score = kernel_arg<std::int32_t*>(args, 0);
+  const std::int32_t* similarity = kernel_arg<const std::int32_t*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const auto d = kernel_arg<std::uint64_t>(args, 3);  // 2..2n
+  const auto penalty = kernel_arg<std::int32_t>(args, 4);
+
+  const std::uint64_t stride = n + 1;
+  const std::uint64_t i_lo = d > n ? d - n : 1;
+  const std::uint64_t i_hi = std::min<std::uint64_t>(d - 1, n);
+  const std::uint64_t cells = i_hi - i_lo + 1;
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::uint64_t k = blk.global_x(t.x);
+    if (k >= cells) return;
+    const std::uint64_t i = i_lo + k;
+    const std::uint64_t j = d - i;
+    const std::uint64_t idx = i * stride + j;
+    const std::int32_t diag =
+        score[idx - stride - 1] + similarity[(i - 1) * n + (j - 1)];
+    const std::int32_t up = score[idx - stride] - penalty;
+    const std::int32_t left = score[idx - 1] - penalty;
+    score[idx] = std::max(diag, std::max(up, left));
+  });
+}
+
+std::vector<std::int32_t> make_similarity(std::uint64_t n,
+                                          std::uint64_t seed) {
+  // Random similarity matrix in [-4, 6], as the BLOSUM-ish Rodinia input.
+  Rng rng(seed);
+  std::vector<std::int32_t> sim(n * n);
+  for (auto& v : sim) v = static_cast<std::int32_t>(rng.next_below(11)) - 4;
+  return sim;
+}
+
+class NwWorkload final : public Workload {
+ public:
+  NwWorkload() {
+    module_.add_kernel<std::int32_t*, const std::int32_t*, std::uint64_t,
+                       std::uint64_t, std::int32_t>(&nw_diagonal_kernel,
+                                                    "nw_diagonal");
+  }
+
+  const char* name() const override { return "nw"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override { return "40960 10"; }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 3072;  // scaled from 40960
+    p.size_b = 10;    // the paper's penalty
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const auto penalty = static_cast<std::int32_t>(params.size_b);
+    const std::uint64_t stride = n + 1;
+
+    DeviceBuffer<std::int32_t> d_score(api, stride * stride);
+    DeviceBuffer<std::int32_t> d_sim(api, n * n);
+    d_sim.upload(make_similarity(n, params.seed));
+
+    std::vector<std::int32_t> init(stride * stride, 0);
+    for (std::uint64_t i = 0; i <= n; ++i) {
+      init[i * stride] = -static_cast<std::int32_t>(i) * penalty;
+      init[i] = -static_cast<std::int32_t>(i) * penalty;
+    }
+    d_score.upload(init);
+
+    for (std::uint64_t d = 2; d <= 2 * n; ++d) {
+      const std::uint64_t i_lo = d > n ? d - n : 1;
+      const std::uint64_t i_hi = std::min<std::uint64_t>(d - 1, n);
+      const std::uint64_t cells = i_hi - i_lo + 1;
+      CRAC_CUDA_OK(cuda::launch(
+          api, &nw_diagonal_kernel, grid1d(cells, 256), block1d(256), 0,
+          d_score.get(), static_cast<const std::int32_t*>(d_sim.get()), n, d,
+          penalty));
+      // The wavefront dependency requires a sync per diagonal.
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      if (hook && d % 64 == 0) hook(static_cast<int>(d));
+    }
+
+    const auto score = d_score.download();
+    WorkloadResult result;
+    double sum = 0;
+    for (std::uint64_t j = 0; j <= n; ++j) sum += score[n * stride + j];
+    result.checksum = sum + score[n * stride + n];
+    result.bytes_processed = stride * stride * sizeof(std::int32_t);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const auto penalty = static_cast<std::int32_t>(params.size_b);
+    const std::uint64_t stride = n + 1;
+    const auto sim = make_similarity(n, params.seed);
+    std::vector<std::int32_t> score(stride * stride, 0);
+    for (std::uint64_t i = 0; i <= n; ++i) {
+      score[i * stride] = -static_cast<std::int32_t>(i) * penalty;
+      score[i] = -static_cast<std::int32_t>(i) * penalty;
+    }
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      for (std::uint64_t j = 1; j <= n; ++j) {
+        const std::uint64_t idx = i * stride + j;
+        const std::int32_t diag =
+            score[idx - stride - 1] + sim[(i - 1) * n + (j - 1)];
+        const std::int32_t up = score[idx - stride] - penalty;
+        const std::int32_t left = score[idx - 1] - penalty;
+        score[idx] = std::max(diag, std::max(up, left));
+      }
+    }
+    double sum = 0;
+    for (std::uint64_t j = 0; j <= n; ++j) sum += score[n * stride + j];
+    return sum + score[n * stride + n];
+  }
+
+  double checksum_tolerance() const override { return 0.0; }  // integer DP
+
+ private:
+  cuda::KernelModule module_{"needle.cu"};
+};
+
+}  // namespace
+
+Workload* nw_workload() {
+  static NwWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

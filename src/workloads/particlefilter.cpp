@@ -1,0 +1,285 @@
+// Rodinia Particlefilter mini-app (paper args: -x 128 -y 128 -z 10
+// -np 100000). Tracks an object through a synthetic video: per frame a
+// likelihood kernel scores every particle against the frame, a reduction
+// kernel sums weights, and the host performs systematic resampling.
+//
+// Params: size_a = frame edge, size_b = particle count, iterations = frames
+// (the paper's -z 10).
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr unsigned kReduceBlocks = 64;
+
+// Per-particle: deterministic pseudo-random walk + likelihood against the
+// frame (object = bright disk).
+void likelihood_kernel(void* const* args, const KernelBlock& blk) {
+  float* xs = kernel_arg<float*>(args, 0);
+  float* ys = kernel_arg<float*>(args, 1);
+  float* weights = kernel_arg<float*>(args, 2);
+  const float* frame = kernel_arg<const float*>(args, 3);
+  const auto edge = kernel_arg<std::uint64_t>(args, 4);
+  const auto np = kernel_arg<std::uint64_t>(args, 5);
+  const auto frame_index = kernel_arg<std::uint32_t>(args, 6);
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t p = blk.global_x(t.x);
+    if (p >= np) return;
+    // Per-particle SplitMix64 step keyed by (particle, frame): stateless,
+    // so the device and the CPU oracle agree exactly.
+    std::uint64_t s = (static_cast<std::uint64_t>(p) << 20) ^
+                      (static_cast<std::uint64_t>(frame_index) * 0x9E3779B97F4A7C15ULL);
+    s += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    const float jx = static_cast<float>(z & 0xFFFF) / 65536.0f - 0.5f;
+    const float jy = static_cast<float>((z >> 16) & 0xFFFF) / 65536.0f - 0.5f;
+    float x = xs[p] + 1.0f + 4.0f * jx;  // drift right + jitter
+    float y = ys[p] + 0.5f + 4.0f * jy;
+    x = std::min(std::max(x, 0.0f), static_cast<float>(edge - 1));
+    y = std::min(std::max(y, 0.0f), static_cast<float>(edge - 1));
+    xs[p] = x;
+    ys[p] = y;
+    // Likelihood: mean intensity of a 3x3 patch (object is bright).
+    float acc = 0;
+    int count = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto xi = static_cast<std::int64_t>(x) + dx;
+        const auto yi = static_cast<std::int64_t>(y) + dy;
+        if (xi < 0 || yi < 0 || xi >= static_cast<std::int64_t>(edge) ||
+            yi >= static_cast<std::int64_t>(edge)) {
+          continue;
+        }
+        acc += frame[static_cast<std::size_t>(yi) * edge +
+                     static_cast<std::size_t>(xi)];
+        ++count;
+      }
+    }
+    weights[p] = count > 0 ? acc / static_cast<float>(count) : 0.0f;
+  });
+}
+
+void weight_sum_kernel(void* const* args, const KernelBlock& blk) {
+  const float* weights = kernel_arg<const float*>(args, 0);
+  float* partials = kernel_arg<float*>(args, 1);
+  const auto np = kernel_arg<std::uint64_t>(args, 2);
+  const std::size_t b = blk.linear_block();
+  const std::size_t stride = blk.grid.count();
+  double acc = 0;
+  for (std::size_t i = b; i < np; i += stride) acc += weights[i];
+  partials[b] = static_cast<float>(acc);
+}
+
+std::vector<float> make_pf_frame(std::uint64_t edge, int frame,
+                                 std::uint64_t seed) {
+  Rng rng(seed + static_cast<std::uint64_t>(frame) * 31337);
+  std::vector<float> img(edge * edge);
+  for (auto& v : img) v = rng.next_float(0.0f, 10.0f);
+  // The tracked object drifts diagonally, like the original's target.
+  const auto ox = static_cast<std::int64_t>(edge / 4 + frame);
+  const auto oy = static_cast<std::int64_t>(edge / 4 + frame / 2);
+  for (std::int64_t dy = -4; dy <= 4; ++dy) {
+    for (std::int64_t dx = -4; dx <= 4; ++dx) {
+      if (dx * dx + dy * dy > 16) continue;
+      const std::int64_t x = ox + dx;
+      const std::int64_t y = oy + dy;
+      if (x < 0 || y < 0 || x >= static_cast<std::int64_t>(edge) ||
+          y >= static_cast<std::int64_t>(edge)) {
+        continue;
+      }
+      img[static_cast<std::size_t>(y) * edge + static_cast<std::size_t>(x)] +=
+          100.0f;
+    }
+  }
+  return img;
+}
+
+// Systematic resampling (host side, as in the original).
+void resample(std::vector<float>& xs, std::vector<float>& ys,
+              const std::vector<float>& weights, double total,
+              std::uint64_t frame, std::uint64_t seed) {
+  const std::size_t np = xs.size();
+  Rng rng(seed ^ (frame * 7));
+  const double u0 = rng.next_double() / static_cast<double>(np);
+  std::vector<float> nx(np), ny(np);
+  double cumulative = weights.empty() ? 0.0 : weights[0];
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < np; ++i) {
+    const double u = u0 + static_cast<double>(i) / static_cast<double>(np);
+    while (cumulative < u * total && j + 1 < np) {
+      ++j;
+      cumulative += weights[j];
+    }
+    nx[i] = xs[j];
+    ny[i] = ys[j];
+  }
+  xs.swap(nx);
+  ys.swap(ny);
+}
+
+class ParticlefilterWorkload final : public Workload {
+ public:
+  ParticlefilterWorkload() {
+    module_.add_kernel<float*, float*, float*, const float*, std::uint64_t,
+                       std::uint64_t, std::uint32_t>(&likelihood_kernel,
+                                                     "pf_likelihood");
+    module_.add_kernel<const float*, float*, std::uint64_t>(
+        &weight_sum_kernel, "pf_weight_sum");
+  }
+
+  const char* name() const override { return "particlefilter"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override {
+    return "-x 128 -y 128 -z 10 -np 100000";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 128;     // the paper's frame edge
+    p.size_b = 400000;  // particles (4x the paper's -np 100000, for runtime)
+    p.iterations = 10;  // the paper's -z 10 frames
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t edge = params.size_a;
+    const std::uint64_t np = params.size_b;
+
+    std::vector<float> xs(np, static_cast<float>(edge) / 4);
+    std::vector<float> ys(np, static_cast<float>(edge) / 4);
+    DeviceBuffer<float> d_x(api, np);
+    DeviceBuffer<float> d_y(api, np);
+    DeviceBuffer<float> d_w(api, np);
+    DeviceBuffer<float> d_frame(api, edge * edge);
+    DeviceBuffer<float> d_partials(api, kReduceBlocks);
+
+    for (int frame = 0; frame < params.iterations; ++frame) {
+      d_x.upload(xs);
+      d_y.upload(ys);
+      d_frame.upload(make_pf_frame(edge, frame, params.seed));
+      CRAC_CUDA_OK(cuda::launch(api, &likelihood_kernel, grid1d(np), block1d(),
+                                0, d_x.get(), d_y.get(), d_w.get(),
+                                static_cast<const float*>(d_frame.get()),
+                                edge, np,
+                                static_cast<std::uint32_t>(frame)));
+      CRAC_CUDA_OK(cuda::launch(api, &weight_sum_kernel,
+                                cuda::dim3{kReduceBlocks, 1, 1}, block1d(), 0,
+                                static_cast<const float*>(d_w.get()),
+                                d_partials.get(), np));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      const auto partials = d_partials.download();
+      double total = 0;
+      for (float v : partials) total += v;
+      xs = d_x.download();
+      ys = d_y.download();
+      const auto weights = d_w.download();
+      resample(xs, ys, weights, total, static_cast<std::uint64_t>(frame),
+               params.seed);
+      if (hook) hook(frame);
+    }
+
+    WorkloadResult result;
+    double mean_x = 0, mean_y = 0;
+    for (std::size_t i = 0; i < np; ++i) {
+      mean_x += xs[i];
+      mean_y += ys[i];
+    }
+    result.checksum = mean_x / static_cast<double>(np) +
+                      1000.0 * mean_y / static_cast<double>(np);
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             np * sizeof(float) * 3;
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t edge = params.size_a;
+    const std::uint64_t np = params.size_b;
+    std::vector<float> xs(np, static_cast<float>(edge) / 4);
+    std::vector<float> ys(np, static_cast<float>(edge) / 4);
+    std::vector<float> weights(np);
+    for (int frame = 0; frame < params.iterations; ++frame) {
+      const auto img = make_pf_frame(edge, frame, params.seed);
+      for (std::size_t p = 0; p < np; ++p) {
+        std::uint64_t s =
+            (static_cast<std::uint64_t>(p) << 20) ^
+            (static_cast<std::uint64_t>(frame) * 0x9E3779B97F4A7C15ULL);
+        s += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        z ^= z >> 31;
+        const float jx = static_cast<float>(z & 0xFFFF) / 65536.0f - 0.5f;
+        const float jy =
+            static_cast<float>((z >> 16) & 0xFFFF) / 65536.0f - 0.5f;
+        float x = xs[p] + 1.0f + 4.0f * jx;
+        float y = ys[p] + 0.5f + 4.0f * jy;
+        x = std::min(std::max(x, 0.0f), static_cast<float>(edge - 1));
+        y = std::min(std::max(y, 0.0f), static_cast<float>(edge - 1));
+        xs[p] = x;
+        ys[p] = y;
+        float acc = 0;
+        int count = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const auto xi = static_cast<std::int64_t>(x) + dx;
+            const auto yi = static_cast<std::int64_t>(y) + dy;
+            if (xi < 0 || yi < 0 || xi >= static_cast<std::int64_t>(edge) ||
+                yi >= static_cast<std::int64_t>(edge)) {
+              continue;
+            }
+            acc += img[static_cast<std::size_t>(yi) * edge +
+                       static_cast<std::size_t>(xi)];
+            ++count;
+          }
+        }
+        weights[p] = count > 0 ? acc / static_cast<float>(count) : 0.0f;
+      }
+      // Match the GPU's blocked partial sums exactly.
+      double total = 0;
+      for (unsigned b = 0; b < kReduceBlocks; ++b) {
+        double acc = 0;
+        for (std::size_t i = b; i < np; i += kReduceBlocks) acc += weights[i];
+        total += static_cast<float>(acc);
+      }
+      resample(xs, ys, weights, total, static_cast<std::uint64_t>(frame),
+               params.seed);
+    }
+    double mean_x = 0, mean_y = 0;
+    for (std::size_t i = 0; i < np; ++i) {
+      mean_x += xs[i];
+      mean_y += ys[i];
+    }
+    return mean_x / static_cast<double>(np) +
+           1000.0 * mean_y / static_cast<double>(np);
+  }
+
+ private:
+  cuda::KernelModule module_{"particlefilter.cu"};
+};
+
+}  // namespace
+
+Workload* particlefilter_workload() {
+  static ParticlefilterWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,187 @@
+// NVIDIA simpleStreams sample mini (paper §4.4.2, Figures 4a/4b and 5a).
+// Launches nreps (kernel, async D2H memcpy) pairs, either serially on the
+// default stream ("non-streamed") or spread across up to 128 streams, where
+// the copies overlap and the effective per-pair cost drops toward 1/n.
+// The kernel initializes its slice, looping `niterations` times to scale
+// kernel duration exactly as the sample's inner loop does.
+//
+// Params: size_a = total elements, size_b = niterations (inner loop),
+//         iterations = nreps, streams = stream count (0 => non-streamed).
+#include <vector>
+
+#include "common/clock.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+void init_array_kernel(void* const* args, const KernelBlock& blk) {
+  std::int32_t* data = kernel_arg<std::int32_t*>(args, 0);
+  const auto n = kernel_arg<std::uint64_t>(args, 1);
+  const auto value = kernel_arg<std::int32_t>(args, 2);
+  const auto inner = kernel_arg<std::int32_t>(args, 3);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i >= n) return;
+    std::int32_t acc = 0;
+    for (std::int32_t k = 0; k < inner; ++k) acc += value;  // sample's loop
+    data[i] = acc;
+  });
+}
+
+class SimpleStreamsWorkload final : public Workload {
+ public:
+  SimpleStreamsWorkload() {
+    module_.add_kernel<std::int32_t*, std::uint64_t, std::int32_t,
+                       std::int32_t>(&init_array_kernel, "init_array");
+  }
+
+  const char* name() const override { return "simple_streams"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return true; }
+  std::pair<int, int> stream_range() const override { return {4, 128}; }
+  const char* paper_args() const override {
+    return "--nstreams=128 --nreps=1000 --niterations=500";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 1 << 19;  // elements
+    p.size_b = 20;       // niterations
+    p.iterations = 100;  // nreps (scaled from 1000)
+    p.streams = 32;
+    return p;
+  }
+
+  struct DetailedReport {
+    double nonstreamed_pair_ms = 0;  // avg kernel+copy pair, serial
+    double streamed_pair_ms = 0;     // avg effective pair cost, streamed
+    double total_s = 0;
+    double checksum = 0;
+  };
+
+  Result<DetailedReport> run_detailed(cuda::CudaApi& api,
+                                      const WorkloadParams& params,
+                                      const IterationHook& hook = {}) {
+    module_.register_with(api);
+    DetailedReport report;
+    WallTimer total;
+    const std::uint64_t n = params.size_a;
+    const auto inner = static_cast<std::int32_t>(params.size_b);
+    const int nreps = params.iterations;
+    const std::int32_t value = 7;
+
+    DeviceBuffer<std::int32_t> d_data(api, n);
+    void* pinned_raw = nullptr;
+    CRAC_CUDA_OK(api.cudaMallocHost(&pinned_raw, n * sizeof(std::int32_t)));
+    auto* pinned = static_cast<std::int32_t*>(pinned_raw);
+
+    // --- non-streamed: sequential kernel + blocking copy pairs ---
+    {
+      WallTimer t;
+      for (int rep = 0; rep < nreps; ++rep) {
+        CRAC_CUDA_OK(cuda::launch(api, &init_array_kernel, grid1d(n),
+                                  block1d(), 0, d_data.get(), n, value,
+                                  inner));
+        CRAC_CUDA_OK(api.cudaMemcpy(pinned, d_data.get(),
+                                    n * sizeof(std::int32_t),
+                                    cuda::cudaMemcpyDeviceToHost));
+        if (hook) hook(rep);
+      }
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      report.nonstreamed_pair_ms = t.elapsed_ms() / nreps;
+    }
+
+    // --- streamed: pairs distributed over the streams, chunked slices ---
+    const int nstreams = params.streams > 0 ? params.streams : 1;
+    {
+      StreamSet streams(api, nstreams);
+      const std::uint64_t chunk = (n + nstreams - 1) / nstreams;
+      WallTimer t;
+      for (int rep = 0; rep < nreps; ++rep) {
+        for (int s = 0; s < nstreams; ++s) {
+          const std::uint64_t begin = chunk * static_cast<std::uint64_t>(s);
+          if (begin >= n) break;
+          const std::uint64_t len = std::min<std::uint64_t>(chunk, n - begin);
+          CRAC_CUDA_OK(cuda::launch(
+              api, &init_array_kernel, grid1d(len), block1d(),
+              streams[static_cast<std::size_t>(s)], d_data.get() + begin, len,
+              value, inner));
+          CRAC_CUDA_OK(api.cudaMemcpyAsync(
+              pinned + begin, d_data.get() + begin,
+              len * sizeof(std::int32_t), cuda::cudaMemcpyDeviceToHost,
+              streams[static_cast<std::size_t>(s)]));
+        }
+        if (hook) hook(nreps + rep);
+      }
+      streams.synchronize_all();
+      report.streamed_pair_ms = t.elapsed_ms() / nreps;
+    }
+
+    double checksum = 0;
+    for (std::uint64_t i = 0; i < n; i += 1023) checksum += pinned[i];
+    report.checksum = checksum;
+    report.total_s = total.elapsed_s();
+
+    CRAC_CUDA_OK(api.cudaFreeHost(pinned_raw));
+    module_.unregister_from(api);
+    return report;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    auto report = run_detailed(api, params, hook);
+    if (!report.ok()) return report.status();
+    WorkloadResult result;
+    result.checksum = report->checksum;
+    result.bytes_processed = static_cast<std::uint64_t>(params.iterations) *
+                             params.size_a * sizeof(std::int32_t) * 2;
+    result.detail = "pair_ms nonstreamed=" +
+                    std::to_string(report->nonstreamed_pair_ms) +
+                    " streamed=" + std::to_string(report->streamed_pair_ms);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    // Every element ends as value * niterations.
+    const std::uint64_t n = params.size_a;
+    const double v = 7.0 * static_cast<double>(params.size_b);
+    double checksum = 0;
+    for (std::uint64_t i = 0; i < n; i += 1023) checksum += v;
+    return checksum;
+  }
+
+  double checksum_tolerance() const override { return 0.0; }  // integer
+
+ private:
+  cuda::KernelModule module_{"simpleStreams.cu"};
+};
+
+}  // namespace
+
+Workload* simple_streams_workload() {
+  static SimpleStreamsWorkload w;
+  return &w;
+}
+
+// Detailed accessor used by the Figure 4 bench.
+Result<SimpleStreamsReport> run_simple_streams_detailed(
+    cuda::CudaApi& api, const WorkloadParams& params) {
+  auto* w = static_cast<SimpleStreamsWorkload*>(simple_streams_workload());
+  auto r = w->run_detailed(api, params);
+  if (!r.ok()) return r.status();
+  SimpleStreamsReport out;
+  out.nonstreamed_pair_ms = r->nonstreamed_pair_ms;
+  out.streamed_pair_ms = r->streamed_pair_ms;
+  out.total_s = r->total_s;
+  out.checksum = r->checksum;
+  return out;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,268 @@
+// Rodinia SRAD mini-app (paper args: 2048 2048 0 127 0 127 0.5 1000).
+// Speckle-reducing anisotropic diffusion: each iteration computes global
+// image statistics (two-stage reduction), per-pixel diffusion coefficients
+// (srad1) and the diffusion update (srad2) — three kernels + a reduction
+// download per iteration.
+//
+// Params: size_a = image edge N, iterations = diffusion steps.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+constexpr float kLambda = 0.5f;  // the paper's 0.5 argument
+constexpr unsigned kReduceBlocks = 64;
+
+// partials[2*b] = sum, partials[2*b+1] = sum of squares over block's slice.
+void srad_stats_kernel(void* const* args, const KernelBlock& blk) {
+  const float* img = kernel_arg<const float*>(args, 0);
+  float* partials = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const std::size_t b = blk.linear_block();
+  const std::size_t stride = blk.grid.count();
+  double sum = 0, sum2 = 0;
+  for (std::size_t i = b; i < n; i += stride) {
+    sum += img[i];
+    sum2 += static_cast<double>(img[i]) * img[i];
+  }
+  partials[2 * b] = static_cast<float>(sum);
+  partials[2 * b + 1] = static_cast<float>(sum2);
+}
+
+// Computes the diffusion coefficient field c from image J and q0sqr.
+void srad1_kernel(void* const* args, const KernelBlock& blk) {
+  const float* j = kernel_arg<const float*>(args, 0);
+  float* c = kernel_arg<float*>(args, 1);
+  const auto n = kernel_arg<std::uint64_t>(args, 2);
+  const float q0sqr = kernel_arg<float>(args, 3);
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const std::size_t r = idx / n;
+    const std::size_t col = idx % n;
+    const float jc = j[idx];
+    const float jn = r > 0 ? j[idx - n] : jc;
+    const float js = r + 1 < n ? j[idx + n] : jc;
+    const float jw = col > 0 ? j[idx - 1] : jc;
+    const float je = col + 1 < n ? j[idx + 1] : jc;
+    const float dn = jn - jc, ds = js - jc, dw = jw - jc, de = je - jc;
+    const float g2 =
+        (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc + 1e-12f);
+    const float l = (dn + ds + dw + de) / (jc + 1e-12f);
+    const float num = 0.5f * g2 - (1.0f / 16.0f) * l * l;
+    const float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den + 1e-12f);
+    float coeff = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr) + 1e-12f);
+    coeff = 1.0f / (1.0f + coeff);
+    c[idx] = coeff < 0.0f ? 0.0f : (coeff > 1.0f ? 1.0f : coeff);
+  });
+}
+
+// Applies the diffusion update: j_out = j_in + lambda/4 * div(c grad j).
+// (Out-of-place so concurrent blocks never observe half-updated rows.)
+void srad2_kernel(void* const* args, const KernelBlock& blk) {
+  const float* j = kernel_arg<const float*>(args, 0);
+  const float* c = kernel_arg<const float*>(args, 1);
+  float* j_out = kernel_arg<float*>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t idx = blk.global_x(t.x);
+    if (idx >= n * n) return;
+    const std::size_t r = idx / n;
+    const std::size_t col = idx % n;
+    const float jc = j[idx];
+    const float jn = r > 0 ? j[idx - n] : jc;
+    const float js = r + 1 < n ? j[idx + n] : jc;
+    const float jw = col > 0 ? j[idx - 1] : jc;
+    const float je = col + 1 < n ? j[idx + 1] : jc;
+    const float cc = c[idx];
+    const float cs = r + 1 < n ? c[idx + n] : cc;
+    const float ce = col + 1 < n ? c[idx + 1] : cc;
+    const float d = cc * (jn - jc) + cs * (js - jc) + cc * (jw - jc) +
+                    ce * (je - jc);
+    j_out[idx] = jc + 0.25f * kLambda * d;
+  });
+}
+
+std::vector<float> initial_image(std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> img(n * n);
+  for (auto& v : img) v = std::exp(rng.next_float(0.0f, 1.0f));
+  return img;
+}
+
+double image_checksum(const std::vector<float>& img) {
+  double sum = 0;
+  for (float v : img) sum += v;
+  return sum;
+}
+
+class SradWorkload final : public Workload {
+ public:
+  SradWorkload() {
+    module_.add_kernel<const float*, float*, std::uint64_t>(
+        &srad_stats_kernel, "srad_stats");
+    module_.add_kernel<const float*, float*, std::uint64_t, float>(
+        &srad1_kernel, "srad1");
+    module_.add_kernel<const float*, const float*, float*, std::uint64_t>(
+        &srad2_kernel, "srad2");
+  }
+
+  const char* name() const override { return "srad"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override {
+    return "2048 2048 0 127 0 127 0.5 1000";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 512;  // scaled from 2048
+    p.iterations = 120;
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    DeviceBuffer<float> j(api, n * n);
+    DeviceBuffer<float> j2(api, n * n);
+    DeviceBuffer<float> c(api, n * n);
+    DeviceBuffer<float> partials(api, 2 * kReduceBlocks);
+    j.upload(initial_image(n, params.seed));
+    float* j_src = j.get();
+    float* j_dst = j2.get();
+
+    std::vector<float> host_partials(2 * kReduceBlocks);
+    for (int it = 0; it < params.iterations; ++it) {
+      CRAC_CUDA_OK(cuda::launch(api, &srad_stats_kernel,
+                                cuda::dim3{kReduceBlocks, 1, 1}, block1d(), 0,
+                                static_cast<const float*>(j_src),
+                                partials.get(), n * n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      CRAC_CUDA_OK(api.cudaMemcpy(host_partials.data(), partials.get(),
+                                  partials.bytes(),
+                                  cuda::cudaMemcpyDeviceToHost));
+      double sum = 0, sum2 = 0;
+      for (unsigned b = 0; b < kReduceBlocks; ++b) {
+        sum += host_partials[2 * b];
+        sum2 += host_partials[2 * b + 1];
+      }
+      const double count = static_cast<double>(n) * n;
+      const double mean = sum / count;
+      const double var = sum2 / count - mean * mean;
+      const float q0sqr = static_cast<float>(var / (mean * mean + 1e-12));
+
+      CRAC_CUDA_OK(cuda::launch(api, &srad1_kernel, grid1d(n * n), block1d(),
+                                0, static_cast<const float*>(j_src),
+                                c.get(), n, q0sqr));
+      CRAC_CUDA_OK(cuda::launch(api, &srad2_kernel, grid1d(n * n), block1d(),
+                                0, static_cast<const float*>(j_src),
+                                static_cast<const float*>(c.get()), j_dst,
+                                n));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      std::swap(j_src, j_dst);
+      if (hook) hook(it);
+    }
+
+    WorkloadResult result;
+    result.checksum =
+        image_checksum(j_src == j.get() ? j.download() : j2.download());
+    result.bytes_processed =
+        static_cast<std::uint64_t>(params.iterations) * n * n * sizeof(float);
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    std::vector<float> j = initial_image(n, params.seed);
+    std::vector<float> c(n * n);
+    for (int it = 0; it < params.iterations; ++it) {
+      // Match the GPU's blocked reduction exactly (same strided partials).
+      double partials_sum[kReduceBlocks] = {0};
+      double partials_sum2[kReduceBlocks] = {0};
+      for (unsigned b = 0; b < kReduceBlocks; ++b) {
+        double s = 0, s2 = 0;
+        for (std::size_t i = b; i < n * n; i += kReduceBlocks) {
+          s += j[i];
+          s2 += static_cast<double>(j[i]) * j[i];
+        }
+        partials_sum[b] = static_cast<float>(s);
+        partials_sum2[b] = static_cast<float>(s2);
+      }
+      double sum = 0, sum2 = 0;
+      for (unsigned b = 0; b < kReduceBlocks; ++b) {
+        sum += partials_sum[b];
+        sum2 += partials_sum2[b];
+      }
+      const double count = static_cast<double>(n) * n;
+      const double mean = sum / count;
+      const double var = sum2 / count - mean * mean;
+      const float q0sqr = static_cast<float>(var / (mean * mean + 1e-12));
+
+      for (std::size_t idx = 0; idx < n * n; ++idx) {
+        const std::size_t r = idx / n;
+        const std::size_t col = idx % n;
+        const float jc = j[idx];
+        const float jn = r > 0 ? j[idx - n] : jc;
+        const float js = r + 1 < n ? j[idx + n] : jc;
+        const float jw = col > 0 ? j[idx - 1] : jc;
+        const float je = col + 1 < n ? j[idx + 1] : jc;
+        const float dn = jn - jc, ds = js - jc, dw = jw - jc, de = je - jc;
+        const float g2 =
+            (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc + 1e-12f);
+        const float l = (dn + ds + dw + de) / (jc + 1e-12f);
+        const float num = 0.5f * g2 - (1.0f / 16.0f) * l * l;
+        const float den = 1.0f + 0.25f * l;
+        float qsqr = num / (den * den + 1e-12f);
+        float coeff = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr) + 1e-12f);
+        coeff = 1.0f / (1.0f + coeff);
+        c[idx] = coeff < 0.0f ? 0.0f : (coeff > 1.0f ? 1.0f : coeff);
+      }
+      std::vector<float> jn_img = j;
+      for (std::size_t idx = 0; idx < n * n; ++idx) {
+        const std::size_t r = idx / n;
+        const std::size_t col = idx % n;
+        const float jc = j[idx];
+        const float jn = r > 0 ? j[idx - n] : jc;
+        const float js = r + 1 < n ? j[idx + n] : jc;
+        const float jw = col > 0 ? j[idx - 1] : jc;
+        const float je = col + 1 < n ? j[idx + 1] : jc;
+        const float cc = c[idx];
+        const float cs = r + 1 < n ? c[idx + n] : cc;
+        const float ce = col + 1 < n ? c[idx + 1] : cc;
+        const float d = cc * (jn - jc) + cs * (js - jc) + cc * (jw - jc) +
+                        ce * (je - jc);
+        jn_img[idx] = jc + 0.25f * kLambda * d;
+      }
+      j.swap(jn_img);
+    }
+    return image_checksum(j);
+  }
+
+ private:
+  cuda::KernelModule module_{"srad.cu"};
+};
+
+}  // namespace
+
+Workload* srad_workload() {
+  static SradWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

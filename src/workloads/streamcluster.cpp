@@ -1,0 +1,215 @@
+// Rodinia Streamcluster mini-app (paper args: 10 20 256 65536 65536 1000
+// none output.txt 1). Streaming k-median: for each candidate facility, a
+// gain-evaluation kernel computes, per point, the saving from reassigning
+// to the candidate; the host accepts candidates with positive total gain.
+// Each candidate evaluation cudaMallocs and cudaFrees its gain workspace —
+// Streamcluster is the second benchmark whose restart time exceeds its
+// checkpoint time in Figure 3 because of exactly this churn.
+//
+// Params: size_a = points, size_b = dimensions, size_c = candidate count.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// gain[p] = cost(p, current_center(p)) - cost(p, candidate)
+void pgain_kernel(void* const* args, const KernelBlock& blk) {
+  const float* points = kernel_arg<const float*>(args, 0);
+  const float* centers = kernel_arg<const float*>(args, 1);
+  const std::int32_t* assign = kernel_arg<const std::int32_t*>(args, 2);
+  float* gain = kernel_arg<float*>(args, 3);
+  const auto n = kernel_arg<std::uint64_t>(args, 4);
+  const auto dim = kernel_arg<std::uint64_t>(args, 5);
+  const auto candidate = kernel_arg<std::uint64_t>(args, 6);
+
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t p = blk.global_x(t.x);
+    if (p >= n) return;
+    const float* pt = points + p * dim;
+    const float* cur = centers + static_cast<std::size_t>(assign[p]) * dim;
+    const float* cand = points + candidate * dim;
+    float cost_cur = 0, cost_cand = 0;
+    for (std::uint64_t j = 0; j < dim; ++j) {
+      const float dc = pt[j] - cur[j];
+      const float dd = pt[j] - cand[j];
+      cost_cur += dc * dc;
+      cost_cand += dd * dd;
+    }
+    gain[p] = cost_cur - cost_cand;
+  });
+}
+
+std::vector<float> make_stream_points(std::uint64_t n, std::uint64_t dim,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> pts(n * dim);
+  for (auto& v : pts) v = rng.next_float(0.0f, 100.0f);
+  return pts;
+}
+
+class StreamclusterWorkload final : public Workload {
+ public:
+  StreamclusterWorkload() {
+    module_.add_kernel<const float*, const float*, const std::int32_t*,
+                       float*, std::uint64_t, std::uint64_t, std::uint64_t>(
+        &pgain_kernel, "pgain");
+  }
+
+  const char* name() const override { return "streamcluster"; }
+  bool uses_uvm() const override { return false; }
+  bool uses_streams() const override { return false; }
+  const char* paper_args() const override {
+    return "10 20 256 65536 65536 1000 none output.txt 1";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 30000;  // points (scaled from 65536)
+    p.size_b = 48;     // dimensions (scaled from 256)
+    p.size_c = 100;    // candidate evaluations
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t dim = params.size_b;
+    const std::uint64_t candidates = params.size_c;
+    const auto points = make_stream_points(n, dim, params.seed);
+
+    DeviceBuffer<float> d_points(api, n * dim);
+    DeviceBuffer<float> d_centers(api, n * dim);  // center coords by index
+    DeviceBuffer<std::int32_t> d_assign(api, n);
+    d_points.upload(points);
+
+    // Start with one open facility: point 0.
+    std::vector<std::int32_t> assign(n, 0);
+    std::vector<float> centers(points.begin(),
+                               points.begin() + static_cast<long>(dim));
+    std::vector<std::int32_t> open_centers = {0};
+    d_assign.upload(assign);
+
+    Rng rng(params.seed + 99);
+    int accepted = 0;
+    for (std::uint64_t c = 0; c < candidates; ++c) {
+      const std::uint64_t candidate = rng.next_below(n);
+      // Per-candidate gain workspace: the original's alloc/free churn.
+      DeviceBuffer<float> d_gain(api, n);
+      // Centers table must reflect current assignment's centers, laid out
+      // densely by open-center slot.
+      std::vector<float> dense(open_centers.size() * dim);
+      for (std::size_t s = 0; s < open_centers.size(); ++s) {
+        for (std::uint64_t j = 0; j < dim; ++j) {
+          dense[s * dim + j] =
+              points[static_cast<std::size_t>(open_centers[s]) * dim + j];
+        }
+      }
+      d_centers.upload(dense);
+      CRAC_CUDA_OK(cuda::launch(
+          api, &pgain_kernel, grid1d(n), block1d(), 0,
+          static_cast<const float*>(d_points.get()),
+          static_cast<const float*>(d_centers.get()),
+          static_cast<const std::int32_t*>(d_assign.get()), d_gain.get(), n,
+          dim, candidate));
+      CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+      const auto gain = d_gain.download();
+      double total_gain = 0;
+      for (float g : gain) {
+        if (g > 0) total_gain += g;
+      }
+      const double open_cost = 5000.0 * dim;
+      if (total_gain > open_cost) {
+        // Open the candidate: reassign every point that benefits.
+        const auto slot = static_cast<std::int32_t>(open_centers.size());
+        open_centers.push_back(static_cast<std::int32_t>(candidate));
+        for (std::size_t p = 0; p < n; ++p) {
+          if (gain[p] > 0) assign[p] = slot;
+        }
+        d_assign.upload(assign);
+        ++accepted;
+      }
+      if (hook) hook(static_cast<int>(c));
+    }
+
+    WorkloadResult result;
+    double sum = 0;
+    for (std::size_t p = 0; p < n; p += 31) sum += assign[p];
+    result.checksum = sum + 1e6 * accepted;
+    result.bytes_processed = candidates * n * dim * sizeof(float);
+    result.detail = "facilities=" + std::to_string(open_centers.size());
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t n = params.size_a;
+    const std::uint64_t dim = params.size_b;
+    const std::uint64_t candidates = params.size_c;
+    const auto points = make_stream_points(n, dim, params.seed);
+    std::vector<std::int32_t> assign(n, 0);
+    std::vector<std::int32_t> open_centers = {0};
+    Rng rng(params.seed + 99);
+    int accepted = 0;
+    std::vector<float> gain(n);
+    for (std::uint64_t c = 0; c < candidates; ++c) {
+      const std::uint64_t candidate = rng.next_below(n);
+      for (std::size_t p = 0; p < n; ++p) {
+        const float* pt = points.data() + p * dim;
+        const float* cur =
+            points.data() +
+            static_cast<std::size_t>(open_centers[static_cast<std::size_t>(
+                assign[p])]) * dim;
+        const float* cand = points.data() + candidate * dim;
+        float cost_cur = 0, cost_cand = 0;
+        for (std::uint64_t j = 0; j < dim; ++j) {
+          const float dc = pt[j] - cur[j];
+          const float dd = pt[j] - cand[j];
+          cost_cur += dc * dc;
+          cost_cand += dd * dd;
+        }
+        gain[p] = cost_cur - cost_cand;
+      }
+      double total_gain = 0;
+      for (float g : gain) {
+        if (g > 0) total_gain += g;
+      }
+      const double open_cost = 5000.0 * dim;
+      if (total_gain > open_cost) {
+        const auto slot = static_cast<std::int32_t>(open_centers.size());
+        open_centers.push_back(static_cast<std::int32_t>(candidate));
+        for (std::size_t p = 0; p < n; ++p) {
+          if (gain[p] > 0) assign[p] = slot;
+        }
+        ++accepted;
+      }
+    }
+    double sum = 0;
+    for (std::size_t p = 0; p < n; p += 31) sum += assign[p];
+    return sum + 1e6 * accepted;
+  }
+
+  double checksum_tolerance() const override { return 0.0; }  // integer
+
+ private:
+  cuda::KernelModule module_{"streamcluster.cu"};
+};
+
+}  // namespace
+
+Workload* streamcluster_workload() {
+  static StreamclusterWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

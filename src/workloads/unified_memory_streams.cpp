@@ -1,0 +1,177 @@
+// NVIDIA UnifiedMemoryStreams sample mini (paper §4.4.2, Figure 5a).
+// A task consumer over Unified Memory: tasks of randomized size (seed
+// 12701, as in the paper) are issued round-robin onto the stream set; small
+// tasks execute on the *host*, large ones on the *device* — both touching
+// the same managed allocations, which is precisely the UVM behaviour CRUM's
+// shadow pages restrict and CRAC supports natively.
+//
+// Params: size_a = task count (paper: 1280), size_b = max task matrix edge,
+//         streams = stream count (paper: 128).
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simcuda/module.hpp"
+#include "workloads/app_util.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/buffers.hpp"
+
+namespace crac::workloads {
+namespace {
+
+using cuda::kernel_arg;
+using cuda::KernelBlock;
+
+// Device-side task: one Jacobi-like sweep over the task's managed matrix,
+// then write the matrix digest into result[task].
+void gemv_task_kernel(void* const* args, const KernelBlock& blk) {
+  float* data = kernel_arg<float*>(args, 0);
+  float* result = kernel_arg<float*>(args, 1);
+  const auto edge = kernel_arg<std::uint64_t>(args, 2);
+  const auto task = kernel_arg<std::uint64_t>(args, 3);
+
+  // Single-block task (the sample uses one small GEMV per task).
+  if (blk.linear_block() != 0) return;
+  double digest = 0;
+  for (std::uint64_t r = 0; r < edge; ++r) {
+    for (std::uint64_t c = 0; c < edge; ++c) {
+      const float left = c > 0 ? data[r * edge + c - 1] : data[r * edge + c];
+      const float up = r > 0 ? data[(r - 1) * edge + c] : data[r * edge + c];
+      data[r * edge + c] = 0.5f * (left + up);
+      digest += data[r * edge + c];
+    }
+  }
+  result[task] = static_cast<float>(digest);
+}
+
+// Host-side version of the same task (the sample's CPU path).
+void host_task(float* data, float* result, std::uint64_t edge,
+               std::uint64_t task) {
+  double digest = 0;
+  for (std::uint64_t r = 0; r < edge; ++r) {
+    for (std::uint64_t c = 0; c < edge; ++c) {
+      const float left = c > 0 ? data[r * edge + c - 1] : data[r * edge + c];
+      const float up = r > 0 ? data[(r - 1) * edge + c] : data[r * edge + c];
+      data[r * edge + c] = 0.5f * (left + up);
+      digest += data[r * edge + c];
+    }
+  }
+  result[task] = static_cast<float>(digest);
+}
+
+class UnifiedMemoryStreamsWorkload final : public Workload {
+ public:
+  UnifiedMemoryStreamsWorkload() {
+    module_.add_kernel<float*, float*, std::uint64_t, std::uint64_t>(
+        &gemv_task_kernel, "ums_task");
+  }
+
+  const char* name() const override { return "unified_memory_streams"; }
+  bool uses_uvm() const override { return true; }
+  bool uses_streams() const override { return true; }
+  std::pair<int, int> stream_range() const override { return {4, 128}; }
+  const char* paper_args() const override {
+    return "--streams=128 --tasks=1280 (seed 12701)";
+  }
+
+  WorkloadParams default_params() const override {
+    WorkloadParams p;
+    p.size_a = 1280;  // tasks, as in the paper
+    p.size_b = 128;   // max task matrix edge
+    p.streams = 64;   // scaled from 128
+    p.seed = 12701;  // the paper's seed
+    return p;
+  }
+
+  Result<WorkloadResult> run(cuda::CudaApi& api, const WorkloadParams& params,
+                             const IterationHook& hook) override {
+    module_.register_with(api);
+    const std::uint64_t tasks = params.size_a;
+    const std::uint64_t max_edge = params.size_b;
+    Rng rng(params.seed);
+
+    // Task sizes randomized up front, exactly like the sample (which fixes
+    // the seed so repeated runs are comparable).
+    std::vector<std::uint64_t> edges(tasks);
+    for (auto& e : edges) e = 8 + rng.next_below(max_edge - 8);
+
+    // One managed allocation per task, plus a managed result array — all
+    // data in Unified Memory, consumed by both host and device.
+    ManagedBuffer<float> results(api, tasks);
+    std::vector<ManagedBuffer<float>> data;
+    data.reserve(tasks);
+    for (std::uint64_t t = 0; t < tasks; ++t) {
+      data.emplace_back(api, edges[t] * edges[t]);
+      // Host initialization of managed memory (first UVM touch).
+      for (std::uint64_t i = 0; i < edges[t] * edges[t]; ++i) {
+        data.back()[i] = static_cast<float>((i + t) % 17) * 0.25f;
+      }
+    }
+
+    const std::uint64_t host_threshold = 8 + (max_edge - 8) / 4;
+    std::uint64_t host_tasks = 0, device_tasks = 0;
+    {
+      StreamSet streams(api, params.streams);
+      for (std::uint64_t t = 0; t < tasks; ++t) {
+        if (edges[t] < host_threshold) {
+          // Small task: the host works on the managed buffer directly.
+          host_task(data[t].get(), results.get(), edges[t], t);
+          ++host_tasks;
+        } else {
+          CRAC_CUDA_OK(cuda::launch(api, &gemv_task_kernel,
+                                    cuda::dim3{1, 1, 1}, block1d(1),
+                                    streams[t], data[t].get(), results.get(),
+                                    edges[t], t));
+          ++device_tasks;
+        }
+        if (hook && t % 32 == 0) hook(static_cast<int>(t));
+      }
+      streams.synchronize_all();
+    }
+    CRAC_CUDA_OK(api.cudaDeviceSynchronize());
+
+    WorkloadResult result;
+    double sum = 0;
+    for (std::uint64_t t = 0; t < tasks; ++t) sum += results[t];
+    result.checksum = sum;
+    result.detail = "host_tasks=" + std::to_string(host_tasks) +
+                    " device_tasks=" + std::to_string(device_tasks);
+    std::uint64_t bytes = 0;
+    for (std::uint64_t t = 0; t < tasks; ++t) {
+      bytes += edges[t] * edges[t] * sizeof(float);
+    }
+    result.bytes_processed = bytes;
+    module_.unregister_from(api);
+    return result;
+  }
+
+  Result<double> reference_checksum(const WorkloadParams& params) override {
+    const std::uint64_t tasks = params.size_a;
+    const std::uint64_t max_edge = params.size_b;
+    Rng rng(params.seed);
+    std::vector<std::uint64_t> edges(tasks);
+    for (auto& e : edges) e = 8 + rng.next_below(max_edge - 8);
+    std::vector<float> results(tasks);
+    double sum = 0;
+    for (std::uint64_t t = 0; t < tasks; ++t) {
+      std::vector<float> m(edges[t] * edges[t]);
+      for (std::uint64_t i = 0; i < m.size(); ++i) {
+        m[i] = static_cast<float>((i + t) % 17) * 0.25f;
+      }
+      host_task(m.data(), results.data(), edges[t], t);
+      sum += results[t];
+    }
+    return sum;
+  }
+
+ private:
+  cuda::KernelModule module_{"UnifiedMemoryStreams.cu"};
+};
+
+}  // namespace
+
+Workload* unified_memory_streams_workload() {
+  static UnifiedMemoryStreamsWorkload w;
+  return &w;
+}
+
+}  // namespace crac::workloads

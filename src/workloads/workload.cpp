@@ -1,0 +1,53 @@
+#include "workloads/workload.hpp"
+
+#include "workloads/apps.hpp"
+
+namespace crac::workloads {
+
+std::vector<Workload*> all_workloads() {
+  return {
+      // Rodinia (paper order of Figure 2).
+      bfs_workload(),
+      cfd_workload(),
+      dwt2d_workload(),
+      gaussian_workload(),
+      heartwall_workload(),
+      hotspot_workload(),
+      hotspot3d_workload(),
+      kmeans_workload(),
+      lud_workload(),
+      leukocyte_workload(),
+      nw_workload(),
+      particlefilter_workload(),
+      srad_workload(),
+      streamcluster_workload(),
+      // Stream-oriented samples.
+      simple_streams_workload(),
+      unified_memory_streams_workload(),
+      // Real-world miniatures.
+      mini_lulesh_workload(),
+      mini_hpgmg_workload(),
+      mini_hypre_workload(),
+  };
+}
+
+std::vector<Workload*> rodinia_workloads() {
+  return {
+      bfs_workload(),       cfd_workload(),
+      dwt2d_workload(),     gaussian_workload(),
+      heartwall_workload(), hotspot_workload(),
+      hotspot3d_workload(), kmeans_workload(),
+      lud_workload(),       leukocyte_workload(),
+      nw_workload(),        particlefilter_workload(),
+      srad_workload(),      streamcluster_workload(),
+  };
+}
+
+Workload* find_workload(const std::string& name) {
+  for (Workload* w : all_workloads()) {
+    if (name == w->name()) return w;
+  }
+  return nullptr;
+}
+
+}  // namespace crac::workloads

@@ -1,0 +1,79 @@
+// Workload framework for the paper's application benchmarks.
+//
+// Every application in the evaluation (Table 1) is reproduced as a mini-app
+// with the same algorithmic skeleton and CUDA-feature profile (UVM usage,
+// stream usage, allocation churn, calls-per-second shape), written against
+// the abstract CudaApi so one binary can run it natively, under CRAC, or
+// over the proxy baseline. Each app carries a CPU reference so benchmarks
+// double as correctness checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "simcuda/api.hpp"
+
+namespace crac::workloads {
+
+struct WorkloadParams {
+  // Generic scaling knobs, interpreted per app (documented in each app's
+  // header comment). Defaults reproduce a scaled-down version of the
+  // paper's Table 2 configuration.
+  std::uint64_t size_a = 0;
+  std::uint64_t size_b = 0;
+  std::uint64_t size_c = 0;
+  int iterations = 0;
+  int streams = 0;
+  std::uint64_t seed = 12701;  // the paper's UMS seed, reused everywhere
+};
+
+struct WorkloadResult {
+  double checksum = 0.0;  // app-defined digest of the final state
+  std::uint64_t bytes_processed = 0;
+  std::string detail;
+};
+
+// Invoked between outer iterations; used by the checkpoint benchmarks to
+// trigger a checkpoint at a random point mid-run (Figure 3's methodology).
+using IterationHook = std::function<void(int iteration)>;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+  virtual bool uses_uvm() const = 0;
+  virtual bool uses_streams() const = 0;
+  // Stream-count range as reported in Table 1 ("—" when streams unused).
+  virtual std::pair<int, int> stream_range() const { return {0, 0}; }
+  // The original benchmark's command line (Table 2), for provenance.
+  virtual const char* paper_args() const = 0;
+
+  virtual WorkloadParams default_params() const = 0;
+
+  // Runs the workload against `api`. The hook, when set, fires between
+  // outer iterations.
+  virtual Result<WorkloadResult> run(cuda::CudaApi& api,
+                                     const WorkloadParams& params,
+                                     const IterationHook& hook = {}) = 0;
+
+  // CPU oracle: the checksum run() must (approximately) produce.
+  virtual Result<double> reference_checksum(const WorkloadParams& params) = 0;
+
+  // Relative tolerance for checksum comparison (float kernels accumulate
+  // differently than the double oracle).
+  virtual double checksum_tolerance() const { return 1e-3; }
+};
+
+// Global registry. Registration happens in register_all_workloads() (no
+// static-initializer tricks, so the registry content is deterministic).
+std::vector<Workload*> all_workloads();
+Workload* find_workload(const std::string& name);
+
+// The Rodinia subset used by Figures 2/3/6, in the paper's order.
+std::vector<Workload*> rodinia_workloads();
+
+}  // namespace crac::workloads

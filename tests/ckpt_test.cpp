@@ -1,0 +1,283 @@
+// Unit tests for the checkpoint engine: compressor, image format, integrity
+// checking, memory-record round trips, plugin lifecycle ordering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "ckpt/compressor.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/memory_section.hpp"
+#include "ckpt/plugin.hpp"
+#include "common/rng.hpp"
+
+namespace crac::ckpt {
+namespace {
+
+std::vector<std::byte> make_bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64());
+  return out;
+}
+
+std::vector<std::byte> compressible_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto value = static_cast<std::byte>(rng.next_below(4));
+    const std::size_t run = 16 + rng.next_below(200);
+    for (std::size_t i = 0; i < run && out.size() < n; ++i) out.push_back(value);
+  }
+  return out;
+}
+
+class CompressorRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressorRoundTrip, RandomData) {
+  const auto input = random_bytes(GetParam(), GetParam() * 31 + 1);
+  const auto packed = compress(input, Codec::kLz);
+  auto unpacked = decompress(packed.data(), packed.size(), Codec::kLz,
+                             input.size());
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+}
+
+TEST_P(CompressorRoundTrip, CompressibleData) {
+  const auto input = compressible_bytes(GetParam(), GetParam() + 7);
+  const auto packed = compress(input, Codec::kLz);
+  auto unpacked = decompress(packed.data(), packed.size(), Codec::kLz,
+                             input.size());
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+  if (input.size() > 1024) {
+    EXPECT_LT(packed.size(), input.size() / 2)
+        << "run-heavy data should compress well";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompressorRoundTrip,
+                         ::testing::Values(0, 1, 3, 4, 5, 63, 64, 65, 127,
+                                           128, 129, 1000, 4096, 65536,
+                                           1 << 20));
+
+TEST(CompressorTest, StoreCodecIsIdentity) {
+  const auto input = random_bytes(1000, 5);
+  const auto packed = compress(input, Codec::kStore);
+  EXPECT_EQ(packed, input);
+}
+
+TEST(CompressorTest, AllSameByteCompressesExtremely) {
+  std::vector<std::byte> input(1 << 20, std::byte{0});
+  const auto packed = compress(input, Codec::kLz);
+  EXPECT_LT(packed.size(), input.size() / 20);
+  auto unpacked =
+      decompress(packed.data(), packed.size(), Codec::kLz, input.size());
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+}
+
+TEST(CompressorTest, CorruptStreamRejected) {
+  const auto input = compressible_bytes(10000, 3);
+  auto packed = compress(input, Codec::kLz);
+  ASSERT_GT(packed.size(), 10u);
+  // Truncate the stream.
+  auto truncated =
+      decompress(packed.data(), packed.size() / 2, Codec::kLz, input.size());
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST(CompressorTest, WrongRawSizeRejected) {
+  const auto input = compressible_bytes(1000, 3);
+  const auto packed = compress(input, Codec::kLz);
+  EXPECT_FALSE(
+      decompress(packed.data(), packed.size(), Codec::kLz, input.size() + 1)
+          .ok());
+}
+
+TEST(ImageTest, EmptyImageRoundTrips) {
+  ImageWriter w;
+  auto reader = ImageReader::from_bytes(w.serialize());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->sections().empty());
+}
+
+TEST(ImageTest, SectionsRoundTrip) {
+  ImageWriter w;
+  w.add_section(SectionType::kMetadata, "meta", make_bytes({1, 2, 3}));
+  w.add_section(SectionType::kCudaApiLog, "log", make_bytes({9, 8, 7, 6}));
+  auto reader = ImageReader::from_bytes(w.serialize());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->sections().size(), 2u);
+  const Section* meta = reader->find(SectionType::kMetadata, "meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->payload, make_bytes({1, 2, 3}));
+  EXPECT_EQ(reader->find(SectionType::kMetadata, "nope"), nullptr);
+  EXPECT_NE(reader->find(SectionType::kCudaApiLog), nullptr);
+}
+
+TEST(ImageTest, CompressedImageRoundTrips) {
+  ImageWriter w(Codec::kLz);
+  w.add_section(SectionType::kMemoryRegions, "mem",
+                compressible_bytes(1 << 20, 42));
+  const auto bytes = w.serialize();
+  EXPECT_LT(bytes.size(), (1u << 20) / 2);  // compression actually applied
+  auto reader = ImageReader::from_bytes(bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->sections()[0].payload, compressible_bytes(1 << 20, 42));
+}
+
+TEST(ImageTest, IncompressibleSectionStoredRaw) {
+  ImageWriter w(Codec::kLz);
+  const auto noise = random_bytes(1 << 16, 99);
+  w.add_section(SectionType::kMemoryRegions, "noise", noise);
+  auto reader = ImageReader::from_bytes(w.serialize());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->sections()[0].payload, noise);
+}
+
+TEST(ImageTest, BadMagicRejected) {
+  auto bytes = ImageWriter().serialize();
+  bytes[0] = std::byte{'X'};
+  EXPECT_FALSE(ImageReader::from_bytes(std::move(bytes)).ok());
+}
+
+TEST(ImageTest, FlippedPayloadBitFailsCrc) {
+  ImageWriter w;
+  w.add_section(SectionType::kMetadata, "m", random_bytes(4096, 1));
+  auto bytes = w.serialize();
+  // Flip a bit near the end (inside the payload).
+  bytes[bytes.size() - 100] ^= std::byte{0x40};
+  auto reader = ImageReader::from_bytes(std::move(bytes));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(ImageTest, TruncatedImageRejected) {
+  ImageWriter w;
+  w.add_section(SectionType::kMetadata, "m", random_bytes(4096, 1));
+  auto bytes = w.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(ImageReader::from_bytes(std::move(bytes)).ok());
+}
+
+TEST(ImageTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/crac_image_test.img";
+  ImageWriter w;
+  w.add_section(SectionType::kMetadata, "m", make_bytes({42}));
+  ASSERT_TRUE(w.write_file(path).ok());
+  auto reader = ImageReader::from_file(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->sections()[0].payload, make_bytes({42}));
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, MissingFileIsIoError) {
+  auto reader = ImageReader::from_file("/nonexistent/crac.img");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST(MemorySectionTest, RecordsRoundTrip) {
+  std::vector<MemoryRecord> records;
+  MemoryRecord a;
+  a.addr = 0x600000000000;
+  a.size = 5;
+  a.prot = 3;
+  a.name = "heap";
+  a.bytes = make_bytes({1, 2, 3, 4, 5});
+  records.push_back(a);
+  MemoryRecord b;
+  b.addr = 0x500000000000;
+  b.size = 0;
+  b.name = "empty";
+  records.push_back(b);
+
+  auto decoded = decode_memory_records(encode_memory_records(records));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].addr, a.addr);
+  EXPECT_EQ((*decoded)[0].bytes, a.bytes);
+  EXPECT_EQ((*decoded)[1].name, "empty");
+}
+
+TEST(MemorySectionTest, TruncatedPayloadRejected) {
+  std::vector<MemoryRecord> records(1);
+  records[0].size = 100;
+  records[0].bytes.resize(100);
+  auto payload = encode_memory_records(records);
+  payload.resize(payload.size() - 50);
+  EXPECT_FALSE(decode_memory_records(payload).ok());
+}
+
+// ---- plugin lifecycle ----
+
+class OrderProbePlugin : public CkptPlugin {
+ public:
+  OrderProbePlugin(std::string id, std::vector<std::string>* trace)
+      : id_(std::move(id)), trace_(trace) {}
+  std::string name() const override { return id_; }
+  Status precheckpoint(ImageWriter&) override {
+    trace_->push_back("pre:" + id_);
+    return OkStatus();
+  }
+  Status resume() override {
+    trace_->push_back("resume:" + id_);
+    return OkStatus();
+  }
+  Status restart(const ImageReader&) override {
+    trace_->push_back("restart:" + id_);
+    return OkStatus();
+  }
+
+ private:
+  std::string id_;
+  std::vector<std::string>* trace_;
+};
+
+TEST(PluginRegistryTest, HookOrdering) {
+  std::vector<std::string> trace;
+  OrderProbePlugin a("a", &trace), b("b", &trace);
+  PluginRegistry registry;
+  registry.register_plugin(&a);
+  registry.register_plugin(&b);
+
+  ImageWriter w;
+  ASSERT_TRUE(registry.run_precheckpoint(w).ok());
+  ASSERT_TRUE(registry.run_resume().ok());
+  auto reader = ImageReader::from_bytes(w.serialize());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(registry.run_restart(*reader).ok());
+
+  // precheckpoint in registration order; resume/restart reversed.
+  const std::vector<std::string> expected = {"pre:a",     "pre:b",
+                                             "resume:b",  "resume:a",
+                                             "restart:b", "restart:a"};
+  EXPECT_EQ(trace, expected);
+}
+
+class FailingPlugin : public CkptPlugin {
+ public:
+  std::string name() const override { return "fail"; }
+  Status precheckpoint(ImageWriter&) override { return Internal("boom"); }
+  Status resume() override { return OkStatus(); }
+  Status restart(const ImageReader&) override { return OkStatus(); }
+};
+
+TEST(PluginRegistryTest, FailurePropagates) {
+  FailingPlugin f;
+  PluginRegistry registry;
+  registry.register_plugin(&f);
+  ImageWriter w;
+  EXPECT_FALSE(registry.run_precheckpoint(w).ok());
+}
+
+}  // namespace
+}  // namespace crac::ckpt

@@ -1,0 +1,214 @@
+// Tests for the cuBLAS-like library against CPU references, on both the
+// direct (trampolined) backend and the proxy backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cublas/cublas.hpp"
+#include "proxy/client_api.hpp"
+#include "simcuda/lower_half.hpp"
+#include "simcuda/trampolined_api.hpp"
+
+namespace crac::blas {
+namespace {
+
+using cuda::cudaMemcpyDeviceToHost;
+using cuda::cudaMemcpyHostToDevice;
+using cuda::cudaSuccess;
+
+sim::DeviceConfig test_device_config() {
+  sim::DeviceConfig cfg;
+  cfg.device_va_base = 0;
+  cfg.pinned_va_base = 0;
+  cfg.managed_va_base = 0;
+  cfg.device_capacity = 512 << 20;
+  cfg.pinned_capacity = 64 << 20;
+  cfg.managed_capacity = 64 << 20;
+  cfg.device_chunk = 16 << 20;
+  cfg.pinned_chunk = 4 << 20;
+  cfg.managed_chunk = 8 << 20;
+  return cfg;
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& f : v) f = rng.next_float(-1.0f, 1.0f);
+  return v;
+}
+
+class CublasDirectTest : public ::testing::Test {
+ protected:
+  CublasDirectTest()
+      : runtime_(test_device_config()),
+        trampoline_(split::FsSwitchMode::kNone) {
+    runtime_.fill_dispatch_table(&table_);
+    api_ = std::make_unique<cuda::TrampolinedApi>(&table_, &trampoline_);
+    EXPECT_EQ(cublasCreate(&handle_, *api_), CUBLAS_STATUS_SUCCESS);
+  }
+  ~CublasDirectTest() override { cublasDestroy(handle_); }
+
+  float* to_device(const std::vector<float>& host) {
+    void* p = nullptr;
+    EXPECT_EQ(api_->cudaMalloc(&p, host.size() * sizeof(float)), cudaSuccess);
+    EXPECT_EQ(api_->cudaMemcpy(p, host.data(), host.size() * sizeof(float),
+                               cudaMemcpyHostToDevice),
+              cudaSuccess);
+    return static_cast<float*>(p);
+  }
+
+  std::vector<float> from_device(const float* dev, std::size_t n) {
+    std::vector<float> out(n);
+    EXPECT_EQ(api_->cudaMemcpy(out.data(), dev, n * sizeof(float),
+                               cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    return out;
+  }
+
+  cuda::LowerHalfRuntime runtime_;
+  split::Trampoline trampoline_;
+  cuda::DispatchTable table_;
+  std::unique_ptr<cuda::TrampolinedApi> api_;
+  cublasHandle_t handle_ = nullptr;
+};
+
+TEST_F(CublasDirectTest, SdotMatchesReference) {
+  const std::size_t n = 100000;
+  const auto x = random_vec(n, 1);
+  const auto y = random_vec(n, 2);
+  float* dx = to_device(x);
+  float* dy = to_device(y);
+  float result = 0;
+  ASSERT_EQ(cublasSdot(handle_, static_cast<int>(n), dx, 1, dy, 1, &result),
+            CUBLAS_STATUS_SUCCESS);
+  double expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected += static_cast<double>(x[i]) * y[i];
+  }
+  EXPECT_NEAR(result, expected, std::abs(expected) * 1e-4 + 1e-3);
+}
+
+TEST_F(CublasDirectTest, SdotSmallSizes) {
+  for (int n : {1, 2, 3, 7, 100}) {
+    std::vector<float> x(static_cast<std::size_t>(n), 1.0f);
+    std::vector<float> y(static_cast<std::size_t>(n), 2.0f);
+    float* dx = to_device(x);
+    float* dy = to_device(y);
+    float result = 0;
+    ASSERT_EQ(cublasSdot(handle_, n, dx, 1, dy, 1, &result),
+              CUBLAS_STATUS_SUCCESS);
+    EXPECT_FLOAT_EQ(result, 2.0f * static_cast<float>(n)) << "n=" << n;
+  }
+}
+
+TEST_F(CublasDirectTest, SgemvMatchesReference) {
+  const int m = 300, n = 200;
+  const auto a = random_vec(static_cast<std::size_t>(m) * n, 3);
+  const auto x = random_vec(n, 4);
+  const auto y0 = random_vec(m, 5);
+  float* da = to_device(a);
+  float* dx = to_device(x);
+  float* dy = to_device(y0);
+  const float alpha = 1.5f, beta = -0.5f;
+  ASSERT_EQ(cublasSgemv(handle_, 'N', m, n, alpha, da, m, dx, 1, beta, dy, 1),
+            CUBLAS_STATUS_SUCCESS);
+  const auto y = from_device(dy, m);
+  for (int i = 0; i < m; ++i) {
+    double acc = 0;
+    for (int j = 0; j < n; ++j) {
+      acc += static_cast<double>(a[static_cast<std::size_t>(i) +
+                                   static_cast<std::size_t>(j) * m]) *
+             x[static_cast<std::size_t>(j)];
+    }
+    const double expected = alpha * acc + beta * y0[static_cast<std::size_t>(i)];
+    ASSERT_NEAR(y[static_cast<std::size_t>(i)], expected,
+                std::abs(expected) * 1e-4 + 1e-3)
+        << "row " << i;
+  }
+}
+
+TEST_F(CublasDirectTest, SgemmMatchesReference) {
+  const int m = 65, n = 70, k = 40;  // deliberately not tile multiples
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 6);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 7);
+  const auto c0 = random_vec(static_cast<std::size_t>(m) * n, 8);
+  float* da = to_device(a);
+  float* db = to_device(b);
+  float* dc = to_device(c0);
+  const float alpha = 2.0f, beta = 0.25f;
+  ASSERT_EQ(cublasSgemm(handle_, 'N', 'N', m, n, k, alpha, da, m, db, k, beta,
+                        dc, m),
+            CUBLAS_STATUS_SUCCESS);
+  const auto c = from_device(dc, static_cast<std::size_t>(m) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(
+                   a[static_cast<std::size_t>(i) +
+                     static_cast<std::size_t>(p) * m]) *
+               b[static_cast<std::size_t>(p) + static_cast<std::size_t>(j) * k];
+      }
+      const std::size_t idx =
+          static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * m;
+      const double expected = alpha * acc + beta * c0[idx];
+      ASSERT_NEAR(c[idx], expected, std::abs(expected) * 1e-4 + 1e-3)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_F(CublasDirectTest, InvalidArgumentsRejected) {
+  float* dummy = to_device(std::vector<float>(16, 0.0f));
+  float result = 0;
+  EXPECT_EQ(cublasSdot(handle_, -1, dummy, 1, dummy, 1, &result),
+            CUBLAS_STATUS_INVALID_VALUE);
+  EXPECT_EQ(cublasSdot(nullptr, 4, dummy, 1, dummy, 1, &result),
+            CUBLAS_STATUS_NOT_INITIALIZED);
+  EXPECT_EQ(cublasSgemv(handle_, 'T', 4, 4, 1.0f, dummy, 4, dummy, 1, 0.0f,
+                        dummy, 1),
+            CUBLAS_STATUS_INVALID_VALUE);
+  EXPECT_EQ(cublasSgemm(handle_, 'N', 'N', 8, 2, 2, 1.0f, dummy, 4 /*<m*/,
+                        dummy, 2, 0.0f, dummy, 8),
+            CUBLAS_STATUS_INVALID_VALUE);
+}
+
+TEST(CublasProxyTest, SdotOverProxyBackend) {
+  proxy::ProxyClientApi::Options opts;
+  opts.host.device.device_capacity = 256 << 20;
+  opts.host.device.device_chunk = 16 << 20;
+  proxy::ProxyClientApi api(opts);
+  cublasHandle_t handle = nullptr;
+  ASSERT_EQ(cublasCreate(&handle, api), CUBLAS_STATUS_SUCCESS);
+
+  const std::size_t n = 10000;
+  const auto x = random_vec(n, 11);
+  const auto y = random_vec(n, 12);
+  void* dx = nullptr;
+  void* dy = nullptr;
+  ASSERT_EQ(api.cudaMalloc(&dx, n * sizeof(float)), cudaSuccess);
+  ASSERT_EQ(api.cudaMalloc(&dy, n * sizeof(float)), cudaSuccess);
+  ASSERT_EQ(api.cudaMemcpy(dx, x.data(), n * sizeof(float),
+                           cudaMemcpyHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(api.cudaMemcpy(dy, y.data(), n * sizeof(float),
+                           cudaMemcpyHostToDevice),
+            cudaSuccess);
+  float result = 0;
+  ASSERT_EQ(cublasSdot(handle, static_cast<int>(n),
+                       static_cast<float*>(dx), 1, static_cast<float*>(dy), 1,
+                       &result),
+            CUBLAS_STATUS_SUCCESS);
+  double expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected += static_cast<double>(x[i]) * y[i];
+  }
+  EXPECT_NEAR(result, expected, std::abs(expected) * 1e-4 + 1e-3);
+  cublasDestroy(handle);
+}
+
+}  // namespace
+}  // namespace crac::blas

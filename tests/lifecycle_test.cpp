@@ -1,0 +1,244 @@
+// Lifecycle tests: repeated checkpoints, checkpoint-after-restart chains,
+// upper-heap rollback on in-place restart, and module re-registration
+// across multiple generations — the long-running-job patterns (24h+ batch
+// slots, periodic checkpointing) the paper motivates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "crac/context.hpp"
+#include "simcuda/module.hpp"
+
+namespace crac {
+namespace {
+
+using cuda::cudaSuccess;
+
+CracOptions small_options() {
+  CracOptions opts;
+  opts.split.device.device_capacity = 256 << 20;
+  opts.split.device.device_chunk = 8 << 20;
+  opts.split.device.managed_capacity = 128 << 20;
+  opts.split.device.managed_chunk = 8 << 20;
+  opts.split.upper_heap_capacity = 64 << 20;
+  return opts;
+}
+
+void bump_kernel(void* const* args, const cuda::KernelBlock& blk) {
+  auto* data = cuda::kernel_arg<std::uint32_t*>(args, 0);
+  const auto n = cuda::kernel_arg<std::uint64_t>(args, 1);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i < n) data[i] += 1;
+  });
+}
+
+cuda::KernelModule& lifecycle_module() {
+  static cuda::KernelModule mod("lifecycle.cu");
+  static bool once = [] {
+    mod.add_kernel<std::uint32_t*, std::uint64_t>(&bump_kernel, "bump");
+    return true;
+  }();
+  (void)once;
+  return mod;
+}
+
+std::string image_path(const char* tag) {
+  return ::testing::TempDir() + "/crac_lifecycle_" + tag + ".img";
+}
+
+TEST(LifecycleTest, PeriodicCheckpointsEachRestorable) {
+  // A long-running job checkpointing every "epoch": every image must be an
+  // independently valid restart point.
+  constexpr std::uint64_t kN = 4096;
+  std::vector<std::string> images;
+  void* dev = nullptr;
+  {
+    CracContext ctx(small_options());
+    lifecycle_module().register_with(ctx.api());
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemset(dev, 0, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    auto* words = static_cast<std::uint32_t*>(dev);
+    for (int epoch = 1; epoch <= 4; ++epoch) {
+      ASSERT_EQ(cuda::launch(ctx.api(), &bump_kernel, cuda::dim3{32, 1, 1},
+                             cuda::dim3{128, 1, 1}, 0, words, kN),
+                cudaSuccess);
+      ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+      const std::string path =
+          image_path(("epoch" + std::to_string(epoch)).c_str());
+      ASSERT_TRUE(ctx.checkpoint(path).ok());
+      images.push_back(path);
+    }
+  }
+  // Restore each epoch in turn and verify its counter value.
+  for (std::size_t e = 0; e < images.size(); ++e) {
+    auto restored =
+        CracContext::restart_from_image(images[e], small_options());
+    ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+    std::vector<std::uint32_t> out(kN);
+    ASSERT_EQ((*restored)->api().cudaMemcpy(out.data(), dev,
+                                            kN * sizeof(std::uint32_t),
+                                            cuda::cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    for (std::uint32_t v : out) ASSERT_EQ(v, e + 1);
+  }
+  for (const auto& p : images) std::remove(p.c_str());
+}
+
+TEST(LifecycleTest, CheckpointAfterRestartAfterCheckpoint) {
+  // Generation 1 checkpoints; generation 2 restarts, keeps working,
+  // checkpoints again (the log now spans both generations); generation 3
+  // restarts from the second image.
+  constexpr std::uint64_t kN = 2048;
+  const std::string img1 = image_path("gen1");
+  const std::string img2 = image_path("gen2");
+  void* dev = nullptr;
+  {
+    CracContext ctx(small_options());
+    lifecycle_module().register_with(ctx.api());
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemset(dev, 0, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    ASSERT_EQ(cuda::launch(ctx.api(), &bump_kernel, cuda::dim3{16, 1, 1},
+                           cuda::dim3{128, 1, 1}, 0,
+                           static_cast<std::uint32_t*>(dev), kN),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(img1).ok());
+  }
+  void* extra = nullptr;
+  {
+    auto gen2 = CracContext::restart_from_image(img1, small_options());
+    ASSERT_TRUE(gen2.ok()) << gen2.status().to_string();
+    auto& ctx = **gen2;
+    // Work continues: another bump plus a NEW allocation.
+    ASSERT_EQ(cuda::launch(ctx.api(), &bump_kernel, cuda::dim3{16, 1, 1},
+                           cuda::dim3{128, 1, 1}, 0,
+                           static_cast<std::uint32_t*>(dev), kN),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMalloc(&extra, 8192), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemset(extra, 0xEE, 8192), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(img2).ok());
+    // The second image's log contains the whole history.
+    EXPECT_GT(ctx.plugin().log().count(LogOp::kMallocDevice), 1u);
+  }
+  {
+    auto gen3 = CracContext::restart_from_image(img2, small_options());
+    ASSERT_TRUE(gen3.ok()) << gen3.status().to_string();
+    auto& api = (*gen3)->api();
+    std::vector<std::uint32_t> out(kN);
+    ASSERT_EQ(api.cudaMemcpy(out.data(), dev, kN * sizeof(std::uint32_t),
+                             cuda::cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    for (std::uint32_t v : out) ASSERT_EQ(v, 2u);
+    std::vector<unsigned char> extra_out(8192);
+    ASSERT_EQ(api.cudaMemcpy(extra_out.data(), extra, 8192,
+                             cuda::cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    for (unsigned char c : extra_out) ASSERT_EQ(c, 0xEE);
+  }
+  std::remove(img1.c_str());
+  std::remove(img2.c_str());
+}
+
+TEST(LifecycleTest, InPlaceRestartRollsBackHeapAllocations) {
+  const std::string path = image_path("heap_rollback");
+  CracContext ctx(small_options());
+  auto before = ctx.heap().alloc_array<int>(256);
+  ASSERT_TRUE(before.ok());
+  (*before)[0] = 41;
+  ASSERT_TRUE(ctx.checkpoint(path).ok());
+
+  // Post-checkpoint heap activity...
+  auto after = ctx.heap().alloc_array<int>(1024);
+  ASSERT_TRUE(after.ok());
+  (*before)[0] = 999;  // and mutation of pre-checkpoint state
+
+  ASSERT_TRUE(ctx.restart_in_place(path).ok());
+  // Pre-checkpoint state restored; post-checkpoint allocation rolled back:
+  // the allocator hands out the same address again.
+  EXPECT_EQ((*before)[0], 41);
+  auto again = ctx.heap().alloc_array<int>(1024);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *after);
+  std::remove(path.c_str());
+}
+
+TEST(LifecycleTest, RepeatedInPlaceRestartsFromOneImage) {
+  // Fault storm: the same image is restored several times in a row.
+  constexpr std::uint64_t kN = 1024;
+  const std::string path = image_path("storm");
+  CracContext ctx(small_options());
+  lifecycle_module().register_with(ctx.api());
+  void* dev = nullptr;
+  ASSERT_EQ(ctx.api().cudaMalloc(&dev, kN * sizeof(std::uint32_t)),
+            cudaSuccess);
+  ASSERT_EQ(ctx.api().cudaMemset(dev, 0x11, kN * sizeof(std::uint32_t)),
+            cudaSuccess);
+  ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+  ASSERT_TRUE(ctx.checkpoint(path).ok());
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(ctx.api().cudaMemset(dev, 0, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    auto report = ctx.restart_in_place(path);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    std::vector<unsigned char> out(kN * sizeof(std::uint32_t));
+    ASSERT_EQ(ctx.api().cudaMemcpy(out.data(), dev, out.size(),
+                                   cuda::cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    for (unsigned char c : out) ASSERT_EQ(c, 0x11);
+    // Kernels still work after every restart generation.
+    ASSERT_EQ(cuda::launch(ctx.api(), &bump_kernel, cuda::dim3{8, 1, 1},
+                           cuda::dim3{128, 1, 1}, 0,
+                           static_cast<std::uint32_t*>(dev), kN),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LifecycleTest, CheckpointWithPendingStreamWorkDrainsFirst) {
+  // The drain step (§2.2 step (a), kept by CRAC): a checkpoint taken while
+  // streams are busy must reflect the COMPLETED work.
+  constexpr std::uint64_t kN = 1 << 16;
+  const std::string path = image_path("drain");
+  void* dev = nullptr;
+  {
+    CracContext ctx(small_options());
+    lifecycle_module().register_with(ctx.api());
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemset(dev, 0, kN * sizeof(std::uint32_t)),
+              cudaSuccess);
+    cuda::cudaStream_t s = 0;
+    ASSERT_EQ(ctx.api().cudaStreamCreate(&s), cudaSuccess);
+    // Queue a burst of kernels and checkpoint WITHOUT synchronizing.
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_EQ(cuda::launch(ctx.api(), &bump_kernel, cuda::dim3{512, 1, 1},
+                             cuda::dim3{128, 1, 1}, s,
+                             static_cast<std::uint32_t*>(dev), kN),
+                cudaSuccess);
+    }
+    ASSERT_TRUE(ctx.checkpoint(path).ok());
+  }
+
+  auto restored = CracContext::restart_from_image(path, small_options());
+  ASSERT_TRUE(restored.ok());
+  std::vector<std::uint32_t> out(kN);
+  ASSERT_EQ((*restored)->api().cudaMemcpy(out.data(), dev,
+                                          kN * sizeof(std::uint32_t),
+                                          cuda::cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (std::uint32_t v : out) ASSERT_EQ(v, 10u);  // all 10 bumps landed
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crac

@@ -1,0 +1,300 @@
+// Property-based tests: randomized operation sequences (seeded, so
+// reproducible) validating the invariants the architecture rests on:
+//  * allocator determinism under arbitrary alloc/free interleavings,
+//  * address-space tracking never produces overlapping regions,
+//  * checkpoint -> restart reproduces arbitrary CUDA state exactly,
+//  * the compressor round-trips arbitrary structured data,
+//  * UVM residency stays consistent under random prefetch/touch traffic.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crac/context.hpp"
+#include "ckpt/compressor.hpp"
+#include "simgpu/arena_allocator.hpp"
+#include "simgpu/device.hpp"
+#include "splitproc/address_space.hpp"
+
+namespace crac {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededProperty, ArenaDeterminismUnderRandomChurn) {
+  auto run = [&](std::vector<std::ptrdiff_t>* offsets) {
+    sim::ArenaAllocator arena(sim::ArenaAllocator::Config{
+        .va_base = 0,
+        .capacity = 64 << 20,
+        .chunk_size = 4 << 20,
+        .alignment = 512,
+        .purpose = "prop",
+        .hooks = nullptr,
+    });
+    Rng rng(GetParam());
+    const auto base = reinterpret_cast<std::uintptr_t>(arena.arena_base());
+    std::vector<void*> live;
+    for (int step = 0; step < 300; ++step) {
+      const bool do_free = !live.empty() && rng.next_below(100) < 40;
+      if (do_free) {
+        const std::size_t victim = rng.next_below(live.size());
+        ASSERT_TRUE(arena.free(live[victim]).ok());
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        offsets->push_back(-1);  // mark frees in the trace
+      } else {
+        const std::size_t size = 64 + rng.next_below(64 << 10);
+        auto p = arena.allocate(size);
+        ASSERT_TRUE(p.ok());
+        live.push_back(*p);
+        offsets->push_back(
+            static_cast<std::ptrdiff_t>(reinterpret_cast<std::uintptr_t>(*p) -
+                                        base));
+      }
+    }
+  };
+  std::vector<std::ptrdiff_t> a, b;
+  run(&a);
+  run(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SeededProperty, ArenaNeverHandsOutOverlappingBlocks) {
+  sim::ArenaAllocator arena(sim::ArenaAllocator::Config{
+      .va_base = 0,
+      .capacity = 64 << 20,
+      .chunk_size = 4 << 20,
+      .alignment = 512,
+      .purpose = "prop",
+      .hooks = nullptr,
+  });
+  Rng rng(GetParam() * 31 + 7);
+  std::map<std::uintptr_t, std::size_t> live;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.next_below(100) < 45) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      ASSERT_TRUE(arena.free(reinterpret_cast<void*>(it->first)).ok());
+      live.erase(it);
+    } else {
+      const std::size_t size = 1 + rng.next_below(32 << 10);
+      auto p = arena.allocate(size);
+      ASSERT_TRUE(p.ok());
+      const auto addr = reinterpret_cast<std::uintptr_t>(*p);
+      // No overlap with any live block.
+      auto next = live.lower_bound(addr);
+      if (next != live.end()) {
+        ASSERT_LE(addr + arena.allocation_size(*p), next->first);
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + prev->second, addr);
+      }
+      live.emplace(addr, arena.allocation_size(*p));
+    }
+  }
+}
+
+TEST_P(SeededProperty, AddressSpaceRegionsNeverOverlap) {
+  split::AddressSpace as;
+  Rng rng(GetParam() * 97 + 3);
+  std::set<std::uintptr_t> bases;
+  for (int step = 0; step < 300; ++step) {
+    const std::uintptr_t addr = 0x1000 * (1 + rng.next_below(4096));
+    const std::size_t len = 0x1000 * (1 + rng.next_below(16));
+    const auto tag = rng.next_below(2) == 0 ? split::HalfTag::kUpper
+                                            : split::HalfTag::kLower;
+    if (rng.next_below(100) < 30) {
+      ASSERT_TRUE(as.remove_region(reinterpret_cast<void*>(addr), len).ok());
+    } else {
+      (void)as.add_region(reinterpret_cast<void*>(addr), len, 3, tag, "r");
+    }
+    // Invariant: the tracked regions are pairwise disjoint and sorted.
+    const auto regions = as.regions();
+    for (std::size_t i = 1; i < regions.size(); ++i) {
+      ASSERT_LE(regions[i - 1].end(), regions[i].start);
+    }
+    // Invariant: per-tag byte totals sum to the overall total.
+    std::size_t total = 0;
+    for (const auto& r : regions) total += r.size;
+    ASSERT_EQ(total, as.total_bytes(split::HalfTag::kUpper) +
+                         as.total_bytes(split::HalfTag::kLower));
+  }
+}
+
+TEST_P(SeededProperty, CompressorRoundTripsStructuredData) {
+  Rng rng(GetParam() * 1299709);
+  // Mix of runs, copies and noise — the texture of real checkpoint images.
+  std::vector<std::byte> data;
+  while (data.size() < (1u << 18)) {
+    switch (rng.next_below(3)) {
+      case 0: {  // run
+        const auto b = static_cast<std::byte>(rng.next_u64());
+        const std::size_t len = 1 + rng.next_below(2000);
+        data.insert(data.end(), len, b);
+        break;
+      }
+      case 1: {  // self-copy
+        if (data.empty()) break;
+        const std::size_t start = rng.next_below(data.size());
+        const std::size_t len =
+            1 + rng.next_below(std::min<std::size_t>(4000, data.size() - start));
+        // Note: append element-wise, the source range may grow into itself.
+        for (std::size_t i = 0; i < len; ++i) data.push_back(data[start + i]);
+        break;
+      }
+      default: {  // noise
+        const std::size_t len = 1 + rng.next_below(500);
+        for (std::size_t i = 0; i < len; ++i) {
+          data.push_back(static_cast<std::byte>(rng.next_u64()));
+        }
+      }
+    }
+  }
+  const auto packed = ckpt::compress(data, ckpt::Codec::kLz);
+  auto unpacked = ckpt::decompress(packed.data(), packed.size(),
+                                   ckpt::Codec::kLz, data.size());
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, data);
+}
+
+TEST_P(SeededProperty, RandomCudaStateSurvivesRestart) {
+  const std::string path = ::testing::TempDir() + "/crac_prop_" +
+                           std::to_string(GetParam()) + ".img";
+  Rng rng(GetParam() * 6364136223846793005ULL + 1);
+
+  CracOptions opts;
+  opts.split.device.device_capacity = 256 << 20;
+  opts.split.device.managed_capacity = 256 << 20;
+  opts.split.device.device_chunk = 8 << 20;
+  opts.split.device.managed_chunk = 8 << 20;
+  opts.split.upper_heap_capacity = 64 << 20;
+
+  struct LiveAlloc {
+    std::uint64_t addr;
+    std::size_t size;
+    std::uint32_t fill_seed;
+    bool managed;
+  };
+  std::vector<LiveAlloc> live;
+  void* next_probe_expected = nullptr;
+
+  {
+    CracContext ctx(opts);
+    auto& api = ctx.api();
+    std::vector<cuda::cudaStream_t> streams;
+    for (int step = 0; step < 60; ++step) {
+      const std::uint64_t dice = rng.next_below(100);
+      if (dice < 45) {
+        const bool managed = rng.next_below(3) == 0;
+        const std::size_t size = 256 + rng.next_below(256 << 10);
+        void* p = nullptr;
+        const auto err =
+            managed
+                ? api.cudaMallocManaged(&p, size, cuda::cudaMemAttachGlobal)
+                : api.cudaMalloc(&p, size);
+        ASSERT_EQ(err, cuda::cudaSuccess);
+        // Fill with a seeded pattern through the API.
+        const auto fill_seed = static_cast<std::uint32_t>(rng.next_u64());
+        std::vector<unsigned char> pattern(size);
+        Rng fill(fill_seed);
+        for (auto& b : pattern) b = static_cast<unsigned char>(fill.next_u64());
+        ASSERT_EQ(api.cudaMemcpy(p, pattern.data(), size,
+                                 cuda::cudaMemcpyHostToDevice),
+                  cuda::cudaSuccess);
+        live.push_back(LiveAlloc{reinterpret_cast<std::uint64_t>(p), size,
+                                 fill_seed, managed});
+      } else if (dice < 70 && !live.empty()) {
+        const std::size_t victim = rng.next_below(live.size());
+        ASSERT_EQ(api.cudaFree(reinterpret_cast<void*>(live[victim].addr)),
+                  cuda::cudaSuccess);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else if (dice < 85 && streams.size() < 16) {
+        cuda::cudaStream_t s = 0;
+        ASSERT_EQ(api.cudaStreamCreate(&s), cuda::cudaSuccess);
+        streams.push_back(s);
+      } else if (!streams.empty()) {
+        ASSERT_EQ(api.cudaStreamDestroy(streams.back()), cuda::cudaSuccess);
+        streams.pop_back();
+      }
+    }
+    // Record the allocator's next move, then undo it.
+    void* probe = nullptr;
+    ASSERT_EQ(api.cudaMalloc(&probe, 1000), cuda::cudaSuccess);
+    next_probe_expected = probe;
+    ASSERT_EQ(api.cudaFree(probe), cuda::cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(path).ok());
+  }
+
+  auto restarted = CracContext::restart_from_image(path, opts);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().to_string();
+  auto& api = (*restarted)->api();
+  // Every live allocation restored at its address with its pattern.
+  for (const LiveAlloc& a : live) {
+    std::vector<unsigned char> out(a.size);
+    ASSERT_EQ(api.cudaMemcpy(out.data(), reinterpret_cast<void*>(a.addr),
+                             a.size, cuda::cudaMemcpyDeviceToHost),
+              cuda::cudaSuccess);
+    Rng fill(a.fill_seed);
+    for (std::size_t i = 0; i < a.size; ++i) {
+      ASSERT_EQ(out[i], static_cast<unsigned char>(fill.next_u64()))
+          << "allocation @" << std::hex << a.addr << " byte " << std::dec << i;
+    }
+  }
+  // The allocator continues deterministically.
+  void* probe = nullptr;
+  ASSERT_EQ(api.cudaMalloc(&probe, 1000), cuda::cudaSuccess);
+  EXPECT_EQ(probe, next_probe_expected);
+  std::remove(path.c_str());
+}
+
+TEST_P(SeededProperty, UvmResidencyConsistentUnderRandomTraffic) {
+  sim::DeviceConfig cfg;
+  cfg.device_va_base = 0;
+  cfg.pinned_va_base = 0;
+  cfg.managed_va_base = 0;
+  cfg.managed_capacity = 64 << 20;
+  cfg.managed_chunk = 8 << 20;
+  sim::Device dev(cfg);
+  auto& uvm = dev.uvm();
+  const std::size_t page = uvm.page_size();
+  const std::size_t pages = 16;
+  auto m = dev.malloc_managed(pages * page);
+  ASSERT_TRUE(m.ok());
+  auto* bytes = static_cast<volatile char*>(*m);
+
+  Rng rng(GetParam() ^ 0xABCDEF);
+  std::vector<bool> expect_device(pages, false);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t pg = rng.next_below(pages);
+    if (rng.next_below(2) == 0) {
+      // Prefetch one page to a random side.
+      const bool to_device = rng.next_below(2) == 0;
+      ASSERT_TRUE(uvm.prefetch(static_cast<char*>(*m) + pg * page, page,
+                               to_device)
+                      .ok());
+      expect_device[pg] = to_device;
+    } else {
+      // Host touch: must migrate the page host-side, whatever its state.
+      bytes[pg * page] = static_cast<char>(step);
+      expect_device[pg] = false;
+    }
+    auto res = uvm.residency(static_cast<char*>(*m) + pg * page);
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(*res, expect_device[pg] ? sim::PageResidency::kDevice
+                                      : sim::PageResidency::kHost)
+        << "page " << pg << " step " << step;
+  }
+  // Counters are plausible: every host fault implies a migration to host.
+  const auto stats = uvm.stats();
+  EXPECT_EQ(stats.host_faults, stats.migrations_to_host);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace crac

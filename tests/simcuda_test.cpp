@@ -1,0 +1,294 @@
+// Unit tests for the CUDA-runtime facade: error surface, dispatch table,
+// trampolined API, kernel registration/launch, call configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "simcuda/api.hpp"
+#include "simcuda/lower_half.hpp"
+#include "simcuda/module.hpp"
+#include "simcuda/trampolined_api.hpp"
+#include "splitproc/trampoline.hpp"
+
+namespace crac::cuda {
+namespace {
+
+sim::DeviceConfig test_device_config() {
+  sim::DeviceConfig cfg;
+  cfg.device_va_base = 0;
+  cfg.pinned_va_base = 0;
+  cfg.managed_va_base = 0;
+  cfg.device_capacity = 128 << 20;
+  cfg.pinned_capacity = 32 << 20;
+  cfg.managed_capacity = 128 << 20;
+  cfg.device_chunk = 8 << 20;
+  cfg.pinned_chunk = 4 << 20;
+  cfg.managed_chunk = 8 << 20;
+  return cfg;
+}
+
+// A fixture providing the full upper-half view: lower-half runtime +
+// dispatch table + trampolined API.
+class SimCudaTest : public ::testing::Test {
+ protected:
+  SimCudaTest()
+      : runtime_(test_device_config()),
+        trampoline_(split::FsSwitchMode::kNone) {
+    runtime_.fill_dispatch_table(&table_);
+    api_ = std::make_unique<TrampolinedApi>(&table_, &trampoline_);
+  }
+
+  LowerHalfRuntime runtime_;
+  split::Trampoline trampoline_;
+  DispatchTable table_;
+  std::unique_ptr<TrampolinedApi> api_;
+};
+
+TEST_F(SimCudaTest, DispatchTableComplete) { EXPECT_TRUE(table_.complete()); }
+
+TEST_F(SimCudaTest, MallocFreeThroughTable) {
+  void* p = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&p, 4096), cudaSuccess);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(api_->cudaFree(p), cudaSuccess);
+  // Each call crossed the trampoline once.
+  EXPECT_EQ(trampoline_.transitions(), 2u);
+}
+
+TEST_F(SimCudaTest, InvalidArgsSurfaceCudaErrors) {
+  EXPECT_EQ(api_->cudaMalloc(nullptr, 100), cudaErrorInvalidValue);
+  void* p = nullptr;
+  EXPECT_EQ(api_->cudaMalloc(&p, 0), cudaErrorInvalidValue);
+  EXPECT_EQ(api_->cudaGetLastError(), cudaErrorInvalidValue);
+  EXPECT_EQ(api_->cudaGetLastError(), cudaSuccess);  // sticky error cleared
+}
+
+TEST_F(SimCudaTest, FreeNullIsNoop) {
+  EXPECT_EQ(api_->cudaFree(nullptr), cudaSuccess);
+}
+
+TEST_F(SimCudaTest, MemcpyDefaultInfersDirection) {
+  void* dev = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&dev, 1024), cudaSuccess);
+  std::vector<char> host(1024, 'x');
+  ASSERT_EQ(api_->cudaMemcpy(dev, host.data(), 1024, cudaMemcpyDefault),
+            cudaSuccess);
+  std::vector<char> back(1024, 0);
+  ASSERT_EQ(api_->cudaMemcpy(back.data(), dev, 1024, cudaMemcpyDefault),
+            cudaSuccess);
+  EXPECT_EQ(host, back);
+}
+
+TEST_F(SimCudaTest, PointerAttributes) {
+  void* dev = nullptr;
+  void* pinned = nullptr;
+  void* managed = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&dev, 64), cudaSuccess);
+  ASSERT_EQ(api_->cudaMallocHost(&pinned, 64), cudaSuccess);
+  ASSERT_EQ(api_->cudaMallocManaged(&managed, 64, cudaMemAttachGlobal),
+            cudaSuccess);
+  cudaPointerAttributes attrs;
+  ASSERT_EQ(api_->cudaPointerGetAttributes(&attrs, dev), cudaSuccess);
+  EXPECT_EQ(attrs.type, cudaMemoryType::cudaMemoryTypeDevice);
+  ASSERT_EQ(api_->cudaPointerGetAttributes(&attrs, pinned), cudaSuccess);
+  EXPECT_EQ(attrs.type, cudaMemoryType::cudaMemoryTypeHost);
+  ASSERT_EQ(api_->cudaPointerGetAttributes(&attrs, managed), cudaSuccess);
+  EXPECT_EQ(attrs.type, cudaMemoryType::cudaMemoryTypeManaged);
+  EXPECT_EQ(attrs.hostPointer, managed);
+  int stack_var;
+  ASSERT_EQ(api_->cudaPointerGetAttributes(&attrs, &stack_var), cudaSuccess);
+  EXPECT_EQ(attrs.type, cudaMemoryType::cudaMemoryTypeUnregistered);
+}
+
+TEST_F(SimCudaTest, MemGetInfoTracksUsage) {
+  std::size_t free0 = 0, total = 0;
+  ASSERT_EQ(api_->cudaMemGetInfo(&free0, &total), cudaSuccess);
+  void* p = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&p, 1 << 20), cudaSuccess);
+  std::size_t free1 = 0;
+  ASSERT_EQ(api_->cudaMemGetInfo(&free1, &total), cudaSuccess);
+  EXPECT_EQ(free0 - free1, std::size_t{1} << 20);
+}
+
+// ---- kernels ----
+
+void saxpy_kernel(void* const* args, const KernelBlock& blk) {
+  auto* y = *static_cast<float* const*>(args[0]);
+  const auto* x = *static_cast<const float* const*>(args[1]);
+  const float a = kernel_arg<float>(args, 2);
+  const auto n = kernel_arg<std::uint64_t>(args, 3);
+  blk.for_each_thread([&](const sim::Dim3& t) {
+    const std::size_t i = blk.global_x(t.x);
+    if (i < n) y[i] = a * x[i] + y[i];
+  });
+}
+
+TEST_F(SimCudaTest, RegisterAndLaunchKernel) {
+  KernelModule mod("test.cu");
+  mod.add_kernel<float*, const float*, float, std::uint64_t>(&saxpy_kernel,
+                                                             "saxpy");
+  mod.register_with(*api_);
+  EXPECT_EQ(runtime_.registered_kernel_count(), 1u);
+  EXPECT_TRUE(runtime_.kernel_is_registered(
+      reinterpret_cast<const void*>(&saxpy_kernel)));
+
+  const std::uint64_t n = 1000;
+  void* xv = nullptr;
+  void* yv = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&xv, n * sizeof(float)), cudaSuccess);
+  ASSERT_EQ(api_->cudaMalloc(&yv, n * sizeof(float)), cudaSuccess);
+  std::vector<float> host_x(n, 2.0f), host_y(n, 3.0f);
+  ASSERT_EQ(api_->cudaMemcpy(xv, host_x.data(), n * sizeof(float),
+                             cudaMemcpyHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(api_->cudaMemcpy(yv, host_y.data(), n * sizeof(float),
+                             cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  auto* x = static_cast<float*>(xv);
+  auto* y = static_cast<float*>(yv);
+  ASSERT_EQ(launch(*api_, &saxpy_kernel, dim3{8, 1, 1}, dim3{128, 1, 1}, 0, y,
+                   static_cast<const float*>(x), 10.0f, n),
+            cudaSuccess);
+  ASSERT_EQ(api_->cudaDeviceSynchronize(), cudaSuccess);
+
+  std::vector<float> out(n);
+  ASSERT_EQ(api_->cudaMemcpy(out.data(), yv, n * sizeof(float),
+                             cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (float v : out) ASSERT_EQ(v, 23.0f);
+}
+
+TEST_F(SimCudaTest, LaunchCountsThreeCudaCalls) {
+  // Equation in §4.3: one kernel launch = push + pop + launch.
+  KernelModule mod("count.cu");
+  mod.add_kernel<float*, const float*, float, std::uint64_t>(&saxpy_kernel,
+                                                             "saxpy");
+  mod.register_with(*api_);
+  void* buf = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&buf, 64 * sizeof(float)), cudaSuccess);
+  ASSERT_EQ(api_->cudaMemset(buf, 0, 64 * sizeof(float)), cudaSuccess);
+  trampoline_.reset_transitions();
+  auto* f = static_cast<float*>(buf);
+  ASSERT_EQ(launch(*api_, &saxpy_kernel, dim3{1, 1, 1}, dim3{64, 1, 1}, 0, f,
+                   static_cast<const float*>(f), 0.0f, std::uint64_t{64}),
+            cudaSuccess);
+  EXPECT_EQ(trampoline_.transitions(), 3u);
+}
+
+TEST_F(SimCudaTest, LaunchUnregisteredKernelFails) {
+  void* ptrs[] = {nullptr};
+  EXPECT_EQ(api_->cudaLaunchKernel(
+                reinterpret_cast<const void*>(&saxpy_kernel), dim3{1, 1, 1},
+                dim3{1, 1, 1}, ptrs, 0, 0),
+            cudaErrorInvalidDevicePointer);
+}
+
+TEST_F(SimCudaTest, UnregisterRemovesKernels) {
+  KernelModule mod("tmp.cu");
+  mod.add_kernel<float*, const float*, float, std::uint64_t>(&saxpy_kernel,
+                                                             "saxpy");
+  mod.register_with(*api_);
+  EXPECT_EQ(runtime_.registered_fatbin_count(), 1u);
+  mod.unregister_from(*api_);
+  EXPECT_EQ(runtime_.registered_fatbin_count(), 0u);
+  EXPECT_EQ(runtime_.registered_kernel_count(), 0u);
+}
+
+TEST_F(SimCudaTest, CallConfigurationStackBalances) {
+  ASSERT_EQ(api_->cudaPushCallConfiguration(dim3{2, 1, 1}, dim3{32, 1, 1}, 16,
+                                            0),
+            cudaSuccess);
+  dim3 g, b;
+  std::size_t sh = 0;
+  cudaStream_t st = 99;
+  ASSERT_EQ(api_->cudaPopCallConfiguration(&g, &b, &sh, &st), cudaSuccess);
+  EXPECT_EQ(g.x, 2u);
+  EXPECT_EQ(b.x, 32u);
+  EXPECT_EQ(sh, 16u);
+  EXPECT_EQ(st, 0u);
+  // Unbalanced pop fails.
+  EXPECT_EQ(api_->cudaPopCallConfiguration(&g, &b, &sh, &st),
+            cudaErrorInvalidValue);
+}
+
+TEST_F(SimCudaTest, StreamsAndEventsThroughApi) {
+  cudaStream_t s = 0;
+  cudaEvent_t e0 = 0, e1 = 0;
+  ASSERT_EQ(api_->cudaStreamCreate(&s), cudaSuccess);
+  ASSERT_EQ(api_->cudaEventCreate(&e0), cudaSuccess);
+  ASSERT_EQ(api_->cudaEventCreate(&e1), cudaSuccess);
+  void* buf = nullptr;
+  ASSERT_EQ(api_->cudaMalloc(&buf, 1 << 20), cudaSuccess);
+  std::vector<char> host(1 << 20, 1);
+  ASSERT_EQ(api_->cudaEventRecord(e0, s), cudaSuccess);
+  ASSERT_EQ(api_->cudaMemcpyAsync(buf, host.data(), host.size(),
+                                  cudaMemcpyHostToDevice, s),
+            cudaSuccess);
+  ASSERT_EQ(api_->cudaEventRecord(e1, s), cudaSuccess);
+  ASSERT_EQ(api_->cudaEventSynchronize(e1), cudaSuccess);
+  float ms = -1;
+  ASSERT_EQ(api_->cudaEventElapsedTime(&ms, e0, e1), cudaSuccess);
+  EXPECT_GE(ms, 0.0f);
+  ASSERT_EQ(api_->cudaStreamDestroy(s), cudaSuccess);
+  ASSERT_EQ(api_->cudaEventDestroy(e0), cudaSuccess);
+  ASSERT_EQ(api_->cudaEventDestroy(e1), cudaSuccess);
+}
+
+TEST_F(SimCudaTest, StreamQueryNotReadySemantics) {
+  cudaStream_t s = 0;
+  ASSERT_EQ(api_->cudaStreamCreate(&s), cudaSuccess);
+  std::atomic<bool> release{false};
+  ASSERT_EQ(api_->cudaLaunchHostFunc(
+                s,
+                [](void* ud) {
+                  auto* flag = static_cast<std::atomic<bool>*>(ud);
+                  while (!flag->load()) std::this_thread::yield();
+                },
+                &release),
+            cudaSuccess);
+  EXPECT_EQ(api_->cudaStreamQuery(s), cudaErrorNotReady);
+  release.store(true);
+  ASSERT_EQ(api_->cudaStreamSynchronize(s), cudaSuccess);
+  EXPECT_EQ(api_->cudaStreamQuery(s), cudaSuccess);
+}
+
+TEST_F(SimCudaTest, PrefetchChangesResidency) {
+  void* m = nullptr;
+  ASSERT_EQ(api_->cudaMallocManaged(&m, 128 << 10, cudaMemAttachGlobal),
+            cudaSuccess);
+  ASSERT_EQ(api_->cudaMemPrefetchAsync(m, 128 << 10, 0, 0), cudaSuccess);
+  ASSERT_EQ(api_->cudaDeviceSynchronize(), cudaSuccess);
+  auto res = runtime_.device().uvm().residency(m);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, sim::PageResidency::kDevice);
+}
+
+TEST_F(SimCudaTest, GetDevicePropertiesMatchesSim) {
+  cudaDeviceProp prop;
+  ASSERT_EQ(api_->cudaGetDeviceProperties(&prop, 0), cudaSuccess);
+  EXPECT_EQ(prop.cc_major, 7);
+  EXPECT_EQ(prop.max_concurrent_kernels, 128);
+  EXPECT_EQ(api_->cudaGetDeviceProperties(&prop, 1), cudaErrorInvalidValue);
+}
+
+TEST(CudaErrorTest, StringsForAllCodes) {
+  EXPECT_STREQ(cudaGetErrorString(cudaSuccess), "no error");
+  EXPECT_STREQ(cudaGetErrorString(cudaErrorMemoryAllocation), "out of memory");
+  EXPECT_STREQ(cudaGetErrorString(static_cast<cudaError_t>(12345)),
+               "unrecognized error code");
+}
+
+TEST(CudaErrorTest, StatusMapping) {
+  EXPECT_EQ(to_cuda_error(OkStatus()), cudaSuccess);
+  EXPECT_EQ(to_cuda_error(OutOfMemory("x")), cudaErrorMemoryAllocation);
+  EXPECT_EQ(to_cuda_error(NotFound("x")), cudaErrorInvalidResourceHandle);
+  EXPECT_EQ(to_cuda_error(InvalidArgument("x")), cudaErrorInvalidValue);
+}
+
+}  // namespace
+}  // namespace crac::cuda

@@ -1,0 +1,250 @@
+// Unit tests for the split-process substrate: address-space tagging, the
+// §3.2.2 merge/overlap hazards, proc-maps round-tripping, the simulated
+// kernel loader, and the fs-switch trampoline.
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include "splitproc/address_space.hpp"
+#include "splitproc/kernel_loader.hpp"
+#include "splitproc/proc_maps.hpp"
+#include "splitproc/trampoline.hpp"
+
+namespace crac::split {
+namespace {
+
+void* A(std::uintptr_t v) { return reinterpret_cast<void*>(v); }
+
+constexpr int kRw = PROT_READ | PROT_WRITE;
+constexpr int kRx = PROT_READ | PROT_EXEC;
+
+TEST(AddressSpaceTest, AddFindRemove) {
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x1000, kRw, HalfTag::kUpper, "a").ok());
+  auto r = as.find(A(0x1800));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->name, "a");
+  EXPECT_EQ(r->tag, HalfTag::kUpper);
+  EXPECT_FALSE(as.find(A(0x2000)).has_value());
+  ASSERT_TRUE(as.remove_region(A(0x1000), 0x1000).ok());
+  EXPECT_FALSE(as.find(A(0x1800)).has_value());
+}
+
+TEST(AddressSpaceTest, OverlapRejected) {
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x2000, kRw, HalfTag::kUpper, "a").ok());
+  EXPECT_EQ(as.add_region(A(0x2000), 0x2000, kRw, HalfTag::kLower, "b").code(),
+            StatusCode::kAlreadyExists);
+  // Adjacent is fine.
+  EXPECT_TRUE(as.add_region(A(0x3000), 0x1000, kRw, HalfTag::kLower, "c").ok());
+}
+
+TEST(AddressSpaceTest, PartialRemoveSplitsRegion) {
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x3000, kRw, HalfTag::kUpper, "a").ok());
+  // munmap the middle page.
+  ASSERT_TRUE(as.remove_region(A(0x2000), 0x1000).ok());
+  EXPECT_TRUE(as.find(A(0x1800)).has_value());
+  EXPECT_FALSE(as.find(A(0x2800)).has_value());
+  EXPECT_TRUE(as.find(A(0x3800)).has_value());
+  EXPECT_EQ(as.region_count(), 2u);
+}
+
+TEST(AddressSpaceTest, ForceAddEvictsVictims) {
+  // The §3.2.2 stomp: a lower-half mmap silently unmaps upper-half pages.
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x2000, kRw, HalfTag::kUpper, "app").ok());
+  auto victims =
+      as.force_add_region(A(0x1800), 0x2000, kRw, HalfTag::kLower, "libcuda");
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].name, "app");
+  // The upper half lost [0x1800, 0x3000).
+  auto head = as.find(A(0x1400));
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->tag, HalfTag::kUpper);
+  EXPECT_EQ(head->size, 0x800u);
+  auto stomped = as.find(A(0x2000));
+  ASSERT_TRUE(stomped.has_value());
+  EXPECT_EQ(stomped->tag, HalfTag::kLower);
+}
+
+TEST(AddressSpaceTest, MergedViewLosesHalfIdentity) {
+  // /proc/PID/maps merges same-permission neighbours across the halves —
+  // the information loss that breaks naive maps-based checkpointing.
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x1000, kRw, HalfTag::kUpper, "heap").ok());
+  ASSERT_TRUE(as.add_region(A(0x2000), 0x1000, kRw, HalfTag::kLower, "arena").ok());
+  ASSERT_TRUE(as.add_region(A(0x3000), 0x1000, kRx, HalfTag::kLower, "text").ok());
+  const auto merged = as.merged_view();
+  ASSERT_EQ(merged.size(), 2u);  // rw pair merged; rx separate
+  EXPECT_EQ(merged[0].size, 0x2000u);
+  // Ground truth is preserved.
+  EXPECT_EQ(as.regions(HalfTag::kUpper).size(), 1u);
+  EXPECT_EQ(as.regions(HalfTag::kLower).size(), 2u);
+}
+
+TEST(AddressSpaceTest, ConsolidateMergesSameTagOnly) {
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x1000, kRw, HalfTag::kUpper, "a").ok());
+  ASSERT_TRUE(as.add_region(A(0x2000), 0x1000, kRw, HalfTag::kUpper, "b").ok());
+  ASSERT_TRUE(as.add_region(A(0x3000), 0x1000, kRw, HalfTag::kLower, "c").ok());
+  EXPECT_EQ(as.consolidate(), 1u);
+  EXPECT_EQ(as.regions(HalfTag::kUpper).size(), 1u);
+  EXPECT_EQ(as.regions(HalfTag::kUpper)[0].size, 0x2000u);
+  EXPECT_EQ(as.regions(HalfTag::kLower).size(), 1u);
+}
+
+TEST(AddressSpaceTest, ConsolidateChainsAcrossMany) {
+  AddressSpace as;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(as.add_region(A(0x1000 + 0x1000 * static_cast<unsigned>(i)),
+                              0x1000, kRw, HalfTag::kUpper, "x")
+                    .ok());
+  }
+  EXPECT_EQ(as.consolidate(), 7u);
+  EXPECT_EQ(as.region_count(), 1u);
+}
+
+TEST(AddressSpaceTest, TotalBytesPerTag) {
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x1000), 0x1000, kRw, HalfTag::kUpper, "a").ok());
+  ASSERT_TRUE(as.add_region(A(0x5000), 0x3000, kRw, HalfTag::kLower, "b").ok());
+  EXPECT_EQ(as.total_bytes(HalfTag::kUpper), 0x1000u);
+  EXPECT_EQ(as.total_bytes(HalfTag::kLower), 0x3000u);
+}
+
+TEST(ProcMapsTest, FormatAndParseRoundTrip) {
+  AddressSpace as;
+  ASSERT_TRUE(as.add_region(A(0x7f0000000000), 0x10000, kRx, HalfTag::kLower,
+                            "libcuda.so")
+                  .ok());
+  ASSERT_TRUE(
+      as.add_region(A(0x600000000000), 0x20000, kRw, HalfTag::kUpper, "[heap]")
+          .ok());
+  const std::string text = format_maps(as.regions());
+  auto parsed = parse_maps(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].start, 0x600000000000u);
+  EXPECT_EQ((*parsed)[0].perms, "rw-p");
+  EXPECT_EQ((*parsed)[0].path, "[heap]");
+  EXPECT_EQ((*parsed)[1].perms, "r-xp");
+  EXPECT_EQ((*parsed)[1].path, "libcuda.so");
+}
+
+TEST(ProcMapsTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_maps("this is not a maps file\n").ok());
+}
+
+TEST(ProcMapsTest, ReadSelfMapsFindsOurStack) {
+  auto maps = read_self_maps();
+  ASSERT_TRUE(maps.ok());
+  EXPECT_GT(maps->size(), 4u);
+  int stack_var = 0;
+  EXPECT_TRUE(covered_by(*maps, reinterpret_cast<std::uintptr_t>(&stack_var),
+                         sizeof(stack_var)));
+}
+
+TEST(KernelLoaderTest, LoadsSegmentsAtFixedBase) {
+  AddressSpace as;
+  KernelLoader loader(&as);
+  ProgramImage image;
+  image.name = "helper";
+  image.segments = {
+      SegmentSpec{".text", 8192, kRx},
+      SegmentSpec{".data", 4096, kRw},
+  };
+  auto prog = loader.load(image, HalfTag::kLower, 0x7e0000000000ULL);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ((*prog)->base(), 0x7e0000000000ULL);
+  EXPECT_EQ((*prog)->segments().size(), 2u);
+  EXPECT_EQ(as.regions(HalfTag::kLower).size(), 2u);
+  // Real mapping exists: the segment is writable.
+  auto* p = reinterpret_cast<char*>((*prog)->base());
+  p[0] = 42;
+  EXPECT_EQ(p[0], 42);
+  // Segments are consecutive.
+  EXPECT_EQ((*prog)->segments()[1].start, 0x7e0000000000ULL + 8192);
+}
+
+TEST(KernelLoaderTest, UnloadRemovesRegions) {
+  AddressSpace as;
+  KernelLoader loader(&as);
+  ProgramImage image;
+  image.name = "tmp";
+  image.segments = {SegmentSpec{".text", 4096, kRx}};
+  {
+    auto prog = loader.load(image, HalfTag::kLower, 0);
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(as.region_count(), 1u);
+  }
+  EXPECT_EQ(as.region_count(), 0u);
+}
+
+TEST(KernelLoaderTest, DeterministicReloadAtSameBase) {
+  // The restart property: unloading the lower half and loading a fresh copy
+  // lands at the same fixed addresses.
+  AddressSpace as;
+  KernelLoader loader(&as);
+  ProgramImage image;
+  image.name = "helper";
+  image.segments = {SegmentSpec{".text", 4096, kRx},
+                    SegmentSpec{".data", 4096, kRw}};
+  std::uintptr_t first_base = 0;
+  {
+    auto prog = loader.load(image, HalfTag::kLower, 0x7e0000100000ULL);
+    ASSERT_TRUE(prog.ok());
+    first_base = (*prog)->base();
+  }
+  auto prog2 = loader.load(image, HalfTag::kLower, 0x7e0000100000ULL);
+  ASSERT_TRUE(prog2.ok());
+  EXPECT_EQ((*prog2)->base(), first_base);
+}
+
+TEST(TrampolineTest, CountsTransitions) {
+  Trampoline t(FsSwitchMode::kNone);
+  EXPECT_EQ(t.transitions(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    LowerHalfCall call(t);
+  }
+  EXPECT_EQ(t.transitions(), 10u);
+  t.reset_transitions();
+  EXPECT_EQ(t.transitions(), 0u);
+}
+
+TEST(TrampolineTest, SyscallModeWorks) {
+  Trampoline t(FsSwitchMode::kSyscall);
+  for (int i = 0; i < 100; ++i) {
+    LowerHalfCall call(t);
+  }
+  EXPECT_EQ(t.transitions(), 100u);
+}
+
+TEST(TrampolineTest, FsgsbaseModeWorks) {
+  Trampoline t(FsSwitchMode::kFsgsbase);
+  for (int i = 0; i < 100; ++i) {
+    LowerHalfCall call(t);
+  }
+  EXPECT_EQ(t.transitions(), 100u);
+}
+
+TEST(TrampolineTest, SyscallModeIsSlowerThanFsgsbase) {
+  // The premise of Figure 6: a kernel call per transition costs more than a
+  // register access. Compare 50k transitions under both modes.
+  const int kIters = 50000;
+  auto time_mode = [&](FsSwitchMode mode) {
+    Trampoline t(mode);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      LowerHalfCall call(t);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const double syscall_s = time_mode(FsSwitchMode::kSyscall);
+  const double direct_s = time_mode(FsSwitchMode::kFsgsbase);
+  EXPECT_GT(syscall_s, direct_s);
+}
+
+}  // namespace
+}  // namespace crac::split

@@ -1,0 +1,138 @@
+// Stress tests for the paper's contribution (3): many concurrent CUDA
+// streams — up to the device's 128-stream maximum — under checkpointing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "crac/context.hpp"
+#include "simcuda/module.hpp"
+
+namespace crac {
+namespace {
+
+using cuda::cudaSuccess;
+
+void spin_add_kernel(void* const* args, const cuda::KernelBlock&) {
+  auto* slot = cuda::kernel_arg<std::uint32_t*>(args, 0);
+  sim::simulate_delay_us(500);
+  *slot += 1;
+}
+
+cuda::KernelModule& stress_module() {
+  static cuda::KernelModule mod("streams_stress.cu");
+  static bool once = [] {
+    mod.add_kernel<std::uint32_t*>(&spin_add_kernel, "spin_add");
+    return true;
+  }();
+  (void)once;
+  return mod;
+}
+
+CracOptions stress_options() {
+  CracOptions opts;
+  opts.split.device.device_capacity = 128 << 20;
+  opts.split.device.device_chunk = 8 << 20;
+  opts.split.upper_heap_capacity = 32 << 20;
+  return opts;
+}
+
+TEST(StreamsStressTest, MaxStreamsCheckpointAndRestart) {
+  const std::string path =
+      ::testing::TempDir() + "/crac_streams_stress.img";
+  constexpr int kStreams = 128;  // the V100 limit the paper pushes against
+  void* slots = nullptr;
+  {
+    CracContext ctx(stress_options());
+    auto& api = ctx.api();
+    stress_module().register_with(api);
+    std::vector<cuda::cudaStream_t> streams(kStreams);
+    for (auto& s : streams) ASSERT_EQ(api.cudaStreamCreate(&s), cudaSuccess);
+    // 129th stream exceeds the device maximum (the app failure the paper
+    // mentions when exceeding the limit).
+    cuda::cudaStream_t overflow = 0;
+    EXPECT_EQ(api.cudaStreamCreate(&overflow),
+              cuda::cudaErrorMemoryAllocation);
+
+    ASSERT_EQ(api.cudaMalloc(&slots, kStreams * sizeof(std::uint32_t)),
+              cudaSuccess);
+    ASSERT_EQ(api.cudaMemset(slots, 0, kStreams * sizeof(std::uint32_t)),
+              cudaSuccess);
+    auto* words = static_cast<std::uint32_t*>(slots);
+    // One spinning kernel per stream, all genuinely concurrent.
+    for (int s = 0; s < kStreams; ++s) {
+      ASSERT_EQ(cuda::launch(api, &spin_add_kernel, cuda::dim3{1, 1, 1},
+                             cuda::dim3{1, 1, 1}, streams[(std::size_t)s],
+                             words + s),
+                cudaSuccess);
+    }
+    // Checkpoint with all 128 streams holding work: the drain must land
+    // every kernel first.
+    ASSERT_TRUE(ctx.checkpoint(path).ok());
+    EXPECT_GE(
+        ctx.process().lower().device().streams().max_kernels_observed(), 8);
+  }
+
+  auto restored = CracContext::restart_from_image(path, stress_options());
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  auto& ctx = **restored;
+  EXPECT_EQ(ctx.plugin().last_replay_stats().streams_recreated,
+            static_cast<std::size_t>(kStreams));
+  // Every slot must show exactly one completed kernel.
+  std::vector<std::uint32_t> out(kStreams);
+  ASSERT_EQ(ctx.api().cudaMemcpy(out.data(), slots,
+                                 kStreams * sizeof(std::uint32_t),
+                                 cuda::cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (std::uint32_t v : out) EXPECT_EQ(v, 1u);
+  // The recreated streams accept new work under their original handles.
+  auto* words = static_cast<std::uint32_t*>(slots);
+  for (int s = 1; s <= kStreams; ++s) {
+    ASSERT_EQ(cuda::launch(ctx.api(), &spin_add_kernel, cuda::dim3{1, 1, 1},
+                           cuda::dim3{1, 1, 1},
+                           static_cast<cuda::cudaStream_t>(s), words + (s - 1)),
+              cudaSuccess);
+  }
+  ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+  ASSERT_EQ(ctx.api().cudaMemcpy(out.data(), slots,
+                                 kStreams * sizeof(std::uint32_t),
+                                 cuda::cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (std::uint32_t v : out) EXPECT_EQ(v, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamsStressTest, CrossStreamEventDependenciesSurviveRestart) {
+  const std::string path = ::testing::TempDir() + "/crac_events_stress.img";
+  std::vector<cuda::cudaEvent_t> events(16);
+  {
+    CracContext ctx(stress_options());
+    for (auto& e : events) {
+      ASSERT_EQ(ctx.api().cudaEventCreate(&e), cudaSuccess);
+    }
+    ASSERT_EQ(ctx.api().cudaEventDestroy(events[3]), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaEventDestroy(events[9]), cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(path).ok());
+  }
+  auto restored = CracContext::restart_from_image(path, stress_options());
+  ASSERT_TRUE(restored.ok());
+  auto& api = (*restored)->api();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto expected = (i == 3 || i == 9)
+                              ? cuda::cudaErrorInvalidResourceHandle
+                              : cudaSuccess;
+    EXPECT_EQ(api.cudaEventQuery(events[i]), expected) << i;
+  }
+  // Recreated events are functional: record/wait across streams.
+  cuda::cudaStream_t s1 = 0, s2 = 0;
+  ASSERT_EQ(api.cudaStreamCreate(&s1), cudaSuccess);
+  ASSERT_EQ(api.cudaStreamCreate(&s2), cudaSuccess);
+  ASSERT_EQ(api.cudaEventRecord(events[0], s1), cudaSuccess);
+  ASSERT_EQ(api.cudaStreamWaitEvent(s2, events[0], 0), cudaSuccess);
+  ASSERT_EQ(api.cudaStreamSynchronize(s2), cudaSuccess);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crac

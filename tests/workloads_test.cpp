@@ -1,0 +1,256 @@
+// Correctness tests for every workload mini-app: the device run must match
+// the CPU oracle, natively and under CRAC, with and without a mid-run
+// checkpoint. One parameterized suite covers all 19 apps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "crac/context.hpp"
+#include "proxy/client_api.hpp"
+#include "simcuda/lower_half.hpp"
+#include "simcuda/trampolined_api.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/workload.hpp"
+
+namespace crac::workloads {
+namespace {
+
+sim::DeviceConfig test_device_config() {
+  sim::DeviceConfig cfg;
+  cfg.device_va_base = 0;
+  cfg.pinned_va_base = 0;
+  cfg.managed_va_base = 0;
+  cfg.device_capacity = std::size_t{1} << 30;
+  cfg.pinned_capacity = 128 << 20;
+  cfg.managed_capacity = std::size_t{1} << 30;
+  cfg.device_chunk = 32 << 20;
+  cfg.pinned_chunk = 8 << 20;
+  cfg.managed_chunk = 32 << 20;
+  return cfg;
+}
+
+// Reduced problem sizes so the whole suite stays fast; shapes must satisfy
+// each app's constraints (powers of two, tile multiples...).
+WorkloadParams test_params(Workload* w) {
+  WorkloadParams p = w->default_params();
+  const std::string name = w->name();
+  if (name == "bfs") {
+    p.size_a = 20000;
+  } else if (name == "cfd") {
+    p.size_a = 8000;
+    p.iterations = 10;
+  } else if (name == "dwt2d") {
+    p.size_a = 128;
+    p.iterations = 4;
+  } else if (name == "gaussian") {
+    p.size_a = 128;
+  } else if (name == "heartwall") {
+    p.size_a = 128;
+    p.size_b = 8;
+    p.iterations = 20;
+  } else if (name == "hotspot") {
+    p.size_a = 128;
+    p.iterations = 12;
+  } else if (name == "hotspot3d") {
+    p.size_a = 64;
+    p.size_b = 8;
+    p.iterations = 10;
+  } else if (name == "kmeans") {
+    p.size_a = 4000;
+    p.iterations = 6;
+  } else if (name == "lud") {
+    p.size_a = 128;
+  } else if (name == "leukocyte") {
+    p.size_a = 96;
+    p.iterations = 6;
+  } else if (name == "nw") {
+    p.size_a = 256;
+  } else if (name == "particlefilter") {
+    p.size_b = 4000;
+    p.iterations = 6;
+  } else if (name == "srad") {
+    p.size_a = 128;
+    p.iterations = 8;
+  } else if (name == "streamcluster") {
+    p.size_a = 2000;
+    p.size_b = 16;
+    p.size_c = 16;
+  } else if (name == "simple_streams") {
+    p.size_a = 1 << 14;
+    p.iterations = 8;
+    p.streams = 8;
+  } else if (name == "unified_memory_streams") {
+    p.size_a = 60;
+    p.size_b = 48;
+    p.streams = 8;
+  } else if (name == "mini_lulesh") {
+    p.size_a = 24;
+    p.iterations = 10;
+  } else if (name == "mini_hpgmg") {
+    p.size_a = 16;
+    p.iterations = 4;
+  } else if (name == "mini_hypre") {
+    p.size_a = 24;
+    p.iterations = 10;
+  }
+  return p;
+}
+
+void expect_close(double actual, double expected, double tolerance,
+                  const char* what) {
+  if (tolerance == 0.0) {
+    EXPECT_EQ(actual, expected) << what;
+  } else {
+    const double scale = std::max(1.0, std::fabs(expected));
+    EXPECT_NEAR(actual, expected, tolerance * scale) << what;
+  }
+}
+
+class WorkloadCorrectness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadCorrectness, MatchesCpuReferenceNatively) {
+  Workload* w = find_workload(GetParam());
+  ASSERT_NE(w, nullptr);
+  const WorkloadParams params = test_params(w);
+
+  cuda::LowerHalfRuntime runtime(test_device_config());
+  split::Trampoline trampoline;
+  cuda::DispatchTable table;
+  runtime.fill_dispatch_table(&table);
+  cuda::TrampolinedApi api(&table, &trampoline);
+
+  auto result = w->run(api, params);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  auto expected = w->reference_checksum(params);
+  ASSERT_TRUE(expected.ok()) << expected.status().to_string();
+  expect_close(result->checksum, *expected, w->checksum_tolerance(),
+               w->name());
+}
+
+TEST_P(WorkloadCorrectness, SameResultUnderCrac) {
+  Workload* w = find_workload(GetParam());
+  ASSERT_NE(w, nullptr);
+  const WorkloadParams params = test_params(w);
+
+  CracOptions opts;
+  opts.split.device = test_device_config();
+  // CRAC needs the fixed bases for determinism; tests tolerate fallback.
+  opts.split.device.device_va_base = 0x700000000000ULL;
+  opts.split.device.pinned_va_base = 0x710000000000ULL;
+  opts.split.device.managed_va_base = 0x720000000000ULL;
+  opts.split.upper_heap_capacity = 64 << 20;
+  CracContext ctx(opts);
+
+  auto result = ctx.api().cudaGetLastError();  // clear any sticky state
+  (void)result;
+  auto run = w->run(ctx.api(), params);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  auto expected = w->reference_checksum(params);
+  ASSERT_TRUE(expected.ok());
+  expect_close(run->checksum, *expected, w->checksum_tolerance(), w->name());
+}
+
+TEST_P(WorkloadCorrectness, CheckpointMidRunDoesNotPerturbResult) {
+  Workload* w = find_workload(GetParam());
+  ASSERT_NE(w, nullptr);
+  const WorkloadParams params = test_params(w);
+  const std::string path = ::testing::TempDir() + "/crac_wl_" +
+                           std::string(w->name()) + ".img";
+
+  CracOptions opts;
+  opts.split.device = test_device_config();
+  opts.split.device.device_va_base = 0x700000000000ULL;
+  opts.split.device.pinned_va_base = 0x710000000000ULL;
+  opts.split.device.managed_va_base = 0x720000000000ULL;
+  opts.split.upper_heap_capacity = 64 << 20;
+  CracContext ctx(opts);
+
+  bool checkpointed = false;
+  auto hook = [&](int iteration) {
+    if (!checkpointed && iteration >= 1) {
+      auto report = ctx.checkpoint(path);
+      EXPECT_TRUE(report.ok()) << report.status().to_string();
+      checkpointed = true;
+    }
+  };
+  auto run = w->run(ctx.api(), params, hook);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  EXPECT_TRUE(checkpointed) << "hook never fired for " << w->name();
+  auto expected = w->reference_checksum(params);
+  ASSERT_TRUE(expected.ok());
+  expect_close(run->checksum, *expected, w->checksum_tolerance(), w->name());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCorrectness,
+    ::testing::Values("bfs", "cfd", "dwt2d", "gaussian", "heartwall",
+                      "hotspot", "hotspot3d", "kmeans", "lud", "leukocyte",
+                      "nw", "particlefilter", "srad", "streamcluster",
+                      "simple_streams", "unified_memory_streams",
+                      "mini_lulesh", "mini_hpgmg", "mini_hypre"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+TEST(WorkloadRegistryTest, AllNineteenRegistered) {
+  EXPECT_EQ(all_workloads().size(), 19u);
+  EXPECT_EQ(rodinia_workloads().size(), 14u);
+  EXPECT_EQ(find_workload("hotspot"), hotspot_workload());
+  EXPECT_EQ(find_workload("not-a-workload"), nullptr);
+}
+
+TEST(WorkloadRegistryTest, Table1FeatureFlagsMatchPaper) {
+  // Table 1: UVM and Streams columns.
+  const std::map<std::string, std::pair<bool, bool>> expected = {
+      {"simple_streams", {false, true}},
+      {"unified_memory_streams", {true, true}},
+      {"mini_lulesh", {false, true}},
+      {"mini_hpgmg", {true, false}},
+      {"mini_hypre", {true, true}},
+  };
+  for (const auto& [name, flags] : expected) {
+    Workload* w = find_workload(name);
+    ASSERT_NE(w, nullptr) << name;
+    EXPECT_EQ(w->uses_uvm(), flags.first) << name;
+    EXPECT_EQ(w->uses_streams(), flags.second) << name;
+  }
+  for (Workload* w : rodinia_workloads()) {
+    EXPECT_FALSE(w->uses_uvm()) << w->name();
+    EXPECT_FALSE(w->uses_streams()) << w->name();
+  }
+}
+
+TEST(WorkloadProxyTest, HotspotMatchesOracleOverProxy) {
+  Workload* w = hotspot_workload();
+  WorkloadParams params = test_params(w);
+  params.iterations = 6;
+  proxy::ProxyClientApi::Options opts;
+  opts.host.device = test_device_config();
+  proxy::ProxyClientApi api(opts);
+  auto run = w->run(api, params);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  auto expected = w->reference_checksum(params);
+  ASSERT_TRUE(expected.ok());
+  expect_close(run->checksum, *expected, w->checksum_tolerance(), w->name());
+}
+
+TEST(WorkloadProxyTest, NwMatchesOracleOverProxy) {
+  Workload* w = nw_workload();
+  WorkloadParams params = test_params(w);
+  params.size_a = 128;
+  proxy::ProxyClientApi::Options opts;
+  opts.host.device = test_device_config();
+  proxy::ProxyClientApi api(opts);
+  auto run = w->run(api, params);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  auto expected = w->reference_checksum(params);
+  ASSERT_TRUE(expected.ok());
+  expect_close(run->checksum, *expected, 0.0, w->name());
+}
+
+}  // namespace
+}  // namespace crac::workloads
