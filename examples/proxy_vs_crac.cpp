@@ -101,6 +101,16 @@ int main() {
                 static_cast<unsigned long long>(stats.bulk_bytes_cma +
                                                 stats.bulk_bytes_socket),
                 api.cma_available() ? "CMA" : "socket");
+    // The proxy side of the comparison can checkpoint managed state too —
+    // through the same streaming chunk pipeline CRAC uses.
+    ckpt::MemorySink sink;
+    ckpt::ImageWriter::Options wopts;
+    ckpt::ImageWriter writer(&sink, wopts);
+    const Status drained = api.drain_managed(writer);
+    if (drained.ok()) (void)writer.finish();
+    std::printf("proxy:   managed-state drain via chunk pipeline: %s (%s)\n",
+                drained.ok() ? "ok" : drained.to_string().c_str(),
+                format_size(sink.bytes_written()).c_str());
   }
 
   if (crac_sum != proxy_sum) {

@@ -1,0 +1,105 @@
+// Chunked section payloads for CRACIMG2.
+//
+// A v2 section's payload is split into fixed-size chunks; each chunk is
+// compressed and CRC32'd independently, then framed as
+//
+//   [u64 raw_size][u64 stored_size][u32 crc32(raw)][stored bytes]
+//
+// with stored_size == raw_size meaning the chunk is stored uncompressed
+// (either the image codec is kStore or compression failed to shrink this
+// chunk). A frame with raw_size == 0 terminates the section's chunk list.
+//
+// Independence of chunks is the point: ChunkPipeline fans chunk encoding
+// out over a crac::ThreadPool and streams completed frames, in order, to a
+// Sink — peak memory is bounded by the in-flight window rather than the
+// section size, and compression throughput scales with cores instead of
+// being pinned to one (the bottleneck the paper's Figure 3 demonstrates and
+// the reason CRAC ships with DMTCP's gzip pipe off).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "ckpt/compressor.hpp"
+#include "ckpt/sink.hpp"
+
+namespace crac::ckpt {
+
+inline constexpr std::size_t kDefaultChunkSize = std::size_t{1} << 20;
+// Upper bound a reader accepts for a v2 image's declared chunk size; caps
+// the per-chunk allocation a hostile header can demand.
+inline constexpr std::size_t kMaxChunkSize = std::size_t{1} << 30;
+inline constexpr std::size_t kChunkFrameHeaderBytes = 8 + 8 + 4;
+
+struct ChunkFrame {
+  std::uint64_t raw_size = 0;
+  std::uint64_t stored_size = 0;  // == raw_size: payload stored verbatim
+  std::uint32_t crc = 0;          // over the raw (decompressed) bytes
+};
+
+// One encoded chunk: frame header plus stored payload, ready to append.
+struct EncodedChunk {
+  ChunkFrame frame;
+  std::vector<std::byte> stored;
+};
+
+// Compresses (per `codec`, with a store fallback when compression does not
+// shrink) and CRC32s one chunk. Pure function — safe to run concurrently.
+EncodedChunk encode_chunk(std::vector<std::byte> raw, Codec codec);
+
+// Appends one framed chunk / the section terminator frame to `sink`.
+Status write_chunk(Sink& sink, const EncodedChunk& chunk);
+Status write_chunk_terminator(Sink& sink);
+
+// Reads one frame header; the payload view follows in the reader.
+Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame);
+
+// Decodes one chunk (decompressing per `codec` when stored_size differs
+// from raw_size), verifies its CRC, and appends the raw bytes to `out`.
+Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
+                           Codec codec, std::vector<std::byte>& out);
+
+// Streams one section's payload through chunk encoding into a sink.
+//
+// append() accumulates bytes into the current chunk; every full chunk is
+// dispatched to the pool (or encoded inline when pool == nullptr) and
+// completed frames are written to the sink in submission order. The number
+// of chunks in flight is bounded, so a multi-GiB section never occupies
+// more than window × chunk_size bytes beyond the sink itself. finish()
+// flushes the partial tail chunk and writes the terminator frame.
+class ChunkPipeline {
+ public:
+  ChunkPipeline(Sink* sink, Codec codec, std::size_t chunk_size,
+                ThreadPool* pool);
+  ~ChunkPipeline();
+
+  ChunkPipeline(const ChunkPipeline&) = delete;
+  ChunkPipeline& operator=(const ChunkPipeline&) = delete;
+
+  Status append(const void* data, std::size_t size);
+  Status finish();
+
+  std::uint64_t raw_bytes() const noexcept { return raw_bytes_; }
+
+ private:
+  Status dispatch(std::vector<std::byte> raw);
+  Status retire_oldest();  // blocks on the oldest in-flight chunk
+
+  Sink* sink_;
+  Codec codec_;
+  std::size_t chunk_size_;
+  ThreadPool* pool_;
+  std::size_t max_in_flight_;
+  std::deque<std::future<EncodedChunk>> in_flight_;
+  std::vector<std::byte> pending_;
+  std::uint64_t raw_bytes_ = 0;
+  bool finished_ = false;
+  Status error_;  // sticky: first failure aborts the section
+};
+
+}  // namespace crac::ckpt

@@ -87,6 +87,13 @@ std::vector<std::byte> lz_compress(const std::vector<std::byte>& in) {
 Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
                                              std::size_t in_size,
                                              std::size_t raw_size) {
+  // A match token is 3 bytes and expands to at most kMaxMatch bytes, so no
+  // valid stream expands beyond kMaxMatch/3 per input byte. Reject larger
+  // claims before reserving, so a tiny hostile header cannot demand an
+  // arbitrarily large up-front allocation.
+  if (raw_size > (in_size + 1) * ((kMaxMatch + 2) / 3)) {
+    return Corrupt("ckptz: declared raw size exceeds maximum expansion");
+  }
   std::vector<std::byte> out;
   out.reserve(raw_size);
   std::size_t pos = 0;
@@ -95,6 +102,9 @@ Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
     if (c < 0x80) {
       const std::size_t run = static_cast<std::size_t>(c) + 1;
       if (pos + run > in_size) return Corrupt("ckptz: literal overruns input");
+      if (out.size() + run > raw_size) {
+        return Corrupt("ckptz: literal overruns declared raw size");
+      }
       out.insert(out.end(), in + pos, in + pos + run);
       pos += run;
     } else {
@@ -106,6 +116,12 @@ Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
       pos += 2;
       if (dist == 0 || dist > out.size()) {
         return Corrupt("ckptz: match distance out of range");
+      }
+      // Every match copy is bounded by the declared raw size, so a hostile
+      // token stream can neither balloon the output nor run the copy loop
+      // past what the caller sized for.
+      if (out.size() + len > raw_size) {
+        return Corrupt("ckptz: match overruns declared raw size");
       }
       // Overlapping copies are the LZ idiom (e.g. RLE via dist=1).
       std::size_t src = out.size() - dist;

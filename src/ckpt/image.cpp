@@ -9,65 +9,140 @@
 namespace crac::ckpt {
 
 namespace {
-constexpr char kMagic[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kMagicV1[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'};
+constexpr char kMagicV2[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '2'};
+constexpr std::uint32_t kVersion1 = 1;
+constexpr std::uint32_t kVersion2 = 2;
 }  // namespace
 
-std::vector<std::byte> ImageWriter::serialize() const {
-  ByteWriter w;
-  w.put_bytes(kMagic, sizeof(kMagic));
-  w.put_u32(kVersion);
-  w.put_u32(static_cast<std::uint32_t>(codec_));
-  w.put_u32(static_cast<std::uint32_t>(sections_.size()));
+// ---------------------------------------------------------------------------
+// ImageWriter
+// ---------------------------------------------------------------------------
 
-  for (const Section& s : sections_) {
-    const std::vector<std::byte> stored = compress(s.payload, codec_);
-    // If compression did not help, store raw for this section.
-    const bool use_raw = stored.size() >= s.payload.size();
-    w.put_u32(static_cast<std::uint32_t>(s.type));
-    w.put_string(s.name);
-    w.put_u64(s.payload.size());
-    w.put_u64(use_raw ? s.payload.size() : stored.size());
-    w.put_u8(static_cast<std::uint8_t>(use_raw ? Codec::kStore : codec_));
-    w.put_u32(crc32(s.payload.data(), s.payload.size()));
-    const auto& body = use_raw ? s.payload : stored;
-    w.put_bytes(body.data(), body.size());
-  }
-  return std::move(w).take();
+ImageWriter::ImageWriter(Codec codec)
+    : own_sink_(std::make_unique<MemorySink>()), sink_(own_sink_.get()) {
+  options_.codec = codec;
 }
 
-Status ImageWriter::write_file(const std::string& path) const {
-  const std::vector<std::byte> bytes = serialize();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return IoError("cannot open " + path + " for writing");
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const int closed = std::fclose(f);
-  if (written != bytes.size() || closed != 0) {
-    return IoError("short write to " + path);
-  }
+ImageWriter::ImageWriter(Sink* sink, const Options& options)
+    : options_(options), sink_(sink) {
+  if (options_.chunk_size == 0) options_.chunk_size = kDefaultChunkSize;
+  // Readers reject images declaring more than kMaxChunkSize; never write
+  // an image that cannot be restored.
+  if (options_.chunk_size > kMaxChunkSize) options_.chunk_size = kMaxChunkSize;
+}
+
+ImageWriter::~ImageWriter() = default;
+
+Status ImageWriter::write_header() {
+  if (header_written_) return OkStatus();
+  ByteWriter w;
+  w.put_bytes(kMagicV2, sizeof(kMagicV2));
+  w.put_u32(kVersion2);
+  w.put_u32(static_cast<std::uint32_t>(options_.codec));
+  w.put_u64(options_.chunk_size);
+  CRAC_RETURN_IF_ERROR(sink_->write(w.data(), w.size()));
+  header_written_ = true;
   return OkStatus();
 }
 
-std::size_t ImageWriter::raw_bytes() const noexcept {
-  std::size_t total = 0;
-  for (const Section& s : sections_) total += s.payload.size();
-  return total;
+Status ImageWriter::begin_section(SectionType type, std::string name) {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    return (error_ = FailedPrecondition("begin_section after finish"));
+  }
+  if (pipeline_ != nullptr) {
+    return (error_ = FailedPrecondition("nested begin_section (section '" +
+                                        name + "')"));
+  }
+  CRAC_RETURN_IF_ERROR((error_ = write_header()));
+  ByteWriter w;
+  w.put_u32(static_cast<std::uint32_t>(type));
+  w.put_string(name);
+  CRAC_RETURN_IF_ERROR((error_ = sink_->write(w.data(), w.size())));
+  pipeline_ = std::make_unique<ChunkPipeline>(
+      sink_, options_.codec, options_.chunk_size, options_.pool);
+  return OkStatus();
 }
 
-Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes) {
-  ByteReader r(bytes);
-  char magic[8];
-  CRAC_RETURN_IF_ERROR(r.get_bytes(magic, sizeof(magic)));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Corrupt("bad checkpoint image magic");
+Status ImageWriter::append(const void* data, std::size_t size) {
+  if (!error_.ok()) return error_;
+  if (pipeline_ == nullptr) {
+    return (error_ = FailedPrecondition("append outside a section"));
   }
-  std::uint32_t version = 0, codec_raw = 0, count = 0;
-  CRAC_RETURN_IF_ERROR(r.get_u32(version));
-  if (version != kVersion) return Corrupt("unsupported image version");
+  error_ = pipeline_->append(data, size);
+  return error_;
+}
+
+Status ImageWriter::end_section() {
+  if (!error_.ok()) return error_;
+  if (pipeline_ == nullptr) {
+    return (error_ = FailedPrecondition("end_section without begin_section"));
+  }
+  error_ = pipeline_->finish();
+  raw_bytes_ += pipeline_->raw_bytes();
+  pipeline_.reset();
+  if (error_.ok()) ++section_count_;
+  return error_;
+}
+
+Status ImageWriter::finish() {
+  if (!error_.ok()) return error_;
+  if (finished_) return OkStatus();
+  if (pipeline_ != nullptr) {
+    return (error_ = FailedPrecondition("finish with a section still open"));
+  }
+  // An image with zero sections is still an image: emit the header.
+  CRAC_RETURN_IF_ERROR((error_ = write_header()));
+  finished_ = true;
+  error_ = sink_->flush();
+  return error_;
+}
+
+void ImageWriter::add_section(SectionType type, std::string name,
+                              std::vector<std::byte> payload) {
+  // v1-era producers treat section addition as infallible; the first
+  // failure is latched and surfaced by finish()/write_file()/status().
+  if (!begin_section(type, std::move(name)).ok()) return;
+  if (!append(payload.data(), payload.size()).ok()) return;
+  (void)end_section();
+}
+
+std::vector<std::byte> ImageWriter::serialize() {
+  CRAC_CHECK(own_sink_ != nullptr);  // buffered mode only
+  CRAC_CHECK(!consumed_);            // serialize()/write_file() are one-shot
+  if (!finish().ok()) {
+    CRAC_WARN() << "image serialize failed: " << error_.to_string();
+    return {};
+  }
+  // Moving out avoids a second image-sized buffer; the writer is finished
+  // at this point, so the sink's storage has no further use.
+  consumed_ = true;
+  return std::move(*own_sink_).take();
+}
+
+Status ImageWriter::write_file(const std::string& path) {
+  CRAC_CHECK(own_sink_ != nullptr);  // buffered mode only
+  if (consumed_) {
+    return FailedPrecondition("image buffer already consumed by serialize()");
+  }
+  CRAC_RETURN_IF_ERROR(finish());
+  auto file = FileSink::open(path);
+  if (!file.ok()) return file.status();  // buffer intact: retryable
+  consumed_ = true;
+  CRAC_RETURN_IF_ERROR(
+      (*file)->write(own_sink_->bytes().data(), own_sink_->bytes().size()));
+  return (*file)->close();
+}
+
+// ---------------------------------------------------------------------------
+// ImageReader
+// ---------------------------------------------------------------------------
+
+Status ImageReader::parse_v1(ByteReader& r, ImageReader& reader) {
+  std::uint32_t codec_raw = 0, count = 0;
   CRAC_RETURN_IF_ERROR(r.get_u32(codec_raw));
   CRAC_RETURN_IF_ERROR(r.get_u32(count));
-
-  ImageReader reader;
   reader.codec_ = static_cast<Codec>(codec_raw);
   reader.sections_.reserve(count);
 
@@ -95,6 +170,80 @@ Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes) {
     reader.sections_.push_back(Section{static_cast<SectionType>(type_raw),
                                        std::move(name), std::move(*raw)});
   }
+  return OkStatus();
+}
+
+Status ImageReader::parse_v2(ByteReader& r, ImageReader& reader) {
+  std::uint32_t codec_raw = 0;
+  std::uint64_t chunk_size = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u32(codec_raw));
+  CRAC_RETURN_IF_ERROR(r.get_u64(chunk_size));
+  reader.codec_ = static_cast<Codec>(codec_raw);
+  if (chunk_size == 0) return Corrupt("v2 image with zero chunk size");
+  // The declared chunk size bounds every per-chunk allocation below, so it
+  // must itself be bounded against hostile headers.
+  if (chunk_size > kMaxChunkSize) {
+    return Corrupt("v2 image chunk size exceeds the " +
+                   format_size(kMaxChunkSize) + " limit");
+  }
+
+  while (r.remaining() > 0) {
+    std::uint32_t type_raw = 0;
+    std::string name;
+    CRAC_RETURN_IF_ERROR(r.get_u32(type_raw));
+    CRAC_RETURN_IF_ERROR(r.get_string(name));
+
+    Section section;
+    section.type = static_cast<SectionType>(type_raw);
+    section.name = name;
+    std::size_t chunk_index = 0;
+    for (;;) {
+      ChunkFrame frame;
+      CRAC_RETURN_IF_ERROR(read_chunk_frame(r, frame));
+      if (frame.raw_size == 0 && frame.stored_size == 0) break;
+      if (frame.raw_size > chunk_size) {
+        return Corrupt("checkpoint section '" + name +
+                       "' chunk exceeds declared chunk size");
+      }
+      if (frame.stored_size > frame.raw_size) {
+        return Corrupt("checkpoint section '" + name +
+                       "' chunk stored size exceeds raw size");
+      }
+      const std::byte* stored = nullptr;
+      CRAC_RETURN_IF_ERROR(r.get_view(stored, frame.stored_size));
+      // Chunk-at-a-time: one chunk's working set, CRC-verified before the
+      // bytes join the section payload.
+      Status decoded =
+          decode_chunk_append(frame, stored, reader.codec_, section.payload);
+      if (!decoded.ok()) {
+        return Corrupt("checkpoint section '" + name + "' chunk #" +
+                       std::to_string(chunk_index) + ": " +
+                       decoded.message());
+      }
+      ++chunk_index;
+    }
+    reader.sections_.push_back(std::move(section));
+  }
+  return OkStatus();
+}
+
+Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes) {
+  ByteReader r(bytes);
+  char magic[8];
+  CRAC_RETURN_IF_ERROR(r.get_bytes(magic, sizeof(magic)));
+  const bool v1 = std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v1 && !v2) return Corrupt("bad checkpoint image magic");
+
+  std::uint32_t version = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u32(version));
+  if ((v1 && version != kVersion1) || (v2 && version != kVersion2)) {
+    return Corrupt("unsupported image version");
+  }
+
+  ImageReader reader;
+  reader.version_ = version;
+  CRAC_RETURN_IF_ERROR(v1 ? parse_v1(r, reader) : parse_v2(r, reader));
   return reader;
 }
 

@@ -1,24 +1,48 @@
 // Checkpoint image format.
 //
-// A sectioned binary container, CRC-checked per section:
+// Two on-disk generations, both CRC-checked and both readable by
+// ImageReader:
 //
-//   [magic "CRACIMG1"][u32 version][u32 codec][u32 section_count]
+// v1 ("CRACIMG1") — monolithic sections, written by seed-era code:
+//
+//   [magic "CRACIMG1"][u32 version=1][u32 codec][u32 section_count]
 //   section*: [u32 type][string name][u64 raw_size][u64 stored_size]
-//             [u32 crc32(raw)][payload bytes]
+//             [u8 section_codec][u32 crc32(raw)][payload bytes]
+//
+// v2 ("CRACIMG2") — streaming chunked sections, what ImageWriter emits:
+//
+//   [magic "CRACIMG2"][u32 version=2][u32 codec][u64 chunk_size]
+//   section*: [u32 type][string name]
+//             chunk*: [u64 raw_size][u64 stored_size][u32 crc32(raw)]
+//                     [stored bytes]
+//             [u64 0][u64 0][u32 0]          <- terminator frame
+//   (sections run to end of image; no up-front count)
+//
+// Each v2 chunk covers up to chunk_size raw payload bytes and is
+// independently compressed (stored_size == raw_size means stored verbatim)
+// and CRC32'd, so the writer can fan chunk encoding out across a thread
+// pool and stream frames to a Sink without ever materializing a section —
+// and the reader can verify and decompress one bounded chunk at a time.
+// "string" is [u32 length][bytes] everywhere.
 //
 // Section payload schemas are owned by their producers (the CRAC plugin for
 // CUDA state, the engine for memory regions); this layer only guarantees
-// integrity and round-tripping.
+// integrity and round-tripping. Producers either push whole payloads with
+// add_section() or stream with begin_section()/append()/end_section().
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "ckpt/chunk.hpp"
 #include "ckpt/compressor.hpp"
+#include "ckpt/sink.hpp"
 
 namespace crac::ckpt {
 
@@ -38,29 +62,76 @@ struct Section {
   std::vector<std::byte> payload;  // raw (decompressed) bytes
 };
 
+// Streams CRACIMG2 images. In streaming mode the writer is constructed on
+// an external Sink and producers drive begin_section/append/end_section;
+// chunk compression fans out over the configured ThreadPool and frames are
+// written in order as they complete. The buffered constructor keeps the
+// v1-era workflow (add sections, then serialize()/write_file()) working on
+// top of an internal MemorySink.
 class ImageWriter {
  public:
-  explicit ImageWriter(Codec codec = Codec::kStore) : codec_(codec) {}
+  struct Options {
+    Codec codec = Codec::kStore;
+    std::size_t chunk_size = kDefaultChunkSize;
+    // Chunk-encoding pool; nullptr compresses on the calling thread.
+    ThreadPool* pool = nullptr;
+  };
 
+  // Buffered mode (compat): accumulates into an internal MemorySink.
+  explicit ImageWriter(Codec codec = Codec::kStore);
+
+  // Streaming mode: bytes go to `sink` as sections are produced. The sink
+  // and pool must outlive the writer.
+  ImageWriter(Sink* sink, const Options& options);
+
+  ~ImageWriter();
+
+  ImageWriter(const ImageWriter&) = delete;
+  ImageWriter& operator=(const ImageWriter&) = delete;
+
+  // --- streaming producer API ---
+  Status begin_section(SectionType type, std::string name);
+  Status append(const void* data, std::size_t size);
+  Status end_section();
+
+  // Completes the image: fails if a section is still open, flushes the
+  // sink. Idempotent. No sections may be added afterwards.
+  Status finish();
+
+  // --- v1-era convenience (thin wrapper over the streaming API) ---
   void add_section(SectionType type, std::string name,
-                   std::vector<std::byte> payload) {
-    sections_.push_back(Section{type, std::move(name), std::move(payload)});
-  }
+                   std::vector<std::byte> payload);
 
-  // Serializes all sections (compressing payloads per the codec).
-  std::vector<std::byte> serialize() const;
+  // Buffered mode only: finishes the image and returns its bytes, consuming
+  // the internal buffer (call once; use write_file() OR serialize()).
+  std::vector<std::byte> serialize();
 
-  Status write_file(const std::string& path) const;
+  // Buffered mode only: finishes the image and writes it to `path`.
+  // (Streaming producers write through their own FileSink instead.)
+  Status write_file(const std::string& path);
 
-  std::size_t section_count() const noexcept { return sections_.size(); }
+  std::size_t section_count() const noexcept { return section_count_; }
 
-  // Sum of raw payload bytes currently queued (pre-compression image size —
+  // Sum of raw payload bytes appended so far (pre-compression image size —
   // the quantity Figure 3/5(c) report when gzip is off).
-  std::size_t raw_bytes() const noexcept;
+  std::size_t raw_bytes() const noexcept { return raw_bytes_; }
+
+  // First error swallowed by the void add_section() wrapper, if any.
+  const Status& status() const noexcept { return error_; }
 
  private:
-  Codec codec_;
-  std::vector<Section> sections_;
+  Status write_header();
+
+  Options options_;
+  std::unique_ptr<MemorySink> own_sink_;  // buffered mode
+  Sink* sink_;
+  std::unique_ptr<ChunkPipeline> pipeline_;  // live between begin/end
+  bool header_written_ = false;
+  bool finished_ = false;
+  bool consumed_ = false;  // buffered image handed out (one-shot)
+  std::size_t section_count_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+  Status error_;  // sticky
 };
 
 class ImageReader {
@@ -74,9 +145,14 @@ class ImageReader {
   const Section* find(SectionType type, const std::string& name = "") const;
 
   Codec codec() const noexcept { return codec_; }
+  std::uint32_t version() const noexcept { return version_; }
 
  private:
+  static Status parse_v1(ByteReader& r, ImageReader& reader);
+  static Status parse_v2(ByteReader& r, ImageReader& reader);
+
   Codec codec_ = Codec::kStore;
+  std::uint32_t version_ = 0;
   std::vector<Section> sections_;
 };
 

@@ -1,18 +1,43 @@
 #include "ckpt/memory_section.hpp"
 
 #include "common/bytes.hpp"
+#include "ckpt/image.hpp"
 
 namespace crac::ckpt {
+
+namespace {
+
+// The single definition of the per-record wire layout; both the whole-buffer
+// and streaming encoders go through it so they cannot drift apart.
+void put_record_header(ByteWriter& w, const MemoryRecord& r) {
+  w.put_u64(r.addr);
+  w.put_u64(r.size);
+  w.put_u32(r.prot);
+  w.put_string(r.name);
+}
+
+}  // namespace
+
+Status append_memory_records(ImageWriter& image,
+                             const std::vector<MemoryRecord>& records) {
+  ByteWriter header;
+  header.put_u64(records.size());
+  CRAC_RETURN_IF_ERROR(image.append(header.data(), header.size()));
+  for (const MemoryRecord& r : records) {
+    ByteWriter w;
+    put_record_header(w, r);
+    CRAC_RETURN_IF_ERROR(image.append(w.data(), w.size()));
+    CRAC_RETURN_IF_ERROR(image.append(r.bytes.data(), r.bytes.size()));
+  }
+  return OkStatus();
+}
 
 std::vector<std::byte> encode_memory_records(
     const std::vector<MemoryRecord>& records) {
   ByteWriter w;
   w.put_u64(records.size());
   for (const MemoryRecord& r : records) {
-    w.put_u64(r.addr);
-    w.put_u64(r.size);
-    w.put_u32(r.prot);
-    w.put_string(r.name);
+    put_record_header(w, r);
     w.put_bytes(r.bytes.data(), r.bytes.size());
   }
   return std::move(w).take();

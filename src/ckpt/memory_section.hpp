@@ -9,6 +9,8 @@
 
 namespace crac::ckpt {
 
+class ImageWriter;
+
 struct MemoryRecord {
   std::uint64_t addr = 0;
   std::uint64_t size = 0;
@@ -20,6 +22,12 @@ struct MemoryRecord {
 // Encodes records (headers + contents) into one section payload.
 std::vector<std::byte> encode_memory_records(
     const std::vector<MemoryRecord>& records);
+
+// Streams records into the currently-open section of `image`, one record at
+// a time — region contents feed the chunk pipeline directly instead of
+// being copied into a second whole-snapshot buffer first.
+Status append_memory_records(ImageWriter& image,
+                             const std::vector<MemoryRecord>& records);
 
 Result<std::vector<MemoryRecord>> decode_memory_records(
     const std::vector<std::byte>& payload);

@@ -1,0 +1,45 @@
+#include "ckpt/sink.hpp"
+
+namespace crac::ckpt {
+
+Result<std::unique_ptr<FileSink>> FileSink::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot open " + path + " for writing");
+  return std::unique_ptr<FileSink>(new FileSink(f, path));
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSink::do_write(const void* data, std::size_t size) {
+  if (!error_.ok()) return error_;
+  if (file_ == nullptr) {
+    return FailedPrecondition("write to closed sink " + path_);
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    error_ = IoError("short write to " + path_);
+    return error_;
+  }
+  return OkStatus();
+}
+
+Status FileSink::flush() {
+  if (!error_.ok()) return error_;
+  if (file_ == nullptr) return OkStatus();
+  if (std::fflush(file_) != 0) {
+    error_ = IoError("flush failed for " + path_);
+    return error_;
+  }
+  return OkStatus();
+}
+
+Status FileSink::close() {
+  if (file_ == nullptr) return error_;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (error_.ok() && rc != 0) error_ = IoError("close failed for " + path_);
+  return error_;
+}
+
+}  // namespace crac::ckpt

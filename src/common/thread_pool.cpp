@@ -31,6 +31,23 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+std::vector<std::future<void>> ThreadPool::submit_batch(
+    std::vector<std::function<void()>> tasks) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& fn : tasks) {
+      auto task =
+          std::make_shared<std::packaged_task<void()>>(std::move(fn));
+      futures.push_back(task->get_future());
+      queue_.push_back([task] { (*task)(); });
+    }
+  }
+  cv_.notify_all();
+  return futures;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;

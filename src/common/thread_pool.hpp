@@ -1,7 +1,15 @@
-// Fixed-size worker pool used by simgpu to model streaming multiprocessors.
+// Fixed-size worker pool shared by simgpu (simulated SMs) and the checkpoint
+// chunk-compression pipeline.
 //
-// Two entry points:
+// Entry points:
 //   * submit(fn)            — fire-and-forget task (stream engine ops)
+//   * submit_task(fn)       — future-returning task; safe to call from any
+//                             thread, including pool workers (the task just
+//                             joins the queue — the caller must not *block*
+//                             on the future from a worker, or it can deadlock
+//                             a fully-busy pool)
+//   * submit_batch(tasks)   — enqueue a vector of tasks under one lock,
+//                             returning one future per task
 //   * parallel_for(n, body) — block-partitioned loop across workers, used by
 //                             kernel execution to spread thread blocks over
 //                             the simulated SMs.
@@ -11,8 +19,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace crac {
@@ -29,9 +41,26 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
+  // Future-returning submission. The result (or exception) of `fn` is
+  // delivered through the returned future.
+  template <typename F>
+  auto submit_task(F fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  // Enqueues all tasks under a single lock acquisition and wakes every
+  // worker once — for producers whose work-list exists up front (the chunk
+  // pipeline streams instead and uses submit_task per chunk).
+  std::vector<std::future<void>> submit_batch(
+      std::vector<std::function<void()>> tasks);
+
   // Runs body(i) for i in [0, n), partitioned into size() contiguous chunks.
-  // Blocks until all iterations complete. Reentrant from worker threads is
-  // NOT supported (callers are the stream engine and tests).
+  // Blocks until all iterations complete. Unlike submit/submit_task, calling
+  // this from a pool worker is NOT supported (it blocks on the pool).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 

@@ -1,5 +1,7 @@
 #include "crac/context.hpp"
 
+#include <cstdio>
+
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/log.hpp"
@@ -63,10 +65,49 @@ CracContext::CracContext(const CracOptions& options) : options_(options) {
 
 CracContext::~CracContext() = default;
 
+ThreadPool* CracContext::ckpt_pool() {
+  std::size_t threads = options_.ckpt_threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  // One worker buys no parallelism over the calling thread; encode inline.
+  if (threads <= 1) return nullptr;
+  if (ckpt_pool_ == nullptr) {
+    ckpt_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return ckpt_pool_.get();
+}
+
 Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
+  auto result = checkpoint_to_temp(path);
+  if (!result.ok()) {
+    // Never leave a truncated partial image where a good one may have
+    // been: the stream went to a sibling temp file, which we discard.
+    std::remove(temp_image_path(path).c_str());
+  }
+  return result;
+}
+
+std::string CracContext::temp_image_path(const std::string& path) {
+  return path + ".tmp";
+}
+
+Result<CheckpointReport> CracContext::checkpoint_to_temp(
+    const std::string& path) {
   CheckpointReport report;
   WallTimer total;
-  ckpt::ImageWriter writer(options_.codec);
+
+  // Streaming pipeline: sections are chunked, chunks compressed/CRC'd on
+  // the pool, frames written straight to the file — the image is never
+  // resident in memory. The stream targets a temp file that replaces
+  // `path` only after the image is complete, so a failed checkpoint can
+  // never destroy the previous image at the same path.
+  const std::string tmp = temp_image_path(path);
+  auto sink = ckpt::FileSink::open(tmp);
+  if (!sink.ok()) return sink.status();
+  ckpt::ImageWriter::Options wopts;
+  wopts.codec = options_.codec;
+  wopts.chunk_size = options_.ckpt_chunk_bytes;
+  wopts.pool = ckpt_pool();
+  ckpt::ImageWriter writer(sink->get(), wopts);
 
   // 1. Plugin drain: synchronize the device, save active allocations,
   //    residency, the log, fat binaries, stream inventory.
@@ -81,8 +122,10 @@ Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
     WallTimer t;
     auto records = process_->snapshot_upper_memory();
     report.upper_regions = records.size();
-    writer.add_section(ckpt::SectionType::kMemoryRegions, kSectionUpperMemory,
-                       ckpt::encode_memory_records(records));
+    CRAC_RETURN_IF_ERROR(writer.begin_section(
+        ckpt::SectionType::kMemoryRegions, kSectionUpperMemory));
+    CRAC_RETURN_IF_ERROR(ckpt::append_memory_records(writer, records));
+    CRAC_RETURN_IF_ERROR(writer.end_section());
     writer.add_section(ckpt::SectionType::kMetadata, kSectionHeapState,
                        encode_heap_snapshot(process_->heap().snapshot()));
     ByteWriter root_writer;
@@ -92,11 +135,15 @@ Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
     report.memory_s = t.elapsed_s();
   }
 
-  // 3. Serialize and write.
+  // 3. Drain the chunk pipeline, close the temp file, move it into place.
   {
     WallTimer t;
     report.raw_bytes = writer.raw_bytes();
-    CRAC_RETURN_IF_ERROR(writer.write_file(path));
+    CRAC_RETURN_IF_ERROR(writer.finish());
+    CRAC_RETURN_IF_ERROR((*sink)->close());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return IoError("cannot move " + tmp + " into place as " + path);
+    }
     report.write_s = t.elapsed_s();
   }
 
@@ -105,15 +152,7 @@ Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
 
   report.total_s = total.elapsed_s();
   report.active_allocations = plugin_->active_allocation_count();
-  {
-    // Report the on-disk size.
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f != nullptr) {
-      std::fseek(f, 0, SEEK_END);
-      report.image_bytes = static_cast<std::uint64_t>(std::ftell(f));
-      std::fclose(f);
-    }
-  }
+  report.image_bytes = (*sink)->bytes_written();
   CRAC_INFO() << "checkpoint written to " << path << " ("
               << format_size(report.image_bytes) << ", "
               << report.upper_regions << " upper regions, "

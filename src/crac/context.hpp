@@ -24,6 +24,7 @@
 
 #include "ckpt/image.hpp"
 #include "ckpt/plugin.hpp"
+#include "common/thread_pool.hpp"
 #include "crac/crac_plugin.hpp"
 #include "crac/split_process.hpp"
 
@@ -33,6 +34,11 @@ struct CracOptions {
   SplitProcessOptions split;
   ckpt::Codec codec = ckpt::Codec::kStore;  // paper runs with gzip disabled
   bool verify_determinism = true;
+  // Streaming checkpoint pipeline: sections are chunked at this granularity
+  // and chunks are compressed/CRC'd in parallel on a pool of ckpt_threads
+  // workers (0 = hardware concurrency, 1 = no pool / inline encoding).
+  std::size_t ckpt_chunk_bytes = ckpt::kDefaultChunkSize;
+  std::size_t ckpt_threads = 0;
 };
 
 struct CheckpointReport {
@@ -95,11 +101,15 @@ class CracContext {
  private:
   Status restore_from_reader(const ckpt::ImageReader& reader,
                              RestartReport* report);
+  Result<CheckpointReport> checkpoint_to_temp(const std::string& path);
+  static std::string temp_image_path(const std::string& path);
+  ThreadPool* ckpt_pool();
 
   CracOptions options_;
   std::unique_ptr<SplitProcess> process_;
   std::unique_ptr<CracPlugin> plugin_;
   ckpt::PluginRegistry registry_;
+  std::unique_ptr<ThreadPool> ckpt_pool_;  // lazily created, reused across checkpoints
   void* root_ = nullptr;
 };
 

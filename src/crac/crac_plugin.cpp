@@ -1,5 +1,6 @@
 #include "crac/crac_plugin.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes.hpp"
@@ -14,6 +15,10 @@ constexpr const char* kSectionAllocs = "allocations";
 constexpr const char* kSectionUvm = "uvm-residency";
 constexpr const char* kSectionStreams = "streams";
 constexpr const char* kSectionFatbins = "fatbins";
+
+// Device/managed drains copy through a bounded staging buffer of this size;
+// each slice is appended straight into the open image section.
+constexpr std::uint64_t kDrainSliceBytes = std::uint64_t{1} << 20;
 
 cuda::cudaMemcpyKind refill_kind(AllocKind kind) {
   switch (kind) {
@@ -241,8 +246,8 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
   CRAC_RETURN_IF_ERROR(drain_streams(image));
   {
     // Residency bitmap per managed allocation — simulator introspection that
-    // stands in for the driver's internal page state; see DESIGN.md.
-    ByteWriter w;
+    // stands in for the driver's internal page state; see DESIGN.md. Each
+    // range's bitmap streams into the section as soon as it is built.
     const auto& uvm = process_->lower().device().uvm();
     std::vector<std::pair<std::uint64_t, ActiveAlloc>> managed;
     {
@@ -252,10 +257,15 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
       }
     }
     const std::size_t page = uvm.page_size();
-    w.put_u64(page);
-    w.put_u64(managed.size());
+    CRAC_RETURN_IF_ERROR(
+        image.begin_section(ckpt::SectionType::kUvmResidency, kSectionUvm));
+    ByteWriter header;
+    header.put_u64(page);
+    header.put_u64(managed.size());
+    CRAC_RETURN_IF_ERROR(image.append(header.data(), header.size()));
     for (const auto& [addr, a] : managed) {
       const std::size_t n_pages = (a.size + page - 1) / page;
+      ByteWriter w;
       w.put_u64(addr);
       w.put_u64(n_pages);
       std::vector<std::uint8_t> bitmap((n_pages + 7) / 8, 0);
@@ -266,9 +276,9 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
         }
       }
       w.put_bytes(bitmap.data(), bitmap.size());
+      CRAC_RETURN_IF_ERROR(image.append(w.data(), w.size()));
     }
-    image.add_section(ckpt::SectionType::kUvmResidency, kSectionUvm,
-                      std::move(w).take());
+    CRAC_RETURN_IF_ERROR(image.end_section());
   }
 
   // (c) copy the contents of every *active* allocation to the image — not
@@ -276,32 +286,40 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
   CRAC_RETURN_IF_ERROR(drain_allocations(image));
 
   // (d) the full call log, to be replayed verbatim at restart (§3.2.4).
+  // Serialized under the lock; streamed to the image outside it.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::byte> log_bytes;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      log_bytes = log_.serialize();
+    }
     image.add_section(ckpt::SectionType::kCudaApiLog, kSectionLog,
-                      log_.serialize());
+                      std::move(log_bytes));
   }
 
   // (e) fat-binary registration records for §3.2.5 re-registration.
+  // Same discipline: build under the lock, stream outside it.
   {
-    std::lock_guard<std::mutex> lock(mu_);
     ByteWriter w;
-    w.put_u64(fatbins_.size());
-    for (const FatbinEntry& fb : fatbins_) {
-      w.put_u64(reinterpret_cast<std::uint64_t>(fb.desc.module_name));
-      w.put_u64(fb.desc.binary_hash);
-      w.put_u8(fb.unregistered ? 1 : 0);
-      w.put_u64(fb.functions.size());
-      for (const cuda::KernelRegistration& fn : fb.functions) {
-        w.put_u64(reinterpret_cast<std::uint64_t>(fn.host_fn));
-        w.put_u64(reinterpret_cast<std::uint64_t>(fn.device_fn));
-        // The argument-size table is serialized by value: a restarted
-        // process has no live KernelModule to point back into.
-        w.put_u64(fn.arg_count);
-        for (std::size_t i = 0; i < fn.arg_count; ++i) {
-          w.put_u64(fn.arg_sizes[i]);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      w.put_u64(fatbins_.size());
+      for (const FatbinEntry& fb : fatbins_) {
+        w.put_u64(reinterpret_cast<std::uint64_t>(fb.desc.module_name));
+        w.put_u64(fb.desc.binary_hash);
+        w.put_u8(fb.unregistered ? 1 : 0);
+        w.put_u64(fb.functions.size());
+        for (const cuda::KernelRegistration& fn : fb.functions) {
+          w.put_u64(reinterpret_cast<std::uint64_t>(fn.host_fn));
+          w.put_u64(reinterpret_cast<std::uint64_t>(fn.device_fn));
+          // The argument-size table is serialized by value: a restarted
+          // process has no live KernelModule to point back into.
+          w.put_u64(fn.arg_count);
+          for (std::size_t i = 0; i < fn.arg_count; ++i) {
+            w.put_u64(fn.arg_sizes[i]);
+          }
+          w.put_string(fn.name != nullptr ? fn.name : "");
         }
-        w.put_string(fn.name != nullptr ? fn.name : "");
       }
     }
     image.add_section(ckpt::SectionType::kMetadata, kSectionFatbins,
@@ -316,40 +334,57 @@ Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot.assign(active_.begin(), active_.end());
   }
-  ByteWriter w;
-  w.put_u64(snapshot.size());
+  CRAC_RETURN_IF_ERROR(
+      image.begin_section(ckpt::SectionType::kDeviceBuffers, kSectionAllocs));
+  ByteWriter count;
+  count.put_u64(snapshot.size());
+  CRAC_RETURN_IF_ERROR(image.append(count.data(), count.size()));
+  // Drain each allocation in bounded slices that feed the chunk pipeline
+  // directly — peak staging memory is one slice, not the whole drain, no
+  // matter how large the largest allocation is.
   std::vector<std::byte> staging;
   for (const auto& [addr, a] : snapshot) {
-    w.put_u64(addr);
-    w.put_u64(a.size);
-    w.put_u8(static_cast<std::uint8_t>(a.kind));
-    w.put_u32(a.flags);
-    staging.resize(a.size);
-    // Drain through the CUDA API itself (D2H copy), as the real plugin must.
-    const cuda::cudaError_t err =
-        inner()->cudaMemcpy(staging.data(), reinterpret_cast<void*>(addr),
-                            a.size, drain_kind(a.kind));
-    if (err != cuda::cudaSuccess) {
-      return Internal("drain memcpy failed: " +
-                      std::string(cuda::cudaGetErrorString(err)));
+    ByteWriter rec;
+    rec.put_u64(addr);
+    rec.put_u64(a.size);
+    rec.put_u8(static_cast<std::uint8_t>(a.kind));
+    rec.put_u32(a.flags);
+    CRAC_RETURN_IF_ERROR(image.append(rec.data(), rec.size()));
+    for (std::uint64_t off = 0; off < a.size; off += kDrainSliceBytes) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              kDrainSliceBytes, a.size - off));
+      staging.resize(n);
+      // Drain through the CUDA API itself (D2H copy), as the real plugin
+      // must.
+      const cuda::cudaError_t err = inner()->cudaMemcpy(
+          staging.data(), reinterpret_cast<void*>(addr + off), n,
+          drain_kind(a.kind));
+      if (err != cuda::cudaSuccess) {
+        return Internal("drain memcpy failed: " +
+                        std::string(cuda::cudaGetErrorString(err)));
+      }
+      CRAC_RETURN_IF_ERROR(image.append(staging.data(), staging.size()));
     }
-    w.put_bytes(staging.data(), staging.size());
   }
-  image.add_section(ckpt::SectionType::kDeviceBuffers, kSectionAllocs,
-                    std::move(w).take());
-  return OkStatus();
+  return image.end_section();
 }
 
 Status CracPlugin::drain_streams(ckpt::ImageWriter& image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Serialize under the lock, stream outside it — sink I/O and chunk
+  // encoding must not run while mu_ blocks concurrent API calls.
   ByteWriter w;
-  w.put_u64(live_streams_.size());
-  for (cuda::cudaStream_t s : live_streams_) w.put_u64(s);
-  w.put_u64(live_events_.size());
-  for (cuda::cudaEvent_t e : live_events_) w.put_u64(e);
-  image.add_section(ckpt::SectionType::kStreams, kSectionStreams,
-                    std::move(w).take());
-  return OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w.put_u64(live_streams_.size());
+    for (cuda::cudaStream_t s : live_streams_) w.put_u64(s);
+    w.put_u64(live_events_.size());
+    for (cuda::cudaEvent_t e : live_events_) w.put_u64(e);
+  }
+  CRAC_RETURN_IF_ERROR(
+      image.begin_section(ckpt::SectionType::kStreams, kSectionStreams));
+  CRAC_RETURN_IF_ERROR(image.append(w.data(), w.size()));
+  return image.end_section();
 }
 
 Status CracPlugin::resume() {

@@ -42,6 +42,30 @@ ProxyStats ProxyClientApi::stats() const {
   return stats_;
 }
 
+Status ProxyClientApi::drain_managed(ckpt::ImageWriter& image) {
+  // Pull device-side updates into the shadows first, then stream the
+  // shadows themselves — they are plain host memory, so each region feeds
+  // the chunk pipeline with zero extra copies.
+  if (sync_shadows_from_device() != cudaSuccess) {
+    return Internal("shadow sync from device failed during drain");
+  }
+  const auto entries = shadow_.entries();
+  CRAC_RETURN_IF_ERROR(image.begin_section(ckpt::SectionType::kManagedBuffers,
+                                           "proxy-shadow"));
+  ByteWriter count;
+  count.put_u64(entries.size());
+  CRAC_RETURN_IF_ERROR(image.append(count.data(), count.size()));
+  for (const auto& [p, e] : entries) {
+    ByteWriter rec;
+    rec.put_u64(reinterpret_cast<std::uint64_t>(e.shadow));
+    rec.put_u64(e.remote);
+    rec.put_u64(e.size);
+    CRAC_RETURN_IF_ERROR(image.append(rec.data(), rec.size()));
+    CRAC_RETURN_IF_ERROR(image.append(e.shadow, e.size));
+  }
+  return image.end_section();
+}
+
 Result<ResponseHeader> ProxyClientApi::call(RequestHeader req,
                                             const void* payload,
                                             std::size_t payload_bytes,

@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "ckpt/image.hpp"
 #include "proxy/channel.hpp"
 #include "proxy/server.hpp"
 #include "proxy/shadow_uvm.hpp"
@@ -49,6 +50,13 @@ class ProxyClientApi final : public cuda::CudaApi {
   bool cma_available() const noexcept { return cma_.available(); }
   ProxyStats stats() const;
   const ShadowUvm& shadow() const noexcept { return shadow_; }
+
+  // Streams the managed (shadow-mirrored) state into a kManagedBuffers
+  // section of `image`: device contents are synced into the shadows, then
+  // each shadow region is appended to the open chunk pipeline directly —
+  // no intermediate whole-drain buffer. This is what a CRUM-style
+  // checkpoint of the application process carries for managed memory.
+  Status drain_managed(ckpt::ImageWriter& image);
 
   // --- CudaApi ---
   cuda::cudaError_t cudaMalloc(void** p, std::size_t n) override;
