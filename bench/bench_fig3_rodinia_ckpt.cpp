@@ -8,13 +8,18 @@
 // committed allocation arenas instead of only active allocations.
 //
 // The second table is the ablation the CRACIMG2 pipeline exists for: LZ
-// ("gzip on") checkpoint throughput on a synthetic GPU-sized image, serial
-// whole-buffer compression (the v1 path and the paper's reason to disable
-// gzip) against chunked-parallel compression across a threads × chunk-size
-// sweep. Sized by CRAC_BENCH_CKPT_MB (default 64).
+// ("gzip on") checkpoint AND restore throughput on a synthetic GPU-sized
+// image — serial whole-buffer (the v1 path and the paper's reason to
+// disable gzip) against the chunked-parallel write pipeline and the
+// streaming restore pipeline (ckpt::Source + decompress-ahead prefetch),
+// across one threads × chunk-size sweep so both directions land in the
+// same table. Sized by CRAC_BENCH_CKPT_MB (default 64).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "ckpt/source.hpp"
 
 #include "bench/bench_util.hpp"
 #include "ckpt/chunk.hpp"
@@ -54,30 +59,77 @@ std::vector<std::byte> synthetic_image_payload(std::size_t n,
   return out;
 }
 
-// Returns MB/s, or a negative value if the pipeline errored (a silent
-// failure must not masquerade as a throughput number).
-double chunked_parallel_mbs(const std::vector<std::byte>& payload,
-                            std::size_t threads, std::size_t chunk_size) {
+struct SweepCell {
+  double write_mbs = -1.0;
+  double restore_mbs = -1.0;
+};
+
+// Returns write + restore MB/s for one threads × chunk-size cell, or
+// negative values if a pipeline errored (a silent failure must not
+// masquerade as a throughput number). The restore leg streams the just-
+// written image back through MemorySource + the decompress-ahead reader.
+SweepCell chunked_parallel_cell(const std::vector<std::byte>& payload,
+                                std::size_t threads, std::size_t chunk_size) {
+  using namespace crac::ckpt;
+  SweepCell cell;
   crac::ThreadPool pool(threads);
-  crac::ckpt::MemorySink sink;
-  crac::ckpt::ImageWriter::Options opts;
-  opts.codec = crac::ckpt::Codec::kLz;
-  opts.chunk_size = chunk_size;
-  opts.pool = &pool;
-  crac::ckpt::ImageWriter writer(&sink, opts);
-  crac::WallTimer t;
-  const bool ok =
-      writer.begin_section(crac::ckpt::SectionType::kDeviceBuffers,
-                           "synthetic").ok() &&
-      writer.append(payload.data(), payload.size()).ok() &&
-      writer.end_section().ok() && writer.finish().ok();
-  if (!ok) {
-    std::fprintf(stderr, "chunked-parallel pipeline failed: %s\n",
-                 writer.status().to_string().c_str());
-    return -1.0;
+  MemorySink sink;
+  {
+    ImageWriter::Options opts;
+    opts.codec = Codec::kLz;
+    opts.chunk_size = chunk_size;
+    opts.pool = &pool;
+    ImageWriter writer(&sink, opts);
+    crac::WallTimer t;
+    const bool ok =
+        writer.begin_section(SectionType::kDeviceBuffers, "synthetic").ok() &&
+        writer.append(payload.data(), payload.size()).ok() &&
+        writer.end_section().ok() && writer.finish().ok();
+    if (!ok) {
+      std::fprintf(stderr, "chunked-parallel write failed: %s\n",
+                   writer.status().to_string().c_str());
+      return cell;
+    }
+    cell.write_mbs =
+        static_cast<double>(payload.size()) / (1 << 20) / t.elapsed_s();
   }
-  const double s = t.elapsed_s();
-  return static_cast<double>(payload.size()) / (1 << 20) / s;
+  {
+    crac::WallTimer t;
+    ImageReader::Options ropts;
+    ropts.pool = &pool;
+    auto reader = ImageReader::open(
+        std::make_unique<MemorySource>(sink.bytes().data(),
+                                       sink.bytes().size()),
+        ropts);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "restore open failed: %s\n",
+                   reader.status().to_string().c_str());
+      return cell;
+    }
+    auto stream = reader->open_section(reader->sections()[0]);
+    if (!stream.ok()) return cell;
+    std::vector<std::byte> slice(1 << 20);
+    std::uint64_t total = 0;
+    for (;;) {
+      auto n = stream->read_some(slice.data(), slice.size());
+      if (!n.ok()) {
+        std::fprintf(stderr, "restore stream failed: %s\n",
+                     n.status().to_string().c_str());
+        return cell;
+      }
+      if (*n == 0) break;
+      total += *n;
+    }
+    if (total != payload.size()) {
+      std::fprintf(stderr,
+                   "restore stream delivered %llu of %zu bytes\n",
+                   static_cast<unsigned long long>(total), payload.size());
+      return cell;
+    }
+    cell.restore_mbs =
+        static_cast<double>(payload.size()) / (1 << 20) / t.elapsed_s();
+  }
+  return cell;
 }
 
 void run_chunked_parallel_sweep() {
@@ -85,22 +137,33 @@ void run_chunked_parallel_sweep() {
   const std::size_t mb =
       static_cast<std::size_t>(env_int("CRAC_BENCH_CKPT_MB", 64));
   const std::size_t n = mb << 20;
-  std::printf("\nchunked-parallel LZ checkpoint throughput (%zuMB synthetic "
-              "image, MB/s):\n", mb);
+  std::printf("\nchunked-parallel LZ checkpoint + restore throughput (%zuMB "
+              "synthetic image; cells are write/restore MB/s):\n", mb);
   const auto payload = synthetic_image_payload(n, 1234);
 
-  // Serial whole-buffer LZ: the v1 ImageWriter::serialize() work — CRC32
-  // plus compression of the entire section on one thread. This is the bar
+  // Serial whole-buffer LZ, both directions: the v1 work — CRC32 plus
+  // (de)compression of the entire section on one thread. This is the bar
   // every chunked variant must beat.
-  double serial_mbs = 0;
+  double serial_write_mbs = 0, serial_restore_mbs = 0;
   {
     WallTimer t;
     const std::uint32_t crc = crc32(payload.data(), payload.size());
     const auto packed = ckpt::compress(payload, ckpt::Codec::kLz);
-    serial_mbs = static_cast<double>(n) / (1 << 20) / t.elapsed_s();
-    std::printf("%-24s %10.1f MB/s  (crc 0x%08x, compressed to %s)\n",
-                "serial whole-buffer", serial_mbs, crc,
-                format_size(packed.size()).c_str());
+    serial_write_mbs = static_cast<double>(n) / (1 << 20) / t.elapsed_s();
+    t.reset();
+    auto raw = ckpt::decompress(packed.data(), packed.size(), ckpt::Codec::kLz,
+                                payload.size());
+    if (!raw.ok()) {
+      // A broken restore path must not masquerade as an (instant) baseline.
+      std::fprintf(stderr, "serial restore failed: %s\n",
+                   raw.status().to_string().c_str());
+      return;
+    }
+    const std::uint32_t crc_back = crc32(raw->data(), raw->size());
+    serial_restore_mbs = static_cast<double>(n) / (1 << 20) / t.elapsed_s();
+    std::printf("%-24s %7.1f / %-9.1f (crc 0x%08x/0x%08x, compressed to %s)\n",
+                "serial whole-buffer", serial_write_mbs, serial_restore_mbs,
+                crc, crc_back, format_size(packed.size()).c_str());
   }
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -108,25 +171,33 @@ void run_chunked_parallel_sweep() {
   if (hw > 4) thread_counts.push_back(hw);
   const std::size_t chunk_sizes[] = {256u << 10, 1u << 20, 4u << 20};
 
-  std::printf("%-24s %12s %12s %12s\n", "chunked-parallel", "256KB-chunk",
+  std::printf("%-24s %17s %17s %17s\n", "chunked-parallel", "256KB-chunk",
               "1MB-chunk", "4MB-chunk");
-  double best = 0;
+  double best_write = 0, best_restore = 0;
   for (std::size_t threads : thread_counts) {
-    std::printf("  %2zu thread%s            ", threads,
+    std::printf("  %2zu thread%s           ", threads,
                 threads == 1 ? " " : "s");
     for (std::size_t chunk : chunk_sizes) {
-      const double mbs = chunked_parallel_mbs(payload, threads, chunk);
-      if (mbs < 0) {
-        std::printf("    FAILED   ");
+      const SweepCell cell = chunked_parallel_cell(payload, threads, chunk);
+      if (cell.write_mbs < 0) {
+        std::printf("      FAILED     ");
         continue;
       }
-      best = std::max(best, mbs);
-      std::printf(" %9.1f   ", mbs);
+      best_write = std::max(best_write, cell.write_mbs);
+      if (cell.restore_mbs < 0) {
+        // Keep the valid write number; only the restore leg failed.
+        std::printf(" %7.1f/%-8s", cell.write_mbs, "FAILED");
+        continue;
+      }
+      best_restore = std::max(best_restore, cell.restore_mbs);
+      std::printf(" %7.1f/%-8.1f", cell.write_mbs, cell.restore_mbs);
     }
     std::printf("\n");
   }
-  std::printf("best chunked-parallel is %.2fx serial (hardware threads: %u)\n",
-              best / serial_mbs, hw);
+  std::printf("best chunked-parallel: write %.2fx serial, restore %.2fx "
+              "serial (hardware threads: %u)\n",
+              best_write / serial_write_mbs,
+              best_restore / serial_restore_mbs, hw);
 }
 
 }  // namespace
@@ -213,8 +284,10 @@ int main() {
 
   run_chunked_parallel_sweep();
   std::printf("\nshape check (CRACIMG2): on a multi-core runner the "
-              "chunked-parallel rows should beat serial whole-buffer LZ and "
-              "scale with threads; on one core they should roughly match it "
-              "(chunking overhead is per-chunk headers only).\n");
+              "chunked-parallel rows should beat serial whole-buffer LZ in "
+              "both directions and scale with threads; on one core they "
+              "should roughly match it (chunking overhead is per-chunk "
+              "headers; restore additionally holds only the bounded "
+              "decode-ahead window resident, never the image).\n");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "ckpt/chunk.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -42,6 +43,15 @@ Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame) {
   CRAC_RETURN_IF_ERROR(reader.get_u64(frame.raw_size));
   CRAC_RETURN_IF_ERROR(reader.get_u64(frame.stored_size));
   return reader.get_u32(frame.crc);
+}
+
+Status read_chunk_frame(Source& source, ChunkFrame& frame) {
+  std::byte header[kChunkFrameHeaderBytes];
+  CRAC_RETURN_IF_ERROR(source.read(header, sizeof(header)));
+  std::memcpy(&frame.raw_size, header, 8);
+  std::memcpy(&frame.stored_size, header + 8, 8);
+  std::memcpy(&frame.crc, header + 16, 4);
+  return OkStatus();
 }
 
 Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
@@ -137,6 +147,117 @@ Status ChunkPipeline::retire_oldest() {
   EncodedChunk chunk = in_flight_.front().get();
   in_flight_.pop_front();
   return write_chunk(*sink_, chunk);
+}
+
+DecodedChunk decode_chunk(const ChunkFrame& frame,
+                          std::vector<std::byte> stored, Codec codec) {
+  DecodedChunk out;
+  if (frame.stored_size == frame.raw_size) {
+    // Stored verbatim — the buffer already is the raw chunk.
+    out.raw = std::move(stored);
+  } else {
+    auto raw = decompress(stored.data(), stored.size(), codec,
+                          static_cast<std::size_t>(frame.raw_size));
+    if (!raw.ok()) {
+      out.status = raw.status();
+      return out;
+    }
+    out.raw = std::move(*raw);
+  }
+  const std::uint32_t actual = crc32(out.raw.data(), out.raw.size());
+  if (actual != frame.crc) {
+    out.status = Corrupt("chunk CRC mismatch");
+    out.raw.clear();
+  }
+  return out;
+}
+
+ChunkUnpipeline::ChunkUnpipeline(Source* source, Codec codec,
+                                 std::size_t chunk_size, ThreadPool* pool)
+    : source_(source),
+      codec_(codec),
+      chunk_size_(chunk_size > 0 ? chunk_size : kDefaultChunkSize),
+      pool_(pool),
+      max_in_flight_(pool != nullptr ? 2 * pool->size() + 1 : 1) {}
+
+ChunkUnpipeline::~ChunkUnpipeline() {
+  // Abandoned unpipeline (error unwind or partial section read): block until
+  // workers are done with our chunks so their futures never outlive this
+  // object.
+  for (auto& [future, charge] : in_flight_) {
+    if (future.valid()) future.wait();
+  }
+}
+
+Status ChunkUnpipeline::fill() {
+  while (!terminator_seen_ && in_flight_.size() < max_in_flight_) {
+    ChunkFrame frame;
+    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
+    if (frame.raw_size == 0 && frame.stored_size == 0) {
+      terminator_seen_ = true;
+      return OkStatus();
+    }
+    // Frame sanity gates every allocation below, so a hostile frame can
+    // never demand more than the image's declared chunk size.
+    if (frame.raw_size > chunk_size_) {
+      return Corrupt("chunk #" + std::to_string(next_index_) +
+                     " exceeds declared chunk size");
+    }
+    if (frame.stored_size > frame.raw_size) {
+      return Corrupt("chunk #" + std::to_string(next_index_) +
+                     " stored size exceeds raw size");
+    }
+    std::vector<std::byte> stored(static_cast<std::size_t>(frame.stored_size));
+    CRAC_RETURN_IF_ERROR(source_->read(stored.data(), stored.size()));
+    const std::uint64_t charge = frame.stored_size + frame.raw_size;
+    buffered_bytes_ += charge;
+    peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
+    if (pool_ != nullptr) {
+      auto task = [frame, stored = std::move(stored),
+                   codec = codec_]() mutable {
+        return decode_chunk(frame, std::move(stored), codec);
+      };
+      in_flight_.emplace_back(pool_->submit_task(std::move(task)), charge);
+    } else {
+      // Inline decode still flows through the deque so next() has one
+      // retirement path; the "future" is already satisfied.
+      std::promise<DecodedChunk> done;
+      done.set_value(decode_chunk(frame, std::move(stored), codec_));
+      in_flight_.emplace_back(done.get_future(), charge);
+    }
+    ++next_index_;
+  }
+  return OkStatus();
+}
+
+Status ChunkUnpipeline::next(std::vector<std::byte>& out, bool& end) {
+  out.clear();
+  end = false;
+  if (!error_.ok()) return error_;
+  error_ = fill();
+  if (!error_.ok()) return error_;
+  if (in_flight_.empty()) {
+    end = true;
+    return OkStatus();
+  }
+  DecodedChunk chunk = in_flight_.front().first.get();
+  buffered_bytes_ -= in_flight_.front().second;
+  in_flight_.pop_front();
+  if (!chunk.status.ok()) {
+    error_ = Status(chunk.status.code(),
+                    "chunk #" + std::to_string(retired_index_) + ": " +
+                        chunk.status.message());
+    return error_;
+  }
+  ++retired_index_;
+  raw_bytes_ += chunk.raw.size();
+  out = std::move(chunk.raw);
+  // Top the window back up so decode stays ahead of the consumer. A top-up
+  // failure must not cost the caller the verified chunk it already earned:
+  // latch it and surface it on the next pull instead.
+  Status ahead = fill();
+  if (!ahead.ok()) error_ = std::move(ahead);
+  return OkStatus();
 }
 
 }  // namespace crac::ckpt

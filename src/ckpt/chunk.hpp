@@ -14,7 +14,9 @@
 // Sink — peak memory is bounded by the in-flight window rather than the
 // section size, and compression throughput scales with cores instead of
 // being pinned to one (the bottleneck the paper's Figure 3 demonstrates and
-// the reason CRAC ships with DMTCP's gzip pipe off).
+// the reason CRAC ships with DMTCP's gzip pipe off). ChunkUnpipeline is its
+// read-side twin: frames stream off a Source and decode (decompress + CRC)
+// fans out ahead of the consumer under the same bounded window.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +29,7 @@
 #include "common/thread_pool.hpp"
 #include "ckpt/compressor.hpp"
 #include "ckpt/sink.hpp"
+#include "ckpt/source.hpp"
 
 namespace crac::ckpt {
 
@@ -58,11 +61,25 @@ Status write_chunk_terminator(Sink& sink);
 
 // Reads one frame header; the payload view follows in the reader.
 Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame);
+// Same, off a Source (the payload bytes follow at the cursor).
+Status read_chunk_frame(Source& source, ChunkFrame& frame);
 
 // Decodes one chunk (decompressing per `codec` when stored_size differs
 // from raw_size), verifies its CRC, and appends the raw bytes to `out`.
 Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
                            Codec codec, std::vector<std::byte>& out);
+
+// One decoded chunk, or the first error its decode hit. Pure-function
+// result type so decode can run on any worker thread.
+struct DecodedChunk {
+  Status status;
+  std::vector<std::byte> raw;
+};
+
+// Decompresses and CRC-checks one stored chunk. Pure function — safe to run
+// concurrently (the unpipeline's pool task).
+DecodedChunk decode_chunk(const ChunkFrame& frame,
+                          std::vector<std::byte> stored, Codec codec);
 
 // Streams one section's payload through chunk encoding into a sink.
 //
@@ -100,6 +117,60 @@ class ChunkPipeline {
   std::uint64_t raw_bytes_ = 0;
   bool finished_ = false;
   Status error_;  // sticky: first failure aborts the section
+};
+
+// Streams one section's chunk frames off a Source and decompresses them
+// ahead of the consumer — the read-side twin of ChunkPipeline.
+//
+// next() hands back decoded chunks strictly in frame order. Internally the
+// consumer thread reads frames sequentially off the source (cheap: header +
+// stored bytes) and dispatches decode (decompress + CRC verify) to the pool
+// (inline when pool == nullptr), keeping at most `window` chunks in flight.
+// Peak buffered bytes are therefore bounded by window × 2 × chunk_size
+// (stored + raw per in-flight chunk) no matter how large the section is —
+// the mirror of the write pipeline's guarantee, and the property
+// restore_test.cpp asserts via buffered_peak_bytes().
+class ChunkUnpipeline {
+ public:
+  // The source cursor must sit on the section's first chunk frame. The
+  // source and pool must outlive the unpipeline.
+  ChunkUnpipeline(Source* source, Codec codec, std::size_t chunk_size,
+                  ThreadPool* pool);
+  ~ChunkUnpipeline();
+
+  ChunkUnpipeline(const ChunkUnpipeline&) = delete;
+  ChunkUnpipeline& operator=(const ChunkUnpipeline&) = delete;
+
+  // Retrieves the next decoded chunk into `out`. Once the terminator frame
+  // has been consumed, returns OK with `end` set and `out` empty; the
+  // source cursor then sits just past the terminator. Errors are sticky and
+  // name the failing chunk index.
+  Status next(std::vector<std::byte>& out, bool& end);
+
+  std::uint64_t raw_bytes() const noexcept { return raw_bytes_; }
+  // High-water mark of bytes buffered inside the unpipeline (stored + raw
+  // of every in-flight chunk) — what the bounded-window tests check.
+  std::uint64_t buffered_peak_bytes() const noexcept { return peak_bytes_; }
+  std::size_t window() const noexcept { return max_in_flight_; }
+
+ private:
+  Status fill();  // read + dispatch frames until the window is full
+
+  Source* source_;
+  Codec codec_;
+  std::size_t chunk_size_;
+  ThreadPool* pool_;
+  std::size_t max_in_flight_;
+  // Each in-flight entry pairs the decode future with its buffered-bytes
+  // charge (stored + raw), released when the chunk is handed out.
+  std::deque<std::pair<std::future<DecodedChunk>, std::uint64_t>> in_flight_;
+  std::size_t next_index_ = 0;     // frames dispatched
+  std::size_t retired_index_ = 0;  // chunks handed to the consumer
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t buffered_bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  bool terminator_seen_ = false;
+  Status error_;  // sticky: first failure poisons the section
 };
 
 }  // namespace crac::ckpt

@@ -43,7 +43,13 @@ std::vector<std::byte> lz_compress(const std::vector<std::byte>& in) {
     return out;
   }
 
-  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, 0xFFFFFFFFu);
+  // Per-worker pooled hash table: the 256 KiB of match-head state used to
+  // be allocated (and page-faulted in) fresh for every chunk, which is
+  // where serial chunked mode lost ground to whole-buffer LZ. Each pool
+  // worker (and the inline caller) now reuses its thread's table; assign()
+  // only refills the existing storage.
+  thread_local std::vector<std::uint32_t> head;
+  head.assign(std::size_t{1} << kHashBits, 0xFFFFFFFFu);
   std::size_t pos = 0;
   std::size_t lit_start = 0;
 
@@ -135,6 +141,16 @@ Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
 }
 
 }  // namespace
+
+std::size_t max_decoded_size(Codec codec, std::size_t stored_size) {
+  switch (codec) {
+    case Codec::kStore: return stored_size;
+    // Mirror of lz_decompress's pre-reserve gate: a match token is 3 bytes
+    // and expands to at most kMaxMatch bytes.
+    case Codec::kLz: return (stored_size + 1) * ((kMaxMatch + 2) / 3);
+  }
+  return stored_size;
+}
 
 std::vector<std::byte> compress(const std::vector<std::byte>& input,
                                 Codec codec) {

@@ -32,4 +32,10 @@ Result<std::vector<std::byte>> decompress(const std::byte* input,
                                           std::size_t input_size, Codec codec,
                                           std::size_t raw_size);
 
+// Upper bound on what `codec` can decode `stored_size` input bytes into
+// (the same bound decompress() enforces before reserving). Readers reject
+// declared raw sizes beyond it at scan time, so a tiny hostile image can
+// never license an allocation that its actual bytes could not produce.
+std::size_t max_decoded_size(Codec codec, std::size_t stored_size);
+
 }  // namespace crac::ckpt

@@ -1,5 +1,6 @@
 #include "ckpt/image.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -136,140 +137,406 @@ Status ImageWriter::write_file(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// SectionStream
+// ---------------------------------------------------------------------------
+
+Status SectionStream::refill() {
+  if (!error_.ok()) return error_;
+  if (reader_ != nullptr && reader_->stream_epoch() != epoch_) {
+    return (error_ = FailedPrecondition(
+                "checkpoint section '" + name_ +
+                "' stream invalidated by a later read on the same image"));
+  }
+  if (unpipe_ == nullptr) {
+    // v1 sections decode in one piece at open_section(); running dry here
+    // means the declared size and the body disagree.
+    return (error_ = Corrupt("checkpoint section '" + name_ +
+                             "' shorter than declared"));
+  }
+  bool end = false;
+  std::vector<std::byte> next;
+  Status s = unpipe_->next(next, end);
+  if (reader_ != nullptr) {
+    reader_->note_stream_peak(unpipe_->buffered_peak_bytes());
+  }
+  if (!s.ok()) {
+    return (error_ = Status(s.code(), "checkpoint section '" + name_ + "' " +
+                                          s.message()));
+  }
+  if (end) {
+    return (error_ = Corrupt("checkpoint section '" + name_ +
+                             "' shorter than declared"));
+  }
+  chunk_ = std::move(next);
+  chunk_pos_ = 0;
+  return OkStatus();
+}
+
+void SectionStream::note_progress() {
+  // Full delivery of the declared payload means every chunk decoded and
+  // CRC-verified — only then may the verify backstop skip this section.
+  if (delivered_ == raw_size_ && reader_ != nullptr) {
+    reader_->note_section_fully_read(section_index_);
+  }
+}
+
+Status SectionStream::read(void* out, std::size_t n) {
+  if (!error_.ok()) return error_;
+  if (n > remaining()) {
+    return (error_ = Corrupt("checkpoint section '" + name_ +
+                             "' read past end of payload"));
+  }
+  auto* p = static_cast<std::byte*>(out);
+  while (n > 0) {
+    if (chunk_pos_ == chunk_.size()) CRAC_RETURN_IF_ERROR(refill());
+    const std::size_t take = std::min(n, chunk_.size() - chunk_pos_);
+    std::memcpy(p, chunk_.data() + chunk_pos_, take);
+    p += take;
+    n -= take;
+    chunk_pos_ += take;
+    delivered_ += take;
+  }
+  note_progress();
+  return OkStatus();
+}
+
+Result<std::size_t> SectionStream::read_some(void* out, std::size_t n) {
+  if (!error_.ok()) return error_;
+  const std::size_t take = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, remaining()));
+  if (take == 0) return std::size_t{0};
+  CRAC_RETURN_IF_ERROR(read(out, take));
+  return take;
+}
+
+Status SectionStream::skip(std::uint64_t n) {
+  if (!error_.ok()) return error_;
+  if (n > remaining()) {
+    return (error_ = Corrupt("checkpoint section '" + name_ +
+                             "' skip past end of payload"));
+  }
+  // Chunks still decode (and CRC-verify) on the way past; a skip is a read
+  // without the copy, not an integrity exemption.
+  while (n > 0) {
+    if (chunk_pos_ == chunk_.size()) CRAC_RETURN_IF_ERROR(refill());
+    const auto take = static_cast<std::size_t>(std::min<std::uint64_t>(
+        n, chunk_.size() - chunk_pos_));
+    chunk_pos_ += take;
+    delivered_ += take;
+    n -= take;
+  }
+  note_progress();
+  return OkStatus();
+}
+
+Status SectionStream::get_u8(std::uint8_t& out) {
+  return read(&out, sizeof(out));
+}
+Status SectionStream::get_u32(std::uint32_t& out) {
+  return read(&out, sizeof(out));
+}
+Status SectionStream::get_u64(std::uint64_t& out) {
+  return read(&out, sizeof(out));
+}
+
+Status SectionStream::get_string(std::string& out) {
+  std::uint32_t len = 0;
+  CRAC_RETURN_IF_ERROR(get_u32(len));
+  if (len > remaining()) {
+    return (error_ = Corrupt("checkpoint section '" + name_ +
+                             "' truncated string"));
+  }
+  out.resize(len);
+  return read(out.data(), len);
+}
+
+std::uint64_t SectionStream::buffered_peak_bytes() const noexcept {
+  return unpipe_ != nullptr ? unpipe_->buffered_peak_bytes() : 0;
+}
+
+// ---------------------------------------------------------------------------
 // ImageReader
 // ---------------------------------------------------------------------------
 
-Status ImageReader::parse_v1(ByteReader& r, ImageReader& reader) {
+namespace {
+
+Status read_u32(Source& s, std::uint32_t& v) { return s.read(&v, sizeof(v)); }
+Status read_u64(Source& s, std::uint64_t& v) { return s.read(&v, sizeof(v)); }
+Status read_u8(Source& s, std::uint8_t& v) { return s.read(&v, sizeof(v)); }
+
+Status read_string(Source& s, std::string& out) {
+  std::uint32_t len = 0;
+  CRAC_RETURN_IF_ERROR(read_u32(s, len));
+  if (len > s.remaining()) return Corrupt("truncated string");
+  out.resize(len);
+  return s.read(out.data(), len);
+}
+
+}  // namespace
+
+Status ImageReader::scan_v1() {
   std::uint32_t codec_raw = 0, count = 0;
-  CRAC_RETURN_IF_ERROR(r.get_u32(codec_raw));
-  CRAC_RETURN_IF_ERROR(r.get_u32(count));
-  reader.codec_ = static_cast<Codec>(codec_raw);
-  reader.sections_.reserve(count);
+  CRAC_RETURN_IF_ERROR(read_u32(*source_, codec_raw));
+  CRAC_RETURN_IF_ERROR(read_u32(*source_, count));
+  codec_ = static_cast<Codec>(codec_raw);
+  // Each v1 section costs ≥ 29 directory bytes; a hostile count cannot
+  // demand more reserve than the image could possibly hold.
+  sections_.reserve(std::min<std::uint64_t>(count, source_->remaining() / 29));
 
   for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint32_t type_raw = 0, expected_crc = 0;
-    std::uint64_t raw_size = 0, stored_size = 0;
+    SectionInfo sec;
+    std::uint32_t type_raw = 0;
+    std::uint64_t stored_size = 0;
     std::uint8_t section_codec = 0;
-    std::string name;
-    CRAC_RETURN_IF_ERROR(r.get_u32(type_raw));
-    CRAC_RETURN_IF_ERROR(r.get_string(name));
-    CRAC_RETURN_IF_ERROR(r.get_u64(raw_size));
-    CRAC_RETURN_IF_ERROR(r.get_u64(stored_size));
-    CRAC_RETURN_IF_ERROR(r.get_u8(section_codec));
-    CRAC_RETURN_IF_ERROR(r.get_u32(expected_crc));
-    const std::byte* body = nullptr;
-    CRAC_RETURN_IF_ERROR(r.get_view(body, stored_size));
-
-    auto raw = decompress(body, stored_size,
-                          static_cast<Codec>(section_codec), raw_size);
-    if (!raw.ok()) return raw.status();
-    const std::uint32_t actual_crc = crc32(raw->data(), raw->size());
-    if (actual_crc != expected_crc) {
-      return Corrupt("checkpoint section '" + name + "' CRC mismatch");
+    CRAC_RETURN_IF_ERROR(read_u32(*source_, type_raw));
+    CRAC_RETURN_IF_ERROR(read_string(*source_, sec.name));
+    CRAC_RETURN_IF_ERROR(read_u64(*source_, sec.raw_size));
+    CRAC_RETURN_IF_ERROR(read_u64(*source_, stored_size));
+    CRAC_RETURN_IF_ERROR(read_u8(*source_, section_codec));
+    CRAC_RETURN_IF_ERROR(read_u32(*source_, sec.v1_crc));
+    sec.type = static_cast<SectionType>(type_raw);
+    sec.v1_codec = static_cast<Codec>(section_codec);
+    sec.v1_offset = source_->position();
+    sec.v1_stored_size = stored_size;
+    // Same implausible-expansion gate the v2 scan applies per chunk.
+    if (sec.raw_size >
+        max_decoded_size(sec.v1_codec,
+                         static_cast<std::size_t>(stored_size))) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' declares implausible decompressed size");
     }
-    reader.sections_.push_back(Section{static_cast<SectionType>(type_raw),
-                                       std::move(name), std::move(*raw)});
+    CRAC_RETURN_IF_ERROR(source_->skip(stored_size));
+    sections_.push_back(std::move(sec));
   }
   return OkStatus();
 }
 
-Status ImageReader::parse_v2(ByteReader& r, ImageReader& reader) {
+Status ImageReader::scan_v2() {
   std::uint32_t codec_raw = 0;
   std::uint64_t chunk_size = 0;
-  CRAC_RETURN_IF_ERROR(r.get_u32(codec_raw));
-  CRAC_RETURN_IF_ERROR(r.get_u64(chunk_size));
-  reader.codec_ = static_cast<Codec>(codec_raw);
+  CRAC_RETURN_IF_ERROR(read_u32(*source_, codec_raw));
+  CRAC_RETURN_IF_ERROR(read_u64(*source_, chunk_size));
+  codec_ = static_cast<Codec>(codec_raw);
   if (chunk_size == 0) return Corrupt("v2 image with zero chunk size");
-  // The declared chunk size bounds every per-chunk allocation below, so it
-  // must itself be bounded against hostile headers.
+  // The declared chunk size bounds every per-chunk allocation in the
+  // unpipeline, so it must itself be bounded against hostile headers.
   if (chunk_size > kMaxChunkSize) {
     return Corrupt("v2 image chunk size exceeds the " +
                    format_size(kMaxChunkSize) + " limit");
   }
+  chunk_size_ = static_cast<std::size_t>(chunk_size);
 
-  while (r.remaining() > 0) {
+  while (source_->remaining() > 0) {
+    SectionInfo sec;
     std::uint32_t type_raw = 0;
-    std::string name;
-    CRAC_RETURN_IF_ERROR(r.get_u32(type_raw));
-    CRAC_RETURN_IF_ERROR(r.get_string(name));
+    CRAC_RETURN_IF_ERROR(read_u32(*source_, type_raw));
+    CRAC_RETURN_IF_ERROR(read_string(*source_, sec.name));
+    sec.type = static_cast<SectionType>(type_raw);
 
-    Section section;
-    section.type = static_cast<SectionType>(type_raw);
-    section.name = name;
-    std::size_t chunk_index = 0;
+    // Walk the chunk frames, skipping stored payload bytes: the scan costs
+    // ~24 directory bytes per chunk no matter how large the image is.
+    std::uint64_t raw_offset = 0;
     for (;;) {
+      const std::uint64_t frame_at = source_->position();
       ChunkFrame frame;
-      CRAC_RETURN_IF_ERROR(read_chunk_frame(r, frame));
+      CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
       if (frame.raw_size == 0 && frame.stored_size == 0) break;
       if (frame.raw_size > chunk_size) {
-        return Corrupt("checkpoint section '" + name +
+        return Corrupt("checkpoint section '" + sec.name +
                        "' chunk exceeds declared chunk size");
       }
       if (frame.stored_size > frame.raw_size) {
-        return Corrupt("checkpoint section '" + name +
+        return Corrupt("checkpoint section '" + sec.name +
                        "' chunk stored size exceeds raw size");
       }
-      const std::byte* stored = nullptr;
-      CRAC_RETURN_IF_ERROR(r.get_view(stored, frame.stored_size));
-      // Chunk-at-a-time: one chunk's working set, CRC-verified before the
-      // bytes join the section payload.
-      Status decoded =
-          decode_chunk_append(frame, stored, reader.codec_, section.payload);
-      if (!decoded.ok()) {
-        return Corrupt("checkpoint section '" + name + "' chunk #" +
-                       std::to_string(chunk_index) + ": " +
-                       decoded.message());
+      // A compressed chunk (stored < raw) cannot decode to more than the
+      // codec's maximum expansion of its actual stored bytes; rejecting the
+      // claim here keeps every later raw_size-derived allocation
+      // proportional to bytes the file really contains.
+      if (frame.stored_size != frame.raw_size &&
+          frame.raw_size >
+              max_decoded_size(codec_,
+                               static_cast<std::size_t>(frame.stored_size))) {
+        return Corrupt("checkpoint section '" + sec.name +
+                       "' chunk declares implausible decompressed size");
       }
-      ++chunk_index;
+      sec.chunks.push_back(SectionInfo::ChunkRef{frame_at, raw_offset});
+      raw_offset += frame.raw_size;
+      CRAC_RETURN_IF_ERROR(source_->skip(frame.stored_size));
     }
-    reader.sections_.push_back(std::move(section));
+    sec.raw_size = raw_offset;
+    sections_.push_back(std::move(sec));
   }
   return OkStatus();
 }
 
-Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes) {
-  ByteReader r(bytes);
+Status ImageReader::scan() {
   char magic[8];
-  CRAC_RETURN_IF_ERROR(r.get_bytes(magic, sizeof(magic)));
+  CRAC_RETURN_IF_ERROR(source_->read(magic, sizeof(magic)));
   const bool v1 = std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
   const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
   if (!v1 && !v2) return Corrupt("bad checkpoint image magic");
 
-  std::uint32_t version = 0;
-  CRAC_RETURN_IF_ERROR(r.get_u32(version));
-  if ((v1 && version != kVersion1) || (v2 && version != kVersion2)) {
+  CRAC_RETURN_IF_ERROR(read_u32(*source_, version_));
+  if ((v1 && version_ != kVersion1) || (v2 && version_ != kVersion2)) {
     return Corrupt("unsupported image version");
   }
+  CRAC_RETURN_IF_ERROR(v1 ? scan_v1() : scan_v2());
+  consumed_.assign(sections_.size(), 0);
+  return OkStatus();
+}
 
+Result<ImageReader> ImageReader::open(std::unique_ptr<Source> source,
+                                      const Options& options) {
   ImageReader reader;
-  reader.version_ = version;
-  CRAC_RETURN_IF_ERROR(v1 ? parse_v1(r, reader) : parse_v2(r, reader));
+  reader.source_ = std::move(source);
+  reader.pool_ = options.pool;
+  Status s = reader.scan();
+  if (!s.ok()) {
+    // A failed open must name the image it rejected; Source-level errors
+    // already do, directory-level ones (bad magic, truncated field) get the
+    // origin prefixed here.
+    const std::string origin = reader.source_->describe();
+    if (s.message().find(origin) == std::string::npos) {
+      return Status(s.code(), origin + ": " + s.message());
+    }
+    return s;
+  }
   return reader;
 }
 
-Result<ImageReader> ImageReader::from_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return IoError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(f);
-    return IoError("cannot stat " + path);
-  }
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size()) return IoError("short read from " + path);
-  return from_bytes(std::move(bytes));
+Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes,
+                                            const Options& options) {
+  return open(std::make_unique<MemorySource>(std::move(bytes)), options);
 }
 
-const Section* ImageReader::find(SectionType type,
-                                 const std::string& name) const {
-  for (const Section& s : sections_) {
+Result<ImageReader> ImageReader::from_file(const std::string& path,
+                                           const Options& options) {
+  auto source = FileSource::open(path);
+  if (!source.ok()) return source.status();
+  return open(std::move(*source), options);
+}
+
+const SectionInfo* ImageReader::find(SectionType type,
+                                     const std::string& name) const {
+  for (const SectionInfo& s : sections_) {
     if (s.type == type && (name.empty() || s.name == name)) return &s;
   }
   return nullptr;
+}
+
+Status ImageReader::read_v1_payload(const SectionInfo& section,
+                                    std::vector<std::byte>& out) {
+  CRAC_RETURN_IF_ERROR(source_->seek(section.v1_offset));
+  std::vector<std::byte> stored(
+      static_cast<std::size_t>(section.v1_stored_size));
+  CRAC_RETURN_IF_ERROR(source_->read(stored.data(), stored.size()));
+  auto raw = decompress(stored.data(), stored.size(), section.v1_codec,
+                        static_cast<std::size_t>(section.raw_size));
+  if (!raw.ok()) return raw.status();
+  const std::uint32_t actual = crc32(raw->data(), raw->size());
+  if (actual != section.v1_crc) {
+    return Corrupt("checkpoint section '" + section.name + "' CRC mismatch");
+  }
+  out = std::move(*raw);
+  return OkStatus();
+}
+
+Result<SectionStream> ImageReader::open_section(const SectionInfo& section) {
+  const auto index = static_cast<std::size_t>(&section - sections_.data());
+  SectionStream stream(this, index, section.name, section.raw_size);
+  stream.epoch_ = ++stream_epoch_;  // takes the cursor; invalidates priors
+  // A stream marks its section consumed only once it has delivered the
+  // whole payload (partial reads leave an unverified tail); an empty
+  // section is trivially fully read.
+  if (section.raw_size == 0) note_section_fully_read(index);
+  if (version_ == kVersion1) {
+    // Legacy monolithic body: decoded in one piece (v1 predates chunking,
+    // so bounded-window streaming is not possible for it). That one piece
+    // is CRC-verified right here, so the section counts as verified even
+    // if the consumer reads only a prefix.
+    CRAC_RETURN_IF_ERROR(read_v1_payload(section, stream.chunk_));
+    note_section_fully_read(index);
+    return stream;
+  }
+  if (!section.chunks.empty()) {
+    CRAC_RETURN_IF_ERROR(source_->seek(section.chunks.front().file_offset));
+    stream.unpipe_ = std::make_unique<ChunkUnpipeline>(
+        source_.get(), codec_, chunk_size_, pool_);
+  }
+  return stream;
+}
+
+Status ImageReader::read(const SectionInfo& section, std::uint64_t offset,
+                         void* out, std::size_t len) {
+  if (offset + len > section.raw_size || offset + len < offset) {
+    return InvalidArgument("slice [" + std::to_string(offset) + ", " +
+                           std::to_string(offset + len) +
+                           ") outside checkpoint section '" + section.name +
+                           "' (" + std::to_string(section.raw_size) +
+                           " bytes)");
+  }
+  if (len == 0) return OkStatus();
+  ++stream_epoch_;  // random access moves the cursor: live streams yield
+  if (version_ == kVersion1) {
+    std::vector<std::byte> payload;
+    CRAC_RETURN_IF_ERROR(read_v1_payload(section, payload));
+    std::memcpy(out, payload.data() + offset, len);
+    return OkStatus();
+  }
+
+  // Locate the chunk containing `offset`, then decode exactly the chunks
+  // the slice overlaps, inline (random access is for small structured
+  // reads; bulk restore goes through open_section()).
+  auto it = std::upper_bound(
+      section.chunks.begin(), section.chunks.end(), offset,
+      [](std::uint64_t off, const SectionInfo::ChunkRef& c) {
+        return off < c.raw_offset;
+      });
+  std::size_t index = static_cast<std::size_t>(it - section.chunks.begin());
+  CRAC_CHECK(index > 0);  // chunks[0].raw_offset == 0 covers any offset
+  --index;
+
+  auto* p = static_cast<std::byte*>(out);
+  while (len > 0) {
+    CRAC_RETURN_IF_ERROR(source_->seek(section.chunks[index].file_offset));
+    ChunkFrame frame;
+    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
+    std::vector<std::byte> stored(static_cast<std::size_t>(frame.stored_size));
+    CRAC_RETURN_IF_ERROR(source_->read(stored.data(), stored.size()));
+    DecodedChunk chunk = decode_chunk(frame, std::move(stored), codec_);
+    if (!chunk.status.ok()) {
+      return Status(chunk.status.code(),
+                    "checkpoint section '" + section.name + "' chunk #" +
+                        std::to_string(index) + ": " + chunk.status.message());
+    }
+    const auto within = static_cast<std::size_t>(
+        offset - section.chunks[index].raw_offset);
+    const std::size_t take = std::min(len, chunk.raw.size() - within);
+    std::memcpy(p, chunk.raw.data() + within, take);
+    p += take;
+    offset += take;
+    len -= take;
+    ++index;
+  }
+  return OkStatus();
+}
+
+Result<std::vector<std::byte>> ImageReader::read_section(
+    const SectionInfo& section) {
+  CRAC_ASSIGN_OR_RETURN(auto stream, open_section(section));
+  std::vector<std::byte> out(static_cast<std::size_t>(section.raw_size));
+  CRAC_RETURN_IF_ERROR(stream.read(out.data(), out.size()));
+  return out;
+}
+
+Status ImageReader::verify_unread_sections() {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (i < consumed_.size() && consumed_[i]) continue;
+    CRAC_ASSIGN_OR_RETURN(auto stream, open_section(sections_[i]));
+    CRAC_RETURN_IF_ERROR(stream.skip(sections_[i].raw_size));
+  }
+  return OkStatus();
 }
 
 }  // namespace crac::ckpt

@@ -43,6 +43,7 @@
 #include "ckpt/chunk.hpp"
 #include "ckpt/compressor.hpp"
 #include "ckpt/sink.hpp"
+#include "ckpt/source.hpp"
 
 namespace crac::ckpt {
 
@@ -56,10 +57,28 @@ enum class SectionType : std::uint32_t {
   kStreams = 7,        // live stream/event inventory
 };
 
-struct Section {
-  SectionType type;
+// Directory entry for one section, built by ImageReader's open() scan
+// without touching payload bytes. Consumers read `type`, `name` and
+// `raw_size`; the location fields are the reader's business (public only
+// because this is a dumb descriptor, not an interface).
+struct SectionInfo {
+  SectionType type{};
   std::string name;
-  std::vector<std::byte> payload;  // raw (decompressed) bytes
+  std::uint64_t raw_size = 0;  // decompressed payload bytes
+
+  // v2: byte position of each chunk frame plus its offset within the raw
+  // payload — 16 bytes per chunk, so even terabyte images index in MBs.
+  struct ChunkRef {
+    std::uint64_t file_offset;  // of the frame header in the image
+    std::uint64_t raw_offset;   // of the chunk's first byte in the payload
+  };
+  std::vector<ChunkRef> chunks;
+
+  // v1: monolithic stored body (legacy images are decoded in one piece).
+  std::uint64_t v1_offset = 0;
+  std::uint64_t v1_stored_size = 0;
+  std::uint32_t v1_crc = 0;
+  Codec v1_codec = Codec::kStore;
 };
 
 // Streams CRACIMG2 images. In streaming mode the writer is constructed on
@@ -134,26 +153,186 @@ class ImageWriter {
   Status error_;  // sticky
 };
 
+class ImageReader;
+
+// Sequential pull over one section's raw payload, with decompress-ahead
+// prefetch on the reader's pool (a ChunkUnpipeline under the hood for v2
+// images). The consumer never holds more than the current chunk plus the
+// unpipeline's bounded window resident. Borrow of the reader: streams
+// share the source cursor, so at most one is usable at a time — any later
+// open_section()/read() on the reader invalidates an earlier stream, whose
+// next pull then fails with FailedPrecondition (enforced, not just
+// documented). The reader must outlive its streams.
+class SectionStream {
+ public:
+  SectionStream(SectionStream&&) = default;
+  SectionStream& operator=(SectionStream&&) = default;
+
+  // Exact read of `n` raw payload bytes; Corrupt past end of section.
+  Status read(void* out, std::size_t n);
+
+  // Reads up to `n` bytes (slice loops); delivers 0 only at end of section.
+  Result<std::size_t> read_some(void* out, std::size_t n);
+
+  // Reads and discards `n` bytes (still CRC-verified chunk by chunk).
+  Status skip(std::uint64_t n);
+
+  // ByteReader-style helpers for structured payload headers.
+  Status get_u8(std::uint8_t& out);
+  Status get_u32(std::uint32_t& out);
+  Status get_u64(std::uint64_t& out);
+  Status get_string(std::string& out);
+
+  std::uint64_t raw_size() const noexcept { return raw_size_; }
+  std::uint64_t remaining() const noexcept { return raw_size_ - delivered_; }
+
+  // High-water mark of bytes buffered ahead of the consumer (0 for v1
+  // sections, which decode in one piece).
+  std::uint64_t buffered_peak_bytes() const noexcept;
+
+ private:
+  friend class ImageReader;
+  SectionStream(ImageReader* reader, std::size_t section_index,
+                std::string section_name, std::uint64_t raw_size)
+      : reader_(reader),
+        section_index_(section_index),
+        name_(std::move(section_name)),
+        raw_size_(raw_size) {}
+
+  Status refill();  // pull the next decoded chunk into chunk_
+  void note_progress();  // reports full delivery back to the reader
+
+  ImageReader* reader_;
+  std::size_t section_index_;
+  std::uint64_t epoch_ = 0;  // cursor ownership ticket (see stream_epoch())
+  std::string name_;
+  std::uint64_t raw_size_;
+  std::unique_ptr<ChunkUnpipeline> unpipe_;  // v2; null for v1
+  std::vector<std::byte> chunk_;             // current decoded chunk (whole
+                                             // payload for v1 sections)
+  std::size_t chunk_pos_ = 0;
+  std::uint64_t delivered_ = 0;
+  Status error_;  // sticky
+};
+
+// Streaming image reader. open() scans the section directory off a Source —
+// headers and chunk frames only; payload bytes are skipped, not read — so
+// opening a multi-GiB image costs one pass over ~24 bytes per chunk.
+// Payloads stream back on demand:
+//
+//   * open_section() — sequential pull with decompress-ahead prefetch on
+//     `options.pool`; peak resident bytes are bounded by the unpipeline
+//     window, never the section size.
+//   * read()         — random-access slice of a section's raw payload
+//     (decodes only the chunks the slice overlaps, inline).
+//   * read_section() — materializes one whole section (compat for small
+//     metadata sections and pre-streaming callers).
+//
+// from_bytes()/from_file() are thin wrappers over MemorySource/FileSource.
+// CRCs are verified as payload bytes are decoded, not at open — a reader
+// that never touches a section never pays for it (and a corrupt chunk in
+// one section cannot block restoring another).
 class ImageReader {
  public:
-  static Result<ImageReader> from_bytes(std::vector<std::byte> bytes);
-  static Result<ImageReader> from_file(const std::string& path);
+  struct Options {
+    // Decode-ahead pool for open_section(); nullptr decodes inline.
+    ThreadPool* pool = nullptr;
+  };
 
-  const std::vector<Section>& sections() const noexcept { return sections_; }
+  static Result<ImageReader> open(std::unique_ptr<Source> source,
+                                  const Options& options);
+  static Result<ImageReader> open(std::unique_ptr<Source> source) {
+    return open(std::move(source), Options{});
+  }
+
+  // Compat wrappers over MemorySource/FileSource.
+  static Result<ImageReader> from_bytes(std::vector<std::byte> bytes,
+                                        const Options& options);
+  static Result<ImageReader> from_bytes(std::vector<std::byte> bytes) {
+    return from_bytes(std::move(bytes), Options{});
+  }
+  static Result<ImageReader> from_file(const std::string& path,
+                                       const Options& options);
+  static Result<ImageReader> from_file(const std::string& path) {
+    return from_file(path, Options{});
+  }
+
+  ImageReader(ImageReader&&) = default;
+  ImageReader& operator=(ImageReader&&) = default;
+
+  const std::vector<SectionInfo>& sections() const noexcept {
+    return sections_;
+  }
 
   // First section matching `type` (and `name`, when non-empty).
-  const Section* find(SectionType type, const std::string& name = "") const;
+  const SectionInfo* find(SectionType type,
+                          const std::string& name = "") const;
+
+  // Sequential pull over `section` (which must belong to this reader).
+  Result<SectionStream> open_section(const SectionInfo& section);
+
+  // Copies raw payload bytes [offset, offset + len) of `section` into
+  // `out`. Decodes only the chunks the range overlaps.
+  Status read(const SectionInfo& section, std::uint64_t offset, void* out,
+              std::size_t len);
+
+  // Materializes one section's payload; peak memory is that section plus
+  // the decode window.
+  Result<std::vector<std::byte>> read_section(const SectionInfo& section);
+
+  // Streams (and discards) every section not yet opened via
+  // open_section()/read_section(), verifying its chunk CRCs. Restore calls
+  // this last so lazy reading cannot weaken the old whole-image guarantee:
+  // a completed restart has still integrity-checked every section, but
+  // only pays a skip-read for the ones nothing consumed.
+  Status verify_unread_sections();
 
   Codec codec() const noexcept { return codec_; }
   std::uint32_t version() const noexcept { return version_; }
+  std::size_t chunk_size() const noexcept { return chunk_size_; }
+
+  // Largest decode-ahead high-water mark seen across this reader's streams
+  // — lets restore report (and tests assert) peak resident restore memory.
+  std::uint64_t buffered_peak_bytes() const noexcept { return peak_bytes_; }
 
  private:
-  static Status parse_v1(ByteReader& r, ImageReader& reader);
-  static Status parse_v2(ByteReader& r, ImageReader& reader);
+  // SectionStream callbacks only — public access would let callers forge
+  // consumed-section state and defeat the verify_unread_sections backstop.
+  friend class SectionStream;
 
+  void note_stream_peak(std::uint64_t peak) noexcept {
+    peak_bytes_ = peak_bytes_ > peak ? peak_bytes_ : peak;
+  }
+  // Called by a stream once it has delivered (and therefore CRC-verified)
+  // its section's entire payload; only then does verify_unread_sections()
+  // get to skip the section.
+  void note_section_fully_read(std::size_t index) noexcept {
+    if (index < consumed_.size()) consumed_[index] = 1;
+  }
+  // Bumped by every operation that moves the source cursor; a stream whose
+  // ticket no longer matches refuses further pulls instead of reading
+  // frames from wherever another consumer left the cursor.
+  std::uint64_t stream_epoch() const noexcept { return stream_epoch_; }
+
+  ImageReader() = default;
+
+  Status scan();     // build sections_ off source_
+  Status scan_v1();
+  Status scan_v2();
+
+  // Decodes one v1 section body into `out` (monolithic legacy path).
+  Status read_v1_payload(const SectionInfo& section,
+                         std::vector<std::byte>& out);
+
+  std::unique_ptr<Source> source_;
+  ThreadPool* pool_ = nullptr;
   Codec codec_ = Codec::kStore;
   std::uint32_t version_ = 0;
-  std::vector<Section> sections_;
+  std::size_t chunk_size_ = 0;  // v2 declared chunk size
+  std::vector<SectionInfo> sections_;
+  std::vector<char> consumed_;  // parallel to sections_: fully read once
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t stream_epoch_ = 0;
 };
 
 }  // namespace crac::ckpt

@@ -63,4 +63,16 @@ Result<std::vector<MemoryRecord>> decode_memory_records(
   return out;
 }
 
+Status decode_memory_record_header(SectionStream& stream, MemoryRecord& out) {
+  CRAC_RETURN_IF_ERROR(stream.get_u64(out.addr));
+  CRAC_RETURN_IF_ERROR(stream.get_u64(out.size));
+  CRAC_RETURN_IF_ERROR(stream.get_u32(out.prot));
+  CRAC_RETURN_IF_ERROR(stream.get_string(out.name));
+  if (out.size > stream.remaining()) {
+    return Corrupt("memory record '" + out.name +
+                   "' contents overrun the section payload");
+  }
+  return OkStatus();
+}
+
 }  // namespace crac::ckpt

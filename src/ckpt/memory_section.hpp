@@ -10,6 +10,7 @@
 namespace crac::ckpt {
 
 class ImageWriter;
+class SectionStream;
 
 struct MemoryRecord {
   std::uint64_t addr = 0;
@@ -31,5 +32,11 @@ Status append_memory_records(ImageWriter& image,
 
 Result<std::vector<MemoryRecord>> decode_memory_records(
     const std::vector<std::byte>& payload);
+
+// Streaming counterpart: reads one record's header (addr/size/prot/name —
+// `bytes` stays empty) off an open section stream. The caller pulls the
+// following `size` content bytes itself, in slices, so a multi-GiB region
+// never needs a record-sized staging buffer.
+Status decode_memory_record_header(SectionStream& stream, MemoryRecord& out);
 
 }  // namespace crac::ckpt

@@ -30,8 +30,10 @@ class CkptPlugin {
   virtual Status resume() = 0;
 
   // Called in the restarted process after upper-half memory has been
-  // restored; plugins rebuild external state from their sections.
-  virtual Status restart(const ImageReader& image) = 0;
+  // restored; plugins rebuild external state from their sections. The
+  // reader is non-const because section payloads stream off the image
+  // source on demand (the pull advances the source cursor).
+  virtual Status restart(ImageReader& image) = 0;
 };
 
 class PluginRegistry {
@@ -52,7 +54,7 @@ class PluginRegistry {
     }
     return OkStatus();
   }
-  Status run_restart(const ImageReader& image) {
+  Status run_restart(ImageReader& image) {
     for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) {
       CRAC_RETURN_IF_ERROR((*it)->restart(image));
     }

@@ -1,0 +1,74 @@
+#include "ckpt/source.hpp"
+
+#include <sys/types.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace crac::ckpt {
+
+Status MemorySource::read(void* out, std::size_t size) {
+  if (size > size_ - pos_) {
+    return Corrupt(describe() + ": truncated image (wanted " +
+                   std::to_string(size) + " bytes at offset " +
+                   std::to_string(pos_) + ", " + std::to_string(size_ - pos_) +
+                   " remain)");
+  }
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return OkStatus();
+}
+
+Status MemorySource::seek(std::uint64_t offset) {
+  if (offset > size_) {
+    return Corrupt(describe() + ": seek past end of image");
+  }
+  pos_ = static_cast<std::size_t>(offset);
+  return OkStatus();
+}
+
+Result<std::unique_ptr<FileSource>> FileSource::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open " + path);
+  // fseeko/ftello: off_t stays 64-bit where plain long is not, so
+  // multi-GiB images open correctly regardless of the long model.
+  if (::fseeko(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return IoError("cannot stat " + path);
+  }
+  const off_t size = ::ftello(f);
+  if (size < 0 || ::fseeko(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return IoError("cannot stat " + path);
+  }
+  return std::unique_ptr<FileSource>(
+      new FileSource(f, path, static_cast<std::uint64_t>(size)));
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSource::read(void* out, std::size_t size) {
+  if (size > size_ - pos_) {
+    return Corrupt(path_ + ": truncated image (wanted " +
+                   std::to_string(size) + " bytes at offset " +
+                   std::to_string(pos_) + ", " + std::to_string(size_ - pos_) +
+                   " remain)");
+  }
+  const std::size_t got = std::fread(out, 1, size, file_);
+  pos_ += got;
+  if (got != size) return IoError("short read from " + path_);
+  return OkStatus();
+}
+
+Status FileSource::seek(std::uint64_t offset) {
+  if (offset > size_) return Corrupt(path_ + ": seek past end of image");
+  if (::fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    return IoError("seek failed on " + path_);
+  }
+  pos_ = offset;
+  return OkStatus();
+}
+
+}  // namespace crac::ckpt

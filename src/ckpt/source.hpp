@@ -1,0 +1,114 @@
+// Byte sources for the streaming checkpoint reader — the read-side mirror
+// of ckpt::Sink.
+//
+// A Source is a positioned, seekable byte origin. The CRACIMG2 reader scans
+// section headers and chunk frames out of one (skipping payload bytes), then
+// streams payloads back on demand, so the full image never has to be
+// materialized in memory. Two implementations ship today — a file and an
+// in-memory buffer — and the interface is deliberately small so future
+// origins (a socket with a local spool, an object-store range reader) slot
+// in without touching the reader.
+//
+// Seekability is part of the contract: the reader's directory scan and its
+// random-access section reads both reposition the cursor. A strictly
+// sequential origin (live socket) would need a spooling adapter.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac::ckpt {
+
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  Source(const Source&) = delete;
+  Source& operator=(const Source&) = delete;
+
+  // Reads exactly `size` bytes at the cursor and advances it. Short input is
+  // an error (Corrupt/IoError) naming the source — a checkpoint read must
+  // never silently come up short.
+  virtual Status read(void* out, std::size_t size) = 0;
+
+  // Repositions the cursor to an absolute byte offset.
+  virtual Status seek(std::uint64_t offset) = 0;
+
+  // Advances the cursor without reading payload bytes (how the directory
+  // scan steps over stored chunks). Bounds-checked before the add so a
+  // hostile size near 2^64 cannot wrap to a valid offset.
+  Status skip(std::uint64_t n) {
+    if (n > remaining()) {
+      return Corrupt(describe() + ": skip past end of image");
+    }
+    return seek(position() + n);
+  }
+
+  virtual std::uint64_t position() const noexcept = 0;
+  virtual std::uint64_t size() const noexcept = 0;
+
+  std::uint64_t remaining() const noexcept { return size() - position(); }
+
+  // Human-readable origin for error messages: the path for files,
+  // "<memory>" for buffers.
+  virtual std::string describe() const = 0;
+
+ protected:
+  Source() = default;
+};
+
+// In-memory source; backs the from_bytes() compat wrapper and tests. Either
+// owns its buffer or borrows one that must outlive it (zero-copy path for
+// benchmarks re-reading the same image).
+class MemorySource final : public Source {
+ public:
+  explicit MemorySource(std::vector<std::byte> bytes)
+      : owned_(std::move(bytes)), data_(owned_.data()), size_(owned_.size()) {}
+  MemorySource(const std::byte* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  Status read(void* out, std::size_t size) override;
+  Status seek(std::uint64_t offset) override;
+
+  std::uint64_t position() const noexcept override { return pos_; }
+  std::uint64_t size() const noexcept override { return size_; }
+  std::string describe() const override { return "<memory>"; }
+
+ private:
+  std::vector<std::byte> owned_;
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// File source. Every error names the path, so a failed restore always says
+// which image file let it down.
+class FileSource final : public Source {
+ public:
+  static Result<std::unique_ptr<FileSource>> open(const std::string& path);
+
+  ~FileSource() override;
+
+  Status read(void* out, std::size_t size) override;
+  Status seek(std::uint64_t offset) override;
+
+  std::uint64_t position() const noexcept override { return pos_; }
+  std::uint64_t size() const noexcept override { return size_; }
+  std::string describe() const override { return path_; }
+
+ private:
+  FileSource(std::FILE* f, std::string path, std::uint64_t size)
+      : file_(f), path_(std::move(path)), size_(size) {}
+
+  std::FILE* file_;
+  std::string path_;
+  std::uint64_t size_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace crac::ckpt

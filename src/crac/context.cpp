@@ -32,8 +32,7 @@ std::vector<std::byte> encode_heap_snapshot(
 }
 
 Result<sim::ArenaAllocator::Snapshot> decode_heap_snapshot(
-    const std::vector<std::byte>& payload) {
-  ByteReader r(payload);
+    ckpt::SectionStream& r) {
   sim::ArenaAllocator::Snapshot snap;
   std::uint64_t free_count = 0, active_count = 0;
   CRAC_RETURN_IF_ERROR(r.get_u64(snap.committed_bytes));
@@ -161,30 +160,48 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
   return report;
 }
 
-Status CracContext::restore_from_reader(const ckpt::ImageReader& reader,
+Status CracContext::restore_from_reader(ckpt::ImageReader& reader,
                                         RestartReport* report) {
   // 1. Upper-half memory: heap allocator state first (commits the heap
-  //    span), then region contents byte-for-byte.
+  //    span), then region contents byte-for-byte. Everything streams off
+  //    the image source — region bytes decode chunk by chunk (prefetched on
+  //    the checkpoint pool) straight into their mapped targets, so restore
+  //    never stages a whole section, let alone the whole image.
   WallTimer t;
-  const ckpt::Section* heap_sec =
+  const ckpt::SectionInfo* heap_sec =
       reader.find(ckpt::SectionType::kMetadata, kSectionHeapState);
   if (heap_sec == nullptr) return Corrupt("image missing heap state");
-  CRAC_ASSIGN_OR_RETURN(auto heap_snap, decode_heap_snapshot(heap_sec->payload));
-  CRAC_RETURN_IF_ERROR(process_->heap().restore(heap_snap));
+  {
+    CRAC_ASSIGN_OR_RETURN(auto stream, reader.open_section(*heap_sec));
+    CRAC_ASSIGN_OR_RETURN(auto heap_snap, decode_heap_snapshot(stream));
+    CRAC_RETURN_IF_ERROR(process_->heap().restore(heap_snap));
+  }
 
-  const ckpt::Section* mem_sec =
+  const ckpt::SectionInfo* mem_sec =
       reader.find(ckpt::SectionType::kMemoryRegions, kSectionUpperMemory);
   if (mem_sec == nullptr) return Corrupt("image missing upper memory");
-  CRAC_ASSIGN_OR_RETURN(auto records,
-                        ckpt::decode_memory_records(mem_sec->payload));
-  CRAC_RETURN_IF_ERROR(process_->restore_upper_memory(records));
+  {
+    CRAC_ASSIGN_OR_RETURN(auto stream, reader.open_section(*mem_sec));
+    std::uint64_t count = 0;
+    CRAC_RETURN_IF_ERROR(stream.get_u64(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ckpt::MemoryRecord rec;  // header only; contents stream below
+      CRAC_RETURN_IF_ERROR(ckpt::decode_memory_record_header(stream, rec));
+      CRAC_RETURN_IF_ERROR(
+          process_->validate_upper_target(rec.addr, rec.size, rec.name));
+      // The validated target is the destination buffer itself: decoded
+      // chunks land in place with zero staging copies.
+      CRAC_RETURN_IF_ERROR(
+          stream.read(reinterpret_cast<void*>(rec.addr), rec.size));
+    }
+  }
 
-  const ckpt::Section* root_sec =
+  const ckpt::SectionInfo* root_sec =
       reader.find(ckpt::SectionType::kMetadata, kSectionRoot);
   if (root_sec != nullptr) {
-    ByteReader r(root_sec->payload);
+    CRAC_ASSIGN_OR_RETURN(auto stream, reader.open_section(*root_sec));
     std::uint64_t root = 0;
-    CRAC_RETURN_IF_ERROR(r.get_u64(root));
+    CRAC_RETURN_IF_ERROR(stream.get_u64(root));
     root_ = reinterpret_cast<void*>(root);
   }
   if (report != nullptr) report->memory_s = t.elapsed_s();
@@ -196,20 +213,29 @@ Status CracContext::restore_from_reader(const ckpt::ImageReader& reader,
     report->replay_s = t.elapsed_s();
     report->replay = plugin_->last_replay_stats();
   }
-  return OkStatus();
+
+  // 3. Integrity backstop: lazy reading must not weaken the old guarantee
+  // that a successful restart has CRC-checked the whole image. Sections no
+  // consumer pulled (e.g. the stream inventory) get a skip-read here.
+  return reader.verify_unread_sections();
 }
 
 Result<std::unique_ptr<CracContext>> CracContext::restart_from_image(
     const std::string& path, const CracOptions& options,
     RestartReport* report) {
   WallTimer total;
+  auto ctx = std::make_unique<CracContext>(options);
+
+  // Open = directory scan only (headers + chunk frames); payload bytes
+  // stream during restore with decode prefetched on the checkpoint pool.
   WallTimer t;
-  auto reader = ckpt::ImageReader::from_file(path);
+  ckpt::ImageReader::Options ropts;
+  ropts.pool = ctx->ckpt_pool();
+  auto reader = ckpt::ImageReader::from_file(path, ropts);
   if (!reader.ok()) return reader.status();
   RestartReport local;
   local.read_s = t.elapsed_s();
 
-  auto ctx = std::make_unique<CracContext>(options);
   CRAC_RETURN_IF_ERROR(ctx->restore_from_reader(*reader, &local));
   local.total_s = total.elapsed_s();
   if (report != nullptr) *report = local;
@@ -224,7 +250,9 @@ Result<RestartReport> CracContext::restart_in_place(const std::string& path) {
   WallTimer total;
 
   WallTimer t;
-  auto reader = ckpt::ImageReader::from_file(path);
+  ckpt::ImageReader::Options ropts;
+  ropts.pool = ckpt_pool();
+  auto reader = ckpt::ImageReader::from_file(path, ropts);
   if (!reader.ok()) return reader.status();
   report.read_s = t.elapsed_s();
 

@@ -99,7 +99,7 @@ class CracContext {
   Result<RestartReport> restart_in_place(const std::string& path);
 
  private:
-  Status restore_from_reader(const ckpt::ImageReader& reader,
+  Status restore_from_reader(ckpt::ImageReader& reader,
                              RestartReport* report);
   Result<CheckpointReport> checkpoint_to_temp(const std::string& path);
   static std::string temp_image_path(const std::string& path);

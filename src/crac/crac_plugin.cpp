@@ -397,7 +397,7 @@ Status CracPlugin::resume() {
 // restart: replay
 // ---------------------------------------------------------------------------
 
-Status CracPlugin::restart(const ckpt::ImageReader& image) {
+Status CracPlugin::restart(ckpt::ImageReader& image) {
   auto stats = replay_into_fresh_lower_half(image);
   if (!stats.ok()) return stats.status();
   last_replay_ = *stats;
@@ -405,7 +405,7 @@ Status CracPlugin::restart(const ckpt::ImageReader& image) {
 }
 
 Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
-    const ckpt::ImageReader& image) {
+    ckpt::ImageReader& image) {
   ReplayStats stats;
 
   // Reset plugin state; everything is rebuilt from the image.
@@ -423,12 +423,13 @@ Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
 
   // 1. Reconstruct fat-binary registration records (§3.2.5). The embedded
   //    pointers refer to upper-half objects that were restored at their
-  //    original addresses before this hook runs.
-  const ckpt::Section* fat = image.find(ckpt::SectionType::kMetadata,
-                                        kSectionFatbins);
+  //    original addresses before this hook runs. The section streams off
+  //    the image source like every other restore read.
+  const ckpt::SectionInfo* fat =
+      image.find(ckpt::SectionType::kMetadata, kSectionFatbins);
   if (fat == nullptr) return Corrupt("image missing fatbin section");
   {
-    ByteReader r(fat->payload);
+    CRAC_ASSIGN_OR_RETURN(auto r, image.open_section(*fat));
     std::uint64_t count = 0;
     CRAC_RETURN_IF_ERROR(r.get_u64(count));
     std::lock_guard<std::mutex> lock(mu_);
@@ -468,11 +469,13 @@ Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
     }
   }
 
-  // 2. Load the call log.
-  const ckpt::Section* log_sec =
+  // 2. Load the call log. The log section is metadata-sized (records, not
+  //    buffer contents), so materializing it is within the restore budget.
+  const ckpt::SectionInfo* log_sec =
       image.find(ckpt::SectionType::kCudaApiLog, kSectionLog);
   if (log_sec == nullptr) return Corrupt("image missing cuda-log section");
-  auto log = CudaApiLog::deserialize(log_sec->payload);
+  CRAC_ASSIGN_OR_RETURN(auto log_bytes, image.read_section(*log_sec));
+  auto log = CudaApiLog::deserialize(log_bytes);
   if (!log.ok()) return log.status();
 
   // 3. Replay the *entire* sequence in original order. Allocation addresses
@@ -677,14 +680,17 @@ Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
   return stats;
 }
 
-Status CracPlugin::refill_allocations(const ckpt::ImageReader& image,
+Status CracPlugin::refill_allocations(ckpt::ImageReader& image,
                                       ReplayStats* stats) {
-  const ckpt::Section* sec =
+  const ckpt::SectionInfo* sec =
       image.find(ckpt::SectionType::kDeviceBuffers, kSectionAllocs);
   if (sec == nullptr) return Corrupt("image missing allocations section");
-  ByteReader r(sec->payload);
+  CRAC_ASSIGN_OR_RETURN(auto r, image.open_section(*sec));
   std::uint64_t count = 0;
   CRAC_RETURN_IF_ERROR(r.get_u64(count));
+  // Refill in the same bounded slices the drain used: decoded chunks are
+  // prefetched ahead on the pool, but staging never exceeds one slice no
+  // matter how large the largest allocation is.
   std::vector<std::byte> staging;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t addr = 0, size = 0;
@@ -694,8 +700,9 @@ Status CracPlugin::refill_allocations(const ckpt::ImageReader& image,
     CRAC_RETURN_IF_ERROR(r.get_u64(size));
     CRAC_RETURN_IF_ERROR(r.get_u8(kind_raw));
     CRAC_RETURN_IF_ERROR(r.get_u32(flags));
-    staging.resize(size);
-    CRAC_RETURN_IF_ERROR(r.get_bytes(staging.data(), size));
+    if (size > r.remaining()) {
+      return Corrupt("allocation contents overrun the section payload");
+    }
     const auto kind = static_cast<AllocKind>(kind_raw);
     std::uint64_t target = addr;
     {
@@ -703,24 +710,32 @@ Status CracPlugin::refill_allocations(const ckpt::ImageReader& image,
       auto it = replay_translation_.find(addr);
       if (it != replay_translation_.end()) target = it->second;
     }
-    const cuda::cudaError_t err =
-        inner()->cudaMemcpy(reinterpret_cast<void*>(target), staging.data(),
-                            size, refill_kind(kind));
-    if (err != cuda::cudaSuccess) {
-      return Internal("refill memcpy failed: " +
-                      std::string(cuda::cudaGetErrorString(err)));
+    for (std::uint64_t off = 0; off < size; off += kDrainSliceBytes) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kDrainSliceBytes, size - off));
+      staging.resize(n);
+      CRAC_RETURN_IF_ERROR(r.read(staging.data(), n));
+      // Refill through the CUDA API itself (H2D copy), as the real plugin
+      // must.
+      const cuda::cudaError_t err = inner()->cudaMemcpy(
+          reinterpret_cast<void*>(target + off), staging.data(), n,
+          refill_kind(kind));
+      if (err != cuda::cudaSuccess) {
+        return Internal("refill memcpy failed: " +
+                        std::string(cuda::cudaGetErrorString(err)));
+      }
     }
     stats->bytes_refilled += size;
   }
   return OkStatus();
 }
 
-Status CracPlugin::restore_uvm_residency(const ckpt::ImageReader& image,
+Status CracPlugin::restore_uvm_residency(ckpt::ImageReader& image,
                                          ReplayStats* stats) {
-  const ckpt::Section* sec =
+  const ckpt::SectionInfo* sec =
       image.find(ckpt::SectionType::kUvmResidency, kSectionUvm);
   if (sec == nullptr) return OkStatus();  // optional section
-  ByteReader r(sec->payload);
+  CRAC_ASSIGN_OR_RETURN(auto r, image.open_section(*sec));
   std::uint64_t page = 0, ranges = 0;
   CRAC_RETURN_IF_ERROR(r.get_u64(page));
   CRAC_RETURN_IF_ERROR(r.get_u64(ranges));
@@ -737,8 +752,14 @@ Status CracPlugin::restore_uvm_residency(const ckpt::ImageReader& image,
       auto it = replay_translation_.find(addr);
       if (it != replay_translation_.end()) addr = it->second;
     }
-    std::vector<std::uint8_t> bitmap((n_pages + 7) / 8);
-    CRAC_RETURN_IF_ERROR(r.get_bytes(bitmap.data(), bitmap.size()));
+    // Divide before rounding so a hostile n_pages near 2^64 cannot wrap
+    // the byte count to zero and sail past the bound.
+    const std::uint64_t bitmap_bytes = n_pages / 8 + (n_pages % 8 != 0);
+    if (bitmap_bytes > r.remaining()) {
+      return Corrupt("uvm residency bitmap overruns the section payload");
+    }
+    std::vector<std::uint8_t> bitmap(static_cast<std::size_t>(bitmap_bytes));
+    CRAC_RETURN_IF_ERROR(r.read(bitmap.data(), bitmap.size()));
     // Prefetch contiguous device-resident runs back to the device.
     std::uint64_t run_start = 0;
     std::uint64_t run_len = 0;

@@ -82,12 +82,11 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
   std::string name() const override { return "crac"; }
   Status precheckpoint(ckpt::ImageWriter& image) override;
   Status resume() override;
-  Status restart(const ckpt::ImageReader& image) override;
+  Status restart(ckpt::ImageReader& image) override;
 
   // Replays this plugin's own (in-memory) log against the process's current
   // lower half. Exposed for the in-place restart path and tests.
-  Result<ReplayStats> replay_into_fresh_lower_half(
-      const ckpt::ImageReader& image);
+  Result<ReplayStats> replay_into_fresh_lower_half(ckpt::ImageReader& image);
 
   // --- introspection ---
   const CudaApiLog& log() const noexcept { return log_; }
@@ -121,10 +120,8 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
                  AllocKind kind);
   Status drain_allocations(ckpt::ImageWriter& image);
   Status drain_streams(ckpt::ImageWriter& image);
-  Status refill_allocations(const ckpt::ImageReader& image,
-                            ReplayStats* stats);
-  Status restore_uvm_residency(const ckpt::ImageReader& image,
-                               ReplayStats* stats);
+  Status refill_allocations(ckpt::ImageReader& image, ReplayStats* stats);
+  Status restore_uvm_residency(ckpt::ImageReader& image, ReplayStats* stats);
 
   SplitProcess* process_;
   mutable std::mutex mu_;

@@ -108,26 +108,33 @@ std::vector<ckpt::MemoryRecord> SplitProcess::snapshot_upper_memory() {
   return out;
 }
 
+Status SplitProcess::validate_upper_target(std::uint64_t addr,
+                                           std::uint64_t size,
+                                           const std::string& name) {
+  auto* p = reinterpret_cast<void*>(addr);
+  // The target range must be mapped: heap chunks via the restored arena
+  // snapshot, program images via load_program_images at the same fixed
+  // base. Verify before writing.
+  const bool in_heap =
+      heap_->contains(p) &&
+      addr + size <= reinterpret_cast<std::uintptr_t>(heap_->base()) +
+                         heap_->committed_bytes();
+  const auto region = space_.find(p);
+  const bool in_image =
+      region.has_value() && region->tag == split::HalfTag::kUpper;
+  if (!in_heap && !in_image) {
+    return FailedPrecondition("upper region " + name + " at " +
+                              std::to_string(addr) +
+                              " is not mapped in the restarted process");
+  }
+  return OkStatus();
+}
+
 Status SplitProcess::restore_upper_memory(
     const std::vector<ckpt::MemoryRecord>& records) {
   for (const ckpt::MemoryRecord& rec : records) {
-    auto* addr = reinterpret_cast<void*>(rec.addr);
-    // The target range must be mapped: heap chunks via the restored arena
-    // snapshot, program images via load_program_images at the same fixed
-    // base. Verify before writing.
-    const bool in_heap =
-        heap_->contains(addr) &&
-        rec.addr + rec.size <= reinterpret_cast<std::uintptr_t>(heap_->base()) +
-                                   heap_->committed_bytes();
-    const bool in_image =
-        space_.find(addr).has_value() &&
-        space_.find(addr)->tag == split::HalfTag::kUpper;
-    if (!in_heap && !in_image) {
-      return FailedPrecondition("upper region " + rec.name + " at " +
-                                std::to_string(rec.addr) +
-                                " is not mapped in the restarted process");
-    }
-    std::memcpy(addr, rec.bytes.data(), rec.size);
+    CRAC_RETURN_IF_ERROR(validate_upper_target(rec.addr, rec.size, rec.name));
+    std::memcpy(reinterpret_cast<void*>(rec.addr), rec.bytes.data(), rec.size);
   }
   return OkStatus();
 }

@@ -79,6 +79,12 @@ class SplitProcess {
   // allocator snapshot first); program-image regions must be loaded.
   Status restore_upper_memory(const std::vector<ckpt::MemoryRecord>& records);
 
+  // Verifies that [addr, addr + size) is a writable restore target (heap or
+  // program image) — the gate the streaming restore path uses before
+  // copying region slices straight off the image into place.
+  Status validate_upper_target(std::uint64_t addr, std::uint64_t size,
+                               const std::string& name);
+
  private:
   void load_program_images();
 

@@ -66,6 +66,45 @@ Status ProxyClientApi::drain_managed(ckpt::ImageWriter& image) {
   return image.end_section();
 }
 
+Status ProxyClientApi::restore_managed(ckpt::ImageReader& image) {
+  const ckpt::SectionInfo* sec =
+      image.find(ckpt::SectionType::kManagedBuffers, "proxy-shadow");
+  if (sec == nullptr) return NotFound("image has no proxy-shadow section");
+  CRAC_ASSIGN_OR_RETURN(auto stream, image.open_section(*sec));
+  std::uint64_t count = 0;
+  CRAC_RETURN_IF_ERROR(stream.get_u64(count));
+
+  std::map<std::uint64_t, ShadowUvm::Entry> by_remote;
+  for (const auto& [p, e] : shadow_.entries()) by_remote[e.remote] = e;
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t shadow_addr = 0, remote = 0, size = 0;
+    CRAC_RETURN_IF_ERROR(stream.get_u64(shadow_addr));
+    CRAC_RETURN_IF_ERROR(stream.get_u64(remote));
+    CRAC_RETURN_IF_ERROR(stream.get_u64(size));
+    auto it = by_remote.find(remote);
+    if (it == by_remote.end() || it->second.size != size) {
+      return FailedPrecondition(
+          "drained managed region (remote " + std::to_string(remote) + ", " +
+          std::to_string(size) + " bytes) has no matching live shadow");
+    }
+    // Decoded chunks land straight in the shadow mirror.
+    CRAC_RETURN_IF_ERROR(stream.read(it->second.shadow, size));
+    // Push the restored bytes to the device so both sides agree again
+    // (the CRUM write-before-call discipline, applied eagerly).
+    RequestHeader req{};
+    req.op = Op::kMemcpyToDevice;
+    req.a = remote;
+    req.b = size;
+    auto resp = call(req, it->second.shadow, size);
+    if (!resp.ok() || resp->err != cudaSuccess) {
+      return Internal("restored shadow push to device failed (remote " +
+                      std::to_string(remote) + ")");
+    }
+  }
+  return OkStatus();
+}
+
 Result<ResponseHeader> ProxyClientApi::call(RequestHeader req,
                                             const void* payload,
                                             std::size_t payload_bytes,

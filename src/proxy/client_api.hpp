@@ -58,6 +58,14 @@ class ProxyClientApi final : public cuda::CudaApi {
   // checkpoint of the application process carries for managed memory.
   Status drain_managed(ckpt::ImageWriter& image);
 
+  // Read-side twin: refills live shadow regions from a drained
+  // kManagedBuffers section and pushes the restored contents to the
+  // device. Section bytes stream straight into the shadow mirrors (decoded
+  // chunk by chunk — no staging buffer); records are matched to live
+  // shadows by their remote (proxy-side) pointer, which is the stable
+  // identity across a drain/restore cycle.
+  Status restore_managed(ckpt::ImageReader& image);
+
   // --- CudaApi ---
   cuda::cudaError_t cudaMalloc(void** p, std::size_t n) override;
   cuda::cudaError_t cudaFree(void* p) override;
