@@ -14,6 +14,7 @@
 
 #include "ckpt/image.hpp"
 #include "ckpt/memory_section.hpp"
+#include "ckpt/sharded.hpp"
 #include "common/bytes.hpp"
 #include "crac/api_log.hpp"
 
@@ -178,6 +179,22 @@ int main(int argc, char** argv) {
   }
   std::printf("%s: %zu sections (CRACIMG%u)\n", argv[1],
               reader->sections().size(), reader->version());
+  // A sharded image is a manifest plus striped shard files; show the layout
+  // so a damaged or missing shard is easy to chase down by name.
+  if (ckpt::is_sharded_image(argv[1])) {
+    auto manifest = ckpt::read_shard_manifest(argv[1]);
+    if (manifest.ok()) {
+      std::printf("sharded: %u shards, %s stripe, %s logical bytes\n",
+                  manifest->shard_count,
+                  format_size(manifest->stripe_bytes).c_str(),
+                  format_size(manifest->total_bytes).c_str());
+      for (std::uint32_t k = 0; k < manifest->shard_count; ++k) {
+        std::printf("  shard %u: %-32s %s\n", k,
+                    ckpt::shard_path(argv[1], k).c_str(),
+                    format_size(manifest->shard_bytes[k]).c_str());
+      }
+    }
+  }
   // Payloads stream off the image on demand; materializing each section
   // here is what verifies its chunk CRCs, so a damaged section reports
   // inline and the tool still dumps the healthy ones.

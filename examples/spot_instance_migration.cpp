@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "ckpt/sharded.hpp"
 #include "crac/context.hpp"
 #include "simcuda/module.hpp"
 
@@ -83,10 +84,17 @@ int main(int argc, char** argv) {
   constexpr int kTotalIters = 200;
   constexpr int kReclaimAt = 73;  // the spot notice arrives mid-run
 
+  // Migration is exactly the workload sharded images exist for: the image
+  // ships to a fresh path on a new node, and striping it across shard
+  // files lets the write (and the replacement instance's restore) run N
+  // concurrent streams. restart_from_image auto-detects the layout.
+  CracOptions spot_options;
+  spot_options.ckpt_shards = 4;
+
   double interrupted_sum = 0;
   {
     std::printf("spot instance #1: starting solve...\n");
-    CracContext ctx;
+    CracContext ctx(spot_options);
     g_module.add_kernel<const float*, float*, std::uint64_t>(&jacobi_kernel,
                                                              "jacobi");
     g_module.register_with(ctx.api());
@@ -154,7 +162,7 @@ int main(int argc, char** argv) {
     uninterrupted_sum = run_iterations(ctx, st, kTotalIters, "oracle");
   }
 
-  std::remove(image.c_str());
+  (void)ckpt::remove_image(image);  // manifest + shard files
   if (interrupted_sum != uninterrupted_sum) {
     std::fprintf(stderr, "FAILED: migrated result %.9f != oracle %.9f\n",
                  interrupted_sum, uninterrupted_sum);

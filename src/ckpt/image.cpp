@@ -6,6 +6,7 @@
 
 #include "common/crc32.hpp"
 #include "common/log.hpp"
+#include "ckpt/sharded.hpp"
 
 namespace crac::ckpt {
 
@@ -412,7 +413,10 @@ Result<ImageReader> ImageReader::from_bytes(std::vector<std::byte> bytes,
 
 Result<ImageReader> ImageReader::from_file(const std::string& path,
                                            const Options& options) {
-  auto source = FileSource::open(path);
+  // Routes through the shard-manifest sniff: a sharded image opens as a
+  // striped multi-file source, a plain file (v1 or single-file v2) as a
+  // FileSource — callers never care which.
+  auto source = open_image_source(path);
   if (!source.ok()) return source.status();
   return open(std::move(*source), options);
 }

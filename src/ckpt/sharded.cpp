@@ -1,0 +1,690 @@
+#include "ckpt/sharded.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/crc32.hpp"
+#include "common/fd_io.hpp"
+#include "common/log.hpp"
+
+namespace crac::ckpt {
+
+namespace {
+
+// Queue cap per sink: enough for every shard to have a couple of stripes in
+// flight, floored so tiny test stripes still overlap writer threads.
+constexpr std::uint64_t kMinQueueCapBytes = std::uint64_t{1} << 20;
+
+// Reads at or below this size stay on the calling thread — directory-scan
+// frame headers and structured getters must not pay a worker round trip.
+constexpr std::size_t kInlineReadBytes = std::size_t{64} << 10;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+std::string shard_path(const std::string& path, std::size_t index) {
+  return path + ".shard" + std::to_string(index);
+}
+
+std::vector<std::byte> encode_shard_manifest(const ShardManifest& m) {
+  ByteWriter w;
+  w.put_bytes(kShardManifestMagic, sizeof(kShardManifestMagic));
+  w.put_u32(kShardManifestVersion);
+  w.put_u32(m.shard_count);
+  w.put_u64(m.stripe_bytes);
+  w.put_u64(m.total_bytes);
+  w.put_u64(m.directory_offset);
+  for (std::uint64_t bytes : m.shard_bytes) w.put_u64(bytes);
+  w.put_u32(crc32(w.data(), w.size()));
+  return std::move(w).take();
+}
+
+Result<ShardManifest> parse_shard_manifest(const std::byte* data,
+                                           std::size_t size,
+                                           const std::string& origin) {
+  ByteReader r(data, size);
+  char magic[8];
+  if (!r.get_bytes(magic, sizeof(magic)).ok() ||
+      std::memcmp(magic, kShardManifestMagic, sizeof(magic)) != 0) {
+    return Corrupt(origin + ": not a shard manifest (bad magic)");
+  }
+  std::uint32_t version = 0;
+  ShardManifest m;
+  CRAC_RETURN_IF_ERROR(r.get_u32(version));
+  if (version != kShardManifestVersion) {
+    return Corrupt(origin + ": unsupported shard manifest version " +
+                   std::to_string(version));
+  }
+  CRAC_RETURN_IF_ERROR(r.get_u32(m.shard_count));
+  CRAC_RETURN_IF_ERROR(r.get_u64(m.stripe_bytes));
+  CRAC_RETURN_IF_ERROR(r.get_u64(m.total_bytes));
+  CRAC_RETURN_IF_ERROR(r.get_u64(m.directory_offset));
+  if (m.shard_count == 0 || m.shard_count > kMaxShards) {
+    return Corrupt(origin + ": shard count " + std::to_string(m.shard_count) +
+                   " outside [1, " + std::to_string(kMaxShards) + "]");
+  }
+  if (m.stripe_bytes < kMinStripeBytes || m.stripe_bytes > kMaxStripeBytes) {
+    return Corrupt(origin + ": stripe size " + std::to_string(m.stripe_bytes) +
+                   " outside [" + std::to_string(kMinStripeBytes) + ", " +
+                   std::to_string(kMaxStripeBytes) + "]");
+  }
+  if (m.directory_offset != 0) {
+    return Corrupt(origin + ": nonzero directory offset is not supported");
+  }
+  m.shard_bytes.resize(m.shard_count);
+  std::uint64_t sum = 0;
+  for (std::uint32_t k = 0; k < m.shard_count; ++k) {
+    CRAC_RETURN_IF_ERROR(r.get_u64(m.shard_bytes[k]));
+    sum += m.shard_bytes[k];
+  }
+  // CRC over everything before the trailer: a flipped count or size must not
+  // silently redirect reads.
+  const std::size_t body = r.position();
+  std::uint32_t stored_crc = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u32(stored_crc));
+  if (crc32(data, body) != stored_crc) {
+    return Corrupt(origin + ": shard manifest CRC mismatch");
+  }
+  if (r.remaining() != 0) {
+    return Corrupt(origin + ": trailing bytes after shard manifest");
+  }
+  if (sum != m.total_bytes) {
+    return Corrupt(origin + ": shard byte counts sum to " +
+                   std::to_string(sum) + ", manifest declares " +
+                   std::to_string(m.total_bytes));
+  }
+  // Per-shard sizes must match the striping arithmetic exactly; anything
+  // else means the manifest and the layout disagree about where bytes live.
+  const ShardLayout layout = m.layout();
+  for (std::uint32_t k = 0; k < m.shard_count; ++k) {
+    const std::uint64_t expect = layout.shard_size(m.total_bytes, k);
+    if (m.shard_bytes[k] != expect) {
+      return Corrupt(origin + ": shard " + std::to_string(k) + " declares " +
+                     std::to_string(m.shard_bytes[k]) + " bytes, striping of " +
+                     std::to_string(m.total_bytes) + " requires " +
+                     std::to_string(expect));
+    }
+  }
+  return m;
+}
+
+Result<ShardManifest> read_shard_manifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open " + path);
+  // Largest legal manifest: fixed header + kMaxShards sizes + CRC.
+  std::vector<std::byte> buf(40 + kMaxShards * 8 + 4 + 1);
+  const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  return parse_shard_manifest(buf.data(), got, path);
+}
+
+bool is_sharded_image(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8];
+  const bool sharded =
+      std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+      std::memcmp(magic, kShardManifestMagic, sizeof(magic)) == 0;
+  std::fclose(f);
+  return sharded;
+}
+
+void remove_stale_shards(const std::string& path, std::size_t first_index) {
+  for (std::size_t k = first_index; k < kMaxShards; ++k) {
+    if (std::remove(shard_path(path, k).c_str()) != 0) break;
+  }
+}
+
+Status remove_image(const std::string& path) {
+  const bool sharded = is_sharded_image(path);
+  std::size_t shard_count = 0;
+  bool manifest_readable = false;
+  if (sharded) {
+    auto manifest = read_shard_manifest(path);
+    if (manifest.ok()) {
+      shard_count = manifest->shard_count;
+      manifest_readable = true;
+    }
+  }
+  // Manifest first: once it is gone no reader can see a half-deleted image;
+  // an interruption after this point only orphans unreferenced shard files,
+  // which the next checkpoint at this path reaps.
+  if (std::remove(path.c_str()) != 0) {
+    return IoError("cannot remove " + path);
+  }
+  if (sharded) {
+    // A broken image may already be missing middle shards, so sweep the
+    // whole range ignoring failures — stopping at the first gap would
+    // orphan everything past it. With the manifest unreadable the count is
+    // unknown; sweep the full legal range (this is the delete path, 256
+    // unlink attempts are nothing).
+    const std::size_t sweep = manifest_readable ? shard_count : kMaxShards;
+    for (std::size_t k = 0; k < sweep; ++k) {
+      std::remove(shard_path(path, k).c_str());
+    }
+    if (manifest_readable) remove_stale_shards(path, shard_count);
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<Source>> open_image_source(const std::string& path) {
+  if (is_sharded_image(path)) {
+    auto sharded = ShardedFileSource::open(path);
+    if (!sharded.ok()) return sharded.status();
+    return std::unique_ptr<Source>(std::move(*sharded));
+  }
+  auto file = FileSource::open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<Source>(std::move(*file));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFileSink
+// ---------------------------------------------------------------------------
+
+ShardedFileSink::ShardedFileSink(std::string path, ShardLayout layout)
+    : path_(std::move(path)),
+      layout_(layout),
+      queue_cap_bytes_(std::max<std::uint64_t>(
+          kMinQueueCapBytes, 2 * layout.stripe * layout.shards)) {}
+
+Result<std::unique_ptr<ShardedFileSink>> ShardedFileSink::open(
+    const std::string& path, const Options& options) {
+  if (options.shards == 0 || options.shards > kMaxShards) {
+    return InvalidArgument("shard count " + std::to_string(options.shards) +
+                           " outside [1, " + std::to_string(kMaxShards) + "]");
+  }
+  if (options.stripe_bytes < kMinStripeBytes ||
+      options.stripe_bytes > kMaxStripeBytes) {
+    return InvalidArgument("stripe size " +
+                           std::to_string(options.stripe_bytes) +
+                           " outside [" + std::to_string(kMinStripeBytes) +
+                           ", " + std::to_string(kMaxStripeBytes) + "]");
+  }
+  auto sink = std::unique_ptr<ShardedFileSink>(new ShardedFileSink(
+      path, ShardLayout{options.shards, options.stripe_bytes}));
+  sink->shards_.resize(options.shards);
+  for (std::size_t k = 0; k < options.shards; ++k) {
+    Shard& shard = sink->shards_[k];
+    shard.cv = std::make_unique<std::condition_variable>();
+    shard.final_path = shard_path(path, k);
+    shard.tmp_path = shard.final_path + ".tmp";
+    shard.fd = ::open(shard.tmp_path.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (shard.fd < 0) {
+      return IoError("cannot open shard " + std::to_string(k) + " (" +
+                     shard.tmp_path + ") for writing");
+    }
+  }
+  for (std::size_t k = 0; k < options.shards; ++k) {
+    sink->shards_[k].worker = std::thread(
+        [sink = sink.get(), k] { sink->worker_main(k); });
+  }
+  return sink;
+}
+
+ShardedFileSink::~ShardedFileSink() {
+  stop_workers();
+  for (Shard& shard : shards_) {
+    if (shard.fd >= 0) ::close(shard.fd);
+    shard.fd = -1;
+    // A sink that never committed leaves no temp debris behind; shards
+    // already renamed by a half-finished commit are left for the next
+    // checkpoint at this path to overwrite (unlinking them could only
+    // widen the damage to a previous image sharing their names).
+    if (!committed_ && !shard.renamed) std::remove(shard.tmp_path.c_str());
+  }
+}
+
+void ShardedFileSink::worker_main(std::size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  for (;;) {
+    std::vector<std::byte> buf;
+    bool poisoned = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shard.cv->wait(lock, [&] { return stop_ || !shard.queue.empty(); });
+      if (shard.queue.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      buf = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      poisoned = !error_.ok();  // sink failed elsewhere: drain, don't write
+    }
+    Status s;
+    if (!poisoned) {
+      s = write_all_fd(shard.fd, buf.data(), buf.size(), shard.tmp_path);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!s.ok() && error_.ok()) {
+      error_ = Status(s.code(), "shard " + std::to_string(shard_index) +
+                                    " (" + shard.tmp_path + "): " +
+                                    s.message());
+    } else if (s.ok() && !poisoned) {
+      shard.written += buf.size();
+    }
+    queued_bytes_ -= buf.size();
+    space_cv_.notify_all();
+    drain_cv_.notify_all();
+  }
+}
+
+Status ShardedFileSink::enqueue(std::size_t shard_index,
+                                std::vector<std::byte> buf) {
+  if (buf.empty()) return OkStatus();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Bounded queue: the producer blocks rather than buffering an unbounded
+  // image — the write-side mirror of the restore window guarantee. The cap
+  // is hard (buffered_peak_bytes() never exceeds it): admission waits until
+  // this buffer fits, not merely until some space exists. Buffers are at
+  // most one stripe and the cap is at least two, so admission always comes.
+  space_cv_.wait(lock, [&] {
+    return !error_.ok() || queued_bytes_ == 0 ||
+           queued_bytes_ + buf.size() <= queue_cap_bytes_;
+  });
+  if (!error_.ok()) return error_;
+  queued_bytes_ += buf.size();
+  queued_peak_bytes_ = std::max(queued_peak_bytes_, queued_bytes_);
+  shards_[shard_index].queue.push_back(std::move(buf));
+  shards_[shard_index].cv->notify_one();
+  return OkStatus();
+}
+
+Status ShardedFileSink::do_write(const void* data, std::size_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_.ok()) return error_;
+  }
+  if (closed_) return FailedPrecondition("write to closed sink " + path_);
+  const auto* p = static_cast<const std::byte*>(data);
+  while (size > 0) {
+    const ShardLayout::Piece piece = layout_.piece_at(pos_, size);
+    Shard& shard = shards_[piece.shard];
+    shard.pending.insert(shard.pending.end(), p, p + piece.len);
+    p += piece.len;
+    pos_ += piece.len;
+    size -= piece.len;
+    // Hand full stripes to the worker as they complete; anything smaller
+    // coalesces so tiny appends (frame headers) do not fragment the queue.
+    if (shard.pending.size() >= layout_.stripe) {
+      std::vector<std::byte> full;
+      full.swap(shard.pending);
+      CRAC_RETURN_IF_ERROR(enqueue(piece.shard, std::move(full)));
+    }
+  }
+  return OkStatus();
+}
+
+Status ShardedFileSink::drain() {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    std::vector<std::byte> tail;
+    tail.swap(shards_[k].pending);
+    CRAC_RETURN_IF_ERROR(enqueue(k, std::move(tail)));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    if (!error_.ok()) return true;
+    for (const Shard& shard : shards_) {
+      if (!shard.queue.empty()) return false;
+    }
+    return queued_bytes_ == 0;
+  });
+  return error_;
+}
+
+Status ShardedFileSink::flush() { return drain(); }
+
+void ShardedFileSink::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // cv may be null for shards open() never reached before failing.
+    for (Shard& shard : shards_) {
+      if (shard.cv) shard.cv->notify_all();
+    }
+  }
+  for (Shard& shard : shards_) {
+    if (shard.worker.joinable()) shard.worker.join();
+  }
+}
+
+std::uint64_t ShardedFileSink::buffered_peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_peak_bytes_;
+}
+
+Status ShardedFileSink::close() {
+  if (closed_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+  }
+  Status s = drain();
+  closed_ = true;
+  stop_workers();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = shards_[k];
+    if (shard.fd >= 0 && ::close(shard.fd) != 0 && s.ok()) {
+      s = IoError("close failed for shard " + std::to_string(k) + " (" +
+                  shard.tmp_path + ")");
+    }
+    shard.fd = -1;
+  }
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.ok()) error_ = s;
+    return s;
+  }
+
+  // Commit. The manifest temp is staged to disk BEFORE any live file is
+  // touched: a manifest write failure (disk full, permissions) aborts with
+  // the previous image at this path fully intact. Only then are shards
+  // renamed into place, the manifest rename last — it is the commit point;
+  // without it a reader never sees the new shards. The remaining caveat (a
+  // crash between renames mixes generations under an old manifest) is
+  // documented in docs/image_format.md.
+  ShardManifest manifest;
+  manifest.shard_count = static_cast<std::uint32_t>(shards_.size());
+  manifest.stripe_bytes = layout_.stripe;
+  manifest.total_bytes = pos_;
+  manifest.shard_bytes.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    manifest.shard_bytes.push_back(shard.written);
+  }
+  const std::vector<std::byte> encoded = encode_shard_manifest(manifest);
+  const std::string manifest_tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(manifest_tmp.c_str(), "wb");
+  if (f == nullptr ||
+      std::fwrite(encoded.data(), 1, encoded.size(), f) != encoded.size() ||
+      std::fclose(f) != 0) {
+    if (f != nullptr) std::remove(manifest_tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    error_ = IoError("cannot write shard manifest " + manifest_tmp);
+    return error_;
+  }
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = shards_[k];
+    if (std::rename(shard.tmp_path.c_str(), shard.final_path.c_str()) != 0) {
+      std::remove(manifest_tmp.c_str());
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = IoError("cannot move shard " + std::to_string(k) +
+                       " into place as " + shard.final_path);
+      return error_;
+    }
+    shard.renamed = true;
+  }
+  if (std::rename(manifest_tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(manifest_tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    error_ = IoError("cannot move shard manifest into place as " + path_);
+    return error_;
+  }
+  committed_ = true;
+  // A previous image at this path may have been wider (more shards); reap
+  // the now-unreferenced tail so reconfiguring shard counts never leaks.
+  remove_stale_shards(path_, shards_.size());
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFileSource
+// ---------------------------------------------------------------------------
+
+ShardedFileSource::ShardedFileSource(std::string path, ShardManifest manifest)
+    : path_(std::move(path)),
+      manifest_(std::move(manifest)),
+      layout_(manifest_.layout()) {}
+
+Result<std::unique_ptr<ShardedFileSource>> ShardedFileSource::open(
+    const std::string& path) {
+  auto manifest = read_shard_manifest(path);
+  if (!manifest.ok()) return manifest.status();
+  auto source = std::unique_ptr<ShardedFileSource>(
+      new ShardedFileSource(path, std::move(*manifest)));
+  const ShardManifest& m = source->manifest_;
+  source->shards_.resize(m.shard_count);
+  for (std::uint32_t k = 0; k < m.shard_count; ++k) {
+    Shard& shard = source->shards_[k];
+    shard.cv = std::make_unique<std::condition_variable>();
+    shard.path = shard_path(path, k);
+    shard.fd = ::open(shard.path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (shard.fd < 0) {
+      return IoError(path + ": missing shard " + std::to_string(k) + " (" +
+                     shard.path + ")");
+    }
+    struct ::stat st {};
+    if (::fstat(shard.fd, &st) != 0) {
+      return IoError(path + ": cannot stat shard " + std::to_string(k) +
+                     " (" + shard.path + ")");
+    }
+    const auto actual = static_cast<std::uint64_t>(st.st_size);
+    if (actual != m.shard_bytes[k]) {
+      return Corrupt(path + ": shard " + std::to_string(k) + " (" +
+                     shard.path + ") is " + std::to_string(actual) +
+                     " bytes, manifest declares " +
+                     std::to_string(m.shard_bytes[k]) +
+                     (actual < m.shard_bytes[k] ? " (truncated shard)"
+                                                : " (oversized shard)"));
+    }
+  }
+  for (std::uint32_t k = 0; k < m.shard_count; ++k) {
+    source->shards_[k].worker = std::thread(
+        [src = source.get(), k] { src->worker_main(k); });
+  }
+  return source;
+}
+
+ShardedFileSource::~ShardedFileSource() {
+  stop_workers();
+  for (Shard& shard : shards_) {
+    if (shard.fd >= 0) ::close(shard.fd);
+  }
+}
+
+void ShardedFileSource::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // cv may be null for shards open() never reached before failing.
+    for (Shard& shard : shards_) {
+      if (shard.cv) shard.cv->notify_all();
+    }
+  }
+  for (Shard& shard : shards_) {
+    if (shard.worker.joinable()) shard.worker.join();
+  }
+}
+
+Status ShardedFileSource::pread_shard(std::size_t shard_index, void* dst,
+                                      std::uint64_t local_offset,
+                                      std::size_t len) {
+  const Shard& shard = shards_[shard_index];
+  auto* p = static_cast<std::byte*>(dst);
+  while (len > 0) {
+    const ::ssize_t n =
+        ::pread(shard.fd, p, len, static_cast<::off_t>(local_offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(path_ + ": read failed on shard " +
+                     std::to_string(shard_index) + " (" + shard.path + ")");
+    }
+    if (n == 0) {
+      // Sizes were validated at open; running dry means the file shrank
+      // underneath us.
+      return Corrupt(path_ + ": shard " + std::to_string(shard_index) + " (" +
+                     shard.path + ") truncated under read at offset " +
+                     std::to_string(local_offset));
+    }
+    p += n;
+    local_offset += static_cast<std::uint64_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+void ShardedFileSource::worker_main(std::size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  for (;;) {
+    ReadJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shard.cv->wait(lock, [&] { return stop_ || !shard.jobs.empty(); });
+      if (shard.jobs.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(shard.jobs.front());
+      shard.jobs.pop_front();
+    }
+    Status s;
+    for (const Segment& seg : job.segments) {
+      s = pread_shard(shard_index, seg.dst, seg.local_offset, seg.len);
+      if (!s.ok()) break;
+    }
+    {
+      // Notify while still holding the lock: the sync object lives on the
+      // consumer's stack, and the moment outstanding hits 0 outside the
+      // lock the consumer may wake (spuriously), return, and destroy it
+      // under a late notify.
+      std::lock_guard<std::mutex> lock(job.sync->mu);
+      if (!s.ok() && job.sync->error.ok()) job.sync->error = s;
+      --job.sync->outstanding;
+      job.sync->cv.notify_one();
+    }
+  }
+}
+
+Status ShardedFileSource::read(void* out, std::size_t size) {
+  if (size > remaining()) {
+    return Corrupt(path_ + ": truncated image (wanted " +
+                   std::to_string(size) + " bytes at offset " +
+                   std::to_string(pos_) + ", " + std::to_string(remaining()) +
+                   " remain)");
+  }
+  if (size == 0) return OkStatus();
+
+  // Small reads (frame headers, structured getters, the directory scan's
+  // bread and butter) run inline; only bulk payload reads pay the fan-out.
+  if (size <= kInlineReadBytes) {
+    auto* p = static_cast<std::byte*>(out);
+    while (size > 0) {
+      const ShardLayout::Piece piece = layout_.piece_at(pos_, size);
+      CRAC_RETURN_IF_ERROR(
+          pread_shard(piece.shard, p, piece.local_offset, piece.len));
+      p += piece.len;
+      pos_ += piece.len;
+      size -= piece.len;
+    }
+    return OkStatus();
+  }
+
+  // Scatter-gather: split the logical range into per-shard segment lists and
+  // let every involved shard worker pread its pieces concurrently, straight
+  // into the caller's buffer — N shards, N parallel streams, zero staging.
+  std::vector<std::vector<Segment>> per_shard(shards_.size());
+  auto* p = static_cast<std::byte*>(out);
+  std::uint64_t at = pos_;
+  std::size_t left = size;
+  while (left > 0) {
+    const ShardLayout::Piece piece = layout_.piece_at(at, left);
+    per_shard[piece.shard].push_back(
+        Segment{p, piece.local_offset, piece.len});
+    p += piece.len;
+    at += piece.len;
+    left -= piece.len;
+  }
+  ReadSync sync;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t k = 0; k < per_shard.size(); ++k) {
+      if (per_shard[k].empty()) continue;
+      ++sync.outstanding;
+      shards_[k].jobs.push_back(ReadJob{std::move(per_shard[k]), &sync});
+      shards_[k].cv->notify_one();  // only the shards with work wake
+    }
+  }
+  std::unique_lock<std::mutex> lock(sync.mu);
+  sync.cv.wait(lock, [&] { return sync.outstanding == 0; });
+  CRAC_RETURN_IF_ERROR(sync.error);
+  pos_ = at;
+  return OkStatus();
+}
+
+Status ShardedFileSource::seek(std::uint64_t offset) {
+  if (offset > manifest_.total_bytes) {
+    return Corrupt(path_ + ": seek past end of image");
+  }
+  pos_ = offset;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Striped memory twins
+// ---------------------------------------------------------------------------
+
+Status StripedMemorySink::do_write(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (size > 0) {
+    const ShardLayout::Piece piece = layout_.piece_at(pos_, size);
+    std::vector<std::byte>& buf = buffers_[piece.shard];
+    // Sequential striping appends to exactly one shard at a time.
+    CRAC_CHECK(buf.size() == piece.local_offset);
+    buf.insert(buf.end(), p, p + piece.len);
+    p += piece.len;
+    pos_ += piece.len;
+    size -= piece.len;
+  }
+  return OkStatus();
+}
+
+StripedMemorySource::StripedMemorySource(
+    std::vector<std::vector<std::byte>> shards, std::size_t stripe_bytes)
+    : layout_{shards.empty() ? 1 : shards.size(),
+              stripe_bytes == 0 ? kDefaultStripeBytes : stripe_bytes},
+      buffers_(std::move(shards)) {
+  if (buffers_.empty()) buffers_.resize(1);
+  for (const auto& buf : buffers_) total_ += buf.size();
+}
+
+Status StripedMemorySource::read(void* out, std::size_t size) {
+  if (size > remaining()) {
+    return Corrupt(describe() + ": truncated image (wanted " +
+                   std::to_string(size) + " bytes at offset " +
+                   std::to_string(pos_) + ", " + std::to_string(remaining()) +
+                   " remain)");
+  }
+  auto* p = static_cast<std::byte*>(out);
+  while (size > 0) {
+    const ShardLayout::Piece piece = layout_.piece_at(pos_, size);
+    const std::vector<std::byte>& buf = buffers_[piece.shard];
+    if (piece.local_offset + piece.len > buf.size()) {
+      return Corrupt(describe() + ": shard " + std::to_string(piece.shard) +
+                     " shorter than the striping of " +
+                     std::to_string(total_) + " bytes requires");
+    }
+    std::memcpy(p, buf.data() + piece.local_offset, piece.len);
+    p += piece.len;
+    pos_ += piece.len;
+    size -= piece.len;
+  }
+  return OkStatus();
+}
+
+Status StripedMemorySource::seek(std::uint64_t offset) {
+  if (offset > total_) {
+    return Corrupt(describe() + ": seek past end of image");
+  }
+  pos_ = offset;
+  return OkStatus();
+}
+
+}  // namespace crac::ckpt

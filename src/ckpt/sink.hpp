@@ -36,6 +36,11 @@ class Sink {
 
   virtual Status flush() { return OkStatus(); }
 
+  // Completes the sink: flushes buffers, releases file descriptors, and for
+  // transactional sinks (sharded files) commits the image into place.
+  // Idempotent; returns the first error seen on this sink.
+  virtual Status close() { return flush(); }
+
   std::uint64_t bytes_written() const noexcept { return bytes_written_; }
 
  protected:
@@ -76,7 +81,7 @@ class FileSink final : public Sink {
   Status flush() override;
 
   // Flush + fclose. Idempotent; returns the first error seen on this sink.
-  Status close();
+  Status close() override;
 
  private:
   FileSink(std::FILE* f, std::string path)

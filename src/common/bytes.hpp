@@ -36,6 +36,7 @@ class ByteWriter {
   }
 
   void put_bytes(const void* data, std::size_t size) {
+    if (size == 0) return;  // data may be null for empty payloads
     const auto* p = static_cast<const std::byte*>(data);
     buf_.insert(buf_.end(), p, p + size);
   }
@@ -94,7 +95,9 @@ class ByteReader {
 
   Status get_bytes(void* out, std::size_t size) {
     if (remaining() < size) return Corrupt("truncated byte stream");
-    std::memcpy(out, p_ + pos_, size);
+    // size == 0 commonly arrives with out == data() of an empty vector,
+    // i.e. nullptr — legal for the caller, UB for memcpy.
+    if (size > 0) std::memcpy(out, p_ + pos_, size);
     pos_ += size;
     return OkStatus();
   }

@@ -1,0 +1,50 @@
+// Exact-length file-descriptor I/O with EINTR retry — the one copy of the
+// subtle short-read/short-write loop, shared by everything that drives raw
+// fds (sharded checkpoint shards, proxy sockets, minimpi pipes). Errors
+// name the caller-supplied origin (a path, "proxy socket", ...).
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace crac {
+
+inline Status write_all_fd(int fd, const void* data, std::size_t size,
+                           const std::string& origin) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(origin + ": write failed: " + std::strerror(errno));
+    }
+    if (n == 0) return IoError(origin + ": closed during write");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+inline Status read_all_fd(int fd, void* data, std::size_t size,
+                          const std::string& origin) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ::ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(origin + ": read failed: " + std::strerror(errno));
+    }
+    if (n == 0) return IoError(origin + ": closed during read");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace crac

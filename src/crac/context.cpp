@@ -6,6 +6,7 @@
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "ckpt/memory_section.hpp"
+#include "ckpt/sharded.hpp"
 
 namespace crac {
 
@@ -77,9 +78,10 @@ ThreadPool* CracContext::ckpt_pool() {
 
 Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
   auto result = checkpoint_to_temp(path);
-  if (!result.ok()) {
+  if (!result.ok() && options_.ckpt_shards <= 1) {
     // Never leave a truncated partial image where a good one may have
     // been: the stream went to a sibling temp file, which we discard.
+    // (A sharded sink unlinks its own shard temps on destruction.)
     std::remove(temp_image_path(path).c_str());
   }
   return result;
@@ -96,17 +98,38 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
 
   // Streaming pipeline: sections are chunked, chunks compressed/CRC'd on
   // the pool, frames written straight to the file — the image is never
-  // resident in memory. The stream targets a temp file that replaces
-  // `path` only after the image is complete, so a failed checkpoint can
-  // never destroy the previous image at the same path.
-  const std::string tmp = temp_image_path(path);
-  auto sink = ckpt::FileSink::open(tmp);
-  if (!sink.ok()) return sink.status();
+  // resident in memory. Single-file mode streams to a temp file that
+  // replaces `path` only after the image is complete, so a failed
+  // checkpoint can never destroy the previous image at the same path.
+  // Sharded mode stripes across ckpt_shards files through per-shard writer
+  // threads and commits the same way (manifest temp staged before any live
+  // rename, shard temps renamed, manifest last); overwriting in place is
+  // atomic only up to the first shard rename — a failure or crash inside
+  // the multi-file rename sequence can mix generations under the old
+  // manifest — see docs/image_format.md, and checkpoint to a fresh path
+  // when that window matters.
+  std::unique_ptr<ckpt::Sink> sink;
+  std::string tmp;  // single-file mode only; sharded sinks self-commit
+  if (options_.ckpt_shards > 1) {
+    ckpt::ShardedFileSink::Options sopts;
+    sopts.shards = options_.ckpt_shards;
+    if (options_.ckpt_stripe_bytes != 0) {
+      sopts.stripe_bytes = options_.ckpt_stripe_bytes;
+    }
+    auto sharded = ckpt::ShardedFileSink::open(path, sopts);
+    if (!sharded.ok()) return sharded.status();
+    sink = std::move(*sharded);
+  } else {
+    tmp = temp_image_path(path);
+    auto file = ckpt::FileSink::open(tmp);
+    if (!file.ok()) return file.status();
+    sink = std::move(*file);
+  }
   ckpt::ImageWriter::Options wopts;
   wopts.codec = options_.codec;
   wopts.chunk_size = options_.ckpt_chunk_bytes;
   wopts.pool = ckpt_pool();
-  ckpt::ImageWriter writer(sink->get(), wopts);
+  ckpt::ImageWriter writer(sink.get(), wopts);
 
   // 1. Plugin drain: synchronize the device, save active allocations,
   //    residency, the log, fat binaries, stream inventory.
@@ -134,14 +157,21 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
     report.memory_s = t.elapsed_s();
   }
 
-  // 3. Drain the chunk pipeline, close the temp file, move it into place.
+  // 3. Drain the chunk pipeline, close the sink (sharded: commit shards +
+  //    manifest), move the single-file temp into place.
   {
     WallTimer t;
     report.raw_bytes = writer.raw_bytes();
     CRAC_RETURN_IF_ERROR(writer.finish());
-    CRAC_RETURN_IF_ERROR((*sink)->close());
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      return IoError("cannot move " + tmp + " into place as " + path);
+    CRAC_RETURN_IF_ERROR(sink->close());
+    if (!tmp.empty()) {
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return IoError("cannot move " + tmp + " into place as " + path);
+      }
+      // A sharded image previously at this path leaves orphaned shard
+      // files behind its manifest; reap them so switching back to the
+      // single-file layout never leaks checkpoint-sized debris.
+      ckpt::remove_stale_shards(path, 0);
     }
     report.write_s = t.elapsed_s();
   }
@@ -151,7 +181,7 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
 
   report.total_s = total.elapsed_s();
   report.active_allocations = plugin_->active_allocation_count();
-  report.image_bytes = (*sink)->bytes_written();
+  report.image_bytes = sink->bytes_written();
   CRAC_INFO() << "checkpoint written to " << path << " ("
               << format_size(report.image_bytes) << ", "
               << report.upper_regions << " upper regions, "

@@ -39,6 +39,14 @@ struct CracOptions {
   // workers (0 = hardware concurrency, 1 = no pool / inline encoding).
   std::size_t ckpt_chunk_bytes = ckpt::kDefaultChunkSize;
   std::size_t ckpt_threads = 0;
+  // Sharded image output: > 1 stripes the image across this many shard
+  // files (a CRACSHRD manifest at the image path plus path.shard<k> files),
+  // each fed by its own writer thread, so checkpoint bandwidth scales past
+  // one stream. 1 writes the classic single file. Restore auto-detects the
+  // layout from the manifest magic, so the two are interchangeable on read.
+  std::size_t ckpt_shards = 1;
+  // Striping granularity for sharded output (0 = kDefaultStripeBytes).
+  std::size_t ckpt_stripe_bytes = 0;
 };
 
 struct CheckpointReport {

@@ -6,38 +6,17 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fd_io.hpp"
 #include "common/log.hpp"
 
 namespace crac::proxy {
 
 Status write_all(int fd, const void* data, std::size_t size) {
-  const char* p = static_cast<const char*>(data);
-  while (size > 0) {
-    const ssize_t n = ::write(fd, p, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return IoError(std::string("proxy socket write: ") + strerror(errno));
-    }
-    if (n == 0) return IoError("proxy socket closed during write");
-    p += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return OkStatus();
+  return write_all_fd(fd, data, size, "proxy socket");
 }
 
 Status read_all(int fd, void* data, std::size_t size) {
-  char* p = static_cast<char*>(data);
-  while (size > 0) {
-    const ssize_t n = ::read(fd, p, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return IoError(std::string("proxy socket read: ") + strerror(errno));
-    }
-    if (n == 0) return IoError("proxy socket closed during read");
-    p += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return OkStatus();
+  return read_all_fd(fd, data, size, "proxy socket");
 }
 
 void CmaChannel::initialize(pid_t server_pid, void* staging_remote,

@@ -1,6 +1,7 @@
 // Tests for the CRACIMG2 streaming chunk pipeline: chunk round trips across
 // sizes/codecs/pools, per-chunk corruption detection (naming the failing
-// section), v1 backward compatibility, decompressor bounds hardening, and
+// section), write-side fault injection through the shared FaultySink
+// double, v1 backward compatibility, decompressor bounds hardening, and
 // the thread-pool future entry points the pipeline is built on.
 #include <gtest/gtest.h>
 
@@ -17,30 +18,16 @@
 #include "ckpt/image.hpp"
 #include "ckpt/sink.hpp"
 #include "common/crc32.hpp"
-#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "tests/ckpt_testing.hpp"
 
 namespace crac::ckpt {
 namespace {
 
-std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> out(n);
-  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64());
-  return out;
-}
-
-std::vector<std::byte> compressible_bytes(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> out;
-  out.reserve(n);
-  while (out.size() < n) {
-    const auto value = static_cast<std::byte>(rng.next_below(4));
-    const std::size_t run = 16 + rng.next_below(200);
-    for (std::size_t i = 0; i < run && out.size() < n; ++i) out.push_back(value);
-  }
-  return out;
-}
+using testlib::compressible_bytes;
+using testlib::find_byte_run;
+using testlib::random_bytes;
+using testlib::FaultySink;
 
 // ---- round-trip property: sizes × codecs × data shapes × pool modes ----
 
@@ -173,14 +160,7 @@ TEST(ChunkCorruptionTest, CorruptedChunkNamesSection) {
 
   // Flip a byte inside beta's stored payload (the only 0xBB run).
   auto bytes = sink.bytes();
-  std::size_t hit = 0;
-  for (std::size_t i = 0; i + 16 <= bytes.size(); ++i) {
-    bool run = true;
-    for (std::size_t k = 0; k < 16; ++k) {
-      if (bytes[i + k] != std::byte{0xBB}) { run = false; break; }
-    }
-    if (run) { hit = i + 8; break; }
-  }
+  const std::size_t hit = find_byte_run(bytes, std::byte{0xBB});
   ASSERT_NE(hit, 0u);
   bytes[hit] ^= std::byte{0x01};
 
@@ -242,30 +222,60 @@ TEST(DecompressBoundsTest, ExpansionBombRejectedBeforeAllocation) {
   EXPECT_EQ(out.status().code(), StatusCode::kCorrupt);
 }
 
+// ---- write-side fault injection (shared FaultySink double) ----
+
+TEST(FaultInjectionTest, ShortWriteSurfacesAsIoErrorAndSticks) {
+  // The disk fills mid-image: the sink short-writes and fails. The writer
+  // must report IoError (not Corrupt, not success) and stay poisoned — a
+  // half-written image can never report a clean finish().
+  MemorySink inner;
+  FaultySink::Faults faults;
+  faults.fail_at = 500;
+  FaultySink sink(&inner, faults);
+  ImageWriter::Options opts;
+  opts.chunk_size = 256;
+  ImageWriter w(&sink, opts);
+  ASSERT_TRUE(w.begin_section(SectionType::kDeviceBuffers, "doomed").ok());
+  const auto payload = random_bytes(4096, 71);
+  Status s = w.append(payload.data(), payload.size());
+  if (s.ok()) s = w.end_section();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("byte 500"), std::string::npos) << s.to_string();
+  // Sticky: later calls keep failing, finish() cannot whitewash the image.
+  EXPECT_FALSE(w.finish().ok());
+  // The inner sink holds exactly the short prefix — nothing after the fault.
+  EXPECT_EQ(inner.bytes().size(), 500u);
+}
+
+TEST(FaultInjectionTest, WriteSideBitFlipCaughtOnRead) {
+  // A byte silently corrupted on its way to storage (FaultySink flip) must
+  // be invisible to the writer but trip the chunk CRC on read-back.
+  MemorySink inner;
+  FaultySink::Faults faults;
+  faults.flip_at = 900;  // inside the first chunk's stored payload
+  FaultySink sink(&inner, faults);
+  ImageWriter::Options opts;
+  opts.chunk_size = 512;
+  ImageWriter w(&sink, opts);
+  const auto payload = random_bytes(2048, 73);
+  ASSERT_TRUE(w.begin_section(SectionType::kDeviceBuffers, "flipped").ok());
+  ASSERT_TRUE(w.append(payload.data(), payload.size()).ok());
+  ASSERT_TRUE(w.end_section().ok());
+  ASSERT_TRUE(w.finish().ok());  // the writer never notices
+
+  auto reader = ImageReader::from_bytes(inner.bytes());
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto got = reader->read_section(reader->sections()[0]);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(got.status().message().find("flipped"), std::string::npos)
+      << got.status().to_string();
+}
+
 // ---- v1 backward compatibility ----
 
-// Hand-rolled v1 image, byte-for-byte what the seed-era writer emitted, so
-// the reader keeps decoding pre-refactor checkpoints no matter what the
-// writer now produces.
-std::vector<std::byte> make_v1_image(const std::vector<std::byte>& payload,
-                                     Codec image_codec) {
-  ByteWriter w;
-  w.put_bytes("CRACIMG1", 8);
-  w.put_u32(1);  // version
-  w.put_u32(static_cast<std::uint32_t>(image_codec));
-  w.put_u32(1);  // section count
-  const std::vector<std::byte> packed = compress(payload, image_codec);
-  const bool use_raw = packed.size() >= payload.size();
-  w.put_u32(static_cast<std::uint32_t>(SectionType::kMemoryRegions));
-  w.put_string("legacy");
-  w.put_u64(payload.size());
-  w.put_u64(use_raw ? payload.size() : packed.size());
-  w.put_u8(static_cast<std::uint8_t>(use_raw ? Codec::kStore : image_codec));
-  w.put_u32(crc32(payload.data(), payload.size()));
-  const auto& body = use_raw ? payload : packed;
-  w.put_bytes(body.data(), body.size());
-  return std::move(w).take();
-}
+using testlib::make_v1_image;
 
 class V1Compat : public ::testing::TestWithParam<Codec> {};
 

@@ -1,5 +1,6 @@
 // Unit tests for the checkpoint engine: compressor, image format, integrity
-// checking, memory-record round trips, plugin lifecycle ordering.
+// checking, golden-fixture format freeze, memory-record round trips, plugin
+// lifecycle ordering.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -9,33 +10,18 @@
 #include "ckpt/image.hpp"
 #include "ckpt/memory_section.hpp"
 #include "ckpt/plugin.hpp"
-#include "common/rng.hpp"
+#include "tests/ckpt_testing.hpp"
 
 namespace crac::ckpt {
 namespace {
 
+using testlib::compressible_bytes;
+using testlib::golden_payload;
+using testlib::random_bytes;
+
 std::vector<std::byte> make_bytes(std::initializer_list<int> values) {
   std::vector<std::byte> out;
   for (int v : values) out.push_back(static_cast<std::byte>(v));
-  return out;
-}
-
-std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> out(n);
-  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64());
-  return out;
-}
-
-std::vector<std::byte> compressible_bytes(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> out;
-  out.reserve(n);
-  while (out.size() < n) {
-    const auto value = static_cast<std::byte>(rng.next_below(4));
-    const std::size_t run = 16 + rng.next_below(200);
-    for (std::size_t i = 0; i < run && out.size() < n; ++i) out.push_back(value);
-  }
   return out;
 }
 
@@ -187,6 +173,49 @@ TEST(ImageTest, MissingFileIsIoError) {
   auto reader = ImageReader::from_file("/nonexistent/crac.img");
   ASSERT_FALSE(reader.ok());
   EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+// ---- golden fixtures: the on-disk format is frozen ----
+//
+// tests/data holds a tiny v1 and a tiny single-file v2 image checked into
+// the repository (generated once from golden_payload(); see
+// docs/image_format.md). They are the regression net for every future
+// refactor of the writer, the reader, or the sharding layer: if either
+// stops restoring, the format broke, not just the code.
+
+std::string golden_path(const char* name) {
+  return std::string(CRAC_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(GoldenFixtureTest, V1ImageStillRestores) {
+  auto reader = ImageReader::from_file(golden_path("golden_v1.crac"));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  EXPECT_EQ(reader->version(), 1u);
+  const SectionInfo* sec = reader->find(SectionType::kMemoryRegions, "legacy");
+  ASSERT_NE(sec, nullptr);
+  auto got = reader->read_section(*sec);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, golden_payload(12345));
+  EXPECT_TRUE(reader->verify_unread_sections().ok());
+}
+
+TEST(GoldenFixtureTest, SingleFileV2ImageStillRestores) {
+  auto reader = ImageReader::from_file(golden_path("golden_v2.crac"));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  EXPECT_EQ(reader->version(), 2u);
+  EXPECT_EQ(reader->chunk_size(), 1024u);
+  const SectionInfo* meta = reader->find(SectionType::kMetadata, "meta");
+  ASSERT_NE(meta, nullptr);
+  auto meta_got = reader->read_section(*meta);
+  ASSERT_TRUE(meta_got.ok()) << meta_got.status().to_string();
+  EXPECT_EQ(*meta_got, golden_payload(100));
+  const SectionInfo* sec =
+      reader->find(SectionType::kDeviceBuffers, "payload");
+  ASSERT_NE(sec, nullptr);
+  auto got = reader->read_section(*sec);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, golden_payload(10000));
+  EXPECT_TRUE(reader->verify_unread_sections().ok());
 }
 
 TEST(MemorySectionTest, RecordsRoundTrip) {

@@ -1,0 +1,294 @@
+// Shared test harness for the checkpoint-image suites (chunk_test,
+// restore_test, ckpt_test, shard_test): deterministic payload generators,
+// image builders, file helpers, corruption utilities, and fault-injection
+// Sink/Source doubles. One home instead of per-suite copies, so every suite
+// corrupts and truncates images the same way.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/compressor.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/sink.hpp"
+#include "ckpt/source.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace crac::ckpt::testlib {
+
+// ---- deterministic payloads ----
+
+inline std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64());
+  return out;
+}
+
+inline std::vector<std::byte> compressible_bytes(std::size_t n,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto value = static_cast<std::byte>(rng.next_below(4));
+    const std::size_t run = 16 + rng.next_below(200);
+    for (std::size_t i = 0; i < run && out.size() < n; ++i) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+// Rng-free pattern for the checked-in golden fixtures: the fixture
+// generator and the compat test must agree byte for byte forever, so this
+// must never change.
+inline std::vector<std::byte> golden_payload(std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((i * 7 + 3) & 0xFF);
+  }
+  return out;
+}
+
+// ---- image builders ----
+
+// Hand-rolled v1 image, byte-for-byte what the seed-era writer emitted, so
+// the reader keeps decoding pre-refactor checkpoints no matter what the
+// writer now produces.
+inline std::vector<std::byte> make_v1_image(
+    const std::vector<std::byte>& payload, Codec image_codec,
+    const std::string& name = "legacy") {
+  ByteWriter w;
+  w.put_bytes("CRACIMG1", 8);
+  w.put_u32(1);  // version
+  w.put_u32(static_cast<std::uint32_t>(image_codec));
+  w.put_u32(1);  // section count
+  const std::vector<std::byte> packed = compress(payload, image_codec);
+  const bool use_raw = packed.size() >= payload.size();
+  w.put_u32(static_cast<std::uint32_t>(SectionType::kMemoryRegions));
+  w.put_string(name);
+  w.put_u64(payload.size());
+  w.put_u64(use_raw ? payload.size() : packed.size());
+  w.put_u8(static_cast<std::uint8_t>(use_raw ? Codec::kStore : image_codec));
+  w.put_u32(crc32(payload.data(), payload.size()));
+  const auto& body = use_raw ? payload : packed;
+  w.put_bytes(body.data(), body.size());
+  return std::move(w).take();
+}
+
+using NamedSections =
+    std::vector<std::pair<std::string, std::vector<std::byte>>>;
+
+// Streams the named sections through the v2 writer into `sink`.
+inline Status write_image(Sink& sink, const NamedSections& secs, Codec codec,
+                          std::size_t chunk_size, ThreadPool* pool = nullptr) {
+  ImageWriter::Options opts;
+  opts.codec = codec;
+  opts.chunk_size = chunk_size;
+  opts.pool = pool;
+  ImageWriter w(&sink, opts);
+  for (const auto& [name, payload] : secs) {
+    CRAC_RETURN_IF_ERROR(w.begin_section(SectionType::kDeviceBuffers, name));
+    CRAC_RETURN_IF_ERROR(w.append(payload.data(), payload.size()));
+    CRAC_RETURN_IF_ERROR(w.end_section());
+  }
+  CRAC_RETURN_IF_ERROR(w.finish());
+  return sink.close();
+}
+
+// Same, into one v2 image file at `path`.
+inline Status write_image_file(const std::string& path,
+                               const NamedSections& secs, Codec codec,
+                               std::size_t chunk_size,
+                               ThreadPool* pool = nullptr) {
+  auto sink = FileSink::open(path);
+  if (!sink.ok()) return sink.status();
+  return write_image(**sink, secs, codec, chunk_size, pool);
+}
+
+// ---- file helpers ----
+
+inline std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "/crac_" + tag + ".img";
+}
+
+inline std::vector<std::byte> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::fseek(f, 0, SEEK_END);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+inline void write_file_raw(const std::string& path,
+                           const std::vector<std::byte>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+// ---- corruption helpers ----
+
+// Offset of the Nth (1-based) 16-byte run of `value` in `bytes`, stepping
+// `run_stride` past each hit (so consecutive chunks of one filler byte count
+// once per chunk). 0 when not found — callers ASSERT on it.
+inline std::size_t find_byte_run(const std::vector<std::byte>& bytes,
+                                 std::byte value, std::size_t nth = 1,
+                                 std::size_t run_stride = 16) {
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i + 16 <= bytes.size(); ++i) {
+    bool run = true;
+    for (std::size_t k = 0; k < 16; ++k) {
+      if (bytes[i + k] != value) {
+        run = false;
+        break;
+      }
+    }
+    if (!run) continue;
+    if (++seen == nth) return i + 8;  // land safely inside the run
+    i += run_stride - 1;
+  }
+  return 0;
+}
+
+// ---- fault-injection doubles ----
+
+inline constexpr std::uint64_t kNeverFault =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Sink wrapper that injects write-side faults at exact byte offsets of the
+// logical stream: an I/O failure at byte K (after short-writing the prefix,
+// like a disk filling mid-stripe) and/or a silent bit flip at byte K (a
+// cable or firmware lying about what was stored). Borrow of `inner`, which
+// must outlive the double.
+class FaultySink final : public Sink {
+ public:
+  struct Faults {
+    // Writing byte `fail_at` (0-based logical offset) fails with IoError;
+    // bytes before it still reach the inner sink (short write).
+    std::uint64_t fail_at = kNeverFault;
+    // Byte `flip_at` is XOR'd with `flip_mask` on its way through.
+    std::uint64_t flip_at = kNeverFault;
+    std::uint8_t flip_mask = 0x01;
+  };
+
+  FaultySink(Sink* inner, const Faults& faults)
+      : inner_(inner), faults_(faults) {}
+
+  Status flush() override {
+    if (!error_.ok()) return error_;
+    return inner_->flush();
+  }
+  Status close() override {
+    if (!error_.ok()) return error_;
+    return inner_->close();
+  }
+
+ private:
+  Status do_write(const void* data, std::size_t size) override {
+    if (!error_.ok()) return error_;
+    const auto* p = static_cast<const std::byte*>(data);
+    const std::uint64_t end = pos_ + size;
+    if (pos_ <= faults_.fail_at && faults_.fail_at < end) {
+      // Deliver the prefix, then fail — the inner stream is now short.
+      const auto prefix = static_cast<std::size_t>(faults_.fail_at - pos_);
+      if (prefix > 0) {
+        CRAC_RETURN_IF_ERROR(inner_->write(p, prefix));
+      }
+      pos_ = faults_.fail_at;
+      error_ = IoError("injected write failure at byte " +
+                       std::to_string(faults_.fail_at));
+      return error_;
+    }
+    if (pos_ <= faults_.flip_at && faults_.flip_at < end) {
+      std::vector<std::byte> flipped(p, p + size);
+      flipped[static_cast<std::size_t>(faults_.flip_at - pos_)] ^=
+          std::byte{faults_.flip_mask};
+      pos_ = end;
+      return inner_->write(flipped.data(), flipped.size());
+    }
+    pos_ = end;
+    return inner_->write(p, size);
+  }
+
+  Sink* inner_;
+  Faults faults_;
+  std::uint64_t pos_ = 0;
+  Status error_;  // injected failures are sticky, like real sink errors
+};
+
+// Source wrapper that injects read-side faults at exact byte offsets: an
+// I/O failure once the cursor would cross byte K (fail-fast or after a
+// short read of the prefix) and/or a bit flip in the bytes handed back.
+// Seeks and skips are transparent — only bytes actually read can fault,
+// mirroring how a bad disk only hurts when touched.
+class FaultySource final : public Source {
+ public:
+  struct Faults {
+    // Reading byte `fail_at` fails with IoError. With `short_read` set the
+    // prefix is delivered into `out` first (so the caller sees a partial
+    // buffer, the nastier failure mode).
+    std::uint64_t fail_at = kNeverFault;
+    bool short_read = false;
+    // Byte `flip_at` of the stream is XOR'd with `flip_mask` when read.
+    std::uint64_t flip_at = kNeverFault;
+    std::uint8_t flip_mask = 0x01;
+  };
+
+  FaultySource(Source* inner, const Faults& faults)
+      : inner_(inner), faults_(faults) {}
+  // Owning overload so the double can be handed to ImageReader::open().
+  FaultySource(std::unique_ptr<Source> inner, const Faults& faults)
+      : owned_(std::move(inner)), inner_(owned_.get()), faults_(faults) {}
+
+  Status read(void* out, std::size_t size) override {
+    const std::uint64_t start = inner_->position();
+    const std::uint64_t end = start + size;
+    if (start <= faults_.fail_at && faults_.fail_at < end) {
+      if (faults_.short_read && faults_.fail_at > start) {
+        const auto prefix = static_cast<std::size_t>(faults_.fail_at - start);
+        CRAC_RETURN_IF_ERROR(inner_->read(out, prefix));
+      }
+      return IoError(describe() + ": injected read failure at byte " +
+                     std::to_string(faults_.fail_at));
+    }
+    CRAC_RETURN_IF_ERROR(inner_->read(out, size));
+    if (start <= faults_.flip_at && faults_.flip_at < end) {
+      static_cast<std::byte*>(out)[
+          static_cast<std::size_t>(faults_.flip_at - start)] ^=
+          std::byte{faults_.flip_mask};
+    }
+    return OkStatus();
+  }
+
+  Status seek(std::uint64_t offset) override { return inner_->seek(offset); }
+  std::uint64_t position() const noexcept override {
+    return inner_->position();
+  }
+  std::uint64_t size() const noexcept override { return inner_->size(); }
+  std::string describe() const override {
+    return "faulty(" + inner_->describe() + ")";
+  }
+
+ private:
+  std::unique_ptr<Source> owned_;
+  Source* inner_;
+  Faults faults_;
+};
+
+}  // namespace crac::ckpt::testlib

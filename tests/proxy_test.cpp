@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ckpt/image.hpp"
+#include "ckpt/sharded.hpp"
 #include "ckpt/sink.hpp"
 #include "proxy/client_api.hpp"
 #include "simcuda/module.hpp"
@@ -243,6 +244,43 @@ TEST(ProxyTest, ManagedDrainRestoreRoundTrip) {
   ASSERT_EQ(api.cudaDeviceSynchronize(), cudaSuccess);
   for (std::uint64_t i = 0; i < n; ++i) {
     ASSERT_EQ(f[i], 5.0f + static_cast<float>(i)) << i;
+  }
+}
+
+TEST(ProxyTest, ManagedDrainRestoreRoundTripsOverStripedShards) {
+  // Same drain -> restore cycle, but the image stripes across three
+  // in-memory shards: the proxy's managed checkpoint is layout-agnostic,
+  // so a sharded spot-instance migration carries shadow state identically.
+  ProxyClientApi api(test_options());
+  proxy_module().register_with(api);
+  const std::uint64_t n = 4096;
+  void* managed = nullptr;
+  ASSERT_EQ(api.cudaMallocManaged(&managed, n * sizeof(float),
+                                  cuda::cudaMemAttachGlobal),
+            cudaSuccess);
+  auto* f = static_cast<float*>(managed);
+  ASSERT_EQ(cuda::launch(api, &fill_kernel, dim3{32, 1, 1}, dim3{128, 1, 1},
+                         0, f, 9.0f, n),
+            cudaSuccess);
+  ASSERT_EQ(api.cudaDeviceSynchronize(), cudaSuccess);
+
+  ckpt::StripedMemorySink sink(3, 2048);
+  ckpt::ImageWriter::Options wopts;
+  wopts.codec = ckpt::Codec::kLz;
+  wopts.chunk_size = 4096;
+  ckpt::ImageWriter writer(&sink, wopts);
+  ASSERT_TRUE(api.drain_managed(writer).ok());
+  ASSERT_TRUE(writer.finish().ok());
+
+  ASSERT_EQ(api.cudaMemset(managed, 0, n * sizeof(float)), cudaSuccess);
+
+  auto reader = ckpt::ImageReader::open(
+      std::make_unique<ckpt::StripedMemorySource>(sink.shards(), 2048));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  ASSERT_TRUE(api.restore_managed(*reader).ok());
+  ASSERT_EQ(api.cudaDeviceSynchronize(), cudaSuccess);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(f[i], 9.0f + static_cast<float>(i)) << i;
   }
 }
 

@@ -1,7 +1,8 @@
 // Tests for the streaming restore pipeline (ckpt::Source + ChunkUnpipeline
 // + the pull-mode ImageReader): round trips through FileSource across
 // sizes/codecs/pools, truncated-file and mid-chunk-EOF handling, corrupt
-// chunks that name their section, v1 images through the streaming reader,
+// chunks that name their section, read-side fault injection through the
+// shared FaultySource double, v1 images through the streaming reader,
 // random-access slices, and the bounded decode-ahead window — the
 // restore-side guarantee that peak resident bytes never track image size.
 #include <gtest/gtest.h>
@@ -17,76 +18,25 @@
 #include "ckpt/sink.hpp"
 #include "ckpt/source.hpp"
 #include "common/crc32.hpp"
-#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "tests/ckpt_testing.hpp"
 
 namespace crac::ckpt {
 namespace {
 
 constexpr std::size_t kTestChunk = 4096;
 
-std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> out(n);
-  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64());
-  return out;
-}
-
-std::vector<std::byte> compressible_bytes(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> out;
-  out.reserve(n);
-  while (out.size() < n) {
-    const auto value = static_cast<std::byte>(rng.next_below(4));
-    const std::size_t run = 16 + rng.next_below(200);
-    for (std::size_t i = 0; i < run && out.size() < n; ++i) out.push_back(value);
-  }
-  return out;
-}
+using testlib::compressible_bytes;
+using testlib::find_byte_run;
+using testlib::make_v1_image;
+using testlib::random_bytes;
+using testlib::read_file;
+using testlib::write_file_raw;
+using testlib::write_image_file;
+using testlib::FaultySource;
 
 std::string temp_path(const std::string& tag) {
-  return ::testing::TempDir() + "/crac_restore_" + tag + ".img";
-}
-
-// Writes one v2 image (sections by name) through the streaming writer into
-// `path`. Chunk size and codec parameterize the layout under test.
-Status write_image_file(
-    const std::string& path,
-    const std::vector<std::pair<std::string, std::vector<std::byte>>>& secs,
-    Codec codec, std::size_t chunk_size, ThreadPool* pool = nullptr) {
-  auto sink = FileSink::open(path);
-  if (!sink.ok()) return sink.status();
-  ImageWriter::Options opts;
-  opts.codec = codec;
-  opts.chunk_size = chunk_size;
-  opts.pool = pool;
-  ImageWriter w(sink->get(), opts);
-  for (const auto& [name, payload] : secs) {
-    CRAC_RETURN_IF_ERROR(w.begin_section(SectionType::kDeviceBuffers, name));
-    CRAC_RETURN_IF_ERROR(w.append(payload.data(), payload.size()));
-    CRAC_RETURN_IF_ERROR(w.end_section());
-  }
-  CRAC_RETURN_IF_ERROR(w.finish());
-  return (*sink)->close();
-}
-
-std::vector<std::byte> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  EXPECT_NE(f, nullptr);
-  std::fseek(f, 0, SEEK_END);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(std::ftell(f)));
-  std::fseek(f, 0, SEEK_SET);
-  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
-  return bytes;
-}
-
-void write_file_raw(const std::string& path,
-                    const std::vector<std::byte>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr);
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
+  return testlib::temp_path("restore_" + tag);
 }
 
 // ---- round-trip property through FileSource: sizes × codecs × pools ----
@@ -252,18 +202,7 @@ TEST(RestoreCorruptionTest, CorruptChunkNamesSectionThroughFileSource) {
                   .ok());
   auto bytes = read_file(path);
   // Flip a byte inside beta's SECOND chunk (the second 0xBB run).
-  std::size_t runs_seen = 0;
-  std::size_t hit = 0;
-  for (std::size_t i = 0; i + 16 <= bytes.size() && hit == 0; ++i) {
-    bool run = true;
-    for (std::size_t k = 0; k < 16; ++k) {
-      if (bytes[i + k] != std::byte{0xBB}) { run = false; break; }
-    }
-    if (run) {
-      if (++runs_seen == 2) hit = i + 8;  // second chunk: 1024 bytes later
-      i += 1024 - 1;
-    }
-  }
+  const std::size_t hit = find_byte_run(bytes, std::byte{0xBB}, 2, 1024);
   ASSERT_NE(hit, 0u);
   bytes[hit] ^= std::byte{0x01};
   write_file_raw(path, bytes);
@@ -309,27 +248,84 @@ TEST(RestoreCorruptionTest, HostileDeclaredSizesRejectedWithoutAllocation) {
   std::remove(path.c_str());
 }
 
-// ---- v1 compat through the streaming reader ----
+// ---- read-side fault injection (shared FaultySource double) ----
 
-std::vector<std::byte> make_v1_image(const std::vector<std::byte>& payload,
-                                     Codec image_codec) {
-  ByteWriter w;
-  w.put_bytes("CRACIMG1", 8);
-  w.put_u32(1);
-  w.put_u32(static_cast<std::uint32_t>(image_codec));
-  w.put_u32(1);
-  const std::vector<std::byte> packed = compress(payload, image_codec);
-  const bool use_raw = packed.size() >= payload.size();
-  w.put_u32(static_cast<std::uint32_t>(SectionType::kMemoryRegions));
-  w.put_string("legacy");
-  w.put_u64(payload.size());
-  w.put_u64(use_raw ? payload.size() : packed.size());
-  w.put_u8(static_cast<std::uint8_t>(use_raw ? Codec::kStore : image_codec));
-  w.put_u32(crc32(payload.data(), payload.size()));
-  const auto& body = use_raw ? payload : packed;
-  w.put_bytes(body.data(), body.size());
-  return std::move(w).take();
+TEST(FaultInjectionTest, InjectedReadFailureIsIoErrorNamingSource) {
+  // A device-level read failure mid-payload must surface as IoError (not
+  // Corrupt — the image may be fine, the path to it is not) and name the
+  // failing origin.
+  const auto payload = random_bytes(3 * kTestChunk, 83);
+  MemorySink sink;
+  ASSERT_TRUE(testlib::write_image(sink, {{"payload", payload}}, Codec::kStore,
+                                   1024)
+                  .ok());
+  const auto image = sink.bytes();
+  FaultySource::Faults faults;
+  faults.fail_at = image.size() / 2;
+  auto reader = ImageReader::open(std::make_unique<FaultySource>(
+      std::make_unique<MemorySource>(image), faults));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto got = reader->read_section(reader->sections()[0]);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  EXPECT_NE(got.status().message().find("injected read failure"),
+            std::string::npos)
+      << got.status().to_string();
 }
+
+TEST(FaultInjectionTest, ShortReadDeliversNothingUsable) {
+  // The nastier mode: the source fills part of the caller's buffer before
+  // failing. The stream must report the error, not hand out the partial
+  // chunk as data.
+  const auto payload = random_bytes(2 * kTestChunk, 89);
+  MemorySink sink;
+  ASSERT_TRUE(testlib::write_image(sink, {{"short", payload}}, Codec::kStore,
+                                   kTestChunk)
+                  .ok());
+  const auto image = sink.bytes();
+  FaultySource::Faults faults;
+  faults.fail_at = image.size() - kTestChunk / 2;  // inside the last chunk
+  faults.short_read = true;
+  auto reader = ImageReader::open(std::make_unique<FaultySource>(
+      std::make_unique<MemorySource>(image), faults));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto stream = reader->open_section(reader->sections()[0]);
+  ASSERT_TRUE(stream.ok());
+  std::vector<std::byte> out(payload.size());
+  auto s = stream->read(out.data(), out.size());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // And the error is sticky on the stream.
+  EXPECT_FALSE(stream->read(out.data(), 1).ok());
+}
+
+TEST(FaultInjectionTest, InFlightBitFlipIsCorruptNamingSectionAndChunk) {
+  // A bit flipped between the platter and the buffer (FaultySource flip) is
+  // indistinguishable from at-rest damage: the chunk CRC must catch it and
+  // the error must name section and chunk index.
+  const auto payload = random_bytes(4 * kTestChunk, 97);
+  MemorySink sink;
+  ASSERT_TRUE(testlib::write_image(sink, {{"flaky-bus", payload}},
+                                   Codec::kStore, kTestChunk)
+                  .ok());
+  const auto image = sink.bytes();
+  FaultySource::Faults faults;
+  // Mid-image: lands in some chunk's stored payload (kStore keeps payload
+  // bytes verbatim, so any mid-payload offset is inside a chunk).
+  faults.flip_at = image.size() / 2;
+  auto reader = ImageReader::open(std::make_unique<FaultySource>(
+      std::make_unique<MemorySource>(image), faults));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto got = reader->read_section(reader->sections()[0]);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(got.status().message().find("flaky-bus"), std::string::npos)
+      << got.status().to_string();
+  EXPECT_NE(got.status().message().find("chunk #"), std::string::npos)
+      << got.status().to_string();
+}
+
+// ---- v1 compat through the streaming reader ----
 
 class V1RestoreCompat : public ::testing::TestWithParam<Codec> {};
 
@@ -554,7 +550,8 @@ TEST(RestoreRandomAccessTest, SlicesMatchReference) {
     std::vector<std::byte> got(len);
     ASSERT_TRUE(reader->read(sec, off, got.data(), len).ok())
         << "slice at " << off << " len " << len;
-    EXPECT_TRUE(std::memcmp(got.data(), payload.data() + off, len) == 0)
+    EXPECT_TRUE(len == 0 ||
+                std::memcmp(got.data(), payload.data() + off, len) == 0)
         << "slice at " << off << " len " << len;
   }
 

@@ -1,0 +1,601 @@
+// Tests for the sharded (striped multi-file) checkpoint image backend:
+// striping arithmetic, manifest encode/parse hardening, round-trip property
+// sweeps over shard count × chunk size × thread count (byte-identical
+// restore, bounded decode window, bounded write queue), N-shard vs 1-shard
+// restore equivalence, shard-naming error reporting for missing/truncated
+// shards, stale-shard reaping when shard counts are reconfigured at one
+// path, the in-memory striped twins, fault injection through the shared
+// harness doubles, and an end-to-end CracContext checkpoint/restart over a
+// sharded image.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "ckpt/sharded.hpp"
+#include "ckpt/sink.hpp"
+#include "ckpt/source.hpp"
+#include "common/thread_pool.hpp"
+#include "crac/context.hpp"
+#include "tests/ckpt_testing.hpp"
+
+namespace crac::ckpt {
+namespace {
+
+using testlib::compressible_bytes;
+using testlib::random_bytes;
+using testlib::read_file;
+using testlib::write_file_raw;
+using testlib::FaultySource;
+using testlib::NamedSections;
+
+std::string temp_path(const std::string& tag) {
+  return testlib::temp_path("shard_" + tag);
+}
+
+void remove_sharded(const std::string& path, std::size_t shards = 16) {
+  std::remove(path.c_str());
+  for (std::size_t k = 0; k < shards; ++k) {
+    std::remove(shard_path(path, k).c_str());
+  }
+}
+
+// Writes `secs` through a ShardedFileSink at `path` and commits it.
+Status write_sharded_image(const std::string& path, const NamedSections& secs,
+                           std::size_t shards, std::size_t stripe,
+                           Codec codec, std::size_t chunk_size,
+                           ThreadPool* pool = nullptr) {
+  ShardedFileSink::Options sopts;
+  sopts.shards = shards;
+  sopts.stripe_bytes = stripe;
+  auto sink = ShardedFileSink::open(path, sopts);
+  if (!sink.ok()) return sink.status();
+  return testlib::write_image(**sink, secs, codec, chunk_size, pool);
+}
+
+// ---- striping arithmetic ----
+
+TEST(ShardLayoutTest, PiecesTileTheStreamExactly) {
+  for (std::size_t shards : {1u, 2u, 3u, 7u}) {
+    const ShardLayout layout{shards, 64};
+    std::vector<std::uint64_t> next_local(shards, 0);
+    std::uint64_t off = 0;
+    const std::uint64_t total = 64 * 23 + 17;  // partial tail stripe
+    while (off < total) {
+      const auto piece = layout.piece_at(off, static_cast<std::size_t>(
+                                                  total - off));
+      ASSERT_LT(piece.shard, shards);
+      // Sequential traversal must append to each shard contiguously.
+      ASSERT_EQ(piece.local_offset, next_local[piece.shard])
+          << "shards=" << shards << " off=" << off;
+      ASSERT_GT(piece.len, 0u);
+      ASSERT_LE(piece.len, 64u);
+      next_local[piece.shard] += piece.len;
+      off += piece.len;
+    }
+    std::uint64_t sum = 0;
+    for (std::size_t k = 0; k < shards; ++k) {
+      EXPECT_EQ(next_local[k], layout.shard_size(total, k))
+          << "shards=" << shards << " k=" << k;
+      sum += next_local[k];
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
+
+// ---- manifest hardening ----
+
+TEST(ShardManifestTest, EncodeParseRoundTrips) {
+  ShardManifest m;
+  m.shard_count = 3;
+  m.stripe_bytes = 4096;
+  m.total_bytes = 3 * 4096 + 100;
+  const ShardLayout layout = m.layout();
+  for (std::size_t k = 0; k < 3; ++k) {
+    m.shard_bytes.push_back(layout.shard_size(m.total_bytes, k));
+  }
+  const auto encoded = encode_shard_manifest(m);
+  auto parsed = parse_shard_manifest(encoded.data(), encoded.size(), "test");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->shard_count, 3u);
+  EXPECT_EQ(parsed->stripe_bytes, 4096u);
+  EXPECT_EQ(parsed->total_bytes, m.total_bytes);
+  EXPECT_EQ(parsed->shard_bytes, m.shard_bytes);
+}
+
+TEST(ShardManifestTest, HostileManifestsRejected) {
+  ShardManifest m;
+  m.shard_count = 2;
+  m.stripe_bytes = 4096;
+  m.total_bytes = 8192;
+  m.shard_bytes = {4096, 4096};
+  const auto good = encode_shard_manifest(m);
+
+  {  // any flipped bit trips the manifest CRC
+    auto bad = good;
+    bad[20] ^= std::byte{0x01};
+    EXPECT_FALSE(parse_shard_manifest(bad.data(), bad.size(), "t").ok());
+  }
+  {  // truncation
+    auto bad = good;
+    bad.resize(bad.size() - 5);
+    EXPECT_FALSE(parse_shard_manifest(bad.data(), bad.size(), "t").ok());
+  }
+  {  // shard count past the cap must not demand threads/allocations
+    ShardManifest huge = m;
+    huge.shard_count = 100000;
+    huge.shard_bytes.assign(2, 4096);  // encoder writes what it is given
+    const auto bad = encode_shard_manifest(huge);
+    auto parsed = parse_shard_manifest(bad.data(), bad.size(), "t");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorrupt);
+  }
+  {  // per-shard sizes disagreeing with the striping arithmetic
+    ShardManifest skew = m;
+    skew.shard_bytes = {8192, 0};
+    const auto bad = encode_shard_manifest(skew);
+    auto parsed = parse_shard_manifest(bad.data(), bad.size(), "t");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("striping"), std::string::npos)
+        << parsed.status().to_string();
+  }
+}
+
+// ---- round-trip property: shard count × chunk size × threads ----
+
+struct ShardSweepCase {
+  std::size_t shards;
+  std::size_t chunk_size;
+  std::size_t threads;  // 0 = inline (no pool)
+};
+
+class ShardRoundTrip : public ::testing::TestWithParam<ShardSweepCase> {};
+
+TEST_P(ShardRoundTrip, ByteIdenticalWithBoundedWindows) {
+  const ShardSweepCase& c = GetParam();
+  // Mixed entropy and awkward sizes; small stripe so even small sections
+  // cross every shard.
+  const NamedSections secs = {
+      {"zeros", std::vector<std::byte>(5 * c.chunk_size + 31, std::byte{0})},
+      {"noise", random_bytes(3 * c.chunk_size + 7, 101 + c.shards)},
+      {"runs", compressible_bytes(7 * c.chunk_size + 1, 103 + c.shards)},
+      {"tiny", random_bytes(5, 107)},
+  };
+  const std::string path = temp_path("sweep");
+  const std::size_t stripe = 512;
+  ThreadPool pool(c.threads == 0 ? 1 : c.threads);
+  ThreadPool* wpool = c.threads == 0 ? nullptr : &pool;
+
+  {
+    ShardedFileSink::Options sopts;
+    sopts.shards = c.shards;
+    sopts.stripe_bytes = stripe;
+    auto sink = ShardedFileSink::open(path, sopts);
+    ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+    ASSERT_TRUE(testlib::write_image(**sink, secs, Codec::kLz, c.chunk_size,
+                                     wpool)
+                    .ok());
+    // Write-side bound: queued bytes never exceed the sink's cap, no matter
+    // how large the image is.
+    EXPECT_LE((*sink)->buffered_peak_bytes(),
+              std::max<std::uint64_t>(std::uint64_t{1} << 20,
+                                      2 * stripe * c.shards));
+  }
+
+  ImageReader::Options ropts;
+  ropts.pool = wpool;
+  auto reader = ImageReader::from_file(path, ropts);
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  EXPECT_EQ(reader->version(), 2u);
+  ASSERT_EQ(reader->sections().size(), secs.size());
+  for (std::size_t i = 0; i < secs.size(); ++i) {
+    const SectionInfo* sec =
+        reader->find(SectionType::kDeviceBuffers, secs[i].first);
+    ASSERT_NE(sec, nullptr) << secs[i].first;
+    auto got = reader->read_section(*sec);
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    EXPECT_EQ(*got, secs[i].second) << secs[i].first;
+  }
+  // The read-side bounded-window guarantee must survive sharding: the
+  // striped source scatter-gathers straight into the decode buffers and
+  // stages nothing itself, so the reader's high-water mark stays what the
+  // single-file pipeline promises.
+  const std::size_t window = wpool != nullptr ? 2 * pool.size() + 1 : 1;
+  EXPECT_LE(reader->buffered_peak_bytes(), window * 2 * c.chunk_size);
+  EXPECT_TRUE(reader->verify_unread_sections().ok());
+  remove_sharded(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsChunksThreads, ShardRoundTrip,
+    ::testing::ValuesIn([] {
+      std::vector<ShardSweepCase> cases;
+      for (std::size_t shards : {1u, 2u, 3u, 7u}) {
+        for (std::size_t chunk : {std::size_t{1} << 10, std::size_t{8} << 10}) {
+          for (std::size_t threads : {0u, 1u, 3u}) {
+            cases.push_back({shards, chunk, threads});
+          }
+        }
+      }
+      return cases;
+    }()));
+
+// ---- N-shard vs 1-shard equivalence (the acceptance criterion) ----
+
+TEST(ShardEquivalenceTest, FourShardRestoreMatchesSingleFileRestore) {
+  // The same payload checkpointed as a classic single file and as a 4-shard
+  // striped image must restore to byte-identical contents.
+  const NamedSections secs = {
+      {"payload", compressible_bytes(300000, 131)},
+      {"noise", random_bytes(70000, 137)},
+  };
+  const std::string single = temp_path("equiv_single");
+  const std::string sharded = temp_path("equiv_sharded");
+  ThreadPool pool(3);
+  ASSERT_TRUE(
+      testlib::write_image_file(single, secs, Codec::kLz, 4096, &pool).ok());
+  ASSERT_TRUE(
+      write_sharded_image(sharded, secs, 4, 1024, Codec::kLz, 4096, &pool)
+          .ok());
+
+  auto restore_all = [](const std::string& path) {
+    std::vector<std::byte> all;
+    auto reader = ImageReader::from_file(path);
+    EXPECT_TRUE(reader.ok()) << reader.status().to_string();
+    for (const auto& sec : reader->sections()) {
+      auto payload = reader->read_section(sec);
+      EXPECT_TRUE(payload.ok()) << payload.status().to_string();
+      all.insert(all.end(), payload->begin(), payload->end());
+    }
+    return all;
+  };
+  const auto from_single = restore_all(single);
+  const auto from_sharded = restore_all(sharded);
+  EXPECT_EQ(from_single, from_sharded);
+  ASSERT_FALSE(from_single.empty());
+  std::remove(single.c_str());
+  remove_sharded(sharded);
+}
+
+// ---- random access and structured reads over shards ----
+
+TEST(ShardRandomAccessTest, SlicesMatchReference) {
+  const auto payload = random_bytes(10 * 1024 + 321, 139);
+  const std::string path = temp_path("slices");
+  ASSERT_TRUE(write_sharded_image(path, {{"payload", payload}}, 3, 512,
+                                  Codec::kLz, 1024)
+                  .ok());
+  auto reader = ImageReader::from_file(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  const SectionInfo& sec = reader->sections()[0];
+  const std::pair<std::uint64_t, std::size_t> slices[] = {
+      {0, 1},
+      {1023, 2},          // chunk straddle
+      {511, 2},           // stripe straddle
+      {3 * 1024 + 17, 4 * 1024},
+      {payload.size() - 1, 1},
+  };
+  for (const auto& [off, len] : slices) {
+    std::vector<std::byte> got(len);
+    ASSERT_TRUE(reader->read(sec, off, got.data(), len).ok())
+        << "slice at " << off;
+    EXPECT_TRUE(std::memcmp(got.data(), payload.data() + off, len) == 0)
+        << "slice at " << off;
+  }
+  remove_sharded(path);
+}
+
+// ---- error reporting: shard problems name the shard file and index ----
+
+TEST(ShardErrorTest, MissingShardNamesFileAndIndex) {
+  const std::string path = temp_path("missing");
+  ASSERT_TRUE(write_sharded_image(path, {{"p", random_bytes(100000, 149)}}, 3,
+                                  1024, Codec::kStore, 4096)
+                  .ok());
+  std::remove(shard_path(path, 1).c_str());
+  auto reader = ImageReader::from_file(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  EXPECT_NE(reader.status().message().find("shard 1"), std::string::npos)
+      << reader.status().to_string();
+  EXPECT_NE(reader.status().message().find(shard_path(path, 1)),
+            std::string::npos)
+      << reader.status().to_string();
+  remove_sharded(path);
+}
+
+TEST(ShardErrorTest, TruncatedShardNamesFileIndexAndSizes) {
+  const std::string path = temp_path("truncated");
+  ASSERT_TRUE(write_sharded_image(path, {{"p", random_bytes(100000, 151)}}, 3,
+                                  1024, Codec::kStore, 4096)
+                  .ok());
+  auto shard2 = read_file(shard_path(path, 2));
+  ASSERT_GT(shard2.size(), 500u);
+  shard2.resize(shard2.size() - 500);
+  write_file_raw(shard_path(path, 2), shard2);
+  auto reader = ImageReader::from_file(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(reader.status().message().find("shard 2"), std::string::npos)
+      << reader.status().to_string();
+  EXPECT_NE(reader.status().message().find(shard_path(path, 2)),
+            std::string::npos)
+      << reader.status().to_string();
+  EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+      << reader.status().to_string();
+  remove_sharded(path);
+}
+
+TEST(ShardErrorTest, CorruptManifestNamesManifestPath) {
+  const std::string path = temp_path("badmanifest");
+  ASSERT_TRUE(write_sharded_image(path, {{"p", random_bytes(5000, 157)}}, 2,
+                                  1024, Codec::kStore, 4096)
+                  .ok());
+  auto manifest = read_file(path);
+  manifest[manifest.size() - 6] ^= std::byte{0x01};  // inside shard sizes/CRC
+  write_file_raw(path, manifest);
+  auto reader = ImageReader::from_file(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find(path), std::string::npos)
+      << reader.status().to_string();
+  remove_sharded(path);
+}
+
+TEST(ShardErrorTest, FlippedShardPayloadByteNamesSectionAndChunk) {
+  const std::string path = temp_path("flip");
+  const std::vector<std::byte> beta(8000, std::byte{0xBB});
+  ASSERT_TRUE(write_sharded_image(path, {{"beta", beta}}, 2, 512,
+                                  Codec::kStore, 1024)
+                  .ok());
+  // Flip a payload byte inside one shard file: at-rest damage to a single
+  // stripe. The striped reader must report it exactly like single-file
+  // damage — Corrupt, naming section and chunk.
+  auto shard0 = read_file(shard_path(path, 0));
+  const std::size_t hit = testlib::find_byte_run(shard0, std::byte{0xBB});
+  ASSERT_NE(hit, 0u);
+  shard0[hit] ^= std::byte{0x01};
+  write_file_raw(shard_path(path, 0), shard0);
+  auto reader = ImageReader::from_file(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto got = reader->read_section(reader->sections()[0]);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(got.status().message().find("beta"), std::string::npos)
+      << got.status().to_string();
+  EXPECT_NE(got.status().message().find("chunk #"), std::string::npos)
+      << got.status().to_string();
+  remove_sharded(path);
+}
+
+TEST(ShardErrorTest, FailedWriteLeavesNoImageBehind) {
+  // A sink that never closes cleanly must not leave shard temps (or a
+  // manifest) behind — the failed-checkpoint-cleans-up contract.
+  const std::string path = temp_path("abandon");
+  {
+    ShardedFileSink::Options sopts;
+    sopts.shards = 3;
+    sopts.stripe_bytes = 1024;
+    auto sink = ShardedFileSink::open(path, sopts);
+    ASSERT_TRUE(sink.ok());
+    const auto payload = random_bytes(50000, 163);
+    ASSERT_TRUE((*sink)->write(payload.data(), payload.size()).ok());
+    // Destroyed without close(): commit never happens.
+  }
+  EXPECT_FALSE(is_sharded_image(path));
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::FILE* f = std::fopen((shard_path(path, k) + ".tmp").c_str(), "rb");
+    EXPECT_EQ(f, nullptr) << "leftover temp for shard " << k;
+    if (f != nullptr) std::fclose(f);
+  }
+  remove_sharded(path);
+}
+
+TEST(ShardErrorTest, RemoveImageDeletesManifestAndShards) {
+  const std::string path = temp_path("remove");
+  ASSERT_TRUE(write_sharded_image(path, {{"p", random_bytes(5000, 191)}}, 3,
+                                  512, Codec::kStore, 1024)
+                  .ok());
+  ASSERT_TRUE(remove_image(path).ok());
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(std::fopen(shard_path(path, k).c_str(), "rb"), nullptr)
+        << "shard " << k << " survived remove_image";
+  }
+  // A plain single-file image goes through the same entry point.
+  const std::string single = temp_path("remove_single");
+  ASSERT_TRUE(testlib::write_image_file(single, {{"p", random_bytes(100, 193)}},
+                                        Codec::kStore, 1024)
+                  .ok());
+  ASSERT_TRUE(remove_image(single).ok());
+  EXPECT_EQ(std::fopen(single.c_str(), "rb"), nullptr);
+}
+
+TEST(ShardErrorTest, RemoveImageWithUnreadableManifestStillSweepsShards) {
+  // Valid magic but a CRC-damaged manifest: the shard count is unknowable,
+  // so remove_image must sweep the whole legal range rather than deleting
+  // only the manifest (which would orphan every shard forever).
+  const std::string path = temp_path("remove_unreadable");
+  ASSERT_TRUE(write_sharded_image(path, {{"p", random_bytes(5000, 227)}}, 3,
+                                  512, Codec::kStore, 1024)
+                  .ok());
+  auto manifest = read_file(path);
+  manifest.back() ^= std::byte{0x01};  // break the manifest CRC
+  testlib::write_file_raw(path, manifest);
+  std::remove(shard_path(path, 1).c_str());  // and add a gap
+  ASSERT_TRUE(remove_image(path).ok());
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(std::fopen(shard_path(path, k).c_str(), "rb"), nullptr)
+        << "shard " << k << " survived remove_image";
+  }
+}
+
+TEST(ShardErrorTest, RemoveImageWithMissingMiddleShardRemovesTheRest) {
+  // A broken image (a middle shard already gone) must still be fully
+  // deletable: the sweep covers the manifest's whole range instead of
+  // stopping at the first gap.
+  const std::string path = temp_path("remove_broken");
+  ASSERT_TRUE(write_sharded_image(path, {{"p", random_bytes(5000, 197)}}, 3,
+                                  512, Codec::kStore, 1024)
+                  .ok());
+  std::remove(shard_path(path, 1).c_str());
+  ASSERT_TRUE(remove_image(path).ok());
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(std::fopen(shard_path(path, k).c_str(), "rb"), nullptr)
+        << "shard " << k << " survived remove_image";
+  }
+}
+
+// ---- reconfiguring shard counts at one path must not leak shards ----
+
+TEST(ShardReconfigureTest, DownsizingShardCountReapsStaleTail) {
+  // A 4-shard image replaced by a 2-shard image at the same path must not
+  // leave shard2/shard3 as orphaned checkpoint-sized debris.
+  const std::string path = temp_path("downsize");
+  ASSERT_TRUE(write_sharded_image(path, {{"old", random_bytes(40000, 199)}}, 4,
+                                  512, Codec::kStore, 1024)
+                  .ok());
+  const auto fresh = random_bytes(30000, 211);
+  ASSERT_TRUE(write_sharded_image(path, {{"new", fresh}}, 2, 512,
+                                  Codec::kStore, 1024)
+                  .ok());
+  for (std::size_t k = 2; k < 4; ++k) {
+    EXPECT_EQ(std::fopen(shard_path(path, k).c_str(), "rb"), nullptr)
+        << "stale shard " << k << " survived the narrower checkpoint";
+  }
+  auto reader = ImageReader::from_file(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto got = reader->read_section(reader->sections()[0]);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, fresh);
+  remove_sharded(path);
+}
+
+TEST(ShardReconfigureTest, RemoveStaleShardsStopsAtFirstGap) {
+  const std::string path = temp_path("reap");
+  for (std::size_t k = 0; k < 3; ++k) {
+    testlib::write_file_raw(shard_path(path, k), random_bytes(16, 223));
+  }
+  remove_stale_shards(path, 1);
+  std::FILE* kept = std::fopen(shard_path(path, 0).c_str(), "rb");
+  EXPECT_NE(kept, nullptr) << "shard below first_index must survive";
+  if (kept != nullptr) std::fclose(kept);
+  for (std::size_t k = 1; k < 3; ++k) {
+    EXPECT_EQ(std::fopen(shard_path(path, k).c_str(), "rb"), nullptr)
+        << "stale shard " << k << " survived the reap";
+  }
+  remove_sharded(path);
+}
+
+// ---- in-memory striped twins ----
+
+TEST(StripedMemoryTest, SinkAndSourceRoundTrip) {
+  const NamedSections secs = {
+      {"a", compressible_bytes(20000, 167)},
+      {"b", random_bytes(7777, 173)},
+  };
+  StripedMemorySink sink(3, 256);
+  ASSERT_TRUE(testlib::write_image(sink, secs, Codec::kLz, 1024).ok());
+  ASSERT_EQ(sink.shards().size(), 3u);
+  // Every shard participates once the image outgrows one stripe.
+  for (const auto& shard : sink.shards()) EXPECT_FALSE(shard.empty());
+
+  auto reader = ImageReader::open(
+      std::make_unique<StripedMemorySource>(sink.shards(), 256));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  for (const auto& [name, payload] : secs) {
+    auto got =
+        reader->read_section(*reader->find(SectionType::kDeviceBuffers, name));
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    EXPECT_EQ(*got, payload);
+  }
+}
+
+TEST(StripedMemoryTest, ShortShardBufferIsCorruptNotCrash) {
+  StripedMemorySink sink(2, 256);
+  ASSERT_TRUE(testlib::write_image(sink, {{"p", random_bytes(4000, 179)}},
+                                   Codec::kStore, 512)
+                  .ok());
+  auto shards = std::move(sink).take();
+  shards[1].resize(shards[1].size() / 2);  // lose half of shard 1
+  // Total shrinks with the lost tail, so reads that used to fit now cross
+  // into missing stripes; every outcome must be a loud Status.
+  auto reader = ImageReader::open(
+      std::make_unique<StripedMemorySource>(std::move(shards), 256));
+  if (reader.ok()) {
+    bool failed = false;
+    for (const auto& sec : reader->sections()) {
+      if (!reader->read_section(sec).ok()) failed = true;
+    }
+    EXPECT_TRUE(failed);
+  } else {
+    EXPECT_FALSE(reader.status().message().empty());
+  }
+}
+
+// ---- fault injection composes with the striped source ----
+
+TEST(ShardFaultInjectionTest, ReadFailureThroughStripedSourceIsIoError) {
+  StripedMemorySink sink(3, 512);
+  ASSERT_TRUE(testlib::write_image(sink, {{"p", random_bytes(30000, 181)}},
+                                   Codec::kStore, 1024)
+                  .ok());
+  std::uint64_t total = 0;
+  for (const auto& shard : sink.shards()) total += shard.size();
+  FaultySource::Faults faults;
+  faults.fail_at = total / 2;
+  auto reader = ImageReader::open(std::make_unique<FaultySource>(
+      std::make_unique<StripedMemorySource>(sink.shards(), 512), faults));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto got = reader->read_section(reader->sections()[0]);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+}
+
+// ---- end-to-end: CracContext over a sharded image ----
+
+TEST(ShardContextTest, CheckpointRestartRoundTripsOverShards) {
+  const std::string path = temp_path("context");
+  CracOptions opts;
+  opts.split.device.device_capacity = 256 << 20;
+  opts.split.device.pinned_capacity = 64 << 20;
+  opts.split.device.managed_capacity = 256 << 20;
+  opts.split.upper_heap_capacity = 256 << 20;
+  opts.ckpt_shards = 3;
+  opts.ckpt_stripe_bytes = 16 << 10;
+  opts.ckpt_chunk_bytes = 64 << 10;
+  opts.ckpt_threads = 2;
+
+  std::vector<unsigned char> pattern(512 << 10);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<unsigned char>(i * 31 + 7);
+  }
+  void* dev = nullptr;
+  {
+    CracContext ctx(opts);
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, pattern.size()), cuda::cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(dev, pattern.data(), pattern.size(),
+                                   cuda::cudaMemcpyHostToDevice),
+              cuda::cudaSuccess);
+    auto report = ctx.checkpoint(path);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_GT(report->image_bytes, pattern.size());
+  }
+  ASSERT_TRUE(is_sharded_image(path));
+
+  auto restarted = CracContext::restart_from_image(path, opts);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().to_string();
+  std::vector<unsigned char> out(pattern.size());
+  ASSERT_EQ((*restarted)->api().cudaMemcpy(out.data(), dev, out.size(),
+                                           cuda::cudaMemcpyDeviceToHost),
+            cuda::cudaSuccess);
+  EXPECT_EQ(out, pattern);
+  remove_sharded(path);
+}
+
+}  // namespace
+}  // namespace crac::ckpt
