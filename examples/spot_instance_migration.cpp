@@ -1,20 +1,32 @@
-// Spot-instance migration scenario (paper §1, motivation (d)).
+// Spot-instance migration scenario (paper §1, motivation (d)) — the real
+// two-endpoint version.
 //
 // A long-running iterative GPU solver (Jacobi on a 2D grid) receives a
-// "spot instance reclaimed" notice mid-run: it checkpoints on demand — at
-// an arbitrary iteration, not a designated phase boundary — and "dies".
-// A new context (the replacement instance on an identical node) restarts
-// from the image and carries the solve to completion. The final residual
-// must match an uninterrupted run exactly.
+// "spot instance reclaimed" notice mid-run. Instance #1 (a forked child —
+// its own process, its own CRAC context) checkpoints on demand and streams
+// the image *directly into the replacement instance over a socketpair*:
+// ckpt::SocketSink frames the live checkpoint, ckpt::SpoolingSource on
+// instance #2 receives it into a bounded spool and hands the ordinary
+// restart path a seekable image. No shared filesystem, no intermediate
+// image file on disk — the bytes a dying instance writes are the bytes the
+// replacement restores, concurrently, while #1 is still draining.
+//
+// The restored solve carries to completion and its final residual must
+// match an uninterrupted run exactly (byte-identical live restore).
 //
 // All host-side solver state (iteration counter, configuration) lives in
 // the CRAC upper-half heap, so the restarted process recovers it through
 // the context's root pointer — no application-specific checkpoint code.
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <vector>
 
-#include "ckpt/sharded.hpp"
+#include "ckpt/remote.hpp"
 #include "crac/context.hpp"
 #include "simcuda/module.hpp"
 
@@ -52,6 +64,26 @@ struct SolverState {
   float* grid_b = nullptr;
 };
 
+constexpr std::uint64_t kEdge = 256;
+constexpr int kTotalIters = 200;
+constexpr int kReclaimAt = 73;  // the spot notice arrives mid-run
+
+SolverState* build_solver(CracContext& ctx) {
+  auto st_mem = ctx.heap().alloc(sizeof(SolverState));
+  auto* st = new (*st_mem) SolverState();
+  st->n = kEdge;
+  st->total_iterations = kTotalIters;
+  void* a = nullptr;
+  void* b = nullptr;
+  ctx.api().cudaMalloc(&a, kEdge * kEdge * sizeof(float));
+  ctx.api().cudaMalloc(&b, kEdge * kEdge * sizeof(float));
+  ctx.api().cudaMemset(a, 0, kEdge * kEdge * sizeof(float));
+  ctx.api().cudaMemset(b, 0, kEdge * kEdge * sizeof(float));
+  st->grid_a = static_cast<float*>(a);
+  st->grid_b = static_cast<float*>(b);
+  return st;
+}
+
 double run_iterations(CracContext& ctx, SolverState* st, int upto,
                       const char* phase) {
   auto& api = ctx.api();
@@ -76,59 +108,92 @@ double run_iterations(CracContext& ctx, SolverState* st, int upto,
   return sum;
 }
 
+// Instance #1: runs until the reclaim notice, then checkpoints straight
+// into the migration socket and dies. Never touches a filesystem path.
+[[noreturn]] void run_reclaimed_instance(int ship_fd) {
+  std::printf("spot instance #1 (pid %d): starting solve...\n",
+              static_cast<int>(::getpid()));
+  CracContext ctx;
+  g_module.register_with(ctx.api());
+  SolverState* st = build_solver(ctx);
+  ctx.set_root(st);
+
+  run_iterations(ctx, st, kReclaimAt, "instance-1");
+  std::printf("spot instance #1: RECLAIM NOTICE — shipping checkpoint to "
+              "the replacement instance\n");
+  ckpt::SocketSink sink(ship_fd, "migration socket");
+  auto report = ctx.checkpoint_to_sink(sink);
+  if (!report.ok()) {
+    std::fprintf(stderr, "checkpoint ship failed: %s\n",
+                 report.status().to_string().c_str());
+    ::_exit(1);
+  }
+  std::printf("spot instance #1: shipped %llu bytes live; terminating.\n",
+              static_cast<unsigned long long>(report->image_bytes));
+  ::_exit(0);
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  const std::string image = argc > 1 ? argv[1] : "/tmp/crac_spot.img";
-  constexpr std::uint64_t kEdge = 256;
-  constexpr int kTotalIters = 200;
-  constexpr int kReclaimAt = 73;  // the spot notice arrives mid-run
+int main() {
+  // Pre-fork so both instances inherit it: a write to a dead peer must
+  // surface as a named IoError through the Status path, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
-  // Migration is exactly the workload sharded images exist for: the image
-  // ships to a fresh path on a new node, and striping it across shard
-  // files lets the write (and the replacement instance's restore) run N
-  // concurrent streams. restart_from_image auto-detects the layout.
-  CracOptions spot_options;
-  spot_options.ckpt_shards = 4;
+  // Kernel registry is populated pre-fork so instance #1, the restored
+  // instance, and the oracle all share the same module definition.
+  g_module.add_kernel<const float*, float*, std::uint64_t>(&jacobi_kernel,
+                                                           "jacobi");
+
+  // The "network" between the dying instance and its replacement.
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    std::perror("socketpair");
+    return 1;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    run_reclaimed_instance(fds[1]);  // never returns
+  }
+  ::close(fds[1]);
+
+  // Instance #2: receive the live stream into a bounded spool (the image is
+  // small enough to stay entirely in memory here — zero bytes ever touch
+  // disk), then restart from it. The receive runs concurrently with #1's
+  // checkpoint: the socketpair buffer is far smaller than the image, so the
+  // writer only makes progress because this end is already consuming.
+  std::printf("spot instance #2 (pid %d): receiving live checkpoint...\n",
+              static_cast<int>(::getpid()));
+  ckpt::SpoolingSource::Options spool_opts;
+  spool_opts.origin = "migration socket";
+  auto spool = ckpt::SpoolingSource::receive(fds[0], spool_opts);
+  ::close(fds[0]);
+  int child_status = 0;
+  ::waitpid(pid, &child_status, 0);
+  if (!spool.ok()) {
+    std::fprintf(stderr, "receive failed: %s\n",
+                 spool.status().to_string().c_str());
+    return 1;
+  }
+  if (child_status != 0) {
+    std::fprintf(stderr, "instance #1 exited with status %d\n", child_status);
+    return 1;
+  }
+  std::printf("spot instance #2: received %llu bytes (peak spool memory "
+              "%llu, spooled to disk %llu)\n",
+              static_cast<unsigned long long>((*spool)->size()),
+              static_cast<unsigned long long>((*spool)->peak_resident_bytes()),
+              static_cast<unsigned long long>(
+                  (*spool)->spooled_to_disk_bytes()));
 
   double interrupted_sum = 0;
   {
-    std::printf("spot instance #1: starting solve...\n");
-    CracContext ctx(spot_options);
-    g_module.add_kernel<const float*, float*, std::uint64_t>(&jacobi_kernel,
-                                                             "jacobi");
-    g_module.register_with(ctx.api());
-
-    auto st_mem = ctx.heap().alloc(sizeof(SolverState));
-    auto* st = new (*st_mem) SolverState();
-    st->n = kEdge;
-    st->total_iterations = kTotalIters;
-    void* a = nullptr;
-    void* b = nullptr;
-    ctx.api().cudaMalloc(&a, kEdge * kEdge * sizeof(float));
-    ctx.api().cudaMalloc(&b, kEdge * kEdge * sizeof(float));
-    ctx.api().cudaMemset(a, 0, kEdge * kEdge * sizeof(float));
-    ctx.api().cudaMemset(b, 0, kEdge * kEdge * sizeof(float));
-    st->grid_a = static_cast<float*>(a);
-    st->grid_b = static_cast<float*>(b);
-    ctx.set_root(st);
-
-    run_iterations(ctx, st, kReclaimAt, "instance-1");
-    std::printf("spot instance #1: RECLAIM NOTICE — checkpointing on demand\n");
-    auto report = ctx.checkpoint(image);
-    if (!report.ok()) {
-      std::fprintf(stderr, "checkpoint failed: %s\n",
-                   report.status().to_string().c_str());
-      return 1;
-    }
-    std::printf("spot instance #1: image %llu bytes; terminating.\n",
-                static_cast<unsigned long long>(report->image_bytes));
-    // Context destroyed: the instance is gone.
-  }
-
-  {
-    std::printf("spot instance #2: restarting from image...\n");
-    auto restored = CracContext::restart_from_image(image);
+    auto restored = CracContext::restart_from_source(std::move(*spool));
     if (!restored.ok()) {
       std::fprintf(stderr, "restart failed: %s\n",
                    restored.status().to_string().c_str());
@@ -147,28 +212,17 @@ int main(int argc, char** argv) {
   {
     CracContext ctx;
     g_module.register_with(ctx.api());
-    auto st_mem = ctx.heap().alloc(sizeof(SolverState));
-    auto* st = new (*st_mem) SolverState();
-    st->n = kEdge;
-    st->total_iterations = kTotalIters;
-    void* a = nullptr;
-    void* b = nullptr;
-    ctx.api().cudaMalloc(&a, kEdge * kEdge * sizeof(float));
-    ctx.api().cudaMalloc(&b, kEdge * kEdge * sizeof(float));
-    ctx.api().cudaMemset(a, 0, kEdge * kEdge * sizeof(float));
-    ctx.api().cudaMemset(b, 0, kEdge * kEdge * sizeof(float));
-    st->grid_a = static_cast<float*>(a);
-    st->grid_b = static_cast<float*>(b);
+    SolverState* st = build_solver(ctx);
     uninterrupted_sum = run_iterations(ctx, st, kTotalIters, "oracle");
   }
 
-  (void)ckpt::remove_image(image);  // manifest + shard files
   if (interrupted_sum != uninterrupted_sum) {
     std::fprintf(stderr, "FAILED: migrated result %.9f != oracle %.9f\n",
                  interrupted_sum, uninterrupted_sum);
     return 1;
   }
-  std::printf("OK: migrated solve matches the uninterrupted solve exactly "
-              "(%.6f).\n", interrupted_sum);
+  std::printf("OK: live-migrated solve matches the uninterrupted solve "
+              "exactly (%.6f), with no image file on disk.\n",
+              interrupted_sum);
   return 0;
 }

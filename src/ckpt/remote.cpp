@@ -1,0 +1,374 @@
+#include "ckpt/remote.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/crc32.hpp"
+#include "common/fd_io.hpp"
+
+namespace crac::ckpt {
+
+namespace {
+
+// Spool memory is held in fixed blocks (never realloc'd), so the resident
+// bound is exact: blocks + scratch never exceed the cap, with no transient
+// doubling a growing vector would sneak in.
+constexpr std::size_t kSpoolBlockBytes = std::size_t{64} << 10;
+
+struct ShipTrailer {
+  std::uint64_t total_bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+Status check_ship_header(const std::byte* buf, const std::string& origin) {
+  if (std::memcmp(buf, kShipMagic, sizeof(kShipMagic)) != 0) {
+    return Corrupt(origin + ": not a checkpoint ship stream (bad magic)");
+  }
+  std::uint32_t version = 0, stored_crc = 0;
+  std::memcpy(&version, buf + 8, 4);
+  std::memcpy(&stored_crc, buf + 12, 4);
+  if (crc32(buf, 12) != stored_crc) {
+    return Corrupt(origin + ": ship stream header CRC mismatch");
+  }
+  if (version != kShipVersion) {
+    return Corrupt(origin + ": unsupported ship stream version " +
+                   std::to_string(version));
+  }
+  return OkStatus();
+}
+
+std::vector<std::byte> encode_ship_header() {
+  ByteWriter w;
+  w.put_bytes(kShipMagic, sizeof(kShipMagic));
+  w.put_u32(kShipVersion);
+  w.put_u32(crc32(w.data(), w.size()));
+  return std::move(w).take();
+}
+
+using StreamHook = std::function<Status(const std::byte*, std::size_t)>;
+
+// The one validating walk over a CRACSHP1 stream, shared by the spool and
+// the relay so the wire format has a single parser that cannot drift:
+// header check, frame-length caps, running CRC/byte count, trailer
+// verification. `on_wire` sees every wire byte in arrival order (header,
+// length words, payloads, trailer — the relay's forwarding hook);
+// `on_payload` sees only the logical stream bytes (the spool's append
+// hook). Either may be null. The trailer is delivered to `on_wire` before
+// validation, so a relay's downstream peer always reaches (and rejects)
+// the same bad trailer instead of hanging on a half-forwarded stream.
+Status walk_ship_stream(int fd, const std::string& origin,
+                        std::size_t slice_bytes, const StreamHook& on_wire,
+                        const StreamHook& on_payload) {
+  std::byte header[kShipHeaderBytes];
+  CRAC_RETURN_IF_ERROR(read_all_fd(fd, header, sizeof(header), origin));
+  CRAC_RETURN_IF_ERROR(check_ship_header(header, origin));
+  if (on_wire) CRAC_RETURN_IF_ERROR(on_wire(header, sizeof(header)));
+
+  std::vector<std::byte> scratch;
+  std::uint64_t total = 0;
+  std::uint32_t crc = 0;
+  for (;;) {
+    std::uint32_t frame_len = 0;
+    CRAC_RETURN_IF_ERROR(read_all_fd(fd, &frame_len, sizeof(frame_len),
+                                     origin));
+    if (on_wire) {
+      CRAC_RETURN_IF_ERROR(on_wire(
+          reinterpret_cast<const std::byte*>(&frame_len), sizeof(frame_len)));
+    }
+    if (frame_len == 0) {
+      std::byte trailer[kShipTrailerBytes];
+      CRAC_RETURN_IF_ERROR(read_all_fd(fd, trailer, sizeof(trailer), origin));
+      if (on_wire) CRAC_RETURN_IF_ERROR(on_wire(trailer, sizeof(trailer)));
+      ShipTrailer parsed;
+      std::memcpy(&parsed.total_bytes, trailer, 8);
+      std::memcpy(&parsed.crc, trailer + 8, 4);
+      if (parsed.total_bytes != total) {
+        return Corrupt(origin + ": ship trailer declares " +
+                       std::to_string(parsed.total_bytes) +
+                       " bytes, stream delivered " + std::to_string(total));
+      }
+      if (parsed.crc != crc) {
+        return Corrupt(origin + ": ship stream CRC mismatch in trailer");
+      }
+      return OkStatus();
+    }
+    if (frame_len > kShipFrameBytes) {
+      return Corrupt(origin + ": ship frame of " + std::to_string(frame_len) +
+                     " bytes exceeds the " + std::to_string(kShipFrameBytes) +
+                     "-byte limit");
+    }
+    std::size_t left = frame_len;
+    while (left > 0) {
+      // Frame payloads stream through a bounded scratch slice, so resident
+      // bytes stay capped no matter how large the shipment is.
+      const std::size_t take = std::min(left, slice_bytes);
+      if (scratch.size() < take) scratch.resize(slice_bytes);
+      CRAC_RETURN_IF_ERROR(read_all_fd(fd, scratch.data(), take, origin));
+      crc = crc32(scratch.data(), take, crc);
+      total += take;
+      if (on_wire) CRAC_RETURN_IF_ERROR(on_wire(scratch.data(), take));
+      if (on_payload) CRAC_RETURN_IF_ERROR(on_payload(scratch.data(), take));
+      left -= take;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketSink
+// ---------------------------------------------------------------------------
+
+SocketSink::SocketSink(int fd, std::string origin)
+    : fd_(fd), origin_(std::move(origin)) {
+  buf_.reserve(kShipFrameBytes);
+}
+
+SocketSink::~SocketSink() = default;
+
+Status SocketSink::send_header() {
+  if (header_sent_) return OkStatus();
+  const std::vector<std::byte> header = encode_ship_header();
+  CRAC_RETURN_IF_ERROR(write_all_fd(fd_, header.data(), header.size(), origin_));
+  header_sent_ = true;
+  return OkStatus();
+}
+
+Status SocketSink::send_frame() {
+  if (buf_.empty()) return OkStatus();
+  const auto len = static_cast<std::uint32_t>(buf_.size());
+  CRAC_RETURN_IF_ERROR(write_all_fd(fd_, &len, sizeof(len), origin_));
+  CRAC_RETURN_IF_ERROR(write_all_fd(fd_, buf_.data(), buf_.size(), origin_));
+  buf_.clear();
+  return OkStatus();
+}
+
+Status SocketSink::do_write(const void* data, std::size_t size) {
+  if (!error_.ok()) return error_;
+  if (closed_) {
+    return (error_ = FailedPrecondition(origin_ + ": write after close"));
+  }
+  if ((error_ = send_header()); !error_.ok()) return error_;
+  crc_ = crc32(data, size, crc_);
+  total_ += size;
+  const auto* p = static_cast<const std::byte*>(data);
+  while (size > 0) {
+    if (buf_.empty() && size >= kShipFrameBytes) {
+      // Bulk path: a full frame ships straight from the caller's buffer —
+      // the multi-MiB slices checkpoint producers append never pay a
+      // staging copy. Only sub-frame tails and small appends coalesce.
+      const std::uint32_t len = kShipFrameBytes;
+      if ((error_ = write_all_fd(fd_, &len, sizeof(len), origin_));
+          !error_.ok()) {
+        return error_;
+      }
+      if ((error_ = write_all_fd(fd_, p, kShipFrameBytes, origin_));
+          !error_.ok()) {
+        return error_;
+      }
+      p += kShipFrameBytes;
+      size -= kShipFrameBytes;
+      continue;
+    }
+    const std::size_t take = std::min(size, kShipFrameBytes - buf_.size());
+    buf_.insert(buf_.end(), p, p + take);
+    p += take;
+    size -= take;
+    if (buf_.size() == kShipFrameBytes) {
+      if ((error_ = send_frame()); !error_.ok()) return error_;
+    }
+  }
+  return OkStatus();
+}
+
+Status SocketSink::flush() {
+  if (!error_.ok()) return error_;
+  if ((error_ = send_header()).ok()) error_ = send_frame();
+  return error_;
+}
+
+Status SocketSink::close() {
+  if (closed_) return error_;
+  CRAC_RETURN_IF_ERROR(flush());
+  // Terminator + trailer: the receiver accepts the stream only after
+  // verifying this byte count and CRC, so anything short of a clean close
+  // reads as an incomplete shipment on the far side.
+  ByteWriter w;
+  w.put_u32(0);
+  w.put_u64(total_);
+  w.put_u32(crc_);
+  error_ = write_all_fd(fd_, w.data(), w.size(), origin_);
+  closed_ = true;
+  return error_;
+}
+
+// ---------------------------------------------------------------------------
+// SpoolingSource
+// ---------------------------------------------------------------------------
+
+SpoolingSource::SpoolingSource(Options opts)
+    : opts_(std::move(opts)), origin_(opts_.origin) {}
+
+SpoolingSource::~SpoolingSource() {
+  if (file_fd_ >= 0) ::close(file_fd_);
+}
+
+Result<std::unique_ptr<SpoolingSource>> SpoolingSource::receive(
+    int fd, const Options& opts) {
+  Options o = opts;
+  if (o.spool_cap_bytes == 0) o.spool_cap_bytes = kDefaultSpoolCapBytes;
+  if (o.spool_cap_bytes < kMinSpoolCapBytes) {
+    return InvalidArgument("spool cap " + std::to_string(o.spool_cap_bytes) +
+                           " below the " +
+                           std::to_string(kMinSpoolCapBytes) +
+                           "-byte minimum (receive scratch must fit under "
+                           "the cap)");
+  }
+  auto source = std::unique_ptr<SpoolingSource>(new SpoolingSource(o));
+  // Scratch (file-bound bytes stage through it) and the memory prefix
+  // together must stay under the cap; whatever the scratch does not take is
+  // whole blocks of memory spool.
+  const std::size_t scratch =
+      std::min(kShipFrameBytes, o.spool_cap_bytes / 2);
+  source->mem_limit_ =
+      ((o.spool_cap_bytes - scratch) / kSpoolBlockBytes) * kSpoolBlockBytes;
+  source->scratch_held_ = scratch;
+  // The scratch is resident for the whole receive even when every byte
+  // overflows to disk (mem_limit_ == 0) — count it from the start, not only
+  // when the first memory block is allocated.
+  source->peak_bytes_ = scratch;
+  CRAC_RETURN_IF_ERROR(source->receive_stream(fd));
+  source->scratch_held_ = 0;  // receive scratch is gone after receive()
+  return source;
+}
+
+Status SpoolingSource::ensure_overflow_file() {
+  if (file_fd_ >= 0) return OkStatus();
+  std::string dir = opts_.spool_dir;
+  if (dir.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    dir = (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
+  }
+  std::string tmpl = dir + "/crac_spool_XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return IoError(origin_ + ": cannot create spool overflow file in " + dir);
+  }
+  // Unlink immediately: the spool is anonymous — no debris on any exit path,
+  // and no path another process could observe half-written.
+  ::unlink(path.data());
+  file_fd_ = fd;
+  return OkStatus();
+}
+
+Status SpoolingSource::spool_append(const std::byte* data, std::size_t size) {
+  while (size > 0 && mem_bytes_ < mem_limit_) {
+    const auto within = static_cast<std::size_t>(mem_bytes_ % kSpoolBlockBytes);
+    if (within == 0) {
+      blocks_.emplace_back();
+      blocks_.back().reserve(kSpoolBlockBytes);
+      peak_bytes_ = std::max<std::uint64_t>(
+          peak_bytes_, blocks_.size() * kSpoolBlockBytes + scratch_held_);
+    }
+    std::vector<std::byte>& block = blocks_.back();
+    const std::size_t take = std::min(
+        {size, kSpoolBlockBytes - within,
+         static_cast<std::size_t>(mem_limit_ - mem_bytes_)});
+    block.insert(block.end(), data, data + take);
+    data += take;
+    size -= take;
+    mem_bytes_ += take;
+    total_ += take;
+  }
+  if (size == 0) return OkStatus();
+  CRAC_RETURN_IF_ERROR(ensure_overflow_file());
+  CRAC_RETURN_IF_ERROR(write_all_fd(file_fd_, data, size,
+                                    origin_ + " spool overflow file"));
+  file_bytes_ += size;
+  total_ += size;
+  return OkStatus();
+}
+
+Status SpoolingSource::receive_stream(int fd) {
+  // The shared walker validates framing and integrity; this source only
+  // supplies the spool as the payload hook (memory blocks while the budget
+  // lasts, the overflow file after).
+  return walk_ship_stream(
+      fd, origin_, scratch_held_, /*on_wire=*/nullptr,
+      [this](const std::byte* data, std::size_t size) {
+        return spool_append(data, size);
+      });
+}
+
+Status SpoolingSource::read(void* out, std::size_t size) {
+  if (size > remaining()) {
+    return Corrupt(origin_ + ": truncated image (wanted " +
+                   std::to_string(size) + " bytes at offset " +
+                   std::to_string(pos_) + ", " + std::to_string(remaining()) +
+                   " remain)");
+  }
+  auto* p = static_cast<std::byte*>(out);
+  // Memory-prefix part.
+  while (size > 0 && pos_ < mem_bytes_) {
+    const auto block = static_cast<std::size_t>(pos_ / kSpoolBlockBytes);
+    const auto within = static_cast<std::size_t>(pos_ % kSpoolBlockBytes);
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>({size, kSpoolBlockBytes - within,
+                                 mem_bytes_ - pos_}));
+    std::memcpy(p, blocks_[block].data() + within, take);
+    p += take;
+    pos_ += take;
+    size -= take;
+  }
+  // Overflow-file part (pread straight into the caller's buffer — the spool
+  // stages nothing on the read path).
+  while (size > 0) {
+    const auto file_off = static_cast<::off_t>(pos_ - mem_bytes_);
+    const ::ssize_t n = ::pread(file_fd_, p, size, file_off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(origin_ + ": spool overflow file read failed");
+    }
+    if (n == 0) {
+      return Corrupt(origin_ + ": spool overflow file truncated under read");
+    }
+    p += n;
+    pos_ += static_cast<std::uint64_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status SpoolingSource::seek(std::uint64_t offset) {
+  if (offset > total_) {
+    return Corrupt(origin_ + ": seek past end of image");
+  }
+  pos_ = offset;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// relay_ship_stream
+// ---------------------------------------------------------------------------
+
+Status relay_ship_stream(int in_fd, int out_fd, const std::string& origin) {
+  // Same walker as the spool; the relay's hook forwards every wire byte
+  // verbatim (the walker hands it the trailer before validating, so on a
+  // corrupt stream the downstream receiver reaches — and rejects — the
+  // same trailer instead of hanging on a half-delivered stream).
+  return walk_ship_stream(
+      in_fd, origin, kSpoolBlockBytes,
+      [out_fd, &origin](const std::byte* data, std::size_t size) {
+        return write_all_fd(out_fd, data, size, origin);
+      },
+      /*on_payload=*/nullptr);
+}
+
+}  // namespace crac::ckpt

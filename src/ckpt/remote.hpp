@@ -1,0 +1,170 @@
+// Remote checkpoint transport: live checkpoint shipping over a file
+// descriptor (socket, pipe, anything stream-like).
+//
+// The sharded backend proved the point that a Sink/Source is just "somewhere
+// ordered bytes go": a remote sink is a shard whose fd is a socket. What a
+// raw socket lacks is (a) a way for the receiver to know where the stream
+// ends and whether it arrived intact, and (b) the seekability
+// ImageReader::open() needs for its directory scan. This header supplies
+// both halves:
+//
+//   * SocketSink frames the ordinary CRACIMG2 logical byte stream over an fd
+//     ("CRACSHP1" wire framing: CRC'd header, length-prefixed frames, a
+//     trailer carrying the total byte count and a CRC32 of the whole logical
+//     stream) — the write-side verb for pushing a live checkpoint to a peer
+//     with no filesystem in between.
+//   * SpoolingSource receives such a stream into a bounded spool — memory up
+//     to a configurable cap, overflow to an unlinked temp file — and then
+//     exposes the seekable Source interface, so the ordinary ImageReader
+//     (directory scan, section streams, random access) runs over a live
+//     shipment exactly as over a file. Peak resident memory is bounded by
+//     the spool cap, never the image size.
+//
+// Wire framing (all integers little-endian, like the rest of the format):
+//
+//   header:  [magic "CRACSHP1"][u32 version=1][u32 crc32(magic+version)]
+//   frame*:  [u32 frame_len > 0][frame_len logical-stream bytes]
+//   trailer: [u32 0][u64 total_bytes][u32 crc32(whole logical stream)]
+//
+// The logical stream inside the frames is byte-identical to the single-file
+// v2 image the same writer configuration would produce, so a spooled
+// shipment and a file on disk are interchangeable to every consumer (see
+// docs/image_format.md, "Wire framing").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/sink.hpp"
+#include "ckpt/source.hpp"
+#include "common/status.hpp"
+
+namespace crac::ckpt {
+
+inline constexpr char kShipMagic[8] = {'C', 'R', 'A', 'C', 'S', 'H', 'P', '1'};
+inline constexpr std::uint32_t kShipVersion = 1;
+// Writer-side coalescing buffer = the largest frame a well-formed stream
+// contains; the receiver rejects anything bigger, which caps what a hostile
+// frame header can demand in one allocation or copy.
+inline constexpr std::size_t kShipFrameBytes = std::size_t{256} << 10;
+inline constexpr std::size_t kShipHeaderBytes = 8 + 4 + 4;
+inline constexpr std::size_t kShipTrailerBytes = 8 + 4;  // after the 0 len
+// Smallest spool cap SpoolingSource accepts: below this the receive scratch
+// could not fit under the cap and the bound would be a lie.
+inline constexpr std::size_t kMinSpoolCapBytes = std::size_t{16} << 10;
+inline constexpr std::size_t kDefaultSpoolCapBytes = std::size_t{64} << 20;
+
+// Frames the logical checkpoint stream over `fd` (borrowed, never closed
+// here: sockets usually outlive one shipment). The CRC'd header goes out
+// with the first bytes, frames coalesce small appends (section headers,
+// chunk frames) into kShipFrameBytes writes, and close() emits the
+// terminator + trailer — until then the receiver treats the stream as
+// incomplete, so a writer that dies mid-checkpoint can never hand its peer
+// a silently short image. Errors are sticky, like every other sink.
+class SocketSink final : public Sink {
+ public:
+  // `origin` names the transport in error messages ("migration socket").
+  explicit SocketSink(int fd, std::string origin = "ship socket");
+
+  ~SocketSink() override;
+
+  Status flush() override;
+
+  // Flushes pending bytes and writes the terminator + trailer. Idempotent;
+  // returns the first error seen on this sink. The fd stays open.
+  Status close() override;
+
+ private:
+  Status do_write(const void* data, std::size_t size) override;
+  Status send_header();
+  Status send_frame();  // ships buf_ as one [len][bytes] frame
+
+  int fd_;
+  std::string origin_;
+  std::vector<std::byte> buf_;  // pending frame payload
+  std::uint32_t crc_ = 0;       // running CRC of the logical stream
+  std::uint64_t total_ = 0;     // logical bytes accepted
+  bool header_sent_ = false;
+  bool closed_ = false;
+  Status error_;  // sticky
+};
+
+// Receives one CRACSHP1 stream from an fd into a bounded spool, then serves
+// it back as a seekable Source. receive() blocks until the trailer arrives
+// and verifies the byte count and stream CRC before handing the source out —
+// a truncated or damaged shipment fails at receive time, not halfway through
+// a restore. The first `spool_cap` bytes (minus a fixed receive scratch)
+// stay in memory; overflow streams to an unlinked temp file, so even a
+// multi-GiB shipment holds at most the cap resident and leaves no debris on
+// any exit path.
+class SpoolingSource final : public Source {
+ public:
+  struct Options {
+    // Hard bound on resident spool memory (receive scratch included).
+    std::size_t spool_cap_bytes = kDefaultSpoolCapBytes;
+    // Directory for the overflow file; empty = $TMPDIR, falling back to
+    // /tmp. The file is unlinked immediately after creation.
+    std::string spool_dir;
+    // Names the transport in error messages.
+    std::string origin = "ship stream";
+  };
+
+  // Reads header, frames, and trailer off `fd` (borrowed, never closed).
+  static Result<std::unique_ptr<SpoolingSource>> receive(int fd,
+                                                         const Options& opts);
+  static Result<std::unique_ptr<SpoolingSource>> receive(int fd) {
+    return receive(fd, Options{});
+  }
+
+  ~SpoolingSource() override;
+
+  Status read(void* out, std::size_t size) override;
+  Status seek(std::uint64_t offset) override;
+
+  std::uint64_t position() const noexcept override { return pos_; }
+  std::uint64_t size() const noexcept override { return total_; }
+  std::string describe() const override { return origin_; }
+
+  // Bytes that overflowed to the temp file (0 = the whole image fit in
+  // memory and no file was ever created).
+  std::uint64_t spooled_to_disk_bytes() const noexcept { return file_bytes_; }
+
+  // High-water mark of spool memory held during receive (memory prefix plus
+  // scratch). The bounded-memory guarantee remote_test asserts:
+  // peak_resident_bytes() <= spool_cap_bytes for any image size.
+  std::uint64_t peak_resident_bytes() const noexcept { return peak_bytes_; }
+
+ private:
+  explicit SpoolingSource(Options opts);
+
+  Status receive_stream(int fd);
+  Status spool_append(const std::byte* data, std::size_t size);
+  Status ensure_overflow_file();
+
+  Options opts_;
+  std::string origin_;
+  std::size_t mem_limit_ = 0;  // memory-prefix budget (cap minus scratch)
+  // Memory prefix in fixed-size blocks, never realloc'd: the resident bound
+  // is exact, with no transient doubling a growing vector would sneak in.
+  std::vector<std::vector<std::byte>> blocks_;
+  std::uint64_t mem_bytes_ = 0;   // logical bytes held in blocks_
+  int file_fd_ = -1;              // unlinked overflow file
+  std::uint64_t file_bytes_ = 0;  // logical bytes past the memory prefix
+  std::uint64_t total_ = 0;
+  std::uint64_t pos_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::size_t scratch_held_ = 0;  // receive scratch, counted against the cap
+};
+
+// Forwards one complete CRACSHP1 stream from `in_fd` to `out_fd` verbatim,
+// validating the header, frame lengths, and trailer (byte count + stream
+// CRC) as it goes — the building block that lets a process relay a live
+// shipment it cannot or should not spool (the proxy client piping a server's
+// checkpoint to a peer). Holds at most one frame buffered. Errors name
+// `origin`; note the destination has already seen every forwarded byte, so
+// on a Corrupt result the receiver's own verification fails too.
+Status relay_ship_stream(int in_fd, int out_fd, const std::string& origin);
+
+}  // namespace crac::ckpt

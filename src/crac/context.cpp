@@ -15,45 +15,6 @@ constexpr const char* kSectionUpperMemory = "upper-memory";
 constexpr const char* kSectionHeapState = "heap-allocator";
 constexpr const char* kSectionRoot = "root";
 
-std::vector<std::byte> encode_heap_snapshot(
-    const sim::ArenaAllocator::Snapshot& snap) {
-  ByteWriter w;
-  w.put_u64(snap.committed_bytes);
-  w.put_u64(snap.free_list.size());
-  for (const auto& [off, size] : snap.free_list) {
-    w.put_u64(off);
-    w.put_u64(size);
-  }
-  w.put_u64(snap.active.size());
-  for (const auto& [off, size] : snap.active) {
-    w.put_u64(off);
-    w.put_u64(size);
-  }
-  return std::move(w).take();
-}
-
-Result<sim::ArenaAllocator::Snapshot> decode_heap_snapshot(
-    ckpt::SectionStream& r) {
-  sim::ArenaAllocator::Snapshot snap;
-  std::uint64_t free_count = 0, active_count = 0;
-  CRAC_RETURN_IF_ERROR(r.get_u64(snap.committed_bytes));
-  CRAC_RETURN_IF_ERROR(r.get_u64(free_count));
-  for (std::uint64_t i = 0; i < free_count; ++i) {
-    std::uint64_t off = 0, size = 0;
-    CRAC_RETURN_IF_ERROR(r.get_u64(off));
-    CRAC_RETURN_IF_ERROR(r.get_u64(size));
-    snap.free_list.emplace_back(off, size);
-  }
-  CRAC_RETURN_IF_ERROR(r.get_u64(active_count));
-  for (std::uint64_t i = 0; i < active_count; ++i) {
-    std::uint64_t off = 0, size = 0;
-    CRAC_RETURN_IF_ERROR(r.get_u64(off));
-    CRAC_RETURN_IF_ERROR(r.get_u64(size));
-    snap.active.emplace_back(off, size);
-  }
-  return snap;
-}
-
 }  // namespace
 
 CracContext::CracContext(const CracOptions& options) : options_(options) {
@@ -76,6 +37,38 @@ ThreadPool* CracContext::ckpt_pool() {
   return ckpt_pool_.get();
 }
 
+namespace {
+
+// Checkpoint-entry validation: a zero or absurd sharding configuration must
+// fail here with a named error, not misbehave (or be silently reinterpreted)
+// somewhere downstream in the sink layer.
+Status validate_ckpt_options(const CracOptions& options) {
+  if (options.ckpt_shards == 0) {
+    return InvalidArgument(
+        "CracOptions::ckpt_shards is 0; a checkpoint image has at least one "
+        "shard (use 1 for the classic single-file layout)");
+  }
+  if (options.ckpt_shards > ckpt::kMaxShards) {
+    return InvalidArgument(
+        "CracOptions::ckpt_shards is " + std::to_string(options.ckpt_shards) +
+        "; readers cap sharded images at " + std::to_string(ckpt::kMaxShards) +
+        " shards");
+  }
+  if (options.ckpt_stripe_bytes != 0 &&
+      (options.ckpt_stripe_bytes < ckpt::kMinStripeBytes ||
+       options.ckpt_stripe_bytes > ckpt::kMaxStripeBytes)) {
+    return InvalidArgument(
+        "CracOptions::ckpt_stripe_bytes is " +
+        std::to_string(options.ckpt_stripe_bytes) + "; stripes must be in [" +
+        std::to_string(ckpt::kMinStripeBytes) + ", " +
+        std::to_string(ckpt::kMaxStripeBytes) +
+        "] bytes (0 selects the default)");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
   auto result = checkpoint_to_temp(path);
   if (!result.ok() && options_.ckpt_shards <= 1) {
@@ -91,45 +84,20 @@ std::string CracContext::temp_image_path(const std::string& path) {
   return path + ".tmp";
 }
 
-Result<CheckpointReport> CracContext::checkpoint_to_temp(
-    const std::string& path) {
+Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
   CheckpointReport report;
   WallTimer total;
 
   // Streaming pipeline: sections are chunked, chunks compressed/CRC'd on
-  // the pool, frames written straight to the file — the image is never
-  // resident in memory. Single-file mode streams to a temp file that
-  // replaces `path` only after the image is complete, so a failed
-  // checkpoint can never destroy the previous image at the same path.
-  // Sharded mode stripes across ckpt_shards files through per-shard writer
-  // threads and commits the same way (manifest temp staged before any live
-  // rename, shard temps renamed, manifest last); overwriting in place is
-  // atomic only up to the first shard rename — a failure or crash inside
-  // the multi-file rename sequence can mix generations under the old
-  // manifest — see docs/image_format.md, and checkpoint to a fresh path
-  // when that window matters.
-  std::unique_ptr<ckpt::Sink> sink;
-  std::string tmp;  // single-file mode only; sharded sinks self-commit
-  if (options_.ckpt_shards > 1) {
-    ckpt::ShardedFileSink::Options sopts;
-    sopts.shards = options_.ckpt_shards;
-    if (options_.ckpt_stripe_bytes != 0) {
-      sopts.stripe_bytes = options_.ckpt_stripe_bytes;
-    }
-    auto sharded = ckpt::ShardedFileSink::open(path, sopts);
-    if (!sharded.ok()) return sharded.status();
-    sink = std::move(*sharded);
-  } else {
-    tmp = temp_image_path(path);
-    auto file = ckpt::FileSink::open(tmp);
-    if (!file.ok()) return file.status();
-    sink = std::move(*file);
-  }
+  // the pool, frames written straight to the sink — the image is never
+  // resident in memory. This core is transport-agnostic: it neither knows
+  // nor cares whether the sink is a temp file, a striped shard set, or a
+  // live socket to the replacement instance.
   ckpt::ImageWriter::Options wopts;
   wopts.codec = options_.codec;
   wopts.chunk_size = options_.ckpt_chunk_bytes;
   wopts.pool = ckpt_pool();
-  ckpt::ImageWriter writer(sink.get(), wopts);
+  ckpt::ImageWriter writer(&sink, wopts);
 
   // 1. Plugin drain: synchronize the device, save active allocations,
   //    residency, the log, fat binaries, stream inventory.
@@ -149,7 +117,7 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
     CRAC_RETURN_IF_ERROR(ckpt::append_memory_records(writer, records));
     CRAC_RETURN_IF_ERROR(writer.end_section());
     writer.add_section(ckpt::SectionType::kMetadata, kSectionHeapState,
-                       encode_heap_snapshot(process_->heap().snapshot()));
+                       sim::encode_arena_snapshot(process_->heap().snapshot()));
     ByteWriter root_writer;
     root_writer.put_u64(reinterpret_cast<std::uint64_t>(root_));
     writer.add_section(ckpt::SectionType::kMetadata, kSectionRoot,
@@ -157,22 +125,14 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
     report.memory_s = t.elapsed_s();
   }
 
-  // 3. Drain the chunk pipeline, close the sink (sharded: commit shards +
-  //    manifest), move the single-file temp into place.
+  // 3. Drain the chunk pipeline and close the sink — for transactional
+  //    sinks (sharded files) this is the commit, for a socket sink it ships
+  //    the stream trailer that tells the peer the image arrived whole.
   {
     WallTimer t;
     report.raw_bytes = writer.raw_bytes();
     CRAC_RETURN_IF_ERROR(writer.finish());
-    CRAC_RETURN_IF_ERROR(sink->close());
-    if (!tmp.empty()) {
-      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        return IoError("cannot move " + tmp + " into place as " + path);
-      }
-      // A sharded image previously at this path leaves orphaned shard
-      // files behind its manifest; reap them so switching back to the
-      // single-file layout never leaks checkpoint-sized debris.
-      ckpt::remove_stale_shards(path, 0);
-    }
+    CRAC_RETURN_IF_ERROR(sink.close());
     report.write_s = t.elapsed_s();
   }
 
@@ -181,7 +141,58 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
 
   report.total_s = total.elapsed_s();
   report.active_allocations = plugin_->active_allocation_count();
-  report.image_bytes = sink->bytes_written();
+  report.image_bytes = sink.bytes_written();
+  return report;
+}
+
+Result<CheckpointReport> CracContext::checkpoint_to_temp(
+    const std::string& path) {
+  CRAC_RETURN_IF_ERROR(validate_ckpt_options(options_));
+
+  // Single-file mode streams to a temp file that replaces `path` only after
+  // the image is complete, so a failed checkpoint can never destroy the
+  // previous image at the same path. Sharded mode stripes across
+  // ckpt_shards files through per-shard writer threads and commits the same
+  // way (manifest temp staged before any live rename, shard temps renamed,
+  // manifest last); overwriting in place is atomic only up to the first
+  // shard rename — a failure or crash inside the multi-file rename sequence
+  // can mix generations under the old manifest — see docs/image_format.md,
+  // and checkpoint to a fresh path when that window matters.
+  std::unique_ptr<ckpt::Sink> sink;
+  std::string tmp;  // single-file mode only; sharded sinks self-commit
+  if (options_.ckpt_shards > 1) {
+    ckpt::ShardedFileSink::Options sopts;
+    sopts.shards = options_.ckpt_shards;
+    if (options_.ckpt_stripe_bytes != 0) {
+      sopts.stripe_bytes = options_.ckpt_stripe_bytes;
+    }
+    auto sharded = ckpt::ShardedFileSink::open(path, sopts);
+    if (!sharded.ok()) return sharded.status();
+    sink = std::move(*sharded);
+  } else {
+    tmp = temp_image_path(path);
+    auto file = ckpt::FileSink::open(tmp);
+    if (!file.ok()) return file.status();
+    sink = std::move(*file);
+  }
+
+  auto result = checkpoint_to_sink(*sink);
+  if (!result.ok()) return result;
+  CheckpointReport report = *result;
+
+  if (!tmp.empty()) {
+    WallTimer t;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return IoError("cannot move " + tmp + " into place as " + path);
+    }
+    // A sharded image previously at this path leaves orphaned shard
+    // files behind its manifest; reap them so switching back to the
+    // single-file layout never leaks checkpoint-sized debris.
+    ckpt::remove_stale_shards(path, 0);
+    report.write_s += t.elapsed_s();
+    report.total_s += t.elapsed_s();
+  }
+
   CRAC_INFO() << "checkpoint written to " << path << " ("
               << format_size(report.image_bytes) << ", "
               << report.upper_regions << " upper regions, "
@@ -202,8 +213,12 @@ Status CracContext::restore_from_reader(ckpt::ImageReader& reader,
       reader.find(ckpt::SectionType::kMetadata, kSectionHeapState);
   if (heap_sec == nullptr) return Corrupt("image missing heap state");
   {
-    CRAC_ASSIGN_OR_RETURN(auto stream, reader.open_section(*heap_sec));
-    CRAC_ASSIGN_OR_RETURN(auto heap_snap, decode_heap_snapshot(stream));
+    // Small metadata section: materialize and decode through the shared
+    // arena-snapshot codec (the same one the proxy's checkpoint shipping
+    // uses for its device arena).
+    CRAC_ASSIGN_OR_RETURN(auto bytes, reader.read_section(*heap_sec));
+    CRAC_ASSIGN_OR_RETURN(
+        auto heap_snap, sim::decode_arena_snapshot(bytes.data(), bytes.size()));
     CRAC_RETURN_IF_ERROR(process_->heap().restore(heap_snap));
   }
 
@@ -250,29 +265,45 @@ Status CracContext::restore_from_reader(ckpt::ImageReader& reader,
   return reader.verify_unread_sections();
 }
 
-Result<std::unique_ptr<CracContext>> CracContext::restart_from_image(
-    const std::string& path, const CracOptions& options,
-    RestartReport* report) {
-  WallTimer total;
-  auto ctx = std::make_unique<CracContext>(options);
-
+Status CracContext::restore_from_source(std::unique_ptr<ckpt::Source> source,
+                                        RestartReport* report) {
   // Open = directory scan only (headers + chunk frames); payload bytes
   // stream during restore with decode prefetched on the checkpoint pool.
+  // The source is wherever the image lives — a file, a striped shard set,
+  // or a spool just received off a socket; this core cannot tell.
   WallTimer t;
   ckpt::ImageReader::Options ropts;
-  ropts.pool = ctx->ckpt_pool();
-  auto reader = ckpt::ImageReader::from_file(path, ropts);
+  ropts.pool = ckpt_pool();
+  auto reader = ckpt::ImageReader::open(std::move(source), ropts);
   if (!reader.ok()) return reader.status();
-  RestartReport local;
-  local.read_s = t.elapsed_s();
+  if (report != nullptr) report->read_s = t.elapsed_s();
+  return restore_from_reader(*reader, report);
+}
 
-  CRAC_RETURN_IF_ERROR(ctx->restore_from_reader(*reader, &local));
+Result<std::unique_ptr<CracContext>> CracContext::restart_from_source(
+    std::unique_ptr<ckpt::Source> source, const CracOptions& options,
+    RestartReport* report) {
+  WallTimer total;
+  const std::string origin = source->describe();
+  auto ctx = std::make_unique<CracContext>(options);
+  RestartReport local;
+  CRAC_RETURN_IF_ERROR(ctx->restore_from_source(std::move(source), &local));
   local.total_s = total.elapsed_s();
   if (report != nullptr) *report = local;
-  CRAC_INFO() << "restarted from " << path << " in " << local.total_s
+  CRAC_INFO() << "restarted from " << origin << " in " << local.total_s
               << "s (replayed " << local.replay.calls_replayed
               << " CUDA calls)";
   return ctx;
+}
+
+Result<std::unique_ptr<CracContext>> CracContext::restart_from_image(
+    const std::string& path, const CracOptions& options,
+    RestartReport* report) {
+  // Thin wrapper: route the path through the shard-manifest sniff and hand
+  // the resulting source to the transport-agnostic core.
+  auto source = ckpt::open_image_source(path);
+  if (!source.ok()) return source.status();
+  return restart_from_source(std::move(*source), options, report);
 }
 
 Result<RestartReport> CracContext::restart_in_place(const std::string& path) {

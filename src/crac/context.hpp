@@ -96,10 +96,27 @@ class CracContext {
 
   Result<CheckpointReport> checkpoint(const std::string& path);
 
+  // Path-free checkpoint core: streams the image (plugin drain, upper-memory
+  // snapshot, chunk pipeline) into `sink` and closes it. Every consumer of
+  // the checkpoint verb is transport-agnostic through this — a file, a
+  // striped shard set, or a live socket to a peer are all just sinks. The
+  // path verb above wraps this with the temp+rename (or sharded commit)
+  // dance; ship a live checkpoint by passing a ckpt::SocketSink.
+  Result<CheckpointReport> checkpoint_to_sink(ckpt::Sink& sink);
+
   // Restart path A (paper's normal mode, here within a fresh context that
   // models the restarted process): construct everything anew from an image.
   static Result<std::unique_ptr<CracContext>> restart_from_image(
       const std::string& path, const CracOptions& options = {},
+      RestartReport* report = nullptr);
+
+  // Path-free restart core: construct everything anew from an image read
+  // off `source` — the receive half of live checkpoint shipping (pass a
+  // ckpt::SpoolingSource fed from a socket). restart_from_image is a thin
+  // wrapper that opens the right source for a path (shard-manifest sniff
+  // included).
+  static Result<std::unique_ptr<CracContext>> restart_from_source(
+      std::unique_ptr<ckpt::Source> source, const CracOptions& options = {},
       RestartReport* report = nullptr);
 
   // Restart path B: same process, discard + reload the lower half, restore
@@ -108,6 +125,10 @@ class CracContext {
 
  private:
   Status restore_from_reader(ckpt::ImageReader& reader,
+                             RestartReport* report);
+  // Path-free restore core: opens the image directory over `source` and
+  // restores this context's state from it.
+  Status restore_from_source(std::unique_ptr<ckpt::Source> source,
                              RestartReport* report);
   Result<CheckpointReport> checkpoint_to_temp(const std::string& path);
   static std::string temp_image_path(const std::string& path);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "ckpt/remote.hpp"
 #include "common/log.hpp"
 
 namespace crac::proxy {
@@ -105,12 +106,78 @@ Status ProxyClientApi::restore_managed(ckpt::ImageReader& image) {
   return OkStatus();
 }
 
+Status ProxyClientApi::ship_checkpoint(int dst_fd) {
+  // Manual RPC framing: the response header is followed by the shipped
+  // stream, which call() has no notion of. Holding rpc_mu_ across the whole
+  // relay keeps other callers from interleaving requests into the stream.
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  CRAC_RETURN_IF_ERROR(channel_error_);
+  RequestHeader req{};
+  req.op = Op::kShipCkpt;
+  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  ResponseHeader resp{};
+  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  if (resp.err != cuda::cudaSuccess) {
+    return Internal("proxy refused SHIP_CKPT (error " +
+                    std::to_string(resp.err) + ")");
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.rpcs;
+  }
+  Status relayed =
+      ckpt::relay_ship_stream(host_.fd(), dst_fd, "proxy ship relay");
+  if (!relayed.ok()) {
+    // Stream bytes may still be queued on the control socket; no later
+    // request/response can be trusted. Tear the connection down too: the
+    // server is still streaming frames with no reader, and only a peer
+    // close unblocks it (its write fails, it exits, shutdown reaps it).
+    channel_error_ = Status(relayed.code(),
+                            "proxy channel desynced by a failed SHIP_CKPT "
+                            "relay: " + relayed.message());
+    host_.shutdown();
+  }
+  return relayed;
+}
+
+Status ProxyClientApi::recv_checkpoint(int src_fd) {
+  std::lock_guard<std::mutex> lock(rpc_mu_);
+  CRAC_RETURN_IF_ERROR(channel_error_);
+  RequestHeader req{};
+  req.op = Op::kRecvCkpt;
+  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  Status relayed =
+      ckpt::relay_ship_stream(src_fd, host_.fd(), "proxy recv relay");
+  if (!relayed.ok()) {
+    // The server sits mid-stream waiting for frames this relay will never
+    // deliver; the connection cannot be resynced. Close it so the server's
+    // blocked read sees EOF and exits instead of wedging forever.
+    channel_error_ = Status(relayed.code(),
+                            "proxy channel desynced by a failed RECV_CKPT "
+                            "relay: " + relayed.message());
+    host_.shutdown();
+    return relayed;
+  }
+  ResponseHeader resp{};
+  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.rpcs;
+  }
+  if (resp.err != cuda::cudaSuccess) {
+    return Internal("proxy rejected the shipped checkpoint (error " +
+                    std::to_string(resp.err) + ")");
+  }
+  return OkStatus();
+}
+
 Result<ResponseHeader> ProxyClientApi::call(RequestHeader req,
                                             const void* payload,
                                             std::size_t payload_bytes,
                                             void* recv_into,
                                             std::size_t recv_bytes) {
   std::lock_guard<std::mutex> lock(rpc_mu_);
+  CRAC_RETURN_IF_ERROR(channel_error_);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.rpcs;

@@ -66,6 +66,22 @@ class ProxyClientApi final : public cuda::CudaApi {
   // identity across a drain/restore cycle.
   Status restore_managed(ckpt::ImageReader& image);
 
+  // Live checkpoint shipping (SHIP_CKPT / RECV_CKPT). ship_checkpoint asks
+  // the server for a framed checkpoint of its device-arena state (allocator
+  // snapshot + active allocation contents) and relays the stream onto
+  // `dst_fd` — one bounded frame buffered at a time, no spool, no file.
+  // recv_checkpoint relays a stream from `src_fd` to the server, which
+  // spools it, restores its device arena from it (restart semantics:
+  // allocations made after the shipped checkpoint are rolled back), and
+  // acknowledges. Device pointer values survive verbatim — the shipped
+  // allocations are addressable on the receiving endpoint through
+  // explicit-kind copies and kernel arguments, exactly as CRAC's replayed
+  // pointers are. (The receiving client's own allocation bookkeeping only
+  // tracks what it allocated itself; cudaMemcpyDefault inference on shipped
+  // pointers is therefore not available.)
+  Status ship_checkpoint(int dst_fd);
+  Status recv_checkpoint(int src_fd);
+
   // --- CudaApi ---
   cuda::cudaError_t cudaMalloc(void** p, std::size_t n) override;
   cuda::cudaError_t cudaFree(void* p) override;
@@ -152,6 +168,11 @@ class ProxyClientApi final : public cuda::CudaApi {
   ProxyHost host_;
   CmaChannel cma_;
   mutable std::mutex rpc_mu_;
+  // A relay failure mid-ship leaves unread stream bytes on the control
+  // socket: request/response framing can never recover, so the first such
+  // failure poisons the channel and every later call reports it instead of
+  // parsing stream debris as a response header. Guarded by rpc_mu_.
+  Status channel_error_;
 
   ShadowUvm shadow_;
   mutable std::mutex state_mu_;

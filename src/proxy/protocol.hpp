@@ -53,6 +53,15 @@ enum class Op : std::uint32_t {
   kRegisterFatBinary = 60,
   kRegisterFunction = 61,  // payload: arg-size table
   kUnregisterFatBinary = 62,
+
+  // Live checkpoint shipping (CRACSHP1 wire framing, see ckpt/remote.hpp).
+  // SHIP_CKPT: after the OK response the server streams a framed checkpoint
+  // of its device-arena state (allocator snapshot + active allocation
+  // contents) down the control socket; the client relays it to a peer.
+  // RECV_CKPT: the request header is followed by a framed checkpoint stream
+  // which the server spools, restores from, and then acknowledges.
+  kShipCkpt = 70,
+  kRecvCkpt = 71,
 };
 
 // Fixed-size request header; operands overloaded per op. POD, memcpy'd onto

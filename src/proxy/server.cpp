@@ -9,6 +9,8 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/image.hpp"
+#include "ckpt/remote.hpp"
 #include "common/log.hpp"
 #include "proxy/channel.hpp"
 #include "simcuda/lower_half.hpp"
@@ -101,6 +103,127 @@ void handle_launch(ServerState& state, int fd, const RequestHeader& req,
   const cuda::cudaError_t err = state.runtime->launch_kernel(
       fn, grid, block, args.data(), shmem, stream);
   respond(fd, err);
+}
+
+// Section names for the device-arena checkpoint the SHIP_CKPT/RECV_CKPT
+// verbs carry: the allocator snapshot (offsets) plus the contents of every
+// active allocation, in snapshot order.
+constexpr const char* kSectionDeviceArena = "proxy-device-arena";
+constexpr const char* kSectionDeviceContents = "proxy-device-contents";
+
+// Bounded staging for device<->image copies; the ship stream never holds
+// more than one slice of any allocation resident.
+constexpr std::size_t kShipStageBytes = std::size_t{1} << 20;
+
+// Streams a framed checkpoint of the server's device-arena state down `fd`.
+// Runs after the OK response; by the time this returns the peer's spool has
+// the trailer (or a broken stream it will reject).
+Status ship_device_state(ServerState& state, int fd) {
+  auto& rt = *state.runtime;
+  auto& arena = rt.device().device_arena();
+  const sim::ArenaAllocator::Snapshot snap = arena.snapshot();
+
+  ckpt::SocketSink sink(fd, "proxy ship socket");
+  ckpt::ImageWriter writer(&sink, ckpt::ImageWriter::Options{});
+  writer.add_section(ckpt::SectionType::kMetadata, kSectionDeviceArena,
+                     sim::encode_arena_snapshot(snap));
+  CRAC_RETURN_IF_ERROR(writer.status());
+
+  CRAC_RETURN_IF_ERROR(writer.begin_section(
+      ckpt::SectionType::kDeviceBuffers, kSectionDeviceContents));
+  auto* base = static_cast<std::byte*>(arena.arena_base());
+  std::vector<std::byte> stage(kShipStageBytes);
+  for (const auto& [off, size] : snap.active) {
+    std::uint64_t done = 0;
+    while (done < size) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(stage.size(), size - done));
+      if (rt.memcpy_sync(stage.data(), base + off + done, n,
+                         cuda::cudaMemcpyDeviceToHost) != cuda::cudaSuccess) {
+        return Internal("device read failed while shipping checkpoint");
+      }
+      CRAC_RETURN_IF_ERROR(writer.append(stage.data(), n));
+      done += n;
+    }
+  }
+  CRAC_RETURN_IF_ERROR(writer.end_section());
+  CRAC_RETURN_IF_ERROR(writer.finish());
+  return sink.close();
+}
+
+// Restores the server's device-arena state from a spooled shipment.
+// Validation is strictly before mutation: a rejected shipment must leave
+// the server's existing device state untouched (the client is told "error,
+// connection intact" and must be able to keep using what it had). Only
+// after the snapshot decodes, the contents section exists with exactly the
+// right size, and every chunk has CRC-verified (a skip-read over the local
+// spool — cheap relative to the migration) do the allocator maps get
+// replaced and contents copied in. `*mutated` turns true the moment the
+// arena is touched: a failure after that point must NOT be answered as a
+// clean rejection (the old state is gone), the caller escalates instead.
+Status restore_device_state(ServerState& state,
+                            std::unique_ptr<ckpt::Source> spool,
+                            bool* mutated) {
+  auto reader = ckpt::ImageReader::open(std::move(spool));
+  if (!reader.ok()) return reader.status();
+  const ckpt::SectionInfo* snap_sec =
+      reader->find(ckpt::SectionType::kMetadata, kSectionDeviceArena);
+  if (snap_sec == nullptr) {
+    return Corrupt("shipped checkpoint has no device-arena snapshot");
+  }
+  CRAC_ASSIGN_OR_RETURN(auto snap_bytes, reader->read_section(*snap_sec));
+  CRAC_ASSIGN_OR_RETURN(auto snap, sim::decode_arena_snapshot(
+                                       snap_bytes.data(), snap_bytes.size()));
+
+  const ckpt::SectionInfo* body =
+      reader->find(ckpt::SectionType::kDeviceBuffers, kSectionDeviceContents);
+  if (body == nullptr) {
+    return Corrupt("shipped checkpoint has no device-arena contents");
+  }
+  std::uint64_t expect_bytes = 0;
+  for (const auto& [off, size] : snap.active) expect_bytes += size;
+  if (body->raw_size != expect_bytes) {
+    return Corrupt("shipped device-arena contents are " +
+                   std::to_string(body->raw_size) + " bytes, snapshot's " +
+                   "active allocations need " + std::to_string(expect_bytes));
+  }
+  {
+    // CRC-verify the whole contents section before touching the arena.
+    CRAC_ASSIGN_OR_RETURN(auto probe, reader->open_section(*body));
+    CRAC_RETURN_IF_ERROR(probe.skip(body->raw_size));
+  }
+
+  auto& rt = *state.runtime;
+  auto& arena = rt.device().device_arena();
+  // Last validation gate: a snapshot that does not fit this arena (smaller
+  // reservation on a heterogeneous receiver, hostile offsets) is still a
+  // clean rejection. Only past it does `mutated` flip — from here on the
+  // rare remaining failures (EIO on the already-verified spool's overflow
+  // file) leave mixed state and the caller escalates.
+  CRAC_RETURN_IF_ERROR(arena.validate_snapshot(snap));
+  *mutated = true;
+  CRAC_RETURN_IF_ERROR(arena.restore(snap));
+
+  CRAC_ASSIGN_OR_RETURN(auto stream, reader->open_section(*body));
+  auto* base = static_cast<std::byte*>(arena.arena_base());
+  std::vector<std::byte> stage(kShipStageBytes);
+  for (const auto& [off, size] : snap.active) {
+    std::uint64_t done = 0;
+    while (done < size) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(stage.size(), size - done));
+      CRAC_RETURN_IF_ERROR(stream.read(stage.data(), n));
+      if (rt.memcpy_sync(base + off + done, stage.data(), n,
+                         cuda::cudaMemcpyHostToDevice) != cuda::cudaSuccess) {
+        return Internal("device write failed while restoring shipped "
+                        "checkpoint");
+      }
+      done += n;
+    }
+  }
+  // A restored server has integrity-checked the whole shipment, exactly
+  // like a restarted CracContext.
+  return reader->verify_unread_sections();
 }
 
 }  // namespace
@@ -400,6 +523,38 @@ void ProxyHost::serve(int fd, const ProxyHostOptions& options) {
       case Op::kUnregisterFatBinary: {
         rt.unregister_fat_binary(reinterpret_cast<cuda::FatBinaryHandle>(req.a));
         respond(fd, cuda::cudaSuccess);
+        break;
+      }
+      case Op::kShipCkpt: {
+        // Respond first, then stream: the client reads the OK header and
+        // starts relaying the framed bytes that follow. A failure once the
+        // stream has started leaves the connection desynced (the peer holds
+        // half a shipment), so it ends the server like a failed respond —
+        // the client sees the socket close and reports IoError.
+        respond(fd, cuda::cudaSuccess);
+        if (!ship_device_state(state, fd).ok()) _exit(3);
+        break;
+      }
+      case Op::kRecvCkpt: {
+        // The framed stream follows the request header. A receive failure
+        // mid-stream desyncs the connection (no way to know where the
+        // broken stream ends), so it is fatal; a complete-but-unusable
+        // shipment (bad image, allocator mismatch) answers with an error
+        // over an intact connection.
+        auto spool = ckpt::SpoolingSource::receive(fd);
+        if (!spool.ok()) _exit(3);
+        bool mutated = false;
+        const Status restored =
+            restore_device_state(state, std::move(*spool), &mutated);
+        if (!restored.ok()) {
+          CRAC_WARN() << "RECV_CKPT restore failed: " << restored.to_string();
+          // Past the mutation point the old state is gone and the new one is
+          // partial; answering "error, connection intact" would be a lie the
+          // client acts on. Die like a desynced stream — the client sees the
+          // connection fail, which is the truth.
+          if (mutated) _exit(3);
+        }
+        respond(fd, restored.ok() ? cuda::cudaSuccess : cuda::cudaErrorUnknown);
         break;
       }
       default:

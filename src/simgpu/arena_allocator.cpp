@@ -1,5 +1,6 @@
 #include "simgpu/arena_allocator.hpp"
 
+#include "common/bytes.hpp"
 #include "common/log.hpp"
 
 namespace crac::sim {
@@ -126,12 +127,32 @@ ArenaAllocator::Snapshot ArenaAllocator::snapshot() const {
   return snap;
 }
 
-Status ArenaAllocator::restore(const Snapshot& snap) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
+Status ArenaAllocator::validate_snapshot(const Snapshot& snap) const {
+  // Reads only immutable configuration (the reservation), so no lock.
   if (snap.committed_bytes > reservation_.capacity()) {
     return InvalidArgument("snapshot larger than arena reservation");
   }
+  // Every entry must land inside the committed span. Snapshots now arrive
+  // over the wire (RECV_CKPT, shipped images), so a CRC-valid stream with a
+  // hostile offset must fail here — not as a wild write when the restored
+  // allocation's contents are copied in.
+  for (const auto* list : {&snap.free_list, &snap.active}) {
+    for (const auto& [off, size] : *list) {
+      if (off > snap.committed_bytes || size > snap.committed_bytes - off) {
+        return InvalidArgument(
+            "snapshot entry [" + std::to_string(off) + ", +" +
+            std::to_string(size) + ") outside the committed " +
+            std::to_string(snap.committed_bytes) + "-byte arena span");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status ArenaAllocator::restore(const Snapshot& snap) {
+  CRAC_RETURN_IF_ERROR(validate_snapshot(snap));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
   // Commit any span the snapshot covers that is not yet committed. (On a
   // fresh arena this is the whole snapshot span; on an in-place restart the
   // arena is usually already at least as large.)
@@ -183,6 +204,52 @@ void ArenaAllocator::insert_free_locked(std::uintptr_t addr, std::size_t size) {
     free_by_addr_.erase(next);
   }
   free_by_addr_.emplace(addr, size);
+}
+
+std::vector<std::byte> encode_arena_snapshot(
+    const ArenaAllocator::Snapshot& snap) {
+  ByteWriter w;
+  w.put_u64(snap.committed_bytes);
+  w.put_u64(snap.free_list.size());
+  for (const auto& [off, size] : snap.free_list) {
+    w.put_u64(off);
+    w.put_u64(size);
+  }
+  w.put_u64(snap.active.size());
+  for (const auto& [off, size] : snap.active) {
+    w.put_u64(off);
+    w.put_u64(size);
+  }
+  return std::move(w).take();
+}
+
+Result<ArenaAllocator::Snapshot> decode_arena_snapshot(const std::byte* data,
+                                                       std::size_t size) {
+  ByteReader r(data, size);
+  ArenaAllocator::Snapshot snap;
+  std::uint64_t free_count = 0, active_count = 0;
+  CRAC_RETURN_IF_ERROR(r.get_u64(snap.committed_bytes));
+  CRAC_RETURN_IF_ERROR(r.get_u64(free_count));
+  // Each entry costs 16 encoded bytes; a hostile count cannot demand more
+  // reserve than the payload could possibly hold.
+  snap.free_list.reserve(
+      std::min<std::uint64_t>(free_count, r.remaining() / 16));
+  for (std::uint64_t i = 0; i < free_count; ++i) {
+    std::uint64_t off = 0, entry_size = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(off));
+    CRAC_RETURN_IF_ERROR(r.get_u64(entry_size));
+    snap.free_list.emplace_back(off, entry_size);
+  }
+  CRAC_RETURN_IF_ERROR(r.get_u64(active_count));
+  snap.active.reserve(
+      std::min<std::uint64_t>(active_count, r.remaining() / 16));
+  for (std::uint64_t i = 0; i < active_count; ++i) {
+    std::uint64_t off = 0, entry_size = 0;
+    CRAC_RETURN_IF_ERROR(r.get_u64(off));
+    CRAC_RETURN_IF_ERROR(r.get_u64(entry_size));
+    snap.active.emplace_back(off, entry_size);
+  }
+  return snap;
 }
 
 }  // namespace crac::sim

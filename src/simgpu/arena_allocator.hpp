@@ -70,9 +70,18 @@ class ArenaAllocator {
   };
   Snapshot snapshot() const;
 
+  // Pure validation half of restore(): rejects a snapshot that does not fit
+  // this arena (committed span over capacity, entries outside the span)
+  // without touching any state. restore() runs it first; callers that need
+  // a hard validate-then-mutate boundary (the proxy's RECV_CKPT, which must
+  // answer "rejected, state intact" truthfully) call it themselves before
+  // committing to the mutation.
+  Status validate_snapshot(const Snapshot& snap) const;
+
   // Rebuilds allocator state from a snapshot taken on an arena with the
   // same base/capacity: commits the recorded span and reinstates the free
-  // and active maps. Existing state must be empty (fresh arena).
+  // and active maps. Validation (validate_snapshot) is complete before any
+  // state changes, so a failed restore leaves the arena exactly as it was.
   Status restore(const Snapshot& snap);
 
  private:
@@ -92,5 +101,15 @@ class ArenaAllocator {
   std::uintptr_t committed_end_;  // one past the last committed byte
   std::size_t active_bytes_ = 0;
 };
+
+// Wire codec for Snapshot — the one encoding shared by every consumer that
+// checkpoints allocator state (the CRAC upper heap's image section, the
+// proxy's SHIP_CKPT/RECV_CKPT device-arena shipping):
+//   [u64 committed_bytes][u64 free_count]([u64 off][u64 size])*
+//   [u64 active_count]([u64 off][u64 size])*
+std::vector<std::byte> encode_arena_snapshot(
+    const ArenaAllocator::Snapshot& snap);
+Result<ArenaAllocator::Snapshot> decode_arena_snapshot(const std::byte* data,
+                                                       std::size_t size);
 
 }  // namespace crac::sim

@@ -4,15 +4,19 @@
 // documented lost-update failure under concurrent streams.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <numeric>
 #include <thread>
 #include <vector>
 
 #include "ckpt/image.hpp"
+#include "ckpt/remote.hpp"
 #include "ckpt/sharded.hpp"
 #include "ckpt/sink.hpp"
 #include "proxy/client_api.hpp"
+#include "simgpu/arena_allocator.hpp"
 #include "simcuda/module.hpp"
 
 namespace crac::proxy {
@@ -282,6 +286,131 @@ TEST(ProxyTest, ManagedDrainRestoreRoundTripsOverStripedShards) {
   for (std::uint64_t i = 0; i < n; ++i) {
     ASSERT_EQ(f[i], 9.0f + static_cast<float>(i)) << i;
   }
+}
+
+TEST(ProxyTest, DeviceStateShipsBetweenProxyEndpoints) {
+  // SHIP_CKPT -> RECV_CKPT: endpoint A pushes a live checkpoint of its
+  // server's device-arena state through a pipe into endpoint B's server —
+  // two proxy processes, no file, pointer values preserved verbatim. The
+  // pipe is far smaller than the shipment, so ship and recv must run
+  // concurrently (a real migration, not a staged copy).
+  ProxyClientApi a(test_options());
+  ProxyClientApi b(test_options());
+
+  const std::size_t n0 = 256 << 10, n1 = 96 << 10, n2 = 32 << 10;
+  void* d0 = nullptr;
+  void* d1 = nullptr;
+  void* d2 = nullptr;
+  ASSERT_EQ(a.cudaMalloc(&d0, n0), cudaSuccess);
+  ASSERT_EQ(a.cudaMalloc(&d1, n1), cudaSuccess);
+  ASSERT_EQ(a.cudaMalloc(&d2, n2), cudaSuccess);
+  // Free the middle allocation: the shipped allocator snapshot must carry
+  // the hole, not just a dense prefix.
+  ASSERT_EQ(a.cudaFree(d1), cudaSuccess);
+
+  std::vector<char> p0(n0), p2(n2);
+  for (std::size_t i = 0; i < n0; ++i) p0[i] = static_cast<char>(i * 7 + 1);
+  for (std::size_t i = 0; i < n2; ++i) p2[i] = static_cast<char>(i * 13 + 5);
+  ASSERT_EQ(a.cudaMemcpy(d0, p0.data(), n0, cudaMemcpyHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(a.cudaMemcpy(d2, p2.data(), n2, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  Status ship_status = OkStatus();
+  std::thread shipper([&] {
+    ship_status = a.ship_checkpoint(pipefd[1]);
+    ::close(pipefd[1]);
+  });
+  const Status recv_status = b.recv_checkpoint(pipefd[0]);
+  shipper.join();
+  ::close(pipefd[0]);
+  ASSERT_TRUE(ship_status.ok()) << ship_status.to_string();
+  ASSERT_TRUE(recv_status.ok()) << recv_status.to_string();
+
+  // B's server now holds A's device state at the same addresses; explicit
+  // copy kinds address the migrated pointers directly.
+  std::vector<char> back0(n0), back2(n2);
+  ASSERT_EQ(b.cudaMemcpy(back0.data(), d0, n0, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  ASSERT_EQ(b.cudaMemcpy(back2.data(), d2, n2, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back0, p0);
+  EXPECT_EQ(back2, p2);
+  // The freed hole migrated too: a fresh allocation of the hole's size on B
+  // reuses d1's address (deterministic first-fit over the shipped free
+  // list), proving allocator state — not just contents — made the trip.
+  void* reuse = nullptr;
+  ASSERT_EQ(b.cudaMalloc(&reuse, n1), cudaSuccess);
+  EXPECT_EQ(reuse, d1);
+}
+
+TEST(ProxyTest, RecvCkptRejectsForeignImageAndSurvives) {
+  // A complete, CRC-clean shipment that is not a device-arena checkpoint
+  // must be rejected with an error — and the connection must remain usable
+  // (the stream was fully consumed, so the protocol is still in sync).
+  ProxyClientApi b(test_options());
+
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  {
+    ckpt::SocketSink sink(pipefd[1], "test ship");
+    ckpt::ImageWriter writer(&sink, ckpt::ImageWriter::Options{});
+    writer.add_section(ckpt::SectionType::kMetadata, "unrelated",
+                       std::vector<std::byte>(64, std::byte{0x5A}));
+    ASSERT_TRUE(writer.finish().ok());
+    ASSERT_TRUE(sink.close().ok());
+    ::close(pipefd[1]);
+  }
+  const Status recv_status = b.recv_checkpoint(pipefd[0]);
+  ::close(pipefd[0]);
+  EXPECT_FALSE(recv_status.ok());
+
+  void* dev = nullptr;
+  EXPECT_EQ(b.cudaMalloc(&dev, 4096), cudaSuccess);
+  EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
+}
+
+TEST(ProxyTest, RecvCkptRejectBeforeMutationKeepsExistingState) {
+  // A shipment whose snapshot decodes but whose contents section is missing
+  // must be rejected BEFORE the receiving server's allocator is touched:
+  // the client is told "error, connection intact", so the state it had must
+  // still be there — allocations, contents, and all.
+  ProxyClientApi b(test_options());
+  const std::size_t n = 64 << 10;
+  void* dev = nullptr;
+  ASSERT_EQ(b.cudaMalloc(&dev, n), cudaSuccess);
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 3);
+  ASSERT_EQ(b.cudaMemcpy(dev, pattern.data(), n, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  // Valid CRACSHP1 stream, valid snapshot section, no contents section.
+  sim::ArenaAllocator::Snapshot snap;
+  snap.committed_bytes = 1 << 20;
+  snap.active.emplace_back(0, 4096);
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  {
+    ckpt::SocketSink sink(pipefd[1], "test ship");
+    ckpt::ImageWriter writer(&sink, ckpt::ImageWriter::Options{});
+    writer.add_section(ckpt::SectionType::kMetadata, "proxy-device-arena",
+                       sim::encode_arena_snapshot(snap));
+    ASSERT_TRUE(writer.finish().ok());
+    ASSERT_TRUE(sink.close().ok());
+    ::close(pipefd[1]);
+  }
+  const Status recv_status = b.recv_checkpoint(pipefd[0]);
+  ::close(pipefd[0]);
+  EXPECT_FALSE(recv_status.ok());
+
+  // The pre-existing allocation and its contents survived the rejection.
+  std::vector<char> back(n);
+  ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, pattern);
+  EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
 }
 
 TEST(ProxyTest, ShadowUvmLosesConcurrentStreamUpdates) {

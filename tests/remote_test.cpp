@@ -1,0 +1,428 @@
+// Tests for the remote checkpoint transport (ckpt/remote.hpp): CRACSHP1
+// wire framing over real fds, the bounded-memory spool guarantee, the
+// relay, and fault injection ported from the shared harness onto the socket
+// framing — mid-stream EOF, bit flips in the stream trailer, short writes.
+// Plus the full CracContext live ship -> restart round trip the
+// spot-instance migration example performs.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "ckpt/remote.hpp"
+#include "common/fd_io.hpp"
+#include "crac/context.hpp"
+#include "tests/ckpt_testing.hpp"
+
+namespace crac::ckpt {
+namespace {
+
+using testlib::FaultySink;
+using testlib::NamedSections;
+
+// ---- wire-stream helpers -------------------------------------------------
+//
+// The fault-injection pattern for socket framing: capture the exact wire
+// bytes a shipment produces, corrupt them at a chosen offset (the
+// FaultySink/FaultySource idea applied to the framed stream), and replay
+// them into a SpoolingSource. Capture and replay both run the far end on a
+// thread because a pipe holds far less than an image.
+
+std::vector<std::byte> capture_ship_stream(
+    const std::function<void(Sink&)>& produce) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  std::vector<std::byte> wire;
+  std::thread drainer([&] {
+    std::byte buf[1 << 16];
+    for (;;) {
+      const ::ssize_t n = ::read(fds[0], buf, sizeof(buf));
+      if (n <= 0) break;
+      wire.insert(wire.end(), buf, buf + n);
+    }
+  });
+  {
+    SocketSink sink(fds[1], "capture socket");
+    produce(sink);
+  }
+  ::close(fds[1]);
+  drainer.join();
+  ::close(fds[0]);
+  return wire;
+}
+
+Result<std::unique_ptr<SpoolingSource>> replay_stream(
+    const std::vector<std::byte>& wire,
+    const SpoolingSource::Options& opts = {}) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  std::thread feeder([&] {
+    (void)write_all_fd(fds[1], wire.data(), wire.size(), "replay pipe");
+    ::close(fds[1]);
+  });
+  auto spool = SpoolingSource::receive(fds[0], opts);
+  feeder.join();
+  ::close(fds[0]);
+  return spool;
+}
+
+// A healthy captured stream carrying `secs`, for corruption tests.
+std::vector<std::byte> healthy_stream(const NamedSections& secs, Codec codec,
+                                      std::size_t chunk_size) {
+  return capture_ship_stream([&](Sink& sink) {
+    ASSERT_TRUE(testlib::write_image(sink, secs, codec, chunk_size).ok());
+  });
+}
+
+// ---- round trips ---------------------------------------------------------
+
+TEST(RemoteShipTest, RoundTripOverSocketFraming) {
+  const NamedSections secs = {
+      {"noise", testlib::random_bytes(96 * 1024, 11)},
+      {"runs", testlib::compressible_bytes(200 * 1024, 22)},
+      {"empty", {}},
+  };
+  const std::vector<std::byte> wire = healthy_stream(secs, Codec::kLz, 4096);
+  // Framing overhead exists but is tiny: header + per-frame u32s + trailer.
+  ASSERT_GT(wire.size(), kShipHeaderBytes + kShipTrailerBytes);
+
+  auto spool = replay_stream(wire);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  EXPECT_EQ((*spool)->spooled_to_disk_bytes(), 0u);  // default cap is ample
+
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  ASSERT_EQ(reader->sections().size(), secs.size());
+  for (std::size_t i = 0; i < secs.size(); ++i) {
+    auto payload = reader->read_section(reader->sections()[i]);
+    ASSERT_TRUE(payload.ok()) << payload.status().to_string();
+    EXPECT_EQ(*payload, secs[i].second) << secs[i].first;
+  }
+}
+
+TEST(RemoteShipTest, EmptyImageShips) {
+  const std::vector<std::byte> wire = capture_ship_stream([](Sink& sink) {
+    ImageWriter writer(&sink, ImageWriter::Options{});
+    ASSERT_TRUE(writer.finish().ok());
+    ASSERT_TRUE(sink.close().ok());
+  });
+  auto spool = replay_stream(wire);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->sections().empty());
+}
+
+// The acceptance-criterion test: an image several times the spool cap must
+// receive with peak resident spool memory bounded by the cap — and still
+// round-trip byte-identically through the overflow file.
+TEST(RemoteShipTest, SpoolMemoryBoundedByCapForOversizedImage) {
+  // Incompressible payload so the shipped stream is genuinely ~2 MiB.
+  const NamedSections secs = {{"big", testlib::random_bytes(2 << 20, 33)}};
+  const std::vector<std::byte> wire =
+      healthy_stream(secs, Codec::kStore, 64 * 1024);
+  const std::size_t cap = 256 << 10;
+  ASSERT_GT(wire.size(), 4 * cap);  // image really is larger than the cap
+
+  SpoolingSource::Options opts;
+  opts.spool_cap_bytes = cap;
+  auto spool = replay_stream(wire, opts);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  EXPECT_LE((*spool)->peak_resident_bytes(), cap);
+  EXPECT_GT((*spool)->spooled_to_disk_bytes(), 0u);
+
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto payload = reader->read_section(reader->sections()[0]);
+  ASSERT_TRUE(payload.ok()) << payload.status().to_string();
+  EXPECT_EQ(*payload, secs[0].second);
+}
+
+TEST(RemoteShipTest, RandomAccessAcrossSpoolBoundary) {
+  // Random-access slices that straddle the memory-prefix / overflow-file
+  // boundary must come back exactly (the reader seeks the spool freely).
+  const std::vector<std::byte> payload = testlib::random_bytes(1 << 20, 44);
+  const NamedSections secs = {{"big", payload}};
+  const std::vector<std::byte> wire =
+      healthy_stream(secs, Codec::kStore, 64 * 1024);
+
+  SpoolingSource::Options opts;
+  opts.spool_cap_bytes = 256 << 10;
+  auto spool = replay_stream(wire, opts);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok());
+  const SectionInfo& sec = reader->sections()[0];
+  for (const std::uint64_t offset :
+       {std::uint64_t{0}, std::uint64_t{100000}, std::uint64_t{500000},
+        std::uint64_t{(1 << 20) - 4096}}) {
+    std::vector<std::byte> slice(4096);
+    ASSERT_TRUE(reader->read(sec, offset, slice.data(), slice.size()).ok());
+    EXPECT_EQ(0, std::memcmp(slice.data(), payload.data() + offset, 4096))
+        << "slice at " << offset;
+  }
+}
+
+TEST(RemoteShipTest, SpoolCapBelowMinimumRejected) {
+  const std::vector<std::byte> wire =
+      healthy_stream({{"s", testlib::random_bytes(1024, 5)}}, Codec::kStore,
+                     4096);
+  SpoolingSource::Options opts;
+  opts.spool_cap_bytes = 1;
+  auto spool = replay_stream(wire, opts);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- fault injection over the framing ------------------------------------
+
+class RemoteFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    secs_ = {{"noise", testlib::random_bytes(48 * 1024, 66)},
+             {"runs", testlib::compressible_bytes(64 * 1024, 77)}};
+    wire_ = healthy_stream(secs_, Codec::kLz, 4096);
+    ASSERT_GT(wire_.size(), kShipHeaderBytes + kShipTrailerBytes + 1024);
+  }
+
+  NamedSections secs_;
+  std::vector<std::byte> wire_;
+};
+
+TEST_F(RemoteFaultTest, MidStreamEofReportsIoError) {
+  // The writer dies mid-shipment: header gone through, some frames gone
+  // through, no trailer. Every truncation point must read as a hard
+  // IoError, never as a short-but-accepted image.
+  for (const std::size_t keep :
+       {kShipHeaderBytes - 3, kShipHeaderBytes + 2, wire_.size() / 2,
+        wire_.size() - 1}) {
+    std::vector<std::byte> cut(wire_.begin(), wire_.begin() + keep);
+    auto spool = replay_stream(cut);
+    ASSERT_FALSE(spool.ok()) << "accepted a stream cut at " << keep;
+    EXPECT_EQ(spool.status().code(), StatusCode::kIoError) << keep;
+  }
+}
+
+TEST_F(RemoteFaultTest, TrailerCrcBitFlipReportsCorrupt) {
+  // Last 4 wire bytes are the stream CRC.
+  std::vector<std::byte> bad = wire_;
+  bad[bad.size() - 2] ^= std::byte{0x10};
+  auto spool = replay_stream(bad);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("trailer"), std::string::npos)
+      << spool.status().to_string();
+}
+
+TEST_F(RemoteFaultTest, TrailerByteCountFlipReportsCorrupt) {
+  // The u64 before the CRC is the declared total byte count.
+  std::vector<std::byte> bad = wire_;
+  bad[bad.size() - 8] ^= std::byte{0x01};
+  auto spool = replay_stream(bad);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("declares"), std::string::npos)
+      << spool.status().to_string();
+}
+
+TEST_F(RemoteFaultTest, PayloadBitFlipCaughtByStreamCrcAtReceive) {
+  // A flipped bit deep inside a frame payload fails the *stream* CRC at
+  // receive time — before any consumer touches the image, a whole layer
+  // earlier than the per-chunk CRCs would catch it.
+  std::vector<std::byte> bad = wire_;
+  bad[wire_.size() / 2] ^= std::byte{0x04};
+  auto spool = replay_stream(bad);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("CRC"), std::string::npos);
+}
+
+TEST_F(RemoteFaultTest, BadMagicRejected) {
+  std::vector<std::byte> bad = wire_;
+  bad[0] ^= std::byte{0xFF};
+  auto spool = replay_stream(bad);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(RemoteFaultTest, HeaderCrcFlipRejected) {
+  // Flip the version field: the header CRC must catch it.
+  std::vector<std::byte> bad = wire_;
+  bad[9] ^= std::byte{0x01};
+  auto spool = replay_stream(bad);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("header CRC"), std::string::npos);
+}
+
+TEST_F(RemoteFaultTest, HostileFrameLengthRejected) {
+  // Hand-crafted stream: valid header, then a frame claiming 2 GiB. The
+  // receiver must reject the claim without allocating for it.
+  std::vector<std::byte> bad(wire_.begin(),
+                             wire_.begin() + kShipHeaderBytes);
+  const std::uint32_t huge = std::uint32_t{2} << 30;
+  const auto* p = reinterpret_cast<const std::byte*>(&huge);
+  bad.insert(bad.end(), p, p + sizeof(huge));
+  auto spool = replay_stream(bad);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST_F(RemoteFaultTest, ShortWriteFaultySinkPoisonsShipment) {
+  // FaultySink ported over the socket framing: the transport short-writes
+  // at byte K of the logical stream and fails. The writer must surface the
+  // injected IoError (sticky through close), and the half-shipped wire
+  // must be unreceivable.
+  Status write_status;
+  const std::vector<std::byte> wire =
+      capture_ship_stream([&](Sink& inner) {
+        FaultySink::Faults faults;
+        faults.fail_at = 20000;  // mid-section, after some frames went out
+        FaultySink sink(&inner, faults);
+        write_status = testlib::write_image(sink, secs_, Codec::kLz, 4096);
+      });
+
+  ASSERT_FALSE(write_status.ok());
+  EXPECT_EQ(write_status.code(), StatusCode::kIoError);
+  EXPECT_NE(write_status.message().find("injected"), std::string::npos);
+
+  auto spool = replay_stream(wire);
+  EXPECT_FALSE(spool.ok());
+}
+
+TEST_F(RemoteFaultTest, WriteAfterCloseIsRejected) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::thread drainer([&] {
+    std::byte buf[1 << 16];
+    while (::read(fds[0], buf, sizeof(buf)) > 0) {
+    }
+  });
+  SocketSink sink(fds[1], "closed socket");
+  ASSERT_TRUE(sink.write("x", 1).ok());
+  ASSERT_TRUE(sink.close().ok());
+  EXPECT_EQ(sink.write("y", 1).code(), StatusCode::kFailedPrecondition);
+  ::close(fds[1]);
+  drainer.join();
+  ::close(fds[0]);
+}
+
+// ---- relay ---------------------------------------------------------------
+
+TEST_F(RemoteFaultTest, RelayForwardsIntactStream) {
+  int left[2], right[2];
+  ASSERT_EQ(::pipe(left), 0);
+  ASSERT_EQ(::pipe(right), 0);
+  std::thread feeder([&] {
+    (void)write_all_fd(left[1], wire_.data(), wire_.size(), "relay feed");
+    ::close(left[1]);
+  });
+  Status relay_status;
+  std::thread relayer([&] {
+    relay_status = relay_ship_stream(left[0], right[1], "test relay");
+    ::close(right[1]);
+  });
+  auto spool = SpoolingSource::receive(right[0]);
+  feeder.join();
+  relayer.join();
+  ::close(left[0]);
+  ::close(right[0]);
+
+  ASSERT_TRUE(relay_status.ok()) << relay_status.to_string();
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok());
+  auto payload = reader->read_section(reader->sections()[0]);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, secs_[0].second);
+}
+
+TEST_F(RemoteFaultTest, RelayDetectsCorruptTrailerAndReceiverAgrees) {
+  std::vector<std::byte> bad = wire_;
+  bad[bad.size() - 1] ^= std::byte{0x80};  // stream CRC
+  int left[2], right[2];
+  ASSERT_EQ(::pipe(left), 0);
+  ASSERT_EQ(::pipe(right), 0);
+  std::thread feeder([&] {
+    (void)write_all_fd(left[1], bad.data(), bad.size(), "relay feed");
+    ::close(left[1]);
+  });
+  Status relay_status;
+  std::thread relayer([&] {
+    relay_status = relay_ship_stream(left[0], right[1], "test relay");
+    ::close(right[1]);
+  });
+  auto spool = SpoolingSource::receive(right[0]);
+  feeder.join();
+  relayer.join();
+  ::close(left[0]);
+  ::close(right[0]);
+
+  EXPECT_EQ(relay_status.code(), StatusCode::kCorrupt);
+  // The relay forwards the trailer before failing, so the receiver reaches
+  // (and rejects) the same trailer instead of hanging on a half stream.
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+}
+
+// ---- full-context live ship ----------------------------------------------
+
+TEST(RemoteShipTest, CracContextShipsAndRestartsOverSocketpair) {
+  // The spot-instance migration flow inside one test: checkpoint_to_sink
+  // streams a live context into a socketpair while a receiver thread spools
+  // it; the context dies; restart_from_source rebuilds it and the device
+  // contents come back bit for bit. (Sequential contexts: only one CRAC
+  // context may be alive per process.)
+  CracOptions opts;
+  opts.split.device.device_capacity = 64 << 20;
+  opts.split.device.pinned_capacity = 16 << 20;
+  opts.split.device.managed_capacity = 64 << 20;
+  opts.split.upper_heap_capacity = 64 << 20;
+
+  const std::size_t n = 512 << 10;
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 31);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Result<std::unique_ptr<SpoolingSource>> spool =
+      Status(StatusCode::kInternal, "receiver never ran");
+  std::thread receiver([&] { spool = SpoolingSource::receive(fds[0]); });
+
+  void* dev = nullptr;
+  {
+    CracContext ctx(opts);
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, n), cuda::cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(dev, pattern.data(), n,
+                                   cuda::cudaMemcpyHostToDevice),
+              cuda::cudaSuccess);
+    ctx.set_root(dev);
+    SocketSink sink(fds[1], "test migration socket");
+    auto report = ctx.checkpoint_to_sink(sink);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_GT(report->image_bytes, n);  // carried at least the payload
+  }
+  receiver.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+
+  auto restored = CracContext::restart_from_source(std::move(*spool), opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ((*restored)->root(), dev);
+  std::vector<char> back(n);
+  ASSERT_EQ((*restored)->api().cudaMemcpy(back.data(), dev, n,
+                                          cuda::cudaMemcpyDeviceToHost),
+            cuda::cudaSuccess);
+  EXPECT_EQ(back, pattern);
+}
+
+}  // namespace
+}  // namespace crac::ckpt
