@@ -443,6 +443,156 @@ void run_ship_sweep() {
   }
 }
 
+// ---- restore-while-receiving: serialized vs overlapped time-to-restart ----
+//
+// The sender paces the logical payload onto a socketpair at a fixed rate (a
+// stand-in for a migration NIC), and the receiver runs the full reader-side
+// restart work: spool, directory scan, chunk decode, integrity sweep. The
+// serialized leg (SpoolingSource) spools the entire stream before the scan
+// starts, so it pays transfer + restore; the overlapped leg
+// (StreamingSpoolSource + the reader's incremental scan) restores while
+// receiving and should approach max(transfer, restore).
+//
+// The pipeline unit is the *section* — a section decodes once its last
+// byte lands, while later sections are still in flight — so the payload is
+// written as several sections, the shape a real image has (heap state,
+// upper memory, log, per-subsystem buffers). A single giant section would
+// pipeline nothing; chunk-level overlap inside one section is the queued
+// follow-up (see ROADMAP).
+constexpr std::size_t kOverlapSections = 8;
+
+double paced_restart_leg(const std::vector<std::byte>& payload,
+                         crac::ThreadPool* send_pool,
+                         crac::ThreadPool* recv_pool, double mb_per_s,
+                         bool overlapped) {
+  using namespace crac::ckpt;
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return -1;
+  crac::Status ship_status = crac::OkStatus();
+  crac::WallTimer t;
+  std::thread shipper([&] {
+    SocketSink sink(fds[1], "bench paced socket");
+    ImageWriter::Options opts;
+    opts.codec = Codec::kLz;
+    opts.pool = send_pool;
+    ImageWriter writer(&sink, opts);
+    ship_status = [&]() -> crac::Status {
+      const std::size_t slice = 256 << 10;
+      const std::size_t per_section =
+          (payload.size() + kOverlapSections - 1) / kOverlapSections;
+      crac::WallTimer pace;
+      std::size_t sent = 0;
+      for (std::size_t s = 0; s < kOverlapSections; ++s) {
+        CRAC_RETURN_IF_ERROR(writer.begin_section(
+            SectionType::kDeviceBuffers, "synthetic" + std::to_string(s)));
+        const std::size_t end =
+            std::min(payload.size(), (s + 1) * per_section);
+        while (sent < end) {
+          const std::size_t n = std::min(slice, end - sent);
+          CRAC_RETURN_IF_ERROR(writer.append(payload.data() + sent, n));
+          sent += n;
+          const double target_s =
+              static_cast<double>(sent) / (mb_per_s * (1 << 20));
+          const double ahead = target_s - pace.elapsed_s();
+          if (ahead > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+          }
+        }
+        CRAC_RETURN_IF_ERROR(writer.end_section());
+      }
+      CRAC_RETURN_IF_ERROR(writer.finish());
+      return sink.close();
+    }();
+    ::close(fds[1]);
+  });
+
+  double elapsed = -1;
+  {
+    std::unique_ptr<Source> src;
+    if (overlapped) {
+      auto s = StreamingSpoolSource::start(fds[0]);
+      if (s.ok()) src = std::move(*s);
+    } else {
+      auto s = SpoolingSource::receive(fds[0]);
+      if (s.ok()) src = std::move(*s);
+    }
+    if (src != nullptr) {
+      ImageReader::Options ropts;
+      ropts.pool = recv_pool;
+      auto reader = ImageReader::open(std::move(src), ropts);
+      if (reader.ok()) {
+        // Drain every section through the streaming decode path, then the
+        // integrity gate — the reader-side work a restart performs.
+        std::vector<std::byte> slice(1 << 20);
+        bool ok = true;
+        for (std::size_t i = 0; ok; ++i) {
+          auto sec = reader->section_at(i);
+          if (!sec.ok()) {
+            ok = false;
+            break;
+          }
+          if (*sec == nullptr) break;
+          auto stream = reader->open_section(**sec);
+          if (!stream.ok()) {
+            ok = false;
+            break;
+          }
+          for (;;) {
+            auto n = stream->read_some(slice.data(), slice.size());
+            if (!n.ok()) {
+              ok = false;
+              break;
+            }
+            if (*n == 0) break;
+          }
+        }
+        if (ok && reader->verify_unread_sections().ok()) {
+          elapsed = t.elapsed_s();
+        }
+      }
+    }
+  }
+  ::close(fds[0]);
+  shipper.join();
+  if (!ship_status.ok()) return -1;
+  return elapsed;
+}
+
+void run_overlap_sweep() {
+  using namespace crac;
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_OVERLAP_MB", 16));
+  const std::size_t n = mb << 20;
+  std::printf("\nrestore-while-receiving, paced loopback sender (%zuMB "
+              "payload; cells are first-wire-byte to restart-complete "
+              "seconds):\n",
+              mb);
+  const auto payload = synthetic_image_payload(n, 2468);
+  // One pool per endpoint: in a real migration the sender's compression and
+  // the receiver's decode run on different machines, so sharing one pool
+  // would charge the overlapped leg contention the serialized leg never
+  // pays.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool send_pool(hw);
+  ThreadPool recv_pool(hw);
+
+  const double paces[] = {256.0, 64.0};
+  std::printf("%-24s %12s %12s %9s\n", "sender pace \xc3\x97 mode",
+              "serialized", "overlapped", "speedup");
+  for (const double pace : paces) {
+    const double ser =
+        paced_restart_leg(payload, &send_pool, &recv_pool, pace, false);
+    const double ovl =
+        paced_restart_leg(payload, &send_pool, &recv_pool, pace, true);
+    if (ser < 0 || ovl < 0) {
+      std::printf("  %5.0f MB/s                 FAILED\n", pace);
+      continue;
+    }
+    std::printf("  %5.0f MB/s            %9.3fs %11.3fs %8.2fx\n", pace, ser,
+                ovl, ser / ovl);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -552,5 +702,15 @@ int main() {
               "bytes and should trail it. Peak spool residency stays under "
               "the cap in both columns (asserted in remote_test, not "
               "here).\n");
+
+  run_overlap_sweep();
+  std::printf("\nshape check (overlap): the overlapped column should beat "
+              "serialized at every pace (remote_test asserts the ordering "
+              "property; this shows the magnitude). Serialized pays "
+              "transfer + restore; overlapped approaches max(transfer, "
+              "restore), so the speedup grows toward 1 + restore/transfer "
+              "as the sender slows. On a single-core host the overlap can "
+              "only hide the sender's pacing stalls, not compute, so slow "
+              "paces show the effect and fast paces converge to 1x.\n");
   return 0;
 }

@@ -5,11 +5,15 @@
 // "spot instance reclaimed" notice mid-run. Instance #1 (a forked child —
 // its own process, its own CRAC context) checkpoints on demand and streams
 // the image *directly into the replacement instance over a socketpair*:
-// ckpt::SocketSink frames the live checkpoint, ckpt::SpoolingSource on
-// instance #2 receives it into a bounded spool and hands the ordinary
-// restart path a seekable image. No shared filesystem, no intermediate
-// image file on disk — the bytes a dying instance writes are the bytes the
-// replacement restores, concurrently, while #1 is still draining.
+// ckpt::SocketSink frames the live checkpoint, and instance #2 restores
+// while it receives — ckpt::StreamingSpoolSource::start hands the restart
+// path a source immediately, the directory scan and section restores chase
+// the receive frontier, and the restart completes (trailer verified and
+// all) essentially as the last bytes land. Time-to-resume is
+// max(transfer, restore), not transfer + restore. No shared filesystem, no
+// intermediate image file on disk — the bytes a dying instance writes are
+// the bytes the replacement restores, concurrently, while #1 is still
+// draining.
 //
 // The restored solve carries to completion and its final residual must
 // match an uninterrupted run exactly (byte-identical live restore).
@@ -162,43 +166,55 @@ int main() {
   }
   ::close(fds[1]);
 
-  // Instance #2: receive the live stream into a bounded spool (the image is
-  // small enough to stay entirely in memory here — zero bytes ever touch
-  // disk), then restart from it. The receive runs concurrently with #1's
-  // checkpoint: the socketpair buffer is far smaller than the image, so the
-  // writer only makes progress because this end is already consuming.
-  std::printf("spot instance #2 (pid %d): receiving live checkpoint...\n",
+  // Instance #2: restore while receiving. start() validates the stream
+  // header and returns immediately; a receiver thread spools frames into
+  // bounded memory while restart_from_source rebuilds the context, each
+  // section restore blocking only until its bytes land. Restore work
+  // (directory scan, decompress, device refill, replay) overlaps #1's
+  // checkpoint+transfer instead of following it.
+  std::printf("spot instance #2 (pid %d): restoring while the checkpoint "
+              "streams in...\n",
               static_cast<int>(::getpid()));
-  ckpt::SpoolingSource::Options spool_opts;
+  ckpt::StreamingSpoolSource::Options spool_opts;
   spool_opts.origin = "migration socket";
-  auto spool = ckpt::SpoolingSource::receive(fds[0], spool_opts);
-  ::close(fds[0]);
-  int child_status = 0;
-  ::waitpid(pid, &child_status, 0);
+  auto spool = ckpt::StreamingSpoolSource::start(fds[0], spool_opts);
   if (!spool.ok()) {
     std::fprintf(stderr, "receive failed: %s\n",
                  spool.status().to_string().c_str());
     return 1;
   }
-  if (child_status != 0) {
-    std::fprintf(stderr, "instance #1 exited with status %d\n", child_status);
-    return 1;
-  }
-  std::printf("spot instance #2: received %llu bytes (peak spool memory "
-              "%llu, spooled to disk %llu)\n",
-              static_cast<unsigned long long>((*spool)->size()),
-              static_cast<unsigned long long>((*spool)->peak_resident_bytes()),
-              static_cast<unsigned long long>(
-                  (*spool)->spooled_to_disk_bytes()));
+  // The receive outcome outlives the source (the restart consumes it).
+  auto receive_outcome = (*spool)->outcome();
 
   double interrupted_sum = 0;
   {
-    auto restored = CracContext::restart_from_source(std::move(*spool));
+    RestartReport report;
+    auto restored =
+        CracContext::restart_from_source(std::move(*spool), {}, &report);
+    ::close(fds[0]);
+    int child_status = 0;
+    ::waitpid(pid, &child_status, 0);
     if (!restored.ok()) {
       std::fprintf(stderr, "restart failed: %s\n",
                    restored.status().to_string().c_str());
       return 1;
     }
+    if (child_status != 0) {
+      std::fprintf(stderr, "instance #1 exited with status %d\n",
+                   child_status);
+      return 1;
+    }
+    std::printf("spot instance #2: restarted %s the stream in %.3fs "
+                "(received %llu bytes, peak spool memory %llu, spooled to "
+                "disk %llu)\n",
+                report.overlapped_receive ? "overlapped with" : "after",
+                report.total_s,
+                static_cast<unsigned long long>(
+                    receive_outcome->total_bytes),
+                static_cast<unsigned long long>(
+                    receive_outcome->peak_resident_bytes),
+                static_cast<unsigned long long>(
+                    receive_outcome->spooled_to_disk_bytes));
     CracContext& ctx = **restored;
     auto* st = static_cast<SolverState*>(ctx.root());
     std::printf("spot instance #2: resuming at iteration %d\n",

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in README.md and docs/*.md
+# resolves: the target file exists, and when a #fragment is present, some
+# heading in the target slugifies (GitHub-style) to it. Plain shell +
+# coreutils only — no external dependencies — so the docs can't rot
+# silently. Run from anywhere; exits nonzero listing every broken link.
+set -u
+LC_ALL=C
+export LC_ALL
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# GitHub-style heading anchor: lowercase, drop everything but
+# alphanumerics/spaces/hyphens/underscores, spaces become hyphens.
+slugify() {
+  printf '%s' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# check_anchor FILE FRAGMENT -> 0 iff a heading in FILE slugifies to it.
+check_anchor() {
+  local file="$1" frag="$2" h
+  while IFS= read -r h; do
+    if [ "$(slugify "$h")" = "$frag" ]; then
+      return 0
+    fi
+  done <<EOF
+$(sed -n 's/^##*  *//p' "$file")
+EOF
+  return 1
+}
+
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Extract inline link targets: [text](target), one per line.
+  targets=$(grep -o '\[[^]]*\]([^)]*)' "$doc" \
+    | sed 's/^\[[^]]*\](\([^)]*\))$/\1/')
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    frag=""
+    case "$target" in
+      *#*)
+        frag=${target#*#}
+        target=${target%%#*}
+        ;;
+    esac
+    if [ -n "$target" ]; then
+      path="$dir/$target"
+    else
+      path="$doc" # intra-document anchor
+    fi
+    if [ ! -e "$path" ]; then
+      echo "BROKEN: $doc -> $target (no such file)"
+      fail=1
+      continue
+    fi
+    if [ -n "$frag" ]; then
+      case "$path" in
+        *.md)
+          if ! check_anchor "$path" "$frag"; then
+            echo "BROKEN: $doc -> ${target:-$doc}#$frag (no such heading)"
+            fail=1
+          fi
+          ;;
+      esac
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK"

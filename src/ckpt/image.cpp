@@ -15,6 +15,11 @@ constexpr char kMagicV1[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'};
 constexpr char kMagicV2[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '2'};
 constexpr std::uint32_t kVersion1 = 1;
 constexpr std::uint32_t kVersion2 = 2;
+// Hard cap on a v2 section-name length. Real names are a few dozen bytes;
+// the cap is what bounds the allocation when the source's size is still
+// unknown (a live shipment) and the usual remaining()-based check is
+// vacuously permissive.
+constexpr std::uint32_t kMaxSectionNameBytes = 4096;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -280,10 +285,9 @@ Status ImageReader::scan_v1() {
   CRAC_RETURN_IF_ERROR(read_u32(*source_, codec_raw));
   CRAC_RETURN_IF_ERROR(read_u32(*source_, count));
   codec_ = static_cast<Codec>(codec_raw);
-  // Each v1 section costs ≥ 29 directory bytes; a hostile count cannot
-  // demand more reserve than the image could possibly hold.
-  sections_.reserve(std::min<std::uint64_t>(count, source_->remaining() / 29));
-
+  // A hostile count has no reserve to inflate (deque grows per element);
+  // each claimed section must still produce ≥ 29 readable directory bytes
+  // or the scan fails on the read.
   for (std::uint32_t i = 0; i < count; ++i) {
     SectionInfo sec;
     std::uint32_t type_raw = 0;
@@ -312,7 +316,7 @@ Status ImageReader::scan_v1() {
   return OkStatus();
 }
 
-Status ImageReader::scan_v2() {
+Status ImageReader::scan_v2_params() {
   std::uint32_t codec_raw = 0;
   std::uint64_t chunk_size = 0;
   CRAC_RETURN_IF_ERROR(read_u32(*source_, codec_raw));
@@ -326,48 +330,101 @@ Status ImageReader::scan_v2() {
                    format_size(kMaxChunkSize) + " limit");
   }
   chunk_size_ = static_cast<std::size_t>(chunk_size);
+  scan_pos_ = source_->position();
+  return OkStatus();
+}
 
-  while (source_->remaining() > 0) {
-    SectionInfo sec;
-    std::uint32_t type_raw = 0;
-    CRAC_RETURN_IF_ERROR(read_u32(*source_, type_raw));
-    CRAC_RETURN_IF_ERROR(read_string(*source_, sec.name));
-    sec.type = static_cast<SectionType>(type_raw);
-
-    // Walk the chunk frames, skipping stored payload bytes: the scan costs
-    // ~24 directory bytes per chunk no matter how large the image is.
-    std::uint64_t raw_offset = 0;
-    for (;;) {
-      const std::uint64_t frame_at = source_->position();
-      ChunkFrame frame;
-      CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
-      if (frame.raw_size == 0 && frame.stored_size == 0) break;
-      if (frame.raw_size > chunk_size) {
-        return Corrupt("checkpoint section '" + sec.name +
-                       "' chunk exceeds declared chunk size");
-      }
-      if (frame.stored_size > frame.raw_size) {
-        return Corrupt("checkpoint section '" + sec.name +
-                       "' chunk stored size exceeds raw size");
-      }
-      // A compressed chunk (stored < raw) cannot decode to more than the
-      // codec's maximum expansion of its actual stored bytes; rejecting the
-      // claim here keeps every later raw_size-derived allocation
-      // proportional to bytes the file really contains.
-      if (frame.stored_size != frame.raw_size &&
-          frame.raw_size >
-              max_decoded_size(codec_,
-                               static_cast<std::size_t>(frame.stored_size))) {
-        return Corrupt("checkpoint section '" + sec.name +
-                       "' chunk declares implausible decompressed size");
-      }
-      sec.chunks.push_back(SectionInfo::ChunkRef{frame_at, raw_offset});
-      raw_offset += frame.raw_size;
-      CRAC_RETURN_IF_ERROR(source_->skip(frame.stored_size));
-    }
-    sec.raw_size = raw_offset;
-    sections_.push_back(std::move(sec));
+Status ImageReader::scan_one_v2() {
+  // The scan resumes at its own cursor — payload reads in between are free
+  // to move the source around.
+  CRAC_RETURN_IF_ERROR(source_->seek(scan_pos_));
+  CRAC_ASSIGN_OR_RETURN(bool end, source_->at_end(scan_pos_));
+  if (end) {
+    scanned_all_ = true;
+    return OkStatus();
   }
+  ++stream_epoch_;  // the scan moves the cursor: live streams yield
+
+  SectionInfo sec;
+  std::uint32_t type_raw = 0;
+  CRAC_RETURN_IF_ERROR(read_u32(*source_, type_raw));
+  std::uint32_t name_len = 0;
+  CRAC_RETURN_IF_ERROR(read_u32(*source_, name_len));
+  // remaining() bounds the claim for a complete source; the fixed cap is
+  // what bounds it when the total size is not known yet (live shipment).
+  if (name_len > source_->remaining() || name_len > kMaxSectionNameBytes) {
+    return Corrupt("truncated string");
+  }
+  sec.name.resize(name_len);
+  CRAC_RETURN_IF_ERROR(source_->read(sec.name.data(), name_len));
+  sec.type = static_cast<SectionType>(type_raw);
+
+  // Walk the chunk frames, skipping stored payload bytes: the scan costs
+  // ~24 directory bytes per chunk no matter how large the image is. Every
+  // header precedes the payload it describes, so on a live shipment these
+  // reads block only until this section's bytes have landed — never on
+  // later sections.
+  std::uint64_t raw_offset = 0;
+  for (;;) {
+    const std::uint64_t frame_at = source_->position();
+    ChunkFrame frame;
+    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
+    if (frame.raw_size == 0 && frame.stored_size == 0) break;
+    if (frame.raw_size > chunk_size_) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' chunk exceeds declared chunk size");
+    }
+    if (frame.stored_size > frame.raw_size) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' chunk stored size exceeds raw size");
+    }
+    // A compressed chunk (stored < raw) cannot decode to more than the
+    // codec's maximum expansion of its actual stored bytes; rejecting the
+    // claim here keeps every later raw_size-derived allocation
+    // proportional to bytes the file really contains.
+    if (frame.stored_size != frame.raw_size &&
+        frame.raw_size >
+            max_decoded_size(codec_,
+                             static_cast<std::size_t>(frame.stored_size))) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' chunk declares implausible decompressed size");
+    }
+    sec.chunks.push_back(SectionInfo::ChunkRef{frame_at, raw_offset});
+    raw_offset += frame.raw_size;
+    CRAC_RETURN_IF_ERROR(source_->skip(frame.stored_size));
+  }
+  sec.raw_size = raw_offset;
+  scan_pos_ = source_->position();
+  sections_.push_back(std::move(sec));
+  consumed_.push_back(0);
+  return OkStatus();
+}
+
+namespace {
+
+// A failed scan must name the image it rejected; Source-level errors
+// already do, directory-level ones (bad magic, truncated field) get the
+// origin prefixed here.
+Status annotate_with_origin(Status s, const std::string& origin) {
+  if (s.ok() || s.message().find(origin) != std::string::npos) return s;
+  return Status(s.code(), origin + ": " + s.message());
+}
+
+}  // namespace
+
+Status ImageReader::extend_directory() {
+  CRAC_RETURN_IF_ERROR(scan_error_);
+  Status s = scan_one_v2();
+  if (!s.ok()) {
+    scan_error_ = annotate_with_origin(std::move(s), source_->describe());
+    return scan_error_;
+  }
+  return OkStatus();
+}
+
+Status ImageReader::scan_to_end() {
+  CRAC_RETURN_IF_ERROR(scan_error_);
+  while (!scanned_all_) CRAC_RETURN_IF_ERROR(extend_directory());
   return OkStatus();
 }
 
@@ -382,8 +439,23 @@ Status ImageReader::scan() {
   if ((v1 && version_ != kVersion1) || (v2 && version_ != kVersion2)) {
     return Corrupt("unsupported image version");
   }
-  CRAC_RETURN_IF_ERROR(v1 ? scan_v1() : scan_v2());
-  consumed_.assign(sections_.size(), 0);
+  if (v1) {
+    // v1 interleaves its directory with payload like v2 but is legacy-only:
+    // no incremental mode, even over a live stream (reads block until the
+    // stream delivers, so it stays correct — just serialized).
+    CRAC_RETURN_IF_ERROR(scan_v1());
+    consumed_.assign(sections_.size(), 0);
+    scanned_all_ = true;
+    return OkStatus();
+  }
+  CRAC_RETURN_IF_ERROR(scan_v2_params());
+  if (!source_->end_known()) {
+    // Restore-while-receiving: the source is still filling. Defer the
+    // directory to find()/section_at()/scan_to_end(), which extend it one
+    // section at a time as the stream lands.
+    return OkStatus();
+  }
+  while (!scanned_all_) CRAC_RETURN_IF_ERROR(scan_one_v2());
   return OkStatus();
 }
 
@@ -394,14 +466,7 @@ Result<ImageReader> ImageReader::open(std::unique_ptr<Source> source,
   reader.pool_ = options.pool;
   Status s = reader.scan();
   if (!s.ok()) {
-    // A failed open must name the image it rejected; Source-level errors
-    // already do, directory-level ones (bad magic, truncated field) get the
-    // origin prefixed here.
-    const std::string origin = reader.source_->describe();
-    if (s.message().find(origin) == std::string::npos) {
-      return Status(s.code(), origin + ": " + s.message());
-    }
-    return s;
+    return annotate_with_origin(std::move(s), reader.source_->describe());
   }
   return reader;
 }
@@ -422,11 +487,31 @@ Result<ImageReader> ImageReader::from_file(const std::string& path,
 }
 
 const SectionInfo* ImageReader::find(SectionType type,
-                                     const std::string& name) const {
-  for (const SectionInfo& s : sections_) {
-    if (s.type == type && (name.empty() || s.name == name)) return &s;
+                                     const std::string& name) {
+  std::size_t i = 0;
+  for (;;) {
+    for (; i < sections_.size(); ++i) {
+      const SectionInfo& s = sections_[i];
+      if (s.type == type && (name.empty() || s.name == name)) return &s;
+    }
+    if (scanned_all_ || !extend_directory().ok()) return nullptr;
   }
-  return nullptr;
+}
+
+Result<const SectionInfo*> ImageReader::section_at(std::size_t index) {
+  while (index >= sections_.size()) {
+    if (scanned_all_) return static_cast<const SectionInfo*>(nullptr);
+    CRAC_RETURN_IF_ERROR(extend_directory());
+  }
+  return &sections_[index];
+}
+
+std::size_t ImageReader::index_of(const SectionInfo& section) const {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (&sections_[i] == &section) return i;
+  }
+  CRAC_CHECK(false);  // section must belong to this reader
+  return sections_.size();
 }
 
 Status ImageReader::read_v1_payload(const SectionInfo& section,
@@ -447,7 +532,7 @@ Status ImageReader::read_v1_payload(const SectionInfo& section,
 }
 
 Result<SectionStream> ImageReader::open_section(const SectionInfo& section) {
-  const auto index = static_cast<std::size_t>(&section - sections_.data());
+  const std::size_t index = index_of(section);
   SectionStream stream(this, index, section.name, section.raw_size);
   stream.epoch_ = ++stream_epoch_;  // takes the cursor; invalidates priors
   // A stream marks its section consumed only once it has delivered the
@@ -535,6 +620,10 @@ Result<std::vector<std::byte>> ImageReader::read_section(
 }
 
 Status ImageReader::verify_unread_sections() {
+  // Completing the directory first makes this the stream-integrity gate for
+  // live shipments too: reaching the end of the scan means the transport
+  // trailer (byte count + whole-stream CRC) verified.
+  CRAC_RETURN_IF_ERROR(scan_to_end());
   for (std::size_t i = 0; i < sections_.size(); ++i) {
     if (i < consumed_.size() && consumed_[i]) continue;
     CRAC_ASSIGN_OR_RETURN(auto stream, open_section(sections_[i]));

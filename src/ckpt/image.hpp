@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -218,6 +219,19 @@ class SectionStream {
 // Streaming image reader. open() scans the section directory off a Source —
 // headers and chunk frames only; payload bytes are skipped, not read — so
 // opening a multi-GiB image costs one pass over ~24 bytes per chunk.
+//
+// Restore-while-receiving: when the source is still being filled
+// (Source::end_known() == false — a StreamingSpoolSource fed from a live
+// shipment), open() reads only the image header and builds the directory
+// *incrementally*. find()/section_at() scan forward one section at a time,
+// blocking only until that section's bytes have landed, so a consumer that
+// reads sections in stream order restores them while later sections are
+// still in flight. Because v2 writes every section and chunk header ahead
+// of the payload it describes, a section is fully scannable the moment its
+// last byte arrives. scan_to_end() forces the directory complete (blocking
+// a streaming source until the verified end of stream); a SectionInfo* from
+// find()/section_at() stays valid as the directory grows (deque-backed).
+//
 // Payloads stream back on demand:
 //
 //   * open_section() — sequential pull with decompress-ahead prefetch on
@@ -260,13 +274,35 @@ class ImageReader {
   ImageReader(ImageReader&&) = default;
   ImageReader& operator=(ImageReader&&) = default;
 
-  const std::vector<SectionInfo>& sections() const noexcept {
+  // The directory scanned so far — complete after open() except on a
+  // still-filling source, where it grows as find()/section_at()/
+  // scan_to_end() walk the stream. Deque-backed: entries never move, so a
+  // SectionInfo* survives later directory growth.
+  const std::deque<SectionInfo>& sections() const noexcept {
     return sections_;
   }
 
-  // First section matching `type` (and `name`, when non-empty).
-  const SectionInfo* find(SectionType type,
-                          const std::string& name = "") const;
+  // First section matching `type` (and `name`, when non-empty). On a
+  // still-filling source this extends the directory as needed, blocking
+  // until a match is scanned or the stream ends; nullptr means "no such
+  // section" only when directory_status() is OK.
+  const SectionInfo* find(SectionType type, const std::string& name = "");
+
+  // Directory entry `index`, extending the scan as needed (blocking on a
+  // still-filling source until that section has arrived). nullptr when the
+  // image has fewer sections — the sequential consumer's end signal.
+  Result<const SectionInfo*> section_at(std::size_t index);
+
+  // Forces the directory complete. On a still-filling source this blocks
+  // until the verified end of the stream — afterwards the transport trailer
+  // has been checked, which is the gate consumers use before mutating
+  // durable state (validate-before-mutate). No-op on a fully scanned image.
+  Status scan_to_end();
+
+  // OK while the directory scan is healthy; the latched scan error after a
+  // failed incremental extension (a find() that returned nullptr because
+  // the stream died, not because the section is absent).
+  const Status& directory_status() const noexcept { return scan_error_; }
 
   // Sequential pull over `section` (which must belong to this reader).
   Result<SectionStream> open_section(const SectionInfo& section);
@@ -284,7 +320,9 @@ class ImageReader {
   // open_section()/read_section(), verifying its chunk CRCs. Restore calls
   // this last so lazy reading cannot weaken the old whole-image guarantee:
   // a completed restart has still integrity-checked every section, but
-  // only pays a skip-read for the ones nothing consumed.
+  // only pays a skip-read for the ones nothing consumed. Forces the
+  // directory complete first (scan_to_end), so on a live shipment success
+  // additionally implies the transport trailer verified.
   Status verify_unread_sections();
 
   Codec codec() const noexcept { return codec_; }
@@ -316,9 +354,17 @@ class ImageReader {
 
   ImageReader() = default;
 
-  Status scan();     // build sections_ off source_
+  Status scan();            // header + (for complete sources) full directory
   Status scan_v1();
-  Status scan_v2();
+  Status scan_v2_params();  // codec + chunk size; directory scans follow
+  // Scans one section (header + chunk frames) at the scan cursor, or sets
+  // scanned_all_ at end of image. Moves the source cursor (bumps the stream
+  // epoch). Blocks on a still-filling source until the section has landed.
+  Status scan_one_v2();
+  // scan_one_v2 with the error latched into scan_error_ (origin-annotated),
+  // for the lazy extension paths.
+  Status extend_directory();
+  std::size_t index_of(const SectionInfo& section) const;
 
   // Decodes one v1 section body into `out` (monolithic legacy path).
   Status read_v1_payload(const SectionInfo& section,
@@ -329,8 +375,13 @@ class ImageReader {
   Codec codec_ = Codec::kStore;
   std::uint32_t version_ = 0;
   std::size_t chunk_size_ = 0;  // v2 declared chunk size
-  std::vector<SectionInfo> sections_;
+  // Deque, not vector: find() hands out stable pointers while the lazy scan
+  // keeps appending behind them.
+  std::deque<SectionInfo> sections_;
   std::vector<char> consumed_;  // parallel to sections_: fully read once
+  bool scanned_all_ = false;
+  std::uint64_t scan_pos_ = 0;  // source offset of the next unscanned section
+  Status scan_error_;           // sticky: a failed lazy directory extension
   std::uint64_t peak_bytes_ = 0;
   std::uint64_t stream_epoch_ = 0;
 };

@@ -20,9 +20,17 @@ class CkptPlugin {
 
   virtual std::string name() const = 0;
 
-  // Called with the application quiesced, before the memory snapshot is
-  // taken. Plugins drain external state (for CRAC: GPU buffers) into image
-  // sections here.
+  // Called first, before any section is written. Plugins bring external
+  // state to a stop here (for CRAC: drain the device queue) so the sections
+  // that follow — whoever writes them first — see a consistent world.
+  virtual Status quiesce() { return OkStatus(); }
+
+  // Called with the application quiesced. Plugins drain external state (for
+  // CRAC: GPU buffers) into image sections here. Sections should be written
+  // in the order restart() consumes them: the image streams in write order,
+  // and a restore-while-receiving restart can only overlap transfer with
+  // restore when it never has to wait for a section behind the one it needs
+  // (see docs/image_format.md, "Streaming restore ordering contract").
   virtual Status precheckpoint(ImageWriter& image) = 0;
 
   // Called after a checkpoint when execution continues in the original
@@ -40,8 +48,14 @@ class PluginRegistry {
  public:
   void register_plugin(CkptPlugin* plugin) { plugins_.push_back(plugin); }
 
-  // precheckpoint runs in registration order; restart/resume in reverse,
-  // mirroring DMTCP's nesting discipline.
+  // quiesce/precheckpoint run in registration order; restart/resume in
+  // reverse, mirroring DMTCP's nesting discipline.
+  Status run_quiesce() {
+    for (CkptPlugin* p : plugins_) {
+      CRAC_RETURN_IF_ERROR(p->quiesce());
+    }
+    return OkStatus();
+  }
   Status run_precheckpoint(ImageWriter& image) {
     for (CkptPlugin* p : plugins_) {
       CRAC_RETURN_IF_ERROR(p->precheckpoint(image));

@@ -19,12 +19,23 @@
 //     (directory scan, section streams, random access) runs over a live
 //     shipment exactly as over a file. Peak resident memory is bounded by
 //     the spool cap, never the image size.
+//   * StreamingSpoolSource is the restore-while-receiving variant: the same
+//     bounded spool, filled by a receiver thread, with byte ranges published
+//     to the reader as frames land — restore runs concurrently with the
+//     transfer instead of after it (see docs/image_format.md, "Streaming
+//     restore ordering contract").
 //
 // Wire framing (all integers little-endian, like the rest of the format):
 //
 //   header:  [magic "CRACSHP1"][u32 version=1][u32 crc32(magic+version)]
 //   frame*:  [u32 frame_len > 0][frame_len logical-stream bytes]
+//   abort:   [u32 0xFFFFFFFF]   (optional, in place of any frame)
 //   trailer: [u32 0][u64 total_bytes][u32 crc32(whole logical stream)]
+//
+// The abort marker is an in-band "sender gave up" terminator: a relay whose
+// upstream dies mid-shipment emits it so the downstream receiver fails with
+// a named error *and a still-synchronized connection*, instead of wedging on
+// a stream that will never finish.
 //
 // The logical stream inside the frames is byte-identical to the single-file
 // v2 image the same writer configuration would produce, so a spooled
@@ -32,9 +43,12 @@
 // docs/image_format.md, "Wire framing").
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/sink.hpp"
@@ -45,6 +59,11 @@ namespace crac::ckpt {
 
 inline constexpr char kShipMagic[8] = {'C', 'R', 'A', 'C', 'S', 'H', 'P', '1'};
 inline constexpr std::uint32_t kShipVersion = 1;
+// In-band abort marker (a frame length no well-formed frame can carry): the
+// sender or a relay declares the shipment dead. The receiver fails with a
+// named error but keeps its transport position — the stream terminated
+// in-band, so a control connection carrying it stays usable.
+inline constexpr std::uint32_t kShipAbortMarker = 0xFFFFFFFFu;
 // Writer-side coalescing buffer = the largest frame a well-formed stream
 // contains; the receiver rejects anything bigger, which caps what a hostile
 // frame header can demand in one allocation or copy.
@@ -76,6 +95,14 @@ class SocketSink final : public Sink {
   // returns the first error seen on this sink. The fd stays open.
   Status close() override;
 
+  // Declares the shipment dead in-band: sends the header if none went out
+  // yet, then the abort marker, and closes the sink. The peer fails with a
+  // named "aborted by sender" error instead of hanging on a stream that
+  // will never finish — and, because the abort is in-band, a control
+  // connection carrying the stream stays synchronized. Best-effort (a dead
+  // fd cannot carry the marker either); returns the marker write status.
+  Status abort();
+
  private:
   Status do_write(const void* data, std::size_t size) override;
   Status send_header();
@@ -90,6 +117,12 @@ class SocketSink final : public Sink {
   bool closed_ = false;
   Status error_;  // sticky
 };
+
+// Bounded spool storage (fixed memory blocks up to a cap, overflow to an
+// unlinked temp file) shared by the serialized and streaming spools.
+// Defined in remote.cpp; not thread-safe — the streaming spool provides the
+// locking.
+class SpoolBuffer;
 
 // Receives one CRACSHP1 stream from an fd into a bounded spool, then serves
 // it back as a seekable Source. receive() blocks until the trailer arrives
@@ -139,32 +172,154 @@ class SpoolingSource final : public Source {
  private:
   explicit SpoolingSource(Options opts);
 
-  Status receive_stream(int fd);
-  Status spool_append(const std::byte* data, std::size_t size);
-  Status ensure_overflow_file();
+  Status receive_stream(int fd, std::size_t scratch);
 
   Options opts_;
   std::string origin_;
-  std::size_t mem_limit_ = 0;  // memory-prefix budget (cap minus scratch)
-  // Memory prefix in fixed-size blocks, never realloc'd: the resident bound
+  // Fixed-block memory prefix + unlinked overflow file; the resident bound
   // is exact, with no transient doubling a growing vector would sneak in.
-  std::vector<std::vector<std::byte>> blocks_;
-  std::uint64_t mem_bytes_ = 0;   // logical bytes held in blocks_
-  int file_fd_ = -1;              // unlinked overflow file
-  std::uint64_t file_bytes_ = 0;  // logical bytes past the memory prefix
+  std::unique_ptr<SpoolBuffer> spool_;
   std::uint64_t total_ = 0;
   std::uint64_t pos_ = 0;
-  std::uint64_t peak_bytes_ = 0;
-  std::size_t scratch_held_ = 0;  // receive scratch, counted against the cap
+  std::uint64_t file_bytes_ = 0;  // cached off spool_ after receive
+  std::uint64_t peak_bytes_ = 0;  // cached off spool_ after receive
+};
+
+// Restore-while-receiving: the two-phase streaming variant of the spool.
+//
+// Phase 1 — start() validates the 16-byte CRACSHP1 header synchronously
+// (bad magic / bad version fail fast, before any thread exists) and hands
+// back a usable Source immediately. ImageReader::open can begin its
+// directory scan right away: the v2 layout puts every section and chunk
+// header ahead of the payload bytes it describes, so the scan tracks the
+// receive frontier instead of waiting for the whole image.
+//
+// Phase 2 — a receiver thread keeps spooling payload frames into the same
+// bounded spool SpoolingSource uses (fixed memory blocks up to the cap,
+// overflow to an unlinked temp file) and publishes completed byte ranges
+// under a mutex/condvar. read()/at_end() block only until the requested
+// range has landed; a stream failure (EOF, corrupt trailer, abort marker)
+// wakes every blocked reader with the stream's named error.
+//
+// Release ordering: the most recently received frame is held back until the
+// *next* frame header arrives, so the final payload frame of the stream is
+// published only after the trailer's byte count and whole-stream CRC have
+// verified — a reader can never consume the image's last bytes from a
+// shipment whose trailer turns out to be damaged. (Earlier bytes may have
+// been served before a late corruption is detected; consumers that must not
+// mutate durable state on a bad stream gate on ImageReader::scan_to_end()
+// or verify_unread_sections(), both of which reach the trailer verdict.)
+//
+// Threading: read/seek/at_end/position belong to one consumer thread; the
+// receiver thread only appends and publishes. The destructor joins the
+// receiver, which doubles as a drain — a consumer that abandons a restore
+// mid-stream still consumes the remaining frames off the fd, leaving a
+// control connection carrying the stream synchronized.
+class StreamingSpoolSource final : public Source {
+ public:
+  using Options = SpoolingSource::Options;
+
+  // Terminal state of the receive, shared out so it stays readable after
+  // the source (and the ImageReader owning it) is gone — the proxy decides
+  // "clean rejection vs. desynced connection" from this after a failed
+  // restore. Fields are final once the source is destroyed (or
+  // wait_complete() returned).
+  struct Outcome {
+    // OkStatus once the trailer verified; the stream's named error
+    // otherwise. Meaningless until complete.
+    Status status;
+    // True when the stream ended in-band (verified trailer or abort
+    // marker): the fd's transport position is exactly past the stream, so
+    // a connection carrying it is still usable. False on EOF / framing
+    // damage, where nobody knows where the stream ends.
+    bool synced = false;
+    bool complete = false;
+    // Final receive accounting (the source itself is usually gone by the
+    // time a caller wants these — the restore consumed it).
+    std::uint64_t total_bytes = 0;
+    std::uint64_t peak_resident_bytes = 0;
+    std::uint64_t spooled_to_disk_bytes = 0;
+  };
+
+  // Reads + validates the ship header off `fd` (borrowed, never closed),
+  // then spawns the receiver thread and returns. Blocks only for the
+  // 16-byte header.
+  static Result<std::unique_ptr<StreamingSpoolSource>> start(
+      int fd, const Options& opts);
+  static Result<std::unique_ptr<StreamingSpoolSource>> start(int fd) {
+    return start(fd, Options{});
+  }
+
+  // Joins the receiver thread (draining any unconsumed frames off the fd).
+  ~StreamingSpoolSource() override;
+
+  // Blocks until [position, position+size) has landed and been released,
+  // then serves it from the spool. Fails with the stream's error if the
+  // stream dies first, or Corrupt if the verified end shows the range never
+  // existed.
+  Status read(void* out, std::size_t size) override;
+
+  // Accepts any offset while the end is unknown (the scan runs ahead of
+  // the frontier); Corrupt past the verified end once known. Never blocks.
+  Status seek(std::uint64_t offset) override;
+
+  std::uint64_t position() const noexcept override { return pos_; }
+  // Final total once the trailer verified; kUnknownSize before that.
+  std::uint64_t size() const noexcept override;
+  bool end_known() const noexcept override;
+  // Blocks until a byte lands at `offset` (false) or the verified end of
+  // the stream is known (true; the stream's error if it died instead).
+  Result<bool> at_end(std::uint64_t offset) override;
+  std::string describe() const override { return origin_; }
+
+  // Blocks until the receiver thread finishes (trailer verified or stream
+  // failed) and returns the terminal stream status.
+  Status wait_complete();
+
+  // The shared terminal state; safe to hold past this object's lifetime.
+  std::shared_ptr<const Outcome> outcome() const { return outcome_; }
+
+  // Accounting mirrors SpoolingSource; receive-time values are final only
+  // after wait_complete() (or destruction, via outcome()).
+  std::uint64_t spooled_to_disk_bytes() const noexcept;
+  std::uint64_t peak_resident_bytes() const noexcept;
+
+ private:
+  class Impl;
+  explicit StreamingSpoolSource(const Options& opts);
+
+  std::string origin_;
+  std::unique_ptr<Impl> impl_;
+  std::shared_ptr<Outcome> outcome_;
+  std::thread receiver_;
+  std::uint64_t pos_ = 0;
 };
 
 // Forwards one complete CRACSHP1 stream from `in_fd` to `out_fd` verbatim,
 // validating the header, frame lengths, and trailer (byte count + stream
 // CRC) as it goes — the building block that lets a process relay a live
 // shipment it cannot or should not spool (the proxy client piping a server's
-// checkpoint to a peer). Holds at most one frame buffered. Errors name
-// `origin`; note the destination has already seen every forwarded byte, so
-// on a Corrupt result the receiver's own verification fails too.
-Status relay_ship_stream(int in_fd, int out_fd, const std::string& origin);
+// checkpoint to a peer). Holds at most one frame buffered; blocks until the
+// stream ends. Errors name `origin`.
+//
+// Failure semantics: if the upstream stream dies (EOF, framing damage, an
+// abort marker), the relay emits an abort marker downstream before
+// returning, so the destination fails with a named error on a connection
+// that is still in sync. On a Corrupt result (trailer mismatch) the full
+// stream including the bad trailer was forwarded, so the receiver's own
+// verification fails the same way.
+struct RelayOutcome {
+  // True when in_fd delivered a self-delimiting end (complete trailer —
+  // valid or not — or an abort marker): a control connection feeding the
+  // relay is still in sync.
+  bool upstream_in_band = false;
+  // True when out_fd was left holding a self-delimiting stream (forwarded
+  // trailer/abort, or the relay's own abort marker): the destination fails
+  // cleanly instead of waiting forever. False only when writing to out_fd
+  // itself failed.
+  bool downstream_in_band = false;
+};
+Status relay_ship_stream(int in_fd, int out_fd, const std::string& origin,
+                         RelayOutcome* outcome = nullptr);
 
 }  // namespace crac::ckpt

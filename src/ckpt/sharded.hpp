@@ -176,15 +176,19 @@ class ShardedFileSink final : public Sink {
     std::size_t stripe_bytes = kDefaultStripeBytes;
   };
 
+  // Creates the shard temp files and starts one writer thread per shard.
   static Result<std::unique_ptr<ShardedFileSink>> open(const std::string& path,
                                                        const Options& options);
 
+  // Stops the workers; unlinks the temps unless close() committed.
   ~ShardedFileSink() override;
 
+  // Blocks until every shard queue has drained to its file.
   Status flush() override;
 
   // Drains every queue, closes the shard files, renames them into place and
-  // commits the manifest. Idempotent; returns the first error seen.
+  // commits the manifest (blocking). Idempotent; returns the first error
+  // seen.
   Status close() override;
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
@@ -240,12 +244,18 @@ class ShardedFileSink final : public Sink {
 // headers, structured getters) bypass the workers entirely.
 class ShardedFileSource final : public Source {
  public:
+  // Validates the manifest against the shard files and starts one reader
+  // thread per shard.
   static Result<std::unique_ptr<ShardedFileSource>> open(
       const std::string& path);
 
   ~ShardedFileSource() override;
 
+  // Exact read at the cursor; bulk reads block until every shard worker
+  // has pread its pieces into `out`. Single consumer thread, like every
+  // Source.
   Status read(void* out, std::size_t size) override;
+  // Repositions the logical cursor; never blocks.
   Status seek(std::uint64_t offset) override;
 
   std::uint64_t position() const noexcept override { return pos_; }

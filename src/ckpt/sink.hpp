@@ -19,6 +19,11 @@
 
 namespace crac::ckpt {
 
+// A sink is single-producer: one thread drives write/flush/close (any
+// internal concurrency — shard workers, socket framing — is the
+// implementation's own). Errors are sticky where loss is possible: once a
+// write fails, every later call reports it, so a checkpoint can never
+// claim success over a short image.
 class Sink {
  public:
   virtual ~Sink() = default;
@@ -27,20 +32,25 @@ class Sink {
   Sink& operator=(const Sink&) = delete;
 
   // Appends `size` bytes. Ordering is the caller's: the image writer is the
-  // single producer and serializes chunk completions itself.
+  // single producer and serializes chunk completions itself. May block on
+  // transport backpressure (a full socket, a bounded shard queue).
   Status write(const void* data, std::size_t size) {
     CRAC_RETURN_IF_ERROR(do_write(data, size));
     bytes_written_ += size;
     return OkStatus();
   }
 
+  // Pushes buffered bytes toward the destination; blocks until they are
+  // handed off (not necessarily durable — close() is the commit).
   virtual Status flush() { return OkStatus(); }
 
   // Completes the sink: flushes buffers, releases file descriptors, and for
   // transactional sinks (sharded files) commits the image into place.
-  // Idempotent; returns the first error seen on this sink.
+  // Blocks until done. Idempotent; returns the first error seen on this
+  // sink.
   virtual Status close() { return flush(); }
 
+  // Logical bytes accepted so far. Never blocks.
   std::uint64_t bytes_written() const noexcept { return bytes_written_; }
 
  protected:

@@ -99,25 +99,34 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
   wopts.pool = ckpt_pool();
   ckpt::ImageWriter writer(&sink, wopts);
 
-  // 1. Plugin drain: synchronize the device, save active allocations,
-  //    residency, the log, fat binaries, stream inventory.
+  // Sections are written in the order restart consumes them (heap state,
+  // upper memory, root, then the plugin sections): the stream order IS the
+  // restore order, which is what lets a restore-while-receiving peer start
+  // rebuilding from the first sections while the later ones are still in
+  // flight (docs/image_format.md, "Streaming restore ordering contract").
+
+  // 1. Quiesce: plugins stop the world (device drain) before any section
+  //    captures state.
   {
     WallTimer t;
-    CRAC_RETURN_IF_ERROR(registry_.run_precheckpoint(writer));
+    CRAC_RETURN_IF_ERROR(registry_.run_quiesce());
     report.drain_s = t.elapsed_s();
   }
 
-  // 2. Upper-half memory snapshot (what DMTCP does for the host process).
+  // 2. Upper-half memory snapshot (what DMTCP does for the host process),
+  //    heap allocator state first — restart must commit the heap span
+  //    before it can place region contents.
   {
     WallTimer t;
+    writer.add_section(ckpt::SectionType::kMetadata, kSectionHeapState,
+                       sim::encode_arena_snapshot(process_->heap().snapshot()));
     auto records = process_->snapshot_upper_memory();
     report.upper_regions = records.size();
+    CRAC_RETURN_IF_ERROR(writer.status());
     CRAC_RETURN_IF_ERROR(writer.begin_section(
         ckpt::SectionType::kMemoryRegions, kSectionUpperMemory));
     CRAC_RETURN_IF_ERROR(ckpt::append_memory_records(writer, records));
     CRAC_RETURN_IF_ERROR(writer.end_section());
-    writer.add_section(ckpt::SectionType::kMetadata, kSectionHeapState,
-                       sim::encode_arena_snapshot(process_->heap().snapshot()));
     ByteWriter root_writer;
     root_writer.put_u64(reinterpret_cast<std::uint64_t>(root_));
     writer.add_section(ckpt::SectionType::kMetadata, kSectionRoot,
@@ -125,7 +134,15 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
     report.memory_s = t.elapsed_s();
   }
 
-  // 3. Drain the chunk pipeline and close the sink — for transactional
+  // 3. Plugin drain: active allocations, residency, the log, fat binaries,
+  //    stream inventory — again in replay-consumption order.
+  {
+    WallTimer t;
+    CRAC_RETURN_IF_ERROR(registry_.run_precheckpoint(writer));
+    report.drain_s += t.elapsed_s();
+  }
+
+  // 4. Drain the chunk pipeline and close the sink — for transactional
   //    sinks (sharded files) this is the commit, for a socket sink it ships
   //    the stream trailer that tells the peer the image arrived whole.
   {
@@ -136,7 +153,7 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
     report.write_s = t.elapsed_s();
   }
 
-  // 4. Resume hooks (no-ops today, kept for lifecycle fidelity).
+  // 5. Resume hooks (no-ops today, kept for lifecycle fidelity).
   CRAC_RETURN_IF_ERROR(registry_.run_resume());
 
   report.total_s = total.elapsed_s();
@@ -211,7 +228,12 @@ Status CracContext::restore_from_reader(ckpt::ImageReader& reader,
   WallTimer t;
   const ckpt::SectionInfo* heap_sec =
       reader.find(ckpt::SectionType::kMetadata, kSectionHeapState);
-  if (heap_sec == nullptr) return Corrupt("image missing heap state");
+  if (heap_sec == nullptr) {
+    // A live shipment that died mid-directory also comes back as "not
+    // found"; report the stream's own error, not a misleading absence.
+    CRAC_RETURN_IF_ERROR(reader.directory_status());
+    return Corrupt("image missing heap state");
+  }
   {
     // Small metadata section: materialize and decode through the shared
     // arena-snapshot codec (the same one the proxy's checkpoint shipping
@@ -224,7 +246,10 @@ Status CracContext::restore_from_reader(ckpt::ImageReader& reader,
 
   const ckpt::SectionInfo* mem_sec =
       reader.find(ckpt::SectionType::kMemoryRegions, kSectionUpperMemory);
-  if (mem_sec == nullptr) return Corrupt("image missing upper memory");
+  if (mem_sec == nullptr) {
+    CRAC_RETURN_IF_ERROR(reader.directory_status());
+    return Corrupt("image missing upper memory");
+  }
   {
     CRAC_ASSIGN_OR_RETURN(auto stream, reader.open_section(*mem_sec));
     std::uint64_t count = 0;
@@ -270,13 +295,19 @@ Status CracContext::restore_from_source(std::unique_ptr<ckpt::Source> source,
   // Open = directory scan only (headers + chunk frames); payload bytes
   // stream during restore with decode prefetched on the checkpoint pool.
   // The source is wherever the image lives — a file, a striped shard set,
-  // or a spool just received off a socket; this core cannot tell.
+  // or a spool still receiving off a socket; this core cannot tell. For a
+  // still-filling source the reader defers the directory and restore runs
+  // overlapped with the transfer (restore-while-receiving).
   WallTimer t;
+  const bool overlapped = !source->end_known();
   ckpt::ImageReader::Options ropts;
   ropts.pool = ckpt_pool();
   auto reader = ckpt::ImageReader::open(std::move(source), ropts);
   if (!reader.ok()) return reader.status();
-  if (report != nullptr) report->read_s = t.elapsed_s();
+  if (report != nullptr) {
+    report->read_s = t.elapsed_s();
+    report->overlapped_receive = overlapped;
+  }
   return restore_from_reader(*reader, report);
 }
 

@@ -66,6 +66,10 @@ struct RestartReport {
   double replay_s = 0;  // full-log replay against the fresh lower half
   double refill_s = 0;  // (included in replay_s; kept for future splits)
   double total_s = 0;
+  // True when the source was still receiving when restore began
+  // (restore-while-receiving): the phase times above then overlap the
+  // transfer instead of following it.
+  bool overlapped_receive = false;
   ReplayStats replay;
 };
 
@@ -94,6 +98,10 @@ class CracContext {
     return process_->trampoline().transitions();
   }
 
+  // Streams a checkpoint image to `path` (temp+rename, or the sharded
+  // staged commit when ckpt_shards > 1): a failed checkpoint never
+  // destroys the previous image at the path. Blocks until committed; call
+  // from the application thread with the device quiesced by the drain.
   Result<CheckpointReport> checkpoint(const std::string& path);
 
   // Path-free checkpoint core: streams the image (plugin drain, upper-memory
@@ -101,7 +109,11 @@ class CracContext {
   // the checkpoint verb is transport-agnostic through this — a file, a
   // striped shard set, or a live socket to a peer are all just sinks. The
   // path verb above wraps this with the temp+rename (or sharded commit)
-  // dance; ship a live checkpoint by passing a ckpt::SocketSink.
+  // dance; ship a live checkpoint by passing a ckpt::SocketSink. Blocks
+  // until the sink has accepted and closed the whole stream (for a socket,
+  // until the peer has drained it); chunk encoding runs on the context's
+  // internal pool. Sections go out in restore order — the contract that
+  // makes restore-while-receiving possible on the far end.
   Result<CheckpointReport> checkpoint_to_sink(ckpt::Sink& sink);
 
   // Restart path A (paper's normal mode, here within a fresh context that
@@ -115,12 +127,24 @@ class CracContext {
   // ckpt::SpoolingSource fed from a socket). restart_from_image is a thin
   // wrapper that opens the right source for a path (shard-manifest sniff
   // included).
+  //
+  // Overlapped mode engages automatically when the source is still filling
+  // (ckpt::StreamingSpoolSource::start, end_known() == false): the
+  // directory scan and every section restore chase the receive frontier,
+  // so restore runs concurrently with the transfer and blocks only on
+  // ranges that have not landed yet. The integrity guarantee is unchanged —
+  // a successful restart has CRC-checked every section *and* the transport
+  // trailer (the restore ends with verify_unread_sections, which forces
+  // the scan to the verified end of stream). A mid-transfer failure aborts
+  // the restart with the stream's named error; the half-built context is
+  // discarded, never returned.
   static Result<std::unique_ptr<CracContext>> restart_from_source(
       std::unique_ptr<ckpt::Source> source, const CracOptions& options = {},
       RestartReport* report = nullptr);
 
   // Restart path B: same process, discard + reload the lower half, restore
-  // upper memory from the image, replay.
+  // upper memory from the image, replay. Blocks until the replay finishes;
+  // the context is unusable if it fails partway.
   Result<RestartReport> restart_in_place(const std::string& path);
 
  private:

@@ -235,19 +235,30 @@ std::uint64_t CracPlugin::active_allocation_bytes() const {
 // precheckpoint: drain
 // ---------------------------------------------------------------------------
 
-Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
-  // (a) drain the queue of pending work, as CheCUDA did and CRAC still does.
+Status CracPlugin::quiesce() {
+  // Drain the queue of pending work, as CheCUDA did and CRAC still does —
+  // before any section (the context's memory sections included) captures
+  // state.
   if (inner()->cudaDeviceSynchronize() != cuda::cudaSuccess) {
     return Internal("device synchronize failed during drain");
   }
+  return OkStatus();
+}
 
-  // (b) snapshot UVM residency *before* reading managed contents (reading
-  // migrates device-resident pages to the host).
-  CRAC_RETURN_IF_ERROR(drain_streams(image));
+Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
+  // (a) re-drain pending work so precheckpoint stays safe standalone
+  // (quiesce() already ran on the checkpoint path; a second sync on a
+  // settled device is free).
+  CRAC_RETURN_IF_ERROR(quiesce());
+
+  // (b) capture UVM residency *before* reading managed contents (reading
+  // migrates device-resident pages to the host) — but *write* it later, in
+  // restart-consumption order. Bitmaps are ~1 bit per page, so staging the
+  // whole section costs KBs, not payload.
+  ByteWriter uvm_payload;
   {
     // Residency bitmap per managed allocation — simulator introspection that
-    // stands in for the driver's internal page state; see DESIGN.md. Each
-    // range's bitmap streams into the section as soon as it is built.
+    // stands in for the driver's internal page state; see DESIGN.md.
     const auto& uvm = process_->lower().device().uvm();
     std::vector<std::pair<std::uint64_t, ActiveAlloc>> managed;
     {
@@ -257,17 +268,12 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
       }
     }
     const std::size_t page = uvm.page_size();
-    CRAC_RETURN_IF_ERROR(
-        image.begin_section(ckpt::SectionType::kUvmResidency, kSectionUvm));
-    ByteWriter header;
-    header.put_u64(page);
-    header.put_u64(managed.size());
-    CRAC_RETURN_IF_ERROR(image.append(header.data(), header.size()));
+    uvm_payload.put_u64(page);
+    uvm_payload.put_u64(managed.size());
     for (const auto& [addr, a] : managed) {
       const std::size_t n_pages = (a.size + page - 1) / page;
-      ByteWriter w;
-      w.put_u64(addr);
-      w.put_u64(n_pages);
+      uvm_payload.put_u64(addr);
+      uvm_payload.put_u64(n_pages);
       std::vector<std::uint8_t> bitmap((n_pages + 7) / 8, 0);
       for (std::size_t i = 0; i < n_pages; ++i) {
         auto res = uvm.residency(reinterpret_cast<void*>(addr + i * page));
@@ -275,30 +281,17 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
           bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
         }
       }
-      w.put_bytes(bitmap.data(), bitmap.size());
-      CRAC_RETURN_IF_ERROR(image.append(w.data(), w.size()));
+      uvm_payload.put_bytes(bitmap.data(), bitmap.size());
     }
-    CRAC_RETURN_IF_ERROR(image.end_section());
   }
 
-  // (c) copy the contents of every *active* allocation to the image — not
-  // the arenas (§3.2.3).
-  CRAC_RETURN_IF_ERROR(drain_allocations(image));
+  // Sections now stream in the order restart consumes them (fat binaries,
+  // log, allocation contents, residency, stream inventory), so a
+  // restore-while-receiving peer replays each one as it lands instead of
+  // waiting behind sections it needs first.
 
-  // (d) the full call log, to be replayed verbatim at restart (§3.2.4).
-  // Serialized under the lock; streamed to the image outside it.
-  {
-    std::vector<std::byte> log_bytes;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      log_bytes = log_.serialize();
-    }
-    image.add_section(ckpt::SectionType::kCudaApiLog, kSectionLog,
-                      std::move(log_bytes));
-  }
-
-  // (e) fat-binary registration records for §3.2.5 re-registration.
-  // Same discipline: build under the lock, stream outside it.
+  // (c) fat-binary registration records for §3.2.5 re-registration —
+  // restart's first read. Build under the lock, stream outside it.
   {
     ByteWriter w;
     {
@@ -324,8 +317,35 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
     }
     image.add_section(ckpt::SectionType::kMetadata, kSectionFatbins,
                       std::move(w).take());
+    CRAC_RETURN_IF_ERROR(image.status());
   }
-  return OkStatus();
+
+  // (d) the full call log, to be replayed verbatim at restart (§3.2.4).
+  // Serialized under the lock; streamed to the image outside it.
+  {
+    std::vector<std::byte> log_bytes;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      log_bytes = log_.serialize();
+    }
+    image.add_section(ckpt::SectionType::kCudaApiLog, kSectionLog,
+                      std::move(log_bytes));
+    CRAC_RETURN_IF_ERROR(image.status());
+  }
+
+  // (e) copy the contents of every *active* allocation to the image — not
+  // the arenas (§3.2.3).
+  CRAC_RETURN_IF_ERROR(drain_allocations(image));
+
+  // (f) the residency bitmaps captured in (b).
+  CRAC_RETURN_IF_ERROR(
+      image.begin_section(ckpt::SectionType::kUvmResidency, kSectionUvm));
+  CRAC_RETURN_IF_ERROR(image.append(uvm_payload.data(), uvm_payload.size()));
+  CRAC_RETURN_IF_ERROR(image.end_section());
+
+  // (g) live stream/event inventory (consumed only by the restart-side
+  // integrity sweep today).
+  return drain_streams(image);
 }
 
 Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
@@ -427,7 +447,10 @@ Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
   //    the image source like every other restore read.
   const ckpt::SectionInfo* fat =
       image.find(ckpt::SectionType::kMetadata, kSectionFatbins);
-  if (fat == nullptr) return Corrupt("image missing fatbin section");
+  if (fat == nullptr) {
+    CRAC_RETURN_IF_ERROR(image.directory_status());
+    return Corrupt("image missing fatbin section");
+  }
   {
     CRAC_ASSIGN_OR_RETURN(auto r, image.open_section(*fat));
     std::uint64_t count = 0;
@@ -473,7 +496,10 @@ Result<ReplayStats> CracPlugin::replay_into_fresh_lower_half(
   //    buffer contents), so materializing it is within the restore budget.
   const ckpt::SectionInfo* log_sec =
       image.find(ckpt::SectionType::kCudaApiLog, kSectionLog);
-  if (log_sec == nullptr) return Corrupt("image missing cuda-log section");
+  if (log_sec == nullptr) {
+    CRAC_RETURN_IF_ERROR(image.directory_status());
+    return Corrupt("image missing cuda-log section");
+  }
   CRAC_ASSIGN_OR_RETURN(auto log_bytes, image.read_section(*log_sec));
   auto log = CudaApiLog::deserialize(log_bytes);
   if (!log.ok()) return log.status();
@@ -684,7 +710,10 @@ Status CracPlugin::refill_allocations(ckpt::ImageReader& image,
                                       ReplayStats* stats) {
   const ckpt::SectionInfo* sec =
       image.find(ckpt::SectionType::kDeviceBuffers, kSectionAllocs);
-  if (sec == nullptr) return Corrupt("image missing allocations section");
+  if (sec == nullptr) {
+    CRAC_RETURN_IF_ERROR(image.directory_status());
+    return Corrupt("image missing allocations section");
+  }
   CRAC_ASSIGN_OR_RETURN(auto r, image.open_section(*sec));
   std::uint64_t count = 0;
   CRAC_RETURN_IF_ERROR(r.get_u64(count));
@@ -734,7 +763,12 @@ Status CracPlugin::restore_uvm_residency(ckpt::ImageReader& image,
                                          ReplayStats* stats) {
   const ckpt::SectionInfo* sec =
       image.find(ckpt::SectionType::kUvmResidency, kSectionUvm);
-  if (sec == nullptr) return OkStatus();  // optional section
+  if (sec == nullptr) {
+    // Optional section — but "not found" on a live shipment can also mean
+    // the stream died mid-directory; don't silently skip over that.
+    CRAC_RETURN_IF_ERROR(image.directory_status());
+    return OkStatus();
+  }
   CRAC_ASSIGN_OR_RETURN(auto r, image.open_section(*sec));
   std::uint64_t page = 0, ranges = 0;
   CRAC_RETURN_IF_ERROR(r.get_u64(page));

@@ -80,6 +80,9 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
 
   // --- CkptPlugin ---
   std::string name() const override { return "crac"; }
+  // Drains the device work queue so every section that follows sees a
+  // settled world.
+  Status quiesce() override;
   Status precheckpoint(ckpt::ImageWriter& image) override;
   Status resume() override;
   Status restart(ckpt::ImageReader& image) override;

@@ -70,7 +70,10 @@ Status ProxyClientApi::drain_managed(ckpt::ImageWriter& image) {
 Status ProxyClientApi::restore_managed(ckpt::ImageReader& image) {
   const ckpt::SectionInfo* sec =
       image.find(ckpt::SectionType::kManagedBuffers, "proxy-shadow");
-  if (sec == nullptr) return NotFound("image has no proxy-shadow section");
+  if (sec == nullptr) {
+    CRAC_RETURN_IF_ERROR(image.directory_status());
+    return NotFound("image has no proxy-shadow section");
+  }
   CRAC_ASSIGN_OR_RETURN(auto stream, image.open_section(*sec));
   std::uint64_t count = 0;
   CRAC_RETURN_IF_ERROR(stream.get_u64(count));
@@ -125,13 +128,17 @@ Status ProxyClientApi::ship_checkpoint(int dst_fd) {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.rpcs;
   }
-  Status relayed =
-      ckpt::relay_ship_stream(host_.fd(), dst_fd, "proxy ship relay");
-  if (!relayed.ok()) {
+  ckpt::RelayOutcome relay_outcome;
+  Status relayed = ckpt::relay_ship_stream(host_.fd(), dst_fd,
+                                           "proxy ship relay", &relay_outcome);
+  if (!relayed.ok() && !relay_outcome.upstream_in_band) {
     // Stream bytes may still be queued on the control socket; no later
     // request/response can be trusted. Tear the connection down too: the
     // server is still streaming frames with no reader, and only a peer
     // close unblocks it (its write fails, it exits, shutdown reaps it).
+    // (An in-band end — the server aborting its own failed checkpoint, or
+    // a trailer its receiver rejects — leaves the control socket framed,
+    // so the connection stays usable and no teardown is needed.)
     channel_error_ = Status(relayed.code(),
                             "proxy channel desynced by a failed SHIP_CKPT "
                             "relay: " + relayed.message());
@@ -146,9 +153,10 @@ Status ProxyClientApi::recv_checkpoint(int src_fd) {
   RequestHeader req{};
   req.op = Op::kRecvCkpt;
   CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
-  Status relayed =
-      ckpt::relay_ship_stream(src_fd, host_.fd(), "proxy recv relay");
-  if (!relayed.ok()) {
+  ckpt::RelayOutcome relay_outcome;
+  Status relayed = ckpt::relay_ship_stream(src_fd, host_.fd(),
+                                           "proxy recv relay", &relay_outcome);
+  if (!relayed.ok() && !relay_outcome.downstream_in_band) {
     // The server sits mid-stream waiting for frames this relay will never
     // deliver; the connection cannot be resynced. Close it so the server's
     // blocked read sees EOF and exits instead of wedging forever.
@@ -158,12 +166,16 @@ Status ProxyClientApi::recv_checkpoint(int src_fd) {
     host_.shutdown();
     return relayed;
   }
+  // The server holds a self-delimiting stream — complete, or terminated by
+  // a bad trailer / abort marker it will reject cleanly — so a response
+  // header follows either way and the connection stays in sync.
   ResponseHeader resp{};
   CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.rpcs;
   }
+  if (!relayed.ok()) return relayed;  // the stream's own (named) failure
   if (resp.err != cuda::cudaSuccess) {
     return Internal("proxy rejected the shipped checkpoint (error " +
                     std::to_string(resp.err) + ")");

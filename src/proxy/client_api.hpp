@@ -71,9 +71,15 @@ class ProxyClientApi final : public cuda::CudaApi {
   // snapshot + active allocation contents) and relays the stream onto
   // `dst_fd` — one bounded frame buffered at a time, no spool, no file.
   // recv_checkpoint relays a stream from `src_fd` to the server, which
-  // spools it, restores its device arena from it (restart semantics:
-  // allocations made after the shipped checkpoint are rolled back), and
-  // acknowledges. Device pointer values survive verbatim — the shipped
+  // restores its device arena from it *while it arrives* (restart
+  // semantics: allocations made after the shipped checkpoint are rolled
+  // back), mutating nothing until the whole shipment has verified, and
+  // acknowledges. Both verbs block for the stream's duration, holding the
+  // RPC lock (no other RPC can interleave). A stream that dies in-band —
+  // bad trailer, or an abort marker the relay/sender emits — is a clean,
+  // named failure over a connection that stays usable; only a stream with
+  // no known end tears the channel down. Device pointer values survive
+  // verbatim — the shipped
   // allocations are addressable on the receiving endpoint through
   // explicit-kind copies and kernel arguments, exactly as CRAC's replayed
   // pointers are. (The receiving client's own allocation bookkeeping only

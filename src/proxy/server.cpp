@@ -117,50 +117,70 @@ constexpr std::size_t kShipStageBytes = std::size_t{1} << 20;
 
 // Streams a framed checkpoint of the server's device-arena state down `fd`.
 // Runs after the OK response; by the time this returns the peer's spool has
-// the trailer (or a broken stream it will reject).
-Status ship_device_state(ServerState& state, int fd) {
+// the trailer (or a broken stream it will reject). On an internal failure
+// the stream is terminated with an in-band abort marker, so the peer fails
+// with a named error and the connection keeps its framing; `in_band_end`
+// reports whether that worked (trailer or abort on the wire) — when false
+// the connection is desynced and the caller must not keep serving on it.
+Status ship_device_state(ServerState& state, int fd, bool* in_band_end) {
+  *in_band_end = false;
   auto& rt = *state.runtime;
   auto& arena = rt.device().device_arena();
   const sim::ArenaAllocator::Snapshot snap = arena.snapshot();
 
   ckpt::SocketSink sink(fd, "proxy ship socket");
-  ckpt::ImageWriter writer(&sink, ckpt::ImageWriter::Options{});
-  writer.add_section(ckpt::SectionType::kMetadata, kSectionDeviceArena,
-                     sim::encode_arena_snapshot(snap));
-  CRAC_RETURN_IF_ERROR(writer.status());
+  const Status shipped = [&]() -> Status {
+    ckpt::ImageWriter writer(&sink, ckpt::ImageWriter::Options{});
+    writer.add_section(ckpt::SectionType::kMetadata, kSectionDeviceArena,
+                       sim::encode_arena_snapshot(snap));
+    CRAC_RETURN_IF_ERROR(writer.status());
 
-  CRAC_RETURN_IF_ERROR(writer.begin_section(
-      ckpt::SectionType::kDeviceBuffers, kSectionDeviceContents));
-  auto* base = static_cast<std::byte*>(arena.arena_base());
-  std::vector<std::byte> stage(kShipStageBytes);
-  for (const auto& [off, size] : snap.active) {
-    std::uint64_t done = 0;
-    while (done < size) {
-      const auto n = static_cast<std::size_t>(
-          std::min<std::uint64_t>(stage.size(), size - done));
-      if (rt.memcpy_sync(stage.data(), base + off + done, n,
-                         cuda::cudaMemcpyDeviceToHost) != cuda::cudaSuccess) {
-        return Internal("device read failed while shipping checkpoint");
+    CRAC_RETURN_IF_ERROR(writer.begin_section(
+        ckpt::SectionType::kDeviceBuffers, kSectionDeviceContents));
+    auto* base = static_cast<std::byte*>(arena.arena_base());
+    std::vector<std::byte> stage(kShipStageBytes);
+    for (const auto& [off, size] : snap.active) {
+      std::uint64_t done = 0;
+      while (done < size) {
+        const auto n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(stage.size(), size - done));
+        if (rt.memcpy_sync(stage.data(), base + off + done, n,
+                           cuda::cudaMemcpyDeviceToHost) !=
+            cuda::cudaSuccess) {
+          return Internal("device read failed while shipping checkpoint");
+        }
+        CRAC_RETURN_IF_ERROR(writer.append(stage.data(), n));
+        done += n;
       }
-      CRAC_RETURN_IF_ERROR(writer.append(stage.data(), n));
-      done += n;
     }
+    CRAC_RETURN_IF_ERROR(writer.end_section());
+    CRAC_RETURN_IF_ERROR(writer.finish());
+    return sink.close();
+  }();
+  if (shipped.ok()) {
+    *in_band_end = true;
+    return shipped;
   }
-  CRAC_RETURN_IF_ERROR(writer.end_section());
-  CRAC_RETURN_IF_ERROR(writer.finish());
-  return sink.close();
+  *in_band_end = sink.abort().ok();
+  return shipped;
 }
 
-// Restores the server's device-arena state from a spooled shipment.
-// Validation is strictly before mutation: a rejected shipment must leave
+// Restores the server's device-arena state from a spooled shipment — over a
+// StreamingSpoolSource this runs *while the stream is still arriving*: the
+// directory scan, snapshot decode, and the full CRC probe all chase the
+// receive frontier, so by the time the last byte lands the shipment is
+// already validated.
+// Validation stays strictly before mutation: a rejected shipment must leave
 // the server's existing device state untouched (the client is told "error,
 // connection intact" and must be able to keep using what it had). Only
 // after the snapshot decodes, the contents section exists with exactly the
-// right size, and every chunk has CRC-verified (a skip-read over the local
-// spool — cheap relative to the migration) do the allocator maps get
-// replaced and contents copied in. `*mutated` turns true the moment the
-// arena is touched: a failure after that point must NOT be answered as a
-// clean rejection (the old state is gone), the caller escalates instead.
+// right size, every chunk has CRC-verified (a skip-read over the local
+// spool — overlapped with the receive), and the directory has been forced
+// complete (which on a live stream means the transport trailer verified) do
+// the allocator maps get replaced and contents copied in. `*mutated` turns
+// true the moment the arena is touched: a failure after that point must NOT
+// be answered as a clean rejection (the old state is gone), the caller
+// escalates instead.
 Status restore_device_state(ServerState& state,
                             std::unique_ptr<ckpt::Source> spool,
                             bool* mutated) {
@@ -169,6 +189,7 @@ Status restore_device_state(ServerState& state,
   const ckpt::SectionInfo* snap_sec =
       reader->find(ckpt::SectionType::kMetadata, kSectionDeviceArena);
   if (snap_sec == nullptr) {
+    CRAC_RETURN_IF_ERROR(reader->directory_status());
     return Corrupt("shipped checkpoint has no device-arena snapshot");
   }
   CRAC_ASSIGN_OR_RETURN(auto snap_bytes, reader->read_section(*snap_sec));
@@ -178,6 +199,7 @@ Status restore_device_state(ServerState& state,
   const ckpt::SectionInfo* body =
       reader->find(ckpt::SectionType::kDeviceBuffers, kSectionDeviceContents);
   if (body == nullptr) {
+    CRAC_RETURN_IF_ERROR(reader->directory_status());
     return Corrupt("shipped checkpoint has no device-arena contents");
   }
   std::uint64_t expect_bytes = 0;
@@ -188,10 +210,17 @@ Status restore_device_state(ServerState& state,
                    "active allocations need " + std::to_string(expect_bytes));
   }
   {
-    // CRC-verify the whole contents section before touching the arena.
+    // CRC-verify the whole contents section before touching the arena (on
+    // a live stream these reads block per-range, overlapping the decode
+    // with the receive).
     CRAC_ASSIGN_OR_RETURN(auto probe, reader->open_section(*body));
     CRAC_RETURN_IF_ERROR(probe.skip(body->raw_size));
   }
+  // The last validate-before-mutate gate: force the directory complete. On
+  // a live stream this blocks until the transport trailer has verified —
+  // a shipment whose trailer turns out damaged or truncated is rejected
+  // here, before any arena byte moves.
+  CRAC_RETURN_IF_ERROR(reader->scan_to_end());
 
   auto& rt = *state.runtime;
   auto& arena = rt.device().device_arena();
@@ -527,22 +556,33 @@ void ProxyHost::serve(int fd, const ProxyHostOptions& options) {
       }
       case Op::kShipCkpt: {
         // Respond first, then stream: the client reads the OK header and
-        // starts relaying the framed bytes that follow. A failure once the
-        // stream has started leaves the connection desynced (the peer holds
-        // half a shipment), so it ends the server like a failed respond —
-        // the client sees the socket close and reports IoError.
+        // starts relaying the framed bytes that follow. An internal failure
+        // mid-stream terminates the shipment with an in-band abort marker,
+        // which keeps the connection framed — only a failure to land even
+        // the marker (dead socket) ends the server like a failed respond.
         respond(fd, cuda::cudaSuccess);
-        if (!ship_device_state(state, fd).ok()) _exit(3);
+        bool in_band_end = false;
+        const Status shipped = ship_device_state(state, fd, &in_band_end);
+        if (!shipped.ok()) {
+          CRAC_WARN() << "SHIP_CKPT failed: " << shipped.to_string();
+          if (!in_band_end) _exit(3);
+        }
         break;
       }
       case Op::kRecvCkpt: {
-        // The framed stream follows the request header. A receive failure
-        // mid-stream desyncs the connection (no way to know where the
-        // broken stream ends), so it is fatal; a complete-but-unusable
-        // shipment (bad image, allocator mismatch) answers with an error
-        // over an intact connection.
-        auto spool = ckpt::SpoolingSource::receive(fd);
-        if (!spool.ok()) _exit(3);
+        // The framed stream follows the request header. The spool starts
+        // serving ranges as frames land, so the restore below runs
+        // concurrently with the incoming stream — but mutates nothing until
+        // the whole shipment (trailer included) has verified.
+        ckpt::StreamingSpoolSource::Options sopts;
+        sopts.origin = "proxy recv stream";
+        auto spool = ckpt::StreamingSpoolSource::start(fd, sopts);
+        if (!spool.ok()) _exit(3);  // not even a ship header: desynced
+        // The outcome outlives the source (which restore consumes): it is
+        // final once restore returns, because destroying the source joins
+        // the receiver — and that join doubles as a drain, so even an early
+        // rejection leaves the stream fully consumed off the socket.
+        auto outcome = (*spool)->outcome();
         bool mutated = false;
         const Status restored =
             restore_device_state(state, std::move(*spool), &mutated);
@@ -553,6 +593,11 @@ void ProxyHost::serve(int fd, const ProxyHostOptions& options) {
           // client acts on. Die like a desynced stream — the client sees the
           // connection fail, which is the truth.
           if (mutated) _exit(3);
+          // Unmutated, but did the stream end in-band (trailer — valid or
+          // not — or an abort marker)? If not, nobody knows where the next
+          // request starts: desynced, fatal. If it did, this is a clean
+          // rejection over an intact connection — prior state untouched.
+          if (!outcome->synced) _exit(3);
         }
         respond(fd, restored.ok() ? cuda::cudaSuccess : cuda::cudaErrorUnknown);
         break;

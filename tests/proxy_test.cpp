@@ -413,6 +413,121 @@ TEST(ProxyTest, RecvCkptRejectBeforeMutationKeepsExistingState) {
   EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
 }
 
+// Captures the exact wire bytes of a live shipment from `src`'s server —
+// raw material for corrupting in the fault-injection tests below.
+std::vector<std::byte> capture_shipment(ProxyClientApi& src) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  std::vector<std::byte> wire;
+  std::thread drainer([&] {
+    std::byte buf[1 << 16];
+    for (;;) {
+      const ::ssize_t n = ::read(pipefd[0], buf, sizeof(buf));
+      if (n <= 0) break;
+      wire.insert(wire.end(), buf, buf + n);
+    }
+  });
+  const Status shipped = src.ship_checkpoint(pipefd[1]);
+  ::close(pipefd[1]);
+  drainer.join();
+  ::close(pipefd[0]);
+  EXPECT_TRUE(shipped.ok()) << shipped.to_string();
+  return wire;
+}
+
+// Feeds `wire` into `dst.recv_checkpoint` through a pipe (a feeder thread,
+// because a pipe holds far less than a shipment).
+Status feed_recv(ProxyClientApi& dst, const std::vector<std::byte>& wire) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  std::thread feeder([&] {
+    (void)write_all(pipefd[1], wire.data(), wire.size());
+    ::close(pipefd[1]);
+  });
+  const Status recv_status = dst.recv_checkpoint(pipefd[0]);
+  feeder.join();
+  ::close(pipefd[0]);
+  return recv_status;
+}
+
+TEST(ProxyTest, RecvCkptTrailerCrcFlipAfterOverlappedRestoreKeepsState) {
+  // The receiving server starts restoring while the stream arrives — but a
+  // trailer CRC flip, detected only at the very end, must still leave its
+  // prior device state untouched (validate-before-mutate) AND the
+  // connection usable (the stream ended in-band, so nothing desynced).
+  ProxyClientApi a(test_options());
+  ProxyClientApi b(test_options());
+
+  const std::size_t src_n = 192 << 10;
+  void* src_dev = nullptr;
+  ASSERT_EQ(a.cudaMalloc(&src_dev, src_n), cudaSuccess);
+  std::vector<char> src_fill(src_n, 0x2A);
+  ASSERT_EQ(a.cudaMemcpy(src_dev, src_fill.data(), src_n,
+                         cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  const std::size_t n = 64 << 10;
+  void* dev = nullptr;
+  ASSERT_EQ(b.cudaMalloc(&dev, n), cudaSuccess);
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 11);
+  ASSERT_EQ(b.cudaMemcpy(dev, pattern.data(), n, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  std::vector<std::byte> wire = capture_shipment(a);
+  ASSERT_GT(wire.size(), 16u);
+  wire[wire.size() - 1] ^= std::byte{0x08};  // whole-stream CRC, in trailer
+
+  const Status recv_status = feed_recv(b, wire);
+  EXPECT_FALSE(recv_status.ok());
+  EXPECT_EQ(recv_status.code(), StatusCode::kCorrupt);
+
+  // Prior state intact, connection still serving RPCs.
+  std::vector<char> back(n);
+  ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, pattern);
+  EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
+}
+
+TEST(ProxyTest, RecvCkptTruncatedStreamAbortsInBandAndKeepsState) {
+  // The upstream source dies mid-shipment. The client relay terminates the
+  // server-bound stream with an in-band abort marker, so the server rejects
+  // cleanly: prior state intact, connection usable — even though its
+  // overlapped restore had already begun consuming the stream.
+  ProxyClientApi a(test_options());
+  ProxyClientApi b(test_options());
+
+  const std::size_t src_n = 256 << 10;
+  void* src_dev = nullptr;
+  ASSERT_EQ(a.cudaMalloc(&src_dev, src_n), cudaSuccess);
+  std::vector<char> src_fill(src_n, 0x3C);
+  ASSERT_EQ(a.cudaMemcpy(src_dev, src_fill.data(), src_n,
+                         cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  const std::size_t n = 48 << 10;
+  void* dev = nullptr;
+  ASSERT_EQ(b.cudaMalloc(&dev, n), cudaSuccess);
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 17);
+  ASSERT_EQ(b.cudaMemcpy(dev, pattern.data(), n, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  std::vector<std::byte> wire = capture_shipment(a);
+  ASSERT_GT(wire.size(), 1024u);
+  wire.resize(wire.size() * 3 / 5);  // mid-stream EOF, no trailer
+
+  const Status recv_status = feed_recv(b, wire);
+  EXPECT_FALSE(recv_status.ok());
+
+  std::vector<char> back(n);
+  ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, pattern);
+  EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
+}
+
 TEST(ProxyTest, ShadowUvmLosesConcurrentStreamUpdates) {
   // The failure CRAC fixes (paper contribution 2): with two concurrent
   // streams touching the same managed region, the whole-buffer shadow push

@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -372,6 +376,268 @@ TEST_F(RemoteFaultTest, RelayDetectsCorruptTrailerAndReceiverAgrees) {
   EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
 }
 
+// ---- restore-while-receiving (StreamingSpoolSource) ----------------------
+
+// The logical v2 stream the same sections produce — for knowing logical
+// offsets/sizes when poking at a live spool.
+std::vector<std::byte> logical_image(const NamedSections& secs, Codec codec,
+                                     std::size_t chunk_size) {
+  MemorySink sink;
+  EXPECT_TRUE(testlib::write_image(sink, secs, codec, chunk_size).ok());
+  return std::move(sink).take();
+}
+
+// The acceptance-criterion overlap test: with a throttled sender (the
+// trailer deliberately held until the receiver proves progress), the first
+// Source::read completes before the trailer frame is ever sent. A
+// serialized implementation would deadlock here — the guarded feeder turns
+// that into a clean failure instead.
+TEST(StreamingSpoolTest, FirstReadCompletesBeforeTrailerSent) {
+  // Big enough for several 256 KiB wire frames, so early ranges publish
+  // long before the stream ends.
+  const NamedSections secs = {{"big", testlib::random_bytes(1 << 20, 91)}};
+  const std::vector<std::byte> wire =
+      healthy_stream(secs, Codec::kStore, 64 * 1024);
+  ASSERT_GT(wire.size(), kShipHeaderBytes + 2 * kShipFrameBytes);
+  const std::size_t tail = 4 + kShipTrailerBytes;  // terminator + trailer
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool first_read_done = false;
+  bool trailer_sent = false;
+  bool feeder_timed_out = false;
+
+  std::thread feeder([&] {
+    // Everything except the trailer...
+    ASSERT_TRUE(write_all_fd(fds[1], wire.data(), wire.size() - tail,
+                             "overlap feeder").ok());
+    {
+      // ...then wait for the consumer's first read to finish. 60s is an
+      // eternity for a local read; hitting it means the receiver was
+      // waiting for the trailer, i.e. not overlapping.
+      std::unique_lock<std::mutex> lock(mu);
+      feeder_timed_out = !cv.wait_for(lock, std::chrono::seconds(60),
+                                      [&] { return first_read_done; });
+      trailer_sent = true;
+    }
+    ASSERT_TRUE(write_all_fd(fds[1], wire.data() + wire.size() - tail, tail,
+                             "overlap feeder").ok());
+    ::close(fds[1]);
+  });
+
+  auto spool = StreamingSpoolSource::start(fds[0]);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  std::byte magic[8];
+  ASSERT_TRUE((*spool)->read(magic, sizeof(magic)).ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    first_read_done = true;
+    EXPECT_FALSE(trailer_sent)
+        << "first read did not complete until the trailer was on the wire";
+  }
+  cv.notify_all();
+  EXPECT_EQ(0, std::memcmp(magic, "CRACIMG2", 8));
+
+  ASSERT_TRUE((*spool)->wait_complete().ok());
+  feeder.join();
+  ::close(fds[0]);
+  EXPECT_FALSE(feeder_timed_out);
+  EXPECT_TRUE((*spool)->end_known());
+
+  // The finished spool serves the ordinary reader path, content intact
+  // (rewind first: the probe read above moved the cursor).
+  ASSERT_TRUE((*spool)->seek(0).ok());
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto payload = reader->read_section(*reader->find(SectionType::kDeviceBuffers,
+                                                    "big"));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, secs[0].second);
+}
+
+TEST(StreamingSpoolTest, TrailerCrcFlipWithholdsFinalBytes) {
+  // The last payload frame is released only by trailer verification: with a
+  // flipped stream CRC, a read of the image's final byte must report the
+  // trailer error, never serve the byte.
+  const NamedSections secs = {{"big", testlib::random_bytes(600 * 1024, 17)}};
+  const std::uint64_t logical =
+      logical_image(secs, Codec::kStore, 64 * 1024).size();
+  std::vector<std::byte> bad = healthy_stream(secs, Codec::kStore, 64 * 1024);
+  bad[bad.size() - 1] ^= std::byte{0x40};  // stream CRC
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::thread feeder([&] {
+    (void)write_all_fd(fds[1], bad.data(), bad.size(), "corrupt feeder");
+    ::close(fds[1]);
+  });
+  auto spool = StreamingSpoolSource::start(fds[0]);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  ASSERT_TRUE((*spool)->seek(logical - 1).ok());
+  std::byte last;
+  const Status read_status = (*spool)->read(&last, 1);
+  EXPECT_EQ(read_status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(read_status.message().find("trailer"), std::string::npos)
+      << read_status.to_string();
+  // The stream ended in-band (a complete — if damaged — trailer): a control
+  // connection carrying it is still usable.
+  EXPECT_TRUE((*spool)->outcome()->synced);
+  feeder.join();
+  ::close(fds[0]);
+}
+
+TEST(StreamingSpoolTest, MidTransferEofWakesBlockedReader) {
+  // The satellite fault-injection case: EOF after the early sections are
+  // readable but before a range a reader is blocked on. The blocked read
+  // must wake with the stream's named error, not hang.
+  const NamedSections secs = {{"big", testlib::random_bytes(900 * 1024, 53)}};
+  const std::uint64_t logical =
+      logical_image(secs, Codec::kStore, 64 * 1024).size();
+  std::vector<std::byte> wire = healthy_stream(secs, Codec::kStore, 64 * 1024);
+  wire.resize(wire.size() / 2);  // the sender dies mid-shipment
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::thread feeder([&] {
+    (void)write_all_fd(fds[1], wire.data(), wire.size(), "eof feeder");
+    ::close(fds[1]);
+  });
+  StreamingSpoolSource::Options opts;
+  opts.origin = "dying stream";
+  auto spool = StreamingSpoolSource::start(fds[0], opts);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  // Early bytes are served fine before the wreck...
+  std::byte magic[8];
+  ASSERT_TRUE((*spool)->read(magic, sizeof(magic)).ok());
+  // ...but a reader parked past the cut must be woken with the named error.
+  ASSERT_TRUE((*spool)->seek(logical - 1).ok());
+  std::byte last;
+  const Status read_status = (*spool)->read(&last, 1);
+  EXPECT_EQ(read_status.code(), StatusCode::kIoError);
+  EXPECT_NE(read_status.message().find("dying stream"), std::string::npos)
+      << read_status.to_string();
+  EXPECT_FALSE((*spool)->outcome()->synced);  // no known end: desynced
+  feeder.join();
+  ::close(fds[0]);
+}
+
+TEST(StreamingSpoolTest, AbortMarkerWakesReaderWithSyncedStream) {
+  const NamedSections secs = {{"big", testlib::random_bytes(600 * 1024, 71)}};
+  const std::uint64_t logical =
+      logical_image(secs, Codec::kStore, 64 * 1024).size();
+  std::vector<std::byte> wire = healthy_stream(secs, Codec::kStore, 64 * 1024);
+  // Keep the header plus the first whole frame, then abort in-band. The
+  // first frame of this stream is a full kShipFrameBytes payload frame.
+  wire.resize(kShipHeaderBytes + 4 + kShipFrameBytes);
+  const std::uint32_t marker = kShipAbortMarker;
+  const auto* mp = reinterpret_cast<const std::byte*>(&marker);
+  wire.insert(wire.end(), mp, mp + sizeof(marker));
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::thread feeder([&] {
+    (void)write_all_fd(fds[1], wire.data(), wire.size(), "abort feeder");
+    ::close(fds[1]);
+  });
+  auto spool = StreamingSpoolSource::start(fds[0]);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  ASSERT_TRUE((*spool)->seek(logical - 1).ok());
+  std::byte last;
+  const Status read_status = (*spool)->read(&last, 1);
+  EXPECT_EQ(read_status.code(), StatusCode::kIoError);
+  EXPECT_NE(read_status.message().find("aborted by sender"),
+            std::string::npos)
+      << read_status.to_string();
+  // An in-band abort leaves the transport synchronized.
+  EXPECT_TRUE((*spool)->outcome()->synced);
+  feeder.join();
+  ::close(fds[0]);
+}
+
+TEST(StreamingSpoolTest, SerializedSpoolAlsoRecognizesAbortMarker) {
+  std::vector<std::byte> wire;
+  {
+    // Header + immediate abort: a sender that gave up before frame one.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::thread drainer([&] {
+      std::byte buf[4096];
+      for (;;) {
+        const ::ssize_t n = ::read(fds[0], buf, sizeof(buf));
+        if (n <= 0) break;
+        wire.insert(wire.end(), buf, buf + n);
+      }
+    });
+    SocketSink sink(fds[1], "abort capture");
+    ASSERT_TRUE(sink.write("x", 1).ok());  // forces the header out
+    ASSERT_TRUE(sink.abort().ok());
+    ::close(fds[1]);
+    drainer.join();
+    ::close(fds[0]);
+  }
+  auto spool = replay_stream(wire);
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kIoError);
+  EXPECT_NE(spool.status().message().find("aborted by sender"),
+            std::string::npos);
+}
+
+TEST(StreamingSpoolTest, LazyReaderRestoresWhileReceivingUnderSpoolCap) {
+  // Full lazy pipeline over a live stream several times the spool cap: the
+  // incremental scan and the section reads chase the frontier, overflow
+  // goes to the unlinked temp file, and the resident bound still holds.
+  const NamedSections secs = {
+      {"first", testlib::random_bytes(512 * 1024, 5)},
+      {"second", testlib::compressible_bytes(1 << 20, 6)},
+      {"third", testlib::random_bytes(768 * 1024, 7)},
+  };
+  const std::size_t cap = 256 << 10;
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Status ship_status = OkStatus();
+  std::thread shipper([&] {
+    SocketSink sink(fds[1], "lazy ship");
+    ship_status = testlib::write_image(sink, secs, Codec::kLz, 64 * 1024);
+    ::close(fds[1]);
+  });
+
+  StreamingSpoolSource::Options opts;
+  opts.spool_cap_bytes = cap;
+  auto spool = StreamingSpoolSource::start(fds[0], opts);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  auto outcome = (*spool)->outcome();
+
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  // The scan is incremental: sections stream in write order, each readable
+  // as soon as it lands.
+  for (std::size_t i = 0; i < secs.size(); ++i) {
+    auto sec = reader->section_at(i);
+    ASSERT_TRUE(sec.ok()) << sec.status().to_string();
+    ASSERT_NE(*sec, nullptr);
+    EXPECT_EQ((*sec)->name, secs[i].first);
+    auto payload = reader->read_section(**sec);
+    ASSERT_TRUE(payload.ok()) << payload.status().to_string();
+    EXPECT_EQ(*payload, secs[i].second);
+  }
+  auto past_end = reader->section_at(secs.size());
+  ASSERT_TRUE(past_end.ok());
+  EXPECT_EQ(*past_end, nullptr);
+  ASSERT_TRUE(reader->verify_unread_sections().ok());
+
+  shipper.join();
+  ::close(fds[0]);
+  ASSERT_TRUE(ship_status.ok()) << ship_status.to_string();
+  EXPECT_TRUE(outcome->complete);
+  EXPECT_TRUE(outcome->status.ok());
+  EXPECT_LE(outcome->peak_resident_bytes, cap);
+  EXPECT_GT(outcome->spooled_to_disk_bytes, 0u);
+}
+
 // ---- full-context live ship ----------------------------------------------
 
 TEST(RemoteShipTest, CracContextShipsAndRestartsOverSocketpair) {
@@ -417,6 +683,67 @@ TEST(RemoteShipTest, CracContextShipsAndRestartsOverSocketpair) {
   auto restored = CracContext::restart_from_source(std::move(*spool), opts);
   ASSERT_TRUE(restored.ok()) << restored.status().to_string();
   EXPECT_EQ((*restored)->root(), dev);
+  std::vector<char> back(n);
+  ASSERT_EQ((*restored)->api().cudaMemcpy(back.data(), dev, n,
+                                          cuda::cudaMemcpyDeviceToHost),
+            cuda::cudaSuccess);
+  EXPECT_EQ(back, pattern);
+}
+
+TEST(RemoteShipTest, CracContextRestartOverlapsLiveCheckpoint) {
+  // Restore-while-receiving end to end: the sender is a forked child (its
+  // own process — only one CRAC context can live per address space), the
+  // parent restarts from a StreamingSpoolSource *while the child is still
+  // checkpointing*. The restart must report overlapped mode and bring the
+  // device contents back bit for bit.
+  CracOptions opts;
+  opts.split.device.device_capacity = 64 << 20;
+  opts.split.device.pinned_capacity = 16 << 20;
+  opts.split.device.managed_capacity = 64 << 20;
+  opts.split.upper_heap_capacity = 64 << 20;
+
+  const std::size_t n = 1 << 20;
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 13);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(fds[0]);
+    CracContext ctx(opts);
+    void* dev = nullptr;
+    if (ctx.api().cudaMalloc(&dev, n) != cuda::cudaSuccess) ::_exit(2);
+    if (ctx.api().cudaMemcpy(dev, pattern.data(), n,
+                             cuda::cudaMemcpyHostToDevice) !=
+        cuda::cudaSuccess) {
+      ::_exit(2);
+    }
+    ctx.set_root(dev);
+    SocketSink sink(fds[1], "overlap migration socket");
+    ::_exit(ctx.checkpoint_to_sink(sink).ok() ? 0 : 1);
+  }
+  ::close(fds[1]);
+
+  StreamingSpoolSource::Options sopts;
+  sopts.origin = "overlap migration socket";
+  auto spool = StreamingSpoolSource::start(fds[0], sopts);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+
+  RestartReport report;
+  auto restored =
+      CracContext::restart_from_source(std::move(*spool), opts, &report);
+  ::close(fds[0]);
+  int child_status = -1;
+  ASSERT_EQ(::waitpid(pid, &child_status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(child_status));
+  ASSERT_EQ(WEXITSTATUS(child_status), 0);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_TRUE(report.overlapped_receive);
+
+  void* dev = (*restored)->root();
+  ASSERT_NE(dev, nullptr);
   std::vector<char> back(n);
   ASSERT_EQ((*restored)->api().cudaMemcpy(back.data(), dev, n,
                                           cuda::cudaMemcpyDeviceToHost),
