@@ -19,6 +19,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -66,9 +67,184 @@ std::vector<std::byte> synthetic_image_payload(std::size_t n,
   return out;
 }
 
+// Mostly-zero payload: the shape a freshly-initialized training arena or a
+// sparsely-touched managed heap takes — long zero spans with islands of
+// real data. This is the zero-run codec's home turf.
+std::vector<std::byte> mostly_zero_payload(std::size_t n, std::uint64_t seed) {
+  crac::Rng rng(seed);
+  std::vector<std::byte> out(n, std::byte{0});
+  // ~6% of the bytes are noise islands scattered through the zeros.
+  std::size_t at = 0;
+  while (at < n) {
+    at += 2048 + rng.next_below(8192);
+    const std::size_t island = 64 + rng.next_below(512);
+    for (std::size_t i = 0; i < island && at < n; ++i, ++at) {
+      out[at] = static_cast<std::byte>(rng.next_u64() | 1);
+    }
+  }
+  return out;
+}
+
+// Quick mode (CRAC_BENCH_QUICK=1): shrink every sweep matrix to its corner
+// cells so the whole binary finishes in CI-smoke time while still driving
+// each pipeline end to end.
+bool quick() { return crac::env_int("CRAC_BENCH_QUICK", 0) != 0; }
+
 struct SweepCell {
   double write_mbs = -1.0;
   double restore_mbs = -1.0;
+  std::uint64_t image_bytes = 0;
+};
+
+// ---- machine-readable output ----------------------------------------------
+//
+// Every sweep appends its cells here and main() serializes the lot to
+// BENCH_fig3.json (path override: CRAC_BENCH_JSON), so CI can archive runs
+// as artifacts and diff them without scraping the human tables. The
+// checked-in copy is one reference run — read shapes, not absolutes.
+struct BenchJson {
+  struct Rodinia {
+    std::string name;
+    bool ok = false;
+    double ckpt_s = 0, restart_s = 0;
+    std::uint64_t image_bytes = 0, ablation_bytes = 0, replayed = 0;
+  };
+  struct Cell {  // chunked-parallel / sharded-file cells
+    std::size_t threads = 0, chunk = 0, shards = 0;
+    double write_mbs = -1, restore_mbs = -1;
+  };
+  struct Ship {
+    std::size_t threads = 0;
+    bool spill = false;
+    double mbs = -1;
+    std::uint64_t spooled_to_disk = 0;
+  };
+  struct Overlap {
+    double pace_mbs = 0;
+    std::size_t sections = 0;
+    double serialized_s = -1, overlapped_s = -1;
+  };
+  struct MultiSocket {
+    std::size_t sockets = 0;
+    double mbs = -1;
+  };
+  struct ZeroRun {
+    std::string codec;
+    double write_mbs = -1, restore_mbs = -1;
+    std::uint64_t image_bytes = 0;
+  };
+  struct Prefetch {
+    std::size_t threads = 0;
+    double restart_s = -1;
+    std::uint64_t pages_restored = 0;
+  };
+
+  std::vector<Rodinia> rodinia;
+  double serial_write_mbs = 0, serial_restore_mbs = 0;
+  std::vector<Cell> chunked, sharded_files;
+  std::vector<Ship> ship;
+  std::vector<Overlap> overlap;
+  std::vector<MultiSocket> multi_socket;
+  std::vector<ZeroRun> zero_run;
+  std::vector<Prefetch> prefetch;
+
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+  }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+
+  std::string emit() const {
+    std::string s = "{\n  \"bench\": \"fig3_rodinia_ckpt\",\n";
+    s += "  \"hardware_threads\": " +
+         num(static_cast<std::size_t>(std::max(
+             1u, std::thread::hardware_concurrency()))) +
+         ",\n";
+    s += "  \"quick\": " + std::string(quick() ? "true" : "false") + ",\n";
+    s += "  \"rodinia\": [\n";
+    for (std::size_t i = 0; i < rodinia.size(); ++i) {
+      const auto& r = rodinia[i];
+      s += "    {\"name\": \"" + r.name +
+           "\", \"ok\": " + (r.ok ? "true" : "false") +
+           ", \"ckpt_s\": " + num(r.ckpt_s) +
+           ", \"restart_s\": " + num(r.restart_s) +
+           ", \"image_bytes\": " + num(r.image_bytes) +
+           ", \"arena_ablation_bytes\": " + num(r.ablation_bytes) +
+           ", \"calls_replayed\": " + num(r.replayed) + "}";
+      s += i + 1 < rodinia.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"serial_lz\": {\"write_mbs\": " + num(serial_write_mbs) +
+         ", \"restore_mbs\": " + num(serial_restore_mbs) + "},\n";
+    auto cells = [&](const char* key, const std::vector<Cell>& rows,
+                     bool with_shards) {
+      s += std::string("  \"") + key + "\": [\n";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& c = rows[i];
+        s += "    {\"threads\": " + num(c.threads);
+        if (with_shards) {
+          s += ", \"shards\": " + num(c.shards);
+        } else {
+          s += ", \"chunk_bytes\": " + num(c.chunk);
+        }
+        s += ", \"write_mbs\": " + num(c.write_mbs) +
+             ", \"restore_mbs\": " + num(c.restore_mbs) + "}";
+        s += i + 1 < rows.size() ? ",\n" : "\n";
+      }
+      s += "  ],\n";
+    };
+    cells("chunked_parallel_lz", chunked, false);
+    cells("sharded_files", sharded_files, true);
+    s += "  \"ship_loopback\": [\n";
+    for (std::size_t i = 0; i < ship.size(); ++i) {
+      const auto& c = ship[i];
+      s += "    {\"threads\": " + num(c.threads) + ", \"spool\": \"" +
+           (c.spill ? "spill-to-disk" : "in-memory") +
+           "\", \"mbs\": " + num(c.mbs) +
+           ", \"spooled_to_disk_bytes\": " + num(c.spooled_to_disk) + "}";
+      s += i + 1 < ship.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"restore_while_receiving\": [\n";
+    for (std::size_t i = 0; i < overlap.size(); ++i) {
+      const auto& c = overlap[i];
+      s += "    {\"sender_pace_mbs\": " + num(c.pace_mbs) +
+           ", \"sections\": " + num(c.sections) +
+           ", \"serialized_s\": " + num(c.serialized_s) +
+           ", \"overlapped_s\": " + num(c.overlapped_s) + "}";
+      s += i + 1 < overlap.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"multi_socket_ship\": [\n";
+    for (std::size_t i = 0; i < multi_socket.size(); ++i) {
+      const auto& c = multi_socket[i];
+      s += "    {\"sockets\": " + num(c.sockets) + ", \"mbs\": " +
+           num(c.mbs) + "}";
+      s += i + 1 < multi_socket.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"zero_run_codec\": [\n";
+    for (std::size_t i = 0; i < zero_run.size(); ++i) {
+      const auto& c = zero_run[i];
+      s += "    {\"codec\": \"" + c.codec +
+           "\", \"write_mbs\": " + num(c.write_mbs) +
+           ", \"restore_mbs\": " + num(c.restore_mbs) +
+           ", \"image_bytes\": " + num(c.image_bytes) + "}";
+      s += i + 1 < zero_run.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"uvm_prefetch_restart\": [\n";
+    for (std::size_t i = 0; i < prefetch.size(); ++i) {
+      const auto& c = prefetch[i];
+      s += "    {\"ckpt_threads\": " + num(c.threads) +
+           ", \"restart_s\": " + num(c.restart_s) +
+           ", \"uvm_pages_restored\": " + num(c.pages_restored) + "}";
+      s += i + 1 < prefetch.size() ? ",\n" : "\n";
+    }
+    s += "  ]\n}\n";
+    return s;
+  }
 };
 
 // Returns write + restore MB/s for one threads × chunk-size cell, or
@@ -76,14 +252,15 @@ struct SweepCell {
 // masquerade as a throughput number). The restore leg streams the just-
 // written image back through MemorySource + the decompress-ahead reader.
 SweepCell chunked_parallel_cell(const std::vector<std::byte>& payload,
-                                std::size_t threads, std::size_t chunk_size) {
+                                std::size_t threads, std::size_t chunk_size,
+                                crac::ckpt::Codec codec = crac::ckpt::Codec::kLz) {
   using namespace crac::ckpt;
   SweepCell cell;
   crac::ThreadPool pool(threads);
   MemorySink sink;
   {
     ImageWriter::Options opts;
-    opts.codec = Codec::kLz;
+    opts.codec = codec;
     opts.chunk_size = chunk_size;
     opts.pool = &pool;
     ImageWriter writer(&sink, opts);
@@ -99,6 +276,7 @@ SweepCell chunked_parallel_cell(const std::vector<std::byte>& payload,
     }
     cell.write_mbs =
         static_cast<double>(payload.size()) / (1 << 20) / t.elapsed_s();
+    cell.image_bytes = sink.bytes().size();
   }
   {
     crac::WallTimer t;
@@ -139,10 +317,10 @@ SweepCell chunked_parallel_cell(const std::vector<std::byte>& payload,
   return cell;
 }
 
-void run_chunked_parallel_sweep() {
+void run_chunked_parallel_sweep(BenchJson& json) {
   using namespace crac;
-  const std::size_t mb =
-      static_cast<std::size_t>(env_int("CRAC_BENCH_CKPT_MB", 64));
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_CKPT_MB", quick() ? 8 : 64));
   const std::size_t n = mb << 20;
   std::printf("\nchunked-parallel LZ checkpoint + restore throughput (%zuMB "
               "synthetic image; cells are write/restore MB/s):\n", mb);
@@ -172,11 +350,18 @@ void run_chunked_parallel_sweep() {
                 "serial whole-buffer", serial_write_mbs, serial_restore_mbs,
                 crc, crc_back, format_size(packed.size()).c_str());
   }
+  json.serial_write_mbs = serial_write_mbs;
+  json.serial_restore_mbs = serial_restore_mbs;
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::size_t> thread_counts = {1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
-  const std::size_t chunk_sizes[] = {256u << 10, 1u << 20, 4u << 20};
+  std::vector<std::size_t> chunk_sizes = {256u << 10, 1u << 20, 4u << 20};
+  if (quick()) {
+    thread_counts = hw > 1 ? std::vector<std::size_t>{1, hw}
+                           : std::vector<std::size_t>{1};
+    chunk_sizes = {1u << 20};
+  }
 
   std::printf("%-24s %17s %17s %17s\n", "chunked-parallel", "256KB-chunk",
               "1MB-chunk", "4MB-chunk");
@@ -186,6 +371,8 @@ void run_chunked_parallel_sweep() {
                 threads == 1 ? " " : "s");
     for (std::size_t chunk : chunk_sizes) {
       const SweepCell cell = chunked_parallel_cell(payload, threads, chunk);
+      json.chunked.push_back(
+          {threads, chunk, 0, cell.write_mbs, cell.restore_mbs});
       if (cell.write_mbs < 0) {
         std::printf("      FAILED     ");
         continue;
@@ -285,10 +472,10 @@ SweepCell sharded_cell(const std::vector<std::byte>& payload,
   return cell;
 }
 
-void run_sharded_sweep() {
+void run_sharded_sweep(BenchJson& json) {
   using namespace crac;
-  const std::size_t mb =
-      static_cast<std::size_t>(env_int("CRAC_BENCH_CKPT_MB", 64));
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_CKPT_MB", quick() ? 8 : 64));
   const std::size_t n = mb << 20;
   std::printf("\nsharded-image LZ checkpoint + restore throughput (%zuMB "
               "synthetic image to /tmp; cells are write/restore MB/s; 1 "
@@ -298,7 +485,11 @@ void run_sharded_sweep() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::size_t> thread_counts = {1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
-  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  if (quick()) {
+    thread_counts = {hw};
+    shard_counts = {1, 4};
+  }
 
   std::printf("%-24s", "shards \xc3\x97 threads");
   for (std::size_t shards : shard_counts) {
@@ -312,6 +503,8 @@ void run_sharded_sweep() {
       const std::string path = "/tmp/crac_bench_shard_" +
                                std::to_string(shards) + ".img";
       const SweepCell cell = sharded_cell(payload, shards, threads, path);
+      json.sharded_files.push_back(
+          {threads, 0, shards, cell.write_mbs, cell.restore_mbs});
       if (cell.write_mbs < 0 || cell.restore_mbs < 0) {
         std::printf("      FAILED     ");
       } else {
@@ -407,10 +600,10 @@ ShipCell ship_loopback_cell(const std::vector<std::byte>& payload,
   return cell;
 }
 
-void run_ship_sweep() {
+void run_ship_sweep(BenchJson& json) {
   using namespace crac;
-  const std::size_t mb =
-      static_cast<std::size_t>(env_int("CRAC_BENCH_CKPT_MB", 64));
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_CKPT_MB", quick() ? 8 : 64));
   const std::size_t n = mb << 20;
   std::printf("\nlive checkpoint shipping, loopback socketpair (%zuMB "
               "synthetic image; cells are end-to-end ship+restore MB/s):\n",
@@ -420,6 +613,7 @@ void run_ship_sweep() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::size_t> thread_counts = {1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
+  if (quick()) thread_counts = {hw};
   // In-memory spool (cap comfortably above the image) against a spilling
   // spool capped at a fraction of it — the migration-on-a-small-host case.
   const std::size_t caps[] = {(n + (std::size_t{8} << 20)),
@@ -432,6 +626,8 @@ void run_ship_sweep() {
                 threads == 1 ? " " : "s");
     for (std::size_t cap : caps) {
       const ShipCell cell = ship_loopback_cell(payload, threads, cap);
+      json.ship.push_back(
+          {threads, cap < n, cell.mbs, cell.spooled_to_disk});
       if (cell.mbs < 0) {
         std::printf("      FAILED     ");
         continue;
@@ -453,18 +649,19 @@ void run_ship_sweep() {
 // (StreamingSpoolSource + the reader's incremental scan) restores while
 // receiving and should approach max(transfer, restore).
 //
-// The pipeline unit is the *section* — a section decodes once its last
-// byte lands, while later sections are still in flight — so the payload is
-// written as several sections, the shape a real image has (heap state,
-// upper memory, log, per-subsystem buffers). A single giant section would
-// pipeline nothing; chunk-level overlap inside one section is the queued
-// follow-up (see ROADMAP).
+// The sweep runs two image shapes. Several sections is the shape a real
+// image has (heap state, upper memory, log, per-subsystem buffers) and
+// pipelines at section granularity. ONE giant section is the adversarial
+// shape: before chunk-granular overlap it pipelined nothing (the scan
+// stalled until the section's last byte landed); now the reader publishes
+// the section on its header and decodes chunk frames behind the receive
+// frontier, so the single-section column must show the same overlap win.
 constexpr std::size_t kOverlapSections = 8;
 
 double paced_restart_leg(const std::vector<std::byte>& payload,
                          crac::ThreadPool* send_pool,
                          crac::ThreadPool* recv_pool, double mb_per_s,
-                         bool overlapped) {
+                         bool overlapped, std::size_t sections) {
   using namespace crac::ckpt;
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return -1;
@@ -479,10 +676,10 @@ double paced_restart_leg(const std::vector<std::byte>& payload,
     ship_status = [&]() -> crac::Status {
       const std::size_t slice = 256 << 10;
       const std::size_t per_section =
-          (payload.size() + kOverlapSections - 1) / kOverlapSections;
+          (payload.size() + sections - 1) / sections;
       crac::WallTimer pace;
       std::size_t sent = 0;
-      for (std::size_t s = 0; s < kOverlapSections; ++s) {
+      for (std::size_t s = 0; s < sections; ++s) {
         CRAC_RETURN_IF_ERROR(writer.begin_section(
             SectionType::kDeviceBuffers, "synthetic" + std::to_string(s)));
         const std::size_t end =
@@ -558,14 +755,15 @@ double paced_restart_leg(const std::vector<std::byte>& payload,
   return elapsed;
 }
 
-void run_overlap_sweep() {
+void run_overlap_sweep(BenchJson& json) {
   using namespace crac;
   const std::size_t mb = static_cast<std::size_t>(
-      env_int("CRAC_BENCH_OVERLAP_MB", 16));
+      env_int("CRAC_BENCH_OVERLAP_MB", quick() ? 4 : 16));
   const std::size_t n = mb << 20;
   std::printf("\nrestore-while-receiving, paced loopback sender (%zuMB "
               "payload; cells are first-wire-byte to restart-complete "
-              "seconds):\n",
+              "seconds; the 1-section rows only overlap at all because of "
+              "chunk-granular decode):\n",
               mb);
   const auto payload = synthetic_image_payload(n, 2468);
   // One pool per endpoint: in a real migration the sender's compression and
@@ -576,21 +774,274 @@ void run_overlap_sweep() {
   ThreadPool send_pool(hw);
   ThreadPool recv_pool(hw);
 
-  const double paces[] = {256.0, 64.0};
-  std::printf("%-24s %12s %12s %9s\n", "sender pace \xc3\x97 mode",
+  std::vector<double> paces = {256.0, 64.0};
+  if (quick()) paces = {256.0};
+  const std::size_t section_counts[] = {kOverlapSections, 1};
+  std::printf("%-24s %12s %12s %9s\n", "pace \xc3\x97 sections \xc3\x97 mode",
               "serialized", "overlapped", "speedup");
   for (const double pace : paces) {
-    const double ser =
-        paced_restart_leg(payload, &send_pool, &recv_pool, pace, false);
-    const double ovl =
-        paced_restart_leg(payload, &send_pool, &recv_pool, pace, true);
-    if (ser < 0 || ovl < 0) {
-      std::printf("  %5.0f MB/s                 FAILED\n", pace);
+    for (const std::size_t sections : section_counts) {
+      const double ser = paced_restart_leg(payload, &send_pool, &recv_pool,
+                                           pace, false, sections);
+      const double ovl = paced_restart_leg(payload, &send_pool, &recv_pool,
+                                           pace, true, sections);
+      json.overlap.push_back({pace, sections, ser, ovl});
+      if (ser < 0 || ovl < 0) {
+        std::printf("  %5.0f MB/s \xc3\x97 %zu            FAILED\n", pace,
+                    sections);
+        continue;
+      }
+      std::printf("  %5.0f MB/s \xc3\x97 %zu sec%s %9.3fs %11.3fs %8.2fx\n",
+                  pace, sections, sections == 1 ? " " : "s", ser, ovl,
+                  ser / ovl);
+    }
+  }
+}
+
+// ---- multi-socket sharded shipping ----------------------------------------
+//
+// N socketpairs, one ShardedSocketSink striping the shipment across them on
+// the send side and one ShardedSpoolSource reassembling on the receive side
+// (N = 1 is the plain single-socket SocketSink/StreamingSpoolSource
+// baseline). Loopback socketpairs share one memory bus, so the win here is
+// bounded by the copy pipeline, not the NIC aggregation a real multi-link
+// migration sees — the number to watch is that N > 1 keeps up with the
+// baseline while spreading the stream over N fds.
+double multi_socket_ship_cell(const std::vector<std::byte>& payload,
+                              std::size_t sockets, crac::ThreadPool* send_pool,
+                              crac::ThreadPool* recv_pool) {
+  using namespace crac::ckpt;
+  std::vector<int> send_fds, recv_fds;
+  for (std::size_t i = 0; i < sockets; ++i) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return -1;
+    recv_fds.push_back(fds[0]);
+    send_fds.push_back(fds[1]);
+  }
+  auto close_all = [&] {
+    for (int fd : send_fds) ::close(fd);
+    for (int fd : recv_fds) ::close(fd);
+  };
+
+  crac::WallTimer t;
+  crac::Status ship_status = crac::OkStatus();
+  std::thread shipper([&] {
+    std::unique_ptr<Sink> sink;
+    if (sockets > 1) {
+      auto s = ShardedSocketSink::open(send_fds);
+      if (!s.ok()) {
+        ship_status = s.status();
+        return;
+      }
+      sink = std::move(*s);
+    } else {
+      sink = std::make_unique<SocketSink>(send_fds[0], "bench multi-socket");
+    }
+    ImageWriter::Options opts;
+    opts.codec = Codec::kLz;
+    opts.pool = send_pool;
+    ImageWriter writer(sink.get(), opts);
+    ship_status = [&]() -> crac::Status {
+      CRAC_RETURN_IF_ERROR(
+          writer.begin_section(SectionType::kDeviceBuffers, "synthetic"));
+      CRAC_RETURN_IF_ERROR(writer.append(payload.data(), payload.size()));
+      CRAC_RETURN_IF_ERROR(writer.end_section());
+      CRAC_RETURN_IF_ERROR(writer.finish());
+      return sink->close();
+    }();
+  });
+
+  double mbs = -1;
+  {
+    std::unique_ptr<Source> src;
+    if (sockets > 1) {
+      auto s = ShardedSpoolSource::start(recv_fds);
+      if (s.ok()) src = std::move(*s);
+    } else {
+      auto s = StreamingSpoolSource::start(recv_fds[0]);
+      if (s.ok()) src = std::move(*s);
+    }
+    if (src != nullptr) {
+      ImageReader::Options ropts;
+      ropts.pool = recv_pool;
+      auto reader = ImageReader::open(std::move(src), ropts);
+      if (reader.ok()) {
+        auto sec = reader->section_at(0);
+        if (sec.ok() && *sec != nullptr) {
+          auto stream = reader->open_section(**sec);
+          if (stream.ok()) {
+            std::vector<std::byte> slice(1 << 20);
+            std::uint64_t total = 0;
+            bool ok = true;
+            for (;;) {
+              auto got = stream->read_some(slice.data(), slice.size());
+              if (!got.ok()) {
+                ok = false;
+                break;
+              }
+              if (*got == 0) break;
+              total += *got;
+            }
+            if (ok && total == payload.size() &&
+                reader->verify_unread_sections().ok()) {
+              mbs = static_cast<double>(payload.size()) / (1 << 20) /
+                    t.elapsed_s();
+            }
+          }
+        }
+      }
+    }
+  }
+  shipper.join();
+  close_all();
+  if (!ship_status.ok()) {
+    std::fprintf(stderr, "multi-socket ship failed (%zu sockets): %s\n",
+                 sockets, ship_status.to_string().c_str());
+    return -1;
+  }
+  return mbs;
+}
+
+void run_multi_socket_sweep(BenchJson& json) {
+  using namespace crac;
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_CKPT_MB", quick() ? 8 : 64));
+  const std::size_t n = mb << 20;
+  std::printf("\nmulti-socket sharded shipping, loopback (%zuMB synthetic "
+              "image; end-to-end ship+restore MB/s; 1 socket = plain "
+              "SocketSink baseline):\n",
+              mb);
+  const auto payload = synthetic_image_payload(n, 1357);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool send_pool(hw);
+  ThreadPool recv_pool(hw);
+  std::vector<std::size_t> socket_counts = {1, 2, 4};
+  if (quick()) socket_counts = {1, 2};
+  for (const std::size_t sockets : socket_counts) {
+    const double mbs =
+        multi_socket_ship_cell(payload, sockets, &send_pool, &recv_pool);
+    json.multi_socket.push_back({sockets, mbs});
+    if (mbs < 0) {
+      std::printf("  %zu socket%s      FAILED\n", sockets,
+                  sockets == 1 ? " " : "s");
+    } else {
+      std::printf("  %zu socket%s  %8.1f MB/s\n", sockets,
+                  sockets == 1 ? " " : "s", mbs);
+    }
+  }
+}
+
+// ---- zero-run codec on mostly-zero arenas ---------------------------------
+void run_zero_run_sweep(BenchJson& json) {
+  using namespace crac;
+  using crac::ckpt::Codec;
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_CKPT_MB", quick() ? 8 : 64));
+  const std::size_t n = mb << 20;
+  std::printf("\nzero-run codec on a mostly-zero arena (%zuMB, ~94%% zero "
+              "bytes; write/restore MB/s and image size):\n",
+              mb);
+  const auto payload = mostly_zero_payload(n, 8642);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const struct {
+    Codec codec;
+    const char* name;
+  } codecs[] = {{Codec::kLz, "lz"}, {Codec::kZeroRunLz, "zero-run+lz"}};
+  for (const auto& c : codecs) {
+    const SweepCell cell =
+        chunked_parallel_cell(payload, hw, 1u << 20, c.codec);
+    json.zero_run.push_back(
+        {c.name, cell.write_mbs, cell.restore_mbs, cell.image_bytes});
+    if (cell.write_mbs < 0 || cell.restore_mbs < 0) {
+      std::printf("  %-14s FAILED\n", c.name);
+    } else {
+      std::printf("  %-14s %8.1f / %-8.1f  image %s\n", c.name,
+                  cell.write_mbs, cell.restore_mbs,
+                  format_size(cell.image_bytes).c_str());
+    }
+  }
+}
+
+// ---- replay-time UVM prefetch restore -------------------------------------
+//
+// A managed-memory-heavy context: the restart's replay tail must re-apply
+// every range's residency bitmap (pool-parallel when ckpt_threads > 1,
+// inline when 1). Cells are full restart_from_image wall seconds, median of
+// reps(); the threaded row's win is bounded by how much of the restart IS
+// bitmap application, so a modest delta on a small image is expected — the
+// crac_test suite asserts byte-identity of the two paths, this shows cost.
+void run_uvm_prefetch_sweep(BenchJson& json) {
+  using namespace crac;
+  using namespace crac::bench;
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_UVM_MB", quick() ? 4 : 16));
+  constexpr std::size_t kRanges = 8;
+  const std::size_t bytes = (mb << 20) / kRanges;
+  const std::string path = "/tmp/crac_bench_uvm_prefetch.img";
+  std::printf("\nreplay-time UVM residency restore (%zu managed ranges of "
+              "%s; cells are restart seconds, median of %d):\n",
+              kRanges, format_size(bytes).c_str(), reps());
+  {
+    CracContext ctx(crac_options());
+    auto& api = ctx.api();
+    for (std::size_t r = 0; r < kRanges; ++r) {
+      void* managed = nullptr;
+      if (api.cudaMallocManaged(&managed, bytes, cuda::cudaMemAttachGlobal) !=
+          crac::cuda::cudaSuccess) {
+        std::printf("  managed alloc FAILED\n");
+        return;
+      }
+      auto* words = static_cast<std::uint32_t*>(managed);
+      for (std::size_t i = 0; i < bytes / 4; ++i) {
+        words[i] = static_cast<std::uint32_t>((r + 1) * 2654435761u + i);
+      }
+      // Distinct device-resident prefix per range so every bitmap differs.
+      const std::size_t resident = bytes * (r + 1) / (kRanges + 1);
+      if (api.cudaMemPrefetchAsync(managed, resident, 0, 0) != crac::cuda::cudaSuccess) {
+        std::printf("  prefetch FAILED\n");
+        return;
+      }
+    }
+    if (api.cudaDeviceSynchronize() != crac::cuda::cudaSuccess ||
+        !ctx.checkpoint(path).ok()) {
+      std::printf("  checkpoint FAILED\n");
+      return;
+    }
+  }
+
+  // The threaded row always gets a real pool, even on a one-core host —
+  // ckpt_threads <= 1 means "inline", which would duplicate the first row.
+  const std::size_t pool_threads =
+      std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{1}, pool_threads}) {
+    std::vector<double> times;
+    std::uint64_t pages = 0;
+    bool failed = false;
+    for (int r = 0; r < reps() && !failed; ++r) {
+      CracOptions opts = crac_options();
+      opts.ckpt_threads = threads;
+      RestartReport report;
+      auto restarted = CracContext::restart_from_image(path, opts, &report);
+      if (!restarted.ok()) {
+        std::printf("  restart FAILED: %s\n",
+                    restarted.status().to_string().c_str());
+        failed = true;
+        break;
+      }
+      times.push_back(report.total_s);
+      pages = (*restarted)->plugin().last_replay_stats().uvm_pages_restored;
+    }
+    if (failed) {
+      json.prefetch.push_back({threads, -1, 0});
       continue;
     }
-    std::printf("  %5.0f MB/s            %9.3fs %11.3fs %8.2fx\n", pace, ser,
-                ovl, ser / ovl);
+    const double median = bench::median_of(times);
+    json.prefetch.push_back({threads, median, pages});
+    std::printf("  ckpt_threads=%-2zu %9.4fs (%llu pages restored%s)\n",
+                threads, median, static_cast<unsigned long long>(pages),
+                threads > 1 ? ", pool-parallel" : ", inline");
   }
+  std::remove(path.c_str());
 }
 
 }  // namespace
@@ -610,6 +1061,7 @@ int main() {
               "restart(s)", "image", "arena-ablation", "replayed");
   std::printf("--------------------------------------------------------------------------------\n");
 
+  BenchJson json;
   Rng rng(42);
   for (workloads::Workload* w : workloads::rodinia_workloads()) {
     const auto params = scaled_params(w);
@@ -641,6 +1093,7 @@ int main() {
       if (!run.ok()) {
         std::printf("%-16s  FAILED: %s\n", w->name(),
                     run.status().to_string().c_str());
+        json.rodinia.push_back({w->name(), false, 0, 0, 0, 0, 0});
         continue;
       }
       if (!done) {
@@ -663,6 +1116,7 @@ int main() {
       if (!restored.ok()) {
         std::printf("%-16s  RESTART FAILED: %s\n", w->name(),
                     restored.status().to_string().c_str());
+        json.rodinia.push_back({w->name(), false, 0, 0, 0, 0, 0});
         continue;
       }
     }
@@ -672,6 +1126,9 @@ int main() {
                 format_size(ckpt.image_bytes).c_str(),
                 format_size(ablation).c_str(),
                 restart.replay.calls_replayed);
+    json.rodinia.push_back({w->name(), true, ckpt.total_s, restart.total_s,
+                            ckpt.image_bytes, ablation,
+                            restart.replay.calls_replayed});
     std::remove(path.c_str());
   }
   std::printf("\nshape check (paper): ckpt & restart < 1s at paper scale; "
@@ -679,7 +1136,7 @@ int main() {
               "streamcluster); image size tracks ACTIVE allocations, the "
               "arena ablation is strictly larger.\n");
 
-  run_chunked_parallel_sweep();
+  run_chunked_parallel_sweep(json);
   std::printf("\nshape check (CRACIMG2): on a multi-core runner the "
               "chunked-parallel rows should beat serial whole-buffer LZ in "
               "both directions and scale with threads; on one core they "
@@ -687,7 +1144,7 @@ int main() {
               "headers; restore additionally holds only the bounded "
               "decode-ahead window resident, never the image).\n");
 
-  run_sharded_sweep();
+  run_sharded_sweep(json);
   std::printf("\nshape check (sharded): with threads and real disks the "
               "multi-shard columns should beat the single-file column in "
               "both directions (N concurrent streams vs one fd); on one "
@@ -695,7 +1152,7 @@ int main() {
               "striping copy. Byte-identity of 1-shard vs N-shard restores "
               "is asserted in shard_test, not here.\n");
 
-  run_ship_sweep();
+  run_ship_sweep(json);
   std::printf("\nshape check (shipping): the in-memory column should track "
               "the chunked-parallel restore numbers minus socket copies; "
               "the spill column pays one extra write+read of the overflow "
@@ -703,14 +1160,51 @@ int main() {
               "the cap in both columns (asserted in remote_test, not "
               "here).\n");
 
-  run_overlap_sweep();
+  run_overlap_sweep(json);
   std::printf("\nshape check (overlap): the overlapped column should beat "
               "serialized at every pace (remote_test asserts the ordering "
               "property; this shows the magnitude). Serialized pays "
               "transfer + restore; overlapped approaches max(transfer, "
               "restore), so the speedup grows toward 1 + restore/transfer "
-              "as the sender slows. On a single-core host the overlap can "
-              "only hide the sender's pacing stalls, not compute, so slow "
-              "paces show the effect and fast paces converge to 1x.\n");
+              "as the sender slows. The 1-section rows isolate "
+              "chunk-granular decode: before it, a single giant section "
+              "pinned overlapped == serialized. On a single-core host the "
+              "overlap can only hide the sender's pacing stalls, not "
+              "compute, so slow paces show the effect and fast paces "
+              "converge to 1x.\n");
+
+  run_multi_socket_sweep(json);
+  std::printf("\nshape check (multi-socket): loopback socketpairs share one "
+              "memory bus, so N sockets should roughly match 1 socket here "
+              "(striping + reassembly overhead bounded by one copy); the "
+              "aggregation win needs real NICs. Byte-identity and "
+              "shard-death behavior are asserted in remote_test/"
+              "proxy_test.\n");
+
+  run_zero_run_sweep(json);
+  std::printf("\nshape check (zero-run): on a ~94%%-zero arena the zero-run "
+              "image should be several times smaller than plain LZ and both "
+              "directions faster (the eliding scan touches each zero byte "
+              "once; LZ window-matches them). chunk_test asserts the "
+              "codec's round-trip and hostile-input behavior.\n");
+
+  run_uvm_prefetch_sweep(json);
+  std::printf("\nshape check (uvm prefetch): the pool-parallel row should "
+              "be no slower than inline, with the gap bounded by the share "
+              "of restart spent applying residency bitmaps. crac_test "
+              "asserts the two paths restore byte-identical state.\n");
+
+  const char* json_path = std::getenv("CRAC_BENCH_JSON");
+  const std::string out_path =
+      json_path != nullptr ? json_path : "BENCH_fig3.json";
+  const std::string doc = json.emit();
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\nmachine-readable results: %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
   return 0;
 }

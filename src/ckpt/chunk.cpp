@@ -8,6 +8,27 @@
 
 namespace crac::ckpt {
 
+namespace {
+
+// Post-parse codec fixup shared by both read_chunk_frame overloads: v2
+// frames synthesize the codec (verbatim chunks are kStore, everything else
+// is the image codec); v3 frames carry it and unknown ids are rejected by
+// name before any decode can misinterpret the stored bytes.
+Status resolve_frame_codec(ChunkFrame& frame, ChunkFraming framing,
+                           Codec implied_codec) {
+  if (framing == ChunkFraming::kV2) {
+    frame.codec = static_cast<std::uint32_t>(
+        frame.stored_size == frame.raw_size ? Codec::kStore : implied_codec);
+    return OkStatus();
+  }
+  if (!codec_known(frame.codec)) {
+    return Corrupt("unknown chunk codec id " + std::to_string(frame.codec));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 EncodedChunk encode_chunk(std::vector<std::byte> raw, Codec codec) {
   EncodedChunk out;
   out.frame.raw_size = raw.size();
@@ -16,46 +37,65 @@ EncodedChunk encode_chunk(std::vector<std::byte> raw, Codec codec) {
     std::vector<std::byte> packed = compress(raw, codec);
     if (packed.size() < raw.size()) {
       out.frame.stored_size = packed.size();
+      out.frame.codec = static_cast<std::uint32_t>(codec);
       out.stored = std::move(packed);
       return out;
     }
   }
   out.frame.stored_size = raw.size();
+  out.frame.codec = static_cast<std::uint32_t>(Codec::kStore);
   out.stored = std::move(raw);
   return out;
 }
 
-Status write_chunk(Sink& sink, const EncodedChunk& chunk) {
-  std::byte header[kChunkFrameHeaderBytes];
+Status write_chunk(Sink& sink, const EncodedChunk& chunk,
+                   ChunkFraming framing) {
+  std::byte header[kChunkFrameHeaderBytesV3];
   std::memcpy(header, &chunk.frame.raw_size, 8);
   std::memcpy(header + 8, &chunk.frame.stored_size, 8);
-  std::memcpy(header + 16, &chunk.frame.crc, 4);
-  CRAC_RETURN_IF_ERROR(sink.write(header, sizeof(header)));
+  std::size_t at = 16;
+  if (framing == ChunkFraming::kV3) {
+    std::memcpy(header + at, &chunk.frame.codec, 4);
+    at += 4;
+  }
+  std::memcpy(header + at, &chunk.frame.crc, 4);
+  CRAC_RETURN_IF_ERROR(sink.write(header, at + 4));
   return sink.write(chunk.stored.data(), chunk.stored.size());
 }
 
-Status write_chunk_terminator(Sink& sink) {
-  const std::byte zeros[kChunkFrameHeaderBytes] = {};
-  return sink.write(zeros, sizeof(zeros));
+Status write_chunk_terminator(Sink& sink, ChunkFraming framing) {
+  const std::byte zeros[kChunkFrameHeaderBytesV3] = {};
+  return sink.write(zeros, frame_header_bytes(framing));
 }
 
-Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame) {
+Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame,
+                        ChunkFraming framing, Codec implied_codec) {
   CRAC_RETURN_IF_ERROR(reader.get_u64(frame.raw_size));
   CRAC_RETURN_IF_ERROR(reader.get_u64(frame.stored_size));
-  return reader.get_u32(frame.crc);
+  if (framing == ChunkFraming::kV3) {
+    CRAC_RETURN_IF_ERROR(reader.get_u32(frame.codec));
+  }
+  CRAC_RETURN_IF_ERROR(reader.get_u32(frame.crc));
+  return resolve_frame_codec(frame, framing, implied_codec);
 }
 
-Status read_chunk_frame(Source& source, ChunkFrame& frame) {
-  std::byte header[kChunkFrameHeaderBytes];
-  CRAC_RETURN_IF_ERROR(source.read(header, sizeof(header)));
+Status read_chunk_frame(Source& source, ChunkFrame& frame,
+                        ChunkFraming framing, Codec implied_codec) {
+  std::byte header[kChunkFrameHeaderBytesV3];
+  CRAC_RETURN_IF_ERROR(source.read(header, frame_header_bytes(framing)));
   std::memcpy(&frame.raw_size, header, 8);
   std::memcpy(&frame.stored_size, header + 8, 8);
-  std::memcpy(&frame.crc, header + 16, 4);
-  return OkStatus();
+  std::size_t at = 16;
+  if (framing == ChunkFraming::kV3) {
+    std::memcpy(&frame.codec, header + at, 4);
+    at += 4;
+  }
+  std::memcpy(&frame.crc, header + at, 4);
+  return resolve_frame_codec(frame, framing, implied_codec);
 }
 
 Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
-                           Codec codec, std::vector<std::byte>& out) {
+                           std::vector<std::byte>& out) {
   if (frame.stored_size == frame.raw_size) {
     // Stored verbatim; CRC is still checked below via a direct pass.
     const std::uint32_t actual = crc32(stored, frame.raw_size);
@@ -63,7 +103,8 @@ Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
     out.insert(out.end(), stored, stored + frame.raw_size);
     return OkStatus();
   }
-  auto raw = decompress(stored, frame.stored_size, codec, frame.raw_size);
+  auto raw = decompress(stored, frame.stored_size,
+                        static_cast<Codec>(frame.codec), frame.raw_size);
   if (!raw.ok()) return raw.status();
   const std::uint32_t actual = crc32(raw->data(), raw->size());
   if (actual != frame.crc) return Corrupt("chunk CRC mismatch");
@@ -72,11 +113,12 @@ Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
 }
 
 ChunkPipeline::ChunkPipeline(Sink* sink, Codec codec, std::size_t chunk_size,
-                             ThreadPool* pool)
+                             ThreadPool* pool, ChunkFraming framing)
     : sink_(sink),
       codec_(codec),
       chunk_size_(chunk_size > 0 ? chunk_size : kDefaultChunkSize),
       pool_(pool),
+      framing_(framing),
       max_in_flight_(pool != nullptr ? 2 * pool->size() + 1 : 1) {
   pending_.reserve(chunk_size_);
 }
@@ -123,13 +165,13 @@ Status ChunkPipeline::finish() {
     error_ = retire_oldest();
     if (!error_.ok()) return error_;
   }
-  error_ = write_chunk_terminator(*sink_);
+  error_ = write_chunk_terminator(*sink_, framing_);
   return error_;
 }
 
 Status ChunkPipeline::dispatch(std::vector<std::byte> raw) {
   if (pool_ == nullptr) {
-    return write_chunk(*sink_, encode_chunk(std::move(raw), codec_));
+    return write_chunk(*sink_, encode_chunk(std::move(raw), codec_), framing_);
   }
   while (in_flight_.size() >= max_in_flight_) {
     CRAC_RETURN_IF_ERROR(retire_oldest());
@@ -146,23 +188,25 @@ Status ChunkPipeline::dispatch(std::vector<std::byte> raw) {
 Status ChunkPipeline::retire_oldest() {
   EncodedChunk chunk = in_flight_.front().get();
   in_flight_.pop_front();
-  return write_chunk(*sink_, chunk);
+  return write_chunk(*sink_, chunk, framing_);
 }
 
 DecodedChunk decode_chunk(const ChunkFrame& frame,
-                          std::vector<std::byte> stored, Codec codec) {
+                          std::vector<std::byte> stored,
+                          std::vector<std::byte> scratch) {
   DecodedChunk out;
   if (frame.stored_size == frame.raw_size) {
     // Stored verbatim — the buffer already is the raw chunk.
     out.raw = std::move(stored);
+    out.spare = std::move(scratch);
   } else {
-    auto raw = decompress(stored.data(), stored.size(), codec,
-                          static_cast<std::size_t>(frame.raw_size));
-    if (!raw.ok()) {
-      out.status = raw.status();
-      return out;
-    }
-    out.raw = std::move(*raw);
+    out.status = decompress_into(stored.data(), stored.size(),
+                                 static_cast<Codec>(frame.codec),
+                                 static_cast<std::size_t>(frame.raw_size),
+                                 scratch);
+    if (!out.status.ok()) return out;
+    out.raw = std::move(scratch);
+    out.spare = std::move(stored);
   }
   const std::uint32_t actual = crc32(out.raw.data(), out.raw.size());
   if (actual != frame.crc) {
@@ -173,11 +217,13 @@ DecodedChunk decode_chunk(const ChunkFrame& frame,
 }
 
 ChunkUnpipeline::ChunkUnpipeline(Source* source, Codec codec,
-                                 std::size_t chunk_size, ThreadPool* pool)
+                                 std::size_t chunk_size, ThreadPool* pool,
+                                 ChunkFraming framing)
     : source_(source),
       codec_(codec),
       chunk_size_(chunk_size > 0 ? chunk_size : kDefaultChunkSize),
       pool_(pool),
+      framing_(framing),
       max_in_flight_(pool != nullptr ? 2 * pool->size() + 1 : 1) {}
 
 ChunkUnpipeline::~ChunkUnpipeline() {
@@ -189,10 +235,33 @@ ChunkUnpipeline::~ChunkUnpipeline() {
   }
 }
 
+std::vector<std::byte> ChunkUnpipeline::take_buffer() {
+  if (!free_buffers_.empty()) {
+    std::vector<std::byte> buf = std::move(free_buffers_.back());
+    free_buffers_.pop_back();
+    buf.clear();
+    return buf;
+  }
+  // Pool miss: one fresh buffer, sized for any chunk this image may carry
+  // so later resizes within the frame gates never reallocate.
+  ++buffer_allocs_;
+  std::vector<std::byte> buf;
+  buf.reserve(chunk_size_);
+  return buf;
+}
+
+void ChunkUnpipeline::recycle_buffer(std::vector<std::byte>&& buf) {
+  if (buf.capacity() == 0) return;
+  // Bound the pool: in-flight chunks hold at most two buffers each, plus
+  // the consumer's round-tripping one — anything beyond that is hoarding.
+  if (free_buffers_.size() >= 2 * max_in_flight_ + 2) return;
+  free_buffers_.push_back(std::move(buf));
+}
+
 Status ChunkUnpipeline::fill() {
   while (!terminator_seen_ && in_flight_.size() < max_in_flight_) {
     ChunkFrame frame;
-    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
+    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame, framing_, codec_));
     if (frame.raw_size == 0 && frame.stored_size == 0) {
       terminator_seen_ = true;
       return OkStatus();
@@ -207,22 +276,28 @@ Status ChunkUnpipeline::fill() {
       return Corrupt("chunk #" + std::to_string(next_index_) +
                      " stored size exceeds raw size");
     }
-    std::vector<std::byte> stored(static_cast<std::size_t>(frame.stored_size));
+    std::vector<std::byte> stored = take_buffer();
+    stored.resize(static_cast<std::size_t>(frame.stored_size));
     CRAC_RETURN_IF_ERROR(source_->read(stored.data(), stored.size()));
+    // A compressed chunk needs a second buffer for the decompressed bytes;
+    // a verbatim chunk decodes in place, so don't burn pool capacity on it.
+    std::vector<std::byte> scratch;
+    if (frame.stored_size != frame.raw_size) scratch = take_buffer();
     const std::uint64_t charge = frame.stored_size + frame.raw_size;
     buffered_bytes_ += charge;
     peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
     if (pool_ != nullptr) {
       auto task = [frame, stored = std::move(stored),
-                   codec = codec_]() mutable {
-        return decode_chunk(frame, std::move(stored), codec);
+                   scratch = std::move(scratch)]() mutable {
+        return decode_chunk(frame, std::move(stored), std::move(scratch));
       };
       in_flight_.emplace_back(pool_->submit_task(std::move(task)), charge);
     } else {
       // Inline decode still flows through the deque so next() has one
       // retirement path; the "future" is already satisfied.
       std::promise<DecodedChunk> done;
-      done.set_value(decode_chunk(frame, std::move(stored), codec_));
+      done.set_value(
+          decode_chunk(frame, std::move(stored), std::move(scratch)));
       in_flight_.emplace_back(done.get_future(), charge);
     }
     ++next_index_;
@@ -231,7 +306,11 @@ Status ChunkUnpipeline::fill() {
 }
 
 Status ChunkUnpipeline::next(std::vector<std::byte>& out, bool& end) {
-  out.clear();
+  // Reclaim whatever capacity the consumer handed back before overwriting
+  // it — with a single reused vector on the consumer side, the buffer set
+  // reaches a fixed point and decode stops allocating per chunk.
+  recycle_buffer(std::move(out));
+  out = std::vector<std::byte>();
   end = false;
   if (!error_.ok()) return error_;
   error_ = fill();
@@ -243,6 +322,7 @@ Status ChunkUnpipeline::next(std::vector<std::byte>& out, bool& end) {
   DecodedChunk chunk = in_flight_.front().first.get();
   buffered_bytes_ -= in_flight_.front().second;
   in_flight_.pop_front();
+  recycle_buffer(std::move(chunk.spare));
   if (!chunk.status.ok()) {
     error_ = Status(chunk.status.code(),
                     "chunk #" + std::to_string(retired_index_) + ": " +

@@ -1,13 +1,19 @@
 // Chunked section payloads for CRACIMG2.
 //
-// A v2 section's payload is split into fixed-size chunks; each chunk is
-// compressed and CRC32'd independently, then framed as
+// A section's payload is split into fixed-size chunks; each chunk is
+// compressed and CRC32'd independently, then framed. Two frame layouts
+// exist (see docs/image_format.md):
 //
-//   [u64 raw_size][u64 stored_size][u32 crc32(raw)][stored bytes]
+//   v2: [u64 raw_size][u64 stored_size][u32 crc32(raw)][stored bytes]
+//   v3: [u64 raw_size][u64 stored_size][u32 codec][u32 crc32(raw)][stored]
 //
 // with stored_size == raw_size meaning the chunk is stored uncompressed
-// (either the image codec is kStore or compression failed to shrink this
-// chunk). A frame with raw_size == 0 terminates the section's chunk list.
+// (either the effective codec is kStore or compression failed to shrink
+// this chunk). v3 adds a per-chunk codec id so codecs beyond the original
+// two (e.g. Codec::kZeroRunLz) can be introduced without ambushing old
+// readers: images holding any such chunk carry header version 3, which a
+// v2-only reader rejects by name instead of misdecoding. A frame with
+// raw_size == 0 and stored_size == 0 terminates the section's chunk list.
 //
 // Independence of chunks is the point: ChunkPipeline fans chunk encoding
 // out over a crac::ThreadPool and streams completed frames, in order, to a
@@ -38,10 +44,28 @@ inline constexpr std::size_t kDefaultChunkSize = std::size_t{1} << 20;
 // the per-chunk allocation a hostile header can demand.
 inline constexpr std::size_t kMaxChunkSize = std::size_t{1} << 30;
 inline constexpr std::size_t kChunkFrameHeaderBytes = 8 + 8 + 4;
+inline constexpr std::size_t kChunkFrameHeaderBytesV3 = 8 + 8 + 4 + 4;
+
+// Which frame layout a section's chunks use. Writers pick kV3 only when a
+// codec beyond kLz is selected, so every pre-existing image stays
+// byte-identical (the format-freeze guarantee the golden fixtures pin).
+enum class ChunkFraming : std::uint8_t {
+  kV2,  // 20-byte header, codec implied by the image header
+  kV3,  // 24-byte header with an explicit per-chunk codec id
+};
+
+inline constexpr std::size_t frame_header_bytes(ChunkFraming f) noexcept {
+  return f == ChunkFraming::kV3 ? kChunkFrameHeaderBytesV3
+                                : kChunkFrameHeaderBytes;
+}
 
 struct ChunkFrame {
   std::uint64_t raw_size = 0;
   std::uint64_t stored_size = 0;  // == raw_size: payload stored verbatim
+  // Codec the stored bytes were produced with. Serialized only by v3
+  // frames; v2 readers fill it in from the image header (kStore for
+  // verbatim chunks) so decode paths are layout-agnostic.
+  std::uint32_t codec = 0;
   std::uint32_t crc = 0;          // over the raw (decompressed) bytes
 };
 
@@ -52,34 +76,51 @@ struct EncodedChunk {
 };
 
 // Compresses (per `codec`, with a store fallback when compression does not
-// shrink) and CRC32s one chunk. Pure function — safe to run concurrently.
+// shrink) and CRC32s one chunk; the frame's codec field records what the
+// stored bytes actually are (kStore on fallback). Pure function — safe to
+// run concurrently.
 EncodedChunk encode_chunk(std::vector<std::byte> raw, Codec codec);
 
 // Appends one framed chunk / the section terminator frame to `sink`.
-Status write_chunk(Sink& sink, const EncodedChunk& chunk);
-Status write_chunk_terminator(Sink& sink);
+Status write_chunk(Sink& sink, const EncodedChunk& chunk,
+                   ChunkFraming framing = ChunkFraming::kV2);
+Status write_chunk_terminator(Sink& sink,
+                              ChunkFraming framing = ChunkFraming::kV2);
 
-// Reads one frame header; the payload view follows in the reader.
-Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame);
+// Reads one frame header; the payload view follows in the reader. For v2
+// frames the codec field is synthesized from `implied_codec` (kStore for
+// verbatim chunks) so downstream decode never cares about the layout.
+// Rejects unknown codec ids in v3 frames with a named error.
+Status read_chunk_frame(ByteReader& reader, ChunkFrame& frame,
+                        ChunkFraming framing = ChunkFraming::kV2,
+                        Codec implied_codec = Codec::kStore);
 // Same, off a Source (the payload bytes follow at the cursor).
-Status read_chunk_frame(Source& source, ChunkFrame& frame);
+Status read_chunk_frame(Source& source, ChunkFrame& frame,
+                        ChunkFraming framing = ChunkFraming::kV2,
+                        Codec implied_codec = Codec::kStore);
 
-// Decodes one chunk (decompressing per `codec` when stored_size differs
-// from raw_size), verifies its CRC, and appends the raw bytes to `out`.
+// Decodes one chunk (decompressing per the frame's codec when stored_size
+// differs from raw_size), verifies its CRC, and appends the raw bytes to
+// `out`.
 Status decode_chunk_append(const ChunkFrame& frame, const std::byte* stored,
-                           Codec codec, std::vector<std::byte>& out);
+                           std::vector<std::byte>& out);
 
 // One decoded chunk, or the first error its decode hit. Pure-function
-// result type so decode can run on any worker thread.
+// result type so decode can run on any worker thread. `spare` is whichever
+// input buffer the decode did not hand back as `raw` — the unpipeline
+// recycles it so steady-state decode performs no per-chunk allocation.
 struct DecodedChunk {
   Status status;
   std::vector<std::byte> raw;
+  std::vector<std::byte> spare;
 };
 
 // Decompresses and CRC-checks one stored chunk. Pure function — safe to run
-// concurrently (the unpipeline's pool task).
+// concurrently (the unpipeline's pool task). `scratch` donates capacity for
+// the decompressed output (pass {} when recycling is not worth it).
 DecodedChunk decode_chunk(const ChunkFrame& frame,
-                          std::vector<std::byte> stored, Codec codec);
+                          std::vector<std::byte> stored,
+                          std::vector<std::byte> scratch = {});
 
 // Streams one section's payload through chunk encoding into a sink.
 //
@@ -92,7 +133,7 @@ DecodedChunk decode_chunk(const ChunkFrame& frame,
 class ChunkPipeline {
  public:
   ChunkPipeline(Sink* sink, Codec codec, std::size_t chunk_size,
-                ThreadPool* pool);
+                ThreadPool* pool, ChunkFraming framing = ChunkFraming::kV2);
   ~ChunkPipeline();
 
   ChunkPipeline(const ChunkPipeline&) = delete;
@@ -111,6 +152,7 @@ class ChunkPipeline {
   Codec codec_;
   std::size_t chunk_size_;
   ThreadPool* pool_;
+  ChunkFraming framing_;
   std::size_t max_in_flight_;
   std::deque<std::future<EncodedChunk>> in_flight_;
   std::vector<std::byte> pending_;
@@ -135,7 +177,7 @@ class ChunkUnpipeline {
   // The source cursor must sit on the section's first chunk frame. The
   // source and pool must outlive the unpipeline.
   ChunkUnpipeline(Source* source, Codec codec, std::size_t chunk_size,
-                  ThreadPool* pool);
+                  ThreadPool* pool, ChunkFraming framing = ChunkFraming::kV2);
   ~ChunkUnpipeline();
 
   ChunkUnpipeline(const ChunkUnpipeline&) = delete;
@@ -144,7 +186,9 @@ class ChunkUnpipeline {
   // Retrieves the next decoded chunk into `out`. Once the terminator frame
   // has been consumed, returns OK with `end` set and `out` empty; the
   // source cursor then sits just past the terminator. Errors are sticky and
-  // name the failing chunk index.
+  // name the failing chunk index. Any capacity the caller passes in via
+  // `out` is recycled into the buffer pool (steady-state consumers that
+  // reuse one vector make the decode loop allocation-free).
   Status next(std::vector<std::byte>& out, bool& end);
 
   std::uint64_t raw_bytes() const noexcept { return raw_bytes_; }
@@ -152,23 +196,33 @@ class ChunkUnpipeline {
   // of every in-flight chunk) — what the bounded-window tests check.
   std::uint64_t buffered_peak_bytes() const noexcept { return peak_bytes_; }
   std::size_t window() const noexcept { return max_in_flight_; }
+  // Fresh byte-buffer allocations (buffer-pool misses). Bounded by the
+  // in-flight window — not the chunk count — once the pool is warm; the
+  // steady-state no-per-chunk-allocation property restore_test asserts.
+  std::uint64_t buffer_allocs() const noexcept { return buffer_allocs_; }
 
  private:
   Status fill();  // read + dispatch frames until the window is full
+  std::vector<std::byte> take_buffer();
+  void recycle_buffer(std::vector<std::byte>&& buf);
 
   Source* source_;
   Codec codec_;
   std::size_t chunk_size_;
   ThreadPool* pool_;
+  ChunkFraming framing_;
   std::size_t max_in_flight_;
   // Each in-flight entry pairs the decode future with its buffered-bytes
   // charge (stored + raw), released when the chunk is handed out.
   std::deque<std::pair<std::future<DecodedChunk>, std::uint64_t>> in_flight_;
+  // Retired buffer capacity awaiting reuse (consumer thread only).
+  std::vector<std::vector<std::byte>> free_buffers_;
   std::size_t next_index_ = 0;     // frames dispatched
   std::size_t retired_index_ = 0;  // chunks handed to the consumer
   std::uint64_t raw_bytes_ = 0;
   std::uint64_t buffered_bytes_ = 0;
   std::uint64_t peak_bytes_ = 0;
+  std::uint64_t buffer_allocs_ = 0;
   bool terminator_seen_ = false;
   Status error_;  // sticky: first failure poisons the section
 };

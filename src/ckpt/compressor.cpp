@@ -1,6 +1,8 @@
 #include "ckpt/compressor.hpp"
 
 #include <cstring>
+#include <limits>
+#include <string>
 
 namespace crac::ckpt {
 
@@ -90,9 +92,8 @@ std::vector<std::byte> lz_compress(const std::vector<std::byte>& in) {
   return out;
 }
 
-Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
-                                             std::size_t in_size,
-                                             std::size_t raw_size) {
+Status lz_decompress_into(const std::byte* in, std::size_t in_size,
+                          std::size_t raw_size, std::vector<std::byte>& out) {
   // A match token is 3 bytes and expands to at most kMaxMatch bytes, so no
   // valid stream expands beyond kMaxMatch/3 per input byte. Reject larger
   // claims before reserving, so a tiny hostile header cannot demand an
@@ -100,7 +101,7 @@ Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
   if (raw_size > (in_size + 1) * ((kMaxMatch + 2) / 3)) {
     return Corrupt("ckptz: declared raw size exceeds maximum expansion");
   }
-  std::vector<std::byte> out;
+  out.clear();
   out.reserve(raw_size);
   std::size_t pos = 0;
   while (pos < in_size) {
@@ -137,10 +138,161 @@ Result<std::vector<std::byte>> lz_decompress(const std::byte* in,
   if (out.size() != raw_size) {
     return Corrupt("ckptz: decompressed size mismatch");
   }
+  return OkStatus();
+}
+
+// ---- zero-run elision (stage 1 of Codec::kZeroRunLz) ----
+//
+// Token stream: alternating LEB128 varint pairs (zero_count, literal_count),
+// each pair followed by literal_count literal bytes. Zero runs shorter than
+// kMinZeroRun ride inside literal runs so isolated zero bytes don't pay two
+// varints each.
+
+constexpr std::size_t kMinZeroRun = 8;
+// Stage-2 header: [u8 inner_codec][u64 LE residual_size].
+constexpr std::size_t kZeroRunStageHeader = 9;
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+Status get_varint(const std::byte* in, std::size_t in_size, std::size_t& pos,
+                  std::uint64_t& value) {
+  value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= in_size) return Corrupt("zero-run: truncated varint");
+    const auto b = static_cast<std::uint8_t>(in[pos++]);
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return OkStatus();
+  }
+  return Corrupt("zero-run: varint overflow");
+}
+
+std::vector<std::byte> zero_run_elide(const std::vector<std::byte>& in) {
+  std::vector<std::byte> tokens;
+  tokens.reserve(in.size() / 8 + 16);
+  const std::size_t n = in.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t z = pos;
+    while (z < n && in[z] == std::byte{0}) ++z;
+    const std::uint64_t zeros = z - pos;
+    pos = z;
+    // Literal run: extends until a zero run of at least kMinZeroRun begins
+    // (trailing shorter runs fold into the literals).
+    std::size_t scan = pos;
+    while (scan < n) {
+      if (in[scan] != std::byte{0}) {
+        ++scan;
+        continue;
+      }
+      std::size_t ze = scan;
+      while (ze < n && in[ze] == std::byte{0}) ++ze;
+      if (ze - scan >= kMinZeroRun) break;
+      scan = ze;
+    }
+    put_varint(tokens, zeros);
+    put_varint(tokens, scan - pos);
+    tokens.insert(tokens.end(), in.begin() + static_cast<std::ptrdiff_t>(pos),
+                  in.begin() + static_cast<std::ptrdiff_t>(scan));
+    pos = scan;
+  }
+  return tokens;
+}
+
+Status zero_run_expand(const std::byte* tokens, std::size_t token_size,
+                       std::size_t raw_size, std::vector<std::byte>& out) {
+  out.clear();
+  out.reserve(raw_size);
+  std::size_t pos = 0;
+  while (pos < token_size) {
+    std::uint64_t zeros = 0;
+    std::uint64_t lits = 0;
+    CRAC_RETURN_IF_ERROR(get_varint(tokens, token_size, pos, zeros));
+    CRAC_RETURN_IF_ERROR(get_varint(tokens, token_size, pos, lits));
+    // out.size() <= raw_size is the loop invariant, so the subtractions
+    // cannot wrap; every growth step is bounded by the declared raw size.
+    if (zeros > raw_size - out.size()) {
+      return Corrupt("zero-run: zero run overruns declared raw size");
+    }
+    out.resize(out.size() + static_cast<std::size_t>(zeros));  // zero-fills
+    if (lits > token_size - pos) {
+      return Corrupt("zero-run: literal run overruns input");
+    }
+    if (lits > raw_size - out.size()) {
+      return Corrupt("zero-run: literal run overruns declared raw size");
+    }
+    out.insert(out.end(), tokens + pos,
+               tokens + pos + static_cast<std::size_t>(lits));
+    pos += static_cast<std::size_t>(lits);
+  }
+  if (out.size() != raw_size) {
+    return Corrupt("zero-run: decompressed size mismatch");
+  }
+  return OkStatus();
+}
+
+std::vector<std::byte> zero_run_compress(const std::vector<std::byte>& in) {
+  const std::vector<std::byte> tokens = zero_run_elide(in);
+  std::vector<std::byte> packed = lz_compress(tokens);
+  const bool use_lz = packed.size() < tokens.size();
+  const std::vector<std::byte>& payload = use_lz ? packed : tokens;
+  std::vector<std::byte> out;
+  out.reserve(kZeroRunStageHeader + payload.size());
+  out.push_back(static_cast<std::byte>(use_lz ? Codec::kLz : Codec::kStore));
+  const std::uint64_t residual = tokens.size();
+  for (unsigned k = 0; k < 8; ++k) {
+    out.push_back(static_cast<std::byte>((residual >> (8 * k)) & 0xFF));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
 
+Status zero_run_decompress_into(const std::byte* in, std::size_t in_size,
+                                std::size_t raw_size,
+                                std::vector<std::byte>& out) {
+  if (in_size < kZeroRunStageHeader) {
+    return Corrupt("zero-run: truncated stage header");
+  }
+  const auto inner = static_cast<std::uint8_t>(in[0]);
+  std::uint64_t residual = 0;
+  for (unsigned k = 0; k < 8; ++k) {
+    residual |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[1 + k]))
+                << (8 * k);
+  }
+  const std::byte* payload = in + kZeroRunStageHeader;
+  const std::size_t payload_size = in_size - kZeroRunStageHeader;
+  if (inner == static_cast<std::uint8_t>(Codec::kStore)) {
+    if (residual != payload_size) {
+      return Corrupt("zero-run: stored residual size mismatch");
+    }
+    return zero_run_expand(payload, payload_size, raw_size, out);
+  }
+  if (inner != static_cast<std::uint8_t>(Codec::kLz)) {
+    return Corrupt("zero-run: unknown inner codec id " +
+                   std::to_string(inner));
+  }
+  if (residual > max_decoded_size(Codec::kLz, payload_size)) {
+    return Corrupt("zero-run: residual size exceeds maximum expansion");
+  }
+  // Per-worker pooled residual scratch (the decode-side twin of the
+  // lz_compress hash-table pooling): steady-state decode of a stream of
+  // zero-run chunks performs no per-chunk allocation here.
+  thread_local std::vector<std::byte> scratch;
+  CRAC_RETURN_IF_ERROR(lz_decompress_into(
+      payload, payload_size, static_cast<std::size_t>(residual), scratch));
+  return zero_run_expand(scratch.data(), scratch.size(), raw_size, out);
+}
+
 }  // namespace
+
+bool codec_known(std::uint32_t id) noexcept {
+  return id <= static_cast<std::uint32_t>(Codec::kZeroRunLz);
+}
 
 std::size_t max_decoded_size(Codec codec, std::size_t stored_size) {
   switch (codec) {
@@ -148,8 +300,12 @@ std::size_t max_decoded_size(Codec codec, std::size_t stored_size) {
     // Mirror of lz_decompress's pre-reserve gate: a match token is 3 bytes
     // and expands to at most kMaxMatch bytes.
     case Codec::kLz: return (stored_size + 1) * ((kMaxMatch + 2) / 3);
+    // A handful of varint bytes can legally encode an arbitrarily long zero
+    // run — expansion is unbounded, so callers must gate raw_size against
+    // the chunk size instead.
+    case Codec::kZeroRunLz: return std::numeric_limits<std::size_t>::max();
   }
-  return stored_size;
+  return 0;
 }
 
 std::vector<std::byte> compress(const std::vector<std::byte>& input,
@@ -157,21 +313,37 @@ std::vector<std::byte> compress(const std::vector<std::byte>& input,
   switch (codec) {
     case Codec::kStore: return input;
     case Codec::kLz: return lz_compress(input);
+    case Codec::kZeroRunLz: return zero_run_compress(input);
   }
   return input;
+}
+
+Status decompress_into(const std::byte* input, std::size_t input_size,
+                       Codec codec, std::size_t raw_size,
+                       std::vector<std::byte>& out) {
+  switch (codec) {
+    case Codec::kStore: {
+      if (input_size != raw_size) return Corrupt("stored size mismatch");
+      out.clear();
+      out.insert(out.end(), input, input + input_size);
+      return OkStatus();
+    }
+    case Codec::kLz:
+      return lz_decompress_into(input, input_size, raw_size, out);
+    case Codec::kZeroRunLz:
+      return zero_run_decompress_into(input, input_size, raw_size, out);
+  }
+  return Corrupt("unknown codec id " +
+                 std::to_string(static_cast<unsigned>(codec)));
 }
 
 Result<std::vector<std::byte>> decompress(const std::byte* input,
                                           std::size_t input_size, Codec codec,
                                           std::size_t raw_size) {
-  switch (codec) {
-    case Codec::kStore: {
-      if (input_size != raw_size) return Corrupt("stored size mismatch");
-      return std::vector<std::byte>(input, input + input_size);
-    }
-    case Codec::kLz: return lz_decompress(input, input_size, raw_size);
-  }
-  return Corrupt("unknown codec");
+  std::vector<std::byte> out;
+  CRAC_RETURN_IF_ERROR(decompress_into(input, input_size, codec, raw_size,
+                                       out));
+  return out;
 }
 
 }  // namespace crac::ckpt

@@ -1,11 +1,12 @@
-// Self-contained block compressor for checkpoint images ("ckptz").
+// Self-contained block compressors for checkpoint images ("ckptz").
 //
 // DMTCP pipes checkpoints through gzip by default; the paper's experiments
 // disable that (Figure 3) because CPU compression often dominates checkpoint
 // time for GPU-sized images. We provide the same choice: a byte-oriented
 // LZ77 codec (hash-chained matches, 64 KiB window) that is deterministic,
 // dependency-free, and fast enough to be a realistic "gzip on" stand-in for
-// the ablation benchmarks.
+// the ablation benchmarks — plus a zero-run front end (codec 2) for the
+// mostly-zero arenas a freshly started GPU job checkpoints.
 #pragma once
 
 #include <cstddef>
@@ -17,25 +18,49 @@
 namespace crac::ckpt {
 
 enum class Codec : std::uint8_t {
-  kStore = 0,  // no compression (the paper's configuration)
-  kLz = 1,     // ckptz LZ77
+  kStore = 0,      // no compression (the paper's configuration)
+  kLz = 1,         // ckptz LZ77
+  // Zero-run elision in front of LZ: stage 1 strips runs of zero bytes into
+  // a (zero_count, literal_count) varint token stream, stage 2 runs ckptz
+  // (or store, whichever is smaller) over the residual. Chunks written with
+  // this codec need a per-chunk codec id, so the image writer emits the v3
+  // chunk-frame layout when it is selected (see docs/image_format.md).
+  kZeroRunLz = 2,
 };
 
-// Compresses `input` with the requested codec. The output embeds no header;
-// callers (the image writer) record codec and raw size themselves.
+// True for every codec id this build can decode. Readers route unknown ids
+// to a named error instead of misdecoding.
+bool codec_known(std::uint32_t id) noexcept;
+
+// Compresses `input` with the requested codec. The output embeds no
+// container header; callers (the image writer) record codec and raw size
+// themselves. (kZeroRunLz does embed its own 9-byte stage header: inner
+// codec + residual size.)
 std::vector<std::byte> compress(const std::vector<std::byte>& input,
                                 Codec codec);
 
 // Decompresses `input` produced by compress() with `codec`; `raw_size` is
-// the expected decompressed size (from the section header).
+// the expected decompressed size (from the chunk/section header).
 Result<std::vector<std::byte>> decompress(const std::byte* input,
                                           std::size_t input_size, Codec codec,
                                           std::size_t raw_size);
+
+// Same, but reuses `out`'s existing capacity (cleared, then filled to
+// exactly `raw_size` bytes on success). The decode pipeline's steady-state
+// path: no per-chunk allocation once the recycled buffer has grown to chunk
+// size.
+Status decompress_into(const std::byte* input, std::size_t input_size,
+                       Codec codec, std::size_t raw_size,
+                       std::vector<std::byte>& out);
 
 // Upper bound on what `codec` can decode `stored_size` input bytes into
 // (the same bound decompress() enforces before reserving). Readers reject
 // declared raw sizes beyond it at scan time, so a tiny hostile image can
 // never license an allocation that its actual bytes could not produce.
+// kZeroRunLz has no such bound (a few varint bytes can encode an arbitrary
+// zero run), so it returns SIZE_MAX and readers rely on the raw_size <=
+// chunk_size scan gate instead. Unknown codecs return 0 — any non-empty
+// claim is implausible.
 std::size_t max_decoded_size(Codec codec, std::size_t stored_size);
 
 }  // namespace crac::ckpt

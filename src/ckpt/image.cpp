@@ -15,6 +15,15 @@ constexpr char kMagicV1[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'};
 constexpr char kMagicV2[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '2'};
 constexpr std::uint32_t kVersion1 = 1;
 constexpr std::uint32_t kVersion2 = 2;
+constexpr std::uint32_t kVersion3 = 3;
+
+// Codecs beyond kLz need per-chunk codec ids, which only the v3 chunk-frame
+// layout carries; picking the version (and framing) off the codec keeps
+// every pre-existing configuration byte-identical on disk.
+bool needs_v3(Codec codec) {
+  return static_cast<std::uint32_t>(codec) >
+         static_cast<std::uint32_t>(Codec::kLz);
+}
 // Hard cap on a v2 section-name length. Real names are a few dozen bytes;
 // the cap is what bounds the allocation when the source's size is still
 // unknown (a live shipment) and the usual remaining()-based check is
@@ -45,7 +54,7 @@ Status ImageWriter::write_header() {
   if (header_written_) return OkStatus();
   ByteWriter w;
   w.put_bytes(kMagicV2, sizeof(kMagicV2));
-  w.put_u32(kVersion2);
+  w.put_u32(needs_v3(options_.codec) ? kVersion3 : kVersion2);
   w.put_u32(static_cast<std::uint32_t>(options_.codec));
   w.put_u64(options_.chunk_size);
   CRAC_RETURN_IF_ERROR(sink_->write(w.data(), w.size()));
@@ -68,7 +77,8 @@ Status ImageWriter::begin_section(SectionType type, std::string name) {
   w.put_string(name);
   CRAC_RETURN_IF_ERROR((error_ = sink_->write(w.data(), w.size())));
   pipeline_ = std::make_unique<ChunkPipeline>(
-      sink_, options_.codec, options_.chunk_size, options_.pool);
+      sink_, options_.codec, options_.chunk_size, options_.pool,
+      needs_v3(options_.codec) ? ChunkFraming::kV3 : ChunkFraming::kV2);
   return OkStatus();
 }
 
@@ -160,7 +170,11 @@ Status SectionStream::refill() {
                              "' shorter than declared"));
   }
   bool end = false;
-  std::vector<std::byte> next;
+  // The consumed chunk's capacity rides back into the unpipeline's buffer
+  // pool (refill only runs once chunk_ is exhausted): one vector
+  // round-trips, so steady-state decode allocates nothing per chunk — the
+  // buffer_allocs() property restore_test pins.
+  std::vector<std::byte> next = std::move(chunk_);
   Status s = unpipe_->next(next, end);
   if (reader_ != nullptr) {
     reader_->note_stream_peak(unpipe_->buffered_peak_bytes());
@@ -170,6 +184,19 @@ Status SectionStream::refill() {
                                           s.message()));
   }
   if (end) {
+    if (!size_known_) {
+      // Deferred section drained to its terminator: the payload turned out
+      // to be exactly what was delivered. Report back so the directory
+      // finalizes the entry and the scan resumes past this section.
+      raw_size_ = delivered_;
+      size_known_ = true;
+      if (reader_ != nullptr) {
+        reader_->note_section_end(section_index_, delivered_);
+      }
+      chunk_.clear();
+      chunk_pos_ = 0;
+      return OkStatus();  // with an empty chunk_: callers treat as EOF
+    }
     return (error_ = Corrupt("checkpoint section '" + name_ +
                              "' shorter than declared"));
   }
@@ -181,7 +208,9 @@ Status SectionStream::refill() {
 void SectionStream::note_progress() {
   // Full delivery of the declared payload means every chunk decoded and
   // CRC-verified — only then may the verify backstop skip this section.
-  if (delivered_ == raw_size_ && reader_ != nullptr) {
+  // Unknown-size sections report via note_section_end() at their
+  // terminator instead (raw_size_ is not meaningful before then).
+  if (size_known_ && delivered_ == raw_size_ && reader_ != nullptr) {
     reader_->note_section_fully_read(section_index_);
   }
 }
@@ -194,7 +223,15 @@ Status SectionStream::read(void* out, std::size_t n) {
   }
   auto* p = static_cast<std::byte*>(out);
   while (n > 0) {
-    if (chunk_pos_ == chunk_.size()) CRAC_RETURN_IF_ERROR(refill());
+    if (chunk_pos_ == chunk_.size()) {
+      CRAC_RETURN_IF_ERROR(refill());
+      if (chunk_.empty()) {
+        // Only reachable in unknown-size mode: the terminator resolved
+        // mid-read, so the caller asked for more than the section holds.
+        return (error_ = Corrupt("checkpoint section '" + name_ +
+                                 "' read past end of payload"));
+      }
+    }
     const std::size_t take = std::min(n, chunk_.size() - chunk_pos_);
     std::memcpy(p, chunk_.data() + chunk_pos_, take);
     p += take;
@@ -208,10 +245,18 @@ Status SectionStream::read(void* out, std::size_t n) {
 
 Result<std::size_t> SectionStream::read_some(void* out, std::size_t n) {
   if (!error_.ok()) return error_;
-  const std::size_t take = static_cast<std::size_t>(
-      std::min<std::uint64_t>(n, remaining()));
-  if (take == 0) return std::size_t{0};
-  CRAC_RETURN_IF_ERROR(read(out, take));
+  if (n == 0 || remaining() == 0) return std::size_t{0};
+  if (chunk_pos_ == chunk_.size()) {
+    CRAC_RETURN_IF_ERROR(refill());
+    if (chunk_.empty()) return std::size_t{0};  // unknown-size end resolved
+  }
+  // Deliver from the current chunk only — a short count at a chunk
+  // boundary, never 0 before end of section.
+  const std::size_t take = std::min(n, chunk_.size() - chunk_pos_);
+  std::memcpy(out, chunk_.data() + chunk_pos_, take);
+  chunk_pos_ += take;
+  delivered_ += take;
+  note_progress();
   return take;
 }
 
@@ -224,7 +269,13 @@ Status SectionStream::skip(std::uint64_t n) {
   // Chunks still decode (and CRC-verify) on the way past; a skip is a read
   // without the copy, not an integrity exemption.
   while (n > 0) {
-    if (chunk_pos_ == chunk_.size()) CRAC_RETURN_IF_ERROR(refill());
+    if (chunk_pos_ == chunk_.size()) {
+      CRAC_RETURN_IF_ERROR(refill());
+      if (chunk_.empty()) {
+        return (error_ = Corrupt("checkpoint section '" + name_ +
+                                 "' skip past end of payload"));
+      }
+    }
     const auto take = static_cast<std::size_t>(std::min<std::uint64_t>(
         n, chunk_.size() - chunk_pos_));
     chunk_pos_ += take;
@@ -258,6 +309,10 @@ Status SectionStream::get_string(std::string& out) {
 
 std::uint64_t SectionStream::buffered_peak_bytes() const noexcept {
   return unpipe_ != nullptr ? unpipe_->buffered_peak_bytes() : 0;
+}
+
+std::uint64_t SectionStream::buffer_allocs() const noexcept {
+  return unpipe_ != nullptr ? unpipe_->buffer_allocs() : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -321,7 +376,19 @@ Status ImageReader::scan_v2_params() {
   std::uint64_t chunk_size = 0;
   CRAC_RETURN_IF_ERROR(read_u32(*source_, codec_raw));
   CRAC_RETURN_IF_ERROR(read_u64(*source_, chunk_size));
+  // Route unknown codec ids to a named error here, before any chunk is
+  // decoded — a forward-version codec must never reach the decompressor as
+  // a misinterpreted id.
+  if (!codec_known(codec_raw)) {
+    return Corrupt("unknown image codec id " + std::to_string(codec_raw));
+  }
   codec_ = static_cast<Codec>(codec_raw);
+  // Codecs beyond kLz require per-chunk codec ids, i.e. version-3 framing;
+  // a version-2 header claiming one is malformed, not merely new.
+  if (version_ == kVersion2 && needs_v3(codec_)) {
+    return Corrupt("image codec id " + std::to_string(codec_raw) +
+                   " requires image version 3");
+  }
   if (chunk_size == 0) return Corrupt("v2 image with zero chunk size");
   // The declared chunk size bounds every per-chunk allocation in the
   // unpipeline, so it must itself be bounded against hostile headers.
@@ -334,7 +401,83 @@ Status ImageReader::scan_v2_params() {
   return OkStatus();
 }
 
+Status ImageReader::walk_section_chunks(SectionInfo& sec) {
+  // Walk the chunk frames, skipping stored payload bytes: the scan costs
+  // ~24 directory bytes per chunk no matter how large the image is. Every
+  // header precedes the payload it describes, so on a live shipment these
+  // reads block only until this section's bytes have landed — never on
+  // later sections.
+  sec.chunks.clear();
+  std::uint64_t raw_offset = 0;
+  for (;;) {
+    const std::uint64_t frame_at = source_->position();
+    ChunkFrame frame;
+    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame, framing_, codec_));
+    if (frame.raw_size == 0 && frame.stored_size == 0) break;
+    if (frame.raw_size > chunk_size_) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' chunk exceeds declared chunk size");
+    }
+    if (frame.stored_size > frame.raw_size) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' chunk stored size exceeds raw size");
+    }
+    // A compressed chunk (stored < raw) cannot decode to more than the
+    // codec's maximum expansion of its actual stored bytes; rejecting the
+    // claim here keeps every later raw_size-derived allocation
+    // proportional to bytes the file really contains. (kZeroRunLz is
+    // unbounded; its chunks rely on the raw_size <= chunk_size gate above.)
+    if (frame.stored_size != frame.raw_size &&
+        frame.raw_size >
+            max_decoded_size(static_cast<Codec>(frame.codec),
+                             static_cast<std::size_t>(frame.stored_size))) {
+      return Corrupt("checkpoint section '" + sec.name +
+                     "' chunk declares implausible decompressed size");
+    }
+    sec.chunks.push_back(SectionInfo::ChunkRef{frame_at, raw_offset});
+    raw_offset += frame.raw_size;
+    CRAC_RETURN_IF_ERROR(source_->skip(frame.stored_size));
+  }
+  sec.raw_size = raw_offset;
+  sec.size_known = true;
+  return OkStatus();
+}
+
+Status ImageReader::resolve_deferred() {
+  if (!deferred_) return OkStatus();
+  deferred_ = false;
+  SectionInfo& sec = sections_.back();
+  // A stream may have drained the section already (note_section_end);
+  // the scan cursor then already sits past it.
+  if (sec.size_known) return OkStatus();
+  // Nobody read it (or a reader abandoned it part-way): walk its frames to
+  // find the end. The spool retains received bytes, so this is a cheap
+  // index rebuild over data that has already landed (blocking only for
+  // whatever tail is still in flight).
+  ++stream_epoch_;  // the walk moves the cursor: a live stream must yield
+  CRAC_RETURN_IF_ERROR(source_->seek(sec.payload_offset));
+  CRAC_RETURN_IF_ERROR(walk_section_chunks(sec));
+  scan_pos_ = source_->position();
+  return OkStatus();
+}
+
+void ImageReader::note_section_end(std::size_t index,
+                                   std::uint64_t raw_size) noexcept {
+  if (index >= sections_.size()) return;
+  SectionInfo& sec = sections_[index];
+  sec.raw_size = raw_size;
+  sec.size_known = true;
+  note_section_fully_read(index);
+  // The stream's cursor sits just past the section terminator — exactly
+  // where the next section header starts.
+  scan_pos_ = source_->position();
+  if (index + 1 == sections_.size()) deferred_ = false;
+}
+
 Status ImageReader::scan_one_v2() {
+  // A header-only trailing section must be settled before the scan can
+  // look past it.
+  CRAC_RETURN_IF_ERROR(resolve_deferred());
   // The scan resumes at its own cursor — payload reads in between are free
   // to move the source around.
   CRAC_RETURN_IF_ERROR(source_->seek(scan_pos_));
@@ -358,42 +501,21 @@ Status ImageReader::scan_one_v2() {
   sec.name.resize(name_len);
   CRAC_RETURN_IF_ERROR(source_->read(sec.name.data(), name_len));
   sec.type = static_cast<SectionType>(type_raw);
+  sec.payload_offset = source_->position();
 
-  // Walk the chunk frames, skipping stored payload bytes: the scan costs
-  // ~24 directory bytes per chunk no matter how large the image is. Every
-  // header precedes the payload it describes, so on a live shipment these
-  // reads block only until this section's bytes have landed — never on
-  // later sections.
-  std::uint64_t raw_offset = 0;
-  for (;;) {
-    const std::uint64_t frame_at = source_->position();
-    ChunkFrame frame;
-    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
-    if (frame.raw_size == 0 && frame.stored_size == 0) break;
-    if (frame.raw_size > chunk_size_) {
-      return Corrupt("checkpoint section '" + sec.name +
-                     "' chunk exceeds declared chunk size");
-    }
-    if (frame.stored_size > frame.raw_size) {
-      return Corrupt("checkpoint section '" + sec.name +
-                     "' chunk stored size exceeds raw size");
-    }
-    // A compressed chunk (stored < raw) cannot decode to more than the
-    // codec's maximum expansion of its actual stored bytes; rejecting the
-    // claim here keeps every later raw_size-derived allocation
-    // proportional to bytes the file really contains.
-    if (frame.stored_size != frame.raw_size &&
-        frame.raw_size >
-            max_decoded_size(codec_,
-                             static_cast<std::size_t>(frame.stored_size))) {
-      return Corrupt("checkpoint section '" + sec.name +
-                     "' chunk declares implausible decompressed size");
-    }
-    sec.chunks.push_back(SectionInfo::ChunkRef{frame_at, raw_offset});
-    raw_offset += frame.raw_size;
-    CRAC_RETURN_IF_ERROR(source_->skip(frame.stored_size));
+  if (!source_->end_known()) {
+    // The source is still filling: publish the section on its header alone
+    // so a consumer can open it and decode chunks behind the receive
+    // frontier (chunk-granular overlap). Size and chunk index resolve when
+    // a stream drains it or the next extension walks past it.
+    sec.size_known = false;
+    sections_.push_back(std::move(sec));
+    consumed_.push_back(0);
+    deferred_ = true;
+    return OkStatus();
   }
-  sec.raw_size = raw_offset;
+
+  CRAC_RETURN_IF_ERROR(walk_section_chunks(sec));
   scan_pos_ = source_->position();
   sections_.push_back(std::move(sec));
   consumed_.push_back(0);
@@ -436,9 +558,11 @@ Status ImageReader::scan() {
   if (!v1 && !v2) return Corrupt("bad checkpoint image magic");
 
   CRAC_RETURN_IF_ERROR(read_u32(*source_, version_));
-  if ((v1 && version_ != kVersion1) || (v2 && version_ != kVersion2)) {
+  if ((v1 && version_ != kVersion1) ||
+      (v2 && version_ != kVersion2 && version_ != kVersion3)) {
     return Corrupt("unsupported image version");
   }
+  framing_ = version_ == kVersion3 ? ChunkFraming::kV3 : ChunkFraming::kV2;
   if (v1) {
     // v1 interleaves its directory with payload like v2 but is legacy-only:
     // no incremental mode, even over a live stream (reads block until the
@@ -534,11 +658,15 @@ Status ImageReader::read_v1_payload(const SectionInfo& section,
 Result<SectionStream> ImageReader::open_section(const SectionInfo& section) {
   const std::size_t index = index_of(section);
   SectionStream stream(this, index, section.name, section.raw_size);
+  stream.size_known_ = section.size_known;
   stream.epoch_ = ++stream_epoch_;  // takes the cursor; invalidates priors
   // A stream marks its section consumed only once it has delivered the
   // whole payload (partial reads leave an unverified tail); an empty
-  // section is trivially fully read.
-  if (section.raw_size == 0) note_section_fully_read(index);
+  // section is trivially fully read. (Unknown-size sections resolve at
+  // their terminator instead.)
+  if (section.size_known && section.raw_size == 0) {
+    note_section_fully_read(index);
+  }
   if (version_ == kVersion1) {
     // Legacy monolithic body: decoded in one piece (v1 predates chunking,
     // so bounded-window streaming is not possible for it). That one piece
@@ -548,16 +676,21 @@ Result<SectionStream> ImageReader::open_section(const SectionInfo& section) {
     note_section_fully_read(index);
     return stream;
   }
-  if (!section.chunks.empty()) {
-    CRAC_RETURN_IF_ERROR(source_->seek(section.chunks.front().file_offset));
+  if (!section.size_known || section.raw_size > 0) {
+    CRAC_RETURN_IF_ERROR(source_->seek(section.payload_offset));
     stream.unpipe_ = std::make_unique<ChunkUnpipeline>(
-        source_.get(), codec_, chunk_size_, pool_);
+        source_.get(), codec_, chunk_size_, pool_, framing_);
   }
   return stream;
 }
 
 Status ImageReader::read(const SectionInfo& section, std::uint64_t offset,
                          void* out, std::size_t len) {
+  if (!section.size_known) {
+    // Random access needs the chunk index; settle the trailing deferred
+    // section first (blocks until its bytes have landed).
+    CRAC_RETURN_IF_ERROR(resolve_deferred());
+  }
   if (offset + len > section.raw_size || offset + len < offset) {
     return InvalidArgument("slice [" + std::to_string(offset) + ", " +
                            std::to_string(offset + len) +
@@ -572,6 +705,13 @@ Status ImageReader::read(const SectionInfo& section, std::uint64_t offset,
     CRAC_RETURN_IF_ERROR(read_v1_payload(section, payload));
     std::memcpy(out, payload.data() + offset, len);
     return OkStatus();
+  }
+  if (section.chunks.empty()) {
+    // A section finalized by its own stream (note_section_end) skipped the
+    // directory walk; rebuild its chunk index from the retained bytes.
+    SectionInfo& mut = sections_[index_of(section)];
+    CRAC_RETURN_IF_ERROR(source_->seek(mut.payload_offset));
+    CRAC_RETURN_IF_ERROR(walk_section_chunks(mut));
   }
 
   // Locate the chunk containing `offset`, then decode exactly the chunks
@@ -590,10 +730,10 @@ Status ImageReader::read(const SectionInfo& section, std::uint64_t offset,
   while (len > 0) {
     CRAC_RETURN_IF_ERROR(source_->seek(section.chunks[index].file_offset));
     ChunkFrame frame;
-    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame));
+    CRAC_RETURN_IF_ERROR(read_chunk_frame(*source_, frame, framing_, codec_));
     std::vector<std::byte> stored(static_cast<std::size_t>(frame.stored_size));
     CRAC_RETURN_IF_ERROR(source_->read(stored.data(), stored.size()));
-    DecodedChunk chunk = decode_chunk(frame, std::move(stored), codec_);
+    DecodedChunk chunk = decode_chunk(frame, std::move(stored));
     if (!chunk.status.ok()) {
       return Status(chunk.status.code(),
                     "checkpoint section '" + section.name + "' chunk #" +
@@ -614,8 +754,21 @@ Status ImageReader::read(const SectionInfo& section, std::uint64_t offset,
 Result<std::vector<std::byte>> ImageReader::read_section(
     const SectionInfo& section) {
   CRAC_ASSIGN_OR_RETURN(auto stream, open_section(section));
-  std::vector<std::byte> out(static_cast<std::size_t>(section.raw_size));
-  CRAC_RETURN_IF_ERROR(stream.read(out.data(), out.size()));
+  if (section.size_known) {
+    std::vector<std::byte> out(static_cast<std::size_t>(section.raw_size));
+    CRAC_RETURN_IF_ERROR(stream.read(out.data(), out.size()));
+    return out;
+  }
+  // Unknown-size (deferred) section: pull chunks until the terminator
+  // resolves the size — each chunk decodes as soon as its bytes land.
+  std::vector<std::byte> out;
+  std::vector<std::byte> buf(chunk_size_);
+  for (;;) {
+    CRAC_ASSIGN_OR_RETURN(std::size_t got,
+                          stream.read_some(buf.data(), buf.size()));
+    if (got == 0) break;
+    out.insert(out.end(), buf.begin(), buf.begin() + got);
+  }
   return out;
 }
 

@@ -18,6 +18,12 @@
 //             [u64 0][u64 0][u32 0]          <- terminator frame
 //   (sections run to end of image; no up-front count)
 //
+// v3 — identical to v2 except the header's version field reads 3 and every
+// chunk frame carries an explicit per-chunk codec id (the v3 layout in
+// chunk.hpp). The writer emits it only when a codec beyond kLz is selected,
+// so v2-era images stay byte-identical and v2-only readers reject v3 images
+// by name ("unsupported image version") instead of misdecoding them.
+//
 // Each v2 chunk covers up to chunk_size raw payload bytes and is
 // independently compressed (stored_size == raw_size means stored verbatim)
 // and CRC32'd, so the writer can fan chunk encoding out across a thread
@@ -67,8 +73,22 @@ struct SectionInfo {
   std::string name;
   std::uint64_t raw_size = 0;  // decompressed payload bytes
 
-  // v2: byte position of each chunk frame plus its offset within the raw
+  // False while the section's chunk frames have not been walked yet — the
+  // chunk-granular overlap state: on a still-filling source the directory
+  // publishes a section the moment its header lands, so a consumer can
+  // stream its chunks while the tail is still in flight. raw_size is
+  // meaningless (and `chunks` empty) until this flips true, which happens
+  // either when a SectionStream drains the section to its terminator or
+  // when the next directory extension walks past it.
+  bool size_known = true;
+
+  // v2/v3: byte position of the first chunk frame (start of the payload).
+  std::uint64_t payload_offset = 0;
+
+  // v2/v3: byte position of each chunk frame plus its offset within the raw
   // payload — 16 bytes per chunk, so even terabyte images index in MBs.
+  // May be empty for a section finalized by its own stream (size_known but
+  // never scanned); random access rebuilds it on demand.
   struct ChunkRef {
     std::uint64_t file_offset;  // of the frame header in the image
     std::uint64_t raw_offset;   // of the chunk's first byte in the payload
@@ -172,7 +192,8 @@ class SectionStream {
   // Exact read of `n` raw payload bytes; Corrupt past end of section.
   Status read(void* out, std::size_t n);
 
-  // Reads up to `n` bytes (slice loops); delivers 0 only at end of section.
+  // Reads up to `n` bytes (may deliver a short count at chunk boundaries);
+  // delivers 0 only at end of section.
   Result<std::size_t> read_some(void* out, std::size_t n);
 
   // Reads and discards `n` bytes (still CRC-verified chunk by chunk).
@@ -184,12 +205,30 @@ class SectionStream {
   Status get_u64(std::uint64_t& out);
   Status get_string(std::string& out);
 
+  // Total payload size. Meaningful only once size_known(); until then the
+  // section is still being walked behind the receive frontier.
   std::uint64_t raw_size() const noexcept { return raw_size_; }
-  std::uint64_t remaining() const noexcept { return raw_size_ - delivered_; }
+  // False while streaming a section whose terminator has not been reached
+  // yet (chunk-granular overlap on a live shipment); flips true — and
+  // raw_size()/remaining() become exact — once the stream drains it.
+  bool size_known() const noexcept { return size_known_; }
+  // Bytes left to read. Unknown-size sections report "effectively
+  // unbounded" until the terminator resolves, so size-vs-remaining sanity
+  // gates stay vacuously permissive (reads past the real end still fail,
+  // with a named error).
+  std::uint64_t remaining() const noexcept {
+    return size_known_ ? raw_size_ - delivered_
+                       : ~std::uint64_t{0} - delivered_;
+  }
 
   // High-water mark of bytes buffered ahead of the consumer (0 for v1
   // sections, which decode in one piece).
   std::uint64_t buffered_peak_bytes() const noexcept;
+  // Fresh byte-buffer allocations inside the decode pipeline (buffer-pool
+  // misses). Bounded by the in-flight window, not the chunk count — the
+  // steady-state decode loop recycles buffers instead of allocating per
+  // chunk (0 for v1 sections).
+  std::uint64_t buffer_allocs() const noexcept;
 
  private:
   friend class ImageReader;
@@ -208,6 +247,7 @@ class SectionStream {
   std::uint64_t epoch_ = 0;  // cursor ownership ticket (see stream_epoch())
   std::string name_;
   std::uint64_t raw_size_;
+  bool size_known_ = true;
   std::unique_ptr<ChunkUnpipeline> unpipe_;  // v2; null for v1
   std::vector<std::byte> chunk_;             // current decoded chunk (whole
                                              // payload for v1 sections)
@@ -329,6 +369,11 @@ class ImageReader {
   std::uint32_t version() const noexcept { return version_; }
   std::size_t chunk_size() const noexcept { return chunk_size_; }
 
+  // The decode-ahead pool this reader was opened with (nullptr when decode
+  // is inline). Restore phases borrow it for work that should overlap the
+  // read path — e.g. fanning UVM prefetch application out during replay.
+  ThreadPool* pool() const noexcept { return pool_; }
+
   // Largest decode-ahead high-water mark seen across this reader's streams
   // — lets restore report (and tests assert) peak resident restore memory.
   std::uint64_t buffered_peak_bytes() const noexcept { return peak_bytes_; }
@@ -347,6 +392,11 @@ class ImageReader {
   void note_section_fully_read(std::size_t index) noexcept {
     if (index < consumed_.size()) consumed_[index] = 1;
   }
+  // Called by a stream the moment it drains an unknown-size (deferred)
+  // section to its terminator: records the now-exact raw size, marks the
+  // section consumed, and moves the directory scan cursor past it. The
+  // source cursor sits just past the terminator when this runs.
+  void note_section_end(std::size_t index, std::uint64_t raw_size) noexcept;
   // Bumped by every operation that moves the source cursor; a stream whose
   // ticket no longer matches refuses further pulls instead of reading
   // frames from wherever another consumer left the cursor.
@@ -357,10 +407,22 @@ class ImageReader {
   Status scan();            // header + (for complete sources) full directory
   Status scan_v1();
   Status scan_v2_params();  // codec + chunk size; directory scans follow
-  // Scans one section (header + chunk frames) at the scan cursor, or sets
-  // scanned_all_ at end of image. Moves the source cursor (bumps the stream
-  // epoch). Blocks on a still-filling source until the section has landed.
+  // Scans one section at the scan cursor, or sets scanned_all_ at end of
+  // image. Moves the source cursor (bumps the stream epoch). On a complete
+  // source this walks the section's chunk frames too; on a still-filling
+  // source it publishes the section after the header alone (size unknown,
+  // chunks deferred) so a consumer can stream it behind the receive
+  // frontier — the chunk-granular overlap path.
   Status scan_one_v2();
+  // Settles the trailing deferred section, if any, before the scan can move
+  // on: a no-op when its stream already drained it (note_section_end), a
+  // re-walk of its frames from payload_offset otherwise (the spool retains
+  // the bytes, so the walk is an index rebuild, not a transfer).
+  Status resolve_deferred();
+  // Walks chunk frames from the current source cursor to the section
+  // terminator, filling sec.chunks/raw_size and applying the per-frame
+  // hostile-header gates. Leaves the cursor just past the terminator.
+  Status walk_section_chunks(SectionInfo& sec);
   // scan_one_v2 with the error latched into scan_error_ (origin-annotated),
   // for the lazy extension paths.
   Status extend_directory();
@@ -374,12 +436,16 @@ class ImageReader {
   ThreadPool* pool_ = nullptr;
   Codec codec_ = Codec::kStore;
   std::uint32_t version_ = 0;
+  ChunkFraming framing_ = ChunkFraming::kV2;  // kV3 for version-3 images
   std::size_t chunk_size_ = 0;  // v2 declared chunk size
   // Deque, not vector: find() hands out stable pointers while the lazy scan
   // keeps appending behind them.
   std::deque<SectionInfo> sections_;
   std::vector<char> consumed_;  // parallel to sections_: fully read once
   bool scanned_all_ = false;
+  // True while the last published section is header-only (size unknown);
+  // the next directory extension must resolve it first.
+  bool deferred_ = false;
   std::uint64_t scan_pos_ = 0;  // source offset of the next unscanned section
   Status scan_error_;           // sticky: a failed lazy directory extension
   std::uint64_t peak_bytes_ = 0;

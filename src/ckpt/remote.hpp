@@ -41,16 +41,34 @@
 // v2 image the same writer configuration would produce, so a spooled
 // shipment and a file on disk are interchangeable to every consumer (see
 // docs/image_format.md, "Wire framing").
+// Multi-socket sharding: one socket is a bandwidth ceiling exactly the way
+// one file descriptor was (the motivation for the sharded file backend), so
+// ShardedSocketSink / ShardedSpoolSource carry the N shard streams of a
+// ShardedFileSink layout over N fds. Each fd holds a 32-byte CRC'd
+// ship-manifest preamble naming its place in the stripe set, then an
+// ordinary CRACSHP1 stream carrying that shard's local byte sequence:
+//
+//   preamble: [magic "CRACSHPM"][u32 version=1][u32 shard_index]
+//             [u32 shard_count][u64 stripe_bytes][u32 crc32(prior 28 bytes)]
+//
+// The per-shard byte counts of the on-disk CRACSHRD manifest come from each
+// stream's own trailer; on completion the receiver reconstructs the full
+// manifest from preambles + trailers and holds it to the same validation as
+// the file layout (validate_shard_manifest). A sender that dies mid-ship
+// aborts ALL shard streams in-band, so every receiver fails with a named
+// error on a still-synchronized connection.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ckpt/sharded.hpp"
 #include "ckpt/sink.hpp"
 #include "ckpt/source.hpp"
 #include "common/status.hpp"
@@ -59,6 +77,11 @@ namespace crac::ckpt {
 
 inline constexpr char kShipMagic[8] = {'C', 'R', 'A', 'C', 'S', 'H', 'P', '1'};
 inline constexpr std::uint32_t kShipVersion = 1;
+// Multi-socket shipping: per-fd ship-manifest preamble (see header comment).
+inline constexpr char kShipPreambleMagic[8] = {'C', 'R', 'A', 'C',
+                                               'S', 'H', 'P', 'M'};
+inline constexpr std::uint32_t kShipPreambleVersion = 1;
+inline constexpr std::size_t kShipPreambleBytes = 8 + 4 + 4 + 4 + 8 + 4;
 // In-band abort marker (a frame length no well-formed frame can carry): the
 // sender or a relay declares the shipment dead. The receiver fails with a
 // named error but keeps its transport position — the stream terminated
@@ -259,6 +282,13 @@ class StreamingSpoolSource final : public Source {
   // existed.
   Status read(void* out, std::size_t size) override;
 
+  // Sequential pump primitive: blocks until at least one byte past the
+  // cursor has been released (or the end is verified), then serves up to
+  // `max` released bytes and advances the cursor. Returns 0 only at the
+  // verified end of the stream; the stream's named error if it died. Lets a
+  // relay drain the spool at the frontier without knowing the total.
+  Result<std::size_t> read_up_to(void* out, std::size_t max);
+
   // Accepts any offset while the end is unknown (the scan runs ahead of
   // the frontier); Corrupt past the verified end once known. Never blocks.
   Status seek(std::uint64_t offset) override;
@@ -294,6 +324,191 @@ class StreamingSpoolSource final : public Source {
   std::thread receiver_;
   std::uint64_t pos_ = 0;
 };
+
+// Multi-socket striped ship sink: the N shard streams of a ShardedFileSink
+// layout carried over N fds. Each fd gets the 32-byte CRACSHPM preamble
+// (written synchronously in open(), before any worker exists), then an
+// ordinary CRACSHP1 stream holding that shard's local byte sequence — so
+// each shard stream is individually CRC'd and self-delimiting, and the
+// receive side can reconstruct + validate the full shard manifest from
+// preambles and trailers alone.
+//
+// Concurrency mirrors ShardedFileSink: the single-producer image writer
+// appends the logical stream; stripes land in per-shard bounded queues and
+// one worker thread per shard drains its queue into its own SocketSink, so
+// N sockets fill concurrently. close() drains every queue and closes each
+// SocketSink (emitting its trailer). abort() — and any internal shard
+// failure surfaced through close() — sends the in-band abort marker on ALL
+// fds, so every receiver fails with a named error on a still-synchronized
+// connection; no shard stream is ever left dangling without a terminator.
+// fds are borrowed, never closed here.
+class ShardedSocketSink final : public Sink {
+ public:
+  struct Options {
+    std::size_t stripe_bytes = kDefaultStripeBytes;
+    // Names the transport in error messages.
+    std::string origin = "ship sockets";
+  };
+
+  // Writes the preamble on every fd (synchronously — a dead socket fails
+  // here, before any bytes are striped) and starts one worker per shard.
+  // Shard k of the stripe set ships over fds[k]. Fails on 0 fds, more than
+  // kMaxShards, or a stripe size outside [kMinStripeBytes, kMaxStripeBytes].
+  static Result<std::unique_ptr<ShardedSocketSink>> open(
+      const std::vector<int>& fds, const Options& options);
+  static Result<std::unique_ptr<ShardedSocketSink>> open(
+      const std::vector<int>& fds) {
+    return open(fds, Options{});
+  }
+
+  // Stops the workers; aborts all shard streams unless close() finished.
+  ~ShardedSocketSink() override;
+
+  // Blocks until every shard queue has drained into its socket.
+  Status flush() override;
+
+  // Drains every queue and closes every shard's SocketSink (terminator +
+  // trailer). On any failure the surviving shard streams are aborted
+  // in-band so no receiver hangs. Idempotent; returns the first error seen.
+  Status close() override;
+
+  // Declares the shipment dead on every shard stream (in-band abort
+  // markers), then closes the sink. Best-effort per fd; returns the first
+  // marker-write failure.
+  Status abort();
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  // High-water mark of bytes accepted but not yet shipped by shard workers.
+  std::uint64_t buffered_peak_bytes() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<SocketSink> sink;          // worker-owned after start
+    std::deque<std::vector<std::byte>> queue;  // guarded by mu_
+    std::vector<std::byte> pending;            // producer-side coalescing
+    std::thread worker;
+    // Per-shard wakeup (state still guarded by the shared mu_).
+    std::unique_ptr<std::condition_variable> cv;
+  };
+
+  ShardedSocketSink(ShardLayout layout, std::string origin);
+
+  Status do_write(const void* data, std::size_t size) override;
+  Status enqueue(std::size_t shard_index, std::vector<std::byte> buf);
+  Status drain();  // wait until every queue is empty
+  void worker_main(std::size_t shard_index);
+  void stop_workers();
+  Status abort_all();  // in-band abort marker on every shard stream
+
+  std::string origin_;
+  ShardLayout layout_;
+  std::vector<Shard> shards_;
+  std::uint64_t pos_ = 0;  // logical bytes accepted
+  std::uint64_t queue_cap_bytes_;
+  bool closed_ = false;
+  bool terminated_ = false;  // every shard stream got a trailer or abort
+
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;  // producer: this buffer fits the cap
+  std::condition_variable drain_cv_;  // flush/close: all queues empty
+  std::uint64_t queued_bytes_ = 0;
+  std::uint64_t queued_peak_bytes_ = 0;
+  bool stop_ = false;
+  Status error_;  // first shard failure, sticky; names the shard index
+};
+
+// Multi-socket striped receive: N concurrent StreamingSpoolSource children,
+// one per shard stream, reassembled behind the seekable Source interface by
+// the same striping arithmetic ShardedFileSource uses. start() reads and
+// validates the CRACSHPM preamble on every fd synchronously (bad magic,
+// mismatched stripe geometry, duplicate or missing shard indices all fail
+// fast, before any thread exists), permutes the fds into shard order, and
+// splits the spool cap evenly across the children — then restore begins
+// while all N transfers are still in flight.
+//
+// End-of-stream follows the striping invariant: logical offset `o` is past
+// the end of the image iff its owning shard's local offset is past that
+// shard's end. When the owning child reports its verified end, at_end()
+// waits for ALL children to complete, reconstructs the shard manifest from
+// the preamble geometry plus each stream's trailer byte count, and holds it
+// to validate_shard_manifest — exactly the validation the on-disk layout
+// gets. A short, damaged, or aborted shard stream therefore fails the whole
+// receive with a named error, never a silently truncated image.
+//
+// Threading: read/seek/at_end belong to one consumer thread; each child's
+// receiver thread appends and publishes independently. fds are borrowed.
+class ShardedSpoolSource final : public Source {
+ public:
+  using Options = SpoolingSource::Options;
+
+  // Reads + validates the preamble and ship header on every fd (borrowed,
+  // never closed), then returns with all N receiver threads running.
+  static Result<std::unique_ptr<ShardedSpoolSource>> start(
+      const std::vector<int>& fds, const Options& opts);
+  static Result<std::unique_ptr<ShardedSpoolSource>> start(
+      const std::vector<int>& fds) {
+    return start(fds, Options{});
+  }
+
+  ~ShardedSpoolSource() override;
+
+  // Blocks until the range has landed across every shard that holds a piece
+  // of it; fails with the owning stream's error if a shard stream dies.
+  Status read(void* out, std::size_t size) override;
+
+  // Sequential pump primitive, mirroring StreamingSpoolSource::read_up_to:
+  // serves up to `max` bytes from the shard owning the cursor's stripe,
+  // blocking until at least one has landed. Returns 0 only at the verified
+  // (and manifest-validated) end of the image.
+  Result<std::size_t> read_up_to(void* out, std::size_t max);
+
+  Status seek(std::uint64_t offset) override;
+
+  std::uint64_t position() const noexcept override { return pos_; }
+  // Final total once every shard trailer verified; kUnknownSize before.
+  std::uint64_t size() const noexcept override;
+  bool end_known() const noexcept override;
+  // Blocks until a byte lands at `offset` (false) or the verified end of
+  // the image is known (true — after all shards complete and the
+  // reconstructed manifest validates).
+  Result<bool> at_end(std::uint64_t offset) override;
+  std::string describe() const override { return origin_; }
+
+  // Blocks until every shard stream finishes, then returns the terminal
+  // status: the first stream error, or the manifest-validation verdict.
+  Status wait_complete();
+
+  std::size_t shard_count() const noexcept { return children_.size(); }
+
+ private:
+  ShardedSpoolSource(ShardLayout layout, std::string origin);
+
+  // Waits for all children, reconstructs + validates the manifest, caches
+  // the verdict. Idempotent; called from at_end / wait_complete.
+  Status finalize();
+
+  std::string origin_;
+  ShardLayout layout_;
+  std::vector<std::unique_ptr<StreamingSpoolSource>> children_;
+  std::uint64_t pos_ = 0;
+  // Consumer-thread cache of finalize()'s verdict.
+  bool finalized_ = false;
+  Status final_status_;
+  std::uint64_t total_ = 0;
+};
+
+// Pumps one complete CRACSHP1 stream from `in_fd` into `sink`, validating
+// the header, frame lengths, and trailer (byte count + whole-stream CRC) as
+// it goes — the bridge that lets a single-socket upstream (the proxy
+// server's control connection) feed a multi-socket ShardedSocketSink, which
+// re-frames the logical bytes per shard. Blocks until the stream ends.
+// Errors name `origin`. On return, *upstream_in_band (if non-null) tells
+// whether in_fd delivered a self-delimiting end (trailer or abort marker),
+// i.e. whether a control connection feeding the pump is still in sync. The
+// sink is NOT closed or aborted here; the caller decides commit vs. abort
+// from the returned status.
+Status pump_ship_stream(int in_fd, Sink& sink, const std::string& origin,
+                        bool* upstream_in_band = nullptr);
 
 // Forwards one complete CRACSHP1 stream from `in_fd` to `out_fd` verbatim,
 // validating the header, frame lengths, and trailer (byte count + stream

@@ -48,6 +48,47 @@ std::vector<std::byte> encode_shard_manifest(const ShardManifest& m) {
   return std::move(w).take();
 }
 
+Status validate_shard_manifest(const ShardManifest& m,
+                               const std::string& origin) {
+  if (m.shard_count == 0 || m.shard_count > kMaxShards) {
+    return Corrupt(origin + ": shard count " + std::to_string(m.shard_count) +
+                   " outside [1, " + std::to_string(kMaxShards) + "]");
+  }
+  if (m.stripe_bytes < kMinStripeBytes || m.stripe_bytes > kMaxStripeBytes) {
+    return Corrupt(origin + ": stripe size " + std::to_string(m.stripe_bytes) +
+                   " outside [" + std::to_string(kMinStripeBytes) + ", " +
+                   std::to_string(kMaxStripeBytes) + "]");
+  }
+  if (m.directory_offset != 0) {
+    return Corrupt(origin + ": nonzero directory offset is not supported");
+  }
+  if (m.shard_bytes.size() != m.shard_count) {
+    return Corrupt(origin + ": manifest lists " +
+                   std::to_string(m.shard_bytes.size()) + " shard sizes for " +
+                   std::to_string(m.shard_count) + " shards");
+  }
+  std::uint64_t sum = 0;
+  for (std::uint32_t k = 0; k < m.shard_count; ++k) sum += m.shard_bytes[k];
+  if (sum != m.total_bytes) {
+    return Corrupt(origin + ": shard byte counts sum to " +
+                   std::to_string(sum) + ", manifest declares " +
+                   std::to_string(m.total_bytes));
+  }
+  // Per-shard sizes must match the striping arithmetic exactly; anything
+  // else means the manifest and the layout disagree about where bytes live.
+  const ShardLayout layout = m.layout();
+  for (std::uint32_t k = 0; k < m.shard_count; ++k) {
+    const std::uint64_t expect = layout.shard_size(m.total_bytes, k);
+    if (m.shard_bytes[k] != expect) {
+      return Corrupt(origin + ": shard " + std::to_string(k) + " declares " +
+                     std::to_string(m.shard_bytes[k]) + " bytes, striping of " +
+                     std::to_string(m.total_bytes) + " requires " +
+                     std::to_string(expect));
+    }
+  }
+  return OkStatus();
+}
+
 Result<ShardManifest> parse_shard_manifest(const std::byte* data,
                                            std::size_t size,
                                            const std::string& origin) {
@@ -68,23 +109,15 @@ Result<ShardManifest> parse_shard_manifest(const std::byte* data,
   CRAC_RETURN_IF_ERROR(r.get_u64(m.stripe_bytes));
   CRAC_RETURN_IF_ERROR(r.get_u64(m.total_bytes));
   CRAC_RETURN_IF_ERROR(r.get_u64(m.directory_offset));
+  // The count cap must hold before the resize below — the semantic
+  // validation at the end re-checks it with the rest.
   if (m.shard_count == 0 || m.shard_count > kMaxShards) {
     return Corrupt(origin + ": shard count " + std::to_string(m.shard_count) +
                    " outside [1, " + std::to_string(kMaxShards) + "]");
   }
-  if (m.stripe_bytes < kMinStripeBytes || m.stripe_bytes > kMaxStripeBytes) {
-    return Corrupt(origin + ": stripe size " + std::to_string(m.stripe_bytes) +
-                   " outside [" + std::to_string(kMinStripeBytes) + ", " +
-                   std::to_string(kMaxStripeBytes) + "]");
-  }
-  if (m.directory_offset != 0) {
-    return Corrupt(origin + ": nonzero directory offset is not supported");
-  }
   m.shard_bytes.resize(m.shard_count);
-  std::uint64_t sum = 0;
   for (std::uint32_t k = 0; k < m.shard_count; ++k) {
     CRAC_RETURN_IF_ERROR(r.get_u64(m.shard_bytes[k]));
-    sum += m.shard_bytes[k];
   }
   // CRC over everything before the trailer: a flipped count or size must not
   // silently redirect reads.
@@ -97,23 +130,7 @@ Result<ShardManifest> parse_shard_manifest(const std::byte* data,
   if (r.remaining() != 0) {
     return Corrupt(origin + ": trailing bytes after shard manifest");
   }
-  if (sum != m.total_bytes) {
-    return Corrupt(origin + ": shard byte counts sum to " +
-                   std::to_string(sum) + ", manifest declares " +
-                   std::to_string(m.total_bytes));
-  }
-  // Per-shard sizes must match the striping arithmetic exactly; anything
-  // else means the manifest and the layout disagree about where bytes live.
-  const ShardLayout layout = m.layout();
-  for (std::uint32_t k = 0; k < m.shard_count; ++k) {
-    const std::uint64_t expect = layout.shard_size(m.total_bytes, k);
-    if (m.shard_bytes[k] != expect) {
-      return Corrupt(origin + ": shard " + std::to_string(k) + " declares " +
-                     std::to_string(m.shard_bytes[k]) + " bytes, striping of " +
-                     std::to_string(m.total_bytes) + " requires " +
-                     std::to_string(expect));
-    }
-  }
+  CRAC_RETURN_IF_ERROR(validate_shard_manifest(m, origin));
   return m;
 }
 

@@ -129,6 +129,14 @@ std::string shard_path(const std::string& path, std::size_t index);
 
 std::vector<std::byte> encode_shard_manifest(const ShardManifest& m);
 
+// Semantic validation of a manifest's fields — counts and caps, shard byte
+// sums, and the per-shard sizes the striping arithmetic requires. Shared by
+// the on-disk manifest parser and the multi-socket ship path, which
+// reconstructs a manifest from the per-fd preambles and per-stream trailers
+// and must hold it to exactly the same rules. Errors name `origin`.
+Status validate_shard_manifest(const ShardManifest& m,
+                               const std::string& origin);
+
 // Parses and validates manifest bytes (counts, caps, CRC, per-shard sums).
 // Errors name `origin`.
 Result<ShardManifest> parse_shard_manifest(const std::byte* data,

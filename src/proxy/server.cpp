@@ -204,17 +204,29 @@ Status restore_device_state(ServerState& state,
   }
   std::uint64_t expect_bytes = 0;
   for (const auto& [off, size] : snap.active) expect_bytes += size;
+  {
+    // CRC-verify the whole contents section before touching the arena (on
+    // a live stream these reads block per-range, overlapping the decode
+    // with the receive). On a still-streaming shipment find() may hand back
+    // the section on its header alone (size unknown until its terminator
+    // lands), so the probe doubles as the size resolver: drain to the end,
+    // then judge the resolved size — never the placeholder 0.
+    CRAC_ASSIGN_OR_RETURN(auto probe, reader->open_section(*body));
+    if (body->size_known) {
+      CRAC_RETURN_IF_ERROR(probe.skip(body->raw_size));
+    } else {
+      std::vector<std::byte> scratch(kShipStageBytes);
+      for (;;) {
+        CRAC_ASSIGN_OR_RETURN(
+            auto got, probe.read_some(scratch.data(), scratch.size()));
+        if (got == 0) break;
+      }
+    }
+  }
   if (body->raw_size != expect_bytes) {
     return Corrupt("shipped device-arena contents are " +
                    std::to_string(body->raw_size) + " bytes, snapshot's " +
                    "active allocations need " + std::to_string(expect_bytes));
-  }
-  {
-    // CRC-verify the whole contents section before touching the arena (on
-    // a live stream these reads block per-range, overlapping the decode
-    // with the receive).
-    CRAC_ASSIGN_OR_RETURN(auto probe, reader->open_section(*body));
-    CRAC_RETURN_IF_ERROR(probe.skip(body->raw_size));
   }
   // The last validate-before-mutate gate: force the directory complete. On
   // a live stream this blocks until the transport trailer has verified —

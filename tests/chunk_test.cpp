@@ -72,7 +72,9 @@ TEST_P(ChunkRoundTrip, StreamedSectionRoundTrips) {
 
   auto reader = ImageReader::from_bytes(sink.bytes());
   ASSERT_TRUE(reader.ok()) << reader.status().to_string();
-  EXPECT_EQ(reader->version(), 2u);
+  // Codecs beyond kLz need per-chunk codec ids, so the writer promotes the
+  // image to version 3; the original codecs stay byte-identical v2.
+  EXPECT_EQ(reader->version(), c.codec == Codec::kZeroRunLz ? 3u : 2u);
   const SectionInfo* sec = reader->find(SectionType::kDeviceBuffers, "payload");
   ASSERT_NE(sec, nullptr);
   EXPECT_EQ(sec->raw_size, payload.size());
@@ -92,7 +94,7 @@ INSTANTIATE_TEST_SUITE_P(
                                    kTestChunk + 1,
                                    6 * kTestChunk + 123};  // > 4 chunks
       for (std::size_t size : sizes) {
-        for (Codec codec : {Codec::kStore, Codec::kLz}) {
+        for (Codec codec : {Codec::kStore, Codec::kLz, Codec::kZeroRunLz}) {
           for (bool compressible : {false, true}) {
             for (bool use_pool : {false, true}) {
               cases.push_back({size, codec, compressible, use_pool});
@@ -327,6 +329,143 @@ TEST(DecompressBoundsTest, MatchBeyondRawSizeFails) {
   auto out = decompress(stream.data(), stream.size(), Codec::kLz, 8);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kCorrupt);
+}
+
+// ---- zero-run codec: round-trip property + v3 framing hardening ----
+
+TEST(ZeroRunCodecTest, RoundTripsAcrossDataShapes) {
+  // The three shapes that bracket the codec's behavior: all zeros (the
+  // mostly-zero device arena it exists for), zero-free bytes (pure
+  // passthrough to the LZ stage), and alternating runs that straddle the
+  // minimum-run threshold on both sides.
+  const std::size_t n = 64 * 1024 + 7;
+  std::vector<std::byte> all_zero(n);
+  std::vector<std::byte> no_zero = random_bytes(n, 17);
+  for (auto& b : no_zero) b |= std::byte{0x01};
+  std::vector<std::byte> alternating(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Period 41: 29 zeros then 12 non-zeros — runs both above and (via the
+    // tail wrap) below the 8-byte elision threshold appear.
+    alternating[i] = (i % 41 < 29) ? std::byte{0}
+                                   : static_cast<std::byte>(i * 31 + 1);
+  }
+  for (const auto& payload : {all_zero, no_zero, alternating}) {
+    const auto packed = compress(payload, Codec::kZeroRunLz);
+    auto back = decompress(packed.data(), packed.size(), Codec::kZeroRunLz,
+                           payload.size());
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    EXPECT_EQ(*back, payload);
+  }
+  // The shape it was built for must collapse: 64 KiB of zeros is a stage
+  // header plus a couple of varints.
+  EXPECT_LT(compress(all_zero, Codec::kZeroRunLz).size(), 64u);
+}
+
+TEST(ZeroRunCodecTest, UnknownImageCodecIdRejected) {
+  // A forward-version image whose codec this build has never heard of must
+  // fail by name at open, before any chunk reaches a decoder.
+  ByteWriter w;
+  w.put_bytes("CRACIMG2", 8);
+  w.put_u32(3);  // version 3
+  w.put_u32(9);  // no such codec
+  w.put_u64(kTestChunk);
+  auto reader = ImageReader::from_bytes(std::move(w).take());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(reader.status().message().find("unknown image codec id 9"),
+            std::string::npos)
+      << reader.status().to_string();
+}
+
+TEST(ZeroRunCodecTest, ZeroRunOnV2HeaderRejected) {
+  // kZeroRunLz chunks need per-chunk codec ids; a version-2 header claiming
+  // the codec is malformed, not merely new.
+  ByteWriter w;
+  w.put_bytes("CRACIMG2", 8);
+  w.put_u32(2);
+  w.put_u32(static_cast<std::uint32_t>(Codec::kZeroRunLz));
+  w.put_u64(kTestChunk);
+  auto reader = ImageReader::from_bytes(std::move(w).take());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(reader.status().message().find("requires image version 3"),
+            std::string::npos)
+      << reader.status().to_string();
+}
+
+TEST(ZeroRunCodecTest, HostilePerChunkCodecIdRejected) {
+  // Corrupt a v3 frame's codec field on the wire: the scan must reject it
+  // by name instead of routing the stored bytes to a misinterpreted
+  // decoder.
+  MemorySink sink;
+  ImageWriter::Options opts;
+  opts.codec = Codec::kZeroRunLz;
+  opts.chunk_size = 512;
+  ImageWriter w(&sink, opts);
+  w.add_section(SectionType::kMetadata, "m", random_bytes(1000, 21));
+  ASSERT_TRUE(w.finish().ok());
+  auto bytes = sink.bytes();
+  // Image header (8+4+4+8) + section header ([u32 type][u32 len]["m"]),
+  // then the v3 frame: [u64 raw][u64 stored][u32 codec][u32 crc].
+  const std::size_t codec_at = 24 + 4 + 4 + 1 + 8 + 8;
+  const std::uint32_t hostile = 238;
+  std::memcpy(bytes.data() + codec_at, &hostile, sizeof(hostile));
+  auto reader = ImageReader::from_bytes(std::move(bytes));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(reader.status().message().find("unknown chunk codec id 238"),
+            std::string::npos)
+      << reader.status().to_string();
+}
+
+TEST(ZeroRunCodecTest, HostileStageBytesRejected) {
+  auto varint = [](std::vector<std::byte>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+      out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+      v >>= 7;
+    }
+    out.push_back(static_cast<std::byte>(v));
+  };
+  auto stage = [](Codec inner, const std::vector<std::byte>& tokens) {
+    // [u8 inner codec][u64 LE residual size][payload]
+    std::vector<std::byte> s;
+    s.push_back(static_cast<std::byte>(inner));
+    const std::uint64_t residual = tokens.size();
+    for (unsigned k = 0; k < 8; ++k) {
+      s.push_back(static_cast<std::byte>((residual >> (8 * k)) & 0xFF));
+    }
+    s.insert(s.end(), tokens.begin(), tokens.end());
+    return s;
+  };
+
+  // Truncated stage header.
+  const std::byte tiny[4] = {};
+  auto out = decompress(tiny, sizeof(tiny), Codec::kZeroRunLz, 100);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorrupt);
+
+  // A few varint bytes claiming a terabyte zero run: the expansion must be
+  // rejected against the declared raw size, never attempted.
+  std::vector<std::byte> tokens;
+  varint(tokens, std::uint64_t{1} << 40);
+  varint(tokens, 0);
+  const auto bomb = stage(Codec::kStore, tokens);
+  out = decompress(bomb.data(), bomb.size(), Codec::kZeroRunLz, 16);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(out.status().message().find("overruns declared raw size"),
+            std::string::npos)
+      << out.status().to_string();
+
+  // Unknown inner (stage-2) codec id.
+  const auto unknown_inner = stage(static_cast<Codec>(5), {});
+  out = decompress(unknown_inner.data(), unknown_inner.size(),
+                   Codec::kZeroRunLz, 0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(out.status().message().find("unknown inner codec id 5"),
+            std::string::npos)
+      << out.status().to_string();
 }
 
 // ---- sinks ----

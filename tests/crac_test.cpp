@@ -447,6 +447,77 @@ TEST_F(CracRoundTripTest, ManagedMemoryAndResidencySurvive) {
   std::remove(path.c_str());
 }
 
+TEST_F(CracRoundTripTest, UvmPrefetchOverlapMatchesSerialRestore) {
+  // Replay-time UVM prefetch: with a checkpoint pool and multiple managed
+  // ranges, the per-range residency application runs on the pool,
+  // concurrent with the restore tail, and join_deferred_restore() is the
+  // barrier before the first post-restore fault. Overlap may only change
+  // wall time: residency map, restored-page count, and contents must be
+  // byte-identical to the inline (ckpt_threads = 1) restore.
+  const std::string path = temp_image_path("uvm_prefetch");
+  constexpr std::size_t kRanges = 5;
+  const std::size_t bytes = 256 << 10;
+  void* managed[kRanges] = {};
+  {
+    CracContext ctx(test_options());
+    auto& api = ctx.api();
+    for (std::size_t r = 0; r < kRanges; ++r) {
+      ASSERT_EQ(api.cudaMallocManaged(&managed[r], bytes,
+                                      cuda::cudaMemAttachGlobal),
+                cudaSuccess);
+      auto* words = static_cast<std::uint32_t*>(managed[r]);
+      for (std::size_t i = 0; i < bytes / 4; ++i) {
+        words[i] = static_cast<std::uint32_t>((r + 1) * 2654435761u + i);
+      }
+      // A different device-resident prefix per range, so every range's
+      // residency bitmap is distinct (and none is trivial).
+      const std::size_t resident = bytes * (r + 1) / (kRanges + 1);
+      ASSERT_EQ(api.cudaMemPrefetchAsync(managed[r], resident, 0, 0),
+                cudaSuccess);
+    }
+    ASSERT_EQ(api.cudaDeviceSynchronize(), cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(path).ok());
+  }
+
+  struct Observed {
+    std::size_t pages_restored = 0;
+    std::vector<sim::PageResidency> residency;
+    std::vector<std::uint32_t> contents;
+  };
+  auto restore_with_threads = [&](std::size_t threads) {
+    CracOptions opts = test_options();
+    opts.ckpt_threads = threads;
+    auto restarted = CracContext::restart_from_image(path, opts);
+    Observed got;
+    EXPECT_TRUE(restarted.ok()) << restarted.status().to_string();
+    if (!restarted.ok()) return got;
+    auto& ctx = **restarted;
+    got.pages_restored = ctx.plugin().last_replay_stats().uvm_pages_restored;
+    // Residency first (reading contents faults device pages back to host).
+    auto& uvm = ctx.process().lower().device().uvm();
+    const std::size_t page = uvm.page_size();
+    for (std::size_t r = 0; r < kRanges; ++r) {
+      for (std::size_t off = 0; off < bytes; off += page) {
+        got.residency.push_back(
+            *uvm.residency(static_cast<char*>(managed[r]) + off));
+      }
+    }
+    for (std::size_t r = 0; r < kRanges; ++r) {
+      const auto* words = static_cast<const std::uint32_t*>(managed[r]);
+      got.contents.insert(got.contents.end(), words, words + bytes / 4);
+    }
+    return got;
+  };
+
+  const Observed serial = restore_with_threads(1);   // no pool: inline
+  const Observed overlap = restore_with_threads(4);  // pool: concurrent
+  EXPECT_GT(serial.pages_restored, 0u);
+  EXPECT_EQ(overlap.pages_restored, serial.pages_restored);
+  EXPECT_EQ(overlap.residency, serial.residency);
+  EXPECT_EQ(overlap.contents, serial.contents);
+  std::remove(path.c_str());
+}
+
 TEST_F(CracRoundTripTest, CompressedImageWorks) {
   const std::string path = temp_image_path("gzipish");
   CracOptions opts = test_options();

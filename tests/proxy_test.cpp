@@ -4,6 +4,7 @@
 // documented lost-update failure under concurrent streams.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -520,6 +521,131 @@ TEST(ProxyTest, RecvCkptTruncatedStreamAbortsInBandAndKeepsState) {
 
   const Status recv_status = feed_recv(b, wire);
   EXPECT_FALSE(recv_status.ok());
+
+  std::vector<char> back(n);
+  ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, pattern);
+  EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
+}
+
+TEST(ProxyTest, DeviceStateShipsBetweenProxyEndpointsOverShardSockets) {
+  // The multi-socket variant of the endpoint migration: A's client fans the
+  // server's SHIP_CKPT stream out across two shard sockets, B's client
+  // reassembles them and re-frames onto its own control socket. Neither
+  // server knows more than one stream exists.
+  ProxyClientApi a(test_options());
+  ProxyClientApi b(test_options());
+
+  const std::size_t n = 384 << 10;
+  void* dev = nullptr;
+  ASSERT_EQ(a.cudaMalloc(&dev, n), cudaSuccess);
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 23);
+  ASSERT_EQ(a.cudaMemcpy(dev, pattern.data(), n, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  std::vector<int> tx, rx;
+  for (int k = 0; k < 2; ++k) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    rx.push_back(fds[0]);
+    tx.push_back(fds[1]);
+  }
+  Status ship_status = OkStatus();
+  std::thread shipper([&] { ship_status = a.ship_checkpoint(tx); });
+  const Status recv_status = b.recv_checkpoint(rx);
+  shipper.join();
+  for (int fd : tx) ::close(fd);
+  for (int fd : rx) ::close(fd);
+  ASSERT_TRUE(ship_status.ok()) << ship_status.to_string();
+  ASSERT_TRUE(recv_status.ok()) << recv_status.to_string();
+
+  std::vector<char> back(n);
+  ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, pattern);
+}
+
+TEST(ProxyTest, RecvCkptShardStreamDeathKeepsStateAndConnection) {
+  // One of the two shard streams dies mid-transfer (EOF, no trailer). The
+  // fan-in client must abort the server-bound stream in-band so the server
+  // rejects cleanly: B's prior device state intact, connection usable.
+  ProxyClientApi a(test_options());
+  ProxyClientApi b(test_options());
+
+  // Large enough that both shards of the default 256KiB stripe carry real
+  // payload (shard 1 must die mid-payload, not inside its tiny tail).
+  const std::size_t src_n = 1 << 20;
+  void* src_dev = nullptr;
+  ASSERT_EQ(a.cudaMalloc(&src_dev, src_n), cudaSuccess);
+  std::vector<char> src_fill(src_n, 0x5D);
+  ASSERT_EQ(a.cudaMemcpy(src_dev, src_fill.data(), src_n,
+                         cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  const std::size_t n = 48 << 10;
+  void* dev = nullptr;
+  ASSERT_EQ(b.cudaMalloc(&dev, n), cudaSuccess);
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 19);
+  ASSERT_EQ(b.cudaMemcpy(dev, pattern.data(), n, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  // Capture the two shard streams of a healthy fan-out shipment.
+  std::vector<std::vector<std::byte>> shard_wire(2);
+  {
+    int p0[2], p1[2];
+    ASSERT_EQ(::pipe(p0), 0);
+    ASSERT_EQ(::pipe(p1), 0);
+    std::thread d0([&] {
+      std::byte buf[1 << 16];
+      for (;;) {
+        const ::ssize_t r = ::read(p0[0], buf, sizeof(buf));
+        if (r <= 0) break;
+        shard_wire[0].insert(shard_wire[0].end(), buf, buf + r);
+      }
+    });
+    std::thread d1([&] {
+      std::byte buf[1 << 16];
+      for (;;) {
+        const ::ssize_t r = ::read(p1[0], buf, sizeof(buf));
+        if (r <= 0) break;
+        shard_wire[1].insert(shard_wire[1].end(), buf, buf + r);
+      }
+    });
+    const Status shipped = a.ship_checkpoint({p0[1], p1[1]});
+    ::close(p0[1]);
+    ::close(p1[1]);
+    d0.join();
+    d1.join();
+    ::close(p0[0]);
+    ::close(p1[0]);
+    ASSERT_TRUE(shipped.ok()) << shipped.to_string();
+  }
+  // Shard 1 dies halfway through.
+  ASSERT_GT(shard_wire[1].size(), 1024u);
+  shard_wire[1].resize(shard_wire[1].size() / 2);
+
+  int f0[2], f1[2];
+  ASSERT_EQ(::pipe(f0), 0);
+  ASSERT_EQ(::pipe(f1), 0);
+  std::thread feed0([&] {
+    (void)write_all(f0[1], shard_wire[0].data(), shard_wire[0].size());
+    ::close(f0[1]);
+  });
+  std::thread feed1([&] {
+    (void)write_all(f1[1], shard_wire[1].data(), shard_wire[1].size());
+    ::close(f1[1]);
+  });
+  const Status recv_status = b.recv_checkpoint({f0[0], f1[0]});
+  feed0.join();
+  feed1.join();
+  ::close(f0[0]);
+  ::close(f1[0]);
+  EXPECT_FALSE(recv_status.ok());
+  EXPECT_NE(recv_status.message().find("shard 1"), std::string::npos)
+      << recv_status.to_string();
 
   std::vector<char> back(n);
   ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),

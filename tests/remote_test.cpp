@@ -11,9 +11,11 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <condition_variable>
 #include <cstring>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -638,6 +640,89 @@ TEST(StreamingSpoolTest, LazyReaderRestoresWhileReceivingUnderSpoolCap) {
   EXPECT_GT(outcome->spooled_to_disk_bytes, 0u);
 }
 
+TEST(StreamingSpoolTest, FirstChunkDecodesBeforeSectionEndIsKnown) {
+  // Chunk-granular overlap, pinned at byte granularity: the sender releases
+  // only the image header, the section header, and the first two chunk
+  // frames, then blocks. The receiver must hand the first chunk's payload
+  // to the consumer while the section's remaining chunks — and its
+  // terminator — have not even been written yet. (Two frames, not one: the
+  // poolless decode window is 1 frame, and the unpipeline tops the window
+  // back up after retiring a frame, so delivering chunk N touches frame
+  // N+1.) A section-at-a-time implementation would deadlock here; the
+  // gated sender turns that into a hang the harness flags instead of a
+  // silently serialized pass.
+  const std::size_t chunk = 4096;
+  const auto payload = testlib::random_bytes(3 * chunk + 123, 91);
+  const std::vector<std::byte> image =
+      logical_image({{"payload", payload}}, Codec::kStore, chunk);
+  // Image header (8 magic + 4 version + 4 codec + 8 chunk size), section
+  // header (4 type + 4 name length + 7 name), two kStore frames (20-byte
+  // v2 frame header + chunk bytes each).
+  const std::size_t cut = 24 + 15 + 2 * (20 + chunk);
+  ASSERT_LT(cut, image.size());
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::promise<void> first_chunk_delivered;
+  std::future<void> gate = first_chunk_delivered.get_future();
+  Status ship_status = OkStatus();
+  std::thread shipper([&] {
+    SocketSink sink(fds[1], "overlap ship");
+    Status s = sink.write(image.data(), cut);
+    if (s.ok()) s = sink.flush();
+    // The spool publishes a wire frame only once the next frame's header
+    // lands (the trailer gate), so nudge with a one-byte frame: it releases
+    // everything up to `cut` while itself staying behind the frontier.
+    if (s.ok()) s = sink.write(image.data() + cut, 1);
+    if (s.ok()) s = sink.flush();
+    gate.wait();
+    if (s.ok()) s = sink.write(image.data() + cut + 1, image.size() - cut - 1);
+    if (s.ok()) s = sink.close();
+    ship_status = s;
+    ::close(fds[1]);
+  });
+
+  auto spool = StreamingSpoolSource::start(fds[0]);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto sec = reader->section_at(0);
+  ASSERT_TRUE(sec.ok()) << sec.status().to_string();
+  ASSERT_NE(*sec, nullptr);
+  EXPECT_EQ((*sec)->name, "payload");
+  // Published on its header alone — the chunk walk is still in flight.
+  EXPECT_FALSE((*sec)->size_known);
+
+  auto stream = reader->open_section(**sec);
+  ASSERT_TRUE(stream.ok()) << stream.status().to_string();
+  std::vector<std::byte> first(chunk);
+  ASSERT_TRUE(stream->read(first.data(), first.size()).ok());
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), payload.begin()));
+  // The proof of overlap: a chunk is in the consumer's hands while the
+  // sender still holds the section tail and the terminator back.
+  EXPECT_FALSE(stream->size_known());
+  first_chunk_delivered.set_value();
+
+  std::vector<std::byte> rest(payload.size() - chunk);
+  ASSERT_TRUE(stream->read(rest.data(), rest.size()).ok());
+  EXPECT_TRUE(
+      std::equal(rest.begin(), rest.end(), payload.begin() + chunk));
+  std::byte sentinel;
+  auto past = stream->read_some(&sentinel, 1);
+  ASSERT_TRUE(past.ok()) << past.status().to_string();
+  EXPECT_EQ(*past, 0u);
+  // Draining to the terminator resolved the deferred directory entry.
+  EXPECT_TRUE(stream->size_known());
+  EXPECT_EQ(stream->raw_size(), payload.size());
+  EXPECT_TRUE((*sec)->size_known);
+  EXPECT_EQ((*sec)->raw_size, payload.size());
+  ASSERT_TRUE(reader->verify_unread_sections().ok());
+
+  shipper.join();
+  ::close(fds[0]);
+  ASSERT_TRUE(ship_status.ok()) << ship_status.to_string();
+}
+
 // ---- full-context live ship ----------------------------------------------
 
 TEST(RemoteShipTest, CracContextShipsAndRestartsOverSocketpair) {
@@ -744,6 +829,288 @@ TEST(RemoteShipTest, CracContextRestartOverlapsLiveCheckpoint) {
 
   void* dev = (*restored)->root();
   ASSERT_NE(dev, nullptr);
+  std::vector<char> back(n);
+  ASSERT_EQ((*restored)->api().cudaMemcpy(back.data(), dev, n,
+                                          cuda::cudaMemcpyDeviceToHost),
+            cuda::cudaSuccess);
+  EXPECT_EQ(back, pattern);
+}
+
+// ---- sharded shipping ----------------------------------------------------
+//
+// The multi-socket transport: one CRACSHPM preamble + CRACSHP1 stream per
+// shard connection, the logical image striped across them, reassembled by
+// ShardedSpoolSource on the far side.
+
+struct ShardPair {
+  std::vector<int> tx;
+  std::vector<int> rx;
+};
+
+ShardPair make_shard_sockets(std::size_t n) {
+  ShardPair p;
+  for (std::size_t i = 0; i < n; ++i) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    p.rx.push_back(fds[0]);
+    p.tx.push_back(fds[1]);
+  }
+  return p;
+}
+
+void close_all(const std::vector<int>& fds) {
+  for (int fd : fds) ::close(fd);
+}
+
+TEST(ShardedShipTest, RoundTripAcrossShardCounts) {
+  const NamedSections secs = {
+      {"noise", testlib::random_bytes(300 * 1024, 19)},
+      {"runs", testlib::compressible_bytes(256 * 1024, 29)},
+      {"empty", {}},
+  };
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE(n);
+    ShardPair sp = make_shard_sockets(n);
+
+    Status ship_status = OkStatus();
+    std::thread shipper([&] {
+      ShardedSocketSink::Options sink_opts;
+      sink_opts.stripe_bytes = 32 * 1024;  // force real striping
+      sink_opts.origin = "sharded ship";
+      auto sink = ShardedSocketSink::open(sp.tx, sink_opts);
+      ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+      EXPECT_EQ((*sink)->shard_count(), n);
+      ship_status = testlib::write_image(**sink, secs, Codec::kLz, 4096);
+      if (ship_status.ok()) ship_status = (*sink)->close();
+    });
+
+    ShardedSpoolSource::Options opts;
+    opts.origin = "sharded recv";
+    auto spool = ShardedSpoolSource::start(sp.rx, opts);
+    ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+    EXPECT_EQ((*spool)->shard_count(), n);
+
+    auto reader = ImageReader::open(std::move(*spool));
+    ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+    // The directory scan is incremental while shards still stream in:
+    // sections resolve one by one as their bytes land.
+    for (std::size_t i = 0; i < secs.size(); ++i) {
+      auto sec = reader->section_at(i);
+      ASSERT_TRUE(sec.ok()) << sec.status().to_string();
+      ASSERT_NE(*sec, nullptr);
+      auto payload = reader->read_section(**sec);
+      ASSERT_TRUE(payload.ok()) << payload.status().to_string();
+      EXPECT_EQ(*payload, secs[i].second) << secs[i].first;
+    }
+    ASSERT_TRUE(reader->verify_unread_sections().ok());
+    shipper.join();
+    EXPECT_TRUE(ship_status.ok()) << ship_status.to_string();
+    close_all(sp.tx);
+    close_all(sp.rx);
+  }
+}
+
+TEST(ShardedShipTest, ShuffledFdOrderStillReassembles) {
+  // The receiver identifies shard streams by their preambles, not by fd
+  // order: handing the fds over rotated must change nothing.
+  const NamedSections secs = {{"payload", testlib::random_bytes(200 * 1024, 3)}};
+  ShardPair sp = make_shard_sockets(3);
+
+  Status ship_status = OkStatus();
+  std::thread shipper([&] {
+    ShardedSocketSink::Options sink_opts;
+    sink_opts.stripe_bytes = 16 * 1024;
+    auto sink = ShardedSocketSink::open(sp.tx, sink_opts);
+    ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+    ship_status = testlib::write_image(**sink, secs, Codec::kStore, 4096);
+    if (ship_status.ok()) ship_status = (*sink)->close();
+  });
+
+  const std::vector<int> rotated = {sp.rx[2], sp.rx[0], sp.rx[1]};
+  auto spool = ShardedSpoolSource::start(rotated);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  auto reader = ImageReader::open(std::move(*spool));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto sec = reader->section_at(0);
+  ASSERT_TRUE(sec.ok()) << sec.status().to_string();
+  ASSERT_NE(*sec, nullptr);
+  auto payload = reader->read_section(**sec);
+  ASSERT_TRUE(payload.ok()) << payload.status().to_string();
+  EXPECT_EQ(*payload, secs[0].second);
+  shipper.join();
+  EXPECT_TRUE(ship_status.ok()) << ship_status.to_string();
+  close_all(sp.tx);
+  close_all(sp.rx);
+}
+
+TEST(ShardedShipTest, ShardCountMismatchRejected) {
+  // A receiver wired to fewer sockets than the sender striped across must
+  // fail by name instead of reassembling a hole-ridden stream.
+  ShardPair sp = make_shard_sockets(2);
+  auto sink = ShardedSocketSink::open(sp.tx);
+  ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+
+  auto spool = ShardedSpoolSource::start({sp.rx[0]});
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("2 shard streams"),
+            std::string::npos)
+      << spool.status().to_string();
+
+  (void)(*sink)->abort();
+  close_all(sp.tx);
+  close_all(sp.rx);
+}
+
+TEST(ShardedShipTest, PreambleCorruptionRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<std::byte> junk(kShipPreambleBytes, std::byte{0x5A});
+  ASSERT_TRUE(write_all_fd(fds[1], junk.data(), junk.size(), "junk").ok());
+  auto spool = ShardedSpoolSource::start({fds[0]});
+  ASSERT_FALSE(spool.ok());
+  EXPECT_EQ(spool.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(spool.status().message().find("preamble"), std::string::npos)
+      << spool.status().to_string();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ShardedShipTest, SenderAbortWakesAllShardsInBand) {
+  // A sender that gives up mid-shipment aborts every shard stream in-band:
+  // the reassembled source fails with the abort's named error rather than
+  // hanging a blocked reader or reporting a desynced wire.
+  ShardPair sp = make_shard_sockets(3);
+
+  std::thread shipper([&] {
+    ShardedSocketSink::Options sink_opts;
+    sink_opts.stripe_bytes = 16 * 1024;
+    sink_opts.origin = "doomed ship";
+    auto sink = ShardedSocketSink::open(sp.tx, sink_opts);
+    ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+    const std::vector<std::byte> some = testlib::random_bytes(200 * 1024, 41);
+    ASSERT_TRUE((*sink)->write(some.data(), some.size()).ok());
+    // abort() returns OK when the in-band markers reached every peer.
+    ASSERT_TRUE((*sink)->abort().ok());
+  });
+
+  ShardedSpoolSource::Options opts;
+  opts.origin = "doomed recv";
+  auto spool = ShardedSpoolSource::start(sp.rx, opts);
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+  const Status done = (*spool)->wait_complete();
+  ASSERT_FALSE(done.ok());
+  EXPECT_EQ(done.code(), StatusCode::kIoError);
+  EXPECT_NE(done.message().find("aborted by sender"), std::string::npos)
+      << done.to_string();
+  shipper.join();
+  close_all(sp.tx);
+  close_all(sp.rx);
+}
+
+TEST(ShardedShipTest, DeadShardPeerPoisonsSenderAndAbortsHealthyShards) {
+  // One shard connection dies mid-shipment (its peer closes). The sender's
+  // next writes must fail naming that shard, and the surviving shard
+  // streams must be terminated with the in-band abort marker — so a
+  // receiver on a healthy shard sees a synchronized named failure, never a
+  // silent truncation. As in the migration example, the dead peer must
+  // surface through the Status path — not as SIGPIPE.
+  auto* prior_handler = std::signal(SIGPIPE, SIG_IGN);
+  ShardPair sp = make_shard_sockets(2);
+
+  // Shard 0's peer: drain a little, then hang up.
+  std::thread quitter([&] {
+    std::byte buf[64 * 1024];
+    (void)read_all_fd(sp.rx[0], buf, sizeof(buf), "quitter");
+    ::close(sp.rx[0]);
+  });
+  // Shard 1's peer: capture everything until EOF.
+  std::vector<std::byte> shard1_wire;
+  std::thread keeper([&] {
+    std::byte buf[1 << 16];
+    for (;;) {
+      const ::ssize_t n = ::read(sp.rx[1], buf, sizeof(buf));
+      if (n <= 0) break;
+      shard1_wire.insert(shard1_wire.end(), buf, buf + n);
+    }
+    ::close(sp.rx[1]);
+  });
+
+  ShardedSocketSink::Options sink_opts;
+  sink_opts.stripe_bytes = 16 * 1024;
+  sink_opts.origin = "half-dead ship";
+  auto sink = ShardedSocketSink::open(sp.tx, sink_opts);
+  ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+  const std::vector<std::byte> piece = testlib::random_bytes(64 * 1024, 47);
+  Status ship = OkStatus();
+  for (int i = 0; i < 128 && ship.ok(); ++i) {  // ~8 MiB >> socket buffers
+    ship = (*sink)->write(piece.data(), piece.size());
+  }
+  if (ship.ok()) ship = (*sink)->close();  // at latest, close must notice
+  ASSERT_FALSE(ship.ok());
+  EXPECT_NE(ship.message().find("shard 0"), std::string::npos)
+      << ship.to_string();
+  sink->reset();      // destructor aborts the unterminated shipment
+  close_all(sp.tx);   // keeper's EOF
+  quitter.join();
+  keeper.join();
+
+  // The healthy shard's wire (preamble stripped) must be a well-formed
+  // CRACSHP1 stream ending in the in-band abort marker.
+  ASSERT_GT(shard1_wire.size(), kShipPreambleBytes);
+  const std::vector<std::byte> stream(
+      shard1_wire.begin() + kShipPreambleBytes, shard1_wire.end());
+  auto replayed = replay_stream(stream);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kIoError);
+  EXPECT_NE(replayed.status().message().find("aborted by sender"),
+            std::string::npos)
+      << replayed.status().to_string();
+  std::signal(SIGPIPE, prior_handler);
+}
+
+TEST(ShardedShipTest, CracContextShipsShardedAndRestarts) {
+  // The full migration flow over two shard sockets: checkpoint_to_sink
+  // stripes the live image across both, ShardedSpoolSource reassembles it,
+  // restart brings the device contents back bit for bit.
+  CracOptions opts;
+  opts.split.device.device_capacity = 64 << 20;
+  opts.split.device.pinned_capacity = 16 << 20;
+  opts.split.device.managed_capacity = 64 << 20;
+  opts.split.upper_heap_capacity = 64 << 20;
+
+  const std::size_t n = 512 << 10;
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 29);
+
+  ShardPair sp = make_shard_sockets(2);
+  void* dev = nullptr;
+  Result<std::unique_ptr<ShardedSpoolSource>> spool =
+      Status(StatusCode::kInternal, "receiver never ran");
+  {
+    CracContext ctx(opts);
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, n), cuda::cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(dev, pattern.data(), n,
+                                   cuda::cudaMemcpyHostToDevice),
+              cuda::cudaSuccess);
+    ctx.set_root(dev);
+    ShardedSocketSink::Options sink_opts;
+    sink_opts.stripe_bytes = 64 * 1024;
+    auto sink = ShardedSocketSink::open(sp.tx, sink_opts);
+    ASSERT_TRUE(sink.ok()) << sink.status().to_string();
+    // The spool's receiver threads drain concurrently with the checkpoint.
+    spool = ShardedSpoolSource::start(sp.rx);
+    ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+    auto report = ctx.checkpoint_to_sink(**sink);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_GT(report->image_bytes, n);
+  }
+  close_all(sp.tx);
+
+  auto restored = CracContext::restart_from_source(std::move(*spool), opts);
+  close_all(sp.rx);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ((*restored)->root(), dev);
   std::vector<char> back(n);
   ASSERT_EQ((*restored)->api().cudaMemcpy(back.data(), dev, n,
                                           cuda::cudaMemcpyDeviceToHost),

@@ -476,6 +476,42 @@ TEST(RestoreWindowTest, HugeDeclaredChunkSizeDoesNotInflateResidency) {
   std::remove(path.c_str());
 }
 
+TEST(RestoreWindowTest, SteadyStateDecodePerformsNoPerChunkAllocation) {
+  // The buffer-pool property behind the window bound: a 256-chunk section
+  // decoded through a warm pool performs no per-chunk allocation. Fresh
+  // buffer allocations (pool misses) are bounded by the in-flight window —
+  // two buffers per in-flight chunk plus the consumer's round-tripping one
+  // — never by the chunk count.
+  const std::size_t chunk = 16 << 10;
+  const std::size_t total = 4 << 20;  // 256 chunks
+  const std::string path = temp_path("allocs");
+  ASSERT_TRUE(write_image_file(path,
+                               {{"big", compressible_bytes(total, 23)}},
+                               Codec::kLz, chunk)
+                  .ok());
+  ThreadPool pool(2);
+  ImageReader::Options ropts;
+  ropts.pool = &pool;
+  auto reader = ImageReader::from_file(path, ropts);
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  auto stream = reader->open_section(reader->sections()[0]);
+  ASSERT_TRUE(stream.ok());
+  std::vector<std::byte> slice(7000);
+  std::uint64_t consumed = 0;
+  for (;;) {
+    auto n = stream->read_some(slice.data(), slice.size());
+    ASSERT_TRUE(n.ok()) << n.status().to_string();
+    if (*n == 0) break;
+    consumed += *n;
+  }
+  EXPECT_EQ(consumed, total);
+  const std::uint64_t window = 2 * 2 + 1;  // pool threads × 2 + 1
+  EXPECT_GT(stream->buffer_allocs(), 0u);
+  EXPECT_LE(stream->buffer_allocs(), 2 * window + 2)
+      << "decode allocated per chunk instead of recycling";
+  std::remove(path.c_str());
+}
+
 // ---- concurrency: pool sizes must not change bytes, only speed ----
 
 TEST(RestoreConcurrencyTest, OneVsManyThreadsByteIdentical) {
