@@ -138,6 +138,11 @@ struct BenchJson {
     double restart_s = -1;
     std::uint64_t pages_restored = 0;
   };
+  struct Delta {
+    double dirty_fraction = 0;
+    std::uint64_t full_bytes = 0, delta_bytes = 0;
+    double full_s = -1, delta_s = -1;
+  };
 
   std::vector<Rodinia> rodinia;
   double serial_write_mbs = 0, serial_restore_mbs = 0;
@@ -147,6 +152,7 @@ struct BenchJson {
   std::vector<MultiSocket> multi_socket;
   std::vector<ZeroRun> zero_run;
   std::vector<Prefetch> prefetch;
+  std::vector<Delta> delta;
 
   static std::string num(double v) {
     char buf[32];
@@ -241,6 +247,17 @@ struct BenchJson {
            ", \"restart_s\": " + num(c.restart_s) +
            ", \"uvm_pages_restored\": " + num(c.pages_restored) + "}";
       s += i + 1 < prefetch.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"delta_checkpoint\": [\n";
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      const auto& c = delta[i];
+      s += "    {\"dirty_fraction\": " + num(c.dirty_fraction) +
+           ", \"full_bytes\": " + num(c.full_bytes) +
+           ", \"delta_bytes\": " + num(c.delta_bytes) +
+           ", \"full_s\": " + num(c.full_s) +
+           ", \"delta_s\": " + num(c.delta_s) + "}";
+      s += i + 1 < delta.size() ? ",\n" : "\n";
     }
     s += "  ]\n}\n";
     return s;
@@ -1044,6 +1061,103 @@ void run_uvm_prefetch_sweep(BenchJson& json) {
   std::remove(path.c_str());
 }
 
+// ---- incremental (delta) checkpoint sweep ---------------------------------
+//
+// One device buffer, one full checkpoint, then a dirty-fraction sweep: touch
+// 2% / 10% / 50% of the buffer (64KiB islands spread uniformly, the shape a
+// training step's parameter updates take) and take a checkpoint_delta after
+// each. The number to watch is delta_bytes / full_bytes tracking the dirty
+// fraction; the time win follows the byte win because the drain only copies
+// dirty chunks off the device. Ends with a chain restore of the newest delta
+// so the sweep also drives base -> delta -> delta resolution end to end.
+void run_delta_sweep(BenchJson& json) {
+  using namespace crac;
+  using namespace crac::bench;
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_DELTA_MB", quick() ? 8 : 64));
+  const std::size_t n = mb << 20;
+  const std::string base_path = "/tmp/crac_bench_delta_base.img";
+  std::printf("\nincremental (delta) checkpoints (%zuMB device buffer; "
+              "dirty-fraction sweep, delta size and time vs the full "
+              "image):\n",
+              mb);
+
+  std::vector<std::string> cleanup = {base_path};
+  // Scoped: the context must be destroyed before the chain restore below
+  // builds a fresh one (the split process owns fixed VAs).
+  {
+  CracContext ctx(crac_options());
+  auto& api = ctx.api();
+  void* dev = nullptr;
+  if (api.cudaMalloc(&dev, n) != cuda::cudaSuccess) {
+    std::printf("  device alloc FAILED\n");
+    return;
+  }
+  const auto host = synthetic_image_payload(n, 777);
+  if (api.cudaMemcpy(dev, host.data(), n, cuda::cudaMemcpyHostToDevice) !=
+      cuda::cudaSuccess) {
+    std::printf("  initial fill FAILED\n");
+    return;
+  }
+  auto full = ctx.checkpoint(base_path);
+  if (!full.ok()) {
+    std::printf("  full checkpoint FAILED: %s\n",
+                full.status().to_string().c_str());
+    return;
+  }
+  std::printf("  %-14s %12s %9s %10s\n", "checkpoint", "image",
+              "vs full", "seconds");
+  std::printf("  %-14s %12s %9s %10.4f\n", "full",
+              format_size(full->image_bytes).c_str(), "1.00x", full->total_s);
+
+  const double fractions[] = {0.02, 0.10, 0.50};
+  int idx = 0;
+  for (const double fraction : fractions) {
+    // Touch `fraction` of the buffer in 64KiB islands spread uniformly.
+    const std::size_t island = 64u << 10;
+    const std::size_t islands = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * static_cast<double>(n)) /
+               island);
+    const std::size_t stride = n / islands;
+    bool ok = true;
+    for (std::size_t i = 0; i < islands && ok; ++i) {
+      const std::size_t off = i * stride;
+      const std::size_t len = std::min(island, n - off);
+      ok = api.cudaMemcpy(static_cast<std::byte*>(dev) + off,
+                          host.data() + off, len,
+                          cuda::cudaMemcpyHostToDevice) == cuda::cudaSuccess;
+    }
+    const std::string path =
+        "/tmp/crac_bench_delta_" + std::to_string(++idx) + ".img";
+    auto delta = ok ? ctx.checkpoint_delta(path)
+                    : Result<CheckpointReport>(
+                          Internal("dirtying memcpy failed"));
+    if (!delta.ok()) {
+      std::printf("  %3.0f%% dirty     FAILED: %s\n", fraction * 100,
+                  delta.status().to_string().c_str());
+      json.delta.push_back({fraction, full->image_bytes, 0, full->total_s, -1});
+      continue;
+    }
+    cleanup.push_back(path);
+    json.delta.push_back({fraction, full->image_bytes, delta->image_bytes,
+                          full->total_s, delta->total_s});
+    std::printf("  %3.0f%% dirty     %12s %8.2fx %10.4f\n", fraction * 100,
+                format_size(delta->image_bytes).c_str(),
+                static_cast<double>(delta->image_bytes) /
+                    static_cast<double>(full->image_bytes),
+                delta->total_s);
+  }
+  }  // context destroyed: fixed VAs free for the restored context
+
+  // Chain restore: the newest delta resolves base + every intermediate.
+  auto restored = CracContext::restart_from_image(cleanup.back(),
+                                                  crac_options());
+  std::printf("  chain restore of %s: %s\n", cleanup.back().c_str(),
+              restored.ok() ? "ok"
+                            : restored.status().to_string().c_str());
+  for (const auto& p : cleanup) std::remove(p.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -1193,6 +1307,14 @@ int main() {
               "be no slower than inline, with the gap bounded by the share "
               "of restart spent applying residency bitmaps. crac_test "
               "asserts the two paths restore byte-identical state.\n");
+
+  run_delta_sweep(json);
+  std::printf("\nshape check (delta): delta image size should track the "
+              "dirty fraction (2%% dirty => well under 10%% of the full "
+              "image; the floor is the always-full sections — log, upper "
+              "memory, residency), and delta time should fall with it. "
+              "delta_test asserts chain restores are byte-identical to full "
+              "ones.\n");
 
   const char* json_path = std::getenv("CRAC_BENCH_JSON");
   const std::string out_path =

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "ckpt/delta.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/memory_section.hpp"
 #include "ckpt/sharded.hpp"
@@ -31,6 +32,7 @@ const char* section_type_name(ckpt::SectionType t) {
     case ckpt::SectionType::kManagedBuffers: return "managed-buffers";
     case ckpt::SectionType::kUvmResidency: return "uvm-residency";
     case ckpt::SectionType::kStreams: return "streams";
+    case ckpt::SectionType::kDeltaChunks: return "delta-chunks";
   }
   return "?";
 }
@@ -70,6 +72,33 @@ void dump_allocations(const std::vector<std::byte>& payload) {
     }
   }
   std::printf("  total payload: %s\n", format_size(total).c_str());
+}
+
+void dump_delta(const std::vector<std::byte>& payload) {
+  ByteReader r(payload);
+  std::uint32_t target = 0;
+  std::uint64_t granule = 0, full_raw = 0, entries = 0;
+  if (!r.get_u32(target).ok() || !r.get_u64(granule).ok() ||
+      !r.get_u64(full_raw).ok() || !r.get_u64(entries).ok()) {
+    std::printf("  (truncated)\n");
+    return;
+  }
+  std::uint64_t dirty_bytes = 0;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::uint64_t index = 0, len = 0;
+    if (!r.get_u64(index).ok() || !r.get_u64(len).ok() || !r.skip(len).ok()) {
+      std::printf("  (truncated)\n");
+      return;
+    }
+    dirty_bytes += len;
+  }
+  const std::uint64_t chunks = granule == 0 ? 0 : (full_raw + granule - 1) / granule;
+  std::printf("  patches a %s [%s] section: %" PRIu64 "/%" PRIu64
+              " chunks dirty (%s granule), %s of delta payload\n",
+              format_size(full_raw).c_str(),
+              section_type_name(static_cast<ckpt::SectionType>(target)),
+              entries, chunks, format_size(granule).c_str(),
+              format_size(dirty_bytes).c_str());
 }
 
 void dump_log(const std::vector<std::byte>& payload, bool full) {
@@ -182,6 +211,27 @@ int main(int argc, char** argv) {
   }
   std::printf("%s: %zu sections (CRACIMG%u)\n", argv[1],
               reader->sections().size(), reader->version());
+  // A delta image only means something against its chain; print the chain
+  // membership (newest first, full base last) so an operator can see at a
+  // glance which files a restore of this image will touch.
+  if (reader->is_delta()) {
+    std::printf("delta image: parent id %s at '%s'\n",
+                reader->parent_id().c_str(), reader->parent_path().c_str());
+    auto chain = ckpt::describe_image_chain(argv[1]);
+    if (!chain.ok()) {
+      std::printf("  chain unresolvable: %s\n",
+                  chain.status().to_string().c_str());
+    } else {
+      std::printf("chain (%zu images, newest first):\n", chain->size());
+      for (std::size_t i = 0; i < chain->size(); ++i) {
+        const auto& link = (*chain)[i];
+        std::printf("  %zu: %-5s %-32s id=%s  delta-sections=%" PRIu64 "\n", i,
+                    link.delta ? "delta" : "base", link.path.c_str(),
+                    link.image_id.empty() ? "(none)" : link.image_id.c_str(),
+                    link.delta_sections);
+      }
+    }
+  }
   // A sharded image is a manifest plus striped shard files; show the layout
   // so a damaged or missing shard is easy to chase down by name.
   if (ckpt::is_sharded_image(argv[1])) {
@@ -244,6 +294,13 @@ int main(int argc, char** argv) {
         break;
       case ckpt::SectionType::kStreams: dump_streams(*payload); break;
       case ckpt::SectionType::kUvmResidency: dump_uvm(*payload); break;
+      case ckpt::SectionType::kDeltaChunks: dump_delta(*payload); break;
+      case ckpt::SectionType::kMetadata:
+        if (sec.name == ckpt::kSectionImageId) {
+          std::printf("  image id: %.*s\n", static_cast<int>(payload->size()),
+                      reinterpret_cast<const char*>(payload->data()));
+        }
+        break;
       default: break;
     }
   }

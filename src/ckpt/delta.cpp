@@ -1,0 +1,238 @@
+#include "ckpt/delta.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/log.hpp"
+#include "ckpt/sink.hpp"
+
+namespace crac::ckpt {
+
+namespace {
+
+// Granule cap mirrors kMaxChunkSize's role: the header's chunk granule
+// bounds per-entry allocations, so it must itself be bounded.
+constexpr std::uint64_t kMaxDeltaGranule = std::uint64_t{1} << 30;
+
+Result<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return IoError("cannot open checkpoint image '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return IoError("cannot size checkpoint image '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(end));
+  const std::size_t got = bytes.empty()
+                              ? 0
+                              : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    return IoError("short read of checkpoint image '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Status read_delta_section_header(SectionStream& stream,
+                                 DeltaSectionHeader& out) {
+  std::uint32_t type_raw = 0;
+  CRAC_RETURN_IF_ERROR(stream.get_u32(type_raw));
+  CRAC_RETURN_IF_ERROR(stream.get_u64(out.payload_chunk_bytes));
+  CRAC_RETURN_IF_ERROR(stream.get_u64(out.full_raw_size));
+  CRAC_RETURN_IF_ERROR(stream.get_u64(out.entry_count));
+  out.target_type = static_cast<SectionType>(type_raw);
+  if (out.target_type == SectionType::kDeltaChunks) {
+    return Corrupt("delta section targets another delta section");
+  }
+  if (out.payload_chunk_bytes == 0 ||
+      out.payload_chunk_bytes > kMaxDeltaGranule) {
+    return Corrupt("delta section declares an invalid chunk granule of " +
+                   std::to_string(out.payload_chunk_bytes) + " bytes");
+  }
+  // At most one entry per granule of the target payload (+1 for a ragged
+  // tail); a larger claim cannot be honest.
+  const std::uint64_t max_entries =
+      out.full_raw_size / out.payload_chunk_bytes + 1;
+  if (out.entry_count > max_entries) {
+    return Corrupt("delta section declares " +
+                   std::to_string(out.entry_count) +
+                   " entries against a " +
+                   std::to_string(out.full_raw_size) + "-byte target");
+  }
+  return OkStatus();
+}
+
+Result<std::string> read_image_id(ImageReader& reader) {
+  const SectionInfo* sec = reader.find(SectionType::kMetadata, kSectionImageId);
+  if (sec == nullptr) {
+    CRAC_RETURN_IF_ERROR(reader.directory_status());
+    return NotFound("image carries no image-id section");
+  }
+  CRAC_ASSIGN_OR_RETURN(auto payload, reader.read_section(*sec));
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+namespace {
+
+// Applies one kDeltaChunks section of `child` onto the parent's target
+// section and writes the patched full section to `writer`.
+Status apply_delta_section(ImageReader& child, const SectionInfo& sec,
+                           ImageReader& parent, ImageWriter& writer) {
+  CRAC_ASSIGN_OR_RETURN(auto stream, child.open_section(sec));
+  DeltaSectionHeader header;
+  CRAC_RETURN_IF_ERROR(read_delta_section_header(stream, header));
+
+  const SectionInfo* target = parent.find(header.target_type, sec.name);
+  if (target == nullptr) {
+    CRAC_RETURN_IF_ERROR(parent.directory_status());
+    return Corrupt("delta patches section '" + sec.name +
+                   "' absent from its parent image");
+  }
+  if (target->raw_size != header.full_raw_size) {
+    return Corrupt("delta against section '" + sec.name + "' expects a " +
+                   std::to_string(header.full_raw_size) +
+                   "-byte target but the parent section holds " +
+                   std::to_string(target->raw_size) + " bytes");
+  }
+  CRAC_ASSIGN_OR_RETURN(auto base, parent.read_section(*target));
+
+  std::uint64_t prev_index = 0;
+  bool first = true;
+  for (std::uint64_t e = 0; e < header.entry_count; ++e) {
+    std::uint64_t index = 0, len = 0;
+    CRAC_RETURN_IF_ERROR(stream.get_u64(index));
+    CRAC_RETURN_IF_ERROR(stream.get_u64(len));
+    if (!first && index <= prev_index) {
+      return Corrupt("delta section '" + sec.name +
+                     "' entries out of order");
+    }
+    first = false;
+    prev_index = index;
+    if (len == 0 || len > header.payload_chunk_bytes) {
+      return Corrupt("delta section '" + sec.name +
+                     "' entry with invalid length " + std::to_string(len));
+    }
+    if (index > header.full_raw_size / header.payload_chunk_bytes) {
+      return Corrupt("delta section '" + sec.name +
+                     "' entry past end of target payload");
+    }
+    const std::uint64_t offset = index * header.payload_chunk_bytes;
+    if (offset + len > header.full_raw_size) {
+      return Corrupt("delta section '" + sec.name +
+                     "' entry past end of target payload");
+    }
+    CRAC_RETURN_IF_ERROR(
+        stream.read(base.data() + offset, static_cast<std::size_t>(len)));
+  }
+
+  CRAC_RETURN_IF_ERROR(writer.begin_section(header.target_type, sec.name));
+  CRAC_RETURN_IF_ERROR(writer.append(base.data(), base.size()));
+  return writer.end_section();
+}
+
+Result<std::vector<std::byte>> materialize_depth(const std::string& path,
+                                                 std::size_t depth) {
+  if (depth >= kMaxDeltaChainDepth) {
+    return Corrupt("delta chain at '" + path + "' exceeds " +
+                   std::to_string(kMaxDeltaChainDepth) +
+                   " images (parent cycle?)");
+  }
+  CRAC_ASSIGN_OR_RETURN(auto reader, ImageReader::from_file(path));
+  if (!reader.is_delta()) return read_file_bytes(path);
+  CRAC_RETURN_IF_ERROR(reader.scan_to_end());
+
+  if (reader.parent_path().empty()) {
+    return Corrupt("delta image '" + path + "' names no parent path");
+  }
+  CRAC_ASSIGN_OR_RETURN(auto parent_bytes,
+                        materialize_depth(reader.parent_path(), depth + 1));
+  CRAC_ASSIGN_OR_RETURN(auto parent,
+                        ImageReader::from_bytes(std::move(parent_bytes)));
+
+  // Identity gate: the parent file must be the image the delta was computed
+  // against, not merely a file at the remembered path.
+  auto parent_id = read_image_id(parent);
+  if (!parent_id.ok() || *parent_id != reader.parent_id()) {
+    return Corrupt("delta image '" + path + "' expects parent image id '" +
+                   reader.parent_id() + "' but '" + reader.parent_path() +
+                   "' holds " +
+                   (parent_id.ok() ? "id '" + *parent_id + "'"
+                                   : std::string("no image id")));
+  }
+
+  // Merge: the delta's sections in order, with each kDeltaChunks section
+  // replaced by the patched full target section. Sections the delta wrote
+  // in full shadow the parent outright.
+  MemorySink sink;
+  ImageWriter::Options wopts;
+  wopts.codec = reader.codec();
+  wopts.chunk_size = reader.chunk_size();
+  ImageWriter writer(&sink, wopts);
+  for (const SectionInfo& sec : reader.sections()) {
+    if (sec.type == SectionType::kDeltaChunks) {
+      CRAC_RETURN_IF_ERROR(apply_delta_section(reader, sec, parent, writer));
+      continue;
+    }
+    CRAC_ASSIGN_OR_RETURN(auto payload, reader.read_section(sec));
+    CRAC_RETURN_IF_ERROR(writer.begin_section(sec.type, sec.name));
+    CRAC_RETURN_IF_ERROR(writer.append(payload.data(), payload.size()));
+    CRAC_RETURN_IF_ERROR(writer.end_section());
+  }
+  CRAC_RETURN_IF_ERROR(writer.finish());
+  return std::move(sink).take();
+}
+
+}  // namespace
+
+Result<std::vector<std::byte>> materialize_image_chain(
+    const std::string& path) {
+  return materialize_depth(path, 0);
+}
+
+Result<std::vector<ChainLink>> describe_image_chain(const std::string& path) {
+  std::vector<ChainLink> chain;
+  std::string cur = path;
+  for (std::size_t depth = 0;; ++depth) {
+    if (depth >= kMaxDeltaChainDepth) {
+      return Corrupt("delta chain at '" + path + "' exceeds " +
+                     std::to_string(kMaxDeltaChainDepth) +
+                     " images (parent cycle?)");
+    }
+    CRAC_ASSIGN_OR_RETURN(auto reader, ImageReader::from_file(cur));
+    CRAC_RETURN_IF_ERROR(reader.scan_to_end());
+    ChainLink link;
+    link.path = cur;
+    link.delta = reader.is_delta();
+    link.parent_id = reader.parent_id();
+    auto id = read_image_id(reader);
+    if (id.ok()) link.image_id = *id;
+    for (const SectionInfo& sec : reader.sections()) {
+      if (sec.type == SectionType::kDeltaChunks) ++link.delta_sections;
+    }
+    if (!chain.empty() && chain.back().parent_id != link.image_id) {
+      return Corrupt("delta image '" + chain.back().path +
+                     "' expects parent image id '" + chain.back().parent_id +
+                     "' but '" + cur + "' holds " +
+                     (link.image_id.empty()
+                          ? std::string("no image id")
+                          : "id '" + link.image_id + "'"));
+    }
+    const bool is_delta = link.delta;
+    const std::string parent_path = reader.parent_path();
+    chain.push_back(std::move(link));
+    if (!is_delta) return chain;
+    if (parent_path.empty()) {
+      return Corrupt("delta image '" + cur + "' names no parent path");
+    }
+    cur = parent_path;
+  }
+}
+
+}  // namespace crac::ckpt

@@ -1,0 +1,88 @@
+// Incremental (delta) checkpoint chains.
+//
+// A v4 delta image patches a *parent* full image: its header names the
+// parent (id + path hint), and its kDeltaChunks sections carry sparse
+// (chunk index, payload) pairs against the like-named section of the
+// parent. Restore never interprets a delta directly — it materializes the
+// chain base -> ... -> delta into one merged full image and restores that
+// through the unchanged full-image path, so a delta restore is
+// byte-identical to a full restore by construction.
+//
+// kDeltaChunks payload layout (one section per patched target section):
+//
+//   [u32 target_section_type][u64 payload_chunk_bytes]
+//   [u64 full_raw_size][u64 entry_count]
+//   entry*: [u64 chunk_index][u64 byte_len][byte_len payload bytes]
+//
+// Entries are ascending by chunk_index; each patches
+// [chunk_index * payload_chunk_bytes, + byte_len) of the target section's
+// raw payload. byte_len < payload_chunk_bytes is only legal for the final
+// chunk of the payload. full_raw_size must equal the parent section's raw
+// size — a delta is only valid against the exact payload layout it was
+// computed from (the producer enforces that with an allocation-table
+// fingerprint and falls back to a full section on mismatch).
+//
+// Image identity: every checkpoint writes a kMetadata section named
+// "image-id" holding a random id; a delta's header parent_id must match the
+// id *inside* the parent file, so a swapped/overwritten parent fails by
+// name instead of merging garbage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ckpt/image.hpp"
+
+namespace crac::ckpt {
+
+// Name of the kMetadata section holding the image's random identity.
+inline constexpr char kSectionImageId[] = "image-id";
+
+// Upper bound on base -> delta -> delta ... chain length; a longer chain is
+// rejected by name (it almost certainly means a parent-path cycle).
+inline constexpr std::size_t kMaxDeltaChainDepth = 16;
+
+// Fixed-size prefix of a kDeltaChunks section payload.
+struct DeltaSectionHeader {
+  SectionType target_type{};
+  std::uint64_t payload_chunk_bytes = 0;
+  std::uint64_t full_raw_size = 0;
+  std::uint64_t entry_count = 0;
+};
+
+// Reads the fixed header off an open kDeltaChunks section stream, with
+// hostile-value gates (zero/oversized chunk granule, implausible counts).
+Status read_delta_section_header(SectionStream& stream,
+                                 DeltaSectionHeader& out);
+
+// The "image-id" metadata payload of an opened image, or NotFound when the
+// image predates image ids.
+Result<std::string> read_image_id(ImageReader& reader);
+
+// Materializes the full image equivalent to the chain ending at `path`:
+// resolves parents by the path hint, verifies each parent's embedded
+// image-id against the child's parent_id (named Corrupt on mismatch),
+// applies kDeltaChunks patches newest-last, and returns the merged image
+// bytes — a restorable full (non-delta) image. A non-delta `path` returns
+// its bytes unchanged.
+Result<std::vector<std::byte>> materialize_image_chain(
+    const std::string& path);
+
+// One image in a delta chain, newest first (chain[0] is the queried image,
+// chain.back() the full base).
+struct ChainLink {
+  std::string path;
+  std::string image_id;   // empty when the image carries no image-id section
+  std::string parent_id;  // empty for the full base
+  bool delta = false;
+  std::uint64_t delta_sections = 0;  // kDeltaChunks sections in this image
+};
+
+// Walks the chain ending at `path` without materializing payloads (used by
+// crac_inspect to print chain membership). Verifies parent ids like
+// materialize_image_chain.
+Result<std::vector<ChainLink>> describe_image_chain(const std::string& path);
+
+}  // namespace crac::ckpt

@@ -16,6 +16,7 @@ constexpr char kMagicV2[8] = {'C', 'R', 'A', 'C', 'I', 'M', 'G', '2'};
 constexpr std::uint32_t kVersion1 = 1;
 constexpr std::uint32_t kVersion2 = 2;
 constexpr std::uint32_t kVersion3 = 3;
+constexpr std::uint32_t kVersion4 = 4;
 
 // Codecs beyond kLz need per-chunk codec ids, which only the v3 chunk-frame
 // layout carries; picking the version (and framing) off the codec keeps
@@ -50,13 +51,23 @@ ImageWriter::ImageWriter(Sink* sink, const Options& options)
 
 ImageWriter::~ImageWriter() = default;
 
+std::uint32_t ImageWriter::image_version() const noexcept {
+  if (!options_.parent_id.empty()) return kVersion4;
+  return needs_v3(options_.codec) ? kVersion3 : kVersion2;
+}
+
 Status ImageWriter::write_header() {
   if (header_written_) return OkStatus();
   ByteWriter w;
   w.put_bytes(kMagicV2, sizeof(kMagicV2));
-  w.put_u32(needs_v3(options_.codec) ? kVersion3 : kVersion2);
+  const std::uint32_t version = image_version();
+  w.put_u32(version);
   w.put_u32(static_cast<std::uint32_t>(options_.codec));
   w.put_u64(options_.chunk_size);
+  if (version == kVersion4) {
+    w.put_string(options_.parent_id);
+    w.put_string(options_.parent_path);
+  }
   CRAC_RETURN_IF_ERROR(sink_->write(w.data(), w.size()));
   header_written_ = true;
   return OkStatus();
@@ -78,7 +89,7 @@ Status ImageWriter::begin_section(SectionType type, std::string name) {
   CRAC_RETURN_IF_ERROR((error_ = sink_->write(w.data(), w.size())));
   pipeline_ = std::make_unique<ChunkPipeline>(
       sink_, options_.codec, options_.chunk_size, options_.pool,
-      needs_v3(options_.codec) ? ChunkFraming::kV3 : ChunkFraming::kV2);
+      image_version() >= kVersion3 ? ChunkFraming::kV3 : ChunkFraming::kV2);
   return OkStatus();
 }
 
@@ -349,6 +360,9 @@ Status ImageReader::scan_v1() {
     std::uint64_t stored_size = 0;
     std::uint8_t section_codec = 0;
     CRAC_RETURN_IF_ERROR(read_u32(*source_, type_raw));
+    if (type_raw == static_cast<std::uint32_t>(SectionType::kDeltaChunks)) {
+      return Corrupt("delta-chunk section in a non-delta (v1) image");
+    }
     CRAC_RETURN_IF_ERROR(read_string(*source_, sec.name));
     CRAC_RETURN_IF_ERROR(read_u64(*source_, sec.raw_size));
     CRAC_RETURN_IF_ERROR(read_u64(*source_, stored_size));
@@ -397,6 +411,28 @@ Status ImageReader::scan_v2_params() {
                    format_size(kMaxChunkSize) + " limit");
   }
   chunk_size_ = static_cast<std::size_t>(chunk_size);
+  if (version_ == kVersion4) {
+    // Delta headers name their parent. The section-name cap bounds both
+    // strings against hostile headers (real ids are 16 hex chars, paths a
+    // few hundred bytes).
+    std::uint32_t id_len = 0;
+    CRAC_RETURN_IF_ERROR(read_u32(*source_, id_len));
+    if (id_len > source_->remaining() || id_len > kMaxSectionNameBytes) {
+      return Corrupt("truncated string");
+    }
+    parent_id_.resize(id_len);
+    CRAC_RETURN_IF_ERROR(source_->read(parent_id_.data(), id_len));
+    std::uint32_t path_len = 0;
+    CRAC_RETURN_IF_ERROR(read_u32(*source_, path_len));
+    if (path_len > source_->remaining() || path_len > kMaxSectionNameBytes) {
+      return Corrupt("truncated string");
+    }
+    parent_path_.resize(path_len);
+    CRAC_RETURN_IF_ERROR(source_->read(parent_path_.data(), path_len));
+    if (parent_id_.empty()) {
+      return Corrupt("delta image header missing its parent image id");
+    }
+  }
   scan_pos_ = source_->position();
   return OkStatus();
 }
@@ -491,6 +527,14 @@ Status ImageReader::scan_one_v2() {
   SectionInfo sec;
   std::uint32_t type_raw = 0;
   CRAC_RETURN_IF_ERROR(read_u32(*source_, type_raw));
+  // Sparse patch sections are only meaningful against the parent a v4
+  // header names; in any other image they would silently restore as a
+  // (garbage) full section.
+  if (type_raw == static_cast<std::uint32_t>(SectionType::kDeltaChunks) &&
+      version_ != kVersion4) {
+    return Corrupt("delta-chunk section in a non-delta (v" +
+                   std::to_string(version_) + ") image");
+  }
   std::uint32_t name_len = 0;
   CRAC_RETURN_IF_ERROR(read_u32(*source_, name_len));
   // remaining() bounds the claim for a complete source; the fixed cap is
@@ -559,10 +603,10 @@ Status ImageReader::scan() {
 
   CRAC_RETURN_IF_ERROR(read_u32(*source_, version_));
   if ((v1 && version_ != kVersion1) ||
-      (v2 && version_ != kVersion2 && version_ != kVersion3)) {
+      (v2 && (version_ < kVersion2 || version_ > kVersion4))) {
     return Corrupt("unsupported image version");
   }
-  framing_ = version_ == kVersion3 ? ChunkFraming::kV3 : ChunkFraming::kV2;
+  framing_ = version_ >= kVersion3 ? ChunkFraming::kV3 : ChunkFraming::kV2;
   if (v1) {
     // v1 interleaves its directory with payload like v2 but is legacy-only:
     // no incremental mode, even over a live stream (reads block until the

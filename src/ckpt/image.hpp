@@ -24,6 +24,20 @@
 // so v2-era images stay byte-identical and v2-only readers reject v3 images
 // by name ("unsupported image version") instead of misdecoding them.
 //
+// v4 — the incremental (delta) generation: the header grows two fields
+// naming the parent image this delta applies against,
+//
+//   [magic "CRACIMG2"][u32 version=4][u32 codec][u64 chunk_size]
+//   [string parent_id][string parent_path]
+//
+// and sections may be kDeltaChunks — sparse (chunk index, payload) pairs
+// patching the like-named section of the parent (payload layout in
+// delta.hpp). v4 always uses the v3 chunk framing. The writer emits v4 only
+// when Options::parent_id is set, so full images stay byte-identical to
+// their generation; pre-delta readers reject v4 by name ("unsupported image
+// version"), and any reader rejects a kDeltaChunks section appearing in a
+// non-v4 image ("delta-chunk section ... in a non-delta image").
+//
 // Each v2 chunk covers up to chunk_size raw payload bytes and is
 // independently compressed (stored_size == raw_size means stored verbatim)
 // and CRC32'd, so the writer can fan chunk encoding out across a thread
@@ -62,6 +76,7 @@ enum class SectionType : std::uint32_t {
   kManagedBuffers = 5, // drained managed (UVM) allocation contents
   kUvmResidency = 6,   // per-page residency bitmap
   kStreams = 7,        // live stream/event inventory
+  kDeltaChunks = 8,    // v4 only: sparse patch against the parent's section
 };
 
 // Directory entry for one section, built by ImageReader's open() scan
@@ -115,6 +130,12 @@ class ImageWriter {
     std::size_t chunk_size = kDefaultChunkSize;
     // Chunk-encoding pool; nullptr compresses on the calling thread.
     ThreadPool* pool = nullptr;
+    // Non-empty parent_id makes this a v4 delta image patching the full
+    // image whose "image-id" metadata section equals parent_id; parent_path
+    // is the restore-time hint for locating that image (the chain walker
+    // verifies the id before trusting it).
+    std::string parent_id;
+    std::string parent_path;
   };
 
   // Buffered mode (compat): accumulates into an internal MemorySink.
@@ -161,6 +182,8 @@ class ImageWriter {
 
  private:
   Status write_header();
+  // 4 when a parent is named, else 3/2 off the codec (see the format notes).
+  std::uint32_t image_version() const noexcept;
 
   Options options_;
   std::unique_ptr<MemorySink> own_sink_;  // buffered mode
@@ -369,6 +392,13 @@ class ImageReader {
   std::uint32_t version() const noexcept { return version_; }
   std::size_t chunk_size() const noexcept { return chunk_size_; }
 
+  // v4 delta images: the parent this image patches. Both empty for full
+  // images; parent_id is guaranteed non-empty for a delta (enforced at
+  // open, so is_delta() == false means "restorable on its own").
+  bool is_delta() const noexcept { return !parent_id_.empty(); }
+  const std::string& parent_id() const noexcept { return parent_id_; }
+  const std::string& parent_path() const noexcept { return parent_path_; }
+
   // The decode-ahead pool this reader was opened with (nullptr when decode
   // is inline). Restore phases borrow it for work that should overlap the
   // read path — e.g. fanning UVM prefetch application out during replay.
@@ -436,8 +466,10 @@ class ImageReader {
   ThreadPool* pool_ = nullptr;
   Codec codec_ = Codec::kStore;
   std::uint32_t version_ = 0;
-  ChunkFraming framing_ = ChunkFraming::kV2;  // kV3 for version-3 images
+  ChunkFraming framing_ = ChunkFraming::kV2;  // kV3 for version>=3 images
   std::size_t chunk_size_ = 0;  // v2 declared chunk size
+  std::string parent_id_;       // v4: parent image identity (empty = full)
+  std::string parent_path_;     // v4: where the parent was written
   // Deque, not vector: find() hands out stable pointers while the lazy scan
   // keeps appending behind them.
   std::deque<SectionInfo> sections_;

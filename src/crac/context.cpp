@@ -1,12 +1,15 @@
 #include "crac/context.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "ckpt/dirty.hpp"
 #include "ckpt/memory_section.hpp"
 #include "ckpt/sharded.hpp"
+#include "ckpt/source.hpp"
 
 namespace crac {
 
@@ -77,6 +80,43 @@ Result<CheckpointReport> CracContext::checkpoint(const std::string& path) {
     // (A sharded sink unlinks its own shard temps on destruction.)
     std::remove(temp_image_path(path).c_str());
   }
+  if (result.ok() && options_.ckpt_shards <= 1) {
+    // This image is now the newest committed link; later deltas chain onto
+    // it. Sharded images are excluded — chain resolution follows plain
+    // parent file paths.
+    delta_base_ = last_captured_;
+    delta_base_->path = path;
+  }
+  return result;
+}
+
+Result<CheckpointReport> CracContext::checkpoint_delta(
+    const std::string& path) {
+  CRAC_RETURN_IF_ERROR(validate_ckpt_options(options_));
+  if (options_.ckpt_shards > 1) {
+    return InvalidArgument(
+        "delta checkpoints require the single-file layout "
+        "(CracOptions::ckpt_shards == 1): chain resolution follows plain "
+        "parent file paths");
+  }
+  if (!delta_base_.has_value()) {
+    return FailedPrecondition(
+        "no base image to delta against: take a full checkpoint() first");
+  }
+  if (process_->lower().device().device_dirty().epoch() !=
+      delta_base_->device_epoch) {
+    return FailedPrecondition(
+        "device memory was restored since the base image '" +
+        delta_base_->path +
+        "' was written, so its dirty history no longer describes this "
+        "context: take a full checkpoint() first");
+  }
+  pending_delta_ = DeltaRequest{delta_base_->image_id, delta_base_->path};
+  plugin_->set_delta_plan(
+      {delta_base_->device_gen, delta_base_->alloc_fingerprint});
+  auto result = checkpoint(path);
+  pending_delta_.reset();
+  plugin_->clear_delta_plan();  // one-shot anyway; clears the failure path
   return result;
 }
 
@@ -97,6 +137,11 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
   wopts.codec = options_.codec;
   wopts.chunk_size = options_.ckpt_chunk_bytes;
   wopts.pool = ckpt_pool();
+  if (pending_delta_.has_value()) {
+    // v4 header: name the parent image this capture deltas against.
+    wopts.parent_id = pending_delta_->parent_id;
+    wopts.parent_path = pending_delta_->parent_path;
+  }
   ckpt::ImageWriter writer(&sink, wopts);
 
   // Sections are written in the order restart consumes them (heap state,
@@ -111,6 +156,28 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
     WallTimer t;
     CRAC_RETURN_IF_ERROR(registry_.run_quiesce());
     report.drain_s = t.elapsed_s();
+  }
+
+  // With the world stopped, stamp the image's identity and advance the
+  // dirty trackers: everything marked before this instant belongs to THIS
+  // capture, everything after to the next one. The capture state is what a
+  // later checkpoint_delta() deltas against.
+  {
+    sim::Device& dev = process_->lower().device();
+    last_image_id_ = ckpt::random_hex_id();
+    last_captured_.image_id = last_image_id_;
+    last_captured_.device_gen = dev.device_dirty().advance();
+    dev.pinned_dirty().advance();
+    dev.managed_dirty().advance();
+    last_captured_.device_epoch = dev.device_dirty().epoch();
+    last_captured_.alloc_fingerprint = plugin_->allocation_fingerprint();
+    std::vector<std::byte> id(last_image_id_.size());
+    std::memcpy(id.data(), last_image_id_.data(), id.size());
+    // First section in the stream, so chain resolution can identify a
+    // parent from its directory without touching any payload.
+    writer.add_section(ckpt::SectionType::kMetadata, ckpt::kSectionImageId,
+                       std::move(id));
+    CRAC_RETURN_IF_ERROR(writer.status());
   }
 
   // 2. Upper-half memory snapshot (what DMTCP does for the host process),
@@ -159,6 +226,8 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
   report.total_s = total.elapsed_s();
   report.active_allocations = plugin_->active_allocation_count();
   report.image_bytes = sink.bytes_written();
+  report.image_id = last_image_id_;
+  report.delta_image = pending_delta_.has_value();
   return report;
 }
 
@@ -220,6 +289,17 @@ Result<CheckpointReport> CracContext::checkpoint_to_temp(
 
 Status CracContext::restore_from_reader(ckpt::ImageReader& reader,
                                         RestartReport* report) {
+  // A delta image is a patch, not a restorable state: its kDeltaChunks
+  // sections only mean something against the parent. The restart verbs
+  // materialize the chain before ever reaching this core.
+  if (reader.is_delta()) {
+    return FailedPrecondition(
+        "cannot restore directly from a delta image (parent id '" +
+        reader.parent_id() +
+        "'): materialize its chain into a full image first — "
+        "restart_from_image/restart_in_place do this automatically");
+  }
+
   // 1. Upper-half memory: heap allocator state first (commits the heap
   //    span), then region contents byte-for-byte. Everything streams off
   //    the image source — region bytes decode chunk by chunk (prefetched on
@@ -341,6 +421,21 @@ Result<std::unique_ptr<CracContext>> CracContext::restart_from_source(
 Result<std::unique_ptr<CracContext>> CracContext::restart_from_image(
     const std::string& path, const CracOptions& options,
     RestartReport* report) {
+  // Delta images restore through their materialized chain: base applied
+  // first, every delta's patches newest-last, restored as one merged full
+  // image. The probe is cheap (directory scan only) and non-delta images
+  // take the streaming path below untouched.
+  {
+    auto probe = ckpt::ImageReader::from_file(path);
+    if (probe.ok() && probe->is_delta()) {
+      auto merged = ckpt::materialize_image_chain(path);
+      if (!merged.ok()) return merged.status();
+      return restart_from_source(
+          std::make_unique<ckpt::MemorySource>(std::move(*merged)), options,
+          report);
+    }
+  }
+
   // Thin wrapper: route the path through the shard-manifest sniff and hand
   // the resulting source to the transport-agnostic core.
   auto source = ckpt::open_image_source(path);
@@ -357,6 +452,14 @@ Result<RestartReport> CracContext::restart_in_place(const std::string& path) {
   ropts.pool = ckpt_pool();
   auto reader = ckpt::ImageReader::from_file(path, ropts);
   if (!reader.ok()) return reader.status();
+  if (reader->is_delta()) {
+    // Same chain resolution as restart_from_image: merge base + deltas into
+    // one full image and restore that through the unchanged path.
+    auto merged = ckpt::materialize_image_chain(path);
+    if (!merged.ok()) return merged.status();
+    reader = ckpt::ImageReader::from_bytes(std::move(*merged), ropts);
+    if (!reader.ok()) return reader.status();
+  }
   report.read_s = t.elapsed_s();
 
   // The paper's restart sequence: the old lower half (and with it the whole

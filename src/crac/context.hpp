@@ -20,8 +20,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "ckpt/delta.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/plugin.hpp"
 #include "common/thread_pool.hpp"
@@ -58,6 +60,8 @@ struct CheckpointReport {
   std::uint64_t raw_bytes = 0;        // pre-compression payload bytes
   std::size_t upper_regions = 0;
   std::size_t active_allocations = 0;
+  std::string image_id;     // random identity written into the image
+  bool delta_image = false; // written as a v4 delta naming a parent image
 };
 
 struct RestartReport {
@@ -103,6 +107,22 @@ class CracContext {
   // destroys the previous image at the path. Blocks until committed; call
   // from the application thread with the device quiesced by the drain.
   Result<CheckpointReport> checkpoint(const std::string& path);
+
+  // Incremental checkpoint: writes a v4 delta image at `path` whose
+  // "allocations" section carries only the device-buffer chunks dirtied
+  // since the most recent checkpoint this context committed (the base may
+  // itself be a delta — chains restore newest-last). Pinned and managed
+  // contents, upper memory, and the log ship in full; the savings scale
+  // with device footprint, which dominates the images the paper measures.
+  // Fails with FailedPrecondition when no base exists or device memory was
+  // restored since the base (the dirty history no longer describes it) —
+  // take a full checkpoint() first. Restoring `path` later resolves the
+  // chain automatically (restart_from_image / restart_in_place).
+  Result<CheckpointReport> checkpoint_delta(const std::string& path);
+
+  // Identity of the most recent image this context wrote (the payload of
+  // its "image-id" metadata section); empty before the first checkpoint.
+  const std::string& last_image_id() const noexcept { return last_image_id_; }
 
   // Path-free checkpoint core: streams the image (plugin drain, upper-memory
   // snapshot, chunk pipeline) into `sink` and closes it. Every consumer of
@@ -158,12 +178,33 @@ class CracContext {
   static std::string temp_image_path(const std::string& path);
   ThreadPool* ckpt_pool();
 
+  // What checkpoint_delta needs to know about the image it deltas against:
+  // identity (verified at restore), location (chain resolution), and the
+  // change-tracking capture point (generation + epoch + table fingerprint).
+  struct DeltaBaseState {
+    std::string image_id;
+    std::string path;
+    std::uint64_t device_gen = 0;
+    std::string device_epoch;
+    std::uint64_t alloc_fingerprint = 0;
+  };
+  // Parent naming for the image currently being written (set by
+  // checkpoint_delta around the checkpoint call).
+  struct DeltaRequest {
+    std::string parent_id;
+    std::string parent_path;
+  };
+
   CracOptions options_;
   std::unique_ptr<SplitProcess> process_;
   std::unique_ptr<CracPlugin> plugin_;
   ckpt::PluginRegistry registry_;
   std::unique_ptr<ThreadPool> ckpt_pool_;  // lazily created, reused across checkpoints
   void* root_ = nullptr;
+  std::optional<DeltaBaseState> delta_base_;
+  std::optional<DeltaRequest> pending_delta_;
+  std::string last_image_id_;
+  DeltaBaseState last_captured_;  // capture state of the in-flight checkpoint
 };
 
 }  // namespace crac

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
+#include "ckpt/dirty.hpp"
 #include "common/bytes.hpp"
 #include "common/log.hpp"
 
@@ -348,11 +350,67 @@ Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
   return drain_streams(image);
 }
 
-Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
+void CracPlugin::set_delta_plan(const DeltaDrainPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delta_plan_ = plan;
+}
+
+void CracPlugin::clear_delta_plan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  delta_plan_.reset();
+}
+
+namespace {
+
+std::uint64_t fingerprint_table(
+    const std::vector<std::pair<std::uint64_t, ActiveAlloc>>& table) {
+  // FNV-1a over (addr, size, kind, flags) in address order — the exact
+  // inputs that determine the drained payload's extent layout.
+  std::uint64_t fp = 1469598103934665603ULL;
+  auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (i * 8)) & 0xff;
+      fp *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [addr, a] : table) {
+    mix(addr);
+    mix(a.size);
+    mix(static_cast<std::uint64_t>(a.kind));
+    mix(a.flags);
+  }
+  return fp;
+}
+
+}  // namespace
+
+std::uint64_t CracPlugin::allocation_fingerprint() const {
   std::vector<std::pair<std::uint64_t, ActiveAlloc>> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot.assign(active_.begin(), active_.end());
+  }
+  return fingerprint_table(snapshot);
+}
+
+Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
+  std::vector<std::pair<std::uint64_t, ActiveAlloc>> snapshot;
+  std::optional<DeltaDrainPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(active_.begin(), active_.end());
+    plan = delta_plan_;
+    delta_plan_.reset();  // one-shot: every capture re-arms explicitly
+  }
+  last_drain_was_delta_ = false;
+  if (plan.has_value()) {
+    if (fingerprint_table(snapshot) == plan->alloc_fingerprint) {
+      return drain_allocations_delta(image, snapshot, *plan);
+    }
+    // The allocation table changed shape since the base: chunk offsets no
+    // longer line up, so the only correct delta is no delta.
+    CRAC_INFO() << "delta drain fell back to a full drain: "
+                << "allocation table changed since the base checkpoint";
   }
   CRAC_RETURN_IF_ERROR(
       image.begin_section(ckpt::SectionType::kDeviceBuffers, kSectionAllocs));
@@ -388,6 +446,130 @@ Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
     }
   }
   return image.end_section();
+}
+
+Status CracPlugin::drain_allocations_delta(
+    ckpt::ImageWriter& image,
+    const std::vector<std::pair<std::uint64_t, ActiveAlloc>>& snapshot,
+    const DeltaDrainPlan& plan) {
+  // Rebuild the full drain's payload layout as an extent map — header
+  // extents hold their literal bytes, content extents their device address
+  // — without materializing any contents. The fingerprint match guarantees
+  // this layout is byte-compatible with the base image's section.
+  struct Extent {
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    bool header = false;
+    std::vector<std::byte> encoded;  // header extents only
+    std::uint64_t addr = 0;          // content extents only
+    AllocKind kind = AllocKind::kDevice;
+  };
+  std::vector<Extent> extents;
+  std::uint64_t off = 0;
+  auto push_header = [&](ByteWriter&& w) {
+    Extent e;
+    e.off = off;
+    e.len = w.size();
+    e.header = true;
+    e.encoded = std::move(w).take();
+    off += e.len;
+    extents.push_back(std::move(e));
+  };
+
+  ckpt::DirtyTracker& tracker = process_->lower().device().device_dirty();
+  // Delta entries use the tracker's granule, not the (much larger) drain
+  // slice: a sparse write pattern pays one tracker chunk per island, which
+  // is what makes a 2%-dirty delta a ~2%-sized image.
+  const std::uint64_t granule = tracker.chunk_bytes();
+  std::set<std::uint64_t> dirty;
+  auto mark_payload = [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t c = lo / granule; c <= (hi - 1) / granule; ++c) {
+      dirty.insert(c);
+    }
+  };
+  ByteWriter count;
+  count.put_u64(snapshot.size());
+  push_header(std::move(count));
+  for (const auto& [addr, a] : snapshot) {
+    ByteWriter rec;
+    rec.put_u64(addr);
+    rec.put_u64(a.size);
+    rec.put_u8(static_cast<std::uint8_t>(a.kind));
+    rec.put_u32(a.flags);
+    push_header(std::move(rec));
+    if (a.size == 0) continue;
+    Extent e;
+    e.off = off;
+    e.len = a.size;
+    e.addr = addr;
+    e.kind = a.kind;
+    const std::uint64_t content_off = off;
+    off += a.size;
+    extents.push_back(std::move(e));
+    if (a.kind == AllocKind::kDevice) {
+      // The O(dirty) narrowing: only device-buffer chunks written since the
+      // base generation enter the delta.
+      tracker.for_each_dirty(
+          reinterpret_cast<const void*>(addr), static_cast<std::size_t>(a.size),
+          plan.base_device_gen, [&](std::size_t o, std::size_t l) {
+            mark_payload(content_off + o, content_off + o + l);
+          });
+    } else {
+      // Pinned and managed memory is host-writable without any interposable
+      // call, so its contents ship in full in every delta — correctness
+      // over compactness (DESIGN note in docs/image_format.md).
+      mark_payload(content_off, content_off + a.size);
+    }
+  }
+  const std::uint64_t full_raw_size = off;
+
+  CRAC_RETURN_IF_ERROR(
+      image.begin_section(ckpt::SectionType::kDeltaChunks, kSectionAllocs));
+  ByteWriter hdr;
+  hdr.put_u32(static_cast<std::uint32_t>(ckpt::SectionType::kDeviceBuffers));
+  hdr.put_u64(granule);
+  hdr.put_u64(full_raw_size);
+  hdr.put_u64(dirty.size());
+  CRAC_RETURN_IF_ERROR(image.append(hdr.data(), hdr.size()));
+
+  std::vector<std::byte> chunk;
+  for (const std::uint64_t c : dirty) {
+    const std::uint64_t lo = c * granule;
+    const std::uint64_t hi = std::min(lo + granule, full_raw_size);
+    chunk.assign(static_cast<std::size_t>(hi - lo), std::byte{0});
+    // First extent whose end lies past `lo`; extents are contiguous and
+    // ascending, so ends are sorted too.
+    auto it = std::upper_bound(
+        extents.begin(), extents.end(), lo,
+        [](std::uint64_t v, const Extent& e) { return v < e.off + e.len; });
+    for (; it != extents.end() && it->off < hi; ++it) {
+      const std::uint64_t s = std::max(lo, it->off);
+      const std::uint64_t t = std::min(hi, it->off + it->len);
+      std::byte* dst = chunk.data() + static_cast<std::size_t>(s - lo);
+      if (it->header) {
+        std::memcpy(dst, it->encoded.data() + (s - it->off),
+                    static_cast<std::size_t>(t - s));
+        continue;
+      }
+      // Bounded D2H copy of just the overlapped slice — the only content
+      // bytes a delta capture ever moves off the device.
+      const cuda::cudaError_t err = inner()->cudaMemcpy(
+          dst, reinterpret_cast<void*>(it->addr + (s - it->off)),
+          static_cast<std::size_t>(t - s), drain_kind(it->kind));
+      if (err != cuda::cudaSuccess) {
+        return Internal("delta drain memcpy failed: " +
+                        std::string(cuda::cudaGetErrorString(err)));
+      }
+    }
+    ByteWriter entry;
+    entry.put_u64(c);
+    entry.put_u64(chunk.size());
+    CRAC_RETURN_IF_ERROR(image.append(entry.data(), entry.size()));
+    CRAC_RETURN_IF_ERROR(image.append(chunk.data(), chunk.size()));
+  }
+  CRAC_RETURN_IF_ERROR(image.end_section());
+  last_drain_was_delta_ = true;
+  return OkStatus();
 }
 
 Status CracPlugin::drain_streams(ckpt::ImageWriter& image) {

@@ -20,7 +20,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/plugin.hpp"
@@ -40,6 +42,19 @@ struct ActiveAlloc {
   std::uint64_t size = 0;
   AllocKind kind = AllocKind::kDevice;
   std::uint32_t flags = 0;
+};
+
+// Plan for an incremental "allocations" drain, set by the checkpoint driver
+// before a delta capture. base_device_gen is the device dirty-tracker
+// generation the base checkpoint captured; alloc_fingerprint hashes the
+// allocation table (addr, size, kind, flags, in order) as of the base.
+// drain_allocations narrows device-buffer contents to chunks dirty since
+// base_device_gen when the live table still matches the fingerprint, and
+// falls back to a full drain otherwise — a delta is only valid against the
+// exact payload layout it was computed from.
+struct DeltaDrainPlan {
+  std::uint64_t base_device_gen = 0;
+  std::uint64_t alloc_fingerprint = 0;
 };
 
 struct ReplayStats {
@@ -113,6 +128,21 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
   // hook; always on by default).
   void set_verify_determinism(bool on) noexcept { verify_determinism_ = on; }
 
+  // --- incremental drains ---
+  // Arms the next precheckpoint to write the "allocations" section as a
+  // sparse kDeltaChunks patch (see DeltaDrainPlan). One-shot per capture;
+  // cleared automatically after the drain runs.
+  void set_delta_plan(const DeltaDrainPlan& plan);
+  void clear_delta_plan();
+
+  // FNV-1a over the live allocation table; equal fingerprints mean the
+  // drained payload layout (headers and content extents) is identical.
+  std::uint64_t allocation_fingerprint() const;
+
+  // True when the most recent drain actually wrote a delta section rather
+  // than falling back to a full drain.
+  bool last_drain_was_delta() const noexcept { return last_drain_was_delta_; }
+
  private:
   struct FatbinEntry {
     cuda::FatBinaryDesc desc;
@@ -145,6 +175,10 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
   void log_alloc(LogOp op, void* p, std::size_t n, unsigned flags,
                  AllocKind kind);
   Status drain_allocations(ckpt::ImageWriter& image);
+  Status drain_allocations_delta(
+      ckpt::ImageWriter& image,
+      const std::vector<std::pair<std::uint64_t, ActiveAlloc>>& snapshot,
+      const DeltaDrainPlan& plan);
   Status drain_streams(ckpt::ImageWriter& image);
   Status refill_allocations(ckpt::ImageReader& image, ReplayStats* stats);
   Status restore_uvm_residency(ckpt::ImageReader& image, ReplayStats* stats);
@@ -169,6 +203,8 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
   std::shared_ptr<UvmPrefetchJoin> uvm_prefetch_;
   ReplayStats last_replay_;
   bool verify_determinism_ = true;
+  std::optional<DeltaDrainPlan> delta_plan_;  // armed for the next drain
+  bool last_drain_was_delta_ = false;
 };
 
 }  // namespace crac

@@ -94,6 +94,7 @@ Status ProxyClientApi::restore_managed(ckpt::ImageReader& image) {
     }
     // Decoded chunks land straight in the shadow mirror.
     CRAC_RETURN_IF_ERROR(stream.read(it->second.shadow, size));
+    shadow_.note_write(it->second.shadow, size);
     // Push the restored bytes to the device so both sides agree again
     // (the CRUM write-before-call discipline, applied eagerly).
     RequestHeader req{};
@@ -394,6 +395,7 @@ cudaError_t ProxyClientApi::sync_shadows_from_device() {
     req.staged = cma_.available() && e.size <= cma_.staging_bytes() ? 1 : 0;
     auto resp = call(req, nullptr, 0, e.shadow, e.size);
     if (!resp.ok() || resp->err != cudaSuccess) return cuda::cudaErrorUnknown;
+    shadow_.note_write(e.shadow, e.size);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shadow_syncs_from_device;
     stats_.shadow_sync_bytes += e.size;
@@ -575,6 +577,7 @@ cudaError_t ProxyClientApi::cudaMemcpyAsync(void* dst, const void* src,
 cudaError_t ProxyClientApi::cudaMemset(void* dst, int value, std::size_t n) {
   if (shadow_.is_shadow(dst)) {
     std::memset(dst, value, n);
+    shadow_.note_write(dst, n);
     auto remote = shadow_.translate(dst);
     if (!remote.ok()) return record(cuda::cudaErrorInvalidDevicePointer);
     RequestHeader req{};

@@ -43,6 +43,20 @@ std::size_t ShadowUvm::count() const {
   return entries_.size();
 }
 
+void ShadowUvm::set_note_write(NoteWrite fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  note_write_ = std::move(fn);
+}
+
+void ShadowUvm::note_write(const void* p, std::size_t n) const {
+  NoteWrite fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn = note_write_;
+  }
+  if (fn) fn(p, n);
+}
+
 std::size_t ShadowUvm::total_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;

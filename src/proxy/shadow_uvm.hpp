@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 
@@ -43,9 +44,19 @@ class ShadowUvm {
   std::size_t count() const;
   std::size_t total_bytes() const;
 
+  // Dirty-tracking hook: invoked with (shadow pointer, bytes) on every path
+  // that rewrites shadow contents (device -> shadow sync, client memsets,
+  // checkpoint restore). Lets an incremental checkpoint producer narrow the
+  // proxy-shadow section the way the in-process trackers narrow device
+  // buffers. Must be thread-safe; invoked outside ShadowUvm's lock.
+  using NoteWrite = std::function<void(const void* p, std::size_t n)>;
+  void set_note_write(NoteWrite fn);
+  void note_write(const void* p, std::size_t n) const;
+
  private:
   mutable std::mutex mu_;
   std::map<void*, Entry> entries_;
+  NoteWrite note_write_;
 };
 
 }  // namespace crac::proxy

@@ -1,13 +1,21 @@
 #include "simgpu/arena_allocator.hpp"
 
+#include <algorithm>
+
 #include "common/bytes.hpp"
 #include "common/log.hpp"
+#include "ckpt/dirty.hpp"
 
 namespace crac::sim {
 
 namespace {
-std::size_t round_up(std::size_t n, std::size_t align) noexcept {
-  return (n + align - 1) / align * align;
+// Overflow-checked round-up: (n + align - 1) wraps for near-SIZE_MAX
+// requests, which would turn an absurd allocation into a tiny "successful"
+// one. Returns false when the aligned size is not representable.
+bool round_up(std::size_t n, std::size_t align, std::size_t& out) noexcept {
+  if (n > SIZE_MAX - (align - 1)) return false;
+  out = (n + align - 1) / align * align;
+  return true;
 }
 }  // namespace
 
@@ -29,7 +37,14 @@ ArenaAllocator::~ArenaAllocator() {
 
 Result<void*> ArenaAllocator::allocate(std::size_t bytes) {
   if (bytes == 0) return InvalidArgument("zero-size allocation");
-  const std::size_t need = round_up(bytes, config_.alignment);
+  std::size_t need = 0;
+  if (!round_up(bytes, config_.alignment, need) ||
+      need > reservation_.capacity()) {
+    return OutOfMemory(config_.purpose + " allocation of " +
+                       std::to_string(bytes) + " bytes exceeds the " +
+                       std::to_string(reservation_.capacity()) +
+                       "-byte arena reservation");
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
 
@@ -46,6 +61,9 @@ Result<void*> ArenaAllocator::allocate(std::size_t bytes) {
       auto* p = reinterpret_cast<void*>(addr);
       active_.emplace(p, need);
       active_bytes_ += need;
+      // The allocation's contents are fresh state a base checkpoint has
+      // never seen — dirty by definition.
+      if (dirty_ != nullptr) dirty_->mark(p, need);
       return p;
     }
     if (attempt == 0) {
@@ -65,6 +83,9 @@ Status ArenaAllocator::free(void* p) {
   const std::size_t size = it->second;
   active_.erase(it);
   active_bytes_ -= size;
+  // Freed space re-enters circulation with indeterminate contents; any
+  // later allocation reusing it must read as dirty.
+  if (dirty_ != nullptr) dirty_->mark(p, size);
   insert_free_locked(reinterpret_cast<std::uintptr_t>(p), size);
   return OkStatus();
 }
@@ -73,6 +94,28 @@ std::size_t ArenaAllocator::allocation_size(const void* p) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = active_.find(const_cast<void*>(p));
   return it == active_.end() ? 0 : it->second;
+}
+
+std::optional<std::pair<void*, std::size_t>>
+ArenaAllocator::containing_allocation(const void* p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.upper_bound(const_cast<void*>(p));
+  if (it == active_.begin()) return std::nullopt;
+  --it;
+  const auto base = reinterpret_cast<std::uintptr_t>(it->first);
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  if (a >= base + it->second) return std::nullopt;
+  return std::make_pair(it->first, it->second);
+}
+
+void ArenaAllocator::set_dirty_tracker(ckpt::DirtyTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_ = tracker;
+}
+
+ckpt::DirtyTracker* ArenaAllocator::dirty_tracker() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_;
 }
 
 std::map<void*, std::size_t> ArenaAllocator::active_allocations() const {
@@ -98,9 +141,14 @@ std::size_t ArenaAllocator::active_count() const {
 Status ArenaAllocator::grow_locked(std::size_t need) {
   // A request larger than one chunk commits several contiguous chunks in a
   // single step, mirroring the multi-mmap cudaMalloc behaviour from §3.2.1.
-  const std::size_t grow = round_up(need, config_.chunk_size);
+  std::size_t grow = 0;
+  if (!round_up(need, config_.chunk_size, grow)) {
+    return OutOfMemory(config_.purpose + " arena reservation exhausted");
+  }
   const auto base = reinterpret_cast<std::uintptr_t>(reservation_.base());
-  if (committed_end_ + grow > base + reservation_.capacity()) {
+  // Compare against the room left, not committed_end_ + grow — the sum can
+  // wrap and admit a growth that runs past the reservation.
+  if (grow > base + reservation_.capacity() - committed_end_) {
     return OutOfMemory(config_.purpose + " arena reservation exhausted");
   }
   auto* addr = reinterpret_cast<void*>(committed_end_);
@@ -136,14 +184,36 @@ Status ArenaAllocator::validate_snapshot(const Snapshot& snap) const {
   // over the wire (RECV_CKPT, shipped images), so a CRC-valid stream with a
   // hostile offset must fail here — not as a wild write when the restored
   // allocation's contents are copied in.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(snap.free_list.size() + snap.active.size());
   for (const auto* list : {&snap.free_list, &snap.active}) {
     for (const auto& [off, size] : *list) {
+      if (size == 0) {
+        return InvalidArgument("zero-size snapshot entry at offset " +
+                               std::to_string(off));
+      }
       if (off > snap.committed_bytes || size > snap.committed_bytes - off) {
         return InvalidArgument(
             "snapshot entry [" + std::to_string(off) + ", +" +
             std::to_string(size) + ") outside the committed " +
             std::to_string(snap.committed_bytes) + "-byte arena span");
       }
+      entries.emplace_back(off, size);
+    }
+  }
+  // No two entries — across the union of free and active — may overlap or
+  // duplicate: installing aliasing "allocations" would double-count
+  // active_bytes_ and break free-list coalescing invariants, and a later
+  // content restore would write one buffer over another.
+  std::sort(entries.begin(), entries.end());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const auto& [prev_off, prev_size] = entries[i - 1];
+    const auto& [off, size] = entries[i];
+    if (off < prev_off + prev_size) {
+      return InvalidArgument(
+          "snapshot entries [" + std::to_string(prev_off) + ", +" +
+          std::to_string(prev_size) + ") and [" + std::to_string(off) +
+          ", +" + std::to_string(size) + ") overlap");
     }
   }
   return OkStatus();
@@ -183,6 +253,10 @@ Status ArenaAllocator::restore(const Snapshot& snap) {
   if (committed_end_ > want_end) {
     insert_free_locked(want_end, committed_end_ - want_end);
   }
+  // The arena's contents were just replaced wholesale: the tracker's mark
+  // history no longer describes this memory. New epoch, everything dirty —
+  // a delta producer holding a pre-restore base must refuse, not miss.
+  if (dirty_ != nullptr) dirty_->new_epoch();
   return OkStatus();
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +24,10 @@
 #include "common/status.hpp"
 #include "simgpu/types.hpp"
 #include "simgpu/va_reservation.hpp"
+
+namespace crac::ckpt {
+class DirtyTracker;
+}  // namespace crac::ckpt
 
 namespace crac::sim {
 
@@ -53,6 +58,19 @@ class ArenaAllocator {
   // Size of the live allocation starting exactly at p, or 0.
   std::size_t allocation_size(const void* p) const;
 
+  // The live allocation containing p (base pointer + size), or nullopt.
+  // Conservative write attribution (kernel pointer args) resolves interior
+  // pointers to whole allocations through this.
+  std::optional<std::pair<void*, std::size_t>> containing_allocation(
+      const void* p) const;
+
+  // Attaches a change-block tracker: allocate/free/restore mark the chunk
+  // ranges they touch (restore starts a new tracker epoch — the mark
+  // history cannot describe wholesale-replaced memory). The tracker must
+  // outlive the allocator; nullptr detaches.
+  void set_dirty_tracker(ckpt::DirtyTracker* tracker);
+  ckpt::DirtyTracker* dirty_tracker() const;
+
   // Snapshot of live allocations (address -> size), address-ordered.
   std::map<void*, std::size_t> active_allocations() const;
 
@@ -71,8 +89,10 @@ class ArenaAllocator {
   Snapshot snapshot() const;
 
   // Pure validation half of restore(): rejects a snapshot that does not fit
-  // this arena (committed span over capacity, entries outside the span)
-  // without touching any state. restore() runs it first; callers that need
+  // this arena (committed span over capacity, entries outside the span) or
+  // whose free/active entries are malformed (zero-size, duplicated, or
+  // overlapping one another — a CRC-valid hostile stream must not install
+  // allocations that alias) without touching any state. restore() runs it first; callers that need
   // a hard validate-then-mutate boundary (the proxy's RECV_CKPT, which must
   // answer "rejected, state intact" truthfully) call it themselves before
   // committing to the mutation.
@@ -100,6 +120,7 @@ class ArenaAllocator {
   std::map<void*, std::size_t> active_;
   std::uintptr_t committed_end_;  // one past the last committed byte
   std::size_t active_bytes_ = 0;
+  ckpt::DirtyTracker* dirty_ = nullptr;
 };
 
 // Wire codec for Snapshot — the one encoding shared by every consumer that

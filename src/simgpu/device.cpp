@@ -40,6 +40,22 @@ Device::Device(const DeviceConfig& config) : config_(config) {
       .hooks = config_.hooks,
   });
 
+  // Trackers span each arena's actual reservation (the base is only known
+  // after construction when va_base is 0), then attach so allocate/free/
+  // restore and UVM fault/prefetch paths mark through them.
+  device_dirty_ = std::make_unique<ckpt::DirtyTracker>(
+      reinterpret_cast<std::uintptr_t>(device_arena_->arena_base()),
+      config_.device_capacity);
+  pinned_dirty_ = std::make_unique<ckpt::DirtyTracker>(
+      reinterpret_cast<std::uintptr_t>(pinned_arena_->arena_base()),
+      config_.pinned_capacity);
+  managed_dirty_ = std::make_unique<ckpt::DirtyTracker>(
+      reinterpret_cast<std::uintptr_t>(uvm_->arena_base()),
+      config_.managed_capacity);
+  device_arena_->set_dirty_tracker(device_dirty_.get());
+  pinned_arena_->set_dirty_tracker(pinned_dirty_.get());
+  uvm_->set_dirty_tracker(managed_dirty_.get());
+
   StreamEngineConfig se;
   se.max_streams = config_.max_streams;
   se.max_concurrent_kernels = config_.max_concurrent_kernels;
@@ -47,6 +63,7 @@ Device::Device(const DeviceConfig& config) : config_(config) {
   se.infer_kind = [this](const void* dst, const void* src) {
     return infer_kind(dst, src);
   };
+  se.note_write = [this](const void* p, std::size_t n) { note_write(p, n); };
   streams_ = std::make_unique<StreamEngine>(std::move(se), sm_pool_.get());
 }
 
@@ -83,6 +100,37 @@ Status Device::free_any(void* p) {
   if (pinned_arena_->contains(p)) return pinned_arena_->free(p);
   if (uvm_->contains(p)) return uvm_->free(p);
   return InvalidArgument("pointer does not belong to any device arena");
+}
+
+void Device::note_write(const void* p, std::size_t n) noexcept {
+  ArenaAllocator* arena = nullptr;
+  ckpt::DirtyTracker* tracker = nullptr;
+  if (device_arena_->contains(p)) {
+    arena = device_arena_.get();
+    tracker = device_dirty_.get();
+  } else if (pinned_arena_->contains(p)) {
+    arena = pinned_arena_.get();
+    tracker = pinned_dirty_.get();
+  } else if (uvm_->contains(p)) {
+    tracker = managed_dirty_.get();
+    if (n == 0) {
+      if (auto alloc = uvm_->containing_allocation(p)) {
+        tracker->mark(alloc->first, alloc->second);
+      }
+      return;
+    }
+    tracker->mark(p, n);
+    return;
+  } else {
+    return;  // host pointer or foreign memory — not ours to track
+  }
+  if (n == 0) {
+    if (auto alloc = arena->containing_allocation(p)) {
+      tracker->mark(alloc->first, alloc->second);
+    }
+    return;
+  }
+  tracker->mark(p, n);
 }
 
 MemcpyKind Device::infer_kind(const void* dst, const void* src) const noexcept {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <memory>
 
+#include "ckpt/dirty.hpp"
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "simgpu/arena_allocator.hpp"
@@ -66,12 +67,29 @@ class Device {
     kernels_launched_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- change-block tracking (delta checkpoints) ---
+  // One tracker per arena, covering the whole reservation at the default
+  // chunk granularity. Every mutating path on this device marks through
+  // them: arena allocate/free/restore, UVM fault/prefetch, stream-engine
+  // memsets/memcpys/kernel launches (via note_write).
+  ckpt::DirtyTracker& device_dirty() noexcept { return *device_dirty_; }
+  ckpt::DirtyTracker& pinned_dirty() noexcept { return *pinned_dirty_; }
+  ckpt::DirtyTracker& managed_dirty() noexcept { return *managed_dirty_; }
+
+  // Routes a possibly-written range to its arena's tracker. n == 0 means
+  // "whatever allocation contains p" (conservative kernel-arg attribution);
+  // untracked pointers are ignored.
+  void note_write(const void* p, std::size_t n) noexcept;
+
  private:
   DeviceConfig config_;
   std::unique_ptr<ThreadPool> sm_pool_;
   std::unique_ptr<ArenaAllocator> device_arena_;
   std::unique_ptr<ArenaAllocator> pinned_arena_;
   std::unique_ptr<UvmManager> uvm_;
+  std::unique_ptr<ckpt::DirtyTracker> device_dirty_;
+  std::unique_ptr<ckpt::DirtyTracker> pinned_dirty_;
+  std::unique_ptr<ckpt::DirtyTracker> managed_dirty_;
   std::unique_ptr<StreamEngine> streams_;
 
   std::atomic<std::uint64_t> kernels_launched_{0};

@@ -234,6 +234,7 @@ void StreamEngine::execute(StreamOp& op) {
         } else if constexpr (std::is_same_v<T, MemcpyOp>) {
           run_memcpy(concrete);
         } else if constexpr (std::is_same_v<T, MemsetOp>) {
+          if (config_.note_write) config_.note_write(concrete.dst, concrete.n);
           ScopedDeviceContext ctx;
           std::memset(concrete.dst, concrete.value, concrete.n);
         } else if constexpr (std::is_same_v<T, EventRecordOp>) {
@@ -276,6 +277,24 @@ void StreamEngine::run_kernel(KernelOp& op) {
     simulate_delay_us(config_.cost.kernel_launch_overhead_us);
   }
 
+  // Conservative write attribution: a kernel may store through any pointer
+  // argument, and the launch ABI gives no read/write distinction, so every
+  // pointer-sized argument that resolves to tracked memory dirties its whole
+  // containing allocation (n == 0 in the hook). False positives only cost
+  // delta size, never correctness.
+  if (config_.note_write) {
+    for (std::size_t i = 0; i < op.args.offsets.size(); ++i) {
+      const std::size_t off = op.args.offsets[i];
+      const std::size_t end = i + 1 < op.args.offsets.size()
+                                  ? op.args.offsets[i + 1]
+                                  : op.args.data.size();
+      if (end - off != sizeof(void*)) continue;
+      void* candidate = nullptr;
+      std::memcpy(&candidate, op.args.data.data() + off, sizeof(void*));
+      if (candidate != nullptr) config_.note_write(candidate, 0);
+    }
+  }
+
   auto arg_ptrs = op.args.arg_pointers();
   void* const* args = arg_ptrs.data();
   const Dim3 grid = op.dims.grid;
@@ -311,6 +330,7 @@ void StreamEngine::run_memcpy(const MemcpyOp& op) {
   if (kind == MemcpyKind::kDefault && config_.infer_kind) {
     kind = config_.infer_kind(op.dst, op.src);
   }
+  if (config_.note_write) config_.note_write(op.dst, op.n);
   // Device-side engines perform the copy: attribute UVM faults to the GPU
   // for transfers that involve the device.
   const bool device_side = kind != MemcpyKind::kHostToHost;

@@ -90,6 +90,10 @@ struct StreamEngineConfig {
   CostModel cost;
   // Resolves cudaMemcpyDefault using UVA pointer inspection.
   std::function<MemcpyKind(const void* dst, const void* src)> infer_kind;
+  // Change-block tracking hook: called for every range an op may write
+  // (memcpy/memset destinations; each kernel pointer argument with n == 0,
+  // meaning "the whole allocation containing p"). Must be thread-safe.
+  std::function<void(const void* p, std::size_t n)> note_write;
 };
 
 class StreamEngine {

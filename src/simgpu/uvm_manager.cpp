@@ -2,9 +2,12 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
 
+#include "ckpt/dirty.hpp"
 #include "common/log.hpp"
 #include "simgpu/fault_router.hpp"
 
@@ -39,6 +42,14 @@ UvmManager::~UvmManager() {
 }
 
 Result<void*> UvmManager::allocate(std::size_t bytes) {
+  // Guard the page round-up: near SIZE_MAX, `bytes + page_size - 1` wraps
+  // and the request would round to a tiny allocation instead of failing.
+  if (bytes > config_.capacity) {
+    return OutOfMemory("managed allocation of " + std::to_string(bytes) +
+                       " bytes exceeds the " +
+                       std::to_string(config_.capacity) +
+                       "-byte managed arena reservation");
+  }
   // Managed allocations are page-granular so protection never spans two
   // logical allocations (matches the driver's UVM granularity).
   const std::size_t rounded =
@@ -58,16 +69,45 @@ Status UvmManager::free(void* p) {
     pages_[i]->residency.store(static_cast<std::uint8_t>(PageResidency::kHost),
                                std::memory_order_relaxed);
   }
-  ::mprotect(p, size, PROT_READ | PROT_WRITE);
+  if (::mprotect(p, size, PROT_READ | PROT_WRITE) != 0) {
+    // The pages stay PROT_NONE: the next reuse of this space would fault on
+    // pages the bookkeeping says are disarmed. Fail loudly, don't free.
+    return IoError(std::string("mprotect unprotect on managed free failed: ") +
+                   std::strerror(errno));
+  }
   return arena_.free(p);
 }
 
+// Validates [p, p + bytes) against the arena reservation and converts it to
+// a page range. contains(p) alone only checks the start: a hostile or buggy
+// `bytes` used to clamp the page *loop* but still reach mprotect unclamped,
+// protecting pages past the range (or past the reservation) outright.
+Status UvmManager::check_span(const void* p, std::size_t bytes,
+                              const char* what, std::size_t& first,
+                              std::size_t& count) const {
+  if (!contains(p)) {
+    return InvalidArgument(std::string(what) + " outside managed arena");
+  }
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const auto base = reinterpret_cast<std::uintptr_t>(arena_.arena_base());
+  if (bytes > base + config_.capacity - a) {
+    return InvalidArgument(std::string(what) + " range of " +
+                           std::to_string(bytes) +
+                           " bytes extends past the managed arena reservation");
+  }
+  first = page_index(p);
+  count = (bytes + config_.page_size - 1) / config_.page_size;
+  // The last page may sit past a capacity that is not page-aligned; clamp so
+  // mprotect never touches memory outside the page table.
+  count = std::min(count, pages_.size() - std::min(first, pages_.size()));
+  return OkStatus();
+}
+
 Status UvmManager::arm_range(void* p, std::size_t bytes) {
-  if (!contains(p)) return InvalidArgument("arm_range outside managed arena");
-  const std::size_t first = page_index(p);
-  const std::size_t count =
-      (bytes + config_.page_size - 1) / config_.page_size;
-  for (std::size_t i = first; i < first + count && i < pages_.size(); ++i) {
+  std::size_t first = 0, count = 0;
+  CRAC_RETURN_IF_ERROR(check_span(p, bytes, "arm_range", first, count));
+  if (count == 0) return OkStatus();
+  for (std::size_t i = first; i < first + count; ++i) {
     pages_[i]->armed.store(true, std::memory_order_release);
   }
   if (::mprotect(page_base(first), count * config_.page_size, PROT_NONE) !=
@@ -86,17 +126,21 @@ Status UvmManager::arm_all() {
 }
 
 Status UvmManager::prefetch(void* p, std::size_t bytes, bool to_device) {
-  if (!contains(p)) return InvalidArgument("prefetch outside managed arena");
-  const std::size_t first = page_index(p);
-  const std::size_t count =
-      (bytes + config_.page_size - 1) / config_.page_size;
+  std::size_t first = 0, count = 0;
+  CRAC_RETURN_IF_ERROR(check_span(p, bytes, "prefetch", first, count));
+  if (count == 0) return OkStatus();
   const auto target = static_cast<std::uint8_t>(to_device ? PageResidency::kDevice
                                                           : PageResidency::kHost);
-  for (std::size_t i = first; i < first + count && i < pages_.size(); ++i) {
+  for (std::size_t i = first; i < first + count; ++i) {
     pages_[i]->residency.store(target, std::memory_order_relaxed);
     pages_[i]->armed.store(true, std::memory_order_release);
   }
   prefetches_.fetch_add(1, std::memory_order_relaxed);
+  // A prefetch moves residency for the whole range — the delta view of
+  // these pages is stale either way, so mark them before re-protecting.
+  if (auto* tracker = dirty_.load(std::memory_order_acquire)) {
+    tracker->mark(p, count * config_.page_size);
+  }
   if (::mprotect(page_base(first), count * config_.page_size, PROT_NONE) !=
       0) {
     return IoError(std::string("mprotect prefetch failed: ") +
@@ -151,6 +195,13 @@ bool UvmManager::handle_fault(void* addr, bool device_context) noexcept {
       migrations_to_host_.fetch_add(1, std::memory_order_relaxed);
     }
     if (config_.fault_cost_us > 0) simulate_delay_us(config_.fault_cost_us);
+  }
+
+  // The unprotected page is writable until the next arming epoch, so the
+  // faulting access — and anything after it — may mutate it. mark() is
+  // lock-free, safe from this signal-delivery path.
+  if (auto* tracker = dirty_.load(std::memory_order_acquire)) {
+    tracker->mark(page_base(index), config_.page_size);
   }
 
   return ::mprotect(page_base(index), config_.page_size,

@@ -73,11 +73,24 @@ class UvmManager {
   std::size_t allocation_size(const void* p) const {
     return arena_.allocation_size(p);
   }
+  std::optional<std::pair<void*, std::size_t>> containing_allocation(
+      const void* p) const {
+    return arena_.containing_allocation(p);
+  }
+
+  // Change-block tracking: faults and prefetches mark the pages they
+  // migrate; allocate/free/restore mark through the inner arena. The
+  // tracker must outlive the manager; nullptr detaches.
+  void set_dirty_tracker(ckpt::DirtyTracker* tracker) {
+    arena_.set_dirty_tracker(tracker);
+    dirty_.store(tracker, std::memory_order_release);
+  }
   std::map<void*, std::size_t> active_allocations() const {
     return arena_.active_allocations();
   }
   std::size_t active_bytes() const { return arena_.active_bytes(); }
   bool is_fixed_base() const noexcept { return arena_.is_fixed_base(); }
+  void* arena_base() const noexcept { return arena_.arena_base(); }
 
   // Re-arm protection on every tracked page so the next access from either
   // side faults (starts a new fault-counting epoch).
@@ -117,6 +130,11 @@ class UvmManager {
   void* page_base(std::size_t index) const noexcept;
   void ensure_tracked(std::size_t first_page, std::size_t n_pages);
 
+  // Validates [p, p+bytes) against the reservation (named InvalidArgument on
+  // overrun) and yields the clamped page range it covers.
+  Status check_span(const void* p, std::size_t bytes, const char* what,
+                    std::size_t& first, std::size_t& count) const;
+
   Config config_;
   ArenaAllocator arena_;
 
@@ -129,6 +147,9 @@ class UvmManager {
   std::atomic<std::uint64_t> migrations_to_host_{0};
   std::atomic<std::uint64_t> migrations_to_device_{0};
   std::atomic<std::uint64_t> prefetches_{0};
+
+  // Marked from the SIGSEGV path (handle_fault), hence atomic, not mutexed.
+  std::atomic<ckpt::DirtyTracker*> dirty_{nullptr};
 };
 
 }  // namespace crac::sim

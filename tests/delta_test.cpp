@@ -1,0 +1,501 @@
+// Incremental (delta) checkpoint tests: DirtyTracker change-block
+// semantics, the v4 delta image format gates, chain
+// materialization/restore byte-identity, and the checkpoint_delta verb's
+// preconditions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/delta.hpp"
+#include "ckpt/dirty.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/sink.hpp"
+#include "ckpt/source.hpp"
+#include "crac/context.hpp"
+#include "tests/ckpt_testing.hpp"
+
+namespace crac {
+namespace {
+
+using cuda::cudaMemcpyDeviceToHost;
+using cuda::cudaMemcpyHostToDevice;
+using cuda::cudaSuccess;
+namespace testlib = ckpt::testlib;
+
+constexpr std::size_t kChunk = 64 << 10;  // tracker granule in these tests
+
+// ---------------------------------------------------------------------------
+// DirtyTracker units
+// ---------------------------------------------------------------------------
+
+TEST(DirtyTrackerTest, FreshTrackerIsAllDirty) {
+  // A capture that never happened cannot have clean chunks relative to it.
+  ckpt::DirtyTracker t(0x10000, 16 * kChunk, kChunk);
+  EXPECT_EQ(t.chunk_count(), 16u);
+  EXPECT_EQ(t.dirty_chunks(0), 16u);
+  EXPECT_TRUE(t.any_dirty(reinterpret_cast<void*>(0x10000), 16 * kChunk, 0));
+}
+
+TEST(DirtyTrackerTest, AdvanceSeparatesCaptures) {
+  ckpt::DirtyTracker t(0x10000, 16 * kChunk, kChunk);
+  const std::uint64_t gen = t.advance();
+  EXPECT_EQ(t.dirty_chunks(gen), 0u);
+  EXPECT_FALSE(t.any_dirty(reinterpret_cast<void*>(0x10000), 16 * kChunk,
+                           gen));
+  // One byte written into chunk 3 dirties exactly that chunk.
+  t.mark(reinterpret_cast<void*>(0x10000 + 3 * kChunk + 17), 1);
+  EXPECT_EQ(t.dirty_chunks(gen), 1u);
+  // ... but the pre-advance capture point still sees everything dirty.
+  EXPECT_EQ(t.dirty_chunks(0), 16u);
+}
+
+TEST(DirtyTrackerTest, ForEachDirtyYieldsMaximalClampedRuns) {
+  ckpt::DirtyTracker t(0x10000, 16 * kChunk, kChunk);
+  const std::uint64_t gen = t.advance();
+  // Chunks 2,3 (adjacent -> one run) and chunk 7 (second run). The write
+  // into chunk 7 straddles its tail to prove span-overlap marking.
+  t.mark(reinterpret_cast<void*>(0x10000 + 2 * kChunk), 2 * kChunk);
+  t.mark(reinterpret_cast<void*>(0x10000 + 8 * kChunk - 8), 8);
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  t.for_each_dirty(reinterpret_cast<void*>(0x10000), 16 * kChunk, gen,
+                   [&](std::size_t off, std::size_t len) {
+                     runs.emplace_back(off, len);
+                   });
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], std::make_pair(std::size_t{2 * kChunk},
+                                    std::size_t{2 * kChunk}));
+  EXPECT_EQ(runs[1],
+            std::make_pair(std::size_t{7 * kChunk}, std::size_t{kChunk}));
+  // A query window that ends mid-chunk clamps the run to the window.
+  runs.clear();
+  t.for_each_dirty(reinterpret_cast<void*>(0x10000 + 2 * kChunk), kChunk / 2,
+                   gen, [&](std::size_t off, std::size_t len) {
+                     runs.emplace_back(off, len);
+                   });
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], std::make_pair(std::size_t{0}, std::size_t{kChunk / 2}));
+}
+
+TEST(DirtyTrackerTest, MarksOutsideSpanAreClampedAway) {
+  ckpt::DirtyTracker t(0x10000, 4 * kChunk, kChunk);
+  const std::uint64_t gen = t.advance();
+  t.mark(reinterpret_cast<void*>(0x10000 + 64 * kChunk), kChunk);  // beyond
+  t.mark(reinterpret_cast<void*>(0x1000), 0x1000);                 // before
+  t.mark(reinterpret_cast<void*>(0x10000), 0);                     // empty
+  EXPECT_EQ(t.dirty_chunks(gen), 0u);
+  // A mark straddling the tail dirties only the in-span chunks.
+  t.mark(reinterpret_cast<void*>(0x10000 + 3 * kChunk + 5), 64 * kChunk);
+  EXPECT_EQ(t.dirty_chunks(gen), 1u);
+}
+
+TEST(DirtyTrackerTest, NewEpochChangesIdentityAndMarksAll) {
+  ckpt::DirtyTracker t(0x10000, 8 * kChunk, kChunk);
+  const std::uint64_t gen = t.advance();
+  const std::string before = t.epoch();
+  EXPECT_FALSE(before.empty());
+  EXPECT_EQ(t.dirty_chunks(gen), 0u);
+  t.new_epoch();
+  EXPECT_NE(t.epoch(), before);
+  // Everything is dirty again: the old mark history is meaningless.
+  EXPECT_EQ(t.dirty_chunks(gen), 8u);
+}
+
+TEST(DirtyTrackerTest, RandomHexIdsAreWellFormedAndDistinct) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 16; ++i) {
+    const std::string id = ckpt::random_hex_id();
+    EXPECT_FALSE(id.empty());
+    for (char c : id) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+    }
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Format gates
+// ---------------------------------------------------------------------------
+
+TEST(DeltaFormatTest, ParentOptionsProduceAV4ImageWithParentHeader) {
+  ckpt::MemorySink sink;
+  ckpt::ImageWriter::Options wopts;
+  wopts.parent_id = "cafebabecafebabe";
+  wopts.parent_path = "/tmp/base.crac";
+  ckpt::ImageWriter w(&sink, wopts);
+  w.add_section(ckpt::SectionType::kMetadata, "note",
+                testlib::golden_payload(64));
+  ASSERT_TRUE(w.finish().ok());
+  ASSERT_TRUE(sink.close().ok());
+
+  auto reader = ckpt::ImageReader::from_bytes(std::move(sink).take());
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  EXPECT_EQ(reader->version(), 4u);
+  EXPECT_TRUE(reader->is_delta());
+  EXPECT_EQ(reader->parent_id(), "cafebabecafebabe");
+  EXPECT_EQ(reader->parent_path(), "/tmp/base.crac");
+}
+
+TEST(DeltaFormatTest, DeltaSectionInNonDeltaImageIsRejectedByName) {
+  // A kDeltaChunks section is only meaningful against a named parent. A
+  // writer that never set parent_id produces a v2 image; sneaking the
+  // section type in must fail at open, not merge garbage at restore.
+  ckpt::MemorySink sink;
+  ckpt::ImageWriter w(&sink, {});
+  w.add_section(ckpt::SectionType::kDeltaChunks, "allocations",
+                testlib::golden_payload(256));
+  ASSERT_TRUE(w.finish().ok());
+  ASSERT_TRUE(sink.close().ok());
+
+  auto reader = ckpt::ImageReader::from_bytes(std::move(sink).take());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(reader.status().message().find("non-delta"), std::string::npos)
+      << reader.status().to_string();
+}
+
+TEST(DeltaFormatTest, FutureImageVersionIsRejectedByName) {
+  ckpt::MemorySink sink;
+  ckpt::ImageWriter w(&sink, {});
+  w.add_section(ckpt::SectionType::kMetadata, "note",
+                testlib::golden_payload(64));
+  ASSERT_TRUE(w.finish().ok());
+  ASSERT_TRUE(sink.close().ok());
+  std::vector<std::byte> bytes = std::move(sink).take();
+  // Version lives in the u32 right after the 8-byte magic.
+  ASSERT_GE(bytes.size(), 12u);
+  const std::uint32_t v5 = 5;
+  std::memcpy(bytes.data() + 8, &v5, sizeof(v5));
+
+  auto reader = ckpt::ImageReader::from_bytes(std::move(bytes));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("unsupported image version"),
+            std::string::npos)
+      << reader.status().to_string();
+}
+
+std::string golden_path(const char* name) {
+  return std::string(CRAC_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(DeltaFormatTest, GoldenFixturesStillOpenAsFullImages) {
+  // The delta work must not disturb frozen on-disk formats: both golden
+  // fixtures open, read back, and are not deltas.
+  for (const char* name : {"golden_v1.crac", "golden_v2.crac"}) {
+    auto reader = ckpt::ImageReader::from_file(golden_path(name));
+    ASSERT_TRUE(reader.ok()) << name << ": " << reader.status().to_string();
+    EXPECT_FALSE(reader->is_delta()) << name;
+    ASSERT_FALSE(reader->sections().empty()) << name;
+    auto stream = reader->open_section(reader->sections().front());
+    ASSERT_TRUE(stream.ok()) << name << ": " << stream.status().to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint_delta end to end
+// ---------------------------------------------------------------------------
+
+CracOptions test_options() {
+  CracOptions opts;
+  opts.split.device.device_capacity = 256 << 20;
+  opts.split.device.pinned_capacity = 64 << 20;
+  opts.split.device.managed_capacity = 256 << 20;
+  opts.split.device.device_chunk = 8 << 20;
+  opts.split.device.pinned_chunk = 4 << 20;
+  opts.split.device.managed_chunk = 8 << 20;
+  opts.split.upper_heap_capacity = 256 << 20;
+  opts.split.upper_heap_chunk = 4 << 20;
+  return opts;
+}
+
+std::string temp_image_path(const char* tag) {
+  return ::testing::TempDir() + "/delta_test_" + tag + ".img";
+}
+
+TEST(CheckpointDeltaTest, RequiresABaseCheckpoint) {
+  CracContext ctx(test_options());
+  auto report = ctx.checkpoint_delta(temp_image_path("nobase"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(report.status().message().find("full checkpoint"),
+            std::string::npos)
+      << report.status().to_string();
+}
+
+TEST(CheckpointDeltaTest, RefusesShardedLayout) {
+  // Chain resolution follows plain parent file paths; the sharded layout
+  // cannot host a delta and must be refused by name before any I/O.
+  CracOptions opts = test_options();
+  opts.ckpt_shards = 4;
+  CracContext ctx(opts);
+  void* dev = nullptr;
+  ASSERT_EQ(ctx.api().cudaMalloc(&dev, 4096), cudaSuccess);
+  auto report = ctx.checkpoint_delta(temp_image_path("sharddelta"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("single-file"), std::string::npos)
+      << report.status().to_string();
+}
+
+TEST(CheckpointDeltaTest, RefusedAfterInPlaceRestart) {
+  // A restore invalidates the dirty history (new tracker epoch); a delta
+  // against the pre-restore base would describe memory that no longer
+  // exists. The verb must refuse by name.
+  const std::string base = temp_image_path("epochbase");
+  CracContext ctx(test_options());
+  void* dev = nullptr;
+  ASSERT_EQ(ctx.api().cudaMalloc(&dev, 1 << 20), cudaSuccess);
+  ASSERT_TRUE(ctx.checkpoint(base).ok());
+  ASSERT_TRUE(ctx.restart_in_place(base).ok());
+  auto report = ctx.checkpoint_delta(temp_image_path("epochdelta"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(report.status().message().find("restored"), std::string::npos)
+      << report.status().to_string();
+  std::remove(base.c_str());
+}
+
+// Shared fixture state for the chain tests: builds base -> delta1 -> delta2
+// over a large device buffer, dirtying ~2% between captures, and keeps a
+// host mirror of the expected final contents.
+class DeltaChainTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kDevBytes = 32 << 20;
+  static constexpr std::size_t kIslands = 10;  // ~2% of kDevBytes in 64K units
+
+  // Dirties kIslands spread-out 64 KiB islands with data derived from
+  // `seed`, mirroring the writes into `host` (whose size is the device
+  // buffer's size).
+  void dirty_islands(CracContext& ctx, void* dev, std::vector<std::byte>& host,
+                     std::uint64_t seed) {
+    ASSERT_GE(host.size(), kIslands * kChunk);
+    const std::size_t stride = host.size() / kIslands;
+    for (std::size_t i = 0; i < kIslands; ++i) {
+      const std::size_t off = i * stride;
+      auto patch = testlib::random_bytes(kChunk, seed + i);
+      ASSERT_EQ(ctx.api().cudaMemcpy(static_cast<char*>(dev) + off,
+                                     patch.data(), patch.size(),
+                                     cudaMemcpyHostToDevice),
+                cudaSuccess);
+      std::memcpy(host.data() + off, patch.data(), patch.size());
+    }
+    ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+  }
+
+  void expect_device_matches(cuda::CudaApi& api, void* dev,
+                             const std::vector<std::byte>& host) {
+    std::vector<std::byte> out(host.size());
+    ASSERT_EQ(api.cudaMemcpy(out.data(), dev, out.size(),
+                             cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    ASSERT_EQ(std::memcmp(out.data(), host.data(), host.size()), 0);
+  }
+};
+
+TEST_F(DeltaChainTest, SparseDeltaIsSmallAndRestoresByteIdentical) {
+  const std::string base = temp_image_path("chain_base");
+  const std::string delta1 = temp_image_path("chain_d1");
+  const std::string delta2 = temp_image_path("chain_d2");
+
+  void* dev = nullptr;
+  std::vector<std::byte> host = testlib::random_bytes(kDevBytes, 42);
+  std::vector<std::byte> managed_host(kChunk);
+  void* mng = nullptr;
+  std::string base_id;
+  std::string delta1_id;
+  std::uint64_t full_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  {
+    CracContext ctx(test_options());
+    auto& api = ctx.api();
+    ASSERT_EQ(api.cudaMalloc(&dev, kDevBytes), cudaSuccess);
+    ASSERT_EQ(api.cudaMemcpy(dev, host.data(), kDevBytes,
+                             cudaMemcpyHostToDevice),
+              cudaSuccess);
+    ASSERT_EQ(api.cudaMallocManaged(&mng, kChunk, cuda::cudaMemAttachGlobal),
+              cudaSuccess);
+    std::memset(mng, 0x5A, kChunk);
+    std::memset(managed_host.data(), 0x5A, kChunk);
+    ASSERT_EQ(api.cudaDeviceSynchronize(), cudaSuccess);
+
+    auto full = ctx.checkpoint(base);
+    ASSERT_TRUE(full.ok()) << full.status().to_string();
+    EXPECT_FALSE(full->delta_image);
+    EXPECT_FALSE(full->image_id.empty());
+    base_id = full->image_id;
+    full_bytes = full->image_bytes;
+
+    // ~2% dirty -> the delta must be at most 10% of the full image. The
+    // headroom absorbs the sections that always ship in full (log, upper
+    // memory, managed contents, UVM state).
+    dirty_islands(ctx, dev, host, 1000);
+    auto d1 = ctx.checkpoint_delta(delta1);
+    ASSERT_TRUE(d1.ok()) << d1.status().to_string();
+    EXPECT_TRUE(d1->delta_image);
+    EXPECT_TRUE(ctx.plugin().last_drain_was_delta());
+    delta1_id = d1->image_id;
+    delta_bytes = d1->image_bytes;
+    EXPECT_LE(delta_bytes, full_bytes / 10)
+        << "delta " << delta_bytes << " vs full " << full_bytes;
+
+    // Second round: delta-of-delta, including a managed-memory change
+    // (managed contents always ship full, so this must survive the chain).
+    dirty_islands(ctx, dev, host, 2000);
+    std::memset(mng, 0xA5, 64);
+    std::memset(managed_host.data(), 0xA5, 64);
+    ASSERT_EQ(api.cudaDeviceSynchronize(), cudaSuccess);
+    auto d2 = ctx.checkpoint_delta(delta2);
+    ASSERT_TRUE(d2.ok()) << d2.status().to_string();
+    EXPECT_TRUE(d2->delta_image);
+    // Context destroyed here; restart must resolve the 3-image chain.
+  }
+
+  // Chain membership as crac_inspect reports it: newest first.
+  auto chain = ckpt::describe_image_chain(delta2);
+  ASSERT_TRUE(chain.ok()) << chain.status().to_string();
+  ASSERT_EQ(chain->size(), 3u);
+  EXPECT_TRUE((*chain)[0].delta);
+  EXPECT_GE((*chain)[0].delta_sections, 1u);
+  EXPECT_EQ((*chain)[0].parent_id, delta1_id);
+  EXPECT_TRUE((*chain)[1].delta);
+  EXPECT_EQ((*chain)[1].image_id, delta1_id);
+  EXPECT_EQ((*chain)[1].parent_id, base_id);
+  EXPECT_FALSE((*chain)[2].delta);
+  EXPECT_EQ((*chain)[2].image_id, base_id);
+  EXPECT_EQ((*chain)[2].delta_sections, 0u);
+
+  // Restoring the newest delta materializes base+d1+d2 and must reproduce
+  // the device and managed bytes exactly as they were at the d2 capture.
+  auto restarted = CracContext::restart_from_image(delta2, test_options());
+  ASSERT_TRUE(restarted.ok()) << restarted.status().to_string();
+  expect_device_matches((*restarted)->api(), dev, host);
+  ASSERT_EQ(std::memcmp(mng, managed_host.data(), kChunk), 0);
+
+  std::remove(base.c_str());
+  std::remove(delta1.c_str());
+  std::remove(delta2.c_str());
+}
+
+TEST_F(DeltaChainTest, WrongParentFailsByNameNotGarbage) {
+  const std::string base = temp_image_path("swap_base");
+  const std::string delta = temp_image_path("swap_d1");
+
+  void* dev = nullptr;
+  std::vector<std::byte> host = testlib::random_bytes(kDevBytes, 7);
+  {
+    CracContext ctx(test_options());
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, kDevBytes), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(dev, host.data(), kDevBytes,
+                                   cudaMemcpyHostToDevice),
+              cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(base).ok());
+    dirty_islands(ctx, dev, host, 3000);
+    ASSERT_TRUE(ctx.checkpoint_delta(delta).ok());
+  }
+  {
+    // Overwrite the base with a different (valid, full) image: same path,
+    // different embedded image-id. The delta must refuse to merge with it.
+    CracContext other(test_options());
+    void* p = nullptr;
+    ASSERT_EQ(other.api().cudaMalloc(&p, 1 << 20), cudaSuccess);
+    ASSERT_TRUE(other.checkpoint(base).ok());
+  }
+
+  auto restarted = CracContext::restart_from_image(delta, test_options());
+  ASSERT_FALSE(restarted.ok());
+  EXPECT_EQ(restarted.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(restarted.status().message().find("parent image id"),
+            std::string::npos)
+      << restarted.status().to_string();
+
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST_F(DeltaChainTest, RawDeltaBytesAreRefusedByRestore) {
+  // A delta fed directly to the restore path (no path, so no chain
+  // resolution) must fail with a named precondition instead of restoring a
+  // partial image.
+  const std::string base = temp_image_path("raw_base");
+  const std::string delta = temp_image_path("raw_d1");
+  void* dev = nullptr;
+  std::vector<std::byte> host = testlib::random_bytes(1 << 20, 9);
+  {
+    CracContext ctx(test_options());
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, host.size()), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(dev, host.data(), host.size(),
+                                   cudaMemcpyHostToDevice),
+              cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(base).ok());
+    dirty_islands(ctx, dev, host, 4000);
+    ASSERT_TRUE(ctx.checkpoint_delta(delta).ok());
+  }
+
+  auto restarted = CracContext::restart_from_source(
+      std::make_unique<ckpt::MemorySource>(testlib::read_file(delta)),
+      test_options());
+  ASSERT_FALSE(restarted.ok());
+  EXPECT_EQ(restarted.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(restarted.status().message().find("delta image"),
+            std::string::npos)
+      << restarted.status().to_string();
+
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST_F(DeltaChainTest, AllocationChangeFallsBackToFullSectionsAndRestores) {
+  // Allocating between base and delta changes the allocation-table
+  // fingerprint: the drain must fall back to full sections (still a valid
+  // v4 image — full sections shadow the parent outright) and the chain
+  // restore must still be exact.
+  const std::string base = temp_image_path("fp_base");
+  const std::string delta = temp_image_path("fp_d1");
+  void* dev = nullptr;
+  void* extra = nullptr;
+  std::vector<std::byte> host = testlib::random_bytes(4 << 20, 11);
+  std::vector<std::byte> extra_host = testlib::random_bytes(kChunk, 12);
+  {
+    CracContext ctx(test_options());
+    ASSERT_EQ(ctx.api().cudaMalloc(&dev, host.size()), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(dev, host.data(), host.size(),
+                                   cudaMemcpyHostToDevice),
+              cudaSuccess);
+    ASSERT_TRUE(ctx.checkpoint(base).ok());
+    ASSERT_EQ(ctx.api().cudaMalloc(&extra, extra_host.size()), cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaMemcpy(extra, extra_host.data(),
+                                   extra_host.size(),
+                                   cudaMemcpyHostToDevice),
+              cudaSuccess);
+    ASSERT_EQ(ctx.api().cudaDeviceSynchronize(), cudaSuccess);
+    auto d = ctx.checkpoint_delta(delta);
+    ASSERT_TRUE(d.ok()) << d.status().to_string();
+    EXPECT_TRUE(d->delta_image);
+    EXPECT_FALSE(ctx.plugin().last_drain_was_delta());  // fingerprint miss
+  }
+
+  auto restarted = CracContext::restart_from_image(delta, test_options());
+  ASSERT_TRUE(restarted.ok()) << restarted.status().to_string();
+  auto& api = (*restarted)->api();
+  std::vector<std::byte> out(host.size());
+  ASSERT_EQ(api.cudaMemcpy(out.data(), dev, out.size(),
+                           cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(std::memcmp(out.data(), host.data(), host.size()), 0);
+  out.resize(extra_host.size());
+  ASSERT_EQ(api.cudaMemcpy(out.data(), extra, out.size(),
+                           cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(std::memcmp(out.data(), extra_host.data(), extra_host.size()), 0);
+
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+}  // namespace
+}  // namespace crac

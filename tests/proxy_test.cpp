@@ -414,6 +414,55 @@ TEST(ProxyTest, RecvCkptRejectBeforeMutationKeepsExistingState) {
   EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
 }
 
+TEST(ProxyTest, RecvCkptOverlappingSnapshotRejectedBeforeMutation) {
+  // A CRC-valid shipment whose arena snapshot carries overlapping
+  // allocations — a later content restore would write one buffer over
+  // another. RECV_CKPT must reject it by name before the receiving
+  // server's allocator is touched.
+  ProxyClientApi b(test_options());
+  const std::size_t n = 64 << 10;
+  void* dev = nullptr;
+  ASSERT_EQ(b.cudaMalloc(&dev, n), cudaSuccess);
+  std::vector<char> pattern(n);
+  for (std::size_t i = 0; i < n; ++i) pattern[i] = static_cast<char>(i * 7);
+  ASSERT_EQ(b.cudaMemcpy(dev, pattern.data(), n, cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  sim::ArenaAllocator::Snapshot snap;
+  snap.committed_bytes = 1 << 20;
+  snap.active.emplace_back(0, 8192);
+  snap.active.emplace_back(4096, 8192);  // overlaps the first entry
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  {
+    ckpt::SocketSink sink(pipefd[1], "test ship");
+    ckpt::ImageWriter writer(&sink, ckpt::ImageWriter::Options{});
+    writer.add_section(ckpt::SectionType::kMetadata, "proxy-device-arena",
+                       sim::encode_arena_snapshot(snap));
+    // Correctly-sized contents for the claimed allocations: everything up
+    // to the overlap gate itself verifies, so the rejection below is the
+    // snapshot validation, not an earlier size/CRC check.
+    writer.add_section(ckpt::SectionType::kDeviceBuffers,
+                       "proxy-device-contents",
+                       std::vector<std::byte>(16384, std::byte{0x7F}));
+    ASSERT_TRUE(writer.finish().ok());
+    ASSERT_TRUE(sink.close().ok());
+    ::close(pipefd[1]);
+  }
+  const Status recv_status = b.recv_checkpoint(pipefd[0]);
+  ::close(pipefd[0]);
+  // The client sees "error, connection intact" (validation details stay in
+  // the server log); what matters here is reject-before-mutate.
+  ASSERT_FALSE(recv_status.ok());
+
+  // The pre-existing allocation and its contents survived the rejection.
+  std::vector<char> back(n);
+  ASSERT_EQ(b.cudaMemcpy(back.data(), dev, n, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, pattern);
+  EXPECT_EQ(b.cudaFree(dev), cudaSuccess);
+}
+
 // Captures the exact wire bytes of a live shipment from `src`'s server —
 // raw material for corrupting in the fault-injection tests below.
 std::vector<std::byte> capture_shipment(ProxyClientApi& src) {

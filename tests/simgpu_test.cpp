@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <numeric>
 
@@ -161,6 +162,85 @@ TEST(ArenaAllocatorTest, SnapshotRestoreRoundTrip) {
   const auto off_b = reinterpret_cast<std::uintptr_t>(*nb) -
                      reinterpret_cast<std::uintptr_t>(b.arena_base());
   EXPECT_EQ(off_a, off_b);
+}
+
+TEST(ArenaAllocatorTest, NearOverflowSizesFailByNameNotWrap) {
+  // (n + align - 1) wraps for near-SIZE_MAX requests; a wrapped round-up
+  // would turn an absurd allocation into a tiny "successful" one. Every
+  // case must fail with a named error, never allocate.
+  ArenaAllocator arena(arena_config());
+  const std::size_t cases[] = {
+      SIZE_MAX,
+      SIZE_MAX - 1,
+      SIZE_MAX - 511,  // rounds to exactly SIZE_MAX+1 without the guard
+      SIZE_MAX / 2,
+      arena_config().capacity + 1,
+  };
+  for (const std::size_t n : cases) {
+    auto p = arena.allocate(n);
+    ASSERT_FALSE(p.ok()) << "allocate(" << n << ") succeeded";
+    EXPECT_EQ(p.status().code(), StatusCode::kOutOfMemory) << n;
+    EXPECT_NE(p.status().message().find("arena reservation"),
+              std::string::npos)
+        << p.status().to_string();
+  }
+  // The arena is unharmed: a sane allocation still works.
+  auto ok = arena.allocate(4096);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(arena.free(*ok).ok());
+}
+
+TEST(ArenaAllocatorTest, HostileSnapshotsRejectedWithoutMutation) {
+  // A CRC-valid but hostile snapshot (as a proxy RECV_CKPT could carry)
+  // must be rejected by validate_snapshot before restore mutates anything.
+  using Snap = ArenaAllocator::Snapshot;
+  struct Case {
+    const char* name;
+    Snap snap;
+    const char* expect;  // substring the error must name
+  };
+  const std::uint64_t cap = arena_config().capacity;
+  const Case cases[] = {
+      {"committed beyond capacity",
+       Snap{cap + (4 << 20), {}, {}},
+       "larger than arena reservation"},
+      {"zero-size active entry",
+       Snap{4 << 20, {}, {{0, 0}}},
+       "zero-size"},
+      {"active entry outside committed span",
+       Snap{4 << 20, {}, {{(4 << 20) - 512, 1024}}},
+       "outside the committed"},
+      {"active/active overlap",
+       Snap{4 << 20, {}, {{0, 8192}, {4096, 8192}}},
+       "overlap"},
+      {"free/active overlap",
+       Snap{4 << 20, {{0, 8192}}, {{4096, 8192}}},
+       "overlap"},
+      {"duplicate entries",
+       Snap{4 << 20, {}, {{512, 512}, {512, 512}}},
+       "overlap"},
+  };
+  ArenaAllocator arena(arena_config());
+  auto keep = arena.allocate(4096);
+  ASSERT_TRUE(keep.ok());
+  std::memset(*keep, 0x42, 4096);
+  const auto active_before = arena.active_count();
+  for (const Case& c : cases) {
+    Status v = arena.validate_snapshot(c.snap);
+    ASSERT_FALSE(v.ok()) << c.name;
+    EXPECT_EQ(v.code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_NE(v.message().find(c.expect), std::string::npos)
+        << c.name << ": " << v.to_string();
+    Status r = arena.restore(c.snap);
+    ASSERT_FALSE(r.ok()) << c.name;
+    // Rejection happened before mutation: existing state intact.
+    EXPECT_EQ(arena.active_count(), active_before) << c.name;
+    EXPECT_EQ(static_cast<unsigned char*>(*keep)[0], 0x42) << c.name;
+  }
+  // The boundary case that must PASS: free and active entries exactly
+  // adjacent, committed span exactly at a chunk boundary.
+  const Snap good{4 << 20, {{0, 4096}}, {{4096, 4096}}};
+  EXPECT_TRUE(arena.validate_snapshot(good).ok());
 }
 
 TEST(DeviceTest, PropertiesMatchConfig) {
@@ -580,6 +660,79 @@ TEST(UvmTest, ConcurrentWritersSamePage) {
   for (int i = 0; i < 1000; ++i) {
     ASSERT_EQ(words[i], (i % 2 == 0) ? 0xAAAAAAAA : 0x55555555) << i;
   }
+}
+
+TEST(UvmTest, RangeRequestsPastArenaEndRejectedByName) {
+  // Table-driven spans that a hostile or buggy caller could pass; each
+  // used to reach mprotect with an unclamped length. All must fail with a
+  // named InvalidArgument and leave residency untouched.
+  Device dev(small_config());
+  auto m = dev.malloc_managed(128 << 10);
+  ASSERT_TRUE(m.ok());
+  auto& uvm = dev.uvm();
+  struct Case {
+    const char* name;
+    std::ptrdiff_t off;  // from *m
+    std::size_t bytes;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"length past reservation", 0, SIZE_MAX / 2, "extends past"},
+      {"p + bytes wraps", 0, SIZE_MAX, "extends past"},
+      {"pointer below arena", -(std::ptrdiff_t{1} << 30), 4096, "outside"},
+  };
+  for (const Case& c : cases) {
+    // Integer arithmetic: hostile pointers must not be formed by (UB)
+    // out-of-bounds pointer arithmetic under the sanitizer jobs.
+    auto* p = reinterpret_cast<char*>(
+        reinterpret_cast<std::uintptr_t>(*m) +
+        static_cast<std::uintptr_t>(c.off));
+    for (const bool to_device : {true, false}) {
+      Status s = uvm.prefetch(p, c.bytes, to_device);
+      ASSERT_FALSE(s.ok()) << c.name;
+      EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.name;
+      EXPECT_NE(s.message().find(c.expect), std::string::npos)
+          << c.name << ": " << s.to_string();
+    }
+    Status s = uvm.arm_range(p, c.bytes);
+    ASSERT_FALSE(s.ok()) << c.name;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.name;
+  }
+  // Residency was never altered by the rejected calls.
+  EXPECT_EQ(*uvm.residency(*m), PageResidency::kHost);
+}
+
+TEST(UvmTest, ManagedAllocationOverflowRejected) {
+  Device dev(small_config());
+  for (const std::size_t n : {SIZE_MAX, SIZE_MAX - 511, SIZE_MAX / 2}) {
+    auto m = dev.malloc_managed(n);
+    ASSERT_FALSE(m.ok()) << n;
+    EXPECT_EQ(m.status().code(), StatusCode::kOutOfMemory) << n;
+  }
+}
+
+TEST(UvmTest, TailAllocationArmsAndFaultsWithoutOverrun) {
+  // Regression for the mprotect range overrun: an allocation whose page
+  // span ends exactly at the committed end of the arena. Arming and then
+  // faulting the last page must stay inside the reservation (ASan/UBSan
+  // jobs run this suite; an overrun dies there).
+  DeviceConfig cfg = small_config();
+  cfg.managed_capacity = 1 << 20;
+  cfg.managed_chunk = 1 << 20;
+  Device dev(cfg);
+  const std::size_t page = dev.uvm().page_size();
+  // Fill the arena to its last byte.
+  auto m = dev.malloc_managed(cfg.managed_capacity);
+  ASSERT_TRUE(m.ok());
+  char* base = static_cast<char*>(*m);
+  char* last_page = base + cfg.managed_capacity - page;
+  ASSERT_TRUE(dev.uvm().prefetch(last_page, page, /*to_device=*/true).ok());
+  EXPECT_EQ(*dev.uvm().residency(last_page), PageResidency::kDevice);
+  last_page[page - 1] = 9;  // host fault on the very last byte
+  EXPECT_EQ(*dev.uvm().residency(last_page), PageResidency::kHost);
+  EXPECT_EQ(last_page[page - 1], 9);
+  // Free's disarm path walks the same clamped range.
+  ASSERT_TRUE(dev.free_any(*m).ok());
 }
 
 TEST(FaultRouterTest, HandlerInstalledOnce) {
