@@ -143,6 +143,12 @@ struct BenchJson {
     std::uint64_t full_bytes = 0, delta_bytes = 0;
     double full_s = -1, delta_s = -1;
   };
+  struct CowPause {
+    std::size_t mb = 0;
+    double stw_pause_s = -1, cow_pause_s = -1;
+    double stw_total_s = -1, cow_total_s = -1;
+    std::uint64_t snapstore_peak = 0;
+  };
 
   std::vector<Rodinia> rodinia;
   double serial_write_mbs = 0, serial_restore_mbs = 0;
@@ -153,6 +159,7 @@ struct BenchJson {
   std::vector<ZeroRun> zero_run;
   std::vector<Prefetch> prefetch;
   std::vector<Delta> delta;
+  std::vector<CowPause> cow_pause;
 
   static std::string num(double v) {
     char buf[32];
@@ -258,6 +265,18 @@ struct BenchJson {
            ", \"full_s\": " + num(c.full_s) +
            ", \"delta_s\": " + num(c.delta_s) + "}";
       s += i + 1 < delta.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"cow_pause\": [\n";
+    for (std::size_t i = 0; i < cow_pause.size(); ++i) {
+      const auto& c = cow_pause[i];
+      s += "    {\"mb\": " + num(static_cast<std::uint64_t>(c.mb)) +
+           ", \"stw_pause_s\": " + num(c.stw_pause_s) +
+           ", \"cow_pause_s\": " + num(c.cow_pause_s) +
+           ", \"stw_total_s\": " + num(c.stw_total_s) +
+           ", \"cow_total_s\": " + num(c.cow_total_s) +
+           ", \"snapstore_peak_bytes\": " + num(c.snapstore_peak) + "}";
+      s += i + 1 < cow_pause.size() ? ",\n" : "\n";
     }
     s += "  ]\n}\n";
     return s;
@@ -1061,6 +1080,83 @@ void run_uvm_prefetch_sweep(BenchJson& json) {
   std::remove(path.c_str());
 }
 
+// ---- COW capture: pause-vs-footprint sweep --------------------------------
+//
+// The zero-pause claim, measured: one device buffer per footprint, one
+// checkpoint per mode. Stop-the-world holds the application frozen for the
+// whole capture (pause ≈ total), so its pause grows with footprint; the
+// COW capture releases the world right after drain + tracker advance +
+// overlay arm, so its pause should stay flat — the ratio at the largest
+// footprint is the number the CI smoke gate asserts (< 10%).
+void run_cow_pause_sweep(BenchJson& json) {
+  using namespace crac;
+  using namespace crac::bench;
+  std::vector<std::size_t> footprints = {16, 64};
+  if (quick()) footprints = {4, 16};
+  std::printf("\nCOW capture pause vs footprint (cells are "
+              "application-frozen seconds, median of %d; totals in "
+              "parentheses):\n",
+              reps());
+  std::printf("  %-10s %16s %20s %8s\n", "footprint", "stop-the-world",
+              "cow (overlay)", "ratio");
+  for (const std::size_t mb : footprints) {
+    const std::size_t n = mb << 20;
+    const auto payload = synthetic_image_payload(n, 555 + mb);
+    BenchJson::CowPause row;
+    row.mb = mb;
+    bool failed = false;
+    for (const bool cow : {false, true}) {
+      std::vector<double> pauses, totals;
+      std::uint64_t peak = 0;
+      for (int r = 0; r < reps() && !failed; ++r) {
+        const std::string path = "/tmp/crac_bench_cow_pause.img";
+        CracOptions opts = crac_options();
+        opts.cow_capture = cow;
+        CracContext ctx(opts);
+        void* dev = nullptr;
+        if (ctx.api().cudaMalloc(&dev, n) != cuda::cudaSuccess ||
+            ctx.api().cudaMemcpy(dev, payload.data(), n,
+                                 cuda::cudaMemcpyHostToDevice) !=
+                cuda::cudaSuccess) {
+          failed = true;
+          break;
+        }
+        auto report = ctx.checkpoint(path);
+        std::remove(path.c_str());
+        if (!report.ok()) {
+          std::fprintf(stderr, "  %s checkpoint FAILED: %s\n",
+                       cow ? "cow" : "stw",
+                       report.status().to_string().c_str());
+          failed = true;
+          break;
+        }
+        pauses.push_back(report->pause_s);
+        totals.push_back(report->total_s);
+        peak = std::max(peak, report->snapstore_peak_bytes);
+      }
+      if (failed) break;
+      const double pause = bench::median_of(pauses);
+      const double total = bench::median_of(totals);
+      if (cow) {
+        row.cow_pause_s = pause;
+        row.cow_total_s = total;
+        row.snapstore_peak = peak;
+      } else {
+        row.stw_pause_s = pause;
+        row.stw_total_s = total;
+      }
+    }
+    json.cow_pause.push_back(row);
+    if (failed || row.stw_pause_s <= 0) {
+      std::printf("  %4zuMB            FAILED\n", mb);
+      continue;
+    }
+    std::printf("  %4zuMB     %9.4fs (%6.4fs) %9.4fs (%6.4fs) %7.1f%%\n",
+                mb, row.stw_pause_s, row.stw_total_s, row.cow_pause_s,
+                row.cow_total_s, 100.0 * row.cow_pause_s / row.stw_pause_s);
+  }
+}
+
 // ---- incremental (delta) checkpoint sweep ---------------------------------
 //
 // One device buffer, one full checkpoint, then a dirty-fraction sweep: touch
@@ -1307,6 +1403,15 @@ int main() {
               "be no slower than inline, with the gap bounded by the share "
               "of restart spent applying residency bitmaps. crac_test "
               "asserts the two paths restore byte-identical state.\n");
+
+  run_cow_pause_sweep(json);
+  std::printf("\nshape check (cow pause): the stop-the-world pause grows "
+              "with footprint (it IS the capture); the COW pause stays "
+              "flat — drain streams, advance trackers, arm the overlay, "
+              "snapshot upper memory — so the ratio falls as footprint "
+              "grows and must be under 10%% at the largest footprint "
+              "(snapstore_test asserts byte-identity of the two modes; the "
+              "CI bench smoke asserts the ratio).\n");
 
   run_delta_sweep(json);
   std::printf("\nshape check (delta): delta image size should track the "

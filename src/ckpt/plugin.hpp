@@ -25,6 +25,23 @@ class CkptPlugin {
   // that follow — whoever writes them first — see a consistent world.
   virtual Status quiesce() { return OkStatus(); }
 
+  // Freeze/release split the stop-the-world window out of the capture.
+  // freeze() runs with the world about to stop: it must leave the plugin
+  // holding a consistent logical snapshot that precheckpoint() can later
+  // serialize even while the application mutates live state (a COW overlay
+  // makes that safe for bulk memory). release() ends the pause — the
+  // application resumes immediately after, possibly long before
+  // precheckpoint() finishes draining the frozen snapshot.
+  //
+  // Both must be idempotent: orchestration error paths release defensively,
+  // and a freeze() on an already-frozen plugin is a no-op (this replaces
+  // the old defensive double-quiesce on the precheckpoint path). Default
+  // implementations preserve legacy behavior: freeze() quiesces and
+  // release() does nothing, which collapses back to the stop-the-world
+  // protocol for plugins that never opt in.
+  virtual Status freeze() { return quiesce(); }
+  virtual Status release() { return OkStatus(); }
+
   // Called with the application quiesced. Plugins drain external state (for
   // CRAC: GPU buffers) into image sections here. Sections should be written
   // in the order restart() consumes them: the image streams in write order,
@@ -53,6 +70,18 @@ class PluginRegistry {
   Status run_quiesce() {
     for (CkptPlugin* p : plugins_) {
       CRAC_RETURN_IF_ERROR(p->quiesce());
+    }
+    return OkStatus();
+  }
+  Status run_freeze() {
+    for (CkptPlugin* p : plugins_) {
+      CRAC_RETURN_IF_ERROR(p->freeze());
+    }
+    return OkStatus();
+  }
+  Status run_release() {
+    for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) {
+      CRAC_RETURN_IF_ERROR((*it)->release());
     }
     return OkStatus();
   }

@@ -150,20 +150,38 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
   // rebuilding from the first sections while the later ones are still in
   // flight (docs/image_format.md, "Streaming restore ordering contract").
 
-  // 1. Quiesce: plugins stop the world (device drain) before any section
-  //    captures state.
+  // 1. Freeze: plugins stop the world (device drain) and pin their logical
+  //    snapshot — the call log, allocation table, residency bitmaps, and
+  //    (for deltas) the exact dirty runs. The application pause clock
+  //    starts here.
+  sim::Device& dev = process_->lower().device();
+  const bool cow = options_.cow_capture;
+  WallTimer pause;
   {
     WallTimer t;
-    CRAC_RETURN_IF_ERROR(registry_.run_quiesce());
+    CRAC_RETURN_IF_ERROR(registry_.run_freeze());
     report.drain_s = t.elapsed_s();
   }
+  // Any failure from here on must end the pause and tear down the overlay;
+  // both release paths are idempotent, so the success path simply runs them
+  // early. (A local class in a member function retains the enclosing
+  // function's access to registry_.)
+  struct CaptureGuard {
+    CracContext* ctx;
+    sim::Device* dev;
+    bool active = true;
+    ~CaptureGuard() {
+      if (!active) return;
+      dev->release_snapshot();
+      (void)ctx->registry_.run_release();
+    }
+  } guard{this, &dev};
 
   // With the world stopped, stamp the image's identity and advance the
   // dirty trackers: everything marked before this instant belongs to THIS
   // capture, everything after to the next one. The capture state is what a
   // later checkpoint_delta() deltas against.
   {
-    sim::Device& dev = process_->lower().device();
     last_image_id_ = ckpt::random_hex_id();
     last_captured_.image_id = last_image_id_;
     last_captured_.device_gen = dev.device_dirty().advance();
@@ -201,7 +219,18 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
     report.memory_s = t.elapsed_s();
   }
 
-  // 3. Plugin drain: active allocations, residency, the log, fat binaries,
+  // 3. End the pause (COW mode): arm the snapshot overlay over the arenas
+  //    and release the plugins — the application resumes NOW, while the
+  //    drain below reads the frozen state through the overlay and racing
+  //    writes preserve their pre-images into the snapstore first. In
+  //    stop-the-world mode the world stays frozen through the drain.
+  if (cow) {
+    CRAC_RETURN_IF_ERROR(dev.arm_snapshot());
+    CRAC_RETURN_IF_ERROR(registry_.run_release());
+    report.pause_s = pause.elapsed_s();
+  }
+
+  // 4. Plugin drain: active allocations, residency, the log, fat binaries,
   //    stream inventory — again in replay-consumption order.
   {
     WallTimer t;
@@ -209,7 +238,7 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
     report.drain_s += t.elapsed_s();
   }
 
-  // 4. Drain the chunk pipeline and close the sink — for transactional
+  // 5. Drain the chunk pipeline and close the sink — for transactional
   //    sinks (sharded files) this is the commit, for a socket sink it ships
   //    the stream trailer that tells the peer the image arrived whole.
   {
@@ -220,10 +249,22 @@ Result<CheckpointReport> CracContext::checkpoint_to_sink(ckpt::Sink& sink) {
     report.write_s = t.elapsed_s();
   }
 
-  // 5. Resume hooks (no-ops today, kept for lifecycle fidelity).
+  // 6. Capture complete: disarm the overlay (COW) or end the pause (STW),
+  //    then run the resume hooks.
+  if (cow) {
+    const ckpt::SnapOverlay::Stats snap = dev.snap_overlay().stats();
+    report.snapstore_peak_bytes = snap.peak_store_bytes;
+    report.snapstore_preserved_chunks = snap.chunks_preserved;
+    dev.release_snapshot();
+  } else {
+    CRAC_RETURN_IF_ERROR(registry_.run_release());
+    report.pause_s = pause.elapsed_s();
+  }
+  guard.active = false;
   CRAC_RETURN_IF_ERROR(registry_.run_resume());
 
   report.total_s = total.elapsed_s();
+  report.cow_capture = cow;
   report.active_allocations = plugin_->active_allocation_count();
   report.image_bytes = sink.bytes_written();
   report.image_id = last_image_id_;

@@ -49,6 +49,15 @@ struct CracOptions {
   std::size_t ckpt_shards = 1;
   // Striping granularity for sharded output (0 = kDefaultStripeBytes).
   std::size_t ckpt_stripe_bytes = 0;
+  // Copy-on-write capture: the stop-the-world window shrinks to drain
+  // streams + advance trackers + arm the snapshot overlay, and the
+  // application resumes while the drain reads the frozen state through the
+  // overlay (writes racing the capture preserve their pre-images into a
+  // bounded snapstore first). The image is byte-identical to a
+  // stop-the-world capture of the same frozen instant — proved by
+  // SnapshotCracContextTest.CowImageMatchesStopTheWorld. false restores
+  // the classic full-pause protocol.
+  bool cow_capture = true;
 };
 
 struct CheckpointReport {
@@ -56,12 +65,21 @@ struct CheckpointReport {
   double memory_s = 0;     // upper-half memory snapshot
   double write_s = 0;      // serialization + file write
   double total_s = 0;
+  // How long the application actually stood still: freeze to release. In
+  // COW mode this covers only drain + tracker advance + overlay arm; in
+  // stop-the-world mode it spans the entire capture (≈ total_s).
+  double pause_s = 0;
   std::uint64_t image_bytes = 0;      // bytes written to disk
   std::uint64_t raw_bytes = 0;        // pre-compression payload bytes
   std::size_t upper_regions = 0;
   std::size_t active_allocations = 0;
   std::string image_id;     // random identity written into the image
   bool delta_image = false; // written as a v4 delta naming a parent image
+  bool cow_capture = false; // captured through the snapshot overlay
+  // Snapstore footprint of this capture (COW mode only): pre-image bytes
+  // held at peak, and how many chunks writers preserved.
+  std::uint64_t snapstore_peak_bytes = 0;
+  std::uint64_t snapstore_preserved_chunks = 0;
 };
 
 struct RestartReport {

@@ -248,106 +248,47 @@ Status CracPlugin::quiesce() {
 }
 
 Status CracPlugin::precheckpoint(ckpt::ImageWriter& image) {
-  // (a) re-drain pending work so precheckpoint stays safe standalone
-  // (quiesce() already ran on the checkpoint path; a second sync on a
-  // settled device is free).
-  CRAC_RETURN_IF_ERROR(quiesce());
+  // On the orchestrated checkpoint path freeze() already ran (and in COW
+  // mode release() too — the application may be running again right now);
+  // the idempotent call below is then a no-op. A standalone precheckpoint
+  // freezes here and releases before returning, which replaces the old
+  // defensive re-quiesce: same safety, no double synchronize, and the
+  // freeze/release pairing assert stays satisfied.
+  const bool self_frozen = !frozen_.has_value();
+  CRAC_RETURN_IF_ERROR(freeze());
+  FrozenCapture fc = std::move(*frozen_);
+  frozen_.reset();
 
-  // (b) capture UVM residency *before* reading managed contents (reading
-  // migrates device-resident pages to the host) — but *write* it later, in
-  // restart-consumption order. Bitmaps are ~1 bit per page, so staging the
-  // whole section costs KBs, not payload.
-  ByteWriter uvm_payload;
-  {
-    // Residency bitmap per managed allocation — simulator introspection that
-    // stands in for the driver's internal page state; see DESIGN.md.
-    const auto& uvm = process_->lower().device().uvm();
-    std::vector<std::pair<std::uint64_t, ActiveAlloc>> managed;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& [addr, a] : active_) {
-        if (a.kind == AllocKind::kManaged) managed.emplace_back(addr, a);
-      }
-    }
-    const std::size_t page = uvm.page_size();
-    uvm_payload.put_u64(page);
-    uvm_payload.put_u64(managed.size());
-    for (const auto& [addr, a] : managed) {
-      const std::size_t n_pages = (a.size + page - 1) / page;
-      uvm_payload.put_u64(addr);
-      uvm_payload.put_u64(n_pages);
-      std::vector<std::uint8_t> bitmap((n_pages + 7) / 8, 0);
-      for (std::size_t i = 0; i < n_pages; ++i) {
-        auto res = uvm.residency(reinterpret_cast<void*>(addr + i * page));
-        if (res.ok() && *res == sim::PageResidency::kDevice) {
-          bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-        }
-      }
-      uvm_payload.put_bytes(bitmap.data(), bitmap.size());
-    }
-  }
+  // Sections stream in the order restart consumes them (fat binaries, log,
+  // allocation contents, residency, stream inventory), so a restore-while-
+  // receiving peer replays each one as it lands instead of waiting behind
+  // sections it needs first. All metadata comes straight out of the frozen
+  // capture; only allocation *contents* are read now, through the overlay.
+  image.add_section(ckpt::SectionType::kMetadata, kSectionFatbins,
+                    std::move(fc.fatbins));
+  CRAC_RETURN_IF_ERROR(image.status());
 
-  // Sections now stream in the order restart consumes them (fat binaries,
-  // log, allocation contents, residency, stream inventory), so a
-  // restore-while-receiving peer replays each one as it lands instead of
-  // waiting behind sections it needs first.
+  image.add_section(ckpt::SectionType::kCudaApiLog, kSectionLog,
+                    std::move(fc.log));
+  CRAC_RETURN_IF_ERROR(image.status());
 
-  // (c) fat-binary registration records for §3.2.5 re-registration —
-  // restart's first read. Build under the lock, stream outside it.
-  {
-    ByteWriter w;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      w.put_u64(fatbins_.size());
-      for (const FatbinEntry& fb : fatbins_) {
-        w.put_u64(reinterpret_cast<std::uint64_t>(fb.desc.module_name));
-        w.put_u64(fb.desc.binary_hash);
-        w.put_u8(fb.unregistered ? 1 : 0);
-        w.put_u64(fb.functions.size());
-        for (const cuda::KernelRegistration& fn : fb.functions) {
-          w.put_u64(reinterpret_cast<std::uint64_t>(fn.host_fn));
-          w.put_u64(reinterpret_cast<std::uint64_t>(fn.device_fn));
-          // The argument-size table is serialized by value: a restarted
-          // process has no live KernelModule to point back into.
-          w.put_u64(fn.arg_count);
-          for (std::size_t i = 0; i < fn.arg_count; ++i) {
-            w.put_u64(fn.arg_sizes[i]);
-          }
-          w.put_string(fn.name != nullptr ? fn.name : "");
-        }
-      }
-    }
-    image.add_section(ckpt::SectionType::kMetadata, kSectionFatbins,
-                      std::move(w).take());
-    CRAC_RETURN_IF_ERROR(image.status());
-  }
+  // Copy the contents of every allocation *active at the freeze instant* to
+  // the image — not the arenas (§3.2.3).
+  CRAC_RETURN_IF_ERROR(drain_allocations(image, fc));
 
-  // (d) the full call log, to be replayed verbatim at restart (§3.2.4).
-  // Serialized under the lock; streamed to the image outside it.
-  {
-    std::vector<std::byte> log_bytes;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      log_bytes = log_.serialize();
-    }
-    image.add_section(ckpt::SectionType::kCudaApiLog, kSectionLog,
-                      std::move(log_bytes));
-    CRAC_RETURN_IF_ERROR(image.status());
-  }
-
-  // (e) copy the contents of every *active* allocation to the image — not
-  // the arenas (§3.2.3).
-  CRAC_RETURN_IF_ERROR(drain_allocations(image));
-
-  // (f) the residency bitmaps captured in (b).
+  // The residency bitmaps captured at freeze time.
   CRAC_RETURN_IF_ERROR(
       image.begin_section(ckpt::SectionType::kUvmResidency, kSectionUvm));
-  CRAC_RETURN_IF_ERROR(image.append(uvm_payload.data(), uvm_payload.size()));
+  CRAC_RETURN_IF_ERROR(
+      image.append(fc.uvm_payload.data(), fc.uvm_payload.size()));
   CRAC_RETURN_IF_ERROR(image.end_section());
 
-  // (g) live stream/event inventory (consumed only by the restart-side
+  // Live stream/event inventory (consumed only by the restart-side
   // integrity sweep today).
-  return drain_streams(image);
+  CRAC_RETURN_IF_ERROR(drain_streams(image, fc));
+
+  if (self_frozen) CRAC_RETURN_IF_ERROR(release());
+  return OkStatus();
 }
 
 void CracPlugin::set_delta_plan(const DeltaDrainPlan& plan) {
@@ -393,35 +334,162 @@ std::uint64_t CracPlugin::allocation_fingerprint() const {
   return fingerprint_table(snapshot);
 }
 
-Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
-  std::vector<std::pair<std::uint64_t, ActiveAlloc>> snapshot;
+Status CracPlugin::freeze() {
+  if (frozen_.has_value()) return OkStatus();  // idempotent
+  CRAC_RETURN_IF_ERROR(quiesce());
+
+  FrozenCapture fc;
   std::optional<DeltaDrainPlan> plan;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot.assign(active_.begin(), active_.end());
+    fc.allocs.assign(active_.begin(), active_.end());
     plan = delta_plan_;
     delta_plan_.reset();  // one-shot: every capture re-arms explicitly
-  }
-  last_drain_was_delta_ = false;
-  if (plan.has_value()) {
-    if (fingerprint_table(snapshot) == plan->alloc_fingerprint) {
-      return drain_allocations_delta(image, snapshot, *plan);
+
+    // The full call log, replayed verbatim at restart (§3.2.4).
+    fc.log = log_.serialize();
+
+    // Fat-binary registration records for §3.2.5 re-registration.
+    ByteWriter w;
+    w.put_u64(fatbins_.size());
+    for (const FatbinEntry& fb : fatbins_) {
+      w.put_u64(reinterpret_cast<std::uint64_t>(fb.desc.module_name));
+      w.put_u64(fb.desc.binary_hash);
+      w.put_u8(fb.unregistered ? 1 : 0);
+      w.put_u64(fb.functions.size());
+      for (const cuda::KernelRegistration& fn : fb.functions) {
+        w.put_u64(reinterpret_cast<std::uint64_t>(fn.host_fn));
+        w.put_u64(reinterpret_cast<std::uint64_t>(fn.device_fn));
+        // The argument-size table is serialized by value: a restarted
+        // process has no live KernelModule to point back into.
+        w.put_u64(fn.arg_count);
+        for (std::size_t i = 0; i < fn.arg_count; ++i) {
+          w.put_u64(fn.arg_sizes[i]);
+        }
+        w.put_string(fn.name != nullptr ? fn.name : "");
+      }
     }
-    // The allocation table changed shape since the base: chunk offsets no
-    // longer line up, so the only correct delta is no delta.
-    CRAC_INFO() << "delta drain fell back to a full drain: "
-                << "allocation table changed since the base checkpoint";
+    fc.fatbins = std::move(w).take();
+
+    // Live stream/event inventory.
+    ByteWriter s;
+    s.put_u64(live_streams_.size());
+    for (cuda::cudaStream_t st : live_streams_) s.put_u64(st);
+    s.put_u64(live_events_.size());
+    for (cuda::cudaEvent_t e : live_events_) s.put_u64(e);
+    fc.streams = std::move(s).take();
   }
+
+  // UVM residency is part of the frozen instant: captured now, while the
+  // world is stopped, so post-release faults can't smear it. Bitmaps are
+  // ~1 bit per page — KBs of staging, not payload.
+  {
+    // Residency bitmap per managed allocation — simulator introspection
+    // that stands in for the driver's internal page state; see DESIGN.md.
+    const auto& uvm = process_->lower().device().uvm();
+    const std::size_t page = uvm.page_size();
+    ByteWriter uvm_payload;
+    std::vector<std::pair<std::uint64_t, ActiveAlloc>> managed;
+    for (const auto& [addr, a] : fc.allocs) {
+      if (a.kind == AllocKind::kManaged) managed.emplace_back(addr, a);
+    }
+    uvm_payload.put_u64(page);
+    uvm_payload.put_u64(managed.size());
+    for (const auto& [addr, a] : managed) {
+      const std::size_t n_pages = (a.size + page - 1) / page;
+      uvm_payload.put_u64(addr);
+      uvm_payload.put_u64(n_pages);
+      std::vector<std::uint8_t> bitmap((n_pages + 7) / 8, 0);
+      for (std::size_t i = 0; i < n_pages; ++i) {
+        auto res = uvm.residency(reinterpret_cast<void*>(addr + i * page));
+        if (res.ok() && *res == sim::PageResidency::kDevice) {
+          bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+      }
+      uvm_payload.put_bytes(bitmap.data(), bitmap.size());
+    }
+    fc.uvm_payload = std::move(uvm_payload).take();
+  }
+
+  // Resolve the delta plan now, not at drain time: the dirty runs must be
+  // computed before the context advances the trackers and before any
+  // post-release write marks land — those belong to the *next* delta.
+  if (plan.has_value()) {
+    if (fingerprint_table(fc.allocs) == plan->alloc_fingerprint) {
+      fc.delta = true;
+      ckpt::DirtyTracker& tracker = process_->lower().device().device_dirty();
+      for (const auto& [addr, a] : fc.allocs) {
+        if (a.kind != AllocKind::kDevice || a.size == 0) continue;
+        auto& runs = fc.dirty_runs[addr];
+        tracker.for_each_dirty(reinterpret_cast<const void*>(addr),
+                               static_cast<std::size_t>(a.size),
+                               plan->base_device_gen,
+                               [&runs](std::size_t o, std::size_t l) {
+                                 runs.emplace_back(o, l);
+                               });
+      }
+    } else {
+      // The allocation table changed shape since the base: chunk offsets no
+      // longer line up, so the only correct delta is no delta.
+      CRAC_INFO() << "delta drain fell back to a full drain: "
+                  << "allocation table changed since the base checkpoint";
+    }
+  }
+
+  frozen_ = std::move(fc);
+  frozen_world_ = true;
+  return OkStatus();
+}
+
+Status CracPlugin::release() {
+  frozen_world_ = false;
+  return OkStatus();
+}
+
+CracPlugin::~CracPlugin() {
+#ifndef NDEBUG
+  CRAC_CHECK_MSG(!frozen_world_,
+                 "CracPlugin destroyed while frozen — freeze()/release() "
+                 "went unpaired");
+#endif
+}
+
+Status CracPlugin::read_frozen_contents(std::uint64_t addr, std::size_t n,
+                                        AllocKind kind, std::byte* dst) {
+  auto& device = process_->lower().device();
+  if (device.snap_overlay().armed()) {
+    // COW drain: read the frozen pre-image directly through the overlay.
+    // Going through the CUDA API would enqueue on stream 0 — behind
+    // application ops whose workers may be parked in copy_before_write
+    // (snapstore backpressure), i.e. waiting on *us* to finish.
+    return device.snap_overlay().read_range(
+        reinterpret_cast<const void*>(addr), n, dst);
+  }
+  // Stop-the-world drain: through the CUDA API itself (D2H copy), as the
+  // real plugin must.
+  const cuda::cudaError_t err = inner()->cudaMemcpy(
+      dst, reinterpret_cast<void*>(addr), n, drain_kind(kind));
+  if (err != cuda::cudaSuccess) {
+    return Internal("drain memcpy failed: " +
+                    std::string(cuda::cudaGetErrorString(err)));
+  }
+  return OkStatus();
+}
+
+Status CracPlugin::drain_allocations(ckpt::ImageWriter& image,
+                                     const FrozenCapture& fc) {
+  last_drain_was_delta_ = false;
+  if (fc.delta) return drain_allocations_delta(image, fc);
   CRAC_RETURN_IF_ERROR(
       image.begin_section(ckpt::SectionType::kDeviceBuffers, kSectionAllocs));
   ByteWriter count;
-  count.put_u64(snapshot.size());
+  count.put_u64(fc.allocs.size());
   CRAC_RETURN_IF_ERROR(image.append(count.data(), count.size()));
   // Drain each allocation in bounded slices that feed the chunk pipeline
   // directly — peak staging memory is one slice, not the whole drain, no
   // matter how large the largest allocation is.
   std::vector<std::byte> staging;
-  for (const auto& [addr, a] : snapshot) {
+  for (const auto& [addr, a] : fc.allocs) {
     ByteWriter rec;
     rec.put_u64(addr);
     rec.put_u64(a.size);
@@ -433,25 +501,16 @@ Status CracPlugin::drain_allocations(ckpt::ImageWriter& image) {
           static_cast<std::size_t>(std::min<std::uint64_t>(
               kDrainSliceBytes, a.size - off));
       staging.resize(n);
-      // Drain through the CUDA API itself (D2H copy), as the real plugin
-      // must.
-      const cuda::cudaError_t err = inner()->cudaMemcpy(
-          staging.data(), reinterpret_cast<void*>(addr + off), n,
-          drain_kind(a.kind));
-      if (err != cuda::cudaSuccess) {
-        return Internal("drain memcpy failed: " +
-                        std::string(cuda::cudaGetErrorString(err)));
-      }
+      CRAC_RETURN_IF_ERROR(
+          read_frozen_contents(addr + off, n, a.kind, staging.data()));
       CRAC_RETURN_IF_ERROR(image.append(staging.data(), staging.size()));
     }
   }
   return image.end_section();
 }
 
-Status CracPlugin::drain_allocations_delta(
-    ckpt::ImageWriter& image,
-    const std::vector<std::pair<std::uint64_t, ActiveAlloc>>& snapshot,
-    const DeltaDrainPlan& plan) {
+Status CracPlugin::drain_allocations_delta(ckpt::ImageWriter& image,
+                                           const FrozenCapture& fc) {
   // Rebuild the full drain's payload layout as an extent map — header
   // extents hold their literal bytes, content extents their device address
   // — without materializing any contents. The fingerprint match guarantees
@@ -488,9 +547,9 @@ Status CracPlugin::drain_allocations_delta(
     }
   };
   ByteWriter count;
-  count.put_u64(snapshot.size());
+  count.put_u64(fc.allocs.size());
   push_header(std::move(count));
-  for (const auto& [addr, a] : snapshot) {
+  for (const auto& [addr, a] : fc.allocs) {
     ByteWriter rec;
     rec.put_u64(addr);
     rec.put_u64(a.size);
@@ -508,12 +567,14 @@ Status CracPlugin::drain_allocations_delta(
     extents.push_back(std::move(e));
     if (a.kind == AllocKind::kDevice) {
       // The O(dirty) narrowing: only device-buffer chunks written since the
-      // base generation enter the delta.
-      tracker.for_each_dirty(
-          reinterpret_cast<const void*>(addr), static_cast<std::size_t>(a.size),
-          plan.base_device_gen, [&](std::size_t o, std::size_t l) {
-            mark_payload(content_off + o, content_off + o + l);
-          });
+      // base generation enter the delta. The runs were pinned at freeze()
+      // time, so COW-era writes racing this drain cannot bloat them.
+      auto runs = fc.dirty_runs.find(addr);
+      if (runs != fc.dirty_runs.end()) {
+        for (const auto& [o, l] : runs->second) {
+          mark_payload(content_off + o, content_off + o + l);
+        }
+      }
     } else {
       // Pinned and managed memory is host-writable without any interposable
       // call, so its contents ship in full in every delta — correctness
@@ -551,15 +612,11 @@ Status CracPlugin::drain_allocations_delta(
                     static_cast<std::size_t>(t - s));
         continue;
       }
-      // Bounded D2H copy of just the overlapped slice — the only content
-      // bytes a delta capture ever moves off the device.
-      const cuda::cudaError_t err = inner()->cudaMemcpy(
-          dst, reinterpret_cast<void*>(it->addr + (s - it->off)),
-          static_cast<std::size_t>(t - s), drain_kind(it->kind));
-      if (err != cuda::cudaSuccess) {
-        return Internal("delta drain memcpy failed: " +
-                        std::string(cuda::cudaGetErrorString(err)));
-      }
+      // Bounded copy of just the overlapped slice — the only content bytes
+      // a delta capture ever moves off the device.
+      CRAC_RETURN_IF_ERROR(
+          read_frozen_contents(it->addr + (s - it->off),
+                               static_cast<std::size_t>(t - s), it->kind, dst));
     }
     ByteWriter entry;
     entry.put_u64(c);
@@ -572,27 +629,20 @@ Status CracPlugin::drain_allocations_delta(
   return OkStatus();
 }
 
-Status CracPlugin::drain_streams(ckpt::ImageWriter& image) {
-  // Serialize under the lock, stream outside it — sink I/O and chunk
-  // encoding must not run while mu_ blocks concurrent API calls.
-  ByteWriter w;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    w.put_u64(live_streams_.size());
-    for (cuda::cudaStream_t s : live_streams_) w.put_u64(s);
-    w.put_u64(live_events_.size());
-    for (cuda::cudaEvent_t e : live_events_) w.put_u64(e);
-  }
+Status CracPlugin::drain_streams(ckpt::ImageWriter& image,
+                                 const FrozenCapture& fc) {
   CRAC_RETURN_IF_ERROR(
       image.begin_section(ckpt::SectionType::kStreams, kSectionStreams));
-  CRAC_RETURN_IF_ERROR(image.append(w.data(), w.size()));
+  CRAC_RETURN_IF_ERROR(image.append(fc.streams.data(), fc.streams.size()));
   return image.end_section();
 }
 
 Status CracPlugin::resume() {
   // Execution continues in the original process: the lower half was never
-  // destroyed, so nothing to rebuild.
-  return OkStatus();
+  // destroyed, so nothing to rebuild. The release keeps legacy
+  // stop-the-world flows paired (idempotent when the COW orchestration
+  // already released at the end of its pause window).
+  return release();
 }
 
 // ---------------------------------------------------------------------------

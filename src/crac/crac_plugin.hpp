@@ -99,9 +99,25 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
   // Drains the device work queue so every section that follows sees a
   // settled world.
   Status quiesce() override;
+  // freeze() quiesces and captures the plugin's entire logical snapshot —
+  // serialized log, fat-binary records, allocation table, UVM residency,
+  // stream inventory, and (when a delta plan is armed and its fingerprint
+  // matches) the exact dirty runs of every device allocation. After
+  // freeze(), precheckpoint() serializes only the frozen snapshot: the
+  // application may already be running again, mutating live state behind a
+  // COW overlay. Idempotent — a second freeze() on a frozen plugin is a
+  // no-op, which is what makes the precheckpoint-standalone path safe
+  // without the old defensive re-quiesce.
+  Status freeze() override;
+  // Marks the world resumed (the pause is over). Idempotent; resume() also
+  // releases, so legacy stop-the-world flows stay paired. Pairing is
+  // asserted in debug builds at destruction.
+  Status release() override;
   Status precheckpoint(ckpt::ImageWriter& image) override;
   Status resume() override;
   Status restart(ckpt::ImageReader& image) override;
+
+  ~CracPlugin() override;
 
   // Replays this plugin's own (in-memory) log against the process's current
   // lower half. Exposed for the in-place restart path and tests.
@@ -172,14 +188,35 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
     std::uint64_t pages = 0;
   };
 
+  // The logical snapshot freeze() pins while the world is stopped. Every
+  // byte precheckpoint() writes comes from here (metadata) or from memory
+  // reads that go through the COW overlay (contents) — never from plugin
+  // state that post-release application activity could have moved.
+  struct FrozenCapture {
+    std::vector<std::byte> fatbins;
+    std::vector<std::byte> log;
+    std::vector<std::byte> uvm_payload;
+    std::vector<std::byte> streams;
+    std::vector<std::pair<std::uint64_t, ActiveAlloc>> allocs;
+    // Delta-plan resolution, decided at freeze time: the dirty runs are
+    // computed before the context advances the trackers, so post-release
+    // writes (which belong to the *next* delta) can never leak in.
+    bool delta = false;
+    std::map<std::uint64_t,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        dirty_runs;  // device-alloc addr -> [(offset, length)...]
+  };
+
   void log_alloc(LogOp op, void* p, std::size_t n, unsigned flags,
                  AllocKind kind);
-  Status drain_allocations(ckpt::ImageWriter& image);
-  Status drain_allocations_delta(
-      ckpt::ImageWriter& image,
-      const std::vector<std::pair<std::uint64_t, ActiveAlloc>>& snapshot,
-      const DeltaDrainPlan& plan);
-  Status drain_streams(ckpt::ImageWriter& image);
+  // Reads `n` content bytes at `addr` as of the freeze instant: through the
+  // armed COW overlay when one is active, through the CUDA API otherwise.
+  Status read_frozen_contents(std::uint64_t addr, std::size_t n,
+                              AllocKind kind, std::byte* dst);
+  Status drain_allocations(ckpt::ImageWriter& image, const FrozenCapture& fc);
+  Status drain_allocations_delta(ckpt::ImageWriter& image,
+                                 const FrozenCapture& fc);
+  Status drain_streams(ckpt::ImageWriter& image, const FrozenCapture& fc);
   Status refill_allocations(ckpt::ImageReader& image, ReplayStats* stats);
   Status restore_uvm_residency(ckpt::ImageReader& image, ReplayStats* stats);
 
@@ -205,6 +242,14 @@ class CracPlugin final : public cuda::ForwardingApi, public ckpt::CkptPlugin {
   bool verify_determinism_ = true;
   std::optional<DeltaDrainPlan> delta_plan_;  // armed for the next drain
   bool last_drain_was_delta_ = false;
+  // Snapshot pinned by freeze(), consumed by precheckpoint(). Only the
+  // checkpoint-driving thread touches these (the plugin contract already
+  // serializes the lifecycle hooks), so no lock.
+  std::optional<FrozenCapture> frozen_;
+  // True between freeze() and release(): the application believes it is
+  // paused. Tracked separately from frozen_ because in COW mode release()
+  // runs long before precheckpoint() consumes the snapshot.
+  bool frozen_world_ = false;
 };
 
 }  // namespace crac

@@ -92,9 +92,10 @@ Status ProxyClientApi::restore_managed(ckpt::ImageReader& image) {
           "drained managed region (remote " + std::to_string(remote) + ", " +
           std::to_string(size) + " bytes) has no matching live shadow");
     }
-    // Decoded chunks land straight in the shadow mirror.
-    CRAC_RETURN_IF_ERROR(stream.read(it->second.shadow, size));
+    // Pre-write interceptor first (snapshot preserve + dirty mark), then
+    // the decoded chunks land straight in the shadow mirror.
     shadow_.note_write(it->second.shadow, size);
+    CRAC_RETURN_IF_ERROR(stream.read(it->second.shadow, size));
     // Push the restored bytes to the device so both sides agree again
     // (the CRUM write-before-call discipline, applied eagerly).
     RequestHeader req{};
@@ -393,9 +394,11 @@ cudaError_t ProxyClientApi::sync_shadows_from_device() {
     req.a = e.remote;
     req.b = e.size;
     req.staged = cma_.available() && e.size <= cma_.staging_bytes() ? 1 : 0;
+    // note_write precedes the mutation (call() writes the device bytes into
+    // the shadow): a COW capture must see the pre-image preserved first.
+    shadow_.note_write(e.shadow, e.size);
     auto resp = call(req, nullptr, 0, e.shadow, e.size);
     if (!resp.ok() || resp->err != cudaSuccess) return cuda::cudaErrorUnknown;
-    shadow_.note_write(e.shadow, e.size);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shadow_syncs_from_device;
     stats_.shadow_sync_bytes += e.size;
@@ -576,8 +579,8 @@ cudaError_t ProxyClientApi::cudaMemcpyAsync(void* dst, const void* src,
 
 cudaError_t ProxyClientApi::cudaMemset(void* dst, int value, std::size_t n) {
   if (shadow_.is_shadow(dst)) {
-    std::memset(dst, value, n);
     shadow_.note_write(dst, n);
+    std::memset(dst, value, n);
     auto remote = shadow_.translate(dst);
     if (!remote.ok()) return record(cuda::cudaErrorInvalidDevicePointer);
     RequestHeader req{};

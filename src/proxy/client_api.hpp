@@ -50,6 +50,8 @@ class ProxyClientApi final : public cuda::CudaApi {
   bool cma_available() const noexcept { return cma_.available(); }
   ProxyStats stats() const;
   const ShadowUvm& shadow() const noexcept { return shadow_; }
+  // Mutable access for attaching dirty-tracking / COW-snapshot hooks.
+  ShadowUvm& shadow() noexcept { return shadow_; }
 
   // Streams the managed (shadow-mirrored) state into a kManagedBuffers
   // section of `image`: device contents are synced into the shadows, then

@@ -1,5 +1,7 @@
 #include "proxy/shadow_uvm.hpp"
 
+#include "ckpt/snapstore.hpp"
+
 namespace crac::proxy {
 
 void ShadowUvm::add(void* shadow, std::uint64_t remote, std::size_t size) {
@@ -49,12 +51,21 @@ void ShadowUvm::set_note_write(NoteWrite fn) {
 }
 
 void ShadowUvm::note_write(const void* p, std::size_t n) const {
+  // Preserve before mark: callers fire this hook before mutating the
+  // shadow, so an armed snapshot still finds the pre-image in place.
+  if (auto* overlay = overlay_.load(std::memory_order_acquire)) {
+    overlay->copy_before_write(p, n);
+  }
   NoteWrite fn;
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn = note_write_;
   }
   if (fn) fn(p, n);
+}
+
+void ShadowUvm::set_snap_overlay(ckpt::SnapOverlay* overlay) {
+  overlay_.store(overlay, std::memory_order_release);
 }
 
 std::size_t ShadowUvm::total_bytes() const {

@@ -10,12 +10,17 @@
 // eliminates. proxy_test.cpp demonstrates both behaviours.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 
 #include "common/status.hpp"
+
+namespace crac::ckpt {
+class SnapOverlay;
+}  // namespace crac::ckpt
 
 namespace crac::proxy {
 
@@ -53,10 +58,17 @@ class ShadowUvm {
   void set_note_write(NoteWrite fn);
   void note_write(const void* p, std::size_t n) const;
 
+  // COW snapshot overlay over the shadow mirrors: note_write — which every
+  // shadow-mutating path calls *before* the bytes change — preserves the
+  // pre-image of the range first, making shadow writes safe under an armed
+  // capture. The overlay must outlive this object; nullptr detaches.
+  void set_snap_overlay(ckpt::SnapOverlay* overlay);
+
  private:
   mutable std::mutex mu_;
   std::map<void*, Entry> entries_;
   NoteWrite note_write_;
+  std::atomic<ckpt::SnapOverlay*> overlay_{nullptr};
 };
 
 }  // namespace crac::proxy

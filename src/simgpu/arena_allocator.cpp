@@ -5,6 +5,7 @@
 #include "common/bytes.hpp"
 #include "common/log.hpp"
 #include "ckpt/dirty.hpp"
+#include "ckpt/snapstore.hpp"
 
 namespace crac::sim {
 
@@ -61,6 +62,13 @@ Result<void*> ArenaAllocator::allocate(std::size_t bytes) {
       auto* p = reinterpret_cast<void*>(addr);
       active_.emplace(p, need);
       active_bytes_ += need;
+      // Under an armed snapshot the hole being carved may hold bytes of a
+      // frozen allocation (capture reads at chunk granularity, and a chunk
+      // can straddle a freed hole and a live neighbour). Preserve before
+      // the caller's first write lands. The capture never allocates from
+      // this arena post-freeze, so stalling here with mu_ held cannot
+      // deadlock the drain.
+      if (overlay_ != nullptr) overlay_->copy_before_write(p, need);
       // The allocation's contents are fresh state a base checkpoint has
       // never seen — dirty by definition.
       if (dirty_ != nullptr) dirty_->mark(p, need);
@@ -83,6 +91,9 @@ Status ArenaAllocator::free(void* p) {
   const std::size_t size = it->second;
   active_.erase(it);
   active_bytes_ -= size;
+  // A frozen capture still owes these bytes to the image (the allocation
+  // was live at the freeze instant); preserve before the hole is reused.
+  if (overlay_ != nullptr) overlay_->copy_before_write(p, size);
   // Freed space re-enters circulation with indeterminate contents; any
   // later allocation reusing it must read as dirty.
   if (dirty_ != nullptr) dirty_->mark(p, size);
@@ -116,6 +127,11 @@ void ArenaAllocator::set_dirty_tracker(ckpt::DirtyTracker* tracker) {
 ckpt::DirtyTracker* ArenaAllocator::dirty_tracker() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dirty_;
+}
+
+void ArenaAllocator::set_snap_overlay(ckpt::SnapOverlay* overlay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlay_ = overlay;
 }
 
 std::map<void*, std::size_t> ArenaAllocator::active_allocations() const {

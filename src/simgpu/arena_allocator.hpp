@@ -27,6 +27,7 @@
 
 namespace crac::ckpt {
 class DirtyTracker;
+class SnapOverlay;
 }  // namespace crac::ckpt
 
 namespace crac::sim {
@@ -70,6 +71,15 @@ class ArenaAllocator {
   // outlive the allocator; nullptr detaches.
   void set_dirty_tracker(ckpt::DirtyTracker* tracker);
   ckpt::DirtyTracker* dirty_tracker() const;
+
+  // Attaches a COW snapshot overlay: allocate/free preserve the pre-image
+  // of the ranges they are about to repurpose before mutating allocator
+  // maps, so a capture armed mid-stream still reads the frozen bytes.
+  // (Allocation itself writes no payload bytes, but the returned range is
+  // about to be written by the caller and freed holes may be re-carved —
+  // preserving at the allocator boundary is the conservative hook that
+  // covers both.) The overlay must outlive the allocator; nullptr detaches.
+  void set_snap_overlay(ckpt::SnapOverlay* overlay);
 
   // Snapshot of live allocations (address -> size), address-ordered.
   std::map<void*, std::size_t> active_allocations() const;
@@ -121,6 +131,7 @@ class ArenaAllocator {
   std::uintptr_t committed_end_;  // one past the last committed byte
   std::size_t active_bytes_ = 0;
   ckpt::DirtyTracker* dirty_ = nullptr;
+  ckpt::SnapOverlay* overlay_ = nullptr;
 };
 
 // Wire codec for Snapshot — the one encoding shared by every consumer that

@@ -56,6 +56,18 @@ Device::Device(const DeviceConfig& config) : config_(config) {
   pinned_arena_->set_dirty_tracker(pinned_dirty_.get());
   uvm_->set_dirty_tracker(managed_dirty_.get());
 
+  // One COW overlay covers all three arenas (disarmed between captures;
+  // arm_snapshot() freezes it). Chunk granularity matches the trackers so
+  // a preserve and a mark describe the same block.
+  snap_overlay_ = std::make_unique<ckpt::SnapOverlay>(ckpt::SnapOverlay::Config{
+      .chunk_bytes = ckpt::kDefaultDirtyChunkBytes,
+      .mem_cap_bytes = config_.snapstore_mem_cap_bytes,
+      .file_cap_bytes = config_.snapstore_file_cap_bytes,
+  });
+  device_arena_->set_snap_overlay(snap_overlay_.get());
+  pinned_arena_->set_snap_overlay(snap_overlay_.get());
+  uvm_->set_snap_overlay(snap_overlay_.get());
+
   StreamEngineConfig se;
   se.max_streams = config_.max_streams;
   se.max_concurrent_kernels = config_.max_concurrent_kernels;
@@ -103,35 +115,67 @@ Status Device::free_any(void* p) {
 }
 
 void Device::note_write(const void* p, std::size_t n) noexcept {
-  ArenaAllocator* arena = nullptr;
   ckpt::DirtyTracker* tracker = nullptr;
+  const void* base = p;
+  std::size_t len = n;
   if (device_arena_->contains(p)) {
-    arena = device_arena_.get();
     tracker = device_dirty_.get();
+    if (n == 0) {
+      auto alloc = device_arena_->containing_allocation(p);
+      if (!alloc) return;
+      base = alloc->first;
+      len = alloc->second;
+    }
   } else if (pinned_arena_->contains(p)) {
-    arena = pinned_arena_.get();
     tracker = pinned_dirty_.get();
+    if (n == 0) {
+      auto alloc = pinned_arena_->containing_allocation(p);
+      if (!alloc) return;
+      base = alloc->first;
+      len = alloc->second;
+    }
   } else if (uvm_->contains(p)) {
     tracker = managed_dirty_.get();
     if (n == 0) {
-      if (auto alloc = uvm_->containing_allocation(p)) {
-        tracker->mark(alloc->first, alloc->second);
-      }
-      return;
+      auto alloc = uvm_->containing_allocation(p);
+      if (!alloc) return;
+      base = alloc->first;
+      len = alloc->second;
     }
-    tracker->mark(p, n);
-    return;
   } else {
     return;  // host pointer or foreign memory — not ours to track
   }
-  if (n == 0) {
-    if (auto alloc = arena->containing_allocation(p)) {
-      tracker->mark(alloc->first, alloc->second);
-    }
-    return;
-  }
-  tracker->mark(p, n);
+  // Preserve before mark: callers invoke note_write *before* the bytes
+  // change, so under an armed snapshot the pre-image is still in place to
+  // copy. The mark may come either side of the write; the preserve may not.
+  snap_overlay_->copy_before_write(base, len);
+  tracker->mark(base, len);
 }
+
+Status Device::arm_snapshot() {
+  std::vector<ckpt::SnapOverlay::Region> regions;
+  regions.push_back({reinterpret_cast<std::uintptr_t>(
+                         device_arena_->arena_base()),
+                     config_.device_capacity});
+  regions.push_back({reinterpret_cast<std::uintptr_t>(
+                         pinned_arena_->arena_base()),
+                     config_.pinned_capacity});
+  regions.push_back(
+      {reinterpret_cast<std::uintptr_t>(uvm_->arena_base()),
+       config_.managed_capacity});
+  CRAC_RETURN_IF_ERROR(snap_overlay_->arm(regions));
+  // Re-protect every managed page so the first post-freeze write faults
+  // into the preserve path. Without this, a page left writable by an
+  // earlier fault epoch could be mutated invisibly under the snapshot.
+  Status armed = uvm_->arm_all();
+  if (!armed.ok()) {
+    snap_overlay_->release();
+    return armed;
+  }
+  return OkStatus();
+}
+
+void Device::release_snapshot() { snap_overlay_->release(); }
 
 MemcpyKind Device::infer_kind(const void* dst, const void* src) const noexcept {
   const bool dst_dev = is_device_ptr(dst) || is_managed_ptr(dst);

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "ckpt/dirty.hpp"
+#include "ckpt/snapstore.hpp"
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "simgpu/arena_allocator.hpp"
@@ -78,8 +79,21 @@ class Device {
 
   // Routes a possibly-written range to its arena's tracker. n == 0 means
   // "whatever allocation contains p" (conservative kernel-arg attribution);
-  // untracked pointers are ignored.
+  // untracked pointers are ignored. While a snapshot is armed the resolved
+  // range is also preserved into the snapstore *before* the mark — this is
+  // the single choke point all four mutating paths (arena allocate/free,
+  // stream memset/memcpy/kernel-arg, UVM fault, proxy shadow writes) flow
+  // through or mirror.
   void note_write(const void* p, std::size_t n) noexcept;
+
+  // --- copy-on-write snapshot capture ---
+  // Arms the overlay over all three arenas' full reservations and re-arms
+  // UVM protection so every first write faults (and preserves). Call with
+  // the world stopped (streams drained); on return the application may
+  // resume while the capture reads the frozen state via snap_overlay().
+  Status arm_snapshot();
+  void release_snapshot();
+  ckpt::SnapOverlay& snap_overlay() noexcept { return *snap_overlay_; }
 
  private:
   DeviceConfig config_;
@@ -90,6 +104,7 @@ class Device {
   std::unique_ptr<ckpt::DirtyTracker> device_dirty_;
   std::unique_ptr<ckpt::DirtyTracker> pinned_dirty_;
   std::unique_ptr<ckpt::DirtyTracker> managed_dirty_;
+  std::unique_ptr<ckpt::SnapOverlay> snap_overlay_;
   std::unique_ptr<StreamEngine> streams_;
 
   std::atomic<std::uint64_t> kernels_launched_{0};

@@ -121,6 +121,14 @@ struct DeviceConfig {
   std::uintptr_t pinned_va_base = 0x710000000000ULL;
   std::uintptr_t managed_va_base = 0x720000000000ULL;
 
+  // Copy-on-write snapstore bounds for zero-pause capture: pre-images of
+  // chunks overwritten while a snapshot is armed land in a resident slab of
+  // `snapstore_mem_cap_bytes`, spilling to an unlinked temp file up to
+  // `snapstore_file_cap_bytes`. When both fill, writers stall until the
+  // capture releases (graceful stop-the-world degradation).
+  std::size_t snapstore_mem_cap_bytes = std::size_t{32} << 20;
+  std::size_t snapstore_file_cap_bytes = std::size_t{512} << 20;
+
   CostModel cost;
   MmapHooks* hooks = nullptr;
 };

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "ckpt/dirty.hpp"
+#include "ckpt/snapstore.hpp"
 #include "common/log.hpp"
 #include "simgpu/fault_router.hpp"
 
@@ -136,6 +137,10 @@ Status UvmManager::prefetch(void* p, std::size_t bytes, bool to_device) {
     pages_[i]->armed.store(true, std::memory_order_release);
   }
   prefetches_.fetch_add(1, std::memory_order_relaxed);
+  // No snapshot-overlay preserve here: prefetch only tightens protection
+  // (PROT_NONE) and flips bookkeeping — the page *bytes* are untouched, so
+  // a frozen capture can still read the origin. The eventual write faults
+  // through handle_fault and pays its preserve there.
   // A prefetch moves residency for the whole range — the delta view of
   // these pages is stale either way, so mark them before re-protecting.
   if (auto* tracker = dirty_.load(std::memory_order_acquire)) {
@@ -169,17 +174,43 @@ bool UvmManager::handle_fault(void* addr, bool device_context) noexcept {
   if (index >= pages_.size()) return false;
   PageInfo& page = *pages_[index];
 
+  // An overlay-internal origin read (a capture serving the frozen image, or
+  // a writer preserving a pre-image) faulting on a still-armed page: grant
+  // read access only and leave the page armed. The read does not migrate
+  // the page — no counters, no residency flip, no dirty mark — and the
+  // first real write access still faults here and pays its preserve.
+  if (ckpt::SnapOverlay::in_passthrough() &&
+      page.armed.load(std::memory_order_acquire)) {
+    return ::mprotect(page_base(index), config_.page_size, PROT_READ) == 0;
+  }
+
   // A fault on a page we never armed means a wild access into uncommitted
   // arena space — let it crash.
   if (!page.armed.exchange(false, std::memory_order_acq_rel)) {
     // Another thread may have just handled the same fault; if the page is
     // now readable the retry succeeds, so report handled. Distinguish by
     // probing the protection state cheaply: mprotect to RW is idempotent.
+    // Before granting RW we owe the overlay its pre-image: the thread that
+    // won the armed-flag exchange may still be mid-preserve, and this
+    // second faulter must not unlock writes ahead of it (copy_before_write
+    // blocks until the chunk is safely in the snapstore).
+    if (auto* overlay = overlay_.load(std::memory_order_acquire)) {
+      overlay->copy_before_write(page_base(index), config_.page_size);
+    }
     if (::mprotect(page_base(index), config_.page_size,
                    PROT_READ | PROT_WRITE) == 0) {
       return true;
     }
     return false;
+  }
+
+  // Under an armed snapshot the unprotect below makes the page writable, so
+  // its frozen bytes must reach the snapstore first. The preserve's own
+  // origin read re-faults on this same (still PROT_NONE) page; SA_NODEFER
+  // delivers the nested SIGSEGV and the passthrough branch above resolves
+  // it with a read-only unprotect.
+  if (auto* overlay = overlay_.load(std::memory_order_acquire)) {
+    overlay->copy_before_write(page_base(index), config_.page_size);
   }
 
   const auto want = static_cast<std::uint8_t>(

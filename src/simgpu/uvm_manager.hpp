@@ -85,6 +85,14 @@ class UvmManager {
     arena_.set_dirty_tracker(tracker);
     dirty_.store(tracker, std::memory_order_release);
   }
+
+  // COW snapshot overlay: the fault path preserves a page's pre-image
+  // before unprotecting it for writes (allocate/free preserve through the
+  // inner arena). The overlay must outlive the manager; nullptr detaches.
+  void set_snap_overlay(ckpt::SnapOverlay* overlay) {
+    arena_.set_snap_overlay(overlay);
+    overlay_.store(overlay, std::memory_order_release);
+  }
   std::map<void*, std::size_t> active_allocations() const {
     return arena_.active_allocations();
   }
@@ -150,6 +158,9 @@ class UvmManager {
 
   // Marked from the SIGSEGV path (handle_fault), hence atomic, not mutexed.
   std::atomic<ckpt::DirtyTracker*> dirty_{nullptr};
+  // Consulted from the SIGSEGV path too: pre-image preserve before a page
+  // becomes writable under an armed snapshot.
+  std::atomic<ckpt::SnapOverlay*> overlay_{nullptr};
 };
 
 }  // namespace crac::sim

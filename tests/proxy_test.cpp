@@ -16,6 +16,7 @@
 #include "ckpt/remote.hpp"
 #include "ckpt/sharded.hpp"
 #include "ckpt/sink.hpp"
+#include "ckpt/snapstore.hpp"
 #include "proxy/client_api.hpp"
 #include "simgpu/arena_allocator.hpp"
 #include "simcuda/module.hpp"
@@ -774,6 +775,51 @@ TEST(ShadowUvmTest, TranslateOnlyBasePointers) {
   auto removed = shadow.remove(buf);
   ASSERT_TRUE(removed.ok());
   EXPECT_FALSE(shadow.is_shadow(buf));
+}
+
+TEST(ShadowUvmTest, NoteWritePreservesPreImageIntoAnArmedOverlay) {
+  // The proxy-side COW interceptor: with an overlay armed over a shadow
+  // mirror, note_write — which every shadow-mutating path calls before the
+  // bytes change — must preserve the pre-image, so a capture reading
+  // through the overlay still sees the frozen snapshot after the mutation.
+  // The dirty-tracking hook must keep firing alongside.
+  constexpr std::size_t kBytes = 16 << 10;
+  std::vector<std::byte> mirror(kBytes, std::byte{0x42});
+  const std::vector<std::byte> frozen = mirror;
+
+  ShadowUvm shadow;
+  shadow.add(mirror.data(), 0xBEEF0000, kBytes);
+  std::size_t noted_bytes = 0;
+  shadow.set_note_write(
+      [&](const void*, std::size_t n) { noted_bytes += n; });
+
+  ckpt::SnapOverlay::Config cfg;
+  cfg.chunk_bytes = 4096;
+  cfg.mem_cap_bytes = kBytes;
+  cfg.file_cap_bytes = 0;
+  ckpt::SnapOverlay overlay(cfg);
+  ASSERT_TRUE(overlay
+                  .arm({{reinterpret_cast<std::uintptr_t>(mirror.data()),
+                         kBytes}})
+                  .ok());
+  shadow.set_snap_overlay(&overlay);
+
+  // Mutate through the interceptor, as client_api's shadow paths do.
+  shadow.note_write(mirror.data() + 4096, 8192);
+  std::memset(mirror.data() + 4096, 0x99, 8192);
+  EXPECT_EQ(noted_bytes, 8192u);  // the dirty hook still fired
+
+  std::vector<std::byte> out(kBytes);
+  ASSERT_TRUE(overlay.read_range(mirror.data(), kBytes, out.data()).ok());
+  EXPECT_EQ(out, frozen);
+  EXPECT_EQ(overlay.stats().chunks_preserved, 2u);
+
+  shadow.set_snap_overlay(nullptr);
+  overlay.release();
+  // Detached: note_write reverts to hook-only, no preserve, no crash.
+  shadow.note_write(mirror.data(), 64);
+  EXPECT_EQ(noted_bytes, 8192u + 64u);
+  (void)shadow.remove(mirror.data());
 }
 
 }  // namespace

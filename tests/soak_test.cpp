@@ -1,0 +1,229 @@
+// Long-haul soak: real Rodinia workloads running under periodic COW+delta
+// checkpoints, many cycles, with byte-identity checks on restore — the
+// endurance counterpart of the one-shot scenario tests. Registered with
+// ctest label "soak" (run it alone with `ctest -L soak`).
+//
+// Two gears, chosen by environment: the default is a quick pass (a few
+// checkpoint cycles per workload) sized for CI and the tier-1 run;
+// CRAC_SOAK_FULL=1 stretches every workload's iteration count so the
+// campaign takes ~30 checkpoint cycles across the three apps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ckpt/delta.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/sink.hpp"
+#include "crac/context.hpp"
+#include "simgpu/types.hpp"
+#include "tests/ckpt_testing.hpp"
+#include "workloads/workload.hpp"
+
+namespace crac {
+namespace {
+
+using cuda::cudaMemcpyDeviceToHost;
+using cuda::cudaMemcpyHostToDevice;
+using cuda::cudaSuccess;
+namespace testlib = ckpt::testlib;
+
+bool full_soak() {
+  const char* v = std::getenv("CRAC_SOAK_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Reduced problem shapes (each app's constraints: powers of two, tile
+// multiples) with the iteration count as the soak throttle.
+workloads::WorkloadParams soak_params(workloads::Workload* w) {
+  workloads::WorkloadParams p = w->default_params();
+  const std::string name = w->name();
+  if (name == "hotspot") {
+    p.size_a = 128;
+    p.iterations = full_soak() ? 40 : 12;
+  } else if (name == "srad") {
+    p.size_a = 128;
+    p.iterations = full_soak() ? 40 : 8;
+  } else if (name == "cfd") {
+    p.size_a = 8000;
+    p.iterations = full_soak() ? 40 : 10;
+  }
+  return p;
+}
+
+int checkpoint_stride() { return full_soak() ? 4 : 3; }
+
+struct SoakRun {
+  std::vector<std::string> images;  // full base + deltas, chain order
+  int cycles = 0;
+  std::uint64_t snapstore_peak = 0;
+  Status first_error = OkStatus();
+  double checksum = 0;
+};
+
+// Runs one workload under periodic COW checkpoints: a full capture on the
+// first firing, deltas thereafter. The context is scoped by the caller —
+// one fixed-VA context per process, sequentially.
+SoakRun run_under_checkpoints(CracContext& ctx, workloads::Workload* w,
+                              const workloads::WorkloadParams& params,
+                              const std::string& tag) {
+  SoakRun soak;
+  auto hook = [&](int iteration) {
+    if (!soak.first_error.ok() || iteration == 0 ||
+        iteration % checkpoint_stride() != 0) {
+      return;
+    }
+    const std::string path = testlib::temp_path(
+        "soak_" + tag + "_" + std::to_string(soak.cycles));
+    auto report = soak.images.empty() ? ctx.checkpoint(path)
+                                      : ctx.checkpoint_delta(path);
+    if (!report.ok()) {
+      soak.first_error = report.status();
+      return;
+    }
+    EXPECT_TRUE(report->cow_capture) << tag << " cycle " << soak.cycles;
+    EXPECT_LE(report->pause_s, report->total_s);
+    soak.snapstore_peak =
+        std::max(soak.snapstore_peak, report->snapstore_peak_bytes);
+    soak.images.push_back(path);
+    ++soak.cycles;
+  };
+  auto run = w->run(ctx.api(), params, hook);
+  if (!run.ok()) {
+    soak.first_error = run.status();
+  } else {
+    soak.checksum = run->checksum;
+  }
+  return soak;
+}
+
+void remove_images(const std::vector<std::string>& images) {
+  for (const auto& p : images) std::remove(p.c_str());
+}
+
+TEST(SoakTest, RodiniaWorkloadsSurviveRepeatedCowDeltaCheckpoints) {
+  // Three Rodinia apps, each under the periodic COW+delta regime. After
+  // each run: the workload's own checksum must still match its CPU oracle
+  // (checkpointing never perturbed the computation), the snapstore peak
+  // must stay under its configured cap, and the final delta chain must
+  // restore with a probe allocation byte-identical.
+  const char* names[] = {"hotspot", "srad", "cfd"};
+  int total_cycles = 0;
+  for (const char* name : names) {
+    workloads::Workload* w = workloads::find_workload(name);
+    ASSERT_NE(w, nullptr) << name;
+    const auto params = soak_params(w);
+
+    std::vector<std::string> images;
+    void* probe = nullptr;
+    std::vector<std::byte> probe_bytes;
+    double checksum = 0;
+    {
+      CracOptions opts;  // cow_capture on by default — the point of the soak
+      CracContext ctx(opts);
+      SoakRun soak = run_under_checkpoints(ctx, w, params, name);
+      ASSERT_TRUE(soak.first_error.ok())
+          << name << ": " << soak.first_error.to_string();
+      ASSERT_GE(soak.cycles, 2) << name << " never reached a delta cycle";
+      total_cycles += soak.cycles;
+      checksum = soak.checksum;
+
+      // Bounded snapstore: peak pre-image footprint stays under the
+      // configured slab + overflow caps (this context runs the defaults).
+      const sim::DeviceConfig dev_cfg;
+      EXPECT_LE(soak.snapstore_peak, dev_cfg.snapstore_mem_cap_bytes +
+                                         dev_cfg.snapstore_file_cap_bytes)
+          << name;
+
+      // Known-bytes probe, then one more delta on top of the chain: the
+      // restore below must reproduce these bytes exactly.
+      ASSERT_EQ(ctx.api().cudaMalloc(&probe, 256 << 10), cudaSuccess);
+      probe_bytes = testlib::random_bytes(256 << 10, 90210);
+      ASSERT_EQ(ctx.api().cudaMemcpy(probe, probe_bytes.data(),
+                                     probe_bytes.size(),
+                                     cudaMemcpyHostToDevice),
+                cudaSuccess);
+      const std::string final_path =
+          testlib::temp_path(std::string("soak_") + name + "_final");
+      auto final_report = ctx.checkpoint_delta(final_path);
+      ASSERT_TRUE(final_report.ok())
+          << name << ": " << final_report.status().to_string();
+      soak.images.push_back(final_path);
+      images = soak.images;
+    }
+
+    // The computation the checkpoints rode along with is still correct.
+    auto expected = w->reference_checksum(params);
+    ASSERT_TRUE(expected.ok()) << name;
+    const double scale = std::max(1.0, std::fabs(*expected));
+    EXPECT_NEAR(checksum, *expected, w->checksum_tolerance() * scale) << name;
+
+    // Chain restore of the newest delta; the probe must be byte-identical.
+    auto restored = CracContext::restart_from_image(images.back());
+    ASSERT_TRUE(restored.ok())
+        << name << ": " << restored.status().to_string();
+    std::vector<std::byte> back(probe_bytes.size());
+    ASSERT_EQ((*restored)->api().cudaMemcpy(back.data(), probe, back.size(),
+                                            cudaMemcpyDeviceToHost),
+              cudaSuccess);
+    EXPECT_EQ(back, probe_bytes) << name;
+
+    remove_images(images);
+  }
+  std::printf("soak: %d COW checkpoint cycles across %zu workloads (%s "
+              "mode)\n",
+              total_cycles, std::size(names),
+              full_soak() ? "full" : "quick");
+}
+
+TEST(SoakTest, RepeatedRestoresOfOneChainAreDeterministic) {
+  // Two independent restores of the same delta chain, each immediately
+  // re-captured: the two re-captures must be byte-identical section for
+  // section (modulo the random image id) — restores don't accumulate
+  // drift, even after a COW-checkpointed run.
+  workloads::Workload* w = workloads::find_workload("hotspot");
+  ASSERT_NE(w, nullptr);
+  const auto params = soak_params(w);
+
+  std::vector<std::string> images;
+  {
+    CracContext ctx{CracOptions{}};
+    SoakRun soak = run_under_checkpoints(ctx, w, params, "determinism");
+    ASSERT_TRUE(soak.first_error.ok()) << soak.first_error.to_string();
+    ASSERT_GE(soak.cycles, 1);
+    images = soak.images;
+  }
+
+  std::vector<std::vector<std::byte>> recaptures;
+  for (int round = 0; round < 2; ++round) {
+    auto restored = CracContext::restart_from_image(images.back());
+    ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+    ckpt::MemorySink sink;
+    auto report = (*restored)->checkpoint_to_sink(sink);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    recaptures.push_back(std::move(sink).take());
+  }
+
+  auto ra = ckpt::ImageReader::from_bytes(recaptures[0]);
+  auto rb = ckpt::ImageReader::from_bytes(recaptures[1]);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->sections().size(), rb->sections().size());
+  for (std::size_t i = 0; i < ra->sections().size(); ++i) {
+    const auto& sa = ra->sections()[i];
+    const auto& sb = rb->sections()[i];
+    EXPECT_EQ(sa.name, sb.name);
+    auto pa = ra->read_section(sa);
+    auto pb = rb->read_section(sb);
+    ASSERT_TRUE(pa.ok() && pb.ok()) << sa.name;
+    if (sa.name == ckpt::kSectionImageId) continue;
+    EXPECT_EQ(*pa, *pb) << "restore drift in section " << sa.name;
+  }
+
+  remove_images(images);
+}
+
+}  // namespace
+}  // namespace crac
