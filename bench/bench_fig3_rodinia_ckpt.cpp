@@ -17,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,8 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "proxy/client_api.hpp"
+#include "registry/registry.hpp"
 
 namespace {
 
@@ -149,6 +152,13 @@ struct BenchJson {
     double stw_total_s = -1, cow_total_s = -1;
     std::uint64_t snapstore_peak = 0;
   };
+  struct Fleet {
+    std::size_t clients = 0;
+    double rpcs_per_s = -1;   // small-RPC throughput across all clients
+    double ship_mbs = -1;     // aggregate of two concurrent shipments
+    std::uint64_t dedup_single_bytes = 0;  // registry bytes after image 1
+    std::uint64_t dedup_pair_bytes = 0;    // registry bytes after image 2
+  };
 
   std::vector<Rodinia> rodinia;
   double serial_write_mbs = 0, serial_restore_mbs = 0;
@@ -160,6 +170,7 @@ struct BenchJson {
   std::vector<Prefetch> prefetch;
   std::vector<Delta> delta;
   std::vector<CowPause> cow_pause;
+  std::vector<Fleet> fleet;
 
   static std::string num(double v) {
     char buf[32];
@@ -277,6 +288,17 @@ struct BenchJson {
            ", \"cow_total_s\": " + num(c.cow_total_s) +
            ", \"snapstore_peak_bytes\": " + num(c.snapstore_peak) + "}";
       s += i + 1 < cow_pause.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"fleet_throughput\": [\n";
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      const auto& c = fleet[i];
+      s += "    {\"clients\": " + num(static_cast<std::uint64_t>(c.clients)) +
+           ", \"rpcs_per_s\": " + num(c.rpcs_per_s) +
+           ", \"ship_mbs\": " + num(c.ship_mbs) +
+           ", \"dedup_single_bytes\": " + num(c.dedup_single_bytes) +
+           ", \"dedup_pair_bytes\": " + num(c.dedup_pair_bytes) + "}";
+      s += i + 1 < fleet.size() ? ",\n" : "\n";
     }
     s += "  ]\n}\n";
     return s;
@@ -1157,6 +1179,142 @@ void run_cow_pause_sweep(BenchJson& json) {
   }
 }
 
+// ---- fleet serving sweep --------------------------------------------------
+//
+// One event-loop proxy server, N attached clients hammering small RPCs
+// while two checkpoint shipments stream concurrently from the same device —
+// the serving shape the epoll rework exists for. Reported per client count:
+// aggregate small-RPC throughput, aggregate ship bandwidth, and the
+// registry's dedup of the two (near-identical) shipped images. The CI
+// smoke gate asserts dedup_pair_bytes < 2 * dedup_single_bytes.
+void run_fleet_sweep(BenchJson& json) {
+  using namespace crac;
+  const std::size_t mb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_FLEET_MB", quick() ? 4 : 16));
+  const int rpc_iters = quick() ? 50 : 200;
+  std::vector<std::size_t> counts = {1, 2, 4, 8};
+  if (quick()) counts = {1, 4};
+
+  std::printf("\nfleet serving: one proxy server, N clients + 2 concurrent "
+              "shipments (%zuMB device image):\n", mb);
+  std::printf("  %-8s %14s %12s %18s %18s\n", "clients", "rpcs/s",
+              "ship MB/s", "registry 1 image", "registry 2 images");
+
+  proxy::ProxyClientApi::Options opts;
+  opts.host.device.device_capacity = 512 << 20;
+  opts.host.device.pinned_capacity = 64 << 20;
+  opts.host.device.managed_capacity = 256 << 20;
+  opts.host.device.device_chunk = 8 << 20;
+  opts.host.staging_bytes = 32 << 20;
+  opts.host.session_threads = 4;
+
+  for (const std::size_t clients : counts) {
+    proxy::ProxyClientApi owner(opts);
+    const std::size_t n = mb << 20;
+    const auto payload = synthetic_image_payload(n, 777 + clients);
+    void* dev = nullptr;
+    if (owner.cudaMalloc(&dev, n) != cuda::cudaSuccess ||
+        owner.cudaMemcpy(dev, payload.data(), n,
+                         cuda::cudaMemcpyHostToDevice) !=
+            cuda::cudaSuccess) {
+      std::printf("  %4zu     SEED FAILED\n", clients);
+      json.fleet.push_back({clients, -1, -1, 0, 0});
+      continue;
+    }
+
+    std::atomic<std::uint64_t> rpcs{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::vector<std::byte>> images(2);
+
+    // Two overlapping shipments, each on its own attached channel with a
+    // dedicated consumer pumping the CRACSHP1 stream off a pipe.
+    WallTimer wall;
+    std::vector<std::thread> shippers;
+    for (int s = 0; s < 2; ++s) {
+      shippers.emplace_back([&, s] {
+        proxy::ProxyClientApi shipper(owner.host(), opts);
+        int pipefd[2];
+        if (::pipe(pipefd) != 0) { failed = true; return; }
+        Status ship_status = OkStatus();
+        std::thread tx([&] {
+          ship_status = shipper.ship_checkpoint(pipefd[1]);
+          ::close(pipefd[1]);
+        });
+        ckpt::MemorySink sink;
+        bool in_band = false;
+        const Status pumped = ckpt::pump_ship_stream(pipefd[0], sink,
+                                                     "fleet bench", &in_band);
+        tx.join();
+        ::close(pipefd[0]);
+        if (!ship_status.ok() || !pumped.ok()) failed = true;
+        images[s] = std::move(sink).take();
+      });
+    }
+
+    std::vector<std::thread> hammer;
+    for (std::size_t c = 0; c < clients; ++c) {
+      hammer.emplace_back([&] {
+        proxy::ProxyClientApi api(owner.host(), opts);
+        void* p = nullptr;
+        if (api.cudaMalloc(&p, 64 << 10) != cuda::cudaSuccess) {
+          failed = true;
+          return;
+        }
+        std::vector<char> host(4096, 'f');
+        for (int i = 0; i < rpc_iters; ++i) {
+          if (api.cudaMemcpy(p, host.data(), host.size(),
+                             cuda::cudaMemcpyHostToDevice) !=
+              cuda::cudaSuccess) {
+            failed = true;
+            return;
+          }
+          rpcs.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)api.cudaFree(p);
+      });
+    }
+    for (auto& t : hammer) t.join();
+    const double hammer_s = wall.elapsed_s();
+    for (auto& t : shippers) t.join();
+    const double ship_s = wall.elapsed_s();
+
+    BenchJson::Fleet row;
+    row.clients = clients;
+    if (!failed.load()) {
+      row.rpcs_per_s = static_cast<double>(rpcs.load()) / hammer_s;
+      row.ship_mbs = static_cast<double>(images[0].size() +
+                                         images[1].size()) /
+                     (1 << 20) / ship_s;
+      // Registry dedup of the two shipped images: both carry the same
+      // seeded buffer, so the second should intern mostly into the first's
+      // chunks.
+      registry::CheckpointRegistry reg;
+      const char* names[2] = {"fleet-a", "fleet-b"};
+      bool stored = true;
+      std::uint64_t after_first = 0;
+      for (int s = 0; s < 2 && stored; ++s) {
+        auto sink = reg.begin_put(names[s]);
+        stored = sink->write(images[s].data(), images[s].size()).ok() &&
+                 sink->close().ok() && reg.commit(*sink).ok();
+        if (s == 0) after_first = reg.stats().store.stored_bytes;
+      }
+      if (stored) {
+        row.dedup_single_bytes = after_first;
+        row.dedup_pair_bytes = reg.stats().store.stored_bytes;
+      }
+    }
+    json.fleet.push_back(row);
+    if (row.rpcs_per_s < 0) {
+      std::printf("  %4zu     FAILED\n", clients);
+      continue;
+    }
+    std::printf("  %4zu %14.0f %12.1f %18s %18s\n", clients,
+                row.rpcs_per_s, row.ship_mbs,
+                format_size(row.dedup_single_bytes).c_str(),
+                format_size(row.dedup_pair_bytes).c_str());
+  }
+}
+
 // ---- incremental (delta) checkpoint sweep ---------------------------------
 //
 // One device buffer, one full checkpoint, then a dirty-fraction sweep: touch
@@ -1412,6 +1570,15 @@ int main() {
               "grows and must be under 10%% at the largest footprint "
               "(snapstore_test asserts byte-identity of the two modes; the "
               "CI bench smoke asserts the ratio).\n");
+
+  run_fleet_sweep(json);
+  std::printf("\nshape check (fleet): rpcs/s should grow with client count "
+              "until the loop thread or cores saturate (never collapse — a "
+              "shipment must not stall unrelated RPCs), ship MB/s holds "
+              "roughly flat across client counts, and the registry's "
+              "two-image bytes stay well under 2x one image "
+              "(scenario_fleet_test asserts the serving behavior; the CI "
+              "bench smoke asserts the dedup ratio).\n");
 
   run_delta_sweep(json);
   std::printf("\nshape check (delta): delta image size should track the "

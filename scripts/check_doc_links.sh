@@ -35,8 +35,12 @@ EOF
 for doc in README.md docs/*.md; do
   [ -f "$doc" ] || continue
   dir=$(dirname "$doc")
-  # Extract inline link targets: [text](target), one per line.
-  targets=$(grep -o '\[[^]]*\]([^)]*)' "$doc" \
+  # Extract inline link targets: [text](target), one per line. Fenced
+  # code blocks are stripped first — C++ lambdas like `[&](int fd)` in a
+  # usage snippet would otherwise parse as links.
+  targets=$(awk '/^[[:space:]]*```/ { in_fence = !in_fence; next }
+                 !in_fence' "$doc" \
+    | grep -o '\[[^]]*\]([^)]*)' \
     | sed 's/^\[[^]]*\](\([^)]*\))$/\1/')
   while IFS= read -r target; do
     [ -n "$target" ] || continue

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Archive the current full-mode bench JSON as a per-PR trajectory snapshot.
+
+Each PR that changes performance-relevant code regenerates BENCH_fig3.json
+(full mode) and files a copy under bench/history/ keyed by PR, so the
+repo carries its own performance trajectory — regressions show up as a
+diff between history files, not as an argument about machines.
+
+Usage:
+    scripts/snapshot_bench.py <key> [source-json]
+
+    <key>        snapshot key, e.g. "pr9" -> bench/history/fig3_pr9.json
+    source-json  defaults to BENCH_fig3.json at the repo root
+
+Refuses to overwrite an existing snapshot (history is append-only) and
+validates that the source parses as JSON with the expected top-level keys
+before copying.
+"""
+
+import json
+import pathlib
+import shutil
+import sys
+
+REQUIRED_KEYS = ("bench", "rodinia", "chunked_parallel_lz")
+
+
+def main() -> int:
+    if len(sys.argv) < 2 or sys.argv[1].startswith("-"):
+        sys.stderr.write(__doc__)
+        return 2
+    key = sys.argv[1]
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    source = pathlib.Path(sys.argv[2]) if len(sys.argv) > 2 else (
+        repo / "BENCH_fig3.json")
+    if not source.is_file():
+        sys.stderr.write(f"source not found: {source}\n")
+        return 1
+    try:
+        doc = json.loads(source.read_text())
+    except json.JSONDecodeError as err:
+        sys.stderr.write(f"{source} is not valid JSON: {err}\n")
+        return 1
+    missing = [k for k in REQUIRED_KEYS if k not in doc]
+    if missing:
+        sys.stderr.write(f"{source} missing expected keys: {missing}\n")
+        return 1
+    if doc.get("quick"):
+        sys.stderr.write(
+            f"{source} is a quick-mode run; snapshots archive full mode "
+            "only (rerun the bench without CRAC_BENCH_QUICK)\n")
+        return 1
+
+    history = repo / "bench" / "history"
+    history.mkdir(parents=True, exist_ok=True)
+    dest = history / f"fig3_{key}.json"
+    if dest.exists():
+        sys.stderr.write(
+            f"{dest} already exists; history is append-only "
+            "(pick a new key)\n")
+        return 1
+    shutil.copyfile(source, dest)
+
+    snapshots = sorted(p.name for p in history.glob("fig3_*.json"))
+    print(f"archived {source} -> {dest}")
+    print(f"trajectory now holds {len(snapshots)} snapshot(s): "
+          + ", ".join(snapshots))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "proxy/channel.hpp"
 
+#include <fcntl.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
@@ -17,6 +18,18 @@ Status write_all(int fd, const void* data, std::size_t size) {
 
 Status read_all(int fd, void* data, std::size_t size) {
   return read_all_fd(fd, data, size, "proxy socket");
+}
+
+Status set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return IoError(std::string("fcntl(F_GETFL): ") + strerror(errno));
+  }
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return IoError(std::string("fcntl(F_SETFL): ") + strerror(errno));
+  }
+  return OkStatus();
 }
 
 void CmaChannel::initialize(pid_t server_pid, void* staging_remote,

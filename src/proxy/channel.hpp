@@ -23,6 +23,10 @@ namespace crac::proxy {
 Status write_all(int fd, const void* data, std::size_t size);
 Status read_all(int fd, void* data, std::size_t size);
 
+// Toggles O_NONBLOCK. The event loop runs channels non-blocking and flips
+// a connection back to blocking when a checkpoint session claims it.
+Status set_nonblocking(int fd, bool nonblocking);
+
 // Client-side CMA accessor for the server's staging buffer.
 class CmaChannel {
  public:

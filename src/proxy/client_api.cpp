@@ -1,5 +1,8 @@
 #include "proxy/client_api.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -17,15 +20,38 @@ ProxyClientApi::ProxyClientApi(const Options& options)
     : host_([&] {
         auto h = ProxyHost::spawn(options.host);
         CRAC_CHECK_MSG(h.ok(), "proxy spawn failed: " << h.status().to_string());
-        return std::move(*h);
+        return std::make_shared<ProxyHost>(std::move(*h));
       }()),
+      channel_fd_(host_->fd()),
       shadow_sync_enabled_(options.shadow_sync_enabled) {
+  init_channel(options.use_cma);
+}
+
+ProxyClientApi::ProxyClientApi(std::shared_ptr<ProxyHost> host,
+                               const Options& options)
+    : host_(std::move(host)),
+      channel_fd_([&] {
+        auto fd = host_->connect();
+        CRAC_CHECK_MSG(fd.ok(),
+                       "proxy attach failed: " << fd.status().to_string());
+        return *fd;
+      }()),
+      attached_(true),
+      shadow_sync_enabled_(options.shadow_sync_enabled) {
+  init_channel(options.use_cma);
+}
+
+void ProxyClientApi::init_channel(bool use_cma) {
   RequestHeader req{};
   req.op = Op::kHello;
   HelloInfo info{};
   auto resp = call(req, nullptr, 0, &info, sizeof(info));
   CRAC_CHECK_MSG(resp.ok(), "proxy hello failed");
-  if (options.use_cma) {
+  // A Hello error (the server could not mint this channel's staging buffer)
+  // just leaves info zeroed: the CMA probe fails and bulk payloads go
+  // inline. Every channel gets its own staging region, so concurrent bulk
+  // transfers from different clients never collide.
+  if (use_cma && resp->err == cudaSuccess) {
     cma_.initialize(info.server_pid,
                     reinterpret_cast<void*>(info.staging_addr),
                     info.staging_bytes);
@@ -33,9 +59,20 @@ ProxyClientApi::ProxyClientApi(const Options& options)
 }
 
 ProxyClientApi::~ProxyClientApi() {
-  // Free client-side pinned buffers; the server dies with the host.
+  // Free client-side pinned buffers. An attached client closes only its own
+  // channel; the server itself dies when the last ProxyHost reference drops
+  // (its destructor sends shutdown and reaps the child).
   for (void* p : local_pinned_) ::free(p);
-  host_.shutdown();
+  if (attached_ && channel_fd_ >= 0) ::close(channel_fd_);
+}
+
+void ProxyClientApi::drop_channel() {
+  if (attached_) {
+    if (channel_fd_ >= 0) ::close(channel_fd_);
+  } else {
+    host_->shutdown();
+  }
+  channel_fd_ = -1;
 }
 
 ProxyStats ProxyClientApi::stats() const {
@@ -98,12 +135,7 @@ Status ProxyClientApi::restore_managed(ckpt::ImageReader& image) {
     CRAC_RETURN_IF_ERROR(stream.read(it->second.shadow, size));
     // Push the restored bytes to the device so both sides agree again
     // (the CRUM write-before-call discipline, applied eagerly).
-    RequestHeader req{};
-    req.op = Op::kMemcpyToDevice;
-    req.a = remote;
-    req.b = size;
-    auto resp = call(req, it->second.shadow, size);
-    if (!resp.ok() || resp->err != cudaSuccess) {
+    if (push_to_device(remote, it->second.shadow, size) != cudaSuccess) {
       return Internal("restored shadow push to device failed (remote " +
                       std::to_string(remote) + ")");
     }
@@ -119,9 +151,9 @@ Status ProxyClientApi::ship_checkpoint(int dst_fd) {
   CRAC_RETURN_IF_ERROR(channel_error_);
   RequestHeader req{};
   req.op = Op::kShipCkpt;
-  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  CRAC_RETURN_IF_ERROR(write_all(channel_fd_, &req, sizeof(req)));
   ResponseHeader resp{};
-  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  CRAC_RETURN_IF_ERROR(read_all(channel_fd_, &resp, sizeof(resp)));
   if (resp.err != cuda::cudaSuccess) {
     return Internal("proxy refused SHIP_CKPT (error " +
                     std::to_string(resp.err) + ")");
@@ -131,7 +163,7 @@ Status ProxyClientApi::ship_checkpoint(int dst_fd) {
     ++stats_.rpcs;
   }
   ckpt::RelayOutcome relay_outcome;
-  Status relayed = ckpt::relay_ship_stream(host_.fd(), dst_fd,
+  Status relayed = ckpt::relay_ship_stream(channel_fd_, dst_fd,
                                            "proxy ship relay", &relay_outcome);
   if (!relayed.ok() && !relay_outcome.upstream_in_band) {
     // Stream bytes may still be queued on the control socket; no later
@@ -144,7 +176,7 @@ Status ProxyClientApi::ship_checkpoint(int dst_fd) {
     channel_error_ = Status(relayed.code(),
                             "proxy channel desynced by a failed SHIP_CKPT "
                             "relay: " + relayed.message());
-    host_.shutdown();
+    drop_channel();
   }
   return relayed;
 }
@@ -154,9 +186,9 @@ Status ProxyClientApi::recv_checkpoint(int src_fd) {
   CRAC_RETURN_IF_ERROR(channel_error_);
   RequestHeader req{};
   req.op = Op::kRecvCkpt;
-  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  CRAC_RETURN_IF_ERROR(write_all(channel_fd_, &req, sizeof(req)));
   ckpt::RelayOutcome relay_outcome;
-  Status relayed = ckpt::relay_ship_stream(src_fd, host_.fd(),
+  Status relayed = ckpt::relay_ship_stream(src_fd, channel_fd_,
                                            "proxy recv relay", &relay_outcome);
   if (!relayed.ok() && !relay_outcome.downstream_in_band) {
     // The server sits mid-stream waiting for frames this relay will never
@@ -165,14 +197,14 @@ Status ProxyClientApi::recv_checkpoint(int src_fd) {
     channel_error_ = Status(relayed.code(),
                             "proxy channel desynced by a failed RECV_CKPT "
                             "relay: " + relayed.message());
-    host_.shutdown();
+    drop_channel();
     return relayed;
   }
   // The server holds a self-delimiting stream — complete, or terminated by
   // a bad trailer / abort marker it will reject cleanly — so a response
   // header follows either way and the connection stays in sync.
   ResponseHeader resp{};
-  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  CRAC_RETURN_IF_ERROR(read_all(channel_fd_, &resp, sizeof(resp)));
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.rpcs;
@@ -198,9 +230,9 @@ Status ProxyClientApi::ship_checkpoint(const std::vector<int>& dst_fds) {
 
   RequestHeader req{};
   req.op = Op::kShipCkpt;
-  Status s = write_all(host_.fd(), &req, sizeof(req));
+  Status s = write_all(channel_fd_, &req, sizeof(req));
   ResponseHeader resp{};
-  if (s.ok()) s = read_all(host_.fd(), &resp, sizeof(resp));
+  if (s.ok()) s = read_all(channel_fd_, &resp, sizeof(resp));
   if (!s.ok()) {
     (void)sink->abort();
     return s;
@@ -217,7 +249,7 @@ Status ProxyClientApi::ship_checkpoint(const std::vector<int>& dst_fds) {
   // The server's single stream, validated and striped across the shard
   // sockets. The sink re-frames each shard's local byte sequence itself.
   bool upstream_in_band = false;
-  Status pumped = ckpt::pump_ship_stream(host_.fd(), *sink,
+  Status pumped = ckpt::pump_ship_stream(channel_fd_, *sink,
                                          "proxy ship fan-out",
                                          &upstream_in_band);
   if (pumped.ok()) {
@@ -236,7 +268,7 @@ Status ProxyClientApi::ship_checkpoint(const std::vector<int>& dst_fds) {
     channel_error_ = Status(pumped.code(),
                             "proxy channel desynced by a failed SHIP_CKPT "
                             "fan-out: " + pumped.message());
-    host_.shutdown();
+    drop_channel();
   }
   return pumped;
 }
@@ -255,11 +287,11 @@ Status ProxyClientApi::recv_checkpoint(const std::vector<int>& src_fds) {
 
   RequestHeader req{};
   req.op = Op::kRecvCkpt;
-  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  CRAC_RETURN_IF_ERROR(write_all(channel_fd_, &req, sizeof(req)));
   // Reassemble the logical stream at the receive frontier and re-frame it
   // onto the control socket — the server restores from an ordinary
   // single-stream shipment and never learns the transfer was striped.
-  ckpt::SocketSink downstream(host_.fd(), "proxy recv fan-in relay");
+  ckpt::SocketSink downstream(channel_fd_, "proxy recv fan-in relay");
   Status stream_error;      // a shard stream died
   Status downstream_error;  // the control-socket write failed
   std::vector<std::byte> buf(ckpt::kShipFrameBytes);
@@ -292,11 +324,11 @@ Status ProxyClientApi::recv_checkpoint(const std::vector<int>& src_fds) {
     channel_error_ = Status(result.code(),
                             "proxy channel desynced by a failed RECV_CKPT "
                             "fan-in: " + result.message());
-    host_.shutdown();
+    drop_channel();
     return result;
   }
   ResponseHeader resp{};
-  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  CRAC_RETURN_IF_ERROR(read_all(channel_fd_, &resp, sizeof(resp)));
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.rpcs;
@@ -334,15 +366,15 @@ Result<ResponseHeader> ProxyClientApi::call(RequestHeader req,
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.bulk_bytes_cma += payload_bytes;
   }
-  CRAC_RETURN_IF_ERROR(write_all(host_.fd(), &req, sizeof(req)));
+  CRAC_RETURN_IF_ERROR(write_all(channel_fd_, &req, sizeof(req)));
   if (!stage && payload_bytes > 0) {
-    CRAC_RETURN_IF_ERROR(write_all(host_.fd(), payload, payload_bytes));
+    CRAC_RETURN_IF_ERROR(write_all(channel_fd_, payload, payload_bytes));
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.bulk_bytes_socket += payload_bytes;
   }
 
   ResponseHeader resp{};
-  CRAC_RETURN_IF_ERROR(read_all(host_.fd(), &resp, sizeof(resp)));
+  CRAC_RETURN_IF_ERROR(read_all(channel_fd_, &resp, sizeof(resp)));
   if (resp.staged != 0) {
     if (recv_into == nullptr || recv_bytes == 0) {
       return Internal("unexpected staged response");
@@ -354,11 +386,59 @@ Result<ResponseHeader> ProxyClientApi::call(RequestHeader req,
     if (recv_into == nullptr || recv_bytes < resp.payload_bytes) {
       return Internal("response payload larger than receive buffer");
     }
-    CRAC_RETURN_IF_ERROR(read_all(host_.fd(), recv_into, resp.payload_bytes));
+    CRAC_RETURN_IF_ERROR(read_all(channel_fd_, recv_into, resp.payload_bytes));
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.bulk_bytes_socket += resp.payload_bytes;
   }
   return resp;
+}
+
+cudaError_t ProxyClientApi::push_to_device(std::uint64_t remote,
+                                           const void* src, std::size_t n) {
+  // Split so each sub-copy is either CMA-stageable or under the inline
+  // request cap — this is what keeps kMaxRequestPayloadBytes honest: no
+  // legitimate client ever sends an inline payload the server would reject.
+  const auto* p = static_cast<const std::byte*>(src);
+  std::size_t done = 0;
+  do {
+    const std::size_t limit =
+        cma_.available()
+            ? std::max<std::size_t>(cma_.staging_bytes(),
+                                    kMaxRequestPayloadBytes)
+            : kMaxRequestPayloadBytes;
+    const std::size_t chunk = std::min(n - done, limit);
+    RequestHeader req{};
+    req.op = Op::kMemcpyToDevice;
+    req.a = remote + done;
+    req.b = chunk;
+    auto resp = call(req, p + done, chunk);
+    if (!resp.ok()) return cuda::cudaErrorUnknown;
+    if (resp->err != cudaSuccess) return static_cast<cudaError_t>(resp->err);
+    done += chunk;
+  } while (done < n);
+  return cudaSuccess;
+}
+
+cudaError_t ProxyClientApi::pull_from_device(void* dst, std::uint64_t remote,
+                                             std::size_t n) {
+  auto* p = static_cast<std::byte*>(dst);
+  std::size_t done = 0;
+  do {
+    const bool stage = cma_.available();
+    const std::size_t limit =
+        stage ? cma_.staging_bytes() : kMaxRequestPayloadBytes;
+    const std::size_t chunk = std::min(n - done, limit);
+    RequestHeader req{};
+    req.op = Op::kMemcpyFromDevice;
+    req.a = remote + done;
+    req.b = chunk;
+    req.staged = stage ? 1 : 0;
+    auto resp = call(req, nullptr, 0, p + done, chunk);
+    if (!resp.ok()) return cuda::cudaErrorUnknown;
+    if (resp->err != cudaSuccess) return static_cast<cudaError_t>(resp->err);
+    done += chunk;
+  } while (done < n);
+  return cudaSuccess;
 }
 
 bool ProxyClientApi::is_remote_ptr(const void* p) const {
@@ -373,12 +453,9 @@ bool ProxyClientApi::is_remote_ptr(const void* p) const {
 cudaError_t ProxyClientApi::sync_shadows_to_device() {
   if (!shadow_sync_enabled_) return cudaSuccess;
   for (const auto& [p, e] : shadow_.entries()) {
-    RequestHeader req{};
-    req.op = Op::kMemcpyToDevice;
-    req.a = e.remote;
-    req.b = e.size;
-    auto resp = call(req, e.shadow, e.size);
-    if (!resp.ok() || resp->err != cudaSuccess) return cuda::cudaErrorUnknown;
+    if (push_to_device(e.remote, e.shadow, e.size) != cudaSuccess) {
+      return cuda::cudaErrorUnknown;
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shadow_syncs_to_device;
     stats_.shadow_sync_bytes += e.size;
@@ -389,16 +466,13 @@ cudaError_t ProxyClientApi::sync_shadows_to_device() {
 cudaError_t ProxyClientApi::sync_shadows_from_device() {
   if (!shadow_sync_enabled_) return cudaSuccess;
   for (const auto& [p, e] : shadow_.entries()) {
-    RequestHeader req{};
-    req.op = Op::kMemcpyFromDevice;
-    req.a = e.remote;
-    req.b = e.size;
-    req.staged = cma_.available() && e.size <= cma_.staging_bytes() ? 1 : 0;
-    // note_write precedes the mutation (call() writes the device bytes into
-    // the shadow): a COW capture must see the pre-image preserved first.
+    // note_write precedes the mutation (the pull writes the device bytes
+    // into the shadow): a COW capture must see the pre-image preserved
+    // first.
     shadow_.note_write(e.shadow, e.size);
-    auto resp = call(req, nullptr, 0, e.shadow, e.size);
-    if (!resp.ok() || resp->err != cudaSuccess) return cuda::cudaErrorUnknown;
+    if (pull_from_device(e.shadow, e.remote, e.size) != cudaSuccess) {
+      return cuda::cudaErrorUnknown;
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shadow_syncs_from_device;
     stats_.shadow_sync_bytes += e.size;
@@ -534,23 +608,12 @@ cudaError_t ProxyClientApi::cudaMemcpy(void* dst, const void* src,
       return cudaSuccess;
     }
     case cuda::cudaMemcpyHostToDevice: {
-      RequestHeader req{};
-      req.op = Op::kMemcpyToDevice;
-      req.a = reinterpret_cast<std::uint64_t>(dst);
-      req.b = n;
-      auto resp = call(req, src, n);
-      return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
-                              : cuda::cudaErrorUnknown);
+      return record(
+          push_to_device(reinterpret_cast<std::uint64_t>(dst), src, n));
     }
     case cuda::cudaMemcpyDeviceToHost: {
-      RequestHeader req{};
-      req.op = Op::kMemcpyFromDevice;
-      req.a = reinterpret_cast<std::uint64_t>(src);
-      req.b = n;
-      req.staged = cma_.available() && n <= cma_.staging_bytes() ? 1 : 0;
-      auto resp = call(req, nullptr, 0, dst, n);
-      return record(resp.ok() ? static_cast<cudaError_t>(resp->err)
-                              : cuda::cudaErrorUnknown);
+      return record(
+          pull_from_device(dst, reinterpret_cast<std::uint64_t>(src), n));
     }
     case cuda::cudaMemcpyDeviceToDevice: {
       RequestHeader req{};

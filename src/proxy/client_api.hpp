@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <vector>
@@ -40,12 +41,22 @@ class ProxyClientApi final : public cuda::CudaApi {
     bool shadow_sync_enabled = true;  // CRUM read-modify-write support
   };
 
-  ProxyClientApi();  // default options
+  ProxyClientApi();  // default options; spawns its own server
   explicit ProxyClientApi(const Options& options);
+  // Fleet attach: opens a fresh channel to an already-running server via its
+  // listening socket. The attached client is a full peer — its own Hello,
+  // its own CMA staging buffer, every verb — and shares the server's device
+  // with everyone else. The shared_ptr keeps the server alive: it shuts
+  // down when the last holder (owner or attached) lets go.
+  ProxyClientApi(std::shared_ptr<ProxyHost> host, const Options& options);
   ~ProxyClientApi() override;
 
   ProxyClientApi(const ProxyClientApi&) = delete;
   ProxyClientApi& operator=(const ProxyClientApi&) = delete;
+
+  // The spawned (or attached-to) server; pass to the attach constructor to
+  // point more clients at the same device.
+  const std::shared_ptr<ProxyHost>& host() const noexcept { return host_; }
 
   bool cma_available() const noexcept { return cma_.available(); }
   ProxyStats stats() const;
@@ -174,6 +185,9 @@ class ProxyClientApi final : public cuda::CudaApi {
     cuda::cudaStream_t stream;
   };
 
+  // Hello round trip + CMA probe for a freshly opened channel.
+  void init_channel(bool use_cma);
+
   // One RPC round trip. Thread-safe (serialized); `recv_into`/`recv_bytes`
   // receive an expected inline or staged response payload.
   Result<ResponseHeader> call(RequestHeader req, const void* payload,
@@ -181,13 +195,29 @@ class ProxyClientApi final : public cuda::CudaApi {
                               void* recv_into = nullptr,
                               std::size_t recv_bytes = 0);
 
+  // Bulk copies split into sub-RPCs against kMaxRequestPayloadBytes (and,
+  // pull-side, against the CMA staging window) so no single request or
+  // response payload ever exceeds what the server accepts inline.
+  cuda::cudaError_t push_to_device(std::uint64_t remote, const void* src,
+                                   std::size_t n);
+  cuda::cudaError_t pull_from_device(void* dst, std::uint64_t remote,
+                                     std::size_t n);
+
+  // Desync teardown: this channel can never speak the protocol again. An
+  // attached client closes only its own fd (the server and every other
+  // channel keep going — per-connection containment); the owning client
+  // shuts the whole server down, exactly as the single-channel design did.
+  void drop_channel();
+
   // CRUM shadow synchronization around calls.
   cuda::cudaError_t sync_shadows_to_device();
   cuda::cudaError_t sync_shadows_from_device();
 
   bool is_remote_ptr(const void* p) const;
 
-  ProxyHost host_;
+  std::shared_ptr<ProxyHost> host_;
+  int channel_fd_ = -1;   // this client's wire (control fd, or attached)
+  bool attached_ = false;  // channel_fd_ is ours to close
   CmaChannel cma_;
   mutable std::mutex rpc_mu_;
   // A relay failure mid-ship leaves unread stream bytes on the control

@@ -68,7 +68,28 @@ enum class Op : std::uint32_t {
   // known end (EOF mid-frame) is fatal.
   kShipCkpt = 70,
   kRecvCkpt = 71,
+
+  // Checkpoint registry verbs (served by registry::RegistryHost, which
+  // speaks this same header + CRACSHP1 stream framing; the proxy server
+  // rejects them). PUT/GET carry the image name as the request payload and
+  // a framed checkpoint stream after the header (client->server for PUT,
+  // server->client after the OK response for GET). LIST returns an inline
+  // directory payload; STAT returns store-wide accounting.
+  kPutCkpt = 80,
+  kGetCkpt = 81,
+  kListCkpt = 82,
+  kStatCkpt = 83,
 };
+
+// Hard cap on RequestHeader::payload_bytes. The serving loop used to
+// payload.resize(req.payload_bytes) unchecked, so a corrupt or hostile
+// header could drive an arbitrary allocation; now an oversized request is
+// rejected (and its connection closed — the declared payload cannot be
+// skipped reliably) without touching the rest of the server. Sized to
+// dwarf every legitimate inline payload: kernel-launch marshalling and
+// registration tables are KBs, and bulk memcpy payloads beyond CMA reach
+// are already chunked by the client against this bound.
+inline constexpr std::uint32_t kMaxRequestPayloadBytes = 64u << 20;
 
 // Fixed-size request header; operands overloaded per op. POD, memcpy'd onto
 // the socket (both ends are the same binary via fork, so layout agrees).

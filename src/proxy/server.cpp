@@ -2,17 +2,23 @@
 
 #include <sys/mman.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckpt/image.hpp"
 #include "ckpt/remote.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "proxy/channel.hpp"
+#include "proxy/event_loop.hpp"
 #include "simcuda/lower_half.hpp"
 
 namespace crac::proxy {
@@ -29,14 +35,28 @@ struct ServerRegistration {
 
 struct ServerState {
   std::unique_ptr<cuda::LowerHalfRuntime> runtime;
-  void* staging = nullptr;
-  std::size_t staging_bytes = 0;
   std::vector<std::unique_ptr<ServerRegistration>> registrations;
   std::vector<std::unique_ptr<cuda::FatBinaryDesc>> descs;
   std::vector<std::unique_ptr<std::string>> strings;
+  // Serializes device access between loop-thread RPCs and pool-thread
+  // checkpoint sessions. RPC handlers hold it per call; a SHIP session
+  // holds it per staged slice (so a long shipment interleaves with RPCs
+  // instead of stalling them); a RECV session holds it across its whole
+  // mutation phase (no client may observe a half-restored arena).
+  std::mutex device_mu;
 };
 
-void respond(int fd, std::int32_t err, std::uint64_t r0 = 0,
+// Per-connection state hung off Connection::user: the CMA staging buffer
+// exported at Hello time. Every channel gets its own, so concurrent bulk
+// transfers from different clients never share a staging region.
+struct ConnState {
+  void* staging = nullptr;
+  std::size_t staging_bytes = 0;
+};
+
+// Queues one response on the connection's output buffer (the loop drains it
+// with EPOLLOUT backpressure — a slow client stalls only itself).
+void respond(Connection& conn, std::int32_t err, std::uint64_t r0 = 0,
              std::uint64_t r1 = 0, const void* payload = nullptr,
              std::uint32_t payload_bytes = 0, bool staged = false) {
   ResponseHeader resp{};
@@ -45,13 +65,23 @@ void respond(int fd, std::int32_t err, std::uint64_t r0 = 0,
   resp.r1 = r1;
   resp.payload_bytes = staged ? 0 : payload_bytes;
   resp.staged = staged ? 1 : 0;
-  if (!write_all(fd, &resp, sizeof(resp)).ok()) _exit(3);
-  if (!staged && payload_bytes > 0) {
-    if (!write_all(fd, payload, payload_bytes).ok()) _exit(3);
-  }
+  conn.send(&resp, sizeof(resp));
+  if (!staged && payload_bytes > 0) conn.send(payload, payload_bytes);
 }
 
-void handle_launch(ServerState& state, int fd, const RequestHeader& req,
+// Session-side (blocking) response on a claimed fd; false = peer is gone
+// and the connection should close.
+bool respond_fd(int fd, std::int32_t err, std::uint64_t r0 = 0,
+                std::uint64_t r1 = 0) {
+  ResponseHeader resp{};
+  resp.err = err;
+  resp.r0 = r0;
+  resp.r1 = r1;
+  return write_all(fd, &resp, sizeof(resp)).ok();
+}
+
+void handle_launch(ServerState& state, Connection& conn,
+                   const RequestHeader& req,
                    const std::vector<std::byte>& payload) {
   // Payload layout: grid(3xu32) block(3xu32) shmem(u64) stream(u64)
   //                 argcount(u32) argbytes...
@@ -91,7 +121,7 @@ void handle_launch(ServerState& state, int fd, const RequestHeader& req,
   }
   if (registration == nullptr ||
       registration->arg_sizes.size() != argcount) {
-    respond(fd, cuda::cudaErrorInvalidDevicePointer);
+    respond(conn, cuda::cudaErrorInvalidDevicePointer);
     return;
   }
   std::vector<void*> args(argcount);
@@ -100,9 +130,10 @@ void handle_launch(ServerState& state, int fd, const RequestHeader& req,
     args[i] = const_cast<std::byte*>(cursor);
     cursor += registration->arg_sizes[i];
   }
+  std::lock_guard<std::mutex> lock(state.device_mu);
   const cuda::cudaError_t err = state.runtime->launch_kernel(
       fn, grid, block, args.data(), shmem, stream);
-  respond(fd, err);
+  respond(conn, err);
 }
 
 // Section names for the device-arena checkpoint the SHIP_CKPT/RECV_CKPT
@@ -116,17 +147,25 @@ constexpr const char* kSectionDeviceContents = "proxy-device-contents";
 constexpr std::size_t kShipStageBytes = std::size_t{1} << 20;
 
 // Streams a framed checkpoint of the server's device-arena state down `fd`.
-// Runs after the OK response; by the time this returns the peer's spool has
-// the trailer (or a broken stream it will reject). On an internal failure
-// the stream is terminated with an in-band abort marker, so the peer fails
-// with a named error and the connection keeps its framing; `in_band_end`
-// reports whether that worked (trailer or abort on the wire) — when false
-// the connection is desynced and the caller must not keep serving on it.
+// Runs on a session thread while the loop keeps serving other channels: the
+// allocator snapshot is taken under the device mutex, then each staged
+// slice re-acquires it, so concurrent RPCs interleave at slice granularity.
+// The shipped image is crash-consistent per allocation slice — a client
+// that wants a quiescent image synchronizes its own mutators first, exactly
+// as it would around any asynchronous checkpoint. A concurrent free of a
+// snapshotted allocation surfaces as a failed slice copy, which aborts the
+// shipment in-band (named error at the receiver, connection stays framed);
+// `in_band_end` reports whether that worked — when false the connection is
+// desynced and the caller must close it.
 Status ship_device_state(ServerState& state, int fd, bool* in_band_end) {
   *in_band_end = false;
   auto& rt = *state.runtime;
   auto& arena = rt.device().device_arena();
-  const sim::ArenaAllocator::Snapshot snap = arena.snapshot();
+  sim::ArenaAllocator::Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(state.device_mu);
+    snap = arena.snapshot();
+  }
 
   ckpt::SocketSink sink(fd, "proxy ship socket");
   const Status shipped = [&]() -> Status {
@@ -144,10 +183,13 @@ Status ship_device_state(ServerState& state, int fd, bool* in_band_end) {
       while (done < size) {
         const auto n = static_cast<std::size_t>(
             std::min<std::uint64_t>(stage.size(), size - done));
-        if (rt.memcpy_sync(stage.data(), base + off + done, n,
-                           cuda::cudaMemcpyDeviceToHost) !=
-            cuda::cudaSuccess) {
-          return Internal("device read failed while shipping checkpoint");
+        {
+          std::lock_guard<std::mutex> lock(state.device_mu);
+          if (rt.memcpy_sync(stage.data(), base + off + done, n,
+                             cuda::cudaMemcpyDeviceToHost) !=
+              cuda::cudaSuccess) {
+            return Internal("device read failed while shipping checkpoint");
+          }
         }
         CRAC_RETURN_IF_ERROR(writer.append(stage.data(), n));
         done += n;
@@ -177,10 +219,11 @@ Status ship_device_state(ServerState& state, int fd, bool* in_band_end) {
 // right size, every chunk has CRC-verified (a skip-read over the local
 // spool — overlapped with the receive), and the directory has been forced
 // complete (which on a live stream means the transport trailer verified) do
-// the allocator maps get replaced and contents copied in. `*mutated` turns
-// true the moment the arena is touched: a failure after that point must NOT
-// be answered as a clean rejection (the old state is gone), the caller
-// escalates instead.
+// the allocator maps get replaced and contents copied in — under the device
+// mutex for the whole mutation phase, so no other channel's RPC can observe
+// a half-restored arena. `*mutated` turns true the moment the arena is
+// touched: a failure after that point must NOT be answered as a clean
+// rejection (the old state is gone), the caller escalates instead.
 Status restore_device_state(ServerState& state,
                             std::unique_ptr<ckpt::Source> spool,
                             bool* mutated) {
@@ -236,6 +279,11 @@ Status restore_device_state(ServerState& state,
 
   auto& rt = *state.runtime;
   auto& arena = rt.device().device_arena();
+  // Mutation phase: the whole stream has arrived and verified, so every
+  // read below is local spool memory/disk — holding the device mutex across
+  // it cannot deadlock on the transport, only pause other channels' RPCs
+  // for the duration of the arena swap.
+  std::lock_guard<std::mutex> lock(state.device_mu);
   // Last validation gate: a snapshot that does not fit this arena (smaller
   // reservation on a heterogeneous receiver, hostile offsets) is still a
   // clean rejection. Only past it does `mutated` flip — from here on the
@@ -267,6 +315,461 @@ Status restore_device_state(ServerState& state,
   return reader->verify_unread_sections();
 }
 
+// The proxy server's protocol brain: dispatches every parsed request,
+// claims checkpoint sessions, and owns per-connection staging buffers.
+class ProxyHandler final : public EventLoop::Handler {
+ public:
+  ProxyHandler(ServerState& state, const ProxyHostOptions& options)
+      : state_(state), options_(options) {}
+
+  void bind_loop(EventLoop* loop) { loop_ = loop; }
+
+  std::vector<std::byte> on_oversized(const RequestHeader& req) override {
+    CRAC_WARN() << "rejecting request op=" << static_cast<unsigned>(req.op)
+                << " declaring " << req.payload_bytes
+                << " payload bytes (cap " << kMaxRequestPayloadBytes << ")";
+    ResponseHeader resp{};
+    resp.err = cuda::cudaErrorInvalidValue;
+    std::vector<std::byte> bytes(sizeof(resp));
+    std::memcpy(bytes.data(), &resp, sizeof(resp));
+    return bytes;
+  }
+
+  void on_closed(Connection& conn) override {
+    auto* cs = static_cast<ConnState*>(conn.user);
+    if (cs == nullptr) return;
+    if (cs->staging != nullptr) ::munmap(cs->staging, cs->staging_bytes);
+    delete cs;
+    conn.user = nullptr;
+  }
+
+  EventLoop::Dispatch on_request(Connection& conn, const RequestHeader& req,
+                                 std::vector<std::byte>& payload) override;
+
+ private:
+  ConnState& conn_state(Connection& conn) {
+    if (conn.user == nullptr) conn.user = new ConnState();
+    return *static_cast<ConnState*>(conn.user);
+  }
+
+  ServerState& state_;
+  const ProxyHostOptions& options_;
+  EventLoop* loop_ = nullptr;
+};
+
+EventLoop::Dispatch ProxyHandler::on_request(Connection& conn,
+                                             const RequestHeader& req,
+                                             std::vector<std::byte>& payload) {
+  auto& rt = *state_.runtime;
+  using Dispatch = EventLoop::Dispatch;
+  // Every short RPC runs on the loop thread under the device mutex —
+  // cheap when no session is active, and correct when one is.
+  std::unique_lock<std::mutex> device_lock(state_.device_mu, std::defer_lock);
+
+  switch (req.op) {
+    case Op::kHello: {
+      ConnState& cs = conn_state(conn);
+      if (cs.staging == nullptr && options_.staging_bytes > 0) {
+        void* staging =
+            ::mmap(nullptr, options_.staging_bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (staging == MAP_FAILED) {
+          // This channel simply has no CMA; the client's probe fails and it
+          // degrades to inline payloads. Nobody else is affected.
+          respond(conn, cuda::cudaErrorMemoryAllocation);
+          return Dispatch::kContinue;
+        }
+        cs.staging = staging;
+        cs.staging_bytes = options_.staging_bytes;
+      }
+      HelloInfo info{};
+      info.server_pid = ::getpid();
+      info.staging_addr = reinterpret_cast<std::uint64_t>(cs.staging);
+      info.staging_bytes = cs.staging_bytes;
+      respond(conn, cuda::cudaSuccess, 0, 0, &info, sizeof(info));
+      return Dispatch::kContinue;
+    }
+    case Op::kShutdown: {
+      respond(conn, cuda::cudaSuccess);
+      return Dispatch::kShutdown;
+    }
+    case Op::kMalloc: {
+      void* p = nullptr;
+      device_lock.lock();
+      const auto err = rt.malloc_device(&p, req.a);
+      device_lock.unlock();
+      respond(conn, err, reinterpret_cast<std::uint64_t>(p));
+      return Dispatch::kContinue;
+    }
+    case Op::kFree: {
+      device_lock.lock();
+      const auto err = rt.free_device(reinterpret_cast<void*>(req.a));
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kMallocHost: {
+      void* p = nullptr;
+      device_lock.lock();
+      const auto err = rt.malloc_host(&p, req.a);
+      device_lock.unlock();
+      respond(conn, err, reinterpret_cast<std::uint64_t>(p));
+      return Dispatch::kContinue;
+    }
+    case Op::kHostAlloc: {
+      void* p = nullptr;
+      device_lock.lock();
+      const auto err = rt.host_alloc(&p, req.a, static_cast<unsigned>(req.b));
+      device_lock.unlock();
+      respond(conn, err, reinterpret_cast<std::uint64_t>(p));
+      return Dispatch::kContinue;
+    }
+    case Op::kFreeHost: {
+      device_lock.lock();
+      const auto err = rt.free_host(reinterpret_cast<void*>(req.a));
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kMallocManaged: {
+      void* p = nullptr;
+      device_lock.lock();
+      const auto err =
+          rt.malloc_managed(&p, req.a, static_cast<unsigned>(req.b));
+      device_lock.unlock();
+      respond(conn, err, reinterpret_cast<std::uint64_t>(p));
+      return Dispatch::kContinue;
+    }
+    case Op::kMemcpyToDevice:
+    case Op::kMemcpyToDeviceAsync: {
+      ConnState& cs = conn_state(conn);
+      const void* src = req.staged != 0
+                            ? cs.staging
+                            : static_cast<const void*>(payload.data());
+      if (req.staged != 0 && cs.staging == nullptr) {
+        respond(conn, cuda::cudaErrorInvalidValue);
+        return Dispatch::kContinue;
+      }
+      // Async degenerates to sync server-side: the RPC already serialized
+      // the client, which is precisely the proxy architecture's handicap.
+      device_lock.lock();
+      const auto err = rt.memcpy_sync(reinterpret_cast<void*>(req.a), src,
+                                      req.b, cuda::cudaMemcpyDefault);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kMemcpyFromDevice:
+    case Op::kMemcpyFromDeviceAsync: {
+      ConnState& cs = conn_state(conn);
+      if (req.staged != 0) {
+        if (cs.staging == nullptr) {
+          respond(conn, cuda::cudaErrorInvalidValue);
+          return Dispatch::kContinue;
+        }
+        device_lock.lock();
+        const auto err = rt.memcpy_sync(
+            cs.staging, reinterpret_cast<const void*>(req.a), req.b,
+            cuda::cudaMemcpyDefault);
+        device_lock.unlock();
+        respond(conn, err, 0, 0, nullptr, 0, /*staged=*/true);
+      } else {
+        // Same trust boundary as payload_bytes: an inline response is
+        // allocated from a header field, so cap it identically (the client
+        // chunks large un-staged pulls against this bound).
+        if (req.b > kMaxRequestPayloadBytes) {
+          respond(conn, cuda::cudaErrorInvalidValue);
+          return Dispatch::kContinue;
+        }
+        std::vector<std::byte> out(req.b);
+        device_lock.lock();
+        const auto err =
+            rt.memcpy_sync(out.data(), reinterpret_cast<const void*>(req.a),
+                           req.b, cuda::cudaMemcpyDefault);
+        device_lock.unlock();
+        respond(conn, err, 0, 0, out.data(),
+                static_cast<std::uint32_t>(out.size()));
+      }
+      return Dispatch::kContinue;
+    }
+    case Op::kMemcpyOnDevice: {
+      device_lock.lock();
+      const auto err = rt.memcpy_sync(reinterpret_cast<void*>(req.a),
+                                      reinterpret_cast<const void*>(req.b),
+                                      req.c, cuda::cudaMemcpyDeviceToDevice);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kMemset: {
+      device_lock.lock();
+      const auto err = rt.memset_sync(reinterpret_cast<void*>(req.a),
+                                      static_cast<int>(req.b), req.c);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kMemsetAsync: {
+      device_lock.lock();
+      const auto err = rt.memset_async(reinterpret_cast<void*>(req.a),
+                                       static_cast<int>(req.b), req.c, req.d);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kMemPrefetchAsync: {
+      device_lock.lock();
+      const auto err = rt.mem_prefetch_async(reinterpret_cast<void*>(req.a),
+                                             req.b, static_cast<int>(req.c),
+                                             req.d);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kStreamCreate: {
+      cuda::cudaStream_t s = 0;
+      device_lock.lock();
+      const auto err = rt.stream_create(&s);
+      device_lock.unlock();
+      respond(conn, err, s);
+      return Dispatch::kContinue;
+    }
+    case Op::kStreamDestroy: {
+      device_lock.lock();
+      const auto err = rt.stream_destroy(req.a);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kStreamSynchronize: {
+      device_lock.lock();
+      const auto err = rt.stream_synchronize(req.a);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kStreamQuery: {
+      device_lock.lock();
+      const auto err = rt.stream_query(req.a);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kStreamWaitEvent: {
+      device_lock.lock();
+      const auto err =
+          rt.stream_wait_event(req.a, req.b, static_cast<unsigned>(req.c));
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kEventCreate: {
+      cuda::cudaEvent_t e = 0;
+      device_lock.lock();
+      const auto err = rt.event_create(&e);
+      device_lock.unlock();
+      respond(conn, err, e);
+      return Dispatch::kContinue;
+    }
+    case Op::kEventDestroy: {
+      device_lock.lock();
+      const auto err = rt.event_destroy(req.a);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kEventRecord: {
+      device_lock.lock();
+      const auto err = rt.event_record(req.a, req.b);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kEventSynchronize: {
+      device_lock.lock();
+      const auto err = rt.event_synchronize(req.a);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kEventQuery: {
+      device_lock.lock();
+      const auto err = rt.event_query(req.a);
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kEventElapsedTime: {
+      float ms = 0;
+      device_lock.lock();
+      const auto err = rt.event_elapsed_time(&ms, req.a, req.b);
+      device_lock.unlock();
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &ms, sizeof(ms));
+      respond(conn, err, bits);
+      return Dispatch::kContinue;
+    }
+    case Op::kLaunchKernel: {
+      handle_launch(state_, conn, req, payload);
+      return Dispatch::kContinue;
+    }
+    case Op::kDeviceSynchronize: {
+      device_lock.lock();
+      const auto err = rt.device_synchronize();
+      device_lock.unlock();
+      respond(conn, err);
+      return Dispatch::kContinue;
+    }
+    case Op::kGetDeviceProperties: {
+      cuda::cudaDeviceProp prop;
+      device_lock.lock();
+      const auto err = rt.get_device_properties(&prop, 0);
+      device_lock.unlock();
+      // Fixed-size wire form: ints + sizes + truncated name.
+      struct WireProps {
+        std::int32_t cc_major, cc_minor, num_sms, max_conc;
+        std::uint64_t total_mem, uvm_page;
+        char name[64];
+      } wire{};
+      wire.cc_major = prop.cc_major;
+      wire.cc_minor = prop.cc_minor;
+      wire.num_sms = prop.num_sms;
+      wire.max_conc = prop.max_concurrent_kernels;
+      wire.total_mem = prop.total_mem_bytes;
+      wire.uvm_page = prop.uvm_page_size;
+      std::strncpy(wire.name, prop.name.c_str(), sizeof(wire.name) - 1);
+      respond(conn, err, 0, 0, &wire, sizeof(wire));
+      return Dispatch::kContinue;
+    }
+    case Op::kMemGetInfo: {
+      std::size_t free_b = 0, total_b = 0;
+      device_lock.lock();
+      const auto err = rt.mem_get_info(&free_b, &total_b);
+      device_lock.unlock();
+      respond(conn, err, free_b, total_b);
+      return Dispatch::kContinue;
+    }
+    case Op::kRegisterFatBinary: {
+      auto desc = std::make_unique<cuda::FatBinaryDesc>();
+      auto name = std::make_unique<std::string>(
+          reinterpret_cast<const char*>(payload.data()), payload.size());
+      desc->module_name = name->c_str();
+      desc->binary_hash = req.a;
+      device_lock.lock();
+      const auto handle = rt.register_fat_binary(desc.get());
+      device_lock.unlock();
+      state_.descs.push_back(std::move(desc));
+      state_.strings.push_back(std::move(name));
+      respond(conn, cuda::cudaSuccess,
+              reinterpret_cast<std::uint64_t>(handle));
+      return Dispatch::kContinue;
+    }
+    case Op::kRegisterFunction: {
+      // Payload: host_fn u64, device_fn u64, argcount u32, sizes u64...,
+      //          name chars...
+      const std::byte* p = payload.data();
+      std::uint64_t host_fn = 0, device_fn = 0;
+      std::uint32_t argcount = 0;
+      std::memcpy(&host_fn, p, 8);
+      p += 8;
+      std::memcpy(&device_fn, p, 8);
+      p += 8;
+      std::memcpy(&argcount, p, 4);
+      p += 4;
+      auto sr = std::make_unique<ServerRegistration>();
+      for (std::uint32_t i = 0; i < argcount; ++i) {
+        std::uint64_t s = 0;
+        std::memcpy(&s, p, 8);
+        p += 8;
+        sr->arg_sizes.push_back(s);
+      }
+      sr->name.assign(reinterpret_cast<const char*>(p),
+                      payload.size() -
+                          static_cast<std::size_t>(p - payload.data()));
+      sr->reg.host_fn = reinterpret_cast<const void*>(host_fn);
+      sr->reg.name = sr->name.c_str();
+      sr->reg.device_fn = reinterpret_cast<cuda::KernelFn>(device_fn);
+      sr->reg.arg_sizes = sr->arg_sizes.data();
+      sr->reg.arg_count = sr->arg_sizes.size();
+      device_lock.lock();
+      rt.register_function(reinterpret_cast<cuda::FatBinaryHandle>(req.a),
+                           sr->reg);
+      device_lock.unlock();
+      state_.registrations.push_back(std::move(sr));
+      respond(conn, cuda::cudaSuccess);
+      return Dispatch::kContinue;
+    }
+    case Op::kUnregisterFatBinary: {
+      device_lock.lock();
+      rt.unregister_fat_binary(
+          reinterpret_cast<cuda::FatBinaryHandle>(req.a));
+      device_lock.unlock();
+      respond(conn, cuda::cudaSuccess);
+      return Dispatch::kContinue;
+    }
+    case Op::kShipCkpt: {
+      // Respond first (queued ahead of the stream — the loop flushes it
+      // before the session starts), then stream from a session thread so
+      // other channels' RPCs keep flowing. An internal failure mid-stream
+      // terminates the shipment with an in-band abort marker, which keeps
+      // the connection framed — only a failure to land even the marker
+      // (dead socket) closes this connection.
+      respond(conn, cuda::cudaSuccess);
+      loop_->start_session(conn, [this](int fd) {
+        bool in_band_end = false;
+        const Status shipped = ship_device_state(state_, fd, &in_band_end);
+        if (!shipped.ok()) {
+          CRAC_WARN() << "SHIP_CKPT failed: " << shipped.to_string();
+          return in_band_end;
+        }
+        return true;
+      });
+      return Dispatch::kSession;
+    }
+    case Op::kRecvCkpt: {
+      // The framed stream follows the request header (the loop read exactly
+      // the header, so the stream's first byte is still on the socket). The
+      // spool starts serving ranges as frames land, so the restore runs
+      // concurrently with the incoming stream — and concurrently with every
+      // other channel's RPCs — but mutates nothing until the whole shipment
+      // (trailer included) has verified.
+      loop_->start_session(conn, [this](int fd) {
+        ckpt::StreamingSpoolSource::Options sopts;
+        sopts.origin = "proxy recv stream";
+        auto spool = ckpt::StreamingSpoolSource::start(fd, sopts);
+        if (!spool.ok()) return false;  // not even a ship header: desynced
+        // The outcome outlives the source (which restore consumes): it is
+        // final once restore returns, because destroying the source joins
+        // the receiver — and that join doubles as a drain, so even an early
+        // rejection leaves the stream fully consumed off the socket.
+        auto outcome = (*spool)->outcome();
+        bool mutated = false;
+        const Status restored =
+            restore_device_state(state_, std::move(*spool), &mutated);
+        if (!restored.ok()) {
+          CRAC_WARN() << "RECV_CKPT restore failed: " << restored.to_string();
+          // Past the mutation point the old state is gone and the new one
+          // is partial — and the arena is shared by every channel, so this
+          // is the one failure that still takes the whole server down.
+          if (mutated) _exit(3);
+          // Unmutated, but did the stream end in-band (trailer — valid or
+          // not — or an abort marker)? If not, nobody knows where the next
+          // request starts: desynced, close this channel (only). If it
+          // did, this is a clean rejection over an intact connection —
+          // prior state untouched.
+          if (!outcome->synced) return false;
+        }
+        return respond_fd(fd, restored.ok() ? cuda::cudaSuccess
+                                            : cuda::cudaErrorUnknown);
+      });
+      return Dispatch::kSession;
+    }
+    default:
+      respond(conn, cuda::cudaErrorUnknown);
+      return Dispatch::kContinue;
+  }
+}
+
 }  // namespace
 
 Result<ProxyHost> ProxyHost::spawn(const ProxyHostOptions& options) {
@@ -274,24 +777,83 @@ Result<ProxyHost> ProxyHost::spawn(const ProxyHostOptions& options) {
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     return IoError(std::string("socketpair: ") + strerror(errno));
   }
+  // The fleet entrance: an abstract-namespace listening socket (autobind —
+  // the kernel picks a unique name, nothing to unlink) created before fork
+  // so the parent knows the address and the child inherits the fd.
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return IoError(std::string("socket: ") + strerror(errno));
+  }
+  ::sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  // Autobind: bind with only the family and the kernel assigns a unique
+  // abstract-namespace name, recovered via getsockname (full-size buffer —
+  // addr_len is in/out).
+  ::socklen_t addr_len = sizeof(sa_family_t);
+  const bool bound =
+      ::bind(lfd, reinterpret_cast<::sockaddr*>(&addr), addr_len) == 0;
+  addr_len = sizeof(addr);
+  if (!bound ||
+      ::getsockname(lfd, reinterpret_cast<::sockaddr*>(&addr), &addr_len) !=
+          0 ||
+      ::listen(lfd, 64) != 0) {
+    const Status failed =
+        IoError(std::string("proxy listen socket: ") + strerror(errno));
+    ::close(lfd);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return failed;
+  }
+  std::string listen_addr(addr.sun_path,
+                          addr_len - offsetof(::sockaddr_un, sun_path));
   const pid_t pid = ::fork();
   if (pid < 0) {
+    ::close(lfd);
     ::close(fds[0]);
     ::close(fds[1]);
     return IoError(std::string("fork: ") + strerror(errno));
   }
   if (pid == 0) {
     ::close(fds[0]);
-    serve(fds[1], options);  // never returns
+    serve(fds[1], lfd, options);  // never returns
   }
   ::close(fds[1]);
-  return ProxyHost(fds[0], pid);
+  ::close(lfd);
+  return ProxyHost(fds[0], pid, std::move(listen_addr));
+}
+
+Result<int> ProxyHost::connect() const {
+  if (listen_addr_.empty()) {
+    return FailedPrecondition("proxy host has no listening address");
+  }
+  const int cfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (cfd < 0) {
+    return IoError(std::string("socket: ") + strerror(errno));
+  }
+  ::sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, listen_addr_.data(), listen_addr_.size());
+  const auto addr_len = static_cast<::socklen_t>(
+      offsetof(::sockaddr_un, sun_path) + listen_addr_.size());
+  if (::connect(cfd, reinterpret_cast<const ::sockaddr*>(&addr), addr_len) !=
+      0) {
+    const Status failed =
+        IoError(std::string("proxy connect: ") + strerror(errno));
+    ::close(cfd);
+    return failed;
+  }
+  return cfd;
 }
 
 ProxyHost::ProxyHost(ProxyHost&& other) noexcept
-    : fd_(other.fd_), pid_(other.pid_) {
+    : fd_(other.fd_),
+      pid_(other.pid_),
+      listen_addr_(std::move(other.listen_addr_)) {
   other.fd_ = -1;
   other.pid_ = -1;
+  other.listen_addr_.clear();
 }
 
 ProxyHost::~ProxyHost() { shutdown(); }
@@ -311,314 +873,22 @@ void ProxyHost::shutdown() {
   }
 }
 
-void ProxyHost::serve(int fd, const ProxyHostOptions& options) {
+void ProxyHost::serve(int control_fd, int listen_fd,
+                      const ProxyHostOptions& options) {
   ServerState state;
   state.runtime = std::make_unique<cuda::LowerHalfRuntime>(options.device);
-  state.staging_bytes = options.staging_bytes;
-  state.staging = ::mmap(nullptr, state.staging_bytes, PROT_READ | PROT_WRITE,
-                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (state.staging == MAP_FAILED) _exit(2);
-
-  auto& rt = *state.runtime;
-  std::vector<std::byte> payload;
-
-  for (;;) {
-    RequestHeader req{};
-    if (!read_all(fd, &req, sizeof(req)).ok()) _exit(0);  // client gone
-    payload.resize(req.payload_bytes);
-    if (req.payload_bytes > 0) {
-      if (!read_all(fd, payload.data(), req.payload_bytes).ok()) _exit(0);
-    }
-
-    switch (req.op) {
-      case Op::kHello: {
-        HelloInfo info{};
-        info.server_pid = ::getpid();
-        info.staging_addr = reinterpret_cast<std::uint64_t>(state.staging);
-        info.staging_bytes = state.staging_bytes;
-        respond(fd, cuda::cudaSuccess, 0, 0, &info, sizeof(info));
-        break;
-      }
-      case Op::kShutdown: {
-        respond(fd, cuda::cudaSuccess);
-        _exit(0);
-      }
-      case Op::kMalloc: {
-        void* p = nullptr;
-        const auto err = rt.malloc_device(&p, req.a);
-        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
-        break;
-      }
-      case Op::kFree: {
-        respond(fd, rt.free_device(reinterpret_cast<void*>(req.a)));
-        break;
-      }
-      case Op::kMallocHost: {
-        void* p = nullptr;
-        const auto err = rt.malloc_host(&p, req.a);
-        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
-        break;
-      }
-      case Op::kHostAlloc: {
-        void* p = nullptr;
-        const auto err =
-            rt.host_alloc(&p, req.a, static_cast<unsigned>(req.b));
-        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
-        break;
-      }
-      case Op::kFreeHost: {
-        respond(fd, rt.free_host(reinterpret_cast<void*>(req.a)));
-        break;
-      }
-      case Op::kMallocManaged: {
-        void* p = nullptr;
-        const auto err =
-            rt.malloc_managed(&p, req.a, static_cast<unsigned>(req.b));
-        respond(fd, err, reinterpret_cast<std::uint64_t>(p));
-        break;
-      }
-      case Op::kMemcpyToDevice:
-      case Op::kMemcpyToDeviceAsync: {
-        const void* src =
-            req.staged != 0 ? state.staging
-                            : static_cast<const void*>(payload.data());
-        // Async degenerates to sync server-side: the RPC already serialized
-        // the client, which is precisely the proxy architecture's handicap.
-        const auto err =
-            rt.memcpy_sync(reinterpret_cast<void*>(req.a), src, req.b,
-                           cuda::cudaMemcpyDefault);
-        respond(fd, err);
-        break;
-      }
-      case Op::kMemcpyFromDevice:
-      case Op::kMemcpyFromDeviceAsync: {
-        if (req.staged != 0) {
-          const auto err = rt.memcpy_sync(
-              state.staging, reinterpret_cast<const void*>(req.a), req.b,
-              cuda::cudaMemcpyDefault);
-          respond(fd, err, 0, 0, nullptr, 0, /*staged=*/true);
-        } else {
-          std::vector<std::byte> out(req.b);
-          const auto err =
-              rt.memcpy_sync(out.data(), reinterpret_cast<const void*>(req.a),
-                             req.b, cuda::cudaMemcpyDefault);
-          respond(fd, err, 0, 0, out.data(),
-                  static_cast<std::uint32_t>(out.size()));
-        }
-        break;
-      }
-      case Op::kMemcpyOnDevice: {
-        const auto err = rt.memcpy_sync(reinterpret_cast<void*>(req.a),
-                                        reinterpret_cast<const void*>(req.b),
-                                        req.c, cuda::cudaMemcpyDeviceToDevice);
-        respond(fd, err);
-        break;
-      }
-      case Op::kMemset: {
-        respond(fd, rt.memset_sync(reinterpret_cast<void*>(req.a),
-                                   static_cast<int>(req.b), req.c));
-        break;
-      }
-      case Op::kMemsetAsync: {
-        respond(fd, rt.memset_async(reinterpret_cast<void*>(req.a),
-                                    static_cast<int>(req.b), req.c, req.d));
-        break;
-      }
-      case Op::kMemPrefetchAsync: {
-        respond(fd, rt.mem_prefetch_async(reinterpret_cast<void*>(req.a),
-                                          req.b, static_cast<int>(req.c),
-                                          req.d));
-        break;
-      }
-      case Op::kStreamCreate: {
-        cuda::cudaStream_t s = 0;
-        const auto err = rt.stream_create(&s);
-        respond(fd, err, s);
-        break;
-      }
-      case Op::kStreamDestroy: {
-        respond(fd, rt.stream_destroy(req.a));
-        break;
-      }
-      case Op::kStreamSynchronize: {
-        respond(fd, rt.stream_synchronize(req.a));
-        break;
-      }
-      case Op::kStreamQuery: {
-        respond(fd, rt.stream_query(req.a));
-        break;
-      }
-      case Op::kStreamWaitEvent: {
-        respond(fd, rt.stream_wait_event(req.a, req.b,
-                                         static_cast<unsigned>(req.c)));
-        break;
-      }
-      case Op::kEventCreate: {
-        cuda::cudaEvent_t e = 0;
-        const auto err = rt.event_create(&e);
-        respond(fd, err, e);
-        break;
-      }
-      case Op::kEventDestroy: {
-        respond(fd, rt.event_destroy(req.a));
-        break;
-      }
-      case Op::kEventRecord: {
-        respond(fd, rt.event_record(req.a, req.b));
-        break;
-      }
-      case Op::kEventSynchronize: {
-        respond(fd, rt.event_synchronize(req.a));
-        break;
-      }
-      case Op::kEventQuery: {
-        respond(fd, rt.event_query(req.a));
-        break;
-      }
-      case Op::kEventElapsedTime: {
-        float ms = 0;
-        const auto err = rt.event_elapsed_time(&ms, req.a, req.b);
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &ms, sizeof(ms));
-        respond(fd, err, bits);
-        break;
-      }
-      case Op::kLaunchKernel: {
-        handle_launch(state, fd, req, payload);
-        break;
-      }
-      case Op::kDeviceSynchronize: {
-        respond(fd, rt.device_synchronize());
-        break;
-      }
-      case Op::kGetDeviceProperties: {
-        cuda::cudaDeviceProp prop;
-        const auto err = rt.get_device_properties(&prop, 0);
-        // Fixed-size wire form: ints + sizes + truncated name.
-        struct WireProps {
-          std::int32_t cc_major, cc_minor, num_sms, max_conc;
-          std::uint64_t total_mem, uvm_page;
-          char name[64];
-        } wire{};
-        wire.cc_major = prop.cc_major;
-        wire.cc_minor = prop.cc_minor;
-        wire.num_sms = prop.num_sms;
-        wire.max_conc = prop.max_concurrent_kernels;
-        wire.total_mem = prop.total_mem_bytes;
-        wire.uvm_page = prop.uvm_page_size;
-        std::strncpy(wire.name, prop.name.c_str(), sizeof(wire.name) - 1);
-        respond(fd, err, 0, 0, &wire, sizeof(wire));
-        break;
-      }
-      case Op::kMemGetInfo: {
-        std::size_t free_b = 0, total_b = 0;
-        const auto err = rt.mem_get_info(&free_b, &total_b);
-        respond(fd, err, free_b, total_b);
-        break;
-      }
-      case Op::kRegisterFatBinary: {
-        auto desc = std::make_unique<cuda::FatBinaryDesc>();
-        auto name = std::make_unique<std::string>(
-            reinterpret_cast<const char*>(payload.data()), payload.size());
-        desc->module_name = name->c_str();
-        desc->binary_hash = req.a;
-        const auto handle = rt.register_fat_binary(desc.get());
-        state.descs.push_back(std::move(desc));
-        state.strings.push_back(std::move(name));
-        respond(fd, cuda::cudaSuccess, reinterpret_cast<std::uint64_t>(handle));
-        break;
-      }
-      case Op::kRegisterFunction: {
-        // Payload: host_fn u64, device_fn u64, argcount u32, sizes u64...,
-        //          name chars...
-        const std::byte* p = payload.data();
-        std::uint64_t host_fn = 0, device_fn = 0;
-        std::uint32_t argcount = 0;
-        std::memcpy(&host_fn, p, 8);
-        p += 8;
-        std::memcpy(&device_fn, p, 8);
-        p += 8;
-        std::memcpy(&argcount, p, 4);
-        p += 4;
-        auto sr = std::make_unique<ServerRegistration>();
-        for (std::uint32_t i = 0; i < argcount; ++i) {
-          std::uint64_t s = 0;
-          std::memcpy(&s, p, 8);
-          p += 8;
-          sr->arg_sizes.push_back(s);
-        }
-        sr->name.assign(reinterpret_cast<const char*>(p),
-                        payload.size() -
-                            static_cast<std::size_t>(p - payload.data()));
-        sr->reg.host_fn = reinterpret_cast<const void*>(host_fn);
-        sr->reg.name = sr->name.c_str();
-        sr->reg.device_fn = reinterpret_cast<cuda::KernelFn>(device_fn);
-        sr->reg.arg_sizes = sr->arg_sizes.data();
-        sr->reg.arg_count = sr->arg_sizes.size();
-        rt.register_function(reinterpret_cast<cuda::FatBinaryHandle>(req.a),
-                             sr->reg);
-        state.registrations.push_back(std::move(sr));
-        respond(fd, cuda::cudaSuccess);
-        break;
-      }
-      case Op::kUnregisterFatBinary: {
-        rt.unregister_fat_binary(reinterpret_cast<cuda::FatBinaryHandle>(req.a));
-        respond(fd, cuda::cudaSuccess);
-        break;
-      }
-      case Op::kShipCkpt: {
-        // Respond first, then stream: the client reads the OK header and
-        // starts relaying the framed bytes that follow. An internal failure
-        // mid-stream terminates the shipment with an in-band abort marker,
-        // which keeps the connection framed — only a failure to land even
-        // the marker (dead socket) ends the server like a failed respond.
-        respond(fd, cuda::cudaSuccess);
-        bool in_band_end = false;
-        const Status shipped = ship_device_state(state, fd, &in_band_end);
-        if (!shipped.ok()) {
-          CRAC_WARN() << "SHIP_CKPT failed: " << shipped.to_string();
-          if (!in_band_end) _exit(3);
-        }
-        break;
-      }
-      case Op::kRecvCkpt: {
-        // The framed stream follows the request header. The spool starts
-        // serving ranges as frames land, so the restore below runs
-        // concurrently with the incoming stream — but mutates nothing until
-        // the whole shipment (trailer included) has verified.
-        ckpt::StreamingSpoolSource::Options sopts;
-        sopts.origin = "proxy recv stream";
-        auto spool = ckpt::StreamingSpoolSource::start(fd, sopts);
-        if (!spool.ok()) _exit(3);  // not even a ship header: desynced
-        // The outcome outlives the source (which restore consumes): it is
-        // final once restore returns, because destroying the source joins
-        // the receiver — and that join doubles as a drain, so even an early
-        // rejection leaves the stream fully consumed off the socket.
-        auto outcome = (*spool)->outcome();
-        bool mutated = false;
-        const Status restored =
-            restore_device_state(state, std::move(*spool), &mutated);
-        if (!restored.ok()) {
-          CRAC_WARN() << "RECV_CKPT restore failed: " << restored.to_string();
-          // Past the mutation point the old state is gone and the new one is
-          // partial; answering "error, connection intact" would be a lie the
-          // client acts on. Die like a desynced stream — the client sees the
-          // connection fail, which is the truth.
-          if (mutated) _exit(3);
-          // Unmutated, but did the stream end in-band (trailer — valid or
-          // not — or an abort marker)? If not, nobody knows where the next
-          // request starts: desynced, fatal. If it did, this is a clean
-          // rejection over an intact connection — prior state untouched.
-          if (!outcome->synced) _exit(3);
-        }
-        respond(fd, restored.ok() ? cuda::cudaSuccess : cuda::cudaErrorUnknown);
-        break;
-      }
-      default:
-        respond(fd, cuda::cudaErrorUnknown);
-        break;
-    }
+  ThreadPool sessions(std::max<std::size_t>(1, options.session_threads));
+  ProxyHandler handler(state, options);
+  EventLoop loop(&handler, &sessions);
+  handler.bind_loop(&loop);
+  if (!loop.add_connection(control_fd, /*control=*/true).ok()) _exit(2);
+  if (listen_fd >= 0 && !loop.add_listener(listen_fd).ok()) _exit(2);
+  const Status served = loop.run();
+  if (!served.ok()) {
+    CRAC_WARN() << "proxy event loop failed: " << served.to_string();
+    _exit(2);
   }
+  _exit(0);
 }
 
 }  // namespace crac::proxy

@@ -1,16 +1,29 @@
 // The proxy process: a forked child hosting its own CUDA runtime.
 //
 // ProxyHost forks the server and returns the connected client endpoint. The
-// child constructs a LowerHalfRuntime (its own simulated GPU), maps the CMA
-// staging buffer, and serves requests until shutdown/EOF. This is exactly
-// the architecture of CRCUDA/CRUM that the paper's introduction critiques:
-// checkpointing the application process then simply works (the CUDA library
-// lives elsewhere), but *every* CUDA call pays an IPC round trip.
+// child constructs a LowerHalfRuntime (its own simulated GPU) and serves
+// requests until shutdown/EOF. This is exactly the architecture of
+// CRCUDA/CRUM that the paper's introduction critiques: checkpointing the
+// application process then simply works (the CUDA library lives elsewhere),
+// but *every* CUDA call pays an IPC round trip.
+//
+// Fleet scale: the server no longer serves one blocking connection — it
+// runs a proxy::EventLoop over the spawning socketpair (the *control*
+// connection) plus an abstract-namespace Unix listening socket, so many
+// client channels share one server process and one device. connect() mints
+// additional channels; each gets its own CMA staging buffer at Hello time.
+// Device RPCs from all channels serialize on a server-side device mutex,
+// while SHIP_CKPT/RECV_CKPT run as thread-pool sessions that interleave
+// with everyone else's RPCs instead of stalling them. A misbehaving client
+// (oversized header, dead socket, failed stream) costs its own connection,
+// never the server — the process exits only on shutdown, control-connection
+// EOF, or a half-mutated restore (the one genuinely unrecoverable case).
 #pragma once
 
 #include <sys/types.h>
 
 #include <cstddef>
+#include <string>
 
 #include "common/status.hpp"
 #include "simgpu/types.hpp"
@@ -20,6 +33,9 @@ namespace crac::proxy {
 struct ProxyHostOptions {
   sim::DeviceConfig device;              // config for the server's GPU
   std::size_t staging_bytes = std::size_t{160} << 20;
+  // Worker threads for concurrent checkpoint sessions (SHIP/RECV streams
+  // run here while the event loop keeps serving RPCs).
+  std::size_t session_threads = 4;
 };
 
 class ProxyHost {
@@ -35,17 +51,28 @@ class ProxyHost {
   int fd() const noexcept { return fd_; }
   pid_t pid() const noexcept { return pid_; }
 
+  // Opens a new client channel to the server's listening socket. The caller
+  // owns the returned fd. Channels are peers of the control connection for
+  // every verb; the server lives until the *control* connection closes, so
+  // extra channels can come and go freely.
+  Result<int> connect() const;
+
   // Sends shutdown and reaps the child.
   void shutdown();
 
  private:
-  ProxyHost(int fd, pid_t pid) : fd_(fd), pid_(pid) {}
+  ProxyHost(int fd, pid_t pid, std::string listen_addr)
+      : fd_(fd), pid_(pid), listen_addr_(std::move(listen_addr)) {}
 
   // Child-side entry point; never returns.
-  [[noreturn]] static void serve(int fd, const ProxyHostOptions& options);
+  [[noreturn]] static void serve(int control_fd, int listen_fd,
+                                 const ProxyHostOptions& options);
 
   int fd_ = -1;
   pid_t pid_ = -1;
+  // Abstract-namespace autobind address of the listening socket: the raw
+  // sun_path bytes (leading NUL included), captured before fork.
+  std::string listen_addr_;
 };
 
 }  // namespace crac::proxy

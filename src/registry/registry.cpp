@@ -1,0 +1,73 @@
+#include "registry/registry.hpp"
+
+namespace crac::registry {
+
+CheckpointRegistry::CheckpointRegistry() : CheckpointRegistry(Options{}) {}
+
+CheckpointRegistry::CheckpointRegistry(const Options& options)
+    : store_(std::make_shared<ChunkStore>(
+          ChunkStore::Options{options.slab_bytes})) {}
+
+std::unique_ptr<RegistrySink> CheckpointRegistry::begin_put(std::string name) {
+  return std::make_unique<RegistrySink>(std::move(name), store_);
+}
+
+Status CheckpointRegistry::commit(RegistrySink& sink) {
+  std::shared_ptr<StoredImage> image = sink.take_image();
+  if (image == nullptr) {
+    return FailedPrecondition(
+        "registry commit of a sink that did not close cleanly");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Replacement drops the old shared_ptr; open sources keep the old image
+  // (and its chunks) alive until they finish streaming it.
+  images_[image->name()] = std::move(image);
+  return OkStatus();
+}
+
+Result<std::unique_ptr<RegistrySource>> CheckpointRegistry::open(
+    const std::string& name) const {
+  std::shared_ptr<const StoredImage> image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = images_.find(name);
+    if (it == images_.end()) {
+      return NotFound("registry has no image named '" + name + "'");
+    }
+    image = it->second;
+  }
+  return std::make_unique<RegistrySource>(std::move(image));
+}
+
+std::vector<ImageInfo> CheckpointRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ImageInfo> out;
+  out.reserve(images_.size());
+  for (const auto& [name, image] : images_) {
+    out.push_back({name, image->image_bytes(), image->chunk_count()});
+  }
+  return out;
+}
+
+RegistryStats CheckpointRegistry::stats() const {
+  RegistryStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.images = images_.size();
+    for (const auto& [name, image] : images_) {
+      s.logical_bytes += image->image_bytes();
+    }
+  }
+  s.store = store_->stats();
+  return s;
+}
+
+Status CheckpointRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (images_.erase(name) == 0) {
+    return NotFound("registry has no image named '" + name + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace crac::registry

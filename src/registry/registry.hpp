@@ -1,0 +1,76 @@
+// The checkpoint registry: named images over one shared chunk store.
+//
+// A registry holds checkpoint images by name, deduplicated chunk-wise
+// through the content-addressed ChunkStore. Ingest is streaming (begin_put
+// hands out a RegistrySink the transport pumps into; commit() publishes the
+// parsed image under its name), serve is fan-out (open() hands any number
+// of concurrent RegistrySources over one immutable StoredImage — M
+// receivers restoring from one stored checkpoint, the one-to-many half of
+// fleet migration). All naming operations are mutex-guarded; payload bytes
+// move outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "registry/image_io.hpp"
+#include "registry/store.hpp"
+
+namespace crac::registry {
+
+struct ImageInfo {
+  std::string name;
+  std::uint64_t image_bytes = 0;  // logical (wire) size of the image
+  std::uint64_t chunk_count = 0;
+};
+
+struct RegistryStats {
+  std::uint64_t images = 0;
+  std::uint64_t logical_bytes = 0;  // sum of stored images' wire sizes
+  ChunkStore::Stats store;
+};
+
+class CheckpointRegistry {
+ public:
+  struct Options {
+    std::size_t slab_bytes = std::size_t{1} << 20;
+  };
+
+  CheckpointRegistry();
+  explicit CheckpointRegistry(const Options& options);
+
+  CheckpointRegistry(const CheckpointRegistry&) = delete;
+  CheckpointRegistry& operator=(const CheckpointRegistry&) = delete;
+
+  // Streaming ingest: pump image bytes into the sink, close it, then
+  // commit(). A sink that is dropped (or whose close fails) costs nothing —
+  // its partial chunk references die with it.
+  std::unique_ptr<RegistrySink> begin_put(std::string name);
+
+  // Publishes a successfully closed sink's image under its name, replacing
+  // any previous image of that name (whose chunks are released once its
+  // last open source drops).
+  Status commit(RegistrySink& sink);
+
+  // A fresh source over the named image; shares the image with every other
+  // open source. NotFound when the name is absent.
+  Result<std::unique_ptr<RegistrySource>> open(const std::string& name) const;
+
+  std::vector<ImageInfo> list() const;
+  RegistryStats stats() const;
+  Status remove(const std::string& name);
+
+  const std::shared_ptr<ChunkStore>& store() const noexcept { return store_; }
+
+ private:
+  std::shared_ptr<ChunkStore> store_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<StoredImage>> images_;
+};
+
+}  // namespace crac::registry

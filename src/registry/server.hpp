@@ -1,0 +1,91 @@
+// The registry server process: a checkpoint registry behind the proxy wire.
+//
+// RegistryHost forks a child that runs a proxy::EventLoop (the same
+// non-blocking serving core as the proxy device server) over a control
+// socketpair plus an abstract-namespace listening socket, and serves the
+// registry verbs:
+//
+//   PUT_CKPT  — request payload names the image; a CRACSHP1-framed
+//               checkpoint stream follows. A session pumps it into a
+//               RegistrySink: chunks land content-addressed (deduplicated)
+//               as they arrive, and the sink swallows its own errors so
+//               the stream is ALWAYS fully drained — a corrupt image is
+//               rejected in-band over an intact connection, never by
+//               desyncing it. The response reports commit or rejection.
+//   GET_CKPT  — request payload names the image. Not-found answers inline
+//               (no stream); otherwise the OK response (r0 = image bytes)
+//               is followed by the reconstructed CRACSHP1 stream. Any
+//               number of GET sessions serve one stored image concurrently
+//               — the fan-out restore path (one image -> M endpoints).
+//   LIST/STAT — inline directory / store accounting.
+//
+// Concurrency mirrors the proxy server: verbs dispatch on the loop thread,
+// streams run as thread-pool sessions, a misbehaving client costs only its
+// own connection.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace crac::registry {
+
+// Wire error codes carried in ResponseHeader::err by registry verbs.
+enum class RegistryErr : std::int32_t {
+  kOk = 0,
+  kNotFound = 1,   // GET/STAT of an absent image
+  kRejected = 2,   // PUT stream failed verification / parse
+  kBadRequest = 3, // malformed name/payload, unknown verb
+};
+
+// STAT response payload (POD, both ends same binary via fork).
+struct RegistryStatsWire {
+  std::uint64_t images = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t chunk_refs = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t slab_bytes = 0;
+};
+
+struct RegistryHostOptions {
+  std::size_t slab_bytes = std::size_t{1} << 20;
+  // Worker threads for concurrent PUT/GET stream sessions.
+  std::size_t session_threads = 4;
+};
+
+class RegistryHost {
+ public:
+  static Result<RegistryHost> spawn(const RegistryHostOptions& options = {});
+
+  RegistryHost(RegistryHost&& other) noexcept;
+  RegistryHost& operator=(RegistryHost&&) = delete;
+  ~RegistryHost();
+
+  int fd() const noexcept { return fd_; }
+  pid_t pid() const noexcept { return pid_; }
+
+  // A fresh client channel to the registry's listening socket; the caller
+  // owns the fd (RegistryClient adopts one).
+  Result<int> connect() const;
+
+  // Sends shutdown on the control connection and reaps the child.
+  void shutdown();
+
+ private:
+  RegistryHost(int fd, pid_t pid, std::string listen_addr)
+      : fd_(fd), pid_(pid), listen_addr_(std::move(listen_addr)) {}
+
+  [[noreturn]] static void serve(int control_fd, int listen_fd,
+                                 const RegistryHostOptions& options);
+
+  int fd_ = -1;
+  pid_t pid_ = -1;
+  std::string listen_addr_;  // abstract-namespace autobind sun_path bytes
+};
+
+}  // namespace crac::registry

@@ -1,0 +1,130 @@
+#include "registry/store.hpp"
+
+#include <cstring>
+
+namespace crac::registry {
+
+ChunkStore::ChunkStore() : ChunkStore(Options{}) {}
+
+ChunkStore::ChunkStore(const Options& options) : options_(options) {
+  if (options_.slab_bytes == 0) options_.slab_bytes = std::size_t{1} << 20;
+}
+
+Result<std::uint64_t> ChunkStore::put(const ChunkKey& key,
+                                      const std::byte* stored,
+                                      std::size_t stored_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_key_.find(key); it != by_key_.end()) {
+    Entry& e = entries_.at(it->second);
+    if (e.size != stored_size) {
+      // Same (codec, raw size, raw CRC) but different stored bytes: the
+      // stored payload is a deterministic function of the raw bytes under
+      // one codec, so this is either a genuine CRC32 collision or a
+      // corrupted frame. Refuse rather than alias.
+      return Corrupt("chunk store key collision: stored sizes " +
+                     std::to_string(e.size) + " vs " +
+                     std::to_string(stored_size) + " under one key");
+    }
+    ++e.refs;
+    ++dedup_hits_;
+    return it->second;
+  }
+
+  // Place the payload: bump into the current slab, or open a fresh one (a
+  // chunk larger than the slab capacity gets a dedicated slab — it still
+  // reclaims whole, just alone).
+  const std::size_t need = stored_size;
+  const bool have_room =
+      current_slab_ != SIZE_MAX &&
+      slabs_[current_slab_].capacity - slabs_[current_slab_].used >= need;
+  if (!have_room) {
+    const std::size_t cap = need > options_.slab_bytes ? need
+                                                       : options_.slab_bytes;
+    // Reuse a reclaimed slot so the vector (and entry slab indices) stay
+    // stable without growing forever.
+    std::size_t slot = slabs_.size();
+    for (std::size_t i = 0; i < slabs_.size(); ++i) {
+      if (slabs_[i].data == nullptr) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == slabs_.size()) slabs_.emplace_back();
+    Slab& slab = slabs_[slot];
+    slab.data = std::make_unique<std::byte[]>(cap);
+    slab.capacity = cap;
+    slab.used = 0;
+    slab.live = 0;
+    current_slab_ = slot;
+  }
+  Slab& slab = slabs_[current_slab_];
+  const std::size_t offset = slab.used;
+  if (need > 0) std::memcpy(slab.data.get() + offset, stored, need);
+  slab.used += need;
+  ++slab.live;
+
+  const std::uint64_t id = next_id_++;
+  entries_.emplace(id, Entry{key, current_slab_, offset, stored_size, 1});
+  by_key_.emplace(key, id);
+  return id;
+}
+
+void ChunkStore::add_ref(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) ++it->second.refs;
+}
+
+void ChunkStore::release(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || --it->second.refs > 0) return;
+  Slab& slab = slabs_[it->second.slab];
+  by_key_.erase(it->second.key);
+  const std::size_t slab_index = it->second.slab;
+  entries_.erase(it);
+  if (--slab.live == 0) {
+    // Whole-slab reclaim: every payload in it is dead, so the memory goes
+    // back in one free instead of per-chunk bookkeeping.
+    slab.data.reset();
+    slab.capacity = 0;
+    slab.used = 0;
+    if (current_slab_ == slab_index) current_slab_ = SIZE_MAX;
+  }
+}
+
+ChunkStore::View ChunkStore::view(std::uint64_t id) const {
+  // Entry lookup under the lock; the returned pointer stays valid without
+  // it because the caller's reference pins both the entry and its slab.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return {};
+  const Slab& slab = slabs_[it->second.slab];
+  return {slab.data.get() + it->second.offset, it->second.size};
+}
+
+ChunkKey ChunkStore::key_of(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  return it == entries_.end() ? ChunkKey{} : it->second.key;
+}
+
+ChunkStore::Stats ChunkStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.unique_chunks = entries_.size();
+  s.dedup_hits = dedup_hits_;
+  for (const auto& [id, e] : entries_) {
+    s.chunk_refs += e.refs;
+    s.stored_bytes += e.size;
+  }
+  for (const auto& slab : slabs_) {
+    if (slab.data != nullptr) {
+      ++s.slab_count;
+      s.slab_bytes += slab.capacity;
+    }
+  }
+  return s;
+}
+
+}  // namespace crac::registry

@@ -1,0 +1,123 @@
+// Content-addressed chunk store for the checkpoint registry.
+//
+// Checkpoint images arriving at the registry are decomposed into their
+// CRACIMG2 chunk frames, and every chunk's *stored* bytes are interned here
+// under the key (codec id, raw size, CRC32 of the raw bytes). Two images
+// that share content — consecutive checkpoints of the same job, replicas of
+// one training state — share the chunks themselves, so N similar images
+// cost little more than one. The codec id is part of the key on purpose: a
+// kStore chunk and an kLz chunk may describe the same raw bytes, but their
+// stored payloads differ, and a serve regenerates frame headers from the
+// key — cross-codec aliasing would corrupt the reconstructed image.
+//
+// Memory comes from refcounted slabs (the veeamsnap blk_descr_pool idiom):
+// payloads bump-allocate into a fixed-capacity current slab, each slab
+// counts its live entries, and a slab is reclaimed whole when its last
+// entry's refcount drops to zero. Slabs never move once allocated, so a
+// payload view taken under an entry reference stays valid without holding
+// the store lock — readers stream chunk payloads lock-free while writers
+// intern new ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace crac::registry {
+
+struct ChunkKey {
+  std::uint32_t codec = 0;     // what the stored bytes are encoded with
+  std::uint64_t raw_size = 0;  // decoded payload size
+  std::uint32_t crc = 0;       // CRC32 of the decoded payload
+
+  friend bool operator<(const ChunkKey& a, const ChunkKey& b) noexcept {
+    if (a.crc != b.crc) return a.crc < b.crc;
+    if (a.raw_size != b.raw_size) return a.raw_size < b.raw_size;
+    return a.codec < b.codec;
+  }
+};
+
+class ChunkStore {
+ public:
+  struct Options {
+    // Capacity of one payload slab. Oversized chunks get a dedicated slab
+    // of exactly their size.
+    std::size_t slab_bytes = std::size_t{1} << 20;
+  };
+
+  struct Stats {
+    std::uint64_t unique_chunks = 0;  // live interned chunks
+    std::uint64_t chunk_refs = 0;     // sum of live refcounts
+    std::uint64_t dedup_hits = 0;     // put() calls answered by an existing
+                                      // entry (lifetime counter)
+    std::uint64_t stored_bytes = 0;   // payload bytes of live chunks
+    std::uint64_t slab_bytes = 0;     // capacity currently allocated
+    std::uint64_t slab_count = 0;     // live slabs
+  };
+
+  // Borrowed payload view; valid while the caller holds a reference on the
+  // entry (slabs never move, and a referenced entry's slab is never
+  // reclaimed).
+  struct View {
+    const std::byte* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  ChunkStore();
+  explicit ChunkStore(const Options& options);
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  // Interns `stored` under `key`, or bumps the refcount of the existing
+  // entry with that key (`stored` must then match its payload size — a
+  // mismatch means the key lied and is rejected). Returns the entry id; the
+  // caller owns one reference.
+  Result<std::uint64_t> put(const ChunkKey& key, const std::byte* stored,
+                            std::size_t stored_size);
+
+  // Additional reference on an existing entry (e.g. a second image reusing
+  // a chunk already referenced by its sink).
+  void add_ref(std::uint64_t id);
+
+  // Drops one reference; at zero the entry dies, and a slab whose last
+  // entry died is reclaimed whole.
+  void release(std::uint64_t id);
+
+  // Payload bytes of a referenced entry. Lock-free (see View).
+  View view(std::uint64_t id) const;
+  ChunkKey key_of(std::uint64_t id) const;
+
+  Stats stats() const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;   // bump cursor
+    std::size_t live = 0;   // entries still referenced
+  };
+
+  struct Entry {
+    ChunkKey key;
+    std::size_t slab = 0;
+    std::size_t offset = 0;
+    std::size_t size = 0;  // stored payload bytes
+    std::uint64_t refs = 0;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<Slab> slabs_;              // index-stable; reclaimed in place
+  std::size_t current_slab_ = SIZE_MAX;  // bump target, SIZE_MAX = none
+  std::map<std::uint64_t, Entry> entries_;
+  std::map<ChunkKey, std::uint64_t> by_key_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dedup_hits_ = 0;
+};
+
+}  // namespace crac::registry
