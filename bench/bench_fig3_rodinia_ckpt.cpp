@@ -159,6 +159,15 @@ struct BenchJson {
     std::uint64_t dedup_single_bytes = 0;  // registry bytes after image 1
     std::uint64_t dedup_pair_bytes = 0;    // registry bytes after image 2
   };
+  struct RegistryRecovery {
+    std::size_t images = 0;
+    std::uint64_t stored_bytes = 0;     // deduped payload bytes on disk
+    std::uint64_t slab_file_bytes = 0;  // chunks.slab size at recovery
+    double put_s = -1;      // wall time to PUT the corpus
+    double recover_s = -1;  // cold recover() over the same directory;
+                            // -1 also flags a corpus/verification failure
+    double recover_mbs = -1;
+  };
 
   std::vector<Rodinia> rodinia;
   double serial_write_mbs = 0, serial_restore_mbs = 0;
@@ -171,6 +180,7 @@ struct BenchJson {
   std::vector<Delta> delta;
   std::vector<CowPause> cow_pause;
   std::vector<Fleet> fleet;
+  std::vector<RegistryRecovery> registry_recovery;
 
   static std::string num(double v) {
     char buf[32];
@@ -299,6 +309,18 @@ struct BenchJson {
            ", \"dedup_single_bytes\": " + num(c.dedup_single_bytes) +
            ", \"dedup_pair_bytes\": " + num(c.dedup_pair_bytes) + "}";
       s += i + 1 < fleet.size() ? ",\n" : "\n";
+    }
+    s += "  ],\n";
+    s += "  \"registry_recovery\": [\n";
+    for (std::size_t i = 0; i < registry_recovery.size(); ++i) {
+      const auto& c = registry_recovery[i];
+      s += "    {\"images\": " + num(static_cast<std::uint64_t>(c.images)) +
+           ", \"stored_bytes\": " + num(c.stored_bytes) +
+           ", \"slab_file_bytes\": " + num(c.slab_file_bytes) +
+           ", \"put_s\": " + num(c.put_s) +
+           ", \"recover_s\": " + num(c.recover_s) +
+           ", \"recover_mbs\": " + num(c.recover_mbs) + "}";
+      s += i + 1 < registry_recovery.size() ? ",\n" : "\n";
     }
     s += "  ]\n}\n";
     return s;
@@ -1412,6 +1434,91 @@ void run_delta_sweep(BenchJson& json) {
   for (const auto& p : cleanup) std::remove(p.c_str());
 }
 
+// ---- durable registry recovery sweep --------------------------------------
+//
+// Builds a durable registry corpus (N committed images, distinct synthetic
+// payloads so dedup does not collapse the slab), drops the in-memory
+// registry, then times a cold recover() of a fresh registry over the same
+// directory — the restart path the kill-and-recover campaign proves correct
+// and this sweep prices. A row whose recovery fails (or serves the wrong
+// image count) reports recover_s = -1; the CI bench smoke gates on that.
+void run_registry_recovery_sweep(BenchJson& json) {
+  using namespace crac;
+  const std::size_t image_kb = static_cast<std::size_t>(
+      env_int("CRAC_BENCH_REGISTRY_KB", quick() ? 256 : 1024));
+  std::vector<std::size_t> counts = {4, 16, 64};
+  if (quick()) counts = {2, 8};
+
+  std::printf("\ndurable registry recovery (N committed images of %zuKB, "
+              "cold recover() over the directory):\n", image_kb);
+  std::printf("  %-8s %12s %12s %10s %12s %12s\n", "images", "stored",
+              "slab file", "put (s)", "recover (s)", "recover MB/s");
+
+  const std::string dir =
+      "/tmp/crac_bench_registry_" + std::to_string(::getpid());
+  auto scrub = [&dir] {
+    for (const char* f : {"chunks.slab", "wal.log", "manifest",
+                          "manifest.tmp", "chunks.slab.tmp"}) {
+      std::remove((dir + "/" + f).c_str());
+    }
+    ::rmdir(dir.c_str());
+  };
+
+  for (const std::size_t images : counts) {
+    scrub();
+    registry::RegistryOptions opts;
+    opts.dir = dir;
+    BenchJson::RegistryRecovery row;
+    row.images = images;
+    bool ok = true;
+    WallTimer put_timer;
+    {
+      registry::CheckpointRegistry reg(opts);
+      ok = reg.recover().ok();
+      for (std::size_t i = 0; i < images && ok; ++i) {
+        std::vector<std::byte> payload(image_kb << 10);
+        for (std::size_t b = 0; b < payload.size(); ++b) {
+          payload[b] = static_cast<std::byte>((b * 13 + i * 131 + 7) & 0xFF);
+        }
+        ckpt::ImageWriter w(ckpt::Codec::kStore);
+        w.add_section(ckpt::SectionType::kDeviceBuffers, "device-arena",
+                      std::move(payload));
+        const auto image = w.serialize();
+        auto sink = reg.begin_put("img-" + std::to_string(i));
+        ok = sink->write(image.data(), image.size()).ok() &&
+             sink->close().ok() && reg.commit(*sink).ok();
+      }
+      if (ok) {
+        row.put_s = put_timer.elapsed_s();
+        row.stored_bytes = reg.stats().store.stored_bytes;
+        row.slab_file_bytes = reg.stats().disk.slab_file_bytes;
+      }
+    }  // registry destroyed: only the directory survives
+
+    if (ok) {
+      registry::CheckpointRegistry fresh(opts);
+      WallTimer recover_timer;
+      const bool recovered = fresh.recover().ok();
+      const double recover_s = recover_timer.elapsed_s();
+      if (recovered && fresh.stats().images == images) {
+        row.recover_s = recover_s;
+        row.recover_mbs = static_cast<double>(row.stored_bytes) / (1 << 20) /
+                          std::max(recover_s, 1e-9);
+      }
+    }
+    json.registry_recovery.push_back(row);
+    if (row.recover_s < 0) {
+      std::printf("  %4zu     FAILED\n", images);
+      continue;
+    }
+    std::printf("  %4zu %12s %12s %10.4f %12.4f %12.1f\n", images,
+                format_size(row.stored_bytes).c_str(),
+                format_size(row.slab_file_bytes).c_str(), row.put_s,
+                row.recover_s, row.recover_mbs);
+  }
+  scrub();
+}
+
 }  // namespace
 
 int main() {
@@ -1587,6 +1694,15 @@ int main() {
               "memory, residency), and delta time should fall with it. "
               "delta_test asserts chain restores are byte-identical to full "
               "ones.\n");
+
+  run_registry_recovery_sweep(json);
+  std::printf("\nshape check (registry recovery): recover time should grow "
+              "roughly linearly with stored bytes (one sequential slab scan "
+              "plus manifest/WAL replay) and stay far under re-PUTting the "
+              "corpus; every row must recover the exact committed image "
+              "count (registry_durability_test asserts byte-identity and "
+              "the kill-point invariants; the CI bench smoke asserts every "
+              "row recovered).\n");
 
   const char* json_path = std::getenv("CRAC_BENCH_JSON");
   const std::string out_path =

@@ -144,25 +144,44 @@ Result<std::vector<std::byte>> materialize_depth(const std::string& path,
                    std::to_string(kMaxDeltaChainDepth) +
                    " images (parent cycle?)");
   }
-  CRAC_ASSIGN_OR_RETURN(auto reader, ImageReader::from_file(path));
-  if (!reader.is_delta()) return read_file_bytes(path);
-  CRAC_RETURN_IF_ERROR(reader.scan_to_end());
-
+  CRAC_ASSIGN_OR_RETURN(auto bytes, read_file_bytes(path));
+  CRAC_ASSIGN_OR_RETURN(
+      auto reader, ImageReader::from_bytes(std::vector<std::byte>(bytes)));
+  if (!reader.is_delta()) return bytes;
   if (reader.parent_path().empty()) {
     return Corrupt("delta image '" + path + "' names no parent path");
   }
   CRAC_ASSIGN_OR_RETURN(auto parent_bytes,
                         materialize_depth(reader.parent_path(), depth + 1));
-  CRAC_ASSIGN_OR_RETURN(auto parent,
-                        ImageReader::from_bytes(std::move(parent_bytes)));
+  auto merged = apply_delta_image(std::move(bytes), std::move(parent_bytes));
+  if (!merged.ok()) {
+    return Status(merged.status().code(),
+                  "delta image '" + path + "' (parent '" +
+                      reader.parent_path() + "'): " +
+                      merged.status().message());
+  }
+  return merged;
+}
 
-  // Identity gate: the parent file must be the image the delta was computed
-  // against, not merely a file at the remembered path.
+}  // namespace
+
+Result<std::vector<std::byte>> apply_delta_image(
+    std::vector<std::byte> delta_image, std::vector<std::byte> parent_full) {
+  CRAC_ASSIGN_OR_RETURN(auto reader,
+                        ImageReader::from_bytes(std::move(delta_image)));
+  if (!reader.is_delta()) {
+    return InvalidArgument("apply_delta_image over a non-delta image");
+  }
+  CRAC_RETURN_IF_ERROR(reader.scan_to_end());
+  CRAC_ASSIGN_OR_RETURN(auto parent,
+                        ImageReader::from_bytes(std::move(parent_full)));
+
+  // Identity gate: the parent bytes must be the image the delta was
+  // computed against, not merely whatever sits under the remembered name.
   auto parent_id = read_image_id(parent);
   if (!parent_id.ok() || *parent_id != reader.parent_id()) {
-    return Corrupt("delta image '" + path + "' expects parent image id '" +
-                   reader.parent_id() + "' but '" + reader.parent_path() +
-                   "' holds " +
+    return Corrupt("delta expects parent image id '" + reader.parent_id() +
+                   "' but its materialized parent holds " +
                    (parent_id.ok() ? "id '" + *parent_id + "'"
                                    : std::string("no image id")));
   }
@@ -188,8 +207,6 @@ Result<std::vector<std::byte>> materialize_depth(const std::string& path,
   CRAC_RETURN_IF_ERROR(writer.finish());
   return std::move(sink).take();
 }
-
-}  // namespace
 
 Result<std::vector<std::byte>> materialize_image_chain(
     const std::string& path) {

@@ -61,6 +61,15 @@ Status read_delta_section_header(SectionStream& stream,
 // image predates image ids.
 Result<std::string> read_image_id(ImageReader& reader);
 
+// Merges one v4 delta image onto its fully-materialized parent: verifies
+// the parent bytes' embedded image-id against the delta's parent_id (named
+// Corrupt on mismatch), applies every kDeltaChunks section, and returns the
+// merged full image bytes. This is the path-free core of
+// materialize_image_chain — the checkpoint registry folds stored chains
+// through it server-side, where images are named entries, not files.
+Result<std::vector<std::byte>> apply_delta_image(
+    std::vector<std::byte> delta_image, std::vector<std::byte> parent_full);
+
 // Materializes the full image equivalent to the chain ending at `path`:
 // resolves parents by the path hint, verifies each parent's embedded
 // image-id against the child's parent_id (named Corrupt on mismatch),

@@ -26,6 +26,9 @@ Status err_to_status(std::int32_t wire_err) {
       return InvalidArgument("registry: image rejected");
     case RegistryErr::kBadRequest:
       return InvalidArgument("registry: bad request");
+    case RegistryErr::kNoParent:
+      return FailedPrecondition(
+          "registry: delta parent image was never PUT");
   }
   return Corrupt("registry: unknown wire error code");
 }
@@ -165,6 +168,10 @@ Result<std::vector<ImageInfo>> RegistryClient::list() {
     CRAC_RETURN_IF_ERROR(in.get_string(info.name));
     CRAC_RETURN_IF_ERROR(in.get_u64(info.image_bytes));
     CRAC_RETURN_IF_ERROR(in.get_u64(info.chunk_count));
+    std::uint8_t delta = 0;
+    CRAC_RETURN_IF_ERROR(in.get_u8(delta));
+    info.delta = delta != 0;
+    CRAC_RETURN_IF_ERROR(in.get_string(info.parent_id));
     out.push_back(std::move(info));
   }
   return out;

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/bytes.hpp"
+#include "ckpt/delta.hpp"
+#include "ckpt/image.hpp"
 
 namespace crac::registry {
 
@@ -79,6 +81,15 @@ Status RegistrySink::admit_chunk() {
     return Corrupt("chunk decoded to " + std::to_string(decoded.raw.size()) +
                    " bytes, frame declared " +
                    std::to_string(frame_.raw_size));
+  }
+  // The image's identity rides inside it as the "image-id" metadata
+  // section; capture its raw bytes so the registry can resolve delta
+  // parent edges by id without re-parsing stored images.
+  if (cur_section_type_ ==
+          static_cast<std::uint32_t>(ckpt::SectionType::kMetadata) &&
+      cur_section_name_ == ckpt::kSectionImageId) {
+    image_->image_id_.append(reinterpret_cast<const char*>(decoded.raw.data()),
+                             decoded.raw.size());
   }
   ChunkKey key;
   key.codec = frame_.codec;
@@ -180,6 +191,14 @@ Status RegistrySink::consume() {
         ++stage_;
       }
       if (stage_ >= 4) {
+        // buf_ holds the complete [string parent_id][string parent_path]
+        // pair; capture both so the registry can record the chain edge.
+        ByteReader parent(buf_.data(), buf_.size());
+        CRAC_RETURN_IF_ERROR(parent.get_string(image_->parent_id_));
+        CRAC_RETURN_IF_ERROR(parent.get_string(image_->parent_path_));
+        if (image_->parent_id_.empty()) {
+          return Corrupt("v4 delta image with an empty parent id");
+        }
         append_literal(buf_.data(), buf_.size());
         buf_.clear();
         state_ = State::kSectionHeader;
@@ -203,6 +222,9 @@ Status RegistrySink::consume() {
           return OkStatus();
         }
       }
+      cur_section_type_ = get_u32_at(buf_, 0);
+      cur_section_name_.assign(reinterpret_cast<const char*>(buf_.data()) + 8,
+                               buf_.size() - 8);
       append_literal(buf_.data(), buf_.size());
       buf_.clear();
       state_ = State::kChunkHeader;

@@ -27,6 +27,7 @@
 // any number of concurrent sources: the fan-out restore path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -67,13 +68,44 @@ class StoredImage {
   std::uint64_t raw_payload_bytes() const noexcept { return raw_bytes_; }
   ckpt::ChunkFraming framing() const noexcept { return framing_; }
 
+  // Chain identity, captured during ingest: the image's own embedded
+  // "image-id" metadata payload, and (v4 deltas) the parent named by the
+  // header. parent_image() is the registry-resolved edge — the parent's
+  // StoredImage once both ends are in the directory, null while the parent
+  // is absent (GET of such an orphan delta is refused by name). A child's
+  // shared_ptr pins the parent — and transitively its chunks — even if the
+  // parent is later replaced under its name.
+  const std::string& image_id() const noexcept { return image_id_; }
+  const std::string& parent_id() const noexcept { return parent_id_; }
+  const std::string& parent_path() const noexcept { return parent_path_; }
+  bool is_delta() const noexcept { return !parent_id_.empty(); }
+  std::shared_ptr<const StoredImage> parent_image() const noexcept {
+    return parent_image_;
+  }
+
+  // Live RegistrySource count over this image; eviction refuses images a
+  // GET session is still streaming.
+  std::uint64_t open_readers() const noexcept {
+    return open_readers_.load(std::memory_order_acquire);
+  }
+
   const std::vector<Segment>& segments() const noexcept { return segments_; }
   const std::vector<std::byte>& literals() const noexcept { return literals_; }
   const ChunkStore& store() const noexcept { return *store_; }
 
  private:
   friend class RegistrySink;
+  friend class RegistrySource;
+  friend class CheckpointRegistry;  // rebuilds images from durable records,
+                                    // resolves parent edges
   StoredImage() = default;
+
+  void pin_reader() const noexcept {
+    open_readers_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void unpin_reader() const noexcept {
+    open_readers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
 
   std::string name_;
   std::shared_ptr<ChunkStore> store_;
@@ -83,6 +115,11 @@ class StoredImage {
   std::uint64_t image_bytes_ = 0;
   std::uint64_t chunk_count_ = 0;
   std::uint64_t raw_bytes_ = 0;
+  std::string image_id_;
+  std::string parent_id_;
+  std::string parent_path_;
+  std::shared_ptr<const StoredImage> parent_image_;  // set under registry mu_
+  mutable std::atomic<std::uint64_t> open_readers_{0};
 };
 
 class RegistrySink final : public ckpt::Sink {
@@ -127,6 +164,8 @@ class RegistrySink final : public ckpt::Sink {
   ckpt::Codec image_codec_ = ckpt::Codec::kStore;
   std::uint64_t chunk_size_ = 0;   // declared by the image header
   ckpt::ChunkFrame frame_{};       // the frame being received
+  std::uint32_t cur_section_type_ = 0;  // section whose chunks are arriving
+  std::string cur_section_name_;
   bool closed_ = false;
   Status error_;  // first failure; reported by close()
 };
@@ -136,7 +175,13 @@ class RegistrySink final : public ckpt::Sink {
 class RegistrySource final : public ckpt::Source {
  public:
   explicit RegistrySource(std::shared_ptr<const StoredImage> image)
-      : image_(std::move(image)) {}
+      : image_(std::move(image)) {
+    image_->pin_reader();
+  }
+  ~RegistrySource() override { image_->unpin_reader(); }
+
+  RegistrySource(const RegistrySource&) = delete;
+  RegistrySource& operator=(const RegistrySource&) = delete;
 
   Status read(void* out, std::size_t size) override;
   Status seek(std::uint64_t offset) override;
@@ -145,6 +190,7 @@ class RegistrySource final : public ckpt::Source {
   std::uint64_t size() const noexcept override {
     return image_->image_bytes();
   }
+  const StoredImage& image() const noexcept { return *image_; }
   std::string describe() const override {
     return "registry image '" + image_->name() + "'";
   }

@@ -1,15 +1,189 @@
 #include "registry/registry.hpp"
 
+#include <algorithm>
+
+#include "ckpt/delta.hpp"
+
 namespace crac::registry {
 
 CheckpointRegistry::CheckpointRegistry() : CheckpointRegistry(Options{}) {}
 
 CheckpointRegistry::CheckpointRegistry(const Options& options)
-    : store_(std::make_shared<ChunkStore>(
+    : options_(options),
+      store_(std::make_shared<ChunkStore>(
           ChunkStore::Options{options.slab_bytes})) {}
+
+CheckpointRegistry::~CheckpointRegistry() {
+  // Shutdown is not removal: the images about to be destroyed are still in
+  // the durable directory, so their chunk releases must NOT mark slab
+  // records dead. Detach the hooks before the member destructors run.
+  store_->set_persister(nullptr);
+  store_->set_death_watcher(nullptr);
+}
+
+Status CheckpointRegistry::recover() {
+  if (options_.dir.empty()) return OkStatus();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recovered_) {
+    return FailedPrecondition("registry: recover() called twice");
+  }
+  CRAC_ASSIGN_OR_RETURN(durable_, DurableStore::open(options_.dir));
+  CRAC_ASSIGN_OR_RETURN(auto records, durable_->recover());
+
+  // Rebuild every committed image over the in-memory store. Chunks are
+  // re-interned from the slab exactly once; each further segment naming
+  // the same key takes a reference, mirroring what ingest would have done.
+  std::map<ChunkKey, std::uint64_t> interned;
+  for (auto& rec : records) {
+    auto image = std::shared_ptr<StoredImage>(new StoredImage());
+    image->name_ = rec.name;
+    image->store_ = store_;
+    image->framing_ = static_cast<ckpt::ChunkFraming>(rec.framing);
+    image->image_bytes_ = rec.image_bytes;
+    image->raw_bytes_ = rec.raw_bytes;
+    image->image_id_ = rec.image_id;
+    image->parent_id_ = rec.parent_id;
+    image->parent_path_ = rec.parent_path;
+    image->literals_ = std::move(rec.literals);
+    for (const auto& seg : rec.segs) {
+      StoredImage::Segment s;
+      s.logical_offset = seg.logical_offset;
+      s.size = seg.size;
+      if (seg.chunk) {
+        const ChunkKey key{seg.codec, seg.raw_size, seg.crc};
+        auto it = interned.find(key);
+        std::uint64_t id = 0;
+        if (it == interned.end()) {
+          CRAC_ASSIGN_OR_RETURN(auto payload, durable_->read_chunk(key));
+          CRAC_ASSIGN_OR_RETURN(
+              id, store_->put(key, payload.data(), payload.size()));
+          interned.emplace(key, id);
+        } else {
+          id = it->second;
+          store_->add_ref(id);
+        }
+        s.entry = id;
+        s.frame.codec = seg.codec;
+        s.frame.raw_size = seg.raw_size;
+        s.frame.stored_size = seg.stored_size;
+        s.frame.crc = seg.crc;
+        ++image->chunk_count_;
+      } else {
+        s.lit_offset = seg.lit_offset;
+      }
+      image->segments_.push_back(s);
+    }
+    std::string name = image->name_;
+    images_[std::move(name)] = Rec{std::move(image), ++use_clock_};
+  }
+  for (auto& [name, rec] : images_) resolve_parent_edges_locked(rec.image);
+
+  // Hooks go live only now: loading above re-interned straight from the
+  // slab, which must not loop back into it.
+  DurableStore* durable = durable_.get();
+  store_->set_persister(
+      [durable](const ChunkKey& key, const std::byte* stored,
+                std::size_t size) {
+        return durable->append_chunk(key, stored, size);
+      });
+  store_->set_death_watcher([durable](const ChunkKey& key, std::size_t size) {
+    durable->mark_dead(key, size);
+  });
+  recovered_ = true;
+  return OkStatus();
+}
 
 std::unique_ptr<RegistrySink> CheckpointRegistry::begin_put(std::string name) {
   return std::make_unique<RegistrySink>(std::move(name), store_);
+}
+
+bool CheckpointRegistry::has_live_children_locked(
+    const StoredImage* image) const {
+  for (const auto& [name, rec] : images_) {
+    if (rec.image->parent_image_.get() == image) return true;
+  }
+  return false;
+}
+
+bool CheckpointRegistry::is_ancestor_locked(const StoredImage* maybe_ancestor,
+                                            const StoredImage* image) const {
+  const StoredImage* cur = image;
+  for (std::size_t depth = 0; cur != nullptr &&
+       depth < ckpt::kMaxDeltaChainDepth; ++depth) {
+    if (cur == maybe_ancestor) return true;
+    cur = cur->parent_image_.get();
+  }
+  return false;
+}
+
+void CheckpointRegistry::resolve_parent_edges_locked(
+    const std::shared_ptr<StoredImage>& added) {
+  // The new image's own parent edge (v4 deltas), matched by the parent's
+  // embedded image-id. The ancestry check blocks forged id cycles, which
+  // would otherwise leak a shared_ptr loop.
+  if (added->is_delta() && added->parent_image_ == nullptr) {
+    for (const auto& [name, rec] : images_) {
+      if (rec.image == added) continue;
+      if (rec.image->image_id_ == added->parent_id_ &&
+          !is_ancestor_locked(added.get(), rec.image.get())) {
+        added->parent_image_ = rec.image;
+        break;
+      }
+    }
+  }
+  // The new image may be the parent an orphan delta has been waiting for.
+  if (!added->image_id_.empty()) {
+    for (auto& [name, rec] : images_) {
+      if (rec.image == added || !rec.image->is_delta() ||
+          rec.image->parent_image_ != nullptr) {
+        continue;
+      }
+      if (rec.image->parent_id_ == added->image_id_ &&
+          !is_ancestor_locked(rec.image.get(), added.get())) {
+        rec.image->parent_image_ = added;
+      }
+    }
+  }
+}
+
+ImageRecordWire CheckpointRegistry::record_of_locked(
+    const StoredImage& image) const {
+  ImageRecordWire rec;
+  rec.name = image.name_;
+  rec.framing = static_cast<std::uint32_t>(image.framing_);
+  rec.image_bytes = image.image_bytes_;
+  rec.raw_bytes = image.raw_bytes_;
+  rec.image_id = image.image_id_;
+  rec.parent_id = image.parent_id_;
+  rec.parent_path = image.parent_path_;
+  rec.literals = image.literals_;
+  rec.segs.reserve(image.segments_.size());
+  for (const auto& seg : image.segments_) {
+    ImageRecordWire::Seg s;
+    s.logical_offset = seg.logical_offset;
+    s.size = seg.size;
+    s.chunk = seg.entry != StoredImage::Segment::kNoEntry;
+    if (s.chunk) {
+      s.codec = seg.frame.codec;
+      s.raw_size = seg.frame.raw_size;
+      s.stored_size = seg.frame.stored_size;
+      s.crc = seg.frame.crc;
+    } else {
+      s.lit_offset = seg.lit_offset;
+    }
+    rec.segs.push_back(s);
+  }
+  return rec;
+}
+
+std::vector<ImageRecordWire> CheckpointRegistry::snapshot_records_locked()
+    const {
+  std::vector<ImageRecordWire> out;
+  out.reserve(images_.size());
+  for (const auto& [name, rec] : images_) {
+    out.push_back(record_of_locked(*rec.image));
+  }
+  return out;
 }
 
 Status CheckpointRegistry::commit(RegistrySink& sink) {
@@ -19,14 +193,51 @@ Status CheckpointRegistry::commit(RegistrySink& sink) {
         "registry commit of a sink that did not close cleanly");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.dir.empty() && !recovered_) {
+    return FailedPrecondition(
+        "registry: durable dir configured but recover() was not called");
+  }
+  auto prev = images_.find(image->name_);
+  if (prev != images_.end() &&
+      has_live_children_locked(prev->second.image.get())) {
+    return FailedPrecondition(
+        "registry: image '" + image->name_ +
+        "' has live delta children; replacing it would orphan their chains");
+  }
+  if (durable_ != nullptr) {
+    // The staged commit: every chunk is already appended (the persister ran
+    // as the stream was parsed, strictly after each chunk decode-verified,
+    // and the transport trailer verified before commit() was ever called).
+    // Sync the slab, then the WAL record makes the image durable — a crash
+    // anywhere before that sync+append leaves the PUT invisible.
+    CRAC_RETURN_IF_ERROR(durable_->sync_chunks());
+    CRAC_RETURN_IF_ERROR(durable_->log_commit(record_of_locked(*image)));
+  }
   // Replacement drops the old shared_ptr; open sources keep the old image
   // (and its chunks) alive until they finish streaming it.
-  images_[image->name()] = std::move(image);
+  images_[image->name_] = Rec{image, ++use_clock_};
+  resolve_parent_edges_locked(image);
+  auto_evict_locked(image.get());
+  if (durable_ != nullptr) return fold_and_compact_locked();
+  return OkStatus();
+}
+
+Status CheckpointRegistry::fold_and_compact_locked() {
+  if (durable_->wal_bytes() > options_.wal_checkpoint_bytes) {
+    CRAC_RETURN_IF_ERROR(durable_->checkpoint(snapshot_records_locked()));
+  }
+  // Compact once dead slab weight rivals the live payload (plus a floor so
+  // tiny registries don't rewrite the file over crumbs).
+  const auto disk = durable_->disk_stats();
+  if (disk.dead_bytes > (std::uint64_t{64} << 10) &&
+      disk.dead_bytes * 2 > disk.live_bytes) {
+    CRAC_RETURN_IF_ERROR(durable_->compact());
+  }
   return OkStatus();
 }
 
 Result<std::unique_ptr<RegistrySource>> CheckpointRegistry::open(
-    const std::string& name) const {
+    const std::string& name) {
   std::shared_ptr<const StoredImage> image;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -34,17 +245,131 @@ Result<std::unique_ptr<RegistrySource>> CheckpointRegistry::open(
     if (it == images_.end()) {
       return NotFound("registry has no image named '" + name + "'");
     }
-    image = it->second;
+    it->second.last_use = ++use_clock_;
+    image = it->second.image;
   }
   return std::make_unique<RegistrySource>(std::move(image));
+}
+
+Result<std::vector<std::byte>> CheckpointRegistry::materialize(
+    const std::string& name) {
+  // Pin the whole chain (leaf..base) with reader sources under the lock,
+  // then fold outside it — concurrent evictions see the pins and refuse.
+  std::vector<std::unique_ptr<RegistrySource>> chain;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = images_.find(name);
+    if (it == images_.end()) {
+      return NotFound("registry has no image named '" + name + "'");
+    }
+    it->second.last_use = ++use_clock_;
+    std::shared_ptr<const StoredImage> cur = it->second.image;
+    for (std::size_t depth = 0;; ++depth) {
+      if (depth >= ckpt::kMaxDeltaChainDepth) {
+        return Corrupt("registry: delta chain at '" + name + "' exceeds " +
+                       std::to_string(ckpt::kMaxDeltaChainDepth) +
+                       " images (parent cycle?)");
+      }
+      chain.push_back(std::make_unique<RegistrySource>(cur));
+      if (!cur->is_delta()) break;
+      std::shared_ptr<const StoredImage> parent = cur->parent_image();
+      if (parent == nullptr) {
+        return FailedPrecondition(
+            "registry: delta image '" + cur->name() + "' parent (image id '" +
+            cur->parent_id() + "') was never PUT");
+      }
+      // Keep every link of a hot chain warm in the LRU: evicting a pinned
+      // parent is refused anyway, but a stale stamp would make it the
+      // perpetual next-in-line.
+      for (auto& [pname, rec] : images_) {
+        if (rec.image == parent) rec.last_use = ++use_clock_;
+      }
+      cur = std::move(parent);
+    }
+  }
+  auto read_all =
+      [](RegistrySource& src) -> Result<std::vector<std::byte>> {
+    std::vector<std::byte> out(src.size());
+    CRAC_RETURN_IF_ERROR(src.seek(0));
+    if (!out.empty()) CRAC_RETURN_IF_ERROR(src.read(out.data(), out.size()));
+    return out;
+  };
+  CRAC_ASSIGN_OR_RETURN(auto acc, read_all(*chain.back()));
+  for (std::size_t i = chain.size() - 1; i-- > 0;) {
+    CRAC_ASSIGN_OR_RETURN(auto delta_bytes, read_all(*chain[i]));
+    CRAC_ASSIGN_OR_RETURN(acc, ckpt::apply_delta_image(std::move(delta_bytes),
+                                                       std::move(acc)));
+  }
+  return acc;
+}
+
+Status CheckpointRegistry::drop_locked(const std::string& name,
+                                       bool allow_open_readers) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFound("registry has no image named '" + name + "'");
+  }
+  const StoredImage* image = it->second.image.get();
+  if (!allow_open_readers && image->open_readers() > 0) {
+    return FailedPrecondition("registry: image '" + name + "' has " +
+                              std::to_string(image->open_readers()) +
+                              " live GET session(s)");
+  }
+  if (has_live_children_locked(image)) {
+    return FailedPrecondition(
+        "registry: image '" + name +
+        "' has live delta children; evict or remove them first");
+  }
+  if (durable_ != nullptr) {
+    CRAC_RETURN_IF_ERROR(durable_->log_remove(name));
+  }
+  images_.erase(it);
+  return OkStatus();
+}
+
+Status CheckpointRegistry::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CRAC_RETURN_IF_ERROR(drop_locked(name, /*allow_open_readers=*/false));
+  ++evictions_;
+  if (durable_ != nullptr) return fold_and_compact_locked();
+  return OkStatus();
+}
+
+Status CheckpointRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CRAC_RETURN_IF_ERROR(drop_locked(name, /*allow_open_readers=*/true));
+  if (durable_ != nullptr) return fold_and_compact_locked();
+  return OkStatus();
+}
+
+void CheckpointRegistry::auto_evict_locked(const StoredImage* just_committed) {
+  if (options_.capacity_bytes == 0) return;
+  while (store_->stats().stored_bytes > options_.capacity_bytes) {
+    std::string victim;
+    std::uint64_t oldest = 0;
+    for (const auto& [name, rec] : images_) {
+      if (rec.image.get() == just_committed) continue;
+      if (rec.image->open_readers() > 0) continue;
+      if (has_live_children_locked(rec.image.get())) continue;
+      if (victim.empty() || rec.last_use < oldest) {
+        victim = name;
+        oldest = rec.last_use;
+      }
+    }
+    if (victim.empty()) break;  // everything left is pinned (or is the
+                                // image we just committed)
+    if (!drop_locked(victim, /*allow_open_readers=*/false).ok()) break;
+    ++evictions_;
+  }
 }
 
 std::vector<ImageInfo> CheckpointRegistry::list() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ImageInfo> out;
   out.reserve(images_.size());
-  for (const auto& [name, image] : images_) {
-    out.push_back({name, image->image_bytes(), image->chunk_count()});
+  for (const auto& [name, rec] : images_) {
+    out.push_back({name, rec.image->image_bytes(), rec.image->chunk_count(),
+                   rec.image->is_delta(), rec.image->parent_id()});
   }
   return out;
 }
@@ -54,20 +379,15 @@ RegistryStats CheckpointRegistry::stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.images = images_.size();
-    for (const auto& [name, image] : images_) {
-      s.logical_bytes += image->image_bytes();
+    s.evictions = evictions_;
+    for (const auto& [name, rec] : images_) {
+      s.logical_bytes += rec.image->image_bytes();
     }
+    s.durable = durable_ != nullptr;
+    if (durable_ != nullptr) s.disk = durable_->disk_stats();
   }
   s.store = store_->stats();
   return s;
-}
-
-Status CheckpointRegistry::remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (images_.erase(name) == 0) {
-    return NotFound("registry has no image named '" + name + "'");
-  }
-  return OkStatus();
 }
 
 }  // namespace crac::registry

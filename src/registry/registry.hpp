@@ -8,6 +8,25 @@
 // receivers restoring from one stored checkpoint, the one-to-many half of
 // fleet migration). All naming operations are mutex-guarded; payload bytes
 // move outside the lock.
+//
+// With RegistryOptions::dir set, the registry is durable: chunk payloads
+// persist to an append-only slab file as they stream in, and commit()
+// becomes a staged protocol — sync the slab, then append a WAL record
+// (the commit point, strictly after the transport trailer verified), with
+// periodic atomic manifest checkpoints (see persist.hpp). recover() over
+// the same directory rebuilds every committed image byte-identically; a
+// PUT torn anywhere short of its WAL record is invisible afterwards and
+// its slab bytes are reclaimed.
+//
+// Delta chains: a v4 delta PUT records its parent_id edge; the registry
+// resolves the edge against the directory (by each image's embedded
+// image-id) and materialize() folds the chain into one restorable full
+// image server-side. A child's resolved edge pins its parent's chunks.
+//
+// Eviction: with capacity_bytes set, commit() evicts least-recently-GET
+// images until stored payload bytes fit the budget. Images with live GET
+// sessions or resolved delta children are pinned; eviction is whole-image
+// and durable (WAL remove + slab compaction once enough bytes are dead).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +38,7 @@
 
 #include "common/status.hpp"
 #include "registry/image_io.hpp"
+#include "registry/persist.hpp"
 #include "registry/store.hpp"
 
 namespace crac::registry {
@@ -27,50 +47,111 @@ struct ImageInfo {
   std::string name;
   std::uint64_t image_bytes = 0;  // logical (wire) size of the image
   std::uint64_t chunk_count = 0;
+  bool delta = false;
+  std::string parent_id;  // empty unless delta
 };
 
 struct RegistryStats {
   std::uint64_t images = 0;
   std::uint64_t logical_bytes = 0;  // sum of stored images' wire sizes
+  std::uint64_t evictions = 0;      // lifetime capacity evictions
+  bool durable = false;
   ChunkStore::Stats store;
+  DurableStore::DiskStats disk;  // zeros when not durable
+};
+
+struct RegistryOptions {
+  std::size_t slab_bytes = std::size_t{1} << 20;
+  // Backing directory; empty = volatile in-memory registry (the PR-9
+  // behavior). Non-empty requires a recover() call before any operation.
+  std::string dir;
+  // Stored-payload budget; 0 = unbounded. Enforced by LRU eviction at
+  // commit time.
+  std::uint64_t capacity_bytes = 0;
+  // WAL size that triggers folding the directory into a fresh manifest.
+  std::uint64_t wal_checkpoint_bytes = std::uint64_t{1} << 20;
 };
 
 class CheckpointRegistry {
  public:
-  struct Options {
-    std::size_t slab_bytes = std::size_t{1} << 20;
-  };
+  using Options = RegistryOptions;
 
   CheckpointRegistry();
   explicit CheckpointRegistry(const Options& options);
+  ~CheckpointRegistry();
 
   CheckpointRegistry(const CheckpointRegistry&) = delete;
   CheckpointRegistry& operator=(const CheckpointRegistry&) = delete;
 
+  // Durable mode only: opens the backing directory, replays WAL + manifest,
+  // rebuilds every committed image, and installs the persistence hooks.
+  // Must be called (once) before any PUT/GET when options.dir is set; a
+  // no-op for in-memory registries.
+  Status recover();
+
   // Streaming ingest: pump image bytes into the sink, close it, then
   // commit(). A sink that is dropped (or whose close fails) costs nothing —
-  // its partial chunk references die with it.
+  // its partial chunk references die with it (and any slab bytes they
+  // persisted are reclaimed by compaction).
   std::unique_ptr<RegistrySink> begin_put(std::string name);
 
   // Publishes a successfully closed sink's image under its name, replacing
   // any previous image of that name (whose chunks are released once its
-  // last open source drops).
+  // last open source drops). Durable mode: the image is crash-safe once
+  // this returns OK. Refuses to replace an image with resolved delta
+  // children — that would orphan their chains on restart.
   Status commit(RegistrySink& sink);
 
-  // A fresh source over the named image; shares the image with every other
-  // open source. NotFound when the name is absent.
-  Result<std::unique_ptr<RegistrySource>> open(const std::string& name) const;
+  // A fresh source over the named image's bytes exactly as PUT (a delta
+  // image serves its delta bytes — see materialize() for the folded
+  // chain); shares the image with every other open source and counts as a
+  // use for LRU. NotFound when the name is absent.
+  Result<std::unique_ptr<RegistrySource>> open(const std::string& name);
+
+  // The full restorable image for `name`: a non-delta image's bytes
+  // verbatim, or the delta chain folded base-up via
+  // ckpt::apply_delta_image. FailedPrecondition, naming the missing
+  // parent, when a link's parent was never PUT.
+  Result<std::vector<std::byte>> materialize(const std::string& name);
+
+  // Drops the named image to reclaim its bytes. Refused (FailedPrecondition)
+  // while the image has live GET sessions or resolved delta children.
+  Status evict(const std::string& name);
 
   std::vector<ImageInfo> list() const;
   RegistryStats stats() const;
+
+  // Like evict() but tolerates open readers (their sources keep the image
+  // alive off-directory); still refuses while delta children reference it.
   Status remove(const std::string& name);
 
   const std::shared_ptr<ChunkStore>& store() const noexcept { return store_; }
+  const Options& options() const noexcept { return options_; }
 
  private:
+  struct Rec {
+    std::shared_ptr<StoredImage> image;
+    std::uint64_t last_use = 0;  // LRU stamp: bumped by open/materialize
+  };
+
+  bool has_live_children_locked(const StoredImage* image) const;
+  bool is_ancestor_locked(const StoredImage* maybe_ancestor,
+                          const StoredImage* image) const;
+  void resolve_parent_edges_locked(const std::shared_ptr<StoredImage>& added);
+  Status drop_locked(const std::string& name, bool allow_open_readers);
+  void auto_evict_locked(const StoredImage* just_committed);
+  Status fold_and_compact_locked();
+  ImageRecordWire record_of_locked(const StoredImage& image) const;
+  std::vector<ImageRecordWire> snapshot_records_locked() const;
+
+  Options options_;
   std::shared_ptr<ChunkStore> store_;
+  std::unique_ptr<DurableStore> durable_;  // null in volatile mode
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<StoredImage>> images_;
+  std::map<std::string, Rec> images_;
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  bool recovered_ = false;
 };
 
 }  // namespace crac::registry

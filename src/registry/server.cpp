@@ -62,12 +62,25 @@ Result<std::string> name_of(const std::vector<std::byte>& payload) {
                      payload.size());
 }
 
+CheckpointRegistry::Options registry_options(
+    const RegistryHostOptions& options) {
+  CheckpointRegistry::Options opts;
+  opts.slab_bytes = options.slab_bytes;
+  opts.dir = options.dir;
+  opts.capacity_bytes = options.capacity_bytes;
+  opts.wal_checkpoint_bytes = options.wal_checkpoint_bytes;
+  return opts;
+}
+
 class RegistryHandler final : public EventLoop::Handler {
  public:
   explicit RegistryHandler(const RegistryHostOptions& options)
-      : registry_(CheckpointRegistry::Options{options.slab_bytes}) {}
+      : registry_(registry_options(options)) {}
 
   void bind_loop(EventLoop* loop) { loop_ = loop; }
+
+  // Durable mode: replay the backing directory before serving.
+  Status recover() { return registry_.recover(); }
 
   std::vector<std::byte> on_oversized(const RequestHeader& req) override {
     CRAC_WARN() << "registry rejecting op="
@@ -151,6 +164,39 @@ class RegistryHandler final : public EventLoop::Handler {
           respond(conn, RegistryErr::kNotFound);
           return Dispatch::kContinue;
         }
+        if ((*source)->image().is_delta()) {
+          // Delta images serve the *materialized* chain — receivers restore
+          // full images; the chain is the registry's private storage shape.
+          // The fold can fail (parent never PUT), so the whole exchange —
+          // response header included — runs in the session, keeping the
+          // refusal in-band over an intact connection.
+          (*source).reset();  // materialize() re-pins what it needs
+          loop_->start_session(conn, [this, n = *name](int fd) {
+            auto bytes = registry_.materialize(n);
+            if (!bytes.ok()) {
+              CRAC_WARN() << "GET_CKPT '" << n << "' chain fold failed: "
+                          << bytes.status().to_string();
+              const RegistryErr err =
+                  bytes.status().code() == StatusCode::kFailedPrecondition
+                      ? RegistryErr::kNoParent
+                      : (bytes.status().code() == StatusCode::kNotFound
+                             ? RegistryErr::kNotFound
+                             : RegistryErr::kRejected);
+              return respond_fd(fd, err);
+            }
+            if (!respond_fd(fd, RegistryErr::kOk, bytes->size())) {
+              return false;
+            }
+            ckpt::SocketSink sink(fd, "registry get stream");
+            Status streamed = bytes->empty()
+                                  ? OkStatus()
+                                  : sink.write(bytes->data(), bytes->size());
+            if (streamed.ok()) return sink.close().ok();
+            CRAC_WARN() << "GET_CKPT stream failed: " << streamed.to_string();
+            return sink.abort().ok();
+          });
+          return Dispatch::kSession;
+        }
         // OK response first (the loop flushes it before the session runs),
         // then the reconstructed stream.
         respond(conn, RegistryErr::kOk, (*source)->size());
@@ -184,6 +230,8 @@ class RegistryHandler final : public EventLoop::Handler {
           out.put_string(info.name);
           out.put_u64(info.image_bytes);
           out.put_u64(info.chunk_count);
+          out.put_u8(info.delta ? 1 : 0);
+          out.put_string(info.parent_id);
         }
         respond(conn, RegistryErr::kOk, images.size(), out.data(),
                 static_cast<std::uint32_t>(out.size()));
@@ -199,6 +247,9 @@ class RegistryHandler final : public EventLoop::Handler {
         wire.dedup_hits = stats.store.dedup_hits;
         wire.stored_bytes = stats.store.stored_bytes;
         wire.slab_bytes = stats.store.slab_bytes;
+        wire.evictions = stats.evictions;
+        wire.slab_file_bytes = stats.disk.slab_file_bytes;
+        wire.wal_bytes = stats.disk.wal_bytes;
         respond(conn, RegistryErr::kOk, 0, &wire, sizeof(wire));
         return Dispatch::kContinue;
       }
@@ -317,6 +368,11 @@ void RegistryHost::serve(int control_fd, int listen_fd,
                          const RegistryHostOptions& options) {
   ThreadPool sessions(std::max<std::size_t>(1, options.session_threads));
   RegistryHandler handler(options);
+  if (Status recovered = handler.recover(); !recovered.ok()) {
+    CRAC_WARN() << "registry recovery over '" << options.dir
+                << "' failed: " << recovered.to_string();
+    _exit(3);
+  }
   EventLoop loop(&handler, &sessions);
   handler.bind_loop(&loop);
   if (!loop.add_connection(control_fd, /*control=*/true).ok()) _exit(2);

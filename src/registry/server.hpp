@@ -39,6 +39,7 @@ enum class RegistryErr : std::int32_t {
   kNotFound = 1,   // GET/STAT of an absent image
   kRejected = 2,   // PUT stream failed verification / parse
   kBadRequest = 3, // malformed name/payload, unknown verb
+  kNoParent = 4,   // GET of a delta whose parent was never PUT
 };
 
 // STAT response payload (POD, both ends same binary via fork).
@@ -50,12 +51,23 @@ struct RegistryStatsWire {
   std::uint64_t dedup_hits = 0;
   std::uint64_t stored_bytes = 0;
   std::uint64_t slab_bytes = 0;
+  std::uint64_t evictions = 0;        // lifetime capacity evictions
+  std::uint64_t slab_file_bytes = 0;  // durable mode: chunks.slab size
+  std::uint64_t wal_bytes = 0;        // durable mode: WAL past its header
 };
 
 struct RegistryHostOptions {
   std::size_t slab_bytes = std::size_t{1} << 20;
   // Worker threads for concurrent PUT/GET stream sessions.
   std::size_t session_threads = 4;
+  // Durable backing directory; empty = in-memory. The serving child runs
+  // recovery over it before accepting connections, so a host respawned on
+  // the same dir serves every previously committed image.
+  std::string dir;
+  // Stored-payload budget for LRU eviction; 0 = unbounded.
+  std::uint64_t capacity_bytes = 0;
+  // WAL size that triggers a manifest checkpoint.
+  std::uint64_t wal_checkpoint_bytes = std::uint64_t{1} << 20;
 };
 
 class RegistryHost {

@@ -30,6 +30,11 @@ Result<std::uint64_t> ChunkStore::put(const ChunkKey& key,
     return it->second;
   }
 
+  // Persist before interning: once this returns OK the stored bytes are in
+  // the slab file (unsynced — the registry syncs before its WAL commit), so
+  // the in-memory entry never gets ahead of the disk.
+  if (persister_) CRAC_RETURN_IF_ERROR(persister_(key, stored, stored_size));
+
   // Place the payload: bump into the current slab, or open a fresh one (a
   // chunk larger than the slab capacity gets a dedicated slab — it still
   // reclaims whole, just alone).
@@ -82,6 +87,7 @@ void ChunkStore::release(std::uint64_t id) {
   Slab& slab = slabs_[it->second.slab];
   by_key_.erase(it->second.key);
   const std::size_t slab_index = it->second.slab;
+  if (death_watcher_) death_watcher_(it->second.key, it->second.size);
   entries_.erase(it);
   if (--slab.live == 0) {
     // Whole-slab reclaim: every payload in it is dead, so the memory goes
@@ -107,6 +113,16 @@ ChunkKey ChunkStore::key_of(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   return it == entries_.end() ? ChunkKey{} : it->second.key;
+}
+
+void ChunkStore::set_persister(Persister persister) {
+  std::lock_guard<std::mutex> lock(mu_);
+  persister_ = std::move(persister);
+}
+
+void ChunkStore::set_death_watcher(DeathWatcher watcher) {
+  std::lock_guard<std::mutex> lock(mu_);
+  death_watcher_ = std::move(watcher);
 }
 
 ChunkStore::Stats ChunkStore::stats() const {

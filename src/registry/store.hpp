@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -94,6 +95,20 @@ class ChunkStore {
 
   Stats stats() const;
 
+  // Durability hooks (installed by a registry backed by a DurableStore;
+  // both may be null, the in-memory default). The persister runs inside
+  // put() for a chunk not yet interned, *before* the entry becomes visible
+  // — its failure fails the put, so no in-memory chunk can exist that the
+  // disk doesn't hold. The death watcher runs when an entry's last
+  // reference dies, letting the disk side mark the payload reclaimable.
+  // Both are called with the store lock held; they must not call back into
+  // this store.
+  using Persister =
+      std::function<Status(const ChunkKey&, const std::byte*, std::size_t)>;
+  using DeathWatcher = std::function<void(const ChunkKey&, std::size_t)>;
+  void set_persister(Persister persister);
+  void set_death_watcher(DeathWatcher watcher);
+
  private:
   struct Slab {
     std::unique_ptr<std::byte[]> data;
@@ -118,6 +133,8 @@ class ChunkStore {
   std::map<ChunkKey, std::uint64_t> by_key_;
   std::uint64_t next_id_ = 1;
   std::uint64_t dedup_hits_ = 0;
+  Persister persister_;
+  DeathWatcher death_watcher_;
 };
 
 }  // namespace crac::registry

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include <csignal>
+
 #include "ckpt/compressor.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/sink.hpp"
@@ -22,6 +24,7 @@
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "registry/persist.hpp"
 
 namespace crac::ckpt::testlib {
 
@@ -289,6 +292,54 @@ class FaultySource final : public Source {
   std::unique_ptr<Source> owned_;
   Source* inner_;
   Faults faults_;
+};
+
+// Arms the registry persistence layer's fault hook so the process SIGKILLs
+// itself the instant execution reaches the named commit-protocol offset
+// (see registry/persist.hpp for the point names). The armed name and the
+// hook pointer live in ordinary process memory, so arming BEFORE
+// RegistryHost::spawn makes the forked server child inherit the bomb and
+// die at the exact byte boundary — the durability campaign's crash
+// injector. The parent never executes registry persistence code, so the
+// armed hook is inert on its side. Destroy (disarm) before respawning a
+// host over the same directory so recovery runs unharassed.
+//
+// `skip_hits` lets a test aim past early benign occurrences of the point:
+// the manifest-rename offset, for instance, is also crossed once by the
+// startup recovery's fresh checkpoint before any PUT reaches it.
+class ScopedKillPoint {
+ public:
+  explicit ScopedKillPoint(const char* point, int skip_hits = 0) {
+    armed_name() = point;
+    skip_remaining() = skip_hits;
+    crac::registry::testhooks::set_fault_hook(&trip);
+  }
+  ~ScopedKillPoint() {
+    crac::registry::testhooks::set_fault_hook(nullptr);
+    armed_name() = nullptr;
+  }
+
+  ScopedKillPoint(const ScopedKillPoint&) = delete;
+  ScopedKillPoint& operator=(const ScopedKillPoint&) = delete;
+
+ private:
+  static const char*& armed_name() {
+    static const char* name = nullptr;
+    return name;
+  }
+  static int& skip_remaining() {
+    static int remaining = 0;
+    return remaining;
+  }
+  static void trip(const char* point) {
+    const char* armed = armed_name();
+    if (armed != nullptr && std::strcmp(armed, point) == 0) {
+      if (skip_remaining()-- > 0) return;
+      // Die exactly here: no unwinding, no stream flush, no atexit — the
+      // same shape as a machine losing power mid-syscall.
+      ::raise(SIGKILL);
+    }
+  }
 };
 
 }  // namespace crac::ckpt::testlib

@@ -16,9 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/delta.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/remote.hpp"
 #include "ckpt/sink.hpp"
+#include "common/bytes.hpp"
 #include "registry/client.hpp"
 #include "registry/image_io.hpp"
 #include "registry/registry.hpp"
@@ -282,6 +284,292 @@ TEST(RegistryTest, ConcurrentFanOutReadersSeeIdenticalBytes) {
   for (int r = 0; r < kReaders; ++r) EXPECT_EQ(got[r], image);
 }
 
+// ---- Delta chains in the registry ----
+
+// A hand-built base -> d1 -> d2 family over one 16 KiB "device-arena"
+// section, patched at 1 KiB granularity, with a host-side mirror of the
+// expected leaf contents. Parent paths are real files only when the test
+// compares against the path-walking local materializer; the registry
+// resolves edges by embedded image id, never by path.
+constexpr std::size_t kArenaBytes = 16 << 10;
+constexpr std::size_t kGranule = 1 << 10;
+
+std::vector<std::byte> id_payload(const std::string& id) {
+  const auto* p = reinterpret_cast<const std::byte*>(id.data());
+  return std::vector<std::byte>(p, p + id.size());
+}
+
+std::vector<std::byte> build_full_image(const std::string& image_id,
+                                        const std::vector<std::byte>& arena) {
+  ImageWriter writer(Codec::kStore);
+  writer.add_section(SectionType::kMetadata, ckpt::kSectionImageId,
+                     id_payload(image_id));
+  writer.add_section(SectionType::kDeviceBuffers, "device-arena",
+                     std::vector<std::byte>(arena));
+  EXPECT_TRUE(writer.status().ok()) << writer.status().to_string();
+  return writer.serialize();
+}
+
+struct ArenaPatch {
+  std::uint64_t index;  // granule index into the arena
+  std::vector<std::byte> bytes;
+};
+
+std::vector<std::byte> build_delta_image(const std::string& image_id,
+                                         const std::string& parent_id,
+                                         const std::string& parent_path,
+                                         const std::vector<ArenaPatch>& ps) {
+  ckpt::MemorySink sink;
+  ImageWriter::Options wopts;
+  wopts.parent_id = parent_id;
+  wopts.parent_path = parent_path;
+  ImageWriter writer(&sink, wopts);
+  writer.add_section(SectionType::kMetadata, ckpt::kSectionImageId,
+                     id_payload(image_id));
+  ByteWriter body;
+  body.put_u32(static_cast<std::uint32_t>(SectionType::kDeviceBuffers));
+  body.put_u64(kGranule);
+  body.put_u64(kArenaBytes);
+  body.put_u64(ps.size());
+  for (const ArenaPatch& p : ps) {
+    body.put_u64(p.index);
+    body.put_u64(p.bytes.size());
+    body.put_bytes(p.bytes.data(), p.bytes.size());
+  }
+  writer.add_section(SectionType::kDeltaChunks, "device-arena",
+                     std::move(body).take());
+  EXPECT_TRUE(writer.finish().ok());
+  EXPECT_TRUE(sink.close().ok());
+  return std::move(sink).take();
+}
+
+// base -> d1 -> d2 plus the expected leaf arena after both patch rounds.
+struct DeltaFamily {
+  std::vector<std::byte> base, d1, d2;
+  std::vector<std::byte> leaf_arena;
+};
+
+DeltaFamily build_delta_family(const std::string& base_path = "",
+                               const std::string& d1_path = "") {
+  DeltaFamily fam;
+  fam.leaf_arena = pattern_payload(kArenaBytes, 40);
+  fam.base = build_full_image("base-id", fam.leaf_arena);
+
+  const ArenaPatch p2{2, pattern_payload(kGranule, 41)};
+  const ArenaPatch p7{7, pattern_payload(kGranule, 42)};
+  fam.d1 = build_delta_image("d1-id", "base-id", base_path, {p2, p7});
+  std::memcpy(fam.leaf_arena.data() + p2.index * kGranule, p2.bytes.data(),
+              kGranule);
+  std::memcpy(fam.leaf_arena.data() + p7.index * kGranule, p7.bytes.data(),
+              kGranule);
+
+  // d2 re-patches granule 7 (newest-wins over d1) and touches 12.
+  const ArenaPatch q7{7, pattern_payload(kGranule, 43)};
+  const ArenaPatch q12{12, pattern_payload(kGranule, 44)};
+  fam.d2 = build_delta_image("d2-id", "d1-id", d1_path, {q7, q12});
+  std::memcpy(fam.leaf_arena.data() + q7.index * kGranule, q7.bytes.data(),
+              kGranule);
+  std::memcpy(fam.leaf_arena.data() + q12.index * kGranule, q12.bytes.data(),
+              kGranule);
+  return fam;
+}
+
+void put_bytes_inproc(CheckpointRegistry& registry, const std::string& name,
+                      const std::vector<std::byte>& bytes) {
+  auto sink = registry.begin_put(name);
+  ASSERT_TRUE(feed(*sink, bytes).ok());
+  ASSERT_TRUE(sink->close().ok());
+  ASSERT_TRUE(registry.commit(*sink).ok());
+}
+
+void write_file_bytes(const std::string& path,
+                      const std::vector<std::byte>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(RegistryDeltaTest, MaterializeFoldsChainLikeLocalMaterializer) {
+  // The same chain on disk (parent paths) and in the registry (parent ids)
+  // must fold to the same full image, and that image's arena must equal
+  // the patch mirror.
+  const std::string base_path = ::testing::TempDir() + "/reg_delta_base.img";
+  const std::string d1_path = ::testing::TempDir() + "/reg_delta_d1.img";
+  const std::string d2_path = ::testing::TempDir() + "/reg_delta_d2.img";
+  DeltaFamily fam = build_delta_family(base_path, d1_path);
+  write_file_bytes(base_path, fam.base);
+  write_file_bytes(d1_path, fam.d1);
+  write_file_bytes(d2_path, fam.d2);
+
+  auto local = ckpt::materialize_image_chain(d2_path);
+  ASSERT_TRUE(local.ok()) << local.status().to_string();
+
+  // PUT leaf-first to prove edges resolve as parents arrive, not only
+  // child-after-parent.
+  CheckpointRegistry registry;
+  put_bytes_inproc(registry, "d2", fam.d2);
+  put_bytes_inproc(registry, "d1", fam.d1);
+  put_bytes_inproc(registry, "base", fam.base);
+
+  auto served = registry.materialize("d2");
+  ASSERT_TRUE(served.ok()) << served.status().to_string();
+  EXPECT_EQ(*served, *local);
+
+  auto reader = ckpt::ImageReader::from_bytes(std::vector<std::byte>(*served));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  EXPECT_FALSE(reader->is_delta());
+  const auto* arena =
+      reader->find(SectionType::kDeviceBuffers, "device-arena");
+  ASSERT_NE(arena, nullptr);
+  auto payload = reader->read_section(*arena);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, fam.leaf_arena);
+
+  // A non-delta name materializes to its own bytes verbatim; open() on a
+  // delta name still serves the delta bytes exactly as PUT.
+  auto base_full = registry.materialize("base");
+  ASSERT_TRUE(base_full.ok());
+  EXPECT_EQ(*base_full, fam.base);
+  auto d2_source = registry.open("d2");
+  ASSERT_TRUE(d2_source.ok());
+  EXPECT_EQ((*d2_source)->size(), fam.d2.size());
+
+  // Listing carries the chain topology.
+  for (const ImageInfo& info : registry.list()) {
+    if (info.name == "d2") {
+      EXPECT_TRUE(info.delta);
+      EXPECT_EQ(info.parent_id, "d1-id");
+    } else if (info.name == "base") {
+      EXPECT_FALSE(info.delta);
+    }
+  }
+}
+
+TEST(RegistryDeltaTest, ParentWithLiveChildrenIsPinned) {
+  DeltaFamily fam = build_delta_family();
+  CheckpointRegistry registry;
+  put_bytes_inproc(registry, "base", fam.base);
+  put_bytes_inproc(registry, "d1", fam.d1);
+
+  // Evict, remove, and replace of the parent are all refused while the
+  // child's edge is resolved — any of them would orphan the chain on a
+  // durable restart.
+  Status evicted = registry.evict("base");
+  EXPECT_EQ(evicted.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(evicted.message().find("delta children"), std::string::npos)
+      << evicted.to_string();
+  EXPECT_EQ(registry.remove("base").code(),
+            StatusCode::kFailedPrecondition);
+  {
+    auto sink = registry.begin_put("base");
+    ASSERT_TRUE(feed(*sink, build_full_image("other-id",
+                                             pattern_payload(kArenaBytes, 50)))
+                    .ok());
+    ASSERT_TRUE(sink->close().ok());
+    EXPECT_EQ(registry.commit(*sink).code(), StatusCode::kFailedPrecondition);
+  }
+
+  // Child gone -> parent unpinned.
+  ASSERT_TRUE(registry.evict("d1").ok());
+  EXPECT_TRUE(registry.evict("base").ok());
+  EXPECT_TRUE(registry.list().empty());
+}
+
+TEST(RegistryDeltaTest, OrphanDeltaMaterializeFailsNamed) {
+  DeltaFamily fam = build_delta_family();
+  CheckpointRegistry registry;
+  put_bytes_inproc(registry, "d1", fam.d1);
+
+  auto folded = registry.materialize("d1");
+  ASSERT_FALSE(folded.ok());
+  EXPECT_EQ(folded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(folded.status().message().find("was never PUT"),
+            std::string::npos)
+      << folded.status().to_string();
+  EXPECT_NE(folded.status().message().find("base-id"), std::string::npos)
+      << folded.status().to_string();
+
+  // The delta bytes themselves still serve and list.
+  auto source = registry.open("d1");
+  ASSERT_TRUE(source.ok());
+  auto listing = registry.list();
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_TRUE(listing[0].delta);
+
+  // Once the parent arrives the same chain folds fine.
+  put_bytes_inproc(registry, "base", fam.base);
+  auto again = registry.materialize("d1");
+  EXPECT_TRUE(again.ok()) << again.status().to_string();
+}
+
+// ---- Capacity eviction ----
+
+TEST(RegistryEvictionTest, LeastRecentlyUsedImageEvictedAtCapacity) {
+  CheckpointRegistry::Options opts;
+  opts.capacity_bytes = 100 << 10;
+  CheckpointRegistry registry(opts);
+
+  // Three ~41 KiB images of disjoint content: two fit, three don't.
+  const auto a = build_full_image("ev-a", pattern_payload(40 << 10, 60));
+  const auto b = build_full_image("ev-b", pattern_payload(40 << 10, 61));
+  const auto c = build_full_image("ev-c", pattern_payload(40 << 10, 62));
+
+  put_bytes_inproc(registry, "a", a);
+  put_bytes_inproc(registry, "b", b);
+  EXPECT_EQ(registry.stats().images, 2u);
+
+  // Freshen "a": the LRU victim of the next eviction must be "b".
+  { auto source = registry.open("a"); ASSERT_TRUE(source.ok()); }
+
+  put_bytes_inproc(registry, "c", c);
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.images, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.store.stored_bytes, opts.capacity_bytes);
+  std::vector<std::string> names;
+  for (const ImageInfo& info : registry.list()) names.push_back(info.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(RegistryEvictionTest, OpenReaderPinsImageAgainstEviction) {
+  CheckpointRegistry::Options opts;
+  opts.capacity_bytes = 60 << 10;
+  CheckpointRegistry registry(opts);
+
+  const auto a = build_full_image("pin-a", pattern_payload(40 << 10, 63));
+  const auto b = build_full_image("pin-b", pattern_payload(40 << 10, 64));
+
+  put_bytes_inproc(registry, "a", a);
+  auto pinned = registry.open("a");
+  ASSERT_TRUE(pinned.ok());
+
+  // "b" blows the budget but the only candidate has a live GET session:
+  // the registry runs over budget rather than yanking bytes mid-stream.
+  put_bytes_inproc(registry, "b", b);
+  EXPECT_EQ(registry.stats().images, 2u);
+  EXPECT_EQ(registry.stats().evictions, 0u);
+  EXPECT_GT(registry.stats().store.stored_bytes, opts.capacity_bytes);
+
+  // Direct evict of a streaming image is refused by name too.
+  Status evicted = registry.evict("a");
+  EXPECT_EQ(evicted.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(evicted.message().find("live GET"), std::string::npos)
+      << evicted.to_string();
+
+  // Reader gone -> the next commit reclaims space normally. The budget
+  // only fits one image, so both older ones go (never the fresh commit).
+  pinned->reset();
+  const auto c = build_full_image("pin-c", pattern_payload(40 << 10, 65));
+  put_bytes_inproc(registry, "c", c);
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.images, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_LE(stats.store.stored_bytes, opts.capacity_bytes);
+  ASSERT_EQ(registry.list().size(), 1u);
+  EXPECT_EQ(registry.list()[0].name, "c");
+}
+
 // ---- Forked server suite (excluded from TSan runs) ----
 
 RegistryClient connect_client(const RegistryHost& host) {
@@ -359,6 +647,65 @@ TEST(RegistryHostTest, ConcurrentGetFanOut) {
   }
   for (auto& t : getters) t.join();
   for (int e = 0; e < kEndpoints; ++e) EXPECT_EQ(got[e], image);
+}
+
+TEST(RegistryHostTest, DeltaGetServesMaterializedChain) {
+  // GET of a delta serves the folded full image — receivers always restore
+  // a restorable image, never raw delta bytes.
+  DeltaFamily fam = build_delta_family();
+  auto host = RegistryHost::spawn();
+  ASSERT_TRUE(host.ok()) << host.status().to_string();
+  RegistryClient client = connect_client(*host);
+  ASSERT_TRUE(client.put_bytes("base", fam.base).ok());
+  ASSERT_TRUE(client.put_bytes("d1", fam.d1).ok());
+  ASSERT_TRUE(client.put_bytes("d2", fam.d2).ok());
+
+  auto folded = client.get_bytes("d2");
+  ASSERT_TRUE(folded.ok()) << folded.status().to_string();
+  auto reader =
+      ckpt::ImageReader::from_bytes(std::vector<std::byte>(*folded));
+  ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+  EXPECT_FALSE(reader->is_delta());
+  const auto* arena =
+      reader->find(SectionType::kDeviceBuffers, "device-arena");
+  ASSERT_NE(arena, nullptr);
+  auto payload = reader->read_section(*arena);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, fam.leaf_arena);
+
+  // The listing carries chain topology over the wire.
+  auto list = client.list();
+  ASSERT_TRUE(list.ok());
+  for (const ImageInfo& info : *list) {
+    if (info.name == "d2") {
+      EXPECT_TRUE(info.delta);
+      EXPECT_EQ(info.parent_id, "d1-id");
+    } else if (info.name == "base") {
+      EXPECT_FALSE(info.delta);
+      EXPECT_TRUE(info.parent_id.empty());
+    }
+  }
+}
+
+TEST(RegistryHostTest, OrphanDeltaGetFailsNamedOverUsableConnection) {
+  DeltaFamily fam = build_delta_family();
+  auto host = RegistryHost::spawn();
+  ASSERT_TRUE(host.ok()) << host.status().to_string();
+  RegistryClient client = connect_client(*host);
+  ASSERT_TRUE(client.put_bytes("d1", fam.d1).ok());
+
+  auto folded = client.get_bytes("d1");
+  ASSERT_FALSE(folded.ok());
+  EXPECT_EQ(folded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(folded.status().message().find("was never PUT"),
+            std::string::npos)
+      << folded.status().to_string();
+
+  // The refusal was in-band: the same channel keeps serving, and once the
+  // parent arrives the same GET folds.
+  ASSERT_TRUE(client.put_bytes("base", fam.base).ok());
+  auto again = client.get_bytes("d1");
+  EXPECT_TRUE(again.ok()) << again.status().to_string();
 }
 
 }  // namespace
