@@ -144,6 +144,7 @@ void encode_image_record(const ImageRecordWire& rec, ByteWriter& out) {
   out.put_u32(rec.framing);
   out.put_u64(rec.image_bytes);
   out.put_u64(rec.raw_bytes);
+  out.put_u64(rec.last_use);
   out.put_string(rec.image_id);
   out.put_string(rec.parent_id);
   out.put_string(rec.parent_path);
@@ -170,6 +171,7 @@ Status decode_image_record(ByteReader& in, ImageRecordWire& out) {
   CRAC_RETURN_IF_ERROR(in.get_u32(out.framing));
   CRAC_RETURN_IF_ERROR(in.get_u64(out.image_bytes));
   CRAC_RETURN_IF_ERROR(in.get_u64(out.raw_bytes));
+  CRAC_RETURN_IF_ERROR(in.get_u64(out.last_use));
   CRAC_RETURN_IF_ERROR(in.get_string(out.image_id));
   CRAC_RETURN_IF_ERROR(in.get_string(out.parent_id));
   CRAC_RETURN_IF_ERROR(in.get_string(out.parent_path));
@@ -314,7 +316,18 @@ Status DurableStore::scan_slab() {
 Status DurableStore::append_chunk(const ChunkKey& key, const std::byte* stored,
                                   std::size_t size) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (catalog_.find(key) != catalog_.end()) return OkStatus();
+  if (auto it = catalog_.find(key); it != catalog_.end()) {
+    // The record may be dead weight from a since-removed image. This re-PUT
+    // is about to commit a WAL record naming the key, so the slab record
+    // must be live again — otherwise the next compaction would delete a
+    // payload the committed directory references, which recovery rejects
+    // as corruption.
+    if (it->second.dead) {
+      it->second.dead = false;
+      dead_bytes_ -= kSlabRecordHeaderBytes + it->second.stored_size;
+    }
+    return OkStatus();
+  }
   const std::string origin = dir_ + "/chunks.slab";
   const std::uint32_t stored_crc = crc32(stored, size);
   const ByteWriter header = encode_slab_record_header(key, size, stored_crc);
@@ -334,24 +347,19 @@ Status DurableStore::sync_chunks() {
 }
 
 Result<std::vector<std::byte>> DurableStore::read_chunk(const ChunkKey& key) {
-  std::uint64_t offset = 0;
-  std::uint64_t size = 0;
-  std::uint32_t want_crc = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = catalog_.find(key);
-    if (it == catalog_.end()) {
-      return NotFound("slab: chunk not cataloged (crc " +
-                      std::to_string(key.crc) + ")");
-    }
-    offset = it->second.offset + kSlabRecordHeaderBytes;
-    size = it->second.stored_size;
-    want_crc = it->second.stored_crc;
+  // The pread stays under mu_: compaction swaps slab_fd_ and rewrites every
+  // offset, so a read racing it could hit a closed fd or a stale offset.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(key);
+  if (it == catalog_.end()) {
+    return NotFound("slab: chunk not cataloged (crc " +
+                    std::to_string(key.crc) + ")");
   }
-  std::vector<std::byte> out(size);
-  CRAC_RETURN_IF_ERROR(pread_all(slab_fd_, out.data(), size, offset,
+  std::vector<std::byte> out(it->second.stored_size);
+  CRAC_RETURN_IF_ERROR(pread_all(slab_fd_, out.data(), out.size(),
+                                 it->second.offset + kSlabRecordHeaderBytes,
                                  dir_ + "/chunks.slab"));
-  if (crc32(out.data(), out.size()) != want_crc) {
+  if (crc32(out.data(), out.size()) != it->second.stored_crc) {
     return Corrupt(dir_ + "/chunks.slab: stored payload CRC mismatch");
   }
   return out;

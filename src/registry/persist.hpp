@@ -120,6 +120,12 @@ struct ImageRecordWire {
   std::uint32_t framing = 0;  // ckpt::ChunkFraming as u32
   std::uint64_t image_bytes = 0;
   std::uint64_t raw_bytes = 0;
+  // LRU stamp (registry use_clock_ at last commit/GET). Persisted so
+  // capacity eviction keeps its least-recently-used order across restarts:
+  // exact as of each image's commit record, refreshed with GET recency at
+  // every manifest checkpoint (GETs between checkpoints don't write the
+  // WAL, so that recency is best-effort across a crash).
+  std::uint64_t last_use = 0;
   std::string image_id;
   std::string parent_id;
   std::string parent_path;

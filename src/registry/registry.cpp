@@ -73,8 +73,11 @@ Status CheckpointRegistry::recover() {
       }
       image->segments_.push_back(s);
     }
+    // Restore the persisted LRU stamp so capacity eviction picks up its
+    // least-recently-used order where the previous process left it.
+    use_clock_ = std::max(use_clock_, rec.last_use);
     std::string name = image->name_;
-    images_[std::move(name)] = Rec{std::move(image), ++use_clock_};
+    images_[std::move(name)] = Rec{std::move(image), rec.last_use};
   }
   for (auto& [name, rec] : images_) resolve_parent_edges_locked(rec.image);
 
@@ -147,12 +150,13 @@ void CheckpointRegistry::resolve_parent_edges_locked(
 }
 
 ImageRecordWire CheckpointRegistry::record_of_locked(
-    const StoredImage& image) const {
+    const StoredImage& image, std::uint64_t last_use) const {
   ImageRecordWire rec;
   rec.name = image.name_;
   rec.framing = static_cast<std::uint32_t>(image.framing_);
   rec.image_bytes = image.image_bytes_;
   rec.raw_bytes = image.raw_bytes_;
+  rec.last_use = last_use;
   rec.image_id = image.image_id_;
   rec.parent_id = image.parent_id_;
   rec.parent_path = image.parent_path_;
@@ -181,7 +185,7 @@ std::vector<ImageRecordWire> CheckpointRegistry::snapshot_records_locked()
   std::vector<ImageRecordWire> out;
   out.reserve(images_.size());
   for (const auto& [name, rec] : images_) {
-    out.push_back(record_of_locked(*rec.image));
+    out.push_back(record_of_locked(*rec.image, rec.last_use));
   }
   return out;
 }
@@ -204,6 +208,7 @@ Status CheckpointRegistry::commit(RegistrySink& sink) {
         "registry: image '" + image->name_ +
         "' has live delta children; replacing it would orphan their chains");
   }
+  const std::uint64_t stamp = ++use_clock_;
   if (durable_ != nullptr) {
     // The staged commit: every chunk is already appended (the persister ran
     // as the stream was parsed, strictly after each chunk decode-verified,
@@ -211,11 +216,11 @@ Status CheckpointRegistry::commit(RegistrySink& sink) {
     // Sync the slab, then the WAL record makes the image durable — a crash
     // anywhere before that sync+append leaves the PUT invisible.
     CRAC_RETURN_IF_ERROR(durable_->sync_chunks());
-    CRAC_RETURN_IF_ERROR(durable_->log_commit(record_of_locked(*image)));
+    CRAC_RETURN_IF_ERROR(durable_->log_commit(record_of_locked(*image, stamp)));
   }
   // Replacement drops the old shared_ptr; open sources keep the old image
   // (and its chunks) alive until they finish streaming it.
-  images_[image->name_] = Rec{image, ++use_clock_};
+  images_[image->name_] = Rec{image, stamp};
   resolve_parent_edges_locked(image);
   auto_evict_locked(image.get());
   if (durable_ != nullptr) return fold_and_compact_locked();

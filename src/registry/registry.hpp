@@ -27,6 +27,10 @@
 // images until stored payload bytes fit the budget. Images with live GET
 // sessions or resolved delta children are pinned; eviction is whole-image
 // and durable (WAL remove + slab compaction once enough bytes are dead).
+// LRU stamps persist with each commit record and refresh at every manifest
+// checkpoint, so the order carries across restarts — except GET recency
+// accrued since the last checkpoint, which a crash loses (GETs don't
+// write the WAL).
 #pragma once
 
 #include <cstdint>
@@ -141,7 +145,8 @@ class CheckpointRegistry {
   Status drop_locked(const std::string& name, bool allow_open_readers);
   void auto_evict_locked(const StoredImage* just_committed);
   Status fold_and_compact_locked();
-  ImageRecordWire record_of_locked(const StoredImage& image) const;
+  ImageRecordWire record_of_locked(const StoredImage& image,
+                                   std::uint64_t last_use) const;
   std::vector<ImageRecordWire> snapshot_records_locked() const;
 
   Options options_;

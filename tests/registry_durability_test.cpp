@@ -322,6 +322,83 @@ TEST(DurableRegistryTest, ReplacedImageReclaimedAcrossReopen) {
                                 st.store.stored_bytes);
 }
 
+TEST(DurableRegistryTest, RePutOfReleasedChunksSurvivesCompaction) {
+  // Remove an image (its slab records go dead), then PUT new content that
+  // shares those exact chunks: the re-PUT must resurrect the dead records.
+  // The regression this pins: append_chunk that early-returns on a dead
+  // catalog hit leaves the record dead while the new image's WAL commit
+  // references it — the next compaction then deletes the payload and
+  // recovery rejects the directory as corrupt.
+  CheckpointRegistry::Options opts;
+  opts.dir = fresh_dir("reput_dead");
+  // `ballast` keeps compaction from firing right after the remove (dead
+  // bytes stay under half the live payload), so the dead records are still
+  // in the catalog when the re-PUT interns the same content.
+  const auto ballast = build_image(Codec::kStore, 512 << 10, 16);
+  const auto shared = build_image(Codec::kStore, 100 << 10, 17);
+  {
+    CheckpointRegistry reg(opts);
+    ASSERT_TRUE(reg.recover().ok());
+    ASSERT_TRUE(put_image(reg, "ballast", ballast).ok());
+    ASSERT_TRUE(put_image(reg, "a", shared).ok());
+    ASSERT_TRUE(reg.remove("a").ok());
+    EXPECT_GT(reg.stats().disk.dead_bytes, 0u);
+    // Identical bytes under a new name: every chunk re-interns to a key
+    // already in the slab, all of them dead.
+    ASSERT_TRUE(put_image(reg, "b", shared).ok());
+    EXPECT_EQ(reg.stats().disk.dead_bytes, 0u);
+    // Now force a compaction pass over the resurrected records: removing
+    // the big image makes its dead weight dominate the live payload.
+    ASSERT_TRUE(reg.remove("ballast").ok());
+    EXPECT_GT(reg.stats().disk.compactions, 0u);
+  }
+  CheckpointRegistry reg(opts);
+  Status recovered = reg.recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.to_string();
+  auto got = read_image(reg, "b");
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, shared);
+  RegistryStats st = reg.stats();
+  EXPECT_EQ(st.disk.dead_bytes, 0u);
+  expect_zero_leaked_slab_bytes(st.disk.slab_file_bytes,
+                                st.store.unique_chunks,
+                                st.store.stored_bytes);
+}
+
+TEST(DurableRegistryTest, LruOrderSurvivesRestart) {
+  // Capacity eviction after a restart must pick the least-recently-used
+  // image, not the alphabetically-first one: LRU stamps ride in each
+  // directory entry, and recovery restores them instead of re-stamping in
+  // name order.
+  CheckpointRegistry::Options opts;
+  opts.dir = fresh_dir("lru_restart");
+  opts.wal_checkpoint_bytes = 1;  // every commit folds GET-fresh stamps
+  const auto a = build_image(Codec::kStore, 96 << 10, 18);
+  const auto b = build_image(Codec::kStore, 96 << 10, 19);
+  const auto tick = build_image(Codec::kStore, 4 << 10, 20);
+  {
+    CheckpointRegistry reg(opts);
+    ASSERT_TRUE(reg.recover().ok());
+    ASSERT_TRUE(put_image(reg, "a", a).ok());
+    ASSERT_TRUE(put_image(reg, "b", b).ok());
+    // GET bumps "a" past "b"; the following commit's manifest checkpoint
+    // persists that recency.
+    ASSERT_TRUE(read_image(reg, "a").ok());
+    ASSERT_TRUE(put_image(reg, "tick", tick).ok());
+  }
+  // Restart with a budget the three survivors fit but a fourth bursts.
+  CheckpointRegistry::Options tight = opts;
+  tight.capacity_bytes = 280 << 10;
+  CheckpointRegistry reg(tight);
+  ASSERT_TRUE(reg.recover().ok());
+  const auto burst = build_image(Codec::kStore, 96 << 10, 21);
+  ASSERT_TRUE(put_image(reg, "burst", burst).ok());
+  std::vector<std::string> names;
+  for (const ImageInfo& info : reg.list()) names.push_back(info.name);
+  // "b" is the least-recently-used; name order would have evicted "a".
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "burst", "tick"}));
+}
+
 TEST(DurableRegistryTest, WalFoldsIntoManifestAtThreshold) {
   CheckpointRegistry::Options opts;
   opts.dir = fresh_dir("fold");
